@@ -1,0 +1,63 @@
+//! Criterion microbenches: wire-codec encode/decode cost — the
+//! translation work the paper identifies as the Siena bus's overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{Event, Filter, Op, Packet, ServiceId};
+
+fn event(payload: usize) -> Event {
+    Event::builder("smc.sensor.reading")
+        .attr("sensor", "heart-rate")
+        .attr("bpm", 72i64)
+        .attr("quality", 0.98f64)
+        .publisher(ServiceId::from_raw(0xAB))
+        .seq(42)
+        .timestamp_micros(1_234_567)
+        .payload(vec![0x5Au8; payload])
+        .build()
+}
+
+fn bench_event_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_codec");
+    for &payload in &[0usize, 500, 2000, 5000] {
+        let ev = event(payload);
+        let bytes = to_bytes(&ev);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", payload), &payload, |b, _| {
+            b.iter(|| to_bytes(std::hint::black_box(&ev)))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", payload), &payload, |b, _| {
+            b.iter(|| from_bytes::<Event>(std::hint::black_box(&bytes)).expect("decode"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_codec");
+    let packets = vec![
+        ("publish", Packet::Publish(event(500))),
+        (
+            "subscribe",
+            Packet::Subscribe {
+                request_id: 7,
+                filter: Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 120i64)),
+            },
+        ),
+        ("heartbeat", Packet::Heartbeat { member: ServiceId::from_raw(0xAB), seq: 9 }),
+    ];
+    for (name, packet) in packets {
+        let bytes = to_bytes(&packet);
+        group.bench_function(BenchmarkId::new("roundtrip", name), |b| {
+            b.iter(|| {
+                let bytes = to_bytes(std::hint::black_box(&packet));
+                from_bytes::<Packet>(&bytes).expect("decode")
+            })
+        });
+        let _ = bytes;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_codec, bench_packet_codec);
+criterion_main!(benches);

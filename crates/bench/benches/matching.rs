@@ -1,0 +1,102 @@
+//! Criterion microbenches: matching-engine cost per event, across
+//! engines, subscription counts and payload sizes — the per-component
+//! view behind Fig 4's end-to-end curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smc_match::{EngineKind, Matcher};
+use smc_types::{Event, Filter, Op, ServiceId, Subscription, SubscriptionId};
+
+fn build_engine(kind: EngineKind, subs: usize) -> Box<dyn Matcher> {
+    let mut engine = kind.build();
+    for i in 0..subs {
+        // A spread of realistic management filters.
+        let filter = match i % 4 {
+            0 => Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, (50 + i) as i64)),
+            1 => Filter::for_type("smc.alarm").with(("severity", Op::Ge, (i % 5) as i64)),
+            2 => Filter::for_type("smc.sensor.reading")
+                .with(("sensor", Op::Eq, format!("sensor-{}", i % 8))),
+            _ => Filter::any().with(("member.device_type", Op::Prefix, "sensor.")),
+        };
+        engine
+            .subscribe(Subscription::new(
+                SubscriptionId(i as u64),
+                ServiceId::from_raw(i as u64),
+                filter,
+            ))
+            .expect("subscribe");
+    }
+    engine
+}
+
+fn event(payload: usize) -> Event {
+    Event::builder("smc.sensor.reading")
+        .attr("sensor", "sensor-3")
+        .attr("bpm", 120i64)
+        .publisher(ServiceId::from_raw(999))
+        .seq(1)
+        .payload(vec![0u8; payload])
+        .build()
+}
+
+fn bench_engines_by_subs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_by_subscriptions");
+    for &subs in &[4usize, 16, 64, 256] {
+        for kind in EngineKind::ALL {
+            let mut engine = build_engine(kind, subs);
+            let ev = event(0);
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), subs),
+                &subs,
+                |b, _| b.iter(|| engine.matching_subscribers(std::hint::black_box(&ev))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_engines_by_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("match_by_payload");
+    for &payload in &[0usize, 500, 2000, 5000] {
+        for kind in [EngineKind::Siena, EngineKind::FastForward] {
+            let mut engine = build_engine(kind, 16);
+            let ev = event(payload);
+            group.bench_with_input(
+                BenchmarkId::new(kind.as_str(), payload),
+                &payload,
+                |b, _| b.iter(|| engine.matching_subscribers(std::hint::black_box(&ev))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_subscribe_unsubscribe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subscription_churn");
+    for kind in EngineKind::ALL {
+        group.bench_function(kind.as_str(), |b| {
+            let mut engine = build_engine(kind, 64);
+            let mut next = 1_000u64;
+            b.iter(|| {
+                let id = SubscriptionId(next);
+                next += 1;
+                engine
+                    .subscribe(Subscription::new(
+                        id,
+                        ServiceId::from_raw(1),
+                        Filter::for_type("smc.alarm").with(("severity", Op::Ge, 3i64)),
+                    ))
+                    .expect("subscribe");
+                engine.unsubscribe(id).expect("unsubscribe");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engines_by_subs,
+    bench_engines_by_payload,
+    bench_subscribe_unsubscribe
+);
+criterion_main!(benches);

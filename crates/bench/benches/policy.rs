@@ -1,0 +1,58 @@
+//! Criterion microbenches: obligation-policy evaluation cost as the
+//! policy store grows — the per-event management overhead a cell pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smc_policy::{ActionSpec, Expr, ObligationPolicy, Policy, PolicyService};
+use smc_types::{Event, Filter, Op};
+
+fn service_with(policies: usize) -> PolicyService {
+    let service = PolicyService::new();
+    for i in 0..policies {
+        service
+            .add(Policy::Obligation(
+                ObligationPolicy::new(
+                    format!("p{i}"),
+                    Filter::for_type("smc.sensor.reading")
+                        .with(("sensor", Op::Eq, format!("sensor-{}", i % 8))),
+                )
+                .when(Expr::parse(&format!("bpm > {}", 60 + i % 100)).expect("fixture"))
+                .then(ActionSpec::Log("hit".into())),
+            ))
+            .expect("add");
+    }
+    service
+}
+
+fn bench_on_event(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_on_event");
+    let event = Event::builder("smc.sensor.reading")
+        .attr("sensor", "sensor-3")
+        .attr("bpm", 120i64)
+        .build();
+    for &n in &[4usize, 32, 128] {
+        let service = service_with(n);
+        group.bench_with_input(BenchmarkId::new("policies", n), &n, |b, _| {
+            b.iter(|| service.on_event(std::hint::black_box(&event)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_authorisation_check(c: &mut Criterion) {
+    let service = PolicyService::new();
+    for p in smc_policy::ehealth_baseline() {
+        service.add(p).expect("add");
+    }
+    c.bench_function("policy_check", |b| {
+        b.iter(|| {
+            service.check(
+                std::hint::black_box("sensor"),
+                smc_policy::ActionClass::Publish,
+                std::hint::black_box("smc.sensor.reading"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_on_event, bench_authorisation_check);
+criterion_main!(benches);

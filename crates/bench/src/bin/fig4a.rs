@@ -1,0 +1,78 @@
+//! Figure 4(a): end-to-end response time vs payload size, Siena-based
+//! bus vs C-based (fast-forwarding) bus, on the paper's PDA testbed
+//! profile.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin fig4a -- [--samples 30] [--step 500] [--max 5000] [--ideal]
+//! ```
+//!
+//! Prints one row per payload size with the mean/min/max response time in
+//! milliseconds for each bus — the series plotted in the paper's Fig 4(a).
+
+use smc_bench::{stats, HarnessArgs, Testbed, TestbedConfig};
+use smc_match::EngineKind;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let samples: usize = args.get("samples", 30);
+    let step: usize = args.get("step", 500);
+    let max: usize = args.get("max", 5000);
+    let ideal = args.has("ideal");
+    let cpu_scale: f64 = args.get("cpu-scale", 1.0);
+
+    println!("# Fig 4(a) reproduction: response time vs payload size");
+    println!(
+        "# testbed: {} link, {} cpu, {} samples/point",
+        if ideal { "ideal" } else { "usb-ip (1.5ms, 575KB/s)" },
+        if ideal { "native" } else { "ipaq-hx4700 model" },
+        samples
+    );
+    println!(
+        "{:>8} {:>12} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "payload", "siena_ms", "s_min", "s_max", "c_ms", "c_min", "c_max"
+    );
+
+    let payloads: Vec<usize> =
+        std::iter::once(0).chain((1..).map(|i| i * step)).take_while(|&p| p <= max).collect();
+
+    let run_engine = |engine: EngineKind| -> Vec<smc_bench::Stats> {
+        let mut config =
+            if ideal { TestbedConfig::ideal(engine) } else { TestbedConfig::paper(engine) };
+        config.cpu = config.cpu.scaled(cpu_scale);
+        let bed = Testbed::start(&config).expect("testbed start");
+        // Warm-up: populate caches and the reliable-channel session.
+        let _ = bed.measure_response(64, 3).expect("warmup");
+        let out: Vec<smc_bench::Stats> = payloads
+            .iter()
+            .map(|&p| stats(&bed.measure_response(p, samples).expect("measure")))
+            .collect();
+        bed.shutdown();
+        out
+    };
+
+    let siena = run_engine(EngineKind::Siena);
+    let cbus = run_engine(EngineKind::FastForward);
+
+    for (i, &p) in payloads.iter().enumerate() {
+        let s = siena[i];
+        let c = cbus[i];
+        println!(
+            "{:>8} {:>12.2} {:>10.2} {:>10.2} {:>12.2} {:>10.2} {:>10.2}",
+            p, s.mean_ms, s.min_ms, s.max_ms, c.mean_ms, c.min_ms, c.max_ms
+        );
+    }
+
+    // Shape checks the paper's figure exhibits.
+    let (s0, sl) = (siena.first().expect("points"), siena.last().expect("points"));
+    let (c0, cl) = (cbus.first().expect("points"), cbus.last().expect("points"));
+    println!("#");
+    println!(
+        "# shape: siena rises {:.2}ms -> {:.2}ms; c rises {:.2}ms -> {:.2}ms",
+        s0.mean_ms, sl.mean_ms, c0.mean_ms, cl.mean_ms
+    );
+    println!(
+        "# shape: c-based bus {} the siena bus at max payload ({:.2}x faster)",
+        if cl.mean_ms < sl.mean_ms { "below" } else { "NOT below" },
+        sl.mean_ms / cl.mean_ms
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 4(b): bus payload throughput vs payload size, Siena-based bus
+//! vs C-based (fast-forwarding) bus, on the paper's PDA testbed profile.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin fig4b -- [--events 150] [--step 250] [--max 3000] [--ideal]
+//! ```
+//!
+//! Prints payload size vs sustained throughput (KB/s) for each bus — the
+//! series in the paper's Fig 4(b). Both sit far below the raw 575 KB/s
+//! link capacity, and the C-based bus sustains more.
+
+use smc_bench::{HarnessArgs, Testbed, TestbedConfig};
+use smc_match::EngineKind;
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let events: usize = args.get("events", 150);
+    let step: usize = args.get("step", 250);
+    let max: usize = args.get("max", 3000);
+    let ideal = args.has("ideal");
+    let cpu_scale: f64 = args.get("cpu-scale", 1.0);
+
+    println!("# Fig 4(b) reproduction: payload throughput vs payload size");
+    println!(
+        "# testbed: {} link, {} cpu, {} events/point",
+        if ideal { "ideal" } else { "usb-ip (1.5ms, 575KB/s)" },
+        if ideal { "native" } else { "ipaq-hx4700 model" },
+        events
+    );
+    println!("{:>8} {:>14} {:>14}", "payload", "siena_kbps", "c_kbps");
+
+    let payloads: Vec<usize> = (1..).map(|i| i * step).take_while(|&p| p <= max).collect();
+
+    let run_engine = |engine: EngineKind| -> Vec<f64> {
+        let mut config =
+            if ideal { TestbedConfig::ideal(engine) } else { TestbedConfig::paper(engine) };
+        config.cpu = config.cpu.scaled(cpu_scale);
+        let bed = Testbed::start(&config).expect("testbed start");
+        let _ = bed.measure_throughput(64, 10).expect("warmup");
+        let out: Vec<f64> = payloads
+            .iter()
+            .map(|&p| bed.measure_throughput(p, events).expect("measure"))
+            .collect();
+        bed.shutdown();
+        out
+    };
+
+    let siena = run_engine(EngineKind::Siena);
+    let cbus = run_engine(EngineKind::FastForward);
+
+    for (i, &p) in payloads.iter().enumerate() {
+        println!("{:>8} {:>14.2} {:>14.2}", p, siena[i], cbus[i]);
+    }
+
+    let last = payloads.len() - 1;
+    println!("#");
+    println!(
+        "# shape: at {}B the c-based bus sustains {:.1} KB/s vs siena {:.1} KB/s ({:.2}x)",
+        payloads[last],
+        cbus[last],
+        siena[last],
+        cbus[last] / siena[last]
+    );
+    println!(
+        "# shape: both sit far below the raw link capacity of 575 KB/s: {}",
+        if cbus[last] < 575.0 && siena[last] < 575.0 { "yes" } else { "NO" }
+    );
+}

@@ -1,0 +1,52 @@
+//! Ablation: the same event bus over the paper's three target radios.
+//!
+//! §IV/§VI: the prototype ran over IP-over-USB, with Bluetooth under
+//! development and ZigBee the intended target. This harness runs the
+//! fig-4(a) measurement on all three link profiles so the migration cost
+//! is visible before the hardware exists.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin link_sweep -- [--samples 15] [--payload 500]
+//! ```
+
+use smc_bench::{stats, HarnessArgs, Testbed, TestbedConfig};
+use smc_match::EngineKind;
+use smc_transport::{CpuProfile, LinkConfig};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let samples: usize = args.get("samples", 15);
+    let payload: usize = args.get("payload", 500);
+
+    println!("# Link ablation: response time of the C-based bus over each radio profile");
+    println!("# payload {payload}B, {samples} samples/point, native cpu");
+    println!("{:>12} {:>10} {:>10} {:>10} {:>12}", "link", "mean_ms", "min_ms", "max_ms", "delivered");
+
+    let links: Vec<(&str, LinkConfig)> = vec![
+        ("ideal", LinkConfig::ideal()),
+        ("usb-ip", LinkConfig::usb_ip_link()),
+        ("bluetooth", LinkConfig::bluetooth_link()),
+        ("zigbee", LinkConfig::zigbee_link()),
+    ];
+
+    for (name, link) in links {
+        let config = TestbedConfig {
+            engine: EngineKind::FastForward,
+            link,
+            cpu: CpuProfile::native(),
+            seed: 9,
+        };
+        let bed = Testbed::start(&config).expect("testbed");
+        let _ = bed.measure_response(payload.min(64), 2).expect("warmup");
+        // ZigBee's tiny MTU forces fragmentation; lossy profiles force
+        // retransmission — both are part of what is being measured.
+        let times = bed.measure_response(payload, samples).expect("measure");
+        let st = stats(&times);
+        println!(
+            "{:>12} {:>10.2} {:>10.2} {:>10.2} {:>12}",
+            name, st.mean_ms, st.min_ms, st.max_ms, times.len()
+        );
+        bed.shutdown();
+    }
+    println!("# expectation: ideal < usb-ip < bluetooth < zigbee (bandwidth & latency dominate)");
+}

@@ -1,0 +1,86 @@
+//! Extension experiment Ext-1 (paper §VI): "variation in delays incurred
+//! depending on … number of recipients".
+//!
+//! One publisher, `1..=max` subscribers, fixed payload: measures the mean
+//! time from publish until the *last* subscriber receives the event.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin recipients_sweep -- [--max 16] [--payload 500] [--samples 20] [--engine ff|siena]
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smc_bench::{bench_reliable, stats, HarnessArgs, HARNESS_TIMEOUT};
+use smc_core::{RemoteClient, SmcCell, SmcConfig};
+use smc_discovery::{AgentConfig, DiscoveryConfig};
+use smc_match::EngineKind;
+use smc_transport::{CpuProfile, LinkConfig, ReliableChannel, SimNetwork};
+use smc_types::{Event, Filter, ServiceId, ServiceInfo};
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let max: usize = args.get("max", 16);
+    let payload: usize = args.get("payload", 500);
+    let samples: usize = args.get("samples", 20);
+    let engine = EngineKind::parse(&args.get("engine", "ff".to_string())).expect("engine name");
+
+    println!("# Ext-1: delivery delay vs number of recipients ({engine} engine, {payload}B)");
+    println!("{:>12} {:>12} {:>10} {:>10}", "subscribers", "mean_ms", "min_ms", "max_ms");
+
+    let net = SimNetwork::with_seed(LinkConfig::ideal(), 11);
+    let smc_config = SmcConfig {
+        engine,
+        cpu_profile: CpuProfile::native(),
+        discovery: DiscoveryConfig {
+            beacon_interval: Duration::from_millis(25),
+            lease: Duration::from_secs(600),
+            grace: Duration::from_secs(600),
+            ..DiscoveryConfig::default()
+        },
+        reliable: bench_reliable(),
+        ..SmcConfig::default()
+    };
+    let cell = SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), smc_config);
+    let connect = |device_type: String| {
+        RemoteClient::connect(
+            ServiceInfo::new(ServiceId::NIL, device_type).with_role("bench"),
+            ReliableChannel::new(Arc::new(net.endpoint()), bench_reliable()),
+            AgentConfig::default(),
+            HARNESS_TIMEOUT,
+        )
+        .expect("connect")
+    };
+    let publisher = connect("bench.publisher".into());
+    let link = LinkConfig::usb_ip_link();
+    net.set_link_between(publisher.local_id(), cell.bus_endpoint(), link.clone());
+
+    let mut subscribers: Vec<Arc<RemoteClient>> = Vec::new();
+    for n in 1..=max {
+        let sub = connect(format!("bench.subscriber{n}"));
+        sub.subscribe(Filter::for_type("bench.event"), HARNESS_TIMEOUT).expect("subscribe");
+        net.set_link_between(sub.local_id(), cell.bus_endpoint(), link.clone());
+        subscribers.push(sub);
+
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            publisher
+                .publish_nowait(Event::builder("bench.event").payload(vec![7u8; payload]).build())
+                .expect("publish");
+            for s in &subscribers {
+                let _ = s.next_event(HARNESS_TIMEOUT).expect("deliver");
+            }
+            times.push(t0.elapsed());
+        }
+        let st = stats(&times);
+        println!("{:>12} {:>12.2} {:>10.2} {:>10.2}", n, st.mean_ms, st.min_ms, st.max_ms);
+    }
+
+    for s in &subscribers {
+        s.shutdown();
+    }
+    publisher.shutdown();
+    cell.shutdown();
+    net.shutdown();
+}

@@ -1,0 +1,281 @@
+//! Benchmark harness reproducing the paper's evaluation (§V).
+//!
+//! The testbed mirrors the paper's: the event bus runs on a simulated
+//! PDA ([`CpuProfile::ipaq_hx4700`]) linked to the measurement endpoints
+//! over the 1.5 ms / 575 KB/s IP-over-USB profile
+//! ([`LinkConfig::usb_ip_link`]). Each figure harness builds the same bus
+//! twice — once per matching engine — so the Siena-vs-C comparison is an
+//! emergent property of genuinely different code paths, not a constant.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smc_core::{RemoteClient, SmcCell, SmcConfig};
+use smc_discovery::{AgentConfig, DiscoveryConfig};
+use smc_match::EngineKind;
+use smc_transport::{CpuProfile, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{Event, Filter, Result, ServiceId, ServiceInfo};
+
+/// How long harnesses wait on any single blocking step.
+pub const HARNESS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Reliability tuning used by every harness endpoint.
+pub fn bench_reliable() -> ReliableConfig {
+    ReliableConfig {
+        // Generous RTO: the measured link is lossless, and a pipelined
+        // burst can legitimately take seconds to drain — premature
+        // retransmission would pollute the throughput measurement.
+        initial_rto: Duration::from_secs(3),
+        max_rto: Duration::from_secs(6),
+        poll_interval: Duration::from_millis(5),
+        window: 64,
+        ..ReliableConfig::default()
+    }
+}
+
+/// A reproduction of the paper's two-machine testbed.
+#[derive(Debug)]
+pub struct Testbed {
+    /// The simulated radio/serial environment.
+    pub net: SimNetwork,
+    /// The cell under test (bus on the "PDA").
+    pub cell: Arc<SmcCell>,
+    /// The publishing endpoint (on the "laptop").
+    pub publisher: Arc<RemoteClient>,
+    /// The subscribing endpoint (on the "laptop").
+    pub subscriber: Arc<RemoteClient>,
+}
+
+/// Knobs of a testbed run.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    /// The matching engine for the bus.
+    pub engine: EngineKind,
+    /// The link profile between endpoints and the bus.
+    pub link: LinkConfig,
+    /// The CPU cost model of the bus host.
+    pub cpu: CpuProfile,
+    /// Random seed for the simulated network.
+    pub seed: u64,
+}
+
+impl TestbedConfig {
+    /// The paper's testbed with the given engine.
+    pub fn paper(engine: EngineKind) -> Self {
+        TestbedConfig {
+            engine,
+            link: LinkConfig::usb_ip_link(),
+            cpu: CpuProfile::ipaq_hx4700(),
+            seed: 42,
+        }
+    }
+
+    /// An idealised testbed (no link delays, native CPU) for sanity runs.
+    pub fn ideal(engine: EngineKind) -> Self {
+        TestbedConfig { engine, link: LinkConfig::ideal(), cpu: CpuProfile::native(), seed: 42 }
+    }
+}
+
+impl Testbed {
+    /// Brings up the cell and both endpoints, subscribes the subscriber
+    /// to the benchmark event type, and installs the link profile on the
+    /// measured paths (joins happen over an ideal link so setup is fast).
+    ///
+    /// # Errors
+    ///
+    /// Propagates join/subscribe failures.
+    pub fn start(config: &TestbedConfig) -> Result<Testbed> {
+        let net = SimNetwork::with_seed(LinkConfig::ideal(), config.seed);
+        let smc_config = SmcConfig {
+            engine: config.engine,
+            cpu_profile: config.cpu.clone(),
+            discovery: DiscoveryConfig {
+                beacon_interval: Duration::from_millis(25),
+                lease: Duration::from_secs(600),
+                grace: Duration::from_secs(600),
+                ..DiscoveryConfig::default()
+            },
+            reliable: bench_reliable(),
+            ..SmcConfig::default()
+        };
+        let cell =
+            SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), smc_config);
+        let connect = |device_type: &str| {
+            RemoteClient::connect(
+                ServiceInfo::new(ServiceId::NIL, device_type).with_role("bench"),
+                ReliableChannel::new(Arc::new(net.endpoint()), bench_reliable()),
+                AgentConfig::default(),
+                HARNESS_TIMEOUT,
+            )
+        };
+        let publisher = connect("bench.publisher")?;
+        let subscriber = connect("bench.subscriber")?;
+        subscriber.subscribe(Filter::for_type("bench.event"), HARNESS_TIMEOUT)?;
+
+        // Install the measured link on publisher→bus and bus→subscriber,
+        // and make it the network default so `max_datagram` (which the
+        // reliability layer sizes fragments from) reflects the profile's
+        // MTU — crucial for small-MTU radios like ZigBee.
+        let bus = cell.bus_endpoint();
+        net.set_link_between(publisher.local_id(), bus, config.link.clone());
+        net.set_link_between(subscriber.local_id(), bus, config.link.clone());
+        net.set_default_link(config.link.clone());
+
+        Ok(Testbed { net, cell, publisher, subscriber })
+    }
+
+    /// Builds one benchmark event with `payload` bytes of body.
+    pub fn event(payload: usize) -> Event {
+        Event::builder("bench.event").payload(vec![0xA5u8; payload]).build()
+    }
+
+    /// Measures end-to-end response time (publish → delivery at the
+    /// subscriber) for `samples` events of `payload` bytes each,
+    /// one-at-a-time (no pipelining), returning the per-event times.
+    ///
+    /// # Errors
+    ///
+    /// Propagates publish/receive failures.
+    pub fn measure_response(&self, payload: usize, samples: usize) -> Result<Vec<Duration>> {
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            self.publisher.publish_nowait(Self::event(payload))?;
+            let _ = self.subscriber.next_event(HARNESS_TIMEOUT)?;
+            times.push(start.elapsed());
+        }
+        Ok(times)
+    }
+
+    /// Measures sustained payload throughput: the publisher pipelines
+    /// `events` events of `payload` bytes; the clock stops when the last
+    /// one reaches the subscriber. Returns payload kilobytes per second.
+    ///
+    /// # Errors
+    ///
+    /// Propagates publish/receive failures.
+    pub fn measure_throughput(&self, payload: usize, events: usize) -> Result<f64> {
+        let start = Instant::now();
+        for _ in 0..events {
+            self.publisher.publish_nowait(Self::event(payload))?;
+        }
+        for _ in 0..events {
+            let _ = self.subscriber.next_event(HARNESS_TIMEOUT)?;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        Ok((payload * events) as f64 / 1024.0 / elapsed)
+    }
+
+    /// Tears the testbed down.
+    pub fn shutdown(&self) {
+        self.publisher.shutdown();
+        self.subscriber.shutdown();
+        self.cell.shutdown();
+        self.net.shutdown();
+    }
+}
+
+/// Summary statistics over duration samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)]
+pub struct Stats {
+    pub mean_ms: f64,
+    pub min_ms: f64,
+    pub max_ms: f64,
+    pub p95_ms: f64,
+}
+
+/// Computes [`Stats`] over a sample set.
+///
+/// # Panics
+///
+/// Panics on an empty sample set.
+pub fn stats(samples: &[Duration]) -> Stats {
+    assert!(!samples.is_empty(), "no samples");
+    let mut ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+    Stats {
+        mean_ms: mean,
+        min_ms: ms[0],
+        max_ms: *ms.last().expect("non-empty"),
+        p95_ms: ms[((ms.len() - 1) as f64 * 0.95) as usize],
+    }
+}
+
+/// Parses `--key value` style harness arguments with defaults.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    args: Vec<String>,
+}
+
+impl HarnessArgs {
+    /// Captures the process arguments.
+    pub fn from_env() -> Self {
+        HarnessArgs { args: std::env::args().skip(1).collect() }
+    }
+
+    /// The value following `--name`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let flag = format!("--{name}");
+        self.args
+            .iter()
+            .position(|a| a == &flag)
+            .and_then(|i| self.args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let flag = format!("--{name}");
+        self.args.iter().any(|a| a == &flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_computed() {
+        let s = stats(&[
+            Duration::from_millis(10),
+            Duration::from_millis(20),
+            Duration::from_millis(30),
+        ]);
+        assert!((s.mean_ms - 20.0).abs() < 1e-9);
+        assert_eq!(s.min_ms, 10.0);
+        assert_eq!(s.max_ms, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn stats_empty_panics() {
+        let _ = stats(&[]);
+    }
+
+    #[test]
+    fn testbed_round_trips_ideal() {
+        let bed = Testbed::start(&TestbedConfig::ideal(EngineKind::FastForward)).unwrap();
+        let times = bed.measure_response(100, 3).unwrap();
+        assert_eq!(times.len(), 3);
+        let kbps = bed.measure_throughput(500, 20).unwrap();
+        assert!(kbps > 0.0);
+        bed.shutdown();
+    }
+
+    #[test]
+    fn testbed_round_trips_paper_profile() {
+        let mut cfg = TestbedConfig::paper(EngineKind::Siena);
+        // Soften the CPU model so the test stays quick.
+        cfg.cpu = CpuProfile { copy_rounds: 10, dispatch_spin: 100 };
+        let bed = Testbed::start(&cfg).unwrap();
+        let times = bed.measure_response(1000, 2).unwrap();
+        // Two link hops of ≥0.6 ms each plus transmission.
+        assert!(times.iter().all(|t| *t >= Duration::from_millis(1)), "{times:?}");
+        bed.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! The proxy bootstrap mechanism.
+//!
+//! "There must be a mechanism for creating a proxy when a new service
+//! joins the SMC … register a service responsible for the creation of
+//! proxies … which will react to New Member events … these events must
+//! carry enough information for the proxy-creation process to be able to
+//! generate the appropriate proxy type for the new service."
+//!
+//! [`ProxyFactory`] is that service: device-type patterns map to codec
+//! constructors; unknown types get the passthrough codec.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use smc_policy::glob_matches;
+use smc_transport::ReliableChannel;
+use smc_types::ServiceInfo;
+
+use crate::proxy::{DeviceCodec, PassthroughCodec, Proxy};
+
+/// Constructs the device codec for a newly joined service.
+pub type CodecBuilder = dyn Fn(&ServiceInfo) -> Box<dyn DeviceCodec> + Send + Sync;
+
+/// Registry of device types → proxy codec builders.
+///
+/// ```
+/// use smc_core::{PassthroughCodec, ProxyFactory};
+/// use smc_types::{ServiceId, ServiceInfo};
+///
+/// let factory = ProxyFactory::new();
+/// factory.register("sensor.*", |_info| Box::new(PassthroughCodec));
+/// let info = ServiceInfo::new(ServiceId::from_raw(1), "sensor.heart-rate");
+/// let codec = factory.codec_for(&info);
+/// assert!(codec.initial_subscriptions().is_empty());
+/// ```
+pub struct ProxyFactory {
+    builders: RwLock<Vec<(String, Arc<CodecBuilder>)>>,
+}
+
+impl std::fmt::Debug for ProxyFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let patterns: Vec<String> =
+            self.builders.read().iter().map(|(p, _)| p.clone()).collect();
+        f.debug_struct("ProxyFactory").field("patterns", &patterns).finish()
+    }
+}
+
+impl Default for ProxyFactory {
+    fn default() -> Self {
+        ProxyFactory::new()
+    }
+}
+
+impl ProxyFactory {
+    /// Creates a factory with no registered device types (everything gets
+    /// a passthrough proxy).
+    pub fn new() -> Self {
+        ProxyFactory { builders: RwLock::new(Vec::new()) }
+    }
+
+    /// Registers a codec builder for device types matching `pattern`
+    /// (trailing-`*` glob). Earlier registrations win on overlap.
+    pub fn register<F>(&self, pattern: impl Into<String>, builder: F)
+    where
+        F: Fn(&ServiceInfo) -> Box<dyn DeviceCodec> + Send + Sync + 'static,
+    {
+        self.builders.write().push((pattern.into(), Arc::new(builder)));
+    }
+
+    /// Number of registered patterns.
+    pub fn len(&self) -> usize {
+        self.builders.read().len()
+    }
+
+    /// Returns `true` if no pattern is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Builds the codec for `info` — the first matching pattern, or
+    /// [`PassthroughCodec`] when nothing matches.
+    pub fn codec_for(&self, info: &ServiceInfo) -> Box<dyn DeviceCodec> {
+        let builders = self.builders.read();
+        for (pattern, builder) in builders.iter() {
+            if glob_matches(pattern, &info.device_type) {
+                return builder(info);
+            }
+        }
+        Box::new(PassthroughCodec)
+    }
+
+    /// Builds the full proxy for a newly admitted member.
+    pub fn create_proxy(&self, info: ServiceInfo, channel: Arc<ReliableChannel>) -> Arc<Proxy> {
+        let codec = self.codec_for(&info);
+        Arc::new(Proxy::new(info, codec, channel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::{Error, Event, Filter, Result, ServiceId};
+
+    #[derive(Debug)]
+    struct MarkerCodec(&'static str);
+
+    impl DeviceCodec for MarkerCodec {
+        fn decode_uplink(&self, _raw: &[u8]) -> Result<Vec<Event>> {
+            Err(Error::Invalid(self.0.into()))
+        }
+        fn encode_downlink(&self, _event: &Event) -> Result<Option<Vec<u8>>> {
+            Ok(None)
+        }
+        fn initial_subscriptions(&self) -> Vec<Filter> {
+            vec![Filter::for_type(self.0)]
+        }
+    }
+
+    fn info(device_type: &str) -> ServiceInfo {
+        ServiceInfo::new(ServiceId::from_raw(1), device_type)
+    }
+
+    #[test]
+    fn pattern_selection_first_match_wins() {
+        let f = ProxyFactory::new();
+        f.register("sensor.hr", |_| Box::new(MarkerCodec("exact")));
+        f.register("sensor.*", |_| Box::new(MarkerCodec("glob")));
+        assert_eq!(f.len(), 2);
+        let exact = f.codec_for(&info("sensor.hr"));
+        assert_eq!(exact.initial_subscriptions()[0].event_type(), Some("exact"));
+        let glob = f.codec_for(&info("sensor.spo2"));
+        assert_eq!(glob.initial_subscriptions()[0].event_type(), Some("glob"));
+    }
+
+    #[test]
+    fn unknown_type_gets_passthrough() {
+        let f = ProxyFactory::new();
+        assert!(f.is_empty());
+        let codec = f.codec_for(&info("mystery.widget"));
+        // Passthrough registers no initial subscriptions and refuses raw.
+        assert!(codec.initial_subscriptions().is_empty());
+        assert!(codec.decode_uplink(&[1]).is_err());
+        assert_eq!(codec.encode_downlink(&Event::new("x")).unwrap(), None);
+    }
+
+    #[test]
+    fn create_proxy_carries_identity() {
+        use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let ch = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
+        let f = ProxyFactory::new();
+        f.register("sensor.*", |_| Box::new(MarkerCodec("m")));
+        let proxy = f.create_proxy(info("sensor.hr"), ch);
+        assert_eq!(proxy.member(), ServiceId::from_raw(1));
+        assert_eq!(proxy.initial_subscriptions().len(), 1);
+    }
+}

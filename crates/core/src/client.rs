@@ -1,0 +1,484 @@
+//! Device-side bus client.
+//!
+//! [`RemoteClient`] is what a smart device (a diagnostic station, a
+//! nurse's terminal, a self-contained sensor speaking the typed protocol)
+//! runs: it joins the cell through a [`MemberAgent`], learns the bus
+//! endpoint from the join response, and then publishes, subscribes and
+//! receives events over the same reliable channel. Dumb byte-protocol
+//! devices use [`RawDevice`] instead and let their cell-side proxy do the
+//! translating.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use smc_discovery::{AgentConfig, MemberAgent};
+use smc_transport::ReliableChannel;
+use smc_types::codec::to_bytes;
+use smc_types::{
+    AttributeSet, CellId, Error, Event, EventId, Filter, Packet, Result, ServiceId, ServiceInfo,
+    SubscriptionId,
+};
+
+/// Replies routed back to a waiting request.
+#[derive(Debug, Clone)]
+enum Reply {
+    PublishAcked,
+    Subscribed(SubscriptionId),
+    Unsubscribed,
+    Advertised(bool),
+    Failed(String),
+}
+
+#[derive(Debug, Default)]
+struct Pending {
+    map: HashMap<String, Sender<Reply>>,
+}
+
+/// A received management command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandRequest {
+    /// Command name (e.g. `"set-threshold"`).
+    pub name: String,
+    /// Command arguments.
+    pub args: AttributeSet,
+}
+
+/// A smart device's connection to a cell's event bus.
+#[derive(Debug)]
+pub struct RemoteClient {
+    agent: Arc<MemberAgent>,
+    channel: Arc<ReliableChannel>,
+    bus: ServiceId,
+    next_seq: AtomicU64,
+    next_request: AtomicU64,
+    pending: Arc<Mutex<Pending>>,
+    events_rx: Receiver<Event>,
+    commands_rx: Receiver<CommandRequest>,
+    policies_rx: Receiver<Vec<u8>>,
+    quenched: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+    router: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl RemoteClient {
+    /// Joins a cell and connects to its bus: starts a [`MemberAgent`] on
+    /// `channel`, waits up to `join_timeout` for admission, and wires up
+    /// the packet router.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if no cell admitted the device in time;
+    /// [`Error::Invalid`] if the cell reported no bus endpoint.
+    pub fn connect(
+        info: ServiceInfo,
+        channel: Arc<ReliableChannel>,
+        agent_config: AgentConfig,
+        join_timeout: Duration,
+    ) -> Result<Arc<Self>> {
+        let agent = MemberAgent::start(info, Arc::clone(&channel), agent_config);
+        agent.wait_joined(join_timeout)?;
+        let bus = agent
+            .bus_endpoint()
+            .ok_or_else(|| Error::Invalid("cell reported no bus endpoint".into()))?;
+
+        let (events_tx, events_rx) = unbounded();
+        let (commands_tx, commands_rx) = unbounded();
+        let (policies_tx, policies_rx) = unbounded();
+        let pending = Arc::new(Mutex::new(Pending::default()));
+        let quenched = Arc::new(AtomicBool::new(false));
+        let running = Arc::new(AtomicBool::new(true));
+
+        let client = Arc::new(RemoteClient {
+            agent: Arc::clone(&agent),
+            channel: Arc::clone(&channel),
+            bus,
+            next_seq: AtomicU64::new(1),
+            next_request: AtomicU64::new(1),
+            pending: Arc::clone(&pending),
+            events_rx,
+            commands_rx,
+            policies_rx,
+            quenched: Arc::clone(&quenched),
+            running: Arc::clone(&running),
+            router: Mutex::new(None),
+        });
+
+        let router = Router {
+            agent,
+            channel,
+            pending,
+            events: events_tx,
+            commands: commands_tx,
+            policies: policies_tx,
+            quenched,
+            running,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("bus-client-{}", client.local_id()))
+            .spawn(move || router.run())
+            .expect("spawn client router");
+        *client.router.lock() = Some(handle);
+        Ok(client)
+    }
+
+    /// This device's id.
+    pub fn local_id(&self) -> ServiceId {
+        self.channel.local_id()
+    }
+
+    /// The joined cell.
+    pub fn cell(&self) -> Option<CellId> {
+        self.agent.cell()
+    }
+
+    /// The cell's bus endpoint.
+    pub fn bus_endpoint(&self) -> ServiceId {
+        self.bus
+    }
+
+    /// The underlying membership agent.
+    pub fn agent(&self) -> &Arc<MemberAgent> {
+        &self.agent
+    }
+
+    /// Stamps and publishes an event, waiting for the bus's acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Denied`] if an authorisation policy refused the publish;
+    /// [`Error::Timeout`] if no acknowledgement arrived in `timeout`.
+    pub fn publish(&self, event: Event, timeout: Duration) -> Result<EventId> {
+        let event = self.stamp(event);
+        let id = event.id();
+        let (tx, rx) = bounded(1);
+        self.pending.lock().map.insert(id.to_string(), tx);
+        self.channel.send(self.bus, to_bytes(&Packet::Publish(event)))?;
+        let reply = match rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => {
+                self.pending.lock().map.remove(&id.to_string());
+                return Err(Error::Timeout);
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(Error::Closed),
+        };
+        match reply {
+            Reply::PublishAcked => Ok(id),
+            Reply::Failed(m) => Err(Error::Denied(m)),
+            other => Err(Error::Invalid(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Stamps and publishes without waiting for the acknowledgement (the
+    /// reliable channel still guarantees the transfer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel errors.
+    pub fn publish_nowait(&self, event: Event) -> Result<EventId> {
+        let event = self.stamp(event);
+        let id = event.id();
+        self.channel.send(self.bus, to_bytes(&Packet::Publish(event)))?;
+        Ok(id)
+    }
+
+    fn stamp(&self, mut event: Event) -> Event {
+        if event.seq() == 0 || event.publisher().is_nil() {
+            let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+            event.stamp(self.local_id(), seq, now_micros());
+        }
+        event
+    }
+
+    /// Registers a subscription and waits for its id.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Denied`] if refused by policy, [`Error::Timeout`] on no
+    /// reply.
+    pub fn subscribe(&self, filter: Filter, timeout: Duration) -> Result<SubscriptionId> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().map.insert(format!("req:{request_id}"), tx);
+        self.channel
+            .send(self.bus, to_bytes(&Packet::Subscribe { request_id, filter }))?;
+        match self.wait_reply(rx, &format!("req:{request_id}"), timeout)? {
+            Reply::Subscribed(id) => Ok(id),
+            Reply::Failed(m) => Err(Error::Denied(m)),
+            other => Err(Error::Invalid(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Removes a subscription.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Denied`] for unknown ids, [`Error::Timeout`] on no reply.
+    pub fn unsubscribe(&self, id: SubscriptionId, timeout: Duration) -> Result<()> {
+        let (tx, rx) = bounded(1);
+        self.pending.lock().map.insert(id.to_string(), tx);
+        self.channel.send(self.bus, to_bytes(&Packet::Unsubscribe(id)))?;
+        match self.wait_reply(rx, &id.to_string(), timeout)? {
+            Reply::Unsubscribed => Ok(()),
+            Reply::Failed(m) => Err(Error::Denied(m)),
+            other => Err(Error::Invalid(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Advertises what this device publishes; returns whether anyone is
+    /// currently interested (quenching).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] on no reply.
+    pub fn advertise(&self, filter: Filter, timeout: Duration) -> Result<bool> {
+        let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = bounded(1);
+        self.pending.lock().map.insert(format!("req:{request_id}"), tx);
+        self.channel
+            .send(self.bus, to_bytes(&Packet::Advertise { request_id, filter }))?;
+        match self.wait_reply(rx, &format!("req:{request_id}"), timeout)? {
+            Reply::Advertised(interested) => {
+                self.quenched.store(!interested, Ordering::SeqCst);
+                Ok(interested)
+            }
+            Reply::Failed(m) => Err(Error::Denied(m)),
+            other => Err(Error::Invalid(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    fn wait_reply(
+        &self,
+        rx: Receiver<Reply>,
+        key: &str,
+        timeout: Duration,
+    ) -> Result<Reply> {
+        match rx.recv_timeout(timeout) {
+            Ok(r) => Ok(r),
+            Err(RecvTimeoutError::Timeout) => {
+                self.pending.lock().map.remove(key);
+                Err(Error::Timeout)
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Closed),
+        }
+    }
+
+    /// Receives the next delivered event (already acknowledged back to
+    /// the bus).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] / [`Error::Closed`].
+    pub fn next_event(&self, timeout: Duration) -> Result<Event> {
+        self.events_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => Error::Timeout,
+            RecvTimeoutError::Disconnected => Error::Closed,
+        })
+    }
+
+    /// Non-blocking event receive.
+    pub fn try_next_event(&self) -> Option<Event> {
+        self.events_rx.try_recv().ok()
+    }
+
+    /// Receives the next management command (already acknowledged).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] / [`Error::Closed`].
+    pub fn next_command(&self, timeout: Duration) -> Result<CommandRequest> {
+        self.commands_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => Error::Timeout,
+            RecvTimeoutError::Disconnected => Error::Closed,
+        })
+    }
+
+    /// Policy bundles deployed to this device (raw bytes; decode with
+    /// `smc_policy::PolicySet`).
+    pub fn next_policy_bundle(&self, timeout: Duration) -> Result<Vec<u8>> {
+        self.policies_rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => Error::Timeout,
+            RecvTimeoutError::Disconnected => Error::Closed,
+        })
+    }
+
+    /// Whether the bus has quenched this publisher (no subscriber
+    /// overlaps its advertisement). Well-behaved publishers check this
+    /// before transmitting — the battery saving the paper cites Elvin
+    /// for.
+    pub fn is_quenched(&self) -> bool {
+        self.quenched.load(Ordering::SeqCst)
+    }
+
+    /// Leaves the cell gracefully and stops the client.
+    pub fn leave(&self, reason: &str) {
+        let _ = self.agent.leave(reason);
+        self.shutdown();
+    }
+
+    /// Stops the client (without announcing departure — the lease will
+    /// expire).
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.agent.shutdown();
+        self.channel.close();
+        if let Some(handle) = self.router.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RemoteClient {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.channel.close();
+    }
+}
+
+struct Router {
+    agent: Arc<MemberAgent>,
+    channel: Arc<ReliableChannel>,
+    pending: Arc<Mutex<Pending>>,
+    events: Sender<Event>,
+    commands: Sender<CommandRequest>,
+    policies: Sender<Vec<u8>>,
+    quenched: Arc<AtomicBool>,
+    running: Arc<AtomicBool>,
+}
+
+impl Router {
+    fn run(self) {
+        let unhandled = self.agent.unhandled().clone();
+        while self.running.load(Ordering::SeqCst) {
+            match unhandled.recv_timeout(Duration::from_millis(50)) {
+                Ok((from, packet)) => self.route(from, packet),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+
+    fn resolve(&self, key: &str, reply: Reply) {
+        if let Some(tx) = self.pending.lock().map.remove(key) {
+            let _ = tx.send(reply);
+        }
+    }
+
+    fn route(&self, from: ServiceId, packet: Packet) {
+        match packet {
+            Packet::Deliver(event) => {
+                // Acknowledge end-to-end, then hand to the application.
+                let _ = self
+                    .channel
+                    .send(from, to_bytes(&Packet::DeliverAck(event.id())));
+                let _ = self.events.send(event);
+            }
+            Packet::PublishAck(id) => self.resolve(&id.to_string(), Reply::PublishAcked),
+            Packet::SubscribeAck { request_id, subscription } => {
+                self.resolve(&format!("req:{request_id}"), Reply::Subscribed(subscription));
+            }
+            Packet::UnsubscribeAck(id) => self.resolve(&id.to_string(), Reply::Unsubscribed),
+            Packet::AdvertiseAck { request_id, interested } => {
+                self.quenched.store(!interested, Ordering::SeqCst);
+                self.resolve(&format!("req:{request_id}"), Reply::Advertised(interested));
+            }
+            Packet::Quench { enable } => {
+                self.quenched.store(enable, Ordering::SeqCst);
+            }
+            Packet::Command { target, name, args } => {
+                let _ = self
+                    .channel
+                    .send(from, to_bytes(&Packet::CommandAck { target, name: name.clone() }));
+                let _ = self.commands.send(CommandRequest { name, args });
+            }
+            Packet::PolicyDeploy { payload } => {
+                let _ = self.policies.send(payload);
+            }
+            Packet::Error { about, message } => self.resolve(&about, Reply::Failed(message)),
+            _ => {}
+        }
+    }
+}
+
+/// A dumb byte-protocol device: joins the cell, then exchanges raw frames
+/// with its cell-side proxy.
+#[derive(Debug)]
+pub struct RawDevice {
+    agent: Arc<MemberAgent>,
+    channel: Arc<ReliableChannel>,
+    bus: ServiceId,
+}
+
+impl RawDevice {
+    /// Joins a cell and returns a raw-frame pipe to its proxy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if no cell admitted the device.
+    pub fn connect(
+        info: ServiceInfo,
+        channel: Arc<ReliableChannel>,
+        agent_config: AgentConfig,
+        join_timeout: Duration,
+    ) -> Result<Self> {
+        let agent = MemberAgent::start(info, Arc::clone(&channel), agent_config);
+        agent.wait_joined(join_timeout)?;
+        let bus = agent
+            .bus_endpoint()
+            .ok_or_else(|| Error::Invalid("cell reported no bus endpoint".into()))?;
+        Ok(RawDevice { agent, channel, bus })
+    }
+
+    /// The device's id.
+    pub fn local_id(&self) -> ServiceId {
+        self.channel.local_id()
+    }
+
+    /// Sends one raw uplink frame to the proxy, reliably.
+    ///
+    /// # Errors
+    ///
+    /// Propagates channel errors.
+    pub fn send_raw(&self, frame: &[u8]) -> Result<()> {
+        self.channel
+            .send(self.bus, to_bytes(&Packet::Raw(frame.to_vec())))
+            .map(|_| ())
+    }
+
+    /// Receives the next downlink raw frame from the proxy.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] / [`Error::Closed`].
+    pub fn recv_raw(&self, timeout: Duration) -> Result<Vec<u8>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(Error::Timeout)?;
+            match self.agent.unhandled().recv_timeout(remaining) {
+                Ok((_, Packet::Raw(bytes))) => return Ok(bytes),
+                Ok(_) => continue, // other traffic is not for a dumb device
+                Err(RecvTimeoutError::Timeout) => return Err(Error::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(Error::Closed),
+            }
+        }
+    }
+
+    /// Leaves the cell and stops.
+    pub fn shutdown(&self) {
+        self.agent.shutdown();
+        self.channel.close();
+    }
+}
+
+fn now_micros() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_micros() as u64
+}

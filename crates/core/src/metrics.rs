@@ -1,0 +1,208 @@
+//! Bus activity counters and a small latency recorder.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Monotonic counters describing everything the bus did.
+///
+/// All counters are relaxed atomics — they are diagnostics, not
+/// synchronisation.
+#[derive(Debug, Default)]
+pub struct BusMetrics {
+    /// Events accepted from publishers.
+    pub published: AtomicU64,
+    /// Event deliveries attempted (events × matching subscribers).
+    pub deliveries: AtomicU64,
+    /// Events that matched no subscription.
+    pub unmatched: AtomicU64,
+    /// Deliveries that failed outright (send error).
+    pub delivery_failures: AtomicU64,
+    /// Subscriptions registered.
+    pub subscriptions: AtomicU64,
+    /// Subscriptions removed.
+    pub unsubscriptions: AtomicU64,
+    /// Publish attempts rejected by policy.
+    pub publishes_denied: AtomicU64,
+    /// Subscribe attempts rejected by policy.
+    pub subscribes_denied: AtomicU64,
+    /// Quench state flips sent to publishers.
+    pub quench_signals: AtomicU64,
+    /// Obligation policy actions executed by the cell.
+    pub policy_actions: AtomicU64,
+    /// Payload bytes carried by accepted events.
+    pub bytes_published: AtomicU64,
+}
+
+impl BusMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        BusMetrics::default()
+    }
+
+    /// Bumps a counter by one.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to a counter.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain-value snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            published: self.published.load(Ordering::Relaxed),
+            deliveries: self.deliveries.load(Ordering::Relaxed),
+            unmatched: self.unmatched.load(Ordering::Relaxed),
+            delivery_failures: self.delivery_failures.load(Ordering::Relaxed),
+            subscriptions: self.subscriptions.load(Ordering::Relaxed),
+            unsubscriptions: self.unsubscriptions.load(Ordering::Relaxed),
+            publishes_denied: self.publishes_denied.load(Ordering::Relaxed),
+            subscribes_denied: self.subscribes_denied.load(Ordering::Relaxed),
+            quench_signals: self.quench_signals.load(Ordering::Relaxed),
+            policy_actions: self.policy_actions.load(Ordering::Relaxed),
+            bytes_published: self.bytes_published.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`BusMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct MetricsSnapshot {
+    pub published: u64,
+    pub deliveries: u64,
+    pub unmatched: u64,
+    pub delivery_failures: u64,
+    pub subscriptions: u64,
+    pub unsubscriptions: u64,
+    pub publishes_denied: u64,
+    pub subscribes_denied: u64,
+    pub quench_signals: u64,
+    pub policy_actions: u64,
+    pub bytes_published: u64,
+}
+
+/// A bounded reservoir of latency samples in microseconds.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    samples: Mutex<Vec<u64>>,
+    cap: usize,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        LatencyRecorder::new(65_536)
+    }
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder holding at most `cap` samples (later samples are
+    /// dropped once full).
+    pub fn new(cap: usize) -> Self {
+        LatencyRecorder { samples: Mutex::new(Vec::new()), cap }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, micros: u64) {
+        let mut s = self.samples.lock();
+        if s.len() < self.cap {
+            s.push(micros);
+        }
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Returns `true` if no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears all samples.
+    pub fn clear(&self) {
+        self.samples.lock().clear();
+    }
+
+    /// Summary statistics of the stored samples.
+    pub fn summary(&self) -> LatencySummary {
+        let mut s = self.samples.lock().clone();
+        if s.is_empty() {
+            return LatencySummary::default();
+        }
+        s.sort_unstable();
+        let count = s.len();
+        let sum: u64 = s.iter().sum();
+        let pct = |p: f64| s[(((count - 1) as f64) * p) as usize];
+        LatencySummary {
+            count,
+            min_micros: s[0],
+            max_micros: s[count - 1],
+            mean_micros: sum as f64 / count as f64,
+            p50_micros: pct(0.50),
+            p95_micros: pct(0.95),
+            p99_micros: pct(0.99),
+        }
+    }
+}
+
+/// Summary statistics produced by [`LatencyRecorder::summary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[allow(missing_docs)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub min_micros: u64,
+    pub max_micros: u64,
+    pub mean_micros: f64,
+    pub p50_micros: u64,
+    pub p95_micros: u64,
+    pub p99_micros: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = BusMetrics::new();
+        BusMetrics::bump(&m.published);
+        BusMetrics::bump(&m.published);
+        BusMetrics::add(&m.bytes_published, 100);
+        let snap = m.snapshot();
+        assert_eq!(snap.published, 2);
+        assert_eq!(snap.bytes_published, 100);
+        assert_eq!(snap.deliveries, 0);
+    }
+
+    #[test]
+    fn latency_summary() {
+        let r = LatencyRecorder::new(100);
+        assert!(r.is_empty());
+        assert_eq!(r.summary(), LatencySummary::default());
+        for v in [10u64, 20, 30, 40, 50] {
+            r.record(v);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min_micros, 10);
+        assert_eq!(s.max_micros, 50);
+        assert_eq!(s.mean_micros, 30.0);
+        assert_eq!(s.p50_micros, 30);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn recorder_is_bounded() {
+        let r = LatencyRecorder::new(3);
+        for v in 0..10u64 {
+            r.record(v);
+        }
+        assert_eq!(r.len(), 3);
+    }
+}

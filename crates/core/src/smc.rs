@@ -1,0 +1,624 @@
+//! The self-managed cell: bus + discovery + policy + proxies, assembled.
+//!
+//! [`SmcCell`] is the paper's Figure 1 in one object: the event bus at the
+//! heart, the discovery service managing membership, the policy service
+//! governing behaviour, and per-member proxies masking device
+//! heterogeneity. Two worker threads do the wiring:
+//!
+//! * the **membership thread** consumes discovery's membership events,
+//!   creates/destroys proxies (the bootstrap mechanism), publishes the
+//!   well-known `New Member` / `Purge Member` events, and pushes policy
+//!   deployments to newcomers;
+//! * the **dispatch thread** serves the bus endpoint: publishes,
+//!   subscriptions, advertisements, raw device frames, acknowledgements —
+//!   enforcing authorisation policies and feeding every accepted event to
+//!   the policy service's obligation rules.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use smc_discovery::{DiscoveryConfig, DiscoveryService, MembershipEvent};
+use smc_match::EngineKind;
+use smc_policy::{ActionClass, ActionSpec, Decision, FiredAction, PolicyService};
+use smc_transport::{CpuProfile, Incoming, ReliableChannel, ReliableConfig, Transport};
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{
+    new_member_event, purge_member_event, AttributeSet, CellId, Error, Event, Filter, Packet,
+    Result, ServiceId, ServiceInfo, SubscriptionId,
+};
+
+use crate::bootstrap::ProxyFactory;
+use crate::bus::{EventBus, EventSink};
+use crate::metrics::{BusMetrics, MetricsSnapshot};
+use crate::proxy::Proxy;
+use crate::quench::QuenchManager;
+
+/// Maximum depth of policy-generated event cascades (a policy publishing
+/// an event that triggers a policy that publishes…).
+const MAX_POLICY_DEPTH: u32 = 4;
+
+/// Cell assembly parameters.
+#[derive(Debug, Clone)]
+pub struct SmcConfig {
+    /// The cell identity announced in beacons.
+    pub cell: CellId,
+    /// Which matching engine the bus runs.
+    pub engine: EngineKind,
+    /// Discovery timings and admission control.
+    pub discovery: DiscoveryConfig,
+    /// Reliability parameters for the bus endpoint.
+    pub reliable: ReliableConfig,
+    /// CPU cost model applied per event (native = no artificial cost).
+    pub cpu_profile: CpuProfile,
+    /// What to do when no authorisation policy applies: `true` = permit
+    /// (the default — policies then only restrict), `false` = deny.
+    pub default_permit: bool,
+}
+
+impl Default for SmcConfig {
+    fn default() -> Self {
+        SmcConfig {
+            cell: CellId(1),
+            engine: EngineKind::FastForward,
+            discovery: DiscoveryConfig::default(),
+            reliable: ReliableConfig::default(),
+            cpu_profile: CpuProfile::native(),
+            default_permit: true,
+        }
+    }
+}
+
+impl SmcConfig {
+    /// Fast timings for tests.
+    pub fn fast() -> Self {
+        SmcConfig {
+            discovery: DiscoveryConfig::fast(),
+            reliable: ReliableConfig {
+                initial_rto: Duration::from_millis(30),
+                poll_interval: Duration::from_millis(10),
+                ..ReliableConfig::default()
+            },
+            ..SmcConfig::default()
+        }
+    }
+}
+
+/// A running self-managed cell.
+pub struct SmcCell {
+    config: SmcConfig,
+    bus: Arc<EventBus>,
+    policy: Arc<PolicyService>,
+    discovery: Arc<DiscoveryService>,
+    factory: Arc<ProxyFactory>,
+    quench: Arc<QuenchManager>,
+    channel: Arc<ReliableChannel>,
+    proxies: Arc<Mutex<HashMap<ServiceId, Arc<Proxy>>>>,
+    members: Arc<Mutex<HashMap<ServiceId, ServiceInfo>>>,
+    next_local_seq: AtomicU64,
+    running: Arc<AtomicBool>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for SmcCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmcCell")
+            .field("cell", &self.config.cell)
+            .field("engine", &self.bus.engine_kind())
+            .field("members", &self.members.lock().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SmcCell {
+    /// Starts a cell: `bus_transport` serves the event bus endpoint,
+    /// `discovery_transport` the discovery endpoint (two sockets, as in
+    /// the prototype).
+    pub fn start(
+        bus_transport: Arc<dyn Transport>,
+        discovery_transport: Arc<dyn Transport>,
+        config: SmcConfig,
+    ) -> Arc<Self> {
+        let channel = ReliableChannel::new(bus_transport, config.reliable.clone());
+        let discovery_channel = ReliableChannel::new(discovery_transport, config.reliable.clone());
+        let discovery_config = config
+            .discovery
+            .clone()
+            .with_bus_endpoint(channel.local_id());
+        let discovery =
+            DiscoveryService::start(config.cell, discovery_channel, discovery_config);
+        let bus = Arc::new(EventBus::with_cpu_profile(config.engine, config.cpu_profile.clone()));
+        let cell = Arc::new(SmcCell {
+            config,
+            bus,
+            policy: Arc::new(PolicyService::new()),
+            discovery,
+            factory: Arc::new(ProxyFactory::new()),
+            quench: Arc::new(QuenchManager::new()),
+            channel,
+            proxies: Arc::new(Mutex::new(HashMap::new())),
+            members: Arc::new(Mutex::new(HashMap::new())),
+            next_local_seq: AtomicU64::new(1),
+            running: Arc::new(AtomicBool::new(true)),
+            threads: Mutex::new(Vec::new()),
+        });
+        let membership = Arc::downgrade(&cell);
+        let membership_running = Arc::clone(&cell.running);
+        let membership_events = cell.discovery.events().clone();
+        let dispatch = Arc::downgrade(&cell);
+        let dispatch_running = Arc::clone(&cell.running);
+        let dispatch_channel = Arc::clone(&cell.channel);
+        let mut threads = cell.threads.lock();
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("smc-membership-{}", cell.config.cell))
+                .spawn(move || {
+                    SmcCell::membership_loop(&membership, &membership_running, &membership_events)
+                })
+                .expect("spawn membership thread"),
+        );
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("smc-dispatch-{}", cell.config.cell))
+                .spawn(move || {
+                    SmcCell::dispatch_loop(&dispatch, &dispatch_running, &dispatch_channel)
+                })
+                .expect("spawn dispatch thread"),
+        );
+        drop(threads);
+        cell
+    }
+
+    /// The cell identity.
+    pub fn cell_id(&self) -> CellId {
+        self.config.cell
+    }
+
+    /// The bus endpoint members publish/subscribe through.
+    pub fn bus_endpoint(&self) -> ServiceId {
+        self.channel.local_id()
+    }
+
+    /// The in-process event bus.
+    pub fn bus(&self) -> &Arc<EventBus> {
+        &self.bus
+    }
+
+    /// The policy service.
+    pub fn policy(&self) -> &Arc<PolicyService> {
+        &self.policy
+    }
+
+    /// The discovery service.
+    pub fn discovery(&self) -> &Arc<DiscoveryService> {
+        &self.discovery
+    }
+
+    /// The proxy factory — register device-type codecs here *before*
+    /// devices join.
+    pub fn proxy_factory(&self) -> &Arc<ProxyFactory> {
+        &self.factory
+    }
+
+    /// Current members (from the wiring's view).
+    pub fn members(&self) -> Vec<ServiceInfo> {
+        let mut v: Vec<ServiceInfo> = self.members.lock().values().cloned().collect();
+        v.sort_by_key(|i| i.id);
+        v
+    }
+
+    /// The proxy for a member, if one exists.
+    pub fn proxy(&self, member: ServiceId) -> Option<Arc<Proxy>> {
+        self.proxies.lock().get(&member).cloned()
+    }
+
+    /// Bus metrics.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.bus.metrics()
+    }
+
+    /// Publishes a cell-originated event (management traffic), stamped
+    /// with the bus endpoint identity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors.
+    pub fn publish_local(&self, mut event: Event) -> Result<usize> {
+        let seq = self.next_local_seq.fetch_add(1, Ordering::Relaxed);
+        event.stamp(self.bus_endpoint(), seq, now_micros());
+        self.publish_internal(event, 0)
+    }
+
+    /// Registers an in-process subscription (a cell-side service such as a
+    /// logger or analysis component).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus errors.
+    pub fn subscribe_local(
+        &self,
+        subscriber: ServiceId,
+        filter: Filter,
+        sink: Arc<dyn EventSink>,
+    ) -> Result<SubscriptionId> {
+        let id = self.bus.subscribe(subscriber, filter, sink)?;
+        self.recompute_quench();
+        Ok(id)
+    }
+
+    /// Sends a management command to a member, reliably.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotMember`] if the target has no proxy.
+    pub fn send_command(
+        &self,
+        target: ServiceId,
+        name: &str,
+        args: AttributeSet,
+    ) -> Result<()> {
+        let proxy = self.proxy(target).ok_or(Error::NotMember)?;
+        proxy.send_packet(&Packet::Command { target, name: name.to_owned(), args })
+    }
+
+    /// Stops the cell: discovery, dispatch, and every proxy.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.discovery.shutdown();
+        self.channel.close();
+        let proxies: Vec<Arc<Proxy>> = self.proxies.lock().values().cloned().collect();
+        for p in proxies {
+            p.destroy();
+        }
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    // --- wiring ------------------------------------------------------------
+
+    /// Workers hold only a weak cell reference, upgraded transiently to
+    /// process one item — never across a blocking wait. Dropping the last
+    /// external handle therefore stops the threads (via the cell's `Drop`)
+    /// instead of leaking them.
+    fn membership_loop(
+        weak: &std::sync::Weak<Self>,
+        running: &std::sync::atomic::AtomicBool,
+        events: &crossbeam::channel::Receiver<MembershipEvent>,
+    ) {
+        loop {
+            if !running.load(Ordering::SeqCst) {
+                return;
+            }
+            let outcome = events.recv_timeout(Duration::from_millis(50));
+            let Some(cell) = weak.upgrade() else { return };
+            match outcome {
+                Ok(MembershipEvent::Joined(info)) => cell.on_member_joined(info),
+                Ok(MembershipEvent::Purged(id, reason)) => {
+                    // Publish Purge Member *before* tearing down, so other
+                    // subscribers (and policies) see it; the doomed proxy
+                    // is skipped by its own destruction right after.
+                    let _ = cell.publish_local(purge_member_event(id, reason));
+                    cell.destroy_member(id);
+                }
+                Ok(MembershipEvent::Suspected(_)) | Ok(MembershipEvent::Recovered(_)) => {
+                    // Transient: masked by design; proxies keep queueing.
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+            }
+            drop(cell);
+        }
+    }
+
+    fn on_member_joined(&self, info: ServiceInfo) {
+        self.members.lock().insert(info.id, info.clone());
+        let proxy = self.ensure_proxy(&info);
+        // Proxy-registered subscriptions on the device's behalf.
+        for filter in proxy.initial_subscriptions() {
+            if let Ok(id) =
+                self.bus.subscribe(info.id, filter, Arc::clone(&proxy) as Arc<dyn EventSink>)
+            {
+                proxy.track_subscription(id);
+            }
+        }
+        self.recompute_quench();
+        // Deploy the device-type policy bundle, if any.
+        let bundle = self.policy.deployment_for(&info.device_type);
+        if !bundle.policies.is_empty() {
+            let payload = to_bytes(&bundle);
+            let _ = proxy.send_packet(&Packet::PolicyDeploy { payload });
+        }
+        let _ = self.publish_local(new_member_event(&info));
+    }
+
+    fn destroy_member(&self, id: ServiceId) {
+        self.members.lock().remove(&id);
+        let proxy = self.proxies.lock().remove(&id);
+        if let Some(proxy) = proxy {
+            proxy.destroy();
+        }
+        self.bus.remove_subscriber(id);
+        self.quench.remove(id);
+        self.recompute_quench();
+    }
+
+    /// Creates the member's proxy if it does not exist yet (idempotent;
+    /// called from both the membership thread and the dispatch thread).
+    fn ensure_proxy(&self, info: &ServiceInfo) -> Arc<Proxy> {
+        let mut proxies = self.proxies.lock();
+        if let Some(p) = proxies.get(&info.id) {
+            return Arc::clone(p);
+        }
+        let proxy = self.factory.create_proxy(info.clone(), Arc::clone(&self.channel));
+        proxies.insert(info.id, Arc::clone(&proxy));
+        proxy
+    }
+
+    fn dispatch_loop(
+        weak: &std::sync::Weak<Self>,
+        running: &std::sync::atomic::AtomicBool,
+        channel: &ReliableChannel,
+    ) {
+        loop {
+            if !running.load(Ordering::SeqCst) {
+                return;
+            }
+            match channel.recv(Some(Duration::from_millis(50))) {
+                Ok(incoming) => {
+                    let Some(cell) = weak.upgrade() else { return };
+                    cell.handle_incoming(incoming);
+                }
+                Err(Error::Timeout) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle_incoming(&self, incoming: Incoming) {
+        let from = incoming.from();
+        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
+        // Membership gate: everything on the bus endpoint requires
+        // membership. The discovery table is authoritative; the local
+        // members map may lag it by a beat.
+        let member_info = self.members.lock().get(&from).cloned();
+        let member_info = match member_info {
+            Some(info) => Some(info),
+            None => self
+                .discovery
+                .members()
+                .into_iter()
+                .find(|i| i.id == from)
+                .inspect(|info| {
+                    self.members.lock().insert(from, info.clone());
+                }),
+        };
+        let Some(info) = member_info else {
+            let _ = self.channel.send(
+                from,
+                to_bytes(&Packet::Error {
+                    about: packet.kind().to_owned(),
+                    message: "not a member of this cell".into(),
+                }),
+            );
+            return;
+        };
+        let proxy = self.ensure_proxy(&info);
+
+        match packet {
+            Packet::Publish(mut event) => {
+                if let Decision::Deny = self.authorise(&info, ActionClass::Publish, event.event_type()) {
+                    BusMetrics::bump(&self.bus.metrics_ref().publishes_denied);
+                    let _ = self.channel.send(
+                        from,
+                        to_bytes(&Packet::Error {
+                            about: event.id().to_string(),
+                            message: "publish denied by policy".into(),
+                        }),
+                    );
+                    return;
+                }
+                proxy.stamp_if_needed(&mut event, now_micros());
+                // Acknowledge acceptance (§II-C: "events are always
+                // acknowledged when passing from publisher to event bus").
+                if proxy.forwards_acks() {
+                    let _ = self
+                        .channel
+                        .send(from, to_bytes(&Packet::PublishAck(event.id())));
+                }
+                let _ = self.publish_internal(event, 0);
+            }
+            Packet::Raw(raw) => {
+                if let Ok(events) = proxy.uplink(&raw, now_micros()) {
+                    for event in events {
+                        if let Decision::Deny =
+                            self.authorise(&info, ActionClass::Publish, event.event_type())
+                        {
+                            BusMetrics::bump(&self.bus.metrics_ref().publishes_denied);
+                            continue;
+                        }
+                        let _ = self.publish_internal(event, 0);
+                    }
+                }
+            }
+            Packet::Subscribe { request_id, filter } => {
+                let resource = filter.event_type().unwrap_or("*");
+                if let Decision::Deny = self.authorise(&info, ActionClass::Subscribe, resource) {
+                    BusMetrics::bump(&self.bus.metrics_ref().subscribes_denied);
+                    let _ = self.channel.send(
+                        from,
+                        to_bytes(&Packet::Error {
+                            about: format!("req:{request_id}"),
+                            message: "subscribe denied by policy".into(),
+                        }),
+                    );
+                    return;
+                }
+                match self
+                    .bus
+                    .subscribe(from, filter, Arc::clone(&proxy) as Arc<dyn EventSink>)
+                {
+                    Ok(id) => {
+                        proxy.track_subscription(id);
+                        let _ = self.channel.send(
+                            from,
+                            to_bytes(&Packet::SubscribeAck { request_id, subscription: id }),
+                        );
+                        self.recompute_quench();
+                    }
+                    Err(e) => {
+                        let _ = self.channel.send(
+                            from,
+                            to_bytes(&Packet::Error {
+                                about: format!("req:{request_id}"),
+                                message: e.to_string(),
+                            }),
+                        );
+                    }
+                }
+            }
+            Packet::Unsubscribe(id) => {
+                if proxy.tracked_subscriptions().contains(&id) {
+                    let _ = self.bus.unsubscribe(id);
+                    proxy.untrack_subscription(id);
+                    let _ = self.channel.send(from, to_bytes(&Packet::UnsubscribeAck(id)));
+                    self.recompute_quench();
+                } else {
+                    let _ = self.channel.send(
+                        from,
+                        to_bytes(&Packet::Error {
+                            about: id.to_string(),
+                            message: "unknown subscription".into(),
+                        }),
+                    );
+                }
+            }
+            Packet::Advertise { request_id, filter } => {
+                let interested =
+                    self.quench.advertise(from, filter, &self.bus.subscription_filters());
+                let _ = self
+                    .channel
+                    .send(from, to_bytes(&Packet::AdvertiseAck { request_id, interested }));
+            }
+            Packet::DeliverAck(_) | Packet::CommandAck { .. } => {
+                // End-to-end confirmations; the reliable layer already
+                // guarantees the transfer, these are informational.
+            }
+            _ => {
+                // Discovery traffic arriving on the bus endpoint (or
+                // anything else) is ignored.
+            }
+        }
+    }
+
+    /// Publishes an event on the bus and runs obligation policies over it.
+    fn publish_internal(&self, event: Event, depth: u32) -> Result<usize> {
+        let delivered = self.bus.publish(event.clone())?;
+        if depth >= MAX_POLICY_DEPTH {
+            return Ok(delivered);
+        }
+        let fired = self.policy.on_event(&event);
+        if !fired.is_empty() {
+            BusMetrics::add(&self.bus.metrics_ref().policy_actions, fired.len() as u64);
+            for action in fired {
+                self.execute_action(action, depth);
+            }
+        }
+        Ok(delivered)
+    }
+
+    fn execute_action(&self, fired: FiredAction, depth: u32) {
+        match fired.action {
+            ActionSpec::PublishEvent { event_type, attrs } => {
+                let mut builder = Event::builder(event_type)
+                    .attr("policy", fired.policy_id.clone());
+                for (name, tpl) in attrs {
+                    if let Some(value) = tpl.resolve(&fired.trigger) {
+                        builder = builder.attr(name, value);
+                    }
+                }
+                let mut event = builder.build();
+                let seq = self.next_local_seq.fetch_add(1, Ordering::Relaxed);
+                event.stamp(self.bus_endpoint(), seq, now_micros());
+                let _ = self.publish_internal(event, depth + 1);
+            }
+            ActionSpec::SendCommand { target, target_device_type, name, args } => {
+                let mut resolved = AttributeSet::new();
+                for (arg_name, tpl) in &args {
+                    if let Some(value) = tpl.resolve(&fired.trigger) {
+                        resolved.insert(arg_name.clone(), value);
+                    }
+                }
+                let targets: Vec<ServiceId> = match target {
+                    Some(id) => vec![id],
+                    None => self
+                        .members
+                        .lock()
+                        .values()
+                        .filter(|i| smc_policy::glob_matches(&target_device_type, &i.device_type))
+                        .map(|i| i.id)
+                        .collect(),
+                };
+                for t in targets {
+                    let _ = self.send_command(t, &name, resolved.clone());
+                }
+            }
+            // Enable/Disable/Log were applied inside the policy service;
+            // future action kinds are ignored by this executor.
+            _ => {}
+        }
+    }
+
+    fn authorise(&self, info: &ServiceInfo, action: ActionClass, resource: &str) -> Decision {
+        let mut any_permit = false;
+        let roles: &[String] = &info.roles;
+        if roles.is_empty() {
+            return match self.policy.check("", action, resource) {
+                Decision::NotApplicable if self.config.default_permit => Decision::Permit,
+                Decision::NotApplicable => Decision::Deny,
+                d => d,
+            };
+        }
+        for role in roles {
+            match self.policy.check(role, action, resource) {
+                Decision::Deny => return Decision::Deny,
+                Decision::Permit => any_permit = true,
+                Decision::NotApplicable => {}
+            }
+        }
+        if any_permit || self.config.default_permit {
+            Decision::Permit
+        } else {
+            Decision::Deny
+        }
+    }
+
+    fn recompute_quench(&self) {
+        let filters = self.bus.subscription_filters();
+        let changes = self.quench.on_subscriptions_changed(&filters);
+        for change in changes {
+            BusMetrics::bump(&self.bus.metrics_ref().quench_signals);
+            let _ = self
+                .channel
+                .send(change.publisher, to_bytes(&Packet::Quench { enable: change.quench }));
+        }
+    }
+}
+
+impl Drop for SmcCell {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.channel.close();
+    }
+}
+
+fn now_micros() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_micros() as u64
+}

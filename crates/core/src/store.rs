@@ -1,0 +1,300 @@
+//! An in-cell event store for analysis.
+//!
+//! The paper's introduction motivates the whole system with analysis:
+//! "analysis and data mining of the monitored information can be used to
+//! predict potential problems … the information can also be used by
+//! medical researchers to understand body changes that take place prior
+//! to a specific problem." [`EventStore`] is the in-cell substrate for
+//! that: a bounded, queryable record of bus traffic that an in-process
+//! analysis service subscribes with.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use smc_types::{Event, Filter, Result};
+
+use crate::bus::EventSink;
+
+/// Summary statistics over one numeric attribute of stored events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributeSummary {
+    /// Events carrying the attribute with a numeric value.
+    pub count: usize,
+    /// Smallest value seen.
+    pub min: f64,
+    /// Largest value seen.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Value of the earliest stored sample.
+    pub first: f64,
+    /// Value of the latest stored sample.
+    pub last: f64,
+}
+
+impl AttributeSummary {
+    /// Crude deterioration signal: the latest value's offset from the
+    /// stored mean, in units of the stored value range (0 when flat).
+    ///
+    /// Positive = trending above its history; the home-monitoring use
+    /// case ("deterioration of well-being over time") watches this.
+    pub fn drift(&self) -> f64 {
+        let range = self.max - self.min;
+        if range == 0.0 {
+            0.0
+        } else {
+            (self.last - self.mean) / range
+        }
+    }
+}
+
+/// A bounded in-memory record of events, usable as an [`EventSink`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use smc_core::{EventBus, EventStore};
+/// use smc_match::EngineKind;
+/// use smc_types::{Event, Filter, ServiceId};
+///
+/// let bus = EventBus::new(EngineKind::FastForward);
+/// let store = Arc::new(EventStore::new(1024));
+/// bus.subscribe(ServiceId::from_raw(0x57), Filter::any(), store.clone())?;
+/// bus.publish(Event::builder("r").attr("bpm", 72i64)
+///     .publisher(ServiceId::from_raw(1)).seq(1).build())?;
+/// assert_eq!(store.len(), 1);
+/// # Ok::<(), smc_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct EventStore {
+    events: RwLock<VecDeque<Event>>,
+    capacity: usize,
+}
+
+impl EventStore {
+    /// Creates a store retaining at most `capacity` events (oldest are
+    /// evicted first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        EventStore { events: RwLock::new(VecDeque::new()), capacity }
+    }
+
+    /// Records one event directly (the sink path does this too).
+    pub fn record(&self, event: Event) {
+        let mut events = self.events.write();
+        if events.len() == self.capacity {
+            events.pop_front();
+        }
+        events.push_back(event);
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.events.read().len()
+    }
+
+    /// Returns `true` if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Drops all stored events.
+    pub fn clear(&self) {
+        self.events.write().clear();
+    }
+
+    /// All stored events matching `filter`, oldest first.
+    pub fn query(&self, filter: &Filter) -> Vec<Event> {
+        self.events.read().iter().filter(|e| filter.matches(e)).cloned().collect()
+    }
+
+    /// Stored events matching `filter` with `timestamp_micros >= since`.
+    pub fn query_since(&self, filter: &Filter, since_micros: u64) -> Vec<Event> {
+        self.events
+            .read()
+            .iter()
+            .filter(|e| e.timestamp_micros() >= since_micros && filter.matches(e))
+            .cloned()
+            .collect()
+    }
+
+    /// The most recent stored event matching `filter`.
+    pub fn latest(&self, filter: &Filter) -> Option<Event> {
+        self.events.read().iter().rev().find(|e| filter.matches(e)).cloned()
+    }
+
+    /// Summary statistics of numeric attribute `attr` over events
+    /// matching `filter`; `None` if no matching event carries it.
+    pub fn summarise(&self, filter: &Filter, attr: &str) -> Option<AttributeSummary> {
+        let events = self.events.read();
+        let mut count = 0usize;
+        let (mut min, mut max, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+        let (mut first, mut last) = (None, None);
+        for e in events.iter() {
+            if !filter.matches(e) {
+                continue;
+            }
+            let Some(v) = e.attr(attr).and_then(|v| v.as_numeric()) else { continue };
+            if v.is_nan() {
+                continue;
+            }
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            if first.is_none() {
+                first = Some(v);
+            }
+            last = Some(v);
+        }
+        if count == 0 {
+            return None;
+        }
+        Some(AttributeSummary {
+            count,
+            min,
+            max,
+            mean: sum / count as f64,
+            first: first.expect("count > 0"),
+            last: last.expect("count > 0"),
+        })
+    }
+}
+
+impl EventSink for EventStore {
+    fn deliver(&self, event: &Event) -> Result<()> {
+        self.record(event.clone());
+        Ok(())
+    }
+}
+
+/// Convenience: a store already wrapped for subscription.
+pub fn shared_store(capacity: usize) -> Arc<EventStore> {
+    Arc::new(EventStore::new(capacity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::Op;
+
+    fn ev(t: &str, bpm: i64, ts: u64) -> Event {
+        Event::builder(t)
+            .attr("bpm", bpm)
+            .timestamp_micros(ts)
+            .publisher(smc_types::ServiceId::from_raw(1))
+            .seq(ts)
+            .build()
+    }
+
+    #[test]
+    fn record_query_latest() {
+        let store = EventStore::new(10);
+        assert!(store.is_empty());
+        store.record(ev("a", 70, 1));
+        store.record(ev("b", 80, 2));
+        store.record(ev("a", 90, 3));
+        assert_eq!(store.len(), 3);
+        let only_a = store.query(&Filter::for_type("a"));
+        assert_eq!(only_a.len(), 2);
+        assert_eq!(only_a[0].attr("bpm").unwrap().as_int(), Some(70));
+        assert_eq!(
+            store.latest(&Filter::for_type("a")).unwrap().attr("bpm").unwrap().as_int(),
+            Some(90)
+        );
+        assert!(store.latest(&Filter::for_type("zzz")).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let store = EventStore::new(3);
+        for i in 0..5 {
+            store.record(ev("a", i, i as u64));
+        }
+        assert_eq!(store.len(), 3);
+        let all = store.query(&Filter::any());
+        assert_eq!(all[0].attr("bpm").unwrap().as_int(), Some(2));
+        assert_eq!(all[2].attr("bpm").unwrap().as_int(), Some(4));
+        assert_eq!(store.capacity(), 3);
+    }
+
+    #[test]
+    fn query_since_respects_timestamps() {
+        let store = EventStore::new(10);
+        for ts in [10u64, 20, 30] {
+            store.record(ev("a", ts as i64, ts));
+        }
+        assert_eq!(store.query_since(&Filter::any(), 20).len(), 2);
+        assert_eq!(store.query_since(&Filter::any(), 31).len(), 0);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let store = EventStore::new(10);
+        for (i, bpm) in [60i64, 70, 80, 90].iter().enumerate() {
+            store.record(ev("a", *bpm, i as u64));
+        }
+        store.record(ev("b", 999, 99)); // different type, excluded by filter
+        let s = store.summarise(&Filter::for_type("a"), "bpm").unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 60.0);
+        assert_eq!(s.max, 90.0);
+        assert_eq!(s.mean, 75.0);
+        assert_eq!(s.first, 60.0);
+        assert_eq!(s.last, 90.0);
+        assert!(s.drift() > 0.0, "rising series drifts positive: {}", s.drift());
+        assert!(store.summarise(&Filter::for_type("a"), "missing").is_none());
+        assert!(store.summarise(&Filter::for_type("zzz"), "bpm").is_none());
+    }
+
+    #[test]
+    fn drift_is_zero_for_flat_series() {
+        let store = EventStore::new(10);
+        for i in 0..4 {
+            store.record(ev("a", 70, i));
+        }
+        let s = store.summarise(&Filter::any(), "bpm").unwrap();
+        assert_eq!(s.drift(), 0.0);
+    }
+
+    #[test]
+    fn works_as_a_sink_with_content_filter() {
+        use crate::bus::EventBus;
+        use smc_match::EngineKind;
+        let bus = EventBus::new(EngineKind::FastForward);
+        let store = shared_store(100);
+        bus.subscribe(
+            smc_types::ServiceId::from_raw(0x57),
+            Filter::any().with(("bpm", Op::Gt, 100i64)),
+            store.clone(),
+        )
+        .unwrap();
+        bus.publish(ev("a", 80, 1)).unwrap();
+        bus.publish(ev("a", 120, 2)).unwrap();
+        assert_eq!(store.len(), 1, "only the matching event stored");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = EventStore::new(0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let store = EventStore::new(4);
+        store.record(ev("a", 1, 1));
+        store.clear();
+        assert!(store.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Type-based publish/subscribe over the content bus.
+//!
+//! The paper's future work intends "to replace the content-based
+//! publish/subscribe mechanism with a type-based publish/subscribe
+//! mechanism, to remove the reliance on arbitrary tags as event
+//! identifiers" (citing Eugster, Guerraoui & Sventek). This module
+//! implements that layer *on top of* the content bus: a Rust type
+//! implementing [`EventMessage`] gains `publish`/`subscribe` calls where
+//! the compiler, not a string tag, identifies the event kind.
+
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use smc_types::{Event, Filter, Result, ServiceId, SubscriptionId};
+
+use crate::bus::{EventBus, EventSink};
+
+/// A strongly typed event kind.
+///
+/// `EVENT_TYPE` must be unique per implementing type; `into_event` /
+/// `from_event` define the mapping onto the wire representation.
+pub trait EventMessage: Sized + Send + 'static {
+    /// The bus-level event type tag this Rust type owns.
+    const EVENT_TYPE: &'static str;
+
+    /// Converts the message into a bus event (without identity stamps).
+    fn into_event(self) -> Event;
+
+    /// Parses a bus event back into the message.
+    ///
+    /// Returns `None` if required attributes are missing or mistyped —
+    /// such events are skipped by typed subscriptions.
+    fn from_event(event: &Event) -> Option<Self>;
+}
+
+/// Typed façade over an [`EventBus`].
+#[derive(Debug, Clone)]
+pub struct TypedBus {
+    bus: Arc<EventBus>,
+}
+
+impl TypedBus {
+    /// Wraps a content bus.
+    pub fn new(bus: Arc<EventBus>) -> Self {
+        TypedBus { bus }
+    }
+
+    /// The underlying content bus.
+    pub fn inner(&self) -> &Arc<EventBus> {
+        &self.bus
+    }
+
+    /// Publishes a typed message from `publisher`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EventBus::publish`] errors.
+    pub fn publish<M: EventMessage>(&self, publisher: ServiceId, seq: u64, message: M) -> Result<usize> {
+        let mut event = message.into_event();
+        debug_assert_eq!(event.event_type(), M::EVENT_TYPE, "message type tag mismatch");
+        event.stamp(publisher, seq, 0);
+        self.bus.publish(event)
+    }
+
+    /// Subscribes `subscriber` to every `M`, receiving decoded messages
+    /// on the returned channel. Events that fail to decode are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EventBus::subscribe`] errors.
+    pub fn subscribe<M: EventMessage>(
+        &self,
+        subscriber: ServiceId,
+    ) -> Result<(SubscriptionId, Receiver<M>)> {
+        let (tx, rx) = crossbeam::channel::unbounded::<M>();
+        let sink = TypedSink { tx };
+        let id = self.bus.subscribe(subscriber, Filter::for_type(M::EVENT_TYPE), Arc::new(sink))?;
+        Ok((id, rx))
+    }
+}
+
+struct TypedSink<M: EventMessage> {
+    tx: crossbeam::channel::Sender<M>,
+}
+
+impl<M: EventMessage> EventSink for TypedSink<M> {
+    fn deliver(&self, event: &Event) -> Result<()> {
+        if let Some(message) = M::from_event(event) {
+            self.tx.send(message).map_err(|_| smc_types::Error::Closed)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_match::EngineKind;
+
+    #[derive(Debug, PartialEq)]
+    struct HeartRate {
+        bpm: i64,
+    }
+
+    impl EventMessage for HeartRate {
+        const EVENT_TYPE: &'static str = "typed.heart-rate";
+
+        fn into_event(self) -> Event {
+            Event::builder(Self::EVENT_TYPE).attr("bpm", self.bpm).build()
+        }
+
+        fn from_event(event: &Event) -> Option<Self> {
+            Some(HeartRate { bpm: event.attr("bpm")?.as_int()? })
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    struct Alarm {
+        message: String,
+    }
+
+    impl EventMessage for Alarm {
+        const EVENT_TYPE: &'static str = "typed.alarm";
+
+        fn into_event(self) -> Event {
+            Event::builder(Self::EVENT_TYPE).attr("message", self.message).build()
+        }
+
+        fn from_event(event: &Event) -> Option<Self> {
+            Some(Alarm { message: event.attr("message")?.as_str()?.to_owned() })
+        }
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let typed = TypedBus::new(Arc::new(EventBus::new(EngineKind::FastForward)));
+        let (_, hr_rx) = typed.subscribe::<HeartRate>(ServiceId::from_raw(1)).unwrap();
+        let (_, alarm_rx) = typed.subscribe::<Alarm>(ServiceId::from_raw(2)).unwrap();
+
+        typed.publish(ServiceId::from_raw(9), 1, HeartRate { bpm: 72 }).unwrap();
+        typed.publish(ServiceId::from_raw(9), 2, Alarm { message: "check".into() }).unwrap();
+
+        assert_eq!(hr_rx.try_recv().unwrap(), HeartRate { bpm: 72 });
+        assert!(hr_rx.try_recv().is_err(), "heart-rate stream does not see alarms");
+        assert_eq!(alarm_rx.try_recv().unwrap(), Alarm { message: "check".into() });
+    }
+
+    #[test]
+    fn malformed_events_are_skipped_not_fatal() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let typed = TypedBus::new(Arc::clone(&bus));
+        let (_, rx) = typed.subscribe::<HeartRate>(ServiceId::from_raw(1)).unwrap();
+        // An untyped publisher sends a malformed event with the right tag.
+        let bogus = Event::builder(HeartRate::EVENT_TYPE)
+            .attr("bpm", "not a number")
+            .publisher(ServiceId::from_raw(9))
+            .seq(1)
+            .build();
+        bus.publish(bogus).unwrap();
+        typed.publish(ServiceId::from_raw(9), 2, HeartRate { bpm: 80 }).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), HeartRate { bpm: 80 });
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn typed_and_untyped_interoperate() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let typed = TypedBus::new(Arc::clone(&bus));
+        // Untyped subscriber sees typed publications.
+        let (sink, raw_rx) = crate::bus::ChannelSink::new();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink)).unwrap();
+        typed.publish(ServiceId::from_raw(9), 1, HeartRate { bpm: 64 }).unwrap();
+        let raw = raw_rx.try_recv().unwrap();
+        assert_eq!(raw.event_type(), "typed.heart-rate");
+        assert_eq!(raw.seq(), 1);
+    }
+}

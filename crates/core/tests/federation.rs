@@ -1,0 +1,165 @@
+//! Federation tests: peer-to-peer composition of self-managed cells.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smc_core::{FederationLink, RemoteClient, SmcCell, SmcConfig};
+use smc_discovery::{AgentConfig, DiscoveryConfig};
+use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{CellId, Event, Filter, ServiceId, ServiceInfo};
+
+const TICK: Duration = Duration::from_secs(5);
+
+fn fast_reliable() -> ReliableConfig {
+    ReliableConfig {
+        initial_rto: Duration::from_millis(30),
+        poll_interval: Duration::from_millis(10),
+        ..ReliableConfig::default()
+    }
+}
+
+/// Starts a cell on `net` with cell id `id`, restricting its agents'
+/// attention via cell filters so two cells can share one radio space.
+fn start_cell(net: &SimNetwork, id: u64) -> Arc<SmcCell> {
+    let config = SmcConfig {
+        cell: CellId(id),
+        discovery: DiscoveryConfig::fast(),
+        reliable: fast_reliable(),
+        ..SmcConfig::fast()
+    };
+    SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), config)
+}
+
+fn connect(net: &SimNetwork, cell: CellId, device_type: &str) -> Arc<RemoteClient> {
+    RemoteClient::connect(
+        ServiceInfo::new(ServiceId::NIL, device_type).with_role("demo"),
+        ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable()),
+        AgentConfig { cell_filter: Some(cell), ..AgentConfig::default() },
+        TICK,
+    )
+    .expect("join cell")
+}
+
+fn bridge(net: &SimNetwork, local: &Arc<SmcCell>, remote: CellId, filter: Filter) -> Arc<FederationLink> {
+    let channel = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
+    // The link must join the *remote* cell, so scope its agent with a
+    // dedicated channel whose joins target that cell: FederationLink uses
+    // AgentConfig::default(), so isolate by link-level subscribe filter
+    // and by bringing the link up while only `remote` beacons reach it.
+    FederationLink::connect_scoped(Arc::clone(local), channel, remote, filter, TICK)
+        .expect("federation link")
+}
+
+#[test]
+fn events_cross_the_federation_link() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let ward = start_cell(&net, 1);
+    let clinic = start_cell(&net, 2);
+
+    // Clinic imports every alarm raised in the ward.
+    let link = bridge(&net, &clinic, ward.cell_id(), Filter::for_type("smc.alarm"));
+
+    let doctor = connect(&net, clinic.cell_id(), "terminal.doctor");
+    doctor.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+
+    let sensor = connect(&net, ward.cell_id(), "sensor.heart-rate");
+    sensor
+        .publish(Event::builder("smc.alarm").attr("kind", "tachycardia").build(), TICK)
+        .unwrap();
+
+    let got = doctor.next_event(TICK).unwrap();
+    assert_eq!(got.event_type(), "smc.alarm");
+    assert_eq!(got.attr("kind").unwrap().as_str(), Some("tachycardia"));
+    let path = smc_core::federation_path(&got);
+    assert_eq!(path, vec![ward.cell_id(), clinic.cell_id()]);
+    assert_eq!(link.stats().imported, 1);
+
+    // Non-matching events do not cross.
+    sensor.publish(Event::builder("smc.gossip").build(), TICK).unwrap();
+    assert!(doctor.next_event(Duration::from_millis(300)).is_err());
+
+    link.shutdown();
+    sensor.shutdown();
+    doctor.shutdown();
+    ward.shutdown();
+    clinic.shutdown();
+}
+
+#[test]
+fn symmetric_peering_does_not_loop() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let a = start_cell(&net, 10);
+    let b = start_cell(&net, 20);
+
+    // Bridge both directions on the same filter.
+    let a_from_b = bridge(&net, &a, b.cell_id(), Filter::for_type("smc.alarm"));
+    let b_from_a = bridge(&net, &b, a.cell_id(), Filter::for_type("smc.alarm"));
+
+    let watcher_a = connect(&net, a.cell_id(), "watch.a");
+    watcher_a.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    let watcher_b = connect(&net, b.cell_id(), "watch.b");
+    watcher_b.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+
+    let source = connect(&net, a.cell_id(), "sensor.src");
+    source.publish(Event::builder("smc.alarm").attr("n", 1i64).build(), TICK).unwrap();
+
+    // Each side sees the alarm exactly once.
+    assert_eq!(watcher_a.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(1));
+    assert_eq!(watcher_b.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(1));
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(watcher_a.try_next_event().is_none(), "no echo in A");
+    assert!(watcher_b.try_next_event().is_none(), "no duplicate in B");
+    assert!(a_from_b.stats().loops_suppressed >= 1, "the loop was cut");
+
+    a_from_b.shutdown();
+    b_from_a.shutdown();
+    watcher_a.shutdown();
+    watcher_b.shutdown();
+    source.shutdown();
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn self_federation_is_refused() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = start_cell(&net, 5);
+    let channel = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
+    let err = FederationLink::connect_scoped(
+        Arc::clone(&cell),
+        channel,
+        cell.cell_id(),
+        Filter::any(),
+        TICK,
+    );
+    assert!(err.is_err());
+    cell.shutdown();
+}
+
+#[test]
+fn link_is_an_ordinary_member_of_the_remote_cell() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let ward = start_cell(&net, 1);
+    let clinic = start_cell(&net, 2);
+    let link = bridge(&net, &clinic, ward.cell_id(), Filter::for_type("smc.alarm"));
+
+    // The ward sees the link in its membership table, typed as a
+    // federation link.
+    let member = ward
+        .members()
+        .into_iter()
+        .find(|m| m.id == link.remote_identity())
+        .expect("link is a member");
+    assert_eq!(member.device_type, "smc.federation-link");
+    assert!(member.has_role("federation"));
+
+    link.shutdown();
+    // After shutdown the link leaves the ward.
+    let deadline = std::time::Instant::now() + TICK;
+    while ward.discovery().is_member(member.id) {
+        assert!(std::time::Instant::now() < deadline, "link never left");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    ward.shutdown();
+    clinic.shutdown();
+}

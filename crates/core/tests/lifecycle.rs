@@ -1,0 +1,71 @@
+//! Lifecycle hygiene: dropping handles without calling `shutdown` must
+//! still stop every worker thread (workers hold weak references), so a
+//! library user cannot leak threads by forgetting teardown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smc_core::{SmcCell, SmcConfig};
+use smc_transport::{LinkConfig, SimNetwork};
+
+/// Linux-specific: the process's current thread count.
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("procfs");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+fn settle(baseline: usize) -> usize {
+    // Threads exit within a poll interval or two; wait generously.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut count = thread_count();
+    while count > baseline && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(50));
+        count = thread_count();
+    }
+    count
+}
+
+#[test]
+fn dropping_a_cell_stops_its_threads() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let baseline = thread_count();
+
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    );
+    std::thread::sleep(Duration::from_millis(100));
+    assert!(thread_count() > baseline, "the cell spawned workers");
+
+    // Drop without shutdown: Drop closes the channels; weak-held workers
+    // notice and exit.
+    drop(cell);
+    let after = settle(baseline);
+    assert!(
+        after <= baseline,
+        "threads leaked: {after} remain vs baseline {baseline}"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn shutdown_then_drop_is_also_clean() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let baseline = thread_count();
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    );
+    std::thread::sleep(Duration::from_millis(100));
+    cell.shutdown();
+    drop(cell);
+    let after = settle(baseline);
+    assert!(after <= baseline, "threads leaked after shutdown: {after} vs {baseline}");
+    net.shutdown();
+}

@@ -1,0 +1,377 @@
+//! The device-side membership agent.
+//!
+//! A device (sensor, actuator, nurse's PDA…) runs a [`MemberAgent`]: it
+//! listens for discovery beacons, requests admission when it hears a cell,
+//! heartbeats to keep its lease alive, notices when the cell stops
+//! answering (walked out of range), and automatically rejoins on the next
+//! beacon — the paper's scenario of devices "moving in and out of range of
+//! the SMC".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use smc_transport::{Incoming, ReliableChannel};
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{CellId, Error, Packet, Result, ServiceId, ServiceInfo};
+
+/// Lifecycle notifications emitted by a [`MemberAgent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentEvent {
+    /// Admission to a cell succeeded.
+    Joined {
+        /// The joined cell.
+        cell: CellId,
+        /// The cell's discovery endpoint.
+        discovery: ServiceId,
+    },
+    /// A join request was rejected.
+    Rejected {
+        /// The rejecting cell.
+        cell: CellId,
+        /// The reason given.
+        reason: String,
+    },
+    /// Contact with the cell was lost (heartbeats unanswered).
+    Lost {
+        /// The cell contact was lost with.
+        cell: CellId,
+    },
+    /// The agent deliberately left the cell.
+    Left {
+        /// The departed cell.
+        cell: CellId,
+    },
+}
+
+/// Agent tuning knobs.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Authentication token presented when joining.
+    pub auth_token: Vec<u8>,
+    /// Consecutive unanswered heartbeats before the cell is declared lost.
+    pub max_missed_heartbeats: u32,
+    /// Restrict joining to this cell (any cell when `None`).
+    pub cell_filter: Option<CellId>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig { auth_token: Vec::new(), max_missed_heartbeats: 3, cell_filter: None }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Searching,
+    Joining,
+    Member,
+}
+
+#[derive(Debug)]
+struct AgentState {
+    phase: Phase,
+    cell: Option<CellId>,
+    discovery: Option<ServiceId>,
+    bus: Option<ServiceId>,
+    lease: Duration,
+    next_heartbeat: Instant,
+    heartbeat_seq: u64,
+    last_acked_seq: u64,
+    missed: u32,
+}
+
+/// The device-side discovery participant.
+#[derive(Debug)]
+pub struct MemberAgent {
+    info: ServiceInfo,
+    channel: Arc<ReliableChannel>,
+    state: Arc<Mutex<AgentState>>,
+    events_rx: Receiver<AgentEvent>,
+    events_tx: Sender<AgentEvent>,
+    unhandled_rx: Receiver<(ServiceId, Packet)>,
+    running: Arc<AtomicBool>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl MemberAgent {
+    /// Starts an agent describing itself as `info` on `channel`.
+    ///
+    /// The agent's id is always the channel's endpoint id; the id inside
+    /// `info` is overwritten.
+    pub fn start(mut info: ServiceInfo, channel: Arc<ReliableChannel>, config: AgentConfig) -> Arc<Self> {
+        info.id = channel.local_id();
+        let (events_tx, events_rx) = unbounded();
+        let (unhandled_tx, unhandled_rx) = unbounded();
+        let state = Arc::new(Mutex::new(AgentState {
+            phase: Phase::Searching,
+            cell: None,
+            discovery: None,
+            bus: None,
+            lease: Duration::from_secs(2),
+            next_heartbeat: Instant::now(),
+            heartbeat_seq: 0,
+            last_acked_seq: 0,
+            missed: 0,
+        }));
+        let running = Arc::new(AtomicBool::new(true));
+        let agent = Arc::new(MemberAgent {
+            info: info.clone(),
+            channel: Arc::clone(&channel),
+            state: Arc::clone(&state),
+            events_rx,
+            events_tx: events_tx.clone(),
+            unhandled_rx,
+            running: Arc::clone(&running),
+            worker: Mutex::new(None),
+        });
+        let worker = AgentWorker {
+            info,
+            channel,
+            config,
+            state,
+            events: events_tx,
+            unhandled: unhandled_tx,
+            running,
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("member-agent-{}", agent.info.id))
+            .spawn(move || worker.run())
+            .expect("spawn member agent worker");
+        *agent.worker.lock() = Some(handle);
+        agent
+    }
+
+    /// The agent's service description (with the transport-derived id).
+    pub fn info(&self) -> &ServiceInfo {
+        &self.info
+    }
+
+    /// The agent's endpoint id.
+    pub fn local_id(&self) -> ServiceId {
+        self.info.id
+    }
+
+    /// Lifecycle notifications.
+    pub fn events(&self) -> &Receiver<AgentEvent> {
+        &self.events_rx
+    }
+
+    /// Packets the discovery protocol does not consume (bus traffic such
+    /// as `Deliver` or `SubscribeAck`), in arrival order. The device's
+    /// bus client drains this — one endpoint serves both protocols, as in
+    /// the paper's prototype.
+    pub fn unhandled(&self) -> &Receiver<(ServiceId, Packet)> {
+        &self.unhandled_rx
+    }
+
+    /// The cell's event-bus endpoint, learned from the join response.
+    pub fn bus_endpoint(&self) -> Option<ServiceId> {
+        let st = self.state.lock();
+        if st.phase == Phase::Member {
+            st.bus.filter(|b| !b.is_nil())
+        } else {
+            None
+        }
+    }
+
+    /// The currently joined cell, if any.
+    pub fn cell(&self) -> Option<CellId> {
+        let st = self.state.lock();
+        if st.phase == Phase::Member {
+            st.cell
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` once the agent holds membership of a cell.
+    pub fn is_member(&self) -> bool {
+        self.state.lock().phase == Phase::Member
+    }
+
+    /// Blocks until membership is established or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if no cell admitted the agent in time.
+    pub fn wait_joined(&self, timeout: Duration) -> Result<CellId> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(cell) = self.cell() {
+                return Ok(cell);
+            }
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Announces departure and stops heartbeating (the graceful path).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotMember`] if the agent is not currently a member.
+    pub fn leave(&self, reason: &str) -> Result<()> {
+        let (cell, discovery) = {
+            let mut st = self.state.lock();
+            if st.phase != Phase::Member {
+                return Err(Error::NotMember);
+            }
+            let cell = st.cell.expect("member has a cell");
+            let discovery = st.discovery.expect("member has a discovery endpoint");
+            st.phase = Phase::Searching;
+            st.cell = None;
+            st.discovery = None;
+            st.bus = None;
+            (cell, discovery)
+        };
+        let leave = Packet::Leave { member: self.local_id(), reason: reason.to_owned() };
+        let _ = self.channel.send(discovery, to_bytes(&leave));
+        let _ = self.events_tx.send(AgentEvent::Left { cell });
+        Ok(())
+    }
+
+    /// Stops the agent and its worker thread. Membership state is
+    /// dropped: a stopped agent is not a member of anything.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.channel.close();
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        let mut st = self.state.lock();
+        st.phase = Phase::Searching;
+        st.cell = None;
+        st.discovery = None;
+        st.bus = None;
+    }
+}
+
+impl Drop for MemberAgent {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.channel.close();
+    }
+}
+
+struct AgentWorker {
+    info: ServiceInfo,
+    channel: Arc<ReliableChannel>,
+    config: AgentConfig,
+    state: Arc<Mutex<AgentState>>,
+    events: Sender<AgentEvent>,
+    unhandled: Sender<(ServiceId, Packet)>,
+    running: Arc<AtomicBool>,
+}
+
+impl AgentWorker {
+    fn run(self) {
+        let poll = Duration::from_millis(10);
+        while self.running.load(Ordering::SeqCst) {
+            self.heartbeat_if_due();
+            match self.channel.recv(Some(poll)) {
+                Ok(incoming) => self.handle(incoming),
+                Err(Error::Timeout) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn heartbeat_if_due(&self) {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        if st.phase != Phase::Member || now < st.next_heartbeat {
+            return;
+        }
+        // Account the previous heartbeat before sending a new one.
+        if st.heartbeat_seq > st.last_acked_seq {
+            st.missed += 1;
+            if st.missed >= self.config.max_missed_heartbeats {
+                let cell = st.cell.expect("member has a cell");
+                st.phase = Phase::Searching;
+                st.cell = None;
+                st.discovery = None;
+                st.missed = 0;
+                drop(st);
+                let _ = self.events.send(AgentEvent::Lost { cell });
+                return;
+            }
+        }
+        st.heartbeat_seq += 1;
+        let packet = Packet::Heartbeat { member: self.info.id, seq: st.heartbeat_seq };
+        let discovery = st.discovery.expect("member has a discovery endpoint");
+        // Heartbeat at a third of the lease so a single loss cannot
+        // expire us.
+        st.next_heartbeat = now + st.lease / 3;
+        drop(st);
+        let _ = self.channel.send_unreliable(discovery, &to_bytes(&packet));
+    }
+
+    fn handle(&self, incoming: Incoming) {
+        let from = incoming.from();
+        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
+        match packet {
+            Packet::Beacon { cell, discovery, .. } => {
+                if let Some(only) = self.config.cell_filter {
+                    if cell != only {
+                        return;
+                    }
+                }
+                let mut st = self.state.lock();
+                if st.phase == Phase::Searching {
+                    st.phase = Phase::Joining;
+                    st.cell = Some(cell);
+                    st.discovery = Some(discovery);
+                    drop(st);
+                    let join = Packet::JoinRequest {
+                        info: self.info.clone(),
+                        auth_token: self.config.auth_token.clone(),
+                    };
+                    let _ = self.channel.send(discovery, to_bytes(&join));
+                }
+            }
+            Packet::JoinResponse { accepted, reason, cell, lease_millis, bus } => {
+                let mut st = self.state.lock();
+                if st.phase != Phase::Joining {
+                    return;
+                }
+                if accepted {
+                    st.phase = Phase::Member;
+                    st.cell = Some(cell);
+                    st.discovery = Some(from);
+                    st.bus = Some(bus);
+                    st.lease = Duration::from_millis(lease_millis.max(30));
+                    st.heartbeat_seq = 0;
+                    st.last_acked_seq = 0;
+                    st.missed = 0;
+                    st.next_heartbeat = Instant::now() + st.lease / 3;
+                    drop(st);
+                    let _ = self.events.send(AgentEvent::Joined { cell, discovery: from });
+                } else {
+                    st.phase = Phase::Searching;
+                    st.cell = None;
+                    st.discovery = None;
+                    drop(st);
+                    let _ = self.events.send(AgentEvent::Rejected { cell, reason });
+                }
+            }
+            Packet::HeartbeatAck { seq } => {
+                let mut st = self.state.lock();
+                if seq > st.last_acked_seq {
+                    st.last_acked_seq = seq;
+                    st.missed = 0;
+                }
+            }
+            other => {
+                let _ = self.unhandled.send((from, other));
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Join authentication hooks.
+//!
+//! The paper's discovery service handles "the detection and admission of
+//! new services … employing authentication specific to the application".
+//! [`Authenticator`] is that hook: the discovery service consults it for
+//! every join request.
+
+use std::fmt;
+
+use smc_types::ServiceInfo;
+
+/// Application-specific admission control for join requests.
+pub trait Authenticator: Send + Sync + fmt::Debug {
+    /// Decides whether `info` presenting `token` may join the cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable rejection reason.
+    fn authenticate(&self, info: &ServiceInfo, token: &[u8]) -> Result<(), String>;
+}
+
+/// Admits every device — the default for closed testbeds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AcceptAll;
+
+impl Authenticator for AcceptAll {
+    fn authenticate(&self, _info: &ServiceInfo, _token: &[u8]) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Admits devices presenting a pre-shared secret token.
+#[derive(Debug, Clone)]
+pub struct SharedSecret {
+    secret: Vec<u8>,
+}
+
+impl SharedSecret {
+    /// Creates an authenticator around `secret`.
+    pub fn new(secret: impl Into<Vec<u8>>) -> Self {
+        SharedSecret { secret: secret.into() }
+    }
+}
+
+impl Authenticator for SharedSecret {
+    fn authenticate(&self, info: &ServiceInfo, token: &[u8]) -> Result<(), String> {
+        if token == self.secret.as_slice() {
+            Ok(())
+        } else {
+            Err(format!("bad credentials from {}", info.id))
+        }
+    }
+}
+
+/// Admits only devices whose type has been allow-listed — e.g. a cell that
+/// accepts heart-rate straps and SpO2 clips but not random laptops.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceTypeAllowList {
+    allowed: Vec<String>,
+}
+
+impl DeviceTypeAllowList {
+    /// Creates an allow-list from device type names.
+    pub fn new<I, S>(types: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        DeviceTypeAllowList { allowed: types.into_iter().map(Into::into).collect() }
+    }
+}
+
+impl Authenticator for DeviceTypeAllowList {
+    fn authenticate(&self, info: &ServiceInfo, _token: &[u8]) -> Result<(), String> {
+        if self.allowed.iter().any(|t| t == &info.device_type) {
+            Ok(())
+        } else {
+            Err(format!("device type '{}' not allowed", info.device_type))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::ServiceId;
+
+    fn info() -> ServiceInfo {
+        ServiceInfo::new(ServiceId::from_raw(1), "sensor.hr")
+    }
+
+    #[test]
+    fn accept_all_accepts() {
+        assert!(AcceptAll.authenticate(&info(), b"anything").is_ok());
+    }
+
+    #[test]
+    fn shared_secret_checks_token() {
+        let auth = SharedSecret::new(b"s3cret".to_vec());
+        assert!(auth.authenticate(&info(), b"s3cret").is_ok());
+        assert!(auth.authenticate(&info(), b"wrong").is_err());
+        assert!(auth.authenticate(&info(), b"").is_err());
+    }
+
+    #[test]
+    fn allow_list_checks_device_type() {
+        let auth = DeviceTypeAllowList::new(["sensor.hr", "sensor.spo2"]);
+        assert!(auth.authenticate(&info(), b"").is_ok());
+        let other = ServiceInfo::new(ServiceId::from_raw(2), "laptop");
+        let err = auth.authenticate(&other, b"").unwrap_err();
+        assert!(err.contains("laptop"));
+    }
+}

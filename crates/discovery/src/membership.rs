@@ -1,0 +1,276 @@
+//! The membership table: who is in the cell, and how alive they are.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use smc_types::{PurgeReason, ServiceId, ServiceInfo};
+
+/// Liveness state of a member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberState {
+    /// Heartbeating inside its lease.
+    Active,
+    /// Lease expired; inside the grace period that masks transient
+    /// disconnections (the nurse who stepped out for a moment).
+    Suspected,
+}
+
+/// A member's record.
+#[derive(Debug, Clone)]
+pub struct MemberRecord {
+    /// The member's static description.
+    pub info: ServiceInfo,
+    /// When the member was admitted.
+    pub joined_at: Instant,
+    /// Last heartbeat (or join) seen.
+    pub last_seen: Instant,
+    /// Current liveness assessment.
+    pub state: MemberState,
+}
+
+/// Membership changes reported by the discovery service.
+///
+/// The cell wiring turns `Joined`/`Purged` into the bus's well-known
+/// `New Member` / `Purge Member` events. `Suspected` is informational —
+/// by design it does **not** trigger proxy destruction, masking transient
+/// disconnections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// A service was admitted to the cell.
+    Joined(ServiceInfo),
+    /// A member's lease expired; it may yet return.
+    Suspected(ServiceId),
+    /// A suspected member heartbeat again within the grace period.
+    Recovered(ServiceId),
+    /// A member left for good.
+    Purged(ServiceId, PurgeReason),
+}
+
+/// The table of current members with lease accounting.
+///
+/// ```
+/// use std::time::{Duration, Instant};
+/// use smc_discovery::{MembershipEvent, MembershipTable};
+/// use smc_types::{ServiceId, ServiceInfo};
+///
+/// let mut table = MembershipTable::new();
+/// let t0 = Instant::now();
+/// table.admit(ServiceInfo::new(ServiceId::from_raw(1), "sensor.hr"), t0);
+/// // Silence beyond the lease: suspected, but not yet purged.
+/// let lease = Duration::from_millis(100);
+/// let grace = Duration::from_millis(200);
+/// let events = table.tick(t0 + Duration::from_millis(150), lease, grace);
+/// assert!(matches!(events[0], MembershipEvent::Suspected(_)));
+/// assert!(table.contains(ServiceId::from_raw(1)), "masked, not purged");
+/// ```
+#[derive(Debug, Default)]
+pub struct MembershipTable {
+    members: HashMap<ServiceId, MemberRecord>,
+}
+
+impl MembershipTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        MembershipTable::default()
+    }
+
+    /// Admits (or re-admits) a member, returning `true` if it was new.
+    pub fn admit(&mut self, info: ServiceInfo, now: Instant) -> bool {
+        let id = info.id;
+        let record =
+            MemberRecord { info, joined_at: now, last_seen: now, state: MemberState::Active };
+        self.members.insert(id, record).is_none()
+    }
+
+    /// Records a heartbeat. Returns the member's previous state, or `None`
+    /// if it is not a member.
+    pub fn heartbeat(&mut self, id: ServiceId, now: Instant) -> Option<MemberState> {
+        let rec = self.members.get_mut(&id)?;
+        let prev = rec.state;
+        rec.last_seen = now;
+        rec.state = MemberState::Active;
+        Some(prev)
+    }
+
+    /// Removes a member.
+    pub fn remove(&mut self, id: ServiceId) -> Option<MemberRecord> {
+        self.members.remove(&id)
+    }
+
+    /// Looks up a member.
+    pub fn get(&self, id: ServiceId) -> Option<&MemberRecord> {
+        self.members.get(&id)
+    }
+
+    /// Returns `true` if `id` is a (possibly suspected) member.
+    pub fn contains(&self, id: ServiceId) -> bool {
+        self.members.contains_key(&id)
+    }
+
+    /// Number of members (including suspected ones).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the cell has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Iterates over all member records.
+    pub fn iter(&self) -> impl Iterator<Item = &MemberRecord> {
+        self.members.values()
+    }
+
+    /// Snapshot of all member infos.
+    pub fn snapshot(&self) -> Vec<ServiceInfo> {
+        self.members.values().map(|r| r.info.clone()).collect()
+    }
+
+    /// Advances lease accounting: members silent beyond `lease` become
+    /// suspected; members suspected longer than `grace` are purged.
+    ///
+    /// Returns the resulting transitions in a deterministic (id) order.
+    pub fn tick(&mut self, now: Instant, lease: Duration, grace: Duration) -> Vec<MembershipEvent> {
+        let mut events = Vec::new();
+        let mut purge: Vec<ServiceId> = Vec::new();
+        let mut ids: Vec<ServiceId> = self.members.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let rec = self.members.get_mut(&id).expect("id from keys");
+            let silent = now.saturating_duration_since(rec.last_seen);
+            match rec.state {
+                MemberState::Active if silent > lease => {
+                    rec.state = MemberState::Suspected;
+                    events.push(MembershipEvent::Suspected(id));
+                    // A very long silence can skip straight to purge.
+                    if silent > lease + grace {
+                        purge.push(id);
+                    }
+                }
+                MemberState::Suspected if silent > lease + grace => purge.push(id),
+                _ => {}
+            }
+        }
+        for id in purge {
+            self.members.remove(&id);
+            events.push(MembershipEvent::Purged(id, PurgeReason::LeaseExpired));
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LEASE: Duration = Duration::from_millis(100);
+    const GRACE: Duration = Duration::from_millis(200);
+
+    fn info(raw: u64) -> ServiceInfo {
+        ServiceInfo::new(ServiceId::from_raw(raw), "sensor.test")
+    }
+
+    #[test]
+    fn admit_and_lookup() {
+        let mut t = MembershipTable::new();
+        let now = Instant::now();
+        assert!(t.admit(info(1), now));
+        assert!(!t.admit(info(1), now), "re-admission is not new");
+        assert!(t.contains(ServiceId::from_raw(1)));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(ServiceId::from_raw(1)).unwrap().state, MemberState::Active);
+        assert_eq!(t.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn heartbeat_refreshes() {
+        let mut t = MembershipTable::new();
+        let t0 = Instant::now();
+        t.admit(info(1), t0);
+        assert_eq!(t.heartbeat(ServiceId::from_raw(1), t0 + LEASE), Some(MemberState::Active));
+        assert_eq!(t.heartbeat(ServiceId::from_raw(9), t0), None);
+        // Fresh heartbeat means no suspicion at t0 + lease + ε.
+        let events = t.tick(t0 + LEASE + Duration::from_millis(50), LEASE, GRACE);
+        assert!(events.is_empty(), "{events:?}");
+    }
+
+    #[test]
+    fn silence_suspects_then_purges() {
+        let mut t = MembershipTable::new();
+        let t0 = Instant::now();
+        t.admit(info(1), t0);
+        let events = t.tick(t0 + LEASE + Duration::from_millis(1), LEASE, GRACE);
+        assert_eq!(events, vec![MembershipEvent::Suspected(ServiceId::from_raw(1))]);
+        assert_eq!(t.get(ServiceId::from_raw(1)).unwrap().state, MemberState::Suspected);
+        // Still inside grace: nothing more.
+        assert!(t.tick(t0 + LEASE + GRACE, LEASE, GRACE).is_empty());
+        // Past grace: purged.
+        let events = t.tick(t0 + LEASE + GRACE + Duration::from_millis(1), LEASE, GRACE);
+        assert_eq!(
+            events,
+            vec![MembershipEvent::Purged(ServiceId::from_raw(1), PurgeReason::LeaseExpired)]
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn recovery_during_grace_masks_disconnect() {
+        let mut t = MembershipTable::new();
+        let t0 = Instant::now();
+        t.admit(info(1), t0);
+        t.tick(t0 + LEASE + Duration::from_millis(1), LEASE, GRACE);
+        // Heartbeat arrives within grace: back to Active, no purge ever.
+        let recovered_at = t0 + LEASE + Duration::from_millis(50);
+        let prev = t.heartbeat(ServiceId::from_raw(1), recovered_at);
+        assert_eq!(prev, Some(MemberState::Suspected));
+        // Within the refreshed lease nothing happens — the disconnection
+        // was fully masked, even though t0 + lease + grace has passed.
+        let check_at = recovered_at + LEASE;
+        let events = t.tick(check_at, LEASE, GRACE);
+        assert!(events.is_empty(), "{events:?}");
+        assert_eq!(t.get(ServiceId::from_raw(1)).unwrap().state, MemberState::Active);
+    }
+
+    #[test]
+    fn very_long_silence_suspects_and_purges_in_one_tick() {
+        let mut t = MembershipTable::new();
+        let t0 = Instant::now();
+        t.admit(info(1), t0);
+        let events = t.tick(t0 + LEASE + GRACE + Duration::from_secs(1), LEASE, GRACE);
+        assert_eq!(
+            events,
+            vec![
+                MembershipEvent::Suspected(ServiceId::from_raw(1)),
+                MembershipEvent::Purged(ServiceId::from_raw(1), PurgeReason::LeaseExpired)
+            ]
+        );
+    }
+
+    #[test]
+    fn tick_orders_events_by_id() {
+        let mut t = MembershipTable::new();
+        let t0 = Instant::now();
+        for raw in [5u64, 1, 3] {
+            t.admit(info(raw), t0);
+        }
+        let events = t.tick(t0 + LEASE + Duration::from_millis(1), LEASE, GRACE);
+        let ids: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                MembershipEvent::Suspected(id) => id.raw(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn remove_returns_record() {
+        let mut t = MembershipTable::new();
+        t.admit(info(1), Instant::now());
+        let rec = t.remove(ServiceId::from_raw(1)).unwrap();
+        assert_eq!(rec.info.device_type, "sensor.test");
+        assert!(t.remove(ServiceId::from_raw(1)).is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! The discovery service: beacons, admission, leases, purges.
+//!
+//! Runs on its own transport endpoint (it is a separate SMC core service
+//! in the paper's Figure 1) and reports membership changes over a channel
+//! that the cell wiring converts into `New Member` / `Purge Member` events
+//! on the bus — the paper is explicit that "the discovery protocol does
+//! not use the event bus for monitoring group membership".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use smc_transport::{Incoming, ReliableChannel};
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{CellId, Error, Packet, PurgeReason, Result, ServiceId, ServiceInfo};
+
+use crate::auth::{AcceptAll, Authenticator};
+use crate::membership::{MembershipEvent, MembershipTable};
+
+/// Timing and admission parameters of a discovery service.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// How often presence beacons are broadcast.
+    pub beacon_interval: Duration,
+    /// Lease duration granted to members; a member must heartbeat within
+    /// it to stay `Active`.
+    pub lease: Duration,
+    /// Extra silence tolerated after lease expiry before a member is
+    /// purged ("maximum timeouts … to allow silence from a device until a
+    /// Purge Member event is launched").
+    pub grace: Duration,
+    /// Join admission control.
+    pub authenticator: Arc<dyn Authenticator>,
+    /// The cell's event-bus endpoint, reported to members on join so they
+    /// know where to publish/subscribe ([`smc_types::ServiceId::NIL`] for
+    /// a cell without a bus).
+    pub bus_endpoint: ServiceId,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            beacon_interval: Duration::from_millis(500),
+            lease: Duration::from_secs(2),
+            grace: Duration::from_secs(4),
+            authenticator: Arc::new(AcceptAll),
+            bus_endpoint: ServiceId::NIL,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// A fast configuration for tests (tens of milliseconds).
+    pub fn fast() -> Self {
+        DiscoveryConfig {
+            beacon_interval: Duration::from_millis(40),
+            lease: Duration::from_millis(150),
+            grace: Duration::from_millis(250),
+            authenticator: Arc::new(AcceptAll),
+            bus_endpoint: ServiceId::NIL,
+        }
+    }
+
+    /// Replaces the authenticator (builder style).
+    pub fn with_authenticator(mut self, auth: Arc<dyn Authenticator>) -> Self {
+        self.authenticator = auth;
+        self
+    }
+
+    /// Sets the event-bus endpoint reported to joining members (builder
+    /// style).
+    pub fn with_bus_endpoint(mut self, bus: ServiceId) -> Self {
+        self.bus_endpoint = bus;
+        self
+    }
+}
+
+#[derive(Debug)]
+struct ServiceState {
+    table: MembershipTable,
+}
+
+/// The discovery service of one self-managed cell.
+#[derive(Debug)]
+pub struct DiscoveryService {
+    cell: CellId,
+    channel: Arc<ReliableChannel>,
+    config: DiscoveryConfig,
+    state: Arc<Mutex<ServiceState>>,
+    events_rx: Receiver<MembershipEvent>,
+    events_tx: Sender<MembershipEvent>,
+    running: Arc<AtomicBool>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl DiscoveryService {
+    /// Starts a discovery service for `cell` on `channel`.
+    pub fn start(cell: CellId, channel: Arc<ReliableChannel>, config: DiscoveryConfig) -> Arc<Self> {
+        let (events_tx, events_rx) = unbounded();
+        let state = Arc::new(Mutex::new(ServiceState { table: MembershipTable::new() }));
+        let running = Arc::new(AtomicBool::new(true));
+        let service = Arc::new(DiscoveryService {
+            cell,
+            channel: Arc::clone(&channel),
+            config: config.clone(),
+            state: Arc::clone(&state),
+            events_rx,
+            events_tx: events_tx.clone(),
+            running: Arc::clone(&running),
+            worker: Mutex::new(None),
+        });
+        let worker = Worker { cell, channel, config, state, events: events_tx, running };
+        let handle = std::thread::Builder::new()
+            .name(format!("discovery-{cell}"))
+            .spawn(move || worker.run())
+            .expect("spawn discovery worker");
+        *service.worker.lock() = Some(handle);
+        service
+    }
+
+    /// The cell this service announces.
+    pub fn cell(&self) -> CellId {
+        self.cell
+    }
+
+    /// The timing and admission parameters in force.
+    pub fn config(&self) -> &DiscoveryConfig {
+        &self.config
+    }
+
+    /// The service's own endpoint id.
+    pub fn local_id(&self) -> ServiceId {
+        self.channel.local_id()
+    }
+
+    /// The stream of membership changes (joined / suspected / recovered /
+    /// purged).
+    pub fn events(&self) -> &Receiver<MembershipEvent> {
+        &self.events_rx
+    }
+
+    /// Snapshot of current members.
+    pub fn members(&self) -> Vec<ServiceInfo> {
+        self.state.lock().table.snapshot()
+    }
+
+    /// Returns `true` if `id` is currently a member.
+    pub fn is_member(&self, id: ServiceId) -> bool {
+        self.state.lock().table.contains(id)
+    }
+
+    /// Forcibly removes a member (operator or policy action).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotMember`] if `id` is not in the table.
+    pub fn evict(&self, id: ServiceId) -> Result<()> {
+        let removed = self.state.lock().table.remove(id);
+        match removed {
+            Some(_) => {
+                let _ = self.events_tx.send(MembershipEvent::Purged(id, PurgeReason::Evicted));
+                Ok(())
+            }
+            None => Err(Error::NotMember),
+        }
+    }
+
+    /// Stops the service and its worker thread.
+    pub fn shutdown(&self) {
+        if !self.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        self.channel.close();
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DiscoveryService {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        self.channel.close();
+    }
+}
+
+struct Worker {
+    cell: CellId,
+    channel: Arc<ReliableChannel>,
+    config: DiscoveryConfig,
+    state: Arc<Mutex<ServiceState>>,
+    events: Sender<MembershipEvent>,
+    running: Arc<AtomicBool>,
+}
+
+impl Worker {
+    fn run(self) {
+        let mut beacon_seq: u64 = 0;
+        let mut next_beacon = Instant::now();
+        let poll = self.config.beacon_interval.min(Duration::from_millis(50)).max(Duration::from_millis(5));
+        while self.running.load(Ordering::SeqCst) {
+            let now = Instant::now();
+            if now >= next_beacon {
+                beacon_seq += 1;
+                let beacon = Packet::Beacon {
+                    cell: self.cell,
+                    discovery: self.channel.local_id(),
+                    seq: beacon_seq,
+                };
+                let _ = self.channel.broadcast_unreliable(&to_bytes(&beacon));
+                next_beacon = now + self.config.beacon_interval;
+            }
+            // Lease accounting.
+            let transitions = {
+                let mut st = self.state.lock();
+                st.table.tick(now, self.config.lease, self.config.grace)
+            };
+            for ev in transitions {
+                let _ = self.events.send(ev);
+            }
+            // Handle one inbound message (or time out and loop).
+            match self.channel.recv(Some(poll)) {
+                Ok(incoming) => self.handle(incoming),
+                Err(Error::Timeout) => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn handle(&self, incoming: Incoming) {
+        let from = incoming.from();
+        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
+        match packet {
+            Packet::JoinRequest { info, auth_token } => self.handle_join(from, info, &auth_token),
+            Packet::Heartbeat { member, seq } => {
+                let prev = self.state.lock().table.heartbeat(member, Instant::now());
+                match prev {
+                    Some(state) => {
+                        if state == crate::membership::MemberState::Suspected {
+                            let _ = self.events.send(MembershipEvent::Recovered(member));
+                        }
+                        let ack = Packet::HeartbeatAck { seq };
+                        let _ = self.channel.send_unreliable(from, &to_bytes(&ack));
+                    }
+                    None => {
+                        // Unknown member: stay silent so it rejoins on the
+                        // next beacon.
+                    }
+                }
+            }
+            Packet::Leave { member, .. } => {
+                let removed = self.state.lock().table.remove(member);
+                if removed.is_some() {
+                    let _ = self.events.send(MembershipEvent::Purged(member, PurgeReason::Left));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_join(&self, from: ServiceId, mut info: ServiceInfo, token: &[u8]) {
+        // Trust the transport-derived id over the self-declared one.
+        info.id = from;
+        let verdict = self.config.authenticator.authenticate(&info, token);
+        let (accepted, reason) = match &verdict {
+            Ok(()) => (true, String::new()),
+            Err(e) => (false, e.clone()),
+        };
+        let response = Packet::JoinResponse {
+            accepted,
+            reason,
+            cell: self.cell,
+            lease_millis: self.config.lease.as_millis() as u64,
+            bus: self.config.bus_endpoint,
+        };
+        let _ = self.channel.send(from, to_bytes(&response));
+        if accepted {
+            let is_new = self.state.lock().table.admit(info.clone(), Instant::now());
+            if is_new {
+                let _ = self.events.send(MembershipEvent::Joined(info));
+            }
+        }
+    }
+}

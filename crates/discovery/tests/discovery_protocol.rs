@@ -1,0 +1,263 @@
+//! End-to-end discovery protocol tests over the simulated network.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smc_discovery::{
+    AgentConfig, AgentEvent, DeviceTypeAllowList, DiscoveryConfig, DiscoveryService,
+    MemberAgent, MembershipEvent, SharedSecret,
+};
+use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{CellId, PurgeReason, ServiceInfo, ServiceId};
+
+const TICK: Duration = Duration::from_secs(5);
+
+fn channel(net: &SimNetwork) -> Arc<ReliableChannel> {
+    ReliableChannel::new(
+        Arc::new(net.endpoint()),
+        ReliableConfig {
+            initial_rto: Duration::from_millis(30),
+            poll_interval: Duration::from_millis(10),
+            ..ReliableConfig::default()
+        },
+    )
+}
+
+fn info(device_type: &str) -> ServiceInfo {
+    ServiceInfo::new(ServiceId::NIL, device_type).with_name("test device").with_role("sensor")
+}
+
+#[test]
+fn device_discovers_and_joins() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(info("sensor.hr"), channel(&net), AgentConfig::default());
+
+    let cell = agent.wait_joined(TICK).unwrap();
+    assert_eq!(cell, CellId(1));
+    assert!(service.is_member(agent.local_id()));
+    assert_eq!(service.members().len(), 1);
+    assert_eq!(service.members()[0].device_type, "sensor.hr");
+
+    // Both sides observed the join.
+    match service.events().recv_timeout(TICK).unwrap() {
+        MembershipEvent::Joined(joined) => assert_eq!(joined.id, agent.local_id()),
+        other => panic!("unexpected {other:?}"),
+    }
+    match agent.events().recv_timeout(TICK).unwrap() {
+        AgentEvent::Joined { cell, .. } => assert_eq!(cell, CellId(1)),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    agent.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn rejected_device_stays_out() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let config = DiscoveryConfig::fast()
+        .with_authenticator(Arc::new(DeviceTypeAllowList::new(["sensor.spo2"])));
+    let service = DiscoveryService::start(CellId(1), channel(&net), config);
+    let agent = MemberAgent::start(info("laptop"), channel(&net), AgentConfig::default());
+
+    match agent.events().recv_timeout(TICK).unwrap() {
+        AgentEvent::Rejected { reason, .. } => assert!(reason.contains("laptop")),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(!agent.is_member());
+    assert!(service.members().is_empty());
+    agent.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn shared_secret_controls_admission() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let config =
+        DiscoveryConfig::fast().with_authenticator(Arc::new(SharedSecret::new(b"tok".to_vec())));
+    let service = DiscoveryService::start(CellId(1), channel(&net), config);
+
+    let wrong = MemberAgent::start(
+        info("sensor.hr"),
+        channel(&net),
+        AgentConfig { auth_token: b"bad".to_vec(), ..AgentConfig::default() },
+    );
+    assert!(matches!(
+        wrong.events().recv_timeout(TICK).unwrap(),
+        AgentEvent::Rejected { .. }
+    ));
+
+    let right = MemberAgent::start(
+        info("sensor.hr"),
+        channel(&net),
+        AgentConfig { auth_token: b"tok".to_vec(), ..AgentConfig::default() },
+    );
+    right.wait_joined(TICK).unwrap();
+    wrong.shutdown();
+    right.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn graceful_leave_purges_immediately() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(info("sensor.hr"), channel(&net), AgentConfig::default());
+    agent.wait_joined(TICK).unwrap();
+    let _ = service.events().recv_timeout(TICK).unwrap(); // Joined
+
+    agent.leave("battery swap").unwrap();
+    match service.events().recv_timeout(TICK).unwrap() {
+        MembershipEvent::Purged(id, reason) => {
+            assert_eq!(id, agent.local_id());
+            assert_eq!(reason, PurgeReason::Left);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(!service.is_member(agent.local_id()));
+    assert!(matches!(agent.events().recv_timeout(TICK).unwrap(), AgentEvent::Joined { .. }));
+    assert!(matches!(agent.events().recv_timeout(TICK).unwrap(), AgentEvent::Left { .. }));
+    agent.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn transient_disconnect_is_masked() {
+    // Device drops out briefly (shorter than lease+grace) and returns: the
+    // service must never emit Purged, only Suspected then Recovered.
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(
+        info("sensor.hr"),
+        channel(&net),
+        AgentConfig { max_missed_heartbeats: 100, ..AgentConfig::default() },
+    );
+    agent.wait_joined(TICK).unwrap();
+    let _ = service.events().recv_timeout(TICK).unwrap(); // Joined
+
+    // Out of range…
+    net.set_partitioned(agent.local_id(), service.local_id(), true);
+    match service.events().recv_timeout(TICK).unwrap() {
+        MembershipEvent::Suspected(id) => assert_eq!(id, agent.local_id()),
+        other => panic!("unexpected {other:?}"),
+    }
+    // …and back, before the grace period ends.
+    net.set_partitioned(agent.local_id(), service.local_id(), false);
+    match service.events().recv_timeout(TICK).unwrap() {
+        MembershipEvent::Recovered(id) => assert_eq!(id, agent.local_id()),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert!(service.is_member(agent.local_id()));
+    agent.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn prolonged_silence_purges_and_rejoin_works() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(info("sensor.hr"), channel(&net), AgentConfig::default());
+    agent.wait_joined(TICK).unwrap();
+    let _ = service.events().recv_timeout(TICK).unwrap(); // Joined
+
+    net.set_partitioned(agent.local_id(), service.local_id(), true);
+    let mut saw_suspected = false;
+    loop {
+        match service.events().recv_timeout(TICK).unwrap() {
+            MembershipEvent::Suspected(_) => saw_suspected = true,
+            MembershipEvent::Purged(id, PurgeReason::LeaseExpired) => {
+                assert_eq!(id, agent.local_id());
+                break;
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert!(saw_suspected);
+    assert!(!service.is_member(agent.local_id()));
+
+    // The agent notices the dead cell and rejoins once back in range.
+    net.set_partitioned(agent.local_id(), service.local_id(), false);
+    loop {
+        match service.events().recv_timeout(TICK).unwrap() {
+            MembershipEvent::Joined(joined) => {
+                assert_eq!(joined.id, agent.local_id());
+                break;
+            }
+            MembershipEvent::Recovered(_) | MembershipEvent::Suspected(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    agent.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn evict_removes_member() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(info("sensor.hr"), channel(&net), AgentConfig::default());
+    agent.wait_joined(TICK).unwrap();
+    let _ = service.events().recv_timeout(TICK).unwrap();
+
+    service.evict(agent.local_id()).unwrap();
+    assert!(matches!(
+        service.events().recv_timeout(TICK).unwrap(),
+        MembershipEvent::Purged(_, PurgeReason::Evicted)
+    ));
+    assert!(service.evict(agent.local_id()).is_err());
+    agent.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn cell_filter_restricts_agent() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service1 = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(
+        info("sensor.hr"),
+        channel(&net),
+        AgentConfig { cell_filter: Some(CellId(2)), ..AgentConfig::default() },
+    );
+    // Cell 1 beacons but the agent wants cell 2 only.
+    assert!(agent.wait_joined(Duration::from_millis(300)).is_err());
+    let service2 = DiscoveryService::start(CellId(2), channel(&net), DiscoveryConfig::fast());
+    assert_eq!(agent.wait_joined(TICK).unwrap(), CellId(2));
+    agent.shutdown();
+    service1.shutdown();
+    service2.shutdown();
+}
+
+#[test]
+fn multiple_devices_join_one_cell() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agents: Vec<_> = (0..5)
+        .map(|i| {
+            MemberAgent::start(
+                info(&format!("sensor.kind{i}")),
+                channel(&net),
+                AgentConfig::default(),
+            )
+        })
+        .collect();
+    for a in &agents {
+        a.wait_joined(TICK).unwrap();
+    }
+    assert_eq!(service.members().len(), 5);
+    for a in &agents {
+        a.shutdown();
+    }
+    service.shutdown();
+}
+
+#[test]
+fn discovery_works_over_lossy_link() {
+    let net = SimNetwork::with_seed(LinkConfig::ideal().with_loss(0.25), 17);
+    let service = DiscoveryService::start(CellId(1), channel(&net), DiscoveryConfig::fast());
+    let agent = MemberAgent::start(info("sensor.hr"), channel(&net), AgentConfig::default());
+    // Joins despite 25% packet loss (joins are reliable; beacons repeat).
+    agent.wait_joined(TICK).unwrap();
+    agent.shutdown();
+    service.shutdown();
+}

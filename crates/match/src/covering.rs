@@ -1,0 +1,214 @@
+//! Filter-set algebra: overlap tests and minimal covers.
+//!
+//! Used by the bus's quenching support (a publisher may sleep when no
+//! subscription can possibly match what it advertises) and by engines to
+//! reason about redundant subscriptions.
+
+use smc_types::{Constraint, Filter, Op};
+
+/// Returns `true` unless the two filters are **provably disjoint** — i.e.
+/// no event can match both.
+///
+/// The test is sound for quenching: answering `true` when unsure only
+/// costs a wasted publication; answering `false` must be certain, because
+/// a wrong `false` would silence a publisher someone is listening to.
+pub fn overlaps(a: &Filter, b: &Filter) -> bool {
+    if let (Some(ta), Some(tb)) = (a.event_type(), b.event_type()) {
+        if ta != tb {
+            return false;
+        }
+    }
+    // Look for a contradictory constraint pair on the same attribute.
+    for ca in a.constraints() {
+        for cb in b.constraints() {
+            if ca.name == cb.name && contradicts(ca, cb) {
+                return false;
+            }
+        }
+    }
+    // A filter may also self-contradict (x > 5 && x < 3): check pairs
+    // within each side so an unsatisfiable filter overlaps nothing.
+    for f in [a, b] {
+        let cs = f.constraints();
+        for (i, ca) in cs.iter().enumerate() {
+            for cb in &cs[i + 1..] {
+                if ca.name == cb.name && contradicts(ca, cb) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Returns `true` if no single value can satisfy both constraints.
+/// Sound but incomplete, like [`Constraint::implies`].
+fn contradicts(a: &Constraint, b: &Constraint) -> bool {
+    debug_assert_eq!(a.name, b.name);
+    let (na, nb) = match (a.value.as_numeric(), b.value.as_numeric()) {
+        (Some(x), Some(y)) => (x, y),
+        _ => {
+            // Non-numeric: only equality conflicts are detected.
+            return match (a.op, b.op) {
+                (Op::Eq, Op::Eq) => !a.value.eq_filter(&b.value),
+                (Op::Eq, Op::Ne) | (Op::Ne, Op::Eq) => a.value.eq_filter(&b.value),
+                _ => false,
+            };
+        }
+    };
+    if na.is_nan() || nb.is_nan() {
+        // `Eq NaN` is unsatisfiable on its own, hence contradicts anything.
+        return a.op == Op::Eq || b.op == Op::Eq;
+    }
+    let lo = |c: &Constraint, v: f64| match c.op {
+        // The smallest value allowed by the constraint (inclusive flag).
+        Op::Eq => Some((v, true)),
+        Op::Gt => Some((v, false)),
+        Op::Ge => Some((v, true)),
+        _ => None,
+    };
+    let hi = |c: &Constraint, v: f64| match c.op {
+        Op::Eq => Some((v, true)),
+        Op::Lt => Some((v, false)),
+        Op::Le => Some((v, true)),
+        _ => None,
+    };
+    // Interval emptiness: lower bound from one side vs upper from other.
+    let empty = |l: Option<(f64, bool)>, h: Option<(f64, bool)>| match (l, h) {
+        (Some((lv, li)), Some((hv, hi_incl))) => {
+            lv > hv || (lv == hv && !(li && hi_incl))
+        }
+        _ => false,
+    };
+    if empty(lo(a, na), hi(b, nb)) || empty(lo(b, nb), hi(a, na)) {
+        return true;
+    }
+    // Eq vs Ne on the same value.
+    match (a.op, b.op) {
+        (Op::Eq, Op::Ne) | (Op::Ne, Op::Eq) => na == nb,
+        _ => false,
+    }
+}
+
+/// Returns the indices of a **minimal cover** of `filters`: a subset such
+/// that every input filter is covered by some member, with covered
+/// duplicates removed.
+///
+/// Engines and the quench logic use this to reason about the *effective*
+/// subscription set. When two filters mutually cover (they are equivalent),
+/// the earlier index is kept.
+pub fn minimal_cover(filters: &[Filter]) -> Vec<usize> {
+    let mut keep: Vec<usize> = Vec::new();
+    'next: for i in 0..filters.len() {
+        for j in 0..filters.len() {
+            if i == j {
+                continue;
+            }
+            if filters[j].covers(&filters[i]) {
+                let mutual = filters[i].covers(&filters[j]);
+                // Drop i if j strictly covers it, or if they are
+                // equivalent and j comes first.
+                if !mutual || j < i {
+                    continue 'next;
+                }
+            }
+        }
+        keep.push(i);
+    }
+    keep
+}
+
+/// Returns `true` if any filter in `subscriptions` overlaps `advert` — the
+/// quench test: may a publisher advertising `advert` produce something
+/// somebody wants?
+pub fn any_interest(advert: &Filter, subscriptions: &[Filter]) -> bool {
+    subscriptions.iter().any(|s| overlaps(advert, s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Filter {
+        Filter::any()
+    }
+
+    #[test]
+    fn different_types_are_disjoint() {
+        assert!(!overlaps(&Filter::for_type("a"), &Filter::for_type("b")));
+        assert!(overlaps(&Filter::for_type("a"), &Filter::for_type("a")));
+        assert!(overlaps(&Filter::for_type("a"), &f()));
+    }
+
+    #[test]
+    fn contradictory_ranges_are_disjoint() {
+        let gt = f().with(("x", Op::Gt, 10i64));
+        let lt = f().with(("x", Op::Lt, 5i64));
+        assert!(!overlaps(&gt, &lt));
+        let le = f().with(("x", Op::Le, 10i64));
+        assert!(overlaps(&gt, &f().with(("x", Op::Lt, 11i64))));
+        assert!(!overlaps(&gt, &le));
+        let ge = f().with(("x", Op::Ge, 10i64));
+        assert!(overlaps(&ge, &le));
+    }
+
+    #[test]
+    fn eq_conflicts() {
+        let a = f().with(("x", Op::Eq, 1i64));
+        let b = f().with(("x", Op::Eq, 2i64));
+        assert!(!overlaps(&a, &b));
+        assert!(overlaps(&a, &a.clone()));
+        let ne = f().with(("x", Op::Ne, 1i64));
+        assert!(!overlaps(&a, &ne));
+        assert!(overlaps(&b, &ne));
+        let s1 = f().with(("s", Op::Eq, "a"));
+        let s2 = f().with(("s", Op::Eq, "b"));
+        assert!(!overlaps(&s1, &s2));
+    }
+
+    #[test]
+    fn self_contradictory_filter_overlaps_nothing() {
+        let broken = f().with(("x", Op::Gt, 10i64)).with(("x", Op::Lt, 5i64));
+        assert!(!overlaps(&broken, &f()));
+        assert!(!overlaps(&f(), &broken));
+    }
+
+    #[test]
+    fn different_attributes_always_overlap() {
+        let a = f().with(("x", Op::Eq, 1i64));
+        let b = f().with(("y", Op::Eq, 2i64));
+        assert!(overlaps(&a, &b));
+    }
+
+    #[test]
+    fn minimal_cover_drops_covered() {
+        let wide = f().with(("x", Op::Gt, 0i64));
+        let narrow = f().with(("x", Op::Gt, 10i64));
+        let other = f().with(("y", Op::Eq, 1i64));
+        let keep = minimal_cover(&[narrow.clone(), wide.clone(), other.clone()]);
+        assert_eq!(keep, vec![1, 2]);
+    }
+
+    #[test]
+    fn minimal_cover_keeps_first_of_equivalents() {
+        let a = f().with(("x", Op::Gt, 1i64));
+        let keep = minimal_cover(&[a.clone(), a.clone(), a.clone()]);
+        assert_eq!(keep, vec![0]);
+    }
+
+    #[test]
+    fn minimal_cover_empty_and_singleton() {
+        assert!(minimal_cover(&[]).is_empty());
+        assert_eq!(minimal_cover(&[f()]), vec![0]);
+    }
+
+    #[test]
+    fn any_interest_for_quenching() {
+        let advert = Filter::for_type("smc.sensor.reading").with(("sensor", Op::Eq, "hr"));
+        let subs = vec![Filter::for_type("smc.alarm")];
+        assert!(!any_interest(&advert, &subs));
+        let subs2 = vec![Filter::for_type("smc.alarm"), Filter::any()];
+        assert!(any_interest(&advert, &subs2));
+        assert!(!any_interest(&advert, &[]));
+    }
+}

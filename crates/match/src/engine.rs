@@ -1,0 +1,144 @@
+//! The matcher abstraction the event bus plugs engines into.
+//!
+//! The paper wraps its publish/subscribe mechanism behind an "EventBus"
+//! interface precisely so that Siena could later be swapped for the
+//! dedicated C-based matcher. [`Matcher`] is that seam: the bus owns a
+//! `Box<dyn Matcher>` and never knows which engine is behind it.
+
+use std::fmt;
+
+use smc_types::{Error, Event, Result, ServiceId, Subscription, SubscriptionId};
+
+/// A content-based matching engine.
+///
+/// Implementations index [`Subscription`]s and, given an event, return the
+/// identifiers of every subscription whose filter matches. All engines must
+/// agree exactly on match semantics (the property tests in this crate check
+/// them against each other); they differ only in data structures and the
+/// amount of representation translation they perform.
+pub trait Matcher: Send + fmt::Debug {
+    /// A short, stable engine name for logs and benchmark labels.
+    fn name(&self) -> &'static str;
+
+    /// Registers a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::AlreadyExists`] if the subscription id is already
+    /// registered.
+    fn subscribe(&mut self, sub: Subscription) -> Result<()>;
+
+    /// Removes a subscription, returning its record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotFound`] if the id is unknown.
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<Subscription>;
+
+    /// Returns the ids of all subscriptions matching `event`, sorted and
+    /// de-duplicated.
+    fn matching_subscriptions(&mut self, event: &Event) -> Vec<SubscriptionId>;
+
+    /// Returns the distinct subscribers interested in `event`, sorted.
+    fn matching_subscribers(&mut self, event: &Event) -> Vec<ServiceId>;
+
+    /// Number of registered subscriptions.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no subscription is registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Which engine implementation to construct.
+///
+/// `Siena` and `FastForward` correspond to the paper's two event buses;
+/// `Naive` is a correctness oracle used by tests and as a baseline in
+/// benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EngineKind {
+    /// Linear scan over all subscriptions.
+    Naive,
+    /// General-purpose engine with Siena-style representation translation.
+    Siena,
+    /// Counting-algorithm forwarding table (the "C-based" bus's engine).
+    FastForward,
+}
+
+impl EngineKind {
+    /// All engine kinds.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Naive, EngineKind::Siena, EngineKind::FastForward];
+
+    /// Constructs a boxed engine of this kind.
+    pub fn build(self) -> Box<dyn Matcher> {
+        match self {
+            EngineKind::Naive => Box::new(crate::naive::NaiveEngine::new()),
+            EngineKind::Siena => Box::new(crate::siena::SienaEngine::new()),
+            EngineKind::FastForward => Box::new(crate::fastforward::FastForwardEngine::new()),
+        }
+    }
+
+    /// Parses an engine name as used on bench command lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Invalid`] for unknown names.
+    pub fn parse(name: &str) -> Result<Self> {
+        match name {
+            "naive" => Ok(EngineKind::Naive),
+            "siena" => Ok(EngineKind::Siena),
+            "fastforward" | "ff" | "c" => Ok(EngineKind::FastForward),
+            other => Err(Error::Invalid(format!("unknown engine '{other}'"))),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl EngineKind {
+    /// The canonical engine name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineKind::Naive => "naive",
+            EngineKind::Siena => "siena",
+            EngineKind::FastForward => "fastforward",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_engine_names() {
+        assert_eq!(EngineKind::parse("naive").unwrap(), EngineKind::Naive);
+        assert_eq!(EngineKind::parse("siena").unwrap(), EngineKind::Siena);
+        assert_eq!(EngineKind::parse("ff").unwrap(), EngineKind::FastForward);
+        assert_eq!(EngineKind::parse("c").unwrap(), EngineKind::FastForward);
+        assert!(EngineKind::parse("elvin").is_err());
+    }
+
+    #[test]
+    fn build_constructs_each_engine() {
+        for kind in EngineKind::ALL {
+            let engine = kind.build();
+            assert_eq!(engine.len(), 0);
+            assert!(engine.is_empty());
+            assert_eq!(engine.name(), kind.as_str());
+        }
+    }
+
+    #[test]
+    fn display_matches_as_str() {
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.to_string(), kind.as_str());
+        }
+    }
+}

@@ -1,0 +1,714 @@
+//! The counting-algorithm forwarding table — the "C-based" bus's engine.
+//!
+//! This reproduces the structure of Siena's *fast forwarding* algorithm
+//! (Carzaniga & Wolf, SIGCOMM'03), which the paper's dedicated C matcher
+//! was based on:
+//!
+//! * identical constraints are stored **once**, shared by all filters that
+//!   use them;
+//! * constraints are indexed **per attribute name**, with hash lookup for
+//!   equality tests and sorted threshold arrays for numeric comparisons;
+//! * matching walks the event's attributes, marks satisfied constraints,
+//!   and **counts** per filter — a filter fires when its count reaches its
+//!   constraint total;
+//! * no representation translation happens on the hot path: the engine
+//!   reads the event's attributes in place.
+
+use std::collections::HashMap;
+
+use smc_types::{
+    AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription,
+    SubscriptionId,
+};
+
+use crate::engine::Matcher;
+
+/// Hashable canonical form of an equality-comparable value.
+///
+/// Numeric values are normalised into f64 bit-space so that `Int(5)` and
+/// `Double(5.0)` share a key — mirroring the reference semantics, where all
+/// numeric comparison happens after conversion to `f64`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ValueKey {
+    Bool(bool),
+    /// Bits of the f64 normalisation (`-0.0` folded onto `0.0`).
+    Num(u64),
+    Str(String),
+    Bytes(Vec<u8>),
+}
+
+/// Returns the hash key for a value, or `None` when the value can never
+/// equal anything (NaN).
+fn value_key(v: &AttributeValue) -> Option<ValueKey> {
+    match v {
+        AttributeValue::Bool(b) => Some(ValueKey::Bool(*b)),
+        AttributeValue::Int(i) => Some(ValueKey::Num(norm_bits(*i as f64))),
+        AttributeValue::Double(d) if d.is_nan() => None,
+        AttributeValue::Double(d) => Some(ValueKey::Num(norm_bits(*d))),
+        AttributeValue::Str(s) => Some(ValueKey::Str(s.clone())),
+        AttributeValue::Bytes(b) => Some(ValueKey::Bytes(b.clone())),
+    }
+}
+
+fn norm_bits(d: f64) -> u64 {
+    // Fold -0.0 onto 0.0 so the two equal values share a key.
+    if d == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        d.to_bits()
+    }
+}
+
+type ConstraintId = usize;
+type FilterId = usize;
+
+#[derive(Debug)]
+struct ConstraintRecord {
+    constraint: Constraint,
+    refcount: usize,
+}
+
+/// Canonical identity of a constraint for sharing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ConstraintKey {
+    name: String,
+    op: Op,
+    value: Option<ValueKey>,
+    /// Disambiguates NaN doubles (value = None) from each other.
+    nan: bool,
+}
+
+fn constraint_key(c: &Constraint) -> ConstraintKey {
+    let key = value_key(&c.value);
+    ConstraintKey { name: c.name.clone(), op: c.op, nan: key.is_none(), value: key }
+}
+
+/// Per-attribute-name constraint index.
+#[derive(Debug, Default)]
+struct NameIndex {
+    /// Equality tests, hash-indexed by canonical value.
+    eq: HashMap<ValueKey, Vec<ConstraintId>>,
+    /// `x > t` / `x >= t` over numeric thresholds, sorted by `t`.
+    num_greater: Vec<(f64, bool, ConstraintId)>,
+    /// `x < t` / `x <= t` over numeric thresholds, sorted by `t`.
+    num_less: Vec<(f64, bool, ConstraintId)>,
+    /// Existence tests: satisfied by any present value.
+    exists: Vec<ConstraintId>,
+    /// Everything else (string ops, `!=`, non-numeric ordering): evaluated
+    /// directly. Small in practice.
+    misc: Vec<ConstraintId>,
+}
+
+impl NameIndex {
+    fn is_empty(&self) -> bool {
+        self.eq.is_empty()
+            && self.num_greater.is_empty()
+            && self.num_less.is_empty()
+            && self.exists.is_empty()
+            && self.misc.is_empty()
+    }
+
+    fn insert(&mut self, cid: ConstraintId, c: &Constraint) {
+        match c.op {
+            Op::Eq => {
+                if let Some(key) = value_key(&c.value) {
+                    self.eq.entry(key).or_default().push(cid);
+                }
+                // An `Eq NaN` constraint can never be satisfied: indexed
+                // nowhere, it simply never fires.
+            }
+            Op::Gt | Op::Ge if c.value.is_numeric() => {
+                let t = c.value.as_numeric().expect("numeric");
+                let at = self.num_greater.partition_point(|&(x, _, _)| x < t);
+                self.num_greater.insert(at, (t, c.op == Op::Ge, cid));
+            }
+            Op::Lt | Op::Le if c.value.is_numeric() => {
+                let t = c.value.as_numeric().expect("numeric");
+                let at = self.num_less.partition_point(|&(x, _, _)| x < t);
+                self.num_less.insert(at, (t, c.op == Op::Le, cid));
+            }
+            Op::Exists => self.exists.push(cid),
+            _ => self.misc.push(cid),
+        }
+    }
+
+    fn remove(&mut self, cid: ConstraintId, c: &Constraint) {
+        match c.op {
+            Op::Eq => {
+                if let Some(key) = value_key(&c.value) {
+                    if let Some(list) = self.eq.get_mut(&key) {
+                        list.retain(|&x| x != cid);
+                        if list.is_empty() {
+                            self.eq.remove(&key);
+                        }
+                    }
+                }
+            }
+            Op::Gt | Op::Ge if c.value.is_numeric() => {
+                self.num_greater.retain(|&(_, _, x)| x != cid);
+            }
+            Op::Lt | Op::Le if c.value.is_numeric() => {
+                self.num_less.retain(|&(_, _, x)| x != cid);
+            }
+            Op::Exists => self.exists.retain(|&x| x != cid),
+            _ => self.misc.retain(|&x| x != cid),
+        }
+    }
+
+    /// Invokes `satisfy` for every constraint satisfied by `value`.
+    fn visit_satisfied(
+        &self,
+        value: &AttributeValue,
+        records: &[Option<ConstraintRecord>],
+        satisfy: &mut impl FnMut(ConstraintId),
+    ) {
+        if let Some(key) = value_key(value) {
+            if let Some(list) = self.eq.get(&key) {
+                for &cid in list {
+                    satisfy(cid);
+                }
+            }
+        }
+        if let Some(v) = value.as_numeric() {
+            if !v.is_nan() {
+                // x > t (or >=): satisfied for thresholds below v.
+                let hi = self.num_greater.partition_point(|&(t, _, _)| t < v);
+                for &(_, _, cid) in &self.num_greater[..hi] {
+                    satisfy(cid);
+                }
+                // Thresholds equal to v: only the inclusive (>=) ones.
+                for &(t, incl, cid) in &self.num_greater[hi..] {
+                    if t > v {
+                        break;
+                    }
+                    if incl && t == v {
+                        satisfy(cid);
+                    }
+                }
+                // x < t (or <=): satisfied for thresholds above v.
+                let lo = self.num_less.partition_point(|&(t, _, _)| t <= v);
+                for &(_, _, cid) in &self.num_less[lo..] {
+                    satisfy(cid);
+                }
+                // Thresholds equal to v: only the inclusive (<=) ones.
+                let eq_start = self.num_less.partition_point(|&(t, _, _)| t < v);
+                for &(t, incl, cid) in &self.num_less[eq_start..lo] {
+                    debug_assert_eq!(t, v);
+                    if incl {
+                        satisfy(cid);
+                    }
+                }
+            }
+        }
+        for &cid in &self.exists {
+            satisfy(cid);
+        }
+        for &cid in &self.misc {
+            let rec = records[cid].as_ref().expect("indexed constraint is live");
+            if rec.constraint.matches_value(value) {
+                satisfy(cid);
+            }
+        }
+    }
+}
+
+/// Canonical identity of a filter for sharing.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FilterKey {
+    event_type: Option<String>,
+    constraint_ids: Vec<ConstraintId>,
+}
+
+#[derive(Debug)]
+struct FilterEntry {
+    event_type: Option<String>,
+    constraint_ids: Vec<ConstraintId>,
+    needed: u32,
+    subs: Vec<(SubscriptionId, ServiceId)>,
+    key: FilterKey,
+}
+
+#[derive(Debug, Clone)]
+struct SubRecord {
+    subscriber: ServiceId,
+    filter: smc_types::Filter,
+    filter_id: FilterId,
+}
+
+/// The forwarding-table engine.
+///
+/// # Example
+///
+/// ```
+/// use smc_match::{FastForwardEngine, Matcher};
+/// use smc_types::{Event, Filter, Op, ServiceId, Subscription, SubscriptionId};
+///
+/// let mut engine = FastForwardEngine::new();
+/// engine.subscribe(Subscription::new(
+///     SubscriptionId(1),
+///     ServiceId::from_raw(0xA),
+///     Filter::for_type("smc.sensor.reading").with(("spo2", Op::Lt, 90i64)),
+/// ))?;
+/// let low = Event::builder("smc.sensor.reading").attr("spo2", 85i64).build();
+/// assert_eq!(engine.matching_subscriptions(&low), vec![SubscriptionId(1)]);
+/// # Ok::<(), smc_types::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct FastForwardEngine {
+    records: Vec<Option<ConstraintRecord>>,
+    free_records: Vec<ConstraintId>,
+    constraint_lookup: HashMap<ConstraintKey, ConstraintId>,
+    /// constraint -> filters containing it.
+    postings: Vec<Vec<FilterId>>,
+    name_index: HashMap<String, NameIndex>,
+
+    filters: Vec<Option<FilterEntry>>,
+    free_filters: Vec<FilterId>,
+    filter_lookup: HashMap<FilterKey, FilterId>,
+    /// Filters with zero constraints and a type restriction, by type.
+    empty_typed: HashMap<String, Vec<FilterId>>,
+    /// Filters with zero constraints and no type restriction.
+    match_all: Vec<FilterId>,
+
+    subs: HashMap<SubscriptionId, SubRecord>,
+
+    /// Match-generation counters (epoch trick avoids clearing per match).
+    counters: Vec<(u64, u32)>,
+    generation: u64,
+}
+
+impl FastForwardEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        FastForwardEngine::default()
+    }
+
+    fn intern_constraint(&mut self, c: &Constraint) -> ConstraintId {
+        let key = constraint_key(c);
+        if let Some(&cid) = self.constraint_lookup.get(&key) {
+            self.records[cid].as_mut().expect("looked-up constraint is live").refcount += 1;
+            return cid;
+        }
+        let cid = match self.free_records.pop() {
+            Some(cid) => cid,
+            None => {
+                self.records.push(None);
+                self.postings.push(Vec::new());
+                self.records.len() - 1
+            }
+        };
+        self.records[cid] = Some(ConstraintRecord { constraint: c.clone(), refcount: 1 });
+        self.postings[cid].clear();
+        self.constraint_lookup.insert(key, cid);
+        self.name_index.entry(c.name.clone()).or_default().insert(cid, c);
+        cid
+    }
+
+    fn release_constraint(&mut self, cid: ConstraintId) {
+        let rec = self.records[cid].as_mut().expect("releasing live constraint");
+        rec.refcount -= 1;
+        if rec.refcount > 0 {
+            return;
+        }
+        let c = rec.constraint.clone();
+        self.records[cid] = None;
+        self.free_records.push(cid);
+        self.constraint_lookup.remove(&constraint_key(&c));
+        if let Some(idx) = self.name_index.get_mut(&c.name) {
+            idx.remove(cid, &c);
+            if idx.is_empty() {
+                self.name_index.remove(&c.name);
+            }
+        }
+    }
+
+    fn intern_filter(&mut self, filter: &smc_types::Filter) -> FilterId {
+        // Canonical constraint-id list: interned, sorted, de-duplicated
+        // (duplicate constraints in a conjunction are redundant).
+        let mut cids: Vec<ConstraintId> =
+            filter.constraints().iter().map(|c| self.intern_constraint(c)).collect();
+        cids.sort_unstable();
+        let before = cids.len();
+        cids.dedup();
+        if before != cids.len() {
+            // Re-do refcounting precisely: count each unique once.
+            // (Rare path: a filter containing the identical constraint twice.)
+            let mut seen = std::collections::HashSet::new();
+            for c in filter.constraints() {
+                let key = constraint_key(c);
+                let cid = self.constraint_lookup[&key];
+                if !seen.insert(cid) {
+                    self.release_constraint(cid);
+                }
+            }
+        }
+        let key = FilterKey { event_type: filter.event_type().map(str::to_owned), constraint_ids: cids.clone() };
+        if let Some(&fid) = self.filter_lookup.get(&key) {
+            // The filter structure already exists; drop the refcounts we
+            // just took (the entry holds its own).
+            for &cid in &cids {
+                self.release_constraint(cid);
+            }
+            return fid;
+        }
+        let fid = match self.free_filters.pop() {
+            Some(fid) => fid,
+            None => {
+                self.filters.push(None);
+                self.filters.len() - 1
+            }
+        };
+        if self.counters.len() <= fid {
+            self.counters.resize(fid + 1, (0, 0));
+        }
+        for &cid in &cids {
+            self.postings[cid].push(fid);
+        }
+        let entry = FilterEntry {
+            event_type: key.event_type.clone(),
+            needed: cids.len() as u32,
+            constraint_ids: cids,
+            subs: Vec::new(),
+            key: key.clone(),
+        };
+        if entry.needed == 0 {
+            match &entry.event_type {
+                Some(t) => self.empty_typed.entry(t.clone()).or_default().push(fid),
+                None => self.match_all.push(fid),
+            }
+        }
+        self.filters[fid] = Some(entry);
+        self.filter_lookup.insert(key, fid);
+        fid
+    }
+
+    fn release_filter(&mut self, fid: FilterId) {
+        let entry = self.filters[fid].take().expect("releasing live filter");
+        self.filter_lookup.remove(&entry.key);
+        for &cid in &entry.constraint_ids {
+            self.postings[cid].retain(|&f| f != fid);
+            self.release_constraint(cid);
+        }
+        if entry.needed == 0 {
+            match &entry.event_type {
+                Some(t) => {
+                    if let Some(list) = self.empty_typed.get_mut(t) {
+                        list.retain(|&f| f != fid);
+                        if list.is_empty() {
+                            self.empty_typed.remove(t);
+                        }
+                    }
+                }
+                None => self.match_all.retain(|&f| f != fid),
+            }
+        }
+        self.free_filters.push(fid);
+    }
+
+    /// Core counting match: collects the ids of all firing filters.
+    fn matching_filters(&mut self, event: &Event) -> Vec<FilterId> {
+        self.generation += 1;
+        let generation = self.generation;
+        let mut fired: Vec<FilterId> = Vec::new();
+
+        {
+            let counters = &mut self.counters;
+            let postings = &self.postings;
+            let filters = &self.filters;
+            let records = &self.records;
+            let event_type = event.event_type();
+            let mut satisfy = |cid: ConstraintId| {
+                for &fid in &postings[cid] {
+                    let slot = &mut counters[fid];
+                    if slot.0 != generation {
+                        *slot = (generation, 0);
+                    }
+                    slot.1 += 1;
+                    let entry = filters[fid].as_ref().expect("posted filter is live");
+                    if slot.1 == entry.needed {
+                        let type_ok = match &entry.event_type {
+                            Some(t) => t == event_type,
+                            None => true,
+                        };
+                        if type_ok {
+                            fired.push(fid);
+                        }
+                    }
+                }
+            };
+            for (name, value) in event.attributes().iter() {
+                if let Some(idx) = self.name_index.get(name) {
+                    idx.visit_satisfied(value, records, &mut satisfy);
+                }
+            }
+        }
+
+        fired.extend(self.match_all.iter().copied());
+        if let Some(list) = self.empty_typed.get(event.event_type()) {
+            fired.extend(list.iter().copied());
+        }
+        fired
+    }
+}
+
+impl Matcher for FastForwardEngine {
+    fn name(&self) -> &'static str {
+        "fastforward"
+    }
+
+    fn subscribe(&mut self, sub: Subscription) -> Result<()> {
+        if self.subs.contains_key(&sub.id) {
+            return Err(Error::AlreadyExists(sub.id.to_string()));
+        }
+        let fid = self.intern_filter(&sub.filter);
+        self.filters[fid]
+            .as_mut()
+            .expect("interned filter is live")
+            .subs
+            .push((sub.id, sub.subscriber));
+        self.subs.insert(
+            sub.id,
+            SubRecord { subscriber: sub.subscriber, filter: sub.filter, filter_id: fid },
+        );
+        Ok(())
+    }
+
+    fn unsubscribe(&mut self, id: SubscriptionId) -> Result<Subscription> {
+        let rec = self.subs.remove(&id).ok_or_else(|| Error::NotFound(id.to_string()))?;
+        let fid = rec.filter_id;
+        let empty = {
+            let entry = self.filters[fid].as_mut().expect("subscribed filter is live");
+            entry.subs.retain(|&(s, _)| s != id);
+            entry.subs.is_empty()
+        };
+        if empty {
+            self.release_filter(fid);
+        }
+        Ok(Subscription::new(id, rec.subscriber, rec.filter))
+    }
+
+    fn matching_subscriptions(&mut self, event: &Event) -> Vec<SubscriptionId> {
+        let fired = self.matching_filters(event);
+        let mut out: Vec<SubscriptionId> = fired
+            .into_iter()
+            .flat_map(|fid| {
+                self.filters[fid]
+                    .as_ref()
+                    .expect("fired filter is live")
+                    .subs
+                    .iter()
+                    .map(|&(s, _)| s)
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn matching_subscribers(&mut self, event: &Event) -> Vec<ServiceId> {
+        let fired = self.matching_filters(event);
+        let mut out: Vec<ServiceId> = fired
+            .into_iter()
+            .flat_map(|fid| {
+                self.filters[fid]
+                    .as_ref()
+                    .expect("fired filter is live")
+                    .subs
+                    .iter()
+                    .map(|&(_, svc)| svc)
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::Filter;
+
+    fn sub(id: u64, svc: u64, filter: Filter) -> Subscription {
+        Subscription::new(SubscriptionId(id), ServiceId::from_raw(svc), filter)
+    }
+
+    #[test]
+    fn counting_fires_only_full_conjunctions() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(
+            1,
+            10,
+            Filter::any().with(("a", Op::Gt, 5i64)).with(("b", Op::Lt, 3i64)),
+        ))
+        .unwrap();
+        let half = Event::builder("t").attr("a", 10i64).build();
+        assert!(m.matching_subscriptions(&half).is_empty());
+        let both = Event::builder("t").attr("a", 10i64).attr("b", 1i64).build();
+        assert_eq!(m.matching_subscriptions(&both), vec![SubscriptionId(1)]);
+        let wrong = Event::builder("t").attr("a", 10i64).attr("b", 9i64).build();
+        assert!(m.matching_subscriptions(&wrong).is_empty());
+    }
+
+    #[test]
+    fn range_boundaries() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 5i64)))).unwrap();
+        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Ge, 5i64)))).unwrap();
+        m.subscribe(sub(3, 3, Filter::any().with(("x", Op::Lt, 5i64)))).unwrap();
+        m.subscribe(sub(4, 4, Filter::any().with(("x", Op::Le, 5i64)))).unwrap();
+        let at = |v: i64| Event::builder("t").attr("x", v).build();
+        assert_eq!(m.matching_subscriptions(&at(5)), vec![SubscriptionId(2), SubscriptionId(4)]);
+        assert_eq!(m.matching_subscriptions(&at(6)), vec![SubscriptionId(1), SubscriptionId(2)]);
+        assert_eq!(m.matching_subscriptions(&at(4)), vec![SubscriptionId(3), SubscriptionId(4)]);
+    }
+
+    #[test]
+    fn eq_cross_numeric() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, 5i64)))).unwrap();
+        let d = Event::builder("t").attr("x", 5.0f64).build();
+        assert_eq!(m.matching_subscriptions(&d).len(), 1);
+        let near = Event::builder("t").attr("x", 5.1f64).build();
+        assert!(m.matching_subscriptions(&near).is_empty());
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, 0i64)))).unwrap();
+        let nz = Event::builder("t").attr("x", -0.0f64).build();
+        assert_eq!(m.matching_subscriptions(&nz).len(), 1);
+    }
+
+    #[test]
+    fn typed_empty_and_match_all() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::for_type("a"))).unwrap();
+        m.subscribe(sub(2, 2, Filter::any())).unwrap();
+        assert_eq!(
+            m.matching_subscriptions(&Event::new("a")),
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        assert_eq!(m.matching_subscriptions(&Event::new("b")), vec![SubscriptionId(2)]);
+    }
+
+    #[test]
+    fn typed_counted_filter_checks_type() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::for_type("a").with(("x", Op::Gt, 0i64)))).unwrap();
+        let wrong_type = Event::builder("b").attr("x", 5i64).build();
+        assert!(m.matching_subscriptions(&wrong_type).is_empty());
+        let right = Event::builder("a").attr("x", 5i64).build();
+        assert_eq!(m.matching_subscriptions(&right).len(), 1);
+    }
+
+    #[test]
+    fn identical_filters_share_an_entry() {
+        let mut m = FastForwardEngine::new();
+        let f = Filter::for_type("a").with(("x", Op::Gt, 0i64));
+        m.subscribe(sub(1, 1, f.clone())).unwrap();
+        m.subscribe(sub(2, 2, f.clone())).unwrap();
+        // One filter entry, one live constraint record.
+        assert_eq!(m.filter_lookup.len(), 1);
+        assert_eq!(m.constraint_lookup.len(), 1);
+        let e = Event::builder("a").attr("x", 1i64).build();
+        assert_eq!(m.matching_subscriptions(&e).len(), 2);
+        m.unsubscribe(SubscriptionId(1)).unwrap();
+        assert_eq!(m.filter_lookup.len(), 1);
+        assert_eq!(m.matching_subscriptions(&e), vec![SubscriptionId(2)]);
+        m.unsubscribe(SubscriptionId(2)).unwrap();
+        assert_eq!(m.filter_lookup.len(), 0);
+        assert_eq!(m.constraint_lookup.len(), 0);
+        assert!(m.matching_subscriptions(&e).is_empty());
+    }
+
+    #[test]
+    fn duplicate_constraint_in_filter_fires() {
+        let mut m = FastForwardEngine::new();
+        let f = Filter::any().with(("x", Op::Gt, 0i64)).with(("x", Op::Gt, 0i64));
+        m.subscribe(sub(1, 1, f)).unwrap();
+        let e = Event::builder("t").attr("x", 1i64).build();
+        assert_eq!(m.matching_subscriptions(&e), vec![SubscriptionId(1)]);
+        m.unsubscribe(SubscriptionId(1)).unwrap();
+        assert_eq!(m.constraint_lookup.len(), 0);
+    }
+
+    #[test]
+    fn shared_constraints_across_filters() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 5i64)))).unwrap();
+        m.subscribe(sub(
+            2,
+            2,
+            Filter::any().with(("x", Op::Gt, 5i64)).with(("y", Op::Eq, "q")),
+        ))
+        .unwrap();
+        assert_eq!(m.constraint_lookup.len(), 2);
+        let e1 = Event::builder("t").attr("x", 9i64).build();
+        assert_eq!(m.matching_subscriptions(&e1), vec![SubscriptionId(1)]);
+        let e2 = Event::builder("t").attr("x", 9i64).attr("y", "q").build();
+        assert_eq!(
+            m.matching_subscriptions(&e2),
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        m.unsubscribe(SubscriptionId(2)).unwrap();
+        assert_eq!(m.constraint_lookup.len(), 1);
+        assert_eq!(m.matching_subscriptions(&e2), vec![SubscriptionId(1)]);
+    }
+
+    #[test]
+    fn string_and_misc_ops() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("s", Op::Prefix, "heart")))).unwrap();
+        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Ne, 5i64)))).unwrap();
+        let e = Event::builder("t").attr("s", "heart-rate").attr("x", 6i64).build();
+        assert_eq!(
+            m.matching_subscriptions(&e),
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        let e2 = Event::builder("t").attr("s", "rate").attr("x", 5i64).build();
+        assert!(m.matching_subscriptions(&e2).is_empty());
+    }
+
+    #[test]
+    fn eq_nan_never_fires() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, f64::NAN)))).unwrap();
+        let e = Event::builder("t").attr("x", f64::NAN).build();
+        assert!(m.matching_subscriptions(&e).is_empty());
+        m.unsubscribe(SubscriptionId(1)).unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn nan_event_value_matches_nothing_numeric() {
+        let mut m = FastForwardEngine::new();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 0i64)))).unwrap();
+        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Exists, 0i64)))).unwrap();
+        let e = Event::builder("t").attr("x", f64::NAN).build();
+        // Exists still fires; the range does not.
+        assert_eq!(m.matching_subscriptions(&e), vec![SubscriptionId(2)]);
+    }
+
+    #[test]
+    fn unsubscribe_reuses_slots() {
+        let mut m = FastForwardEngine::new();
+        for i in 0..10u64 {
+            m.subscribe(sub(i, i, Filter::any().with(("x", Op::Gt, i as i64)))).unwrap();
+        }
+        for i in 0..10u64 {
+            m.unsubscribe(SubscriptionId(i)).unwrap();
+        }
+        assert!(m.is_empty());
+        assert_eq!(m.constraint_lookup.len(), 0);
+        // Slots get reused rather than leaking.
+        let before = m.records.len();
+        m.subscribe(sub(99, 1, Filter::any().with(("x", Op::Gt, 1i64)))).unwrap();
+        assert_eq!(m.records.len(), before);
+    }
+}

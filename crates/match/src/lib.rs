@@ -1,0 +1,46 @@
+//! Content-based matching engines for the SMC event bus.
+//!
+//! The paper builds its event bus twice: first around **Siena** (with heavy
+//! representation translation at the engine boundary), then around a
+//! dedicated matcher in C based on Siena's **fast forwarding** algorithm.
+//! Both live here behind the [`Matcher`] trait, together with a naive
+//! linear-scan oracle used by tests and benchmarks:
+//!
+//! * [`NaiveEngine`] — evaluate every filter against every event;
+//! * [`SienaEngine`] — candidate index by event type, plus the translation
+//!   round-trip the Java/JNI prototype paid on every match;
+//! * [`FastForwardEngine`] — constraint-sharing counting algorithm working
+//!   on borrowed event data (the "C-based" bus).
+//!
+//! All three agree exactly on match semantics; the property tests in
+//! `tests/engine_equivalence.rs` enforce it.
+//!
+//! ```
+//! use smc_match::{EngineKind, Matcher};
+//! use smc_types::{Event, Filter, Op, ServiceId, Subscription, SubscriptionId};
+//!
+//! let mut engine = EngineKind::FastForward.build();
+//! engine.subscribe(Subscription::new(
+//!     SubscriptionId(1),
+//!     ServiceId::from_raw(0xA),
+//!     Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 120i64)),
+//! ))?;
+//! let event = Event::builder("smc.sensor.reading").attr("bpm", 140i64).build();
+//! assert_eq!(engine.matching_subscribers(&event), vec![ServiceId::from_raw(0xA)]);
+//! # Ok::<(), smc_types::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod covering;
+pub mod engine;
+pub mod fastforward;
+pub mod naive;
+pub mod siena;
+
+pub use covering::{any_interest, minimal_cover, overlaps};
+pub use engine::{EngineKind, Matcher};
+pub use fastforward::FastForwardEngine;
+pub use naive::NaiveEngine;
+pub use siena::SienaEngine;

@@ -1,0 +1,197 @@
+//! The three engines must agree *exactly* on match semantics.
+//!
+//! The naive engine is the oracle (it calls `Filter::matches` directly);
+//! the Siena and fast-forwarding engines are checked against it over
+//! randomly generated subscription sets, event streams and unsubscription
+//! interleavings.
+
+use proptest::prelude::*;
+use smc_match::EngineKind;
+use smc_types::{
+    AttributeValue, Constraint, Event, Filter, Op, ServiceId, Subscription, SubscriptionId,
+};
+
+/// Small value alphabet so constraints and attributes collide often.
+fn arb_value() -> impl Strategy<Value = AttributeValue> {
+    prop_oneof![
+        (-4i64..4).prop_map(AttributeValue::Int),
+        (-4i64..4).prop_map(|i| AttributeValue::Double(i as f64 / 2.0)),
+        prop_oneof![Just("hr"), Just("hrx"), Just("bp"), Just("")]
+            .prop_map(|s| AttributeValue::Str(s.to_string())),
+        any::<bool>().prop_map(AttributeValue::Bool),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(str::to_string)
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Prefix),
+        Just(Op::Suffix),
+        Just(Op::Contains),
+        Just(Op::Exists),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    (
+        proptest::option::of(prop_oneof![Just("t"), Just("u"), Just("v")]),
+        proptest::collection::vec((arb_name(), arb_op(), arb_value()), 0..4),
+    )
+        .prop_map(|(ty, cs)| {
+            let mut f = match ty {
+                Some(t) => Filter::for_type(t),
+                None => Filter::any(),
+            };
+            for (n, op, v) in cs {
+                f.push(Constraint::new(n, op, v));
+            }
+            f
+        })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        prop_oneof![Just("t"), Just("u"), Just("v"), Just("w")],
+        proptest::collection::vec((arb_name(), arb_value()), 0..4),
+    )
+        .prop_map(|(ty, attrs)| {
+            let mut b = Event::builder(ty).publisher(ServiceId::from_raw(1)).seq(1);
+            for (n, v) in attrs {
+                b = b.attr(n, v);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// All engines return identical subscription sets for every event.
+    #[test]
+    fn engines_agree(
+        filters in proptest::collection::vec(arb_filter(), 0..12),
+        events in proptest::collection::vec(arb_event(), 1..12),
+    ) {
+        let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build()).collect();
+        for (i, f) in filters.iter().enumerate() {
+            let sub = Subscription::new(
+                SubscriptionId(i as u64),
+                ServiceId::from_raw(100 + (i % 3) as u64),
+                f.clone(),
+            );
+            for e in &mut engines {
+                e.subscribe(sub.clone()).unwrap();
+            }
+        }
+        for ev in &events {
+            let oracle = engines[0].matching_subscriptions(ev);
+            for e in &mut engines[1..] {
+                let got = e.matching_subscriptions(ev);
+                prop_assert_eq!(
+                    &got, &oracle,
+                    "engine {} disagrees with oracle on {}", e.name(), ev
+                );
+            }
+            let oracle_svc = engines[0].matching_subscribers(ev);
+            for e in &mut engines[1..] {
+                prop_assert_eq!(&e.matching_subscribers(ev), &oracle_svc);
+            }
+        }
+    }
+
+    /// Engines agree after an arbitrary unsubscription interleaving.
+    #[test]
+    fn engines_agree_after_unsubscribes(
+        filters in proptest::collection::vec(arb_filter(), 1..10),
+        removals in proptest::collection::vec(any::<prop::sample::Index>(), 0..6),
+        events in proptest::collection::vec(arb_event(), 1..8),
+    ) {
+        let mut engines: Vec<_> = EngineKind::ALL.iter().map(|k| k.build()).collect();
+        for (i, f) in filters.iter().enumerate() {
+            let sub = Subscription::new(
+                SubscriptionId(i as u64),
+                ServiceId::from_raw(100 + i as u64),
+                f.clone(),
+            );
+            for e in &mut engines {
+                e.subscribe(sub.clone()).unwrap();
+            }
+        }
+        let mut live: Vec<u64> = (0..filters.len() as u64).collect();
+        for idx in removals {
+            if live.is_empty() { break; }
+            let id = live.remove(idx.index(live.len()));
+            for e in &mut engines {
+                let removed = e.unsubscribe(SubscriptionId(id)).unwrap();
+                prop_assert_eq!(removed.id, SubscriptionId(id));
+            }
+        }
+        for e in &engines {
+            prop_assert_eq!(e.len(), live.len());
+        }
+        for ev in &events {
+            let oracle = engines[0].matching_subscriptions(ev);
+            for e in &mut engines[1..] {
+                prop_assert_eq!(e.matching_subscriptions(ev), oracle.clone(),
+                    "engine {} after removals", e.name());
+            }
+        }
+    }
+
+    /// Re-subscribing the same filters after a full clear behaves like a
+    /// fresh engine (slot reuse is invisible).
+    #[test]
+    fn clear_and_reload_is_fresh(
+        filters in proptest::collection::vec(arb_filter(), 1..8),
+        ev in arb_event(),
+    ) {
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build();
+            for (i, f) in filters.iter().enumerate() {
+                engine.subscribe(Subscription::new(
+                    SubscriptionId(i as u64), ServiceId::from_raw(1), f.clone())).unwrap();
+            }
+            let first = engine.matching_subscriptions(&ev);
+            for i in 0..filters.len() as u64 {
+                engine.unsubscribe(SubscriptionId(i)).unwrap();
+            }
+            prop_assert!(engine.is_empty());
+            prop_assert!(engine.matching_subscriptions(&ev).is_empty());
+            for (i, f) in filters.iter().enumerate() {
+                engine.subscribe(Subscription::new(
+                    SubscriptionId(i as u64), ServiceId::from_raw(1), f.clone())).unwrap();
+            }
+            prop_assert_eq!(engine.matching_subscriptions(&ev), first);
+        }
+    }
+
+    /// `overlaps` is sound w.r.t. actual matching: if an event matches two
+    /// filters, they overlap.
+    #[test]
+    fn overlap_soundness(f1 in arb_filter(), f2 in arb_filter(), ev in arb_event()) {
+        if f1.matches(&ev) && f2.matches(&ev) {
+            prop_assert!(smc_match::overlaps(&f1, &f2), "f1={f1} f2={f2} ev={ev}");
+        }
+    }
+
+    /// Filters kept by `minimal_cover` preserve the union of matches.
+    #[test]
+    fn minimal_cover_preserves_matching(
+        filters in proptest::collection::vec(arb_filter(), 0..8),
+        ev in arb_event(),
+    ) {
+        let keep = smc_match::minimal_cover(&filters);
+        let full: bool = filters.iter().any(|f| f.matches(&ev));
+        let reduced: bool = keep.iter().any(|&i| filters[i].matches(&ev));
+        prop_assert_eq!(full, reduced);
+    }
+}

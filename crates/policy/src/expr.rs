@@ -1,0 +1,634 @@
+//! The obligation-policy condition language.
+//!
+//! A tiny, total expression language over event attributes, in the spirit
+//! of Ponder's `when` clauses:
+//!
+//! ```text
+//! bpm > 120 && spo2 < 90
+//! sensor == "heart-rate" && !(bpm >= 50 && bpm <= 150)
+//! severity >= 2 || kind == "defib"
+//! ```
+//!
+//! Attribute references evaluate against the triggering event. A missing
+//! attribute or a type-mismatched comparison makes the enclosing
+//! comparison *false* (never an error at runtime): policies must be safe
+//! to evaluate against any event.
+
+use std::fmt;
+
+use smc_types::{AttributeValue, Event};
+
+/// A parsed condition expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(AttributeValue),
+    /// Reference to an attribute of the triggering event.
+    Attr(String),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Comparison of two sub-expressions.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// `exists(name)` — attribute presence test.
+    Exists(String),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Error produced when parsing a condition string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Expr {
+    /// Parses a condition from its textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first syntax problem.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use smc_policy::Expr;
+    /// use smc_types::Event;
+    ///
+    /// let cond = Expr::parse("bpm > 120 && spo2 < 90")?;
+    /// let event = Event::builder("r").attr("bpm", 150i64).attr("spo2", 85i64).build();
+    /// assert!(cond.eval(&event));
+    /// # Ok::<(), smc_policy::ParseError>(())
+    /// ```
+    pub fn parse(input: &str) -> Result<Expr, ParseError> {
+        let tokens = tokenize(input)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let expr = p.parse_or()?;
+        if p.pos != p.tokens.len() {
+            return Err(ParseError {
+                message: format!("unexpected trailing token {:?}", p.tokens[p.pos].kind),
+                position: p.tokens[p.pos].position,
+            });
+        }
+        Ok(expr)
+    }
+
+    /// Evaluates the condition against `event`.
+    ///
+    /// Comparisons over missing attributes or incompatible types are
+    /// `false`; boolean attributes may be used directly as truth values.
+    pub fn eval(&self, event: &Event) -> bool {
+        match self.eval_value(event) {
+            Some(AttributeValue::Bool(b)) => b,
+            _ => false,
+        }
+    }
+
+    fn eval_value(&self, event: &Event) -> Option<AttributeValue> {
+        match self {
+            Expr::Literal(v) => Some(v.clone()),
+            Expr::Attr(name) => event.attr(name).cloned(),
+            Expr::Exists(name) => Some(AttributeValue::Bool(event.attr(name).is_some())),
+            Expr::Not(e) => Some(AttributeValue::Bool(!e.eval(event))),
+            Expr::And(a, b) => Some(AttributeValue::Bool(a.eval(event) && b.eval(event))),
+            Expr::Or(a, b) => Some(AttributeValue::Bool(a.eval(event) || b.eval(event))),
+            Expr::Cmp(a, op, b) => {
+                let (va, vb) = (a.eval_value(event)?, b.eval_value(event)?);
+                let result = match op {
+                    CmpOp::Eq => va.eq_filter(&vb),
+                    CmpOp::Ne => matches!(
+                        va.partial_cmp_filter(&vb),
+                        Some(o) if o != std::cmp::Ordering::Equal
+                    ),
+                    CmpOp::Lt => va.partial_cmp_filter(&vb) == Some(std::cmp::Ordering::Less),
+                    CmpOp::Le => matches!(
+                        va.partial_cmp_filter(&vb),
+                        Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+                    ),
+                    CmpOp::Gt => va.partial_cmp_filter(&vb) == Some(std::cmp::Ordering::Greater),
+                    CmpOp::Ge => matches!(
+                        va.partial_cmp_filter(&vb),
+                        Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+                    ),
+                };
+                Some(AttributeValue::Bool(result))
+            }
+        }
+    }
+
+    /// The set of attribute names the expression reads.
+    pub fn referenced_attributes(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_attrs(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Attr(n) | Expr::Exists(n) => out.push(n.clone()),
+            Expr::Not(e) => e.collect_attrs(out),
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::Cmp(a, _, b) => {
+                a.collect_attrs(out);
+                b.collect_attrs(out);
+            }
+            Expr::Literal(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(AttributeValue::Str(s)) => write!(f, "{s:?}"),
+            // `{:?}` keeps the decimal point on whole doubles ("-1.0"),
+            // so the printed form reparses to the same variant.
+            Expr::Literal(AttributeValue::Double(d)) => write!(f, "{d:?}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Attr(n) => f.write_str(n),
+            Expr::Exists(n) => write!(f, "exists({n})"),
+            // Self-parenthesised so the printed form stays valid in any
+            // position, including as a comparison operand.
+            Expr::Not(e) => write!(f, "(!({e}))"),
+            Expr::And(a, b) => write!(f, "({a} && {b})"),
+            Expr::Or(a, b) => write!(f, "({a} || {b})"),
+            Expr::Cmp(a, op, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum TokenKind {
+    Ident(String),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    True,
+    False,
+    AndAnd,
+    OrOr,
+    Bang,
+    LParen,
+    RParen,
+    Cmp(CmpOp),
+    Exists,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Token {
+    kind: TokenKind,
+    position: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let position = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Token { kind: TokenKind::AndAnd, position });
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected '&&'".into(), position });
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Token { kind: TokenKind::OrOr, position });
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected '||'".into(), position });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ne), position });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Bang, position });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Eq), position });
+                    i += 2;
+                } else {
+                    return Err(ParseError { message: "expected '=='".into(), position });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Le), position });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Lt), position });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ge), position });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Gt), position });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    match bytes[j] as char {
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
+                        '\\' if j + 1 < bytes.len() => {
+                            let esc = bytes[j + 1] as char;
+                            s.push(match esc {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                            j += 2;
+                        }
+                        ch => {
+                            s.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    return Err(ParseError { message: "unterminated string".into(), position });
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), position });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start = i;
+                i += 1;
+                let mut is_double = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.' && !is_double {
+                        is_double = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_double {
+                    TokenKind::Double(text.parse().map_err(|_| ParseError {
+                        message: format!("bad number '{text}'"),
+                        position,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| ParseError {
+                        message: format!("bad number '{text}'"),
+                        position,
+                    })?)
+                };
+                tokens.push(Token { kind, position });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' || d == '-' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let kind = match word {
+                    "true" => TokenKind::True,
+                    "false" => TokenKind::False,
+                    "exists" => TokenKind::Exists,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, position });
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character '{other}'"),
+                    position,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn position(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.position)
+    }
+
+    fn advance(&mut self) -> Option<TokenKind> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t.map(|t| t.kind)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError { message: format!("expected {what}"), position: self.position() })
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&TokenKind::OrOr) {
+            self.pos += 1;
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.parse_not()?;
+        while self.peek() == Some(&TokenKind::AndAnd) {
+            self.pos += 1;
+            let right = self.parse_not()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&TokenKind::Bang) {
+            self.pos += 1;
+            let inner = self.parse_not()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let left = self.parse_term()?;
+        if let Some(TokenKind::Cmp(op)) = self.peek().cloned() {
+            self.pos += 1;
+            let right = self.parse_term()?;
+            return Ok(Expr::Cmp(Box::new(left), op, Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let position = self.position();
+        match self.advance() {
+            Some(TokenKind::Int(i)) => Ok(Expr::Literal(AttributeValue::Int(i))),
+            Some(TokenKind::Double(d)) => Ok(Expr::Literal(AttributeValue::Double(d))),
+            Some(TokenKind::Str(s)) => Ok(Expr::Literal(AttributeValue::Str(s))),
+            Some(TokenKind::True) => Ok(Expr::Literal(AttributeValue::Bool(true))),
+            Some(TokenKind::False) => Ok(Expr::Literal(AttributeValue::Bool(false))),
+            Some(TokenKind::Ident(name)) => Ok(Expr::Attr(name)),
+            Some(TokenKind::Exists) => {
+                self.expect(&TokenKind::LParen, "'(' after exists")?;
+                let name = match self.advance() {
+                    Some(TokenKind::Ident(n)) => n,
+                    _ => {
+                        return Err(ParseError {
+                            message: "expected attribute name in exists(...)".into(),
+                            position,
+                        })
+                    }
+                };
+                self.expect(&TokenKind::RParen, "')' after exists(name")?;
+                Ok(Expr::Exists(name))
+            }
+            Some(TokenKind::LParen) => {
+                let e = self.parse_or()?;
+                self.expect(&TokenKind::RParen, "closing ')'")?;
+                Ok(e)
+            }
+            other => Err(ParseError {
+                message: format!("expected a value, attribute or '(': got {other:?}"),
+                position,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::Event;
+
+    fn ev() -> Event {
+        Event::builder("r")
+            .attr("bpm", 150i64)
+            .attr("spo2", 85i64)
+            .attr("sensor", "heart-rate")
+            .attr("ok", true)
+            .attr("temp", 36.6f64)
+            .build()
+    }
+
+    fn eval(s: &str) -> bool {
+        Expr::parse(s).unwrap().eval(&ev())
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(eval("bpm > 120"));
+        assert!(!eval("bpm > 150"));
+        assert!(eval("bpm >= 150"));
+        assert!(eval("bpm < 200"));
+        assert!(eval("bpm <= 150"));
+        assert!(eval("bpm == 150"));
+        assert!(eval("bpm != 149"));
+        assert!(eval("temp > 36"));
+        assert!(eval("temp == 36.6"));
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        assert!(eval("bpm > 120 && spo2 < 90"));
+        assert!(!eval("bpm > 120 && spo2 > 90"));
+        assert!(eval("bpm > 200 || spo2 < 90"));
+        assert!(eval("!(bpm < 100)"));
+        assert!(eval("!false"));
+        assert!(eval("true && !false"));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        // && binds tighter than ||.
+        assert!(eval("false && false || true"));
+        assert!(!eval("false && (false || true)"));
+    }
+
+    #[test]
+    fn strings_and_bools() {
+        assert!(eval("sensor == \"heart-rate\""));
+        assert!(eval("sensor != \"spo2\""));
+        assert!(eval("ok"));
+        assert!(eval("ok == true"));
+    }
+
+    #[test]
+    fn exists_test() {
+        assert!(eval("exists(bpm)"));
+        assert!(!eval("exists(missing)"));
+        assert!(eval("!exists(missing)"));
+    }
+
+    #[test]
+    fn missing_attribute_is_false_not_error() {
+        assert!(!eval("missing > 5"));
+        assert!(!eval("missing == 5"));
+        // And its negation via comparison stays false, while logical
+        // negation of the whole comparison is true.
+        assert!(!eval("missing != 5"));
+        assert!(eval("!(missing > 5)"));
+    }
+
+    #[test]
+    fn type_mismatch_is_false() {
+        assert!(!eval("sensor > 5"));
+        assert!(!eval("bpm == \"heart-rate\""));
+    }
+
+    #[test]
+    fn non_boolean_top_level_is_false() {
+        assert!(!eval("bpm"));
+        assert!(!eval("\"text\""));
+        assert!(!eval("42"));
+    }
+
+    #[test]
+    fn negative_numbers() {
+        let e = Event::builder("r").attr("delta", -5i64).build();
+        assert!(Expr::parse("delta < 0").unwrap().eval(&e));
+        assert!(Expr::parse("delta == -5").unwrap().eval(&e));
+        assert!(Expr::parse("delta > -10").unwrap().eval(&e));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        for bad in ["bpm >", "&& x", "bpm > 5 &&", "(bpm > 5", "bpm = 5", "a & b", "a | b",
+                    "\"unterminated", "exists bpm", "exists(5)", "5..5 > 1", "a @ b"] {
+            assert!(Expr::parse(bad).is_err(), "'{bad}' should not parse");
+        }
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(Expr::parse("bpm > 5 spo2").is_err());
+    }
+
+    #[test]
+    fn display_round_trips_semantics() {
+        for src in [
+            "bpm > 120 && spo2 < 90",
+            "!(a == 1) || b <= 2.5",
+            "exists(x) && sensor == \"hr\"",
+            "!a && !b || c != -3",
+        ] {
+            let parsed = Expr::parse(src).unwrap();
+            let reparsed = Expr::parse(&parsed.to_string()).unwrap();
+            // Structural equality after a print/parse round.
+            assert_eq!(parsed, reparsed, "{src}");
+        }
+    }
+
+    #[test]
+    fn referenced_attributes_collected() {
+        let e = Expr::parse("bpm > 120 && (spo2 < 90 || exists(temp)) && bpm != 0").unwrap();
+        assert_eq!(e.referenced_attributes(), vec!["bpm", "spo2", "temp"]);
+    }
+
+    #[test]
+    fn dotted_attribute_names() {
+        let event = Event::builder("r").attr("member.device_type", "sensor.hr").build();
+        assert!(Expr::parse("member.device_type == \"sensor.hr\"").unwrap().eval(&event));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the condition-expression language.
+
+use proptest::prelude::*;
+use smc_policy::{CmpOp, Expr};
+use smc_types::{AttributeValue, Event};
+
+/// Random expression trees over a tiny attribute alphabet.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-9i64..9).prop_map(|i| Expr::Literal(AttributeValue::Int(i))),
+        (-4i64..4).prop_map(|i| Expr::Literal(AttributeValue::Double(i as f64 / 2.0))),
+        any::<bool>().prop_map(|b| Expr::Literal(AttributeValue::Bool(b))),
+        "[a-z]{1,6}".prop_map(|s| Expr::Literal(AttributeValue::Str(s))),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(|n| Expr::Attr(n.to_string())),
+        prop_oneof![Just("a"), Just("b"), Just("zz")].prop_map(|n| Expr::Exists(n.to_string())),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(CmpOp::Eq),
+                    Just(CmpOp::Ne),
+                    Just(CmpOp::Lt),
+                    Just(CmpOp::Le),
+                    Just(CmpOp::Gt),
+                    Just(CmpOp::Ge)
+                ],
+                inner
+            )
+                .prop_map(|(a, op, b)| Expr::Cmp(Box::new(a), op, Box::new(b))),
+        ]
+    })
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        proptest::option::of(-9i64..9),
+        proptest::option::of(-4i64..4),
+        proptest::option::of(any::<bool>()),
+    )
+        .prop_map(|(a, b, c)| {
+            let mut e = Event::builder("t");
+            if let Some(a) = a {
+                e = e.attr("a", a);
+            }
+            if let Some(b) = b {
+                e = e.attr("b", b as f64 / 2.0);
+            }
+            if let Some(c) = c {
+                e = e.attr("c", c);
+            }
+            e.build()
+        })
+}
+
+proptest! {
+    /// Parsing never panics, on any input string.
+    #[test]
+    fn parse_never_panics(input in ".{0,64}") {
+        let _ = Expr::parse(&input);
+    }
+
+    /// Parsing ASCII-ish garbage never panics either.
+    #[test]
+    fn parse_ascii_never_panics(input in "[ -~]{0,80}") {
+        let _ = Expr::parse(&input);
+    }
+
+    /// Display→parse is semantics-preserving: the reparsed expression is
+    /// structurally identical.
+    #[test]
+    fn display_parse_round_trip(expr in arb_expr()) {
+        let printed = expr.to_string();
+        let reparsed = Expr::parse(&printed)
+            .unwrap_or_else(|e| panic!("'{printed}' failed to reparse: {e}"));
+        prop_assert_eq!(reparsed, expr);
+    }
+
+    /// Evaluation is total and deterministic for any expression and event.
+    #[test]
+    fn eval_is_total_and_deterministic(expr in arb_expr(), event in arb_event()) {
+        let once = expr.eval(&event);
+        let twice = expr.eval(&event);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Boolean laws hold under evaluation: double negation and De Morgan.
+    #[test]
+    fn boolean_laws(a in arb_expr(), b in arb_expr(), event in arb_event()) {
+        let not_not = Expr::Not(Box::new(Expr::Not(Box::new(a.clone()))));
+        prop_assert_eq!(not_not.eval(&event), a.eval(&event));
+
+        let lhs = Expr::Not(Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))));
+        let rhs = Expr::Or(
+            Box::new(Expr::Not(Box::new(a.clone()))),
+            Box::new(Expr::Not(Box::new(b.clone()))),
+        );
+        prop_assert_eq!(lhs.eval(&event), rhs.eval(&event), "de morgan");
+    }
+
+    /// `referenced_attributes` is sound: evaluating against an event with
+    /// all referenced attributes removed equals evaluating against an
+    /// empty event.
+    #[test]
+    fn referenced_attributes_cover_reads(expr in arb_expr()) {
+        let empty = Event::new("t");
+        let mut stacked = Event::builder("t");
+        for name in ["x", "y", "z"] {
+            // Attributes the expression never references cannot matter.
+            if !expr.referenced_attributes().contains(&name.to_string()) {
+                stacked = stacked.attr(name, 1i64);
+            }
+        }
+        prop_assert_eq!(expr.eval(&stacked.build()), expr.eval(&empty));
+    }
+}

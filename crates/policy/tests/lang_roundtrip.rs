@@ -1,0 +1,138 @@
+//! Property test: the policy language's writer and parser are inverses
+//! over the representable policy space.
+
+use proptest::prelude::*;
+use smc_policy::{
+    parse_policies, write_policies, ActionClass, ActionSpec, AuthorisationPolicy, Expr,
+    ObligationPolicy, Policy, ValueTemplate,
+};
+use smc_types::{AttributeValue, Constraint, Filter, Op};
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,10}"
+}
+
+fn arb_resource() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("*".to_string()),
+        "[a-z][a-z.]{0,8}".prop_map(|s| s + "*"),
+        "[a-z][a-z.]{0,12}"
+    ]
+}
+
+fn arb_auth() -> impl Strategy<Value = Policy> {
+    (
+        arb_ident(),
+        any::<bool>(),
+        prop_oneof![Just("*".to_string()), arb_ident()],
+        prop_oneof![Just(ActionClass::Publish), Just(ActionClass::Subscribe), Just(ActionClass::Command)],
+        arb_resource(),
+    )
+        .prop_map(|(id, permit, role, action, resource)| {
+            Policy::Authorisation(AuthorisationPolicy { id, permit, role, action, resource })
+        })
+}
+
+/// Values representable in the textual syntax (no bytes, finite doubles
+/// that print with a decimal point, strings without exotic escapes).
+fn arb_value() -> impl Strategy<Value = AttributeValue> {
+    prop_oneof![
+        any::<bool>().prop_map(AttributeValue::Bool),
+        (-1000i64..1000).prop_map(AttributeValue::Int),
+        (-1000i64..1000).prop_map(|i| AttributeValue::Double(i as f64 / 4.0)),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(AttributeValue::Str),
+    ]
+}
+
+fn arb_template() -> impl Strategy<Value = ValueTemplate> {
+    prop_oneof![
+        arb_value().prop_map(ValueTemplate::Literal),
+        arb_ident().prop_map(ValueTemplate::FromEvent),
+    ]
+}
+
+fn arb_assignments() -> impl Strategy<Value = Vec<(String, ValueTemplate)>> {
+    proptest::collection::vec((arb_ident(), arb_template()), 0..4)
+}
+
+fn arb_action() -> impl Strategy<Value = ActionSpec> {
+    prop_oneof![
+        ("[a-z][a-z.]{0,10}", arb_assignments())
+            .prop_map(|(t, attrs)| ActionSpec::PublishEvent { event_type: t, attrs }),
+        (arb_resource(), arb_ident(), arb_assignments()).prop_map(|(glob, name, args)| {
+            ActionSpec::SendCommand { target: None, target_device_type: glob, name, args }
+        }),
+        arb_ident().prop_map(ActionSpec::EnablePolicy),
+        arb_ident().prop_map(ActionSpec::DisablePolicy),
+        "[a-zA-Z0-9 _.-]{0,20}".prop_map(ActionSpec::Log),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    (
+        proptest::option::of("[a-z][a-z.]{0,10}"),
+        proptest::collection::vec(
+            (
+                arb_ident(),
+                prop_oneof![
+                    Just(Op::Eq),
+                    Just(Op::Ne),
+                    Just(Op::Lt),
+                    Just(Op::Le),
+                    Just(Op::Gt),
+                    Just(Op::Ge),
+                    Just(Op::Exists)
+                ],
+                arb_value(),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(ty, cs)| {
+            let mut f = match ty {
+                Some(t) => Filter::for_type(t),
+                None => Filter::any(),
+            };
+            for (n, op, v) in cs {
+                // Exists ignores its value; normalise so equality holds
+                // after the (value-less) textual round trip.
+                if op == Op::Exists {
+                    f.push(Constraint::new(n, op, 0i64));
+                } else {
+                    f.push(Constraint::new(n, op, v));
+                }
+            }
+            f
+        })
+}
+
+fn arb_condition() -> impl Strategy<Value = Option<Expr>> {
+    proptest::option::of(
+        prop_oneof![
+            Just("bpm > 120"),
+            Just("spo2 < 90 && exists(patient)"),
+            Just("a == 1 || b != 2.5"),
+            Just("!(x >= 3)"),
+        ]
+        .prop_map(|s| Expr::parse(s).expect("fixture parses")),
+    )
+}
+
+fn arb_oblig() -> impl Strategy<Value = Policy> {
+    (arb_ident(), arb_filter(), arb_condition(), proptest::collection::vec(arb_action(), 1..4))
+        .prop_map(|(id, event, condition, actions)| {
+            Policy::Obligation(ObligationPolicy { id, event, condition, actions })
+        })
+}
+
+proptest! {
+    #[test]
+    fn write_then_parse_is_identity(
+        policies in proptest::collection::vec(prop_oneof![arb_auth(), arb_oblig()], 0..6)
+    ) {
+        let text = write_policies(&policies);
+        let reparsed = parse_policies(&text)
+            .unwrap_or_else(|e| panic!("generated document failed to parse: {e}\n---\n{text}"));
+        prop_assert_eq!(reparsed, policies, "document:\n{}", text);
+    }
+}

@@ -1,0 +1,328 @@
+//! Drivers that animate simulated devices against a live cell.
+//!
+//! A [`SensorRunner`] owns a dumb device: it joins the cell, samples its
+//! [`VitalTrace`] on a schedule, and transmits raw frames for the proxy
+//! to translate. An [`ActuatorRunner`] owns a smart actuator: it joins,
+//! receives management commands, and applies them to an internal state
+//! that tests can inspect. [`Patient`] bundles a full body-area network.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use smc_core::{RawDevice, RemoteClient};
+use smc_discovery::AgentConfig;
+use smc_transport::{ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{Error, Result, ServiceId, ServiceInfo};
+
+use crate::devices::{
+    blood_pressure_frame, device_types, heart_rate_frame, spo2_frame, temperature_frame,
+};
+use crate::traces::{
+    DiastolicTrace, HeartRateTrace, Scenario, Spo2Trace, SystolicTrace, TemperatureTrace,
+    VitalTrace,
+};
+
+fn fast_reliable() -> ReliableConfig {
+    ReliableConfig {
+        initial_rto: Duration::from_millis(30),
+        poll_interval: Duration::from_millis(10),
+        ..ReliableConfig::default()
+    }
+}
+
+/// Which frame encoder a sensor runner uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorKind {
+    /// Heart-rate strap (1 channel).
+    HeartRate,
+    /// Pulse oximeter (uses the vital trace plus a nominal pulse).
+    Spo2,
+    /// Blood-pressure cuff (paired systolic/diastolic traces).
+    BloodPressure,
+    /// Temperature patch.
+    Temperature,
+}
+
+impl SensorKind {
+    /// The matching device-type string.
+    pub fn device_type(self) -> &'static str {
+        match self {
+            SensorKind::HeartRate => device_types::HEART_RATE,
+            SensorKind::Spo2 => device_types::SPO2,
+            SensorKind::BloodPressure => device_types::BLOOD_PRESSURE,
+            SensorKind::Temperature => device_types::TEMPERATURE,
+        }
+    }
+}
+
+/// A running simulated sensor.
+#[derive(Debug)]
+pub struct SensorRunner {
+    kind: SensorKind,
+    device_id: ServiceId,
+    frames_sent: Arc<AtomicU64>,
+    running: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl SensorRunner {
+    /// Joins the cell through `net` and starts sampling every `interval`
+    /// with the given scenario applied.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if the device cannot join a cell.
+    pub fn start(
+        net: &SimNetwork,
+        kind: SensorKind,
+        scenario: &Scenario,
+        seed: u64,
+        interval: Duration,
+    ) -> Result<Arc<Self>> {
+        let channel = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
+        let info = ServiceInfo::new(ServiceId::NIL, kind.device_type())
+            .with_name(format!("{} #{seed}", kind.device_type()))
+            .with_role("sensor");
+        let device =
+            RawDevice::connect(info, channel, AgentConfig::default(), Duration::from_secs(10))?;
+        let device_id = device.local_id();
+
+        let mut traces: Vec<Box<dyn VitalTrace>> = match kind {
+            SensorKind::HeartRate => vec![Box::new(apply(HeartRateTrace::new(seed), scenario))],
+            SensorKind::Spo2 => vec![
+                Box::new(apply(Spo2Trace::new(seed), scenario)),
+                Box::new(apply(HeartRateTrace::new(seed ^ 0x5050), scenario)),
+            ],
+            SensorKind::BloodPressure => vec![
+                Box::new(apply(SystolicTrace::new(seed), scenario)),
+                Box::new(apply(DiastolicTrace::new(seed ^ 0xD1A), scenario)),
+            ],
+            SensorKind::Temperature => vec![Box::new(apply(TemperatureTrace::new(seed), scenario))],
+        };
+
+        let frames_sent = Arc::new(AtomicU64::new(0));
+        let running = Arc::new(AtomicBool::new(true));
+        let runner = Arc::new(SensorRunner {
+            kind,
+            device_id,
+            frames_sent: Arc::clone(&frames_sent),
+            running: Arc::clone(&running),
+            handle: Mutex::new(None),
+        });
+
+        let thread_running = running;
+        let thread_frames = frames_sent;
+        let handle = std::thread::Builder::new()
+            .name(format!("sensor-{}", kind.device_type()))
+            .spawn(move || {
+                let start = Instant::now();
+                while thread_running.load(Ordering::SeqCst) {
+                    let t = start.elapsed();
+                    let samples: Vec<f64> = traces.iter_mut().map(|tr| tr.sample(t)).collect();
+                    let frame = match kind {
+                        SensorKind::HeartRate => heart_rate_frame(samples[0]),
+                        SensorKind::Spo2 => spo2_frame(samples[0], samples[1]),
+                        SensorKind::BloodPressure => blood_pressure_frame(samples[0], samples[1]),
+                        SensorKind::Temperature => temperature_frame(samples[0]),
+                    };
+                    if device.send_raw(&frame).is_err() {
+                        return;
+                    }
+                    thread_frames.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(interval);
+                }
+                device.shutdown();
+            })
+            .expect("spawn sensor runner");
+        *runner.handle.lock() = Some(handle);
+        Ok(runner)
+    }
+
+    /// The sensor family.
+    pub fn kind(&self) -> SensorKind {
+        self.kind
+    }
+
+    /// The device's service id.
+    pub fn device_id(&self) -> ServiceId {
+        self.device_id
+    }
+
+    /// Frames transmitted so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Stops the sensor (and leaves the cell by lease expiry).
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn apply<T>(mut trace: T, scenario: &Scenario) -> T
+where
+    T: VitalTrace + WithEpisode,
+{
+    for e in &scenario.episodes {
+        trace = trace.with_episode(*e);
+    }
+    trace
+}
+
+/// Helper trait letting scenario episodes be threaded through any trace type.
+pub trait WithEpisode: Sized {
+    /// Adds an episode.
+    fn with_episode(self, episode: crate::traces::Episode) -> Self;
+}
+
+macro_rules! impl_with_episode {
+    ($($t:ty),*) => {
+        $(impl WithEpisode for $t {
+            fn with_episode(self, episode: crate::traces::Episode) -> Self {
+                <$t>::with_episode(self, episode)
+            }
+        })*
+    };
+}
+impl_with_episode!(HeartRateTrace, Spo2Trace, SystolicTrace, DiastolicTrace, TemperatureTrace);
+
+/// The state a simulated actuator exposes after applying commands.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ActuatorState {
+    /// Commands applied, in order: `(name, optional numeric argument)`.
+    pub applied: Vec<(String, Option<i64>)>,
+}
+
+/// A running simulated actuator (insulin pump, defibrillator…).
+#[derive(Debug)]
+pub struct ActuatorRunner {
+    client: Arc<RemoteClient>,
+    state: Arc<Mutex<ActuatorState>>,
+    running: Arc<AtomicBool>,
+    handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ActuatorRunner {
+    /// Joins the cell and starts applying incoming commands.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if the device cannot join a cell.
+    pub fn start(net: &SimNetwork, device_type: &str) -> Result<Arc<Self>> {
+        let channel = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
+        let info = ServiceInfo::new(ServiceId::NIL, device_type)
+            .with_name(device_type.to_owned())
+            .with_role("actuator");
+        let client =
+            RemoteClient::connect(info, channel, AgentConfig::default(), Duration::from_secs(10))?;
+        let state = Arc::new(Mutex::new(ActuatorState::default()));
+        let running = Arc::new(AtomicBool::new(true));
+        let runner = Arc::new(ActuatorRunner {
+            client: Arc::clone(&client),
+            state: Arc::clone(&state),
+            running: Arc::clone(&running),
+            handle: Mutex::new(None),
+        });
+        let thread_state = state;
+        let thread_running = running;
+        let handle = std::thread::Builder::new()
+            .name(format!("actuator-{device_type}"))
+            .spawn(move || {
+                while thread_running.load(Ordering::SeqCst) {
+                    match client.next_command(Duration::from_millis(50)) {
+                        Ok(cmd) => {
+                            let arg = cmd
+                                .args
+                                .iter()
+                                .next()
+                                .and_then(|(_, v)| v.as_numeric())
+                                .map(|v| v as i64);
+                            thread_state.lock().applied.push((cmd.name, arg));
+                        }
+                        Err(Error::Timeout) => {}
+                        Err(_) => return,
+                    }
+                }
+            })
+            .expect("spawn actuator runner");
+        *runner.handle.lock() = Some(handle);
+        Ok(runner)
+    }
+
+    /// The actuator's bus client (for subscribing to alarms etc.).
+    pub fn client(&self) -> &Arc<RemoteClient> {
+        &self.client
+    }
+
+    /// The actuator's service id.
+    pub fn device_id(&self) -> ServiceId {
+        self.client.local_id()
+    }
+
+    /// The commands applied so far.
+    pub fn state(&self) -> ActuatorState {
+        self.state.lock().clone()
+    }
+
+    /// Stops the actuator.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.handle.lock().take() {
+            let _ = h.join();
+        }
+        self.client.shutdown();
+    }
+}
+
+/// A whole patient's body-area network: the paper's Figure 1 worth of
+/// devices, animated.
+#[derive(Debug)]
+pub struct Patient {
+    /// Patient label.
+    pub name: String,
+    /// The running sensors.
+    pub sensors: Vec<Arc<SensorRunner>>,
+    /// The running actuators.
+    pub actuators: Vec<Arc<ActuatorRunner>>,
+}
+
+impl Patient {
+    /// Starts the standard four sensors plus an insulin pump for one
+    /// patient under `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device join failures.
+    pub fn admit(
+        net: &SimNetwork,
+        name: impl Into<String>,
+        scenario: &Scenario,
+        seed: u64,
+        sample_interval: Duration,
+    ) -> Result<Patient> {
+        let sensors = vec![
+            SensorRunner::start(net, SensorKind::HeartRate, scenario, seed, sample_interval)?,
+            SensorRunner::start(net, SensorKind::Spo2, scenario, seed + 1, sample_interval)?,
+            SensorRunner::start(net, SensorKind::BloodPressure, scenario, seed + 2, sample_interval * 5)?,
+            SensorRunner::start(net, SensorKind::Temperature, scenario, seed + 3, sample_interval * 10)?,
+        ];
+        let actuators = vec![ActuatorRunner::start(net, device_types::INSULIN_PUMP)?];
+        Ok(Patient { name: name.into(), sensors, actuators })
+    }
+
+    /// Stops every device.
+    pub fn discharge(&self) {
+        for s in &self.sensors {
+            s.stop();
+        }
+        for a in &self.actuators {
+            a.stop();
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! Synthetic physiological signal generators.
+//!
+//! The paper's motivation is monitoring chronically ill patients: heart
+//! rate, blood pressure, blood oxygen and body temperature, with alarms
+//! when thresholds are exceeded. Real patient traces are not available,
+//! so this module generates plausible synthetic vitals: a slow-moving
+//! baseline, respiratory/circadian modulation, measurement noise, and
+//! scripted *episodes* (tachycardia, hypoxia, fever…) that exercise the
+//! alarm paths end-to-end.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// A clinical episode injected into a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EpisodeKind {
+    /// Heart rate ramps far above baseline.
+    Tachycardia,
+    /// Heart rate drops far below baseline.
+    Bradycardia,
+    /// SpO2 sags below 90%.
+    Hypoxia,
+    /// Body temperature rises above 38 °C.
+    Fever,
+    /// Systolic/diastolic pressure drops.
+    Hypotension,
+}
+
+/// A scheduled episode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Episode {
+    /// What happens.
+    pub kind: EpisodeKind,
+    /// When it starts, relative to trace time zero.
+    pub start: Duration,
+    /// How long it lasts.
+    pub duration: Duration,
+    /// Severity in `[0, 1]`.
+    pub severity: f64,
+}
+
+impl Episode {
+    /// Creates an episode.
+    pub fn new(kind: EpisodeKind, start: Duration, duration: Duration, severity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&severity), "severity must be in [0,1]");
+        Episode { kind, start, duration, severity }
+    }
+
+    /// The episode's activation level at `t`: 0 outside, ramping in/out
+    /// over 10% of the duration at each edge.
+    pub fn activation(&self, t: Duration) -> f64 {
+        if t < self.start {
+            return 0.0;
+        }
+        let into = t - self.start;
+        if into >= self.duration {
+            return 0.0;
+        }
+        let ramp = self.duration.mul_f64(0.1).max(Duration::from_millis(1));
+        let x = if into < ramp {
+            into.as_secs_f64() / ramp.as_secs_f64()
+        } else if self.duration - into < ramp {
+            (self.duration - into).as_secs_f64() / ramp.as_secs_f64()
+        } else {
+            1.0
+        };
+        x * self.severity
+    }
+}
+
+/// A generator of one vital-sign channel.
+pub trait VitalTrace: Send {
+    /// The sample at trace time `t`.
+    fn sample(&mut self, t: Duration) -> f64;
+
+    /// Short channel name (`"heart-rate"`, `"spo2"`, …).
+    fn channel(&self) -> &'static str;
+
+    /// Unit of the samples.
+    fn unit(&self) -> &'static str;
+}
+
+/// Common scaffolding: baseline + sinusoidal modulation + noise +
+/// episode response.
+#[derive(Debug)]
+struct TraceCore {
+    baseline: f64,
+    modulation_amp: f64,
+    modulation_period: f64,
+    noise: f64,
+    episodes: Vec<Episode>,
+    rng: StdRng,
+}
+
+impl TraceCore {
+    fn new(baseline: f64, modulation_amp: f64, modulation_period: f64, noise: f64, seed: u64) -> Self {
+        TraceCore {
+            baseline,
+            modulation_amp,
+            modulation_period,
+            noise,
+            episodes: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn value(&mut self, t: Duration, episode_response: impl Fn(EpisodeKind, f64) -> f64) -> f64 {
+        let ts = t.as_secs_f64();
+        let mut v = self.baseline
+            + self.modulation_amp * (ts * std::f64::consts::TAU / self.modulation_period).sin()
+            + self.rng.gen_range(-self.noise..=self.noise);
+        for e in &self.episodes {
+            let a = e.activation(t);
+            if a > 0.0 {
+                v += episode_response(e.kind, a);
+            }
+        }
+        v
+    }
+}
+
+macro_rules! vital_trace {
+    ($(#[$doc:meta])* $name:ident, $channel:literal, $unit:literal,
+     baseline: $baseline:expr, amp: $amp:expr, period: $period:expr, noise: $noise:expr,
+     clamp: ($lo:expr, $hi:expr), response: $response:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            core: TraceCore,
+        }
+
+        impl $name {
+            /// Creates the trace with a deterministic seed.
+            pub fn new(seed: u64) -> Self {
+                $name { core: TraceCore::new($baseline, $amp, $period, $noise, seed) }
+            }
+
+            /// Creates the trace with a custom baseline.
+            pub fn with_baseline(seed: u64, baseline: f64) -> Self {
+                let mut t = Self::new(seed);
+                t.core.baseline = baseline;
+                t
+            }
+
+            /// Schedules an episode.
+            pub fn with_episode(mut self, episode: Episode) -> Self {
+                self.core.episodes.push(episode);
+                self
+            }
+        }
+
+        impl VitalTrace for $name {
+            fn sample(&mut self, t: Duration) -> f64 {
+                let response: fn(EpisodeKind, f64) -> f64 = $response;
+                self.core.value(t, response).clamp($lo, $hi)
+            }
+
+            fn channel(&self) -> &'static str {
+                $channel
+            }
+
+            fn unit(&self) -> &'static str {
+                $unit
+            }
+        }
+    };
+}
+
+vital_trace!(
+    /// Heart rate in beats per minute: resting baseline ≈72, respiratory
+    /// sinus arrhythmia, tachy/brady episodes.
+    HeartRateTrace, "heart-rate", "bpm",
+    baseline: 72.0, amp: 3.0, period: 5.0, noise: 1.5,
+    clamp: (20.0, 240.0),
+    response: |kind, a| match kind {
+        EpisodeKind::Tachycardia => 90.0 * a,
+        EpisodeKind::Bradycardia => -35.0 * a,
+        EpisodeKind::Hypoxia => 15.0 * a, // compensatory rise
+        _ => 0.0,
+    }
+);
+
+vital_trace!(
+    /// Oxygen saturation in percent: baseline ≈97, hypoxia dips.
+    Spo2Trace, "spo2", "%",
+    baseline: 97.0, amp: 0.5, period: 11.0, noise: 0.4,
+    clamp: (50.0, 100.0),
+    response: |kind, a| match kind {
+        EpisodeKind::Hypoxia => -12.0 * a,
+        _ => 0.0,
+    }
+);
+
+vital_trace!(
+    /// Systolic blood pressure in mmHg.
+    SystolicTrace, "systolic", "mmHg",
+    baseline: 120.0, amp: 4.0, period: 30.0, noise: 2.0,
+    clamp: (40.0, 260.0),
+    response: |kind, a| match kind {
+        EpisodeKind::Hypotension => -35.0 * a,
+        EpisodeKind::Tachycardia => 10.0 * a,
+        _ => 0.0,
+    }
+);
+
+vital_trace!(
+    /// Diastolic blood pressure in mmHg.
+    DiastolicTrace, "diastolic", "mmHg",
+    baseline: 80.0, amp: 3.0, period: 30.0, noise: 1.5,
+    clamp: (20.0, 160.0),
+    response: |kind, a| match kind {
+        EpisodeKind::Hypotension => -20.0 * a,
+        _ => 0.0,
+    }
+);
+
+vital_trace!(
+    /// Core body temperature in °C: slow circadian wave, fever episodes.
+    TemperatureTrace, "temperature", "celsius",
+    baseline: 36.8, amp: 0.3, period: 3600.0, noise: 0.05,
+    clamp: (30.0, 43.0),
+    response: |kind, a| match kind {
+        EpisodeKind::Fever => 2.5 * a,
+        _ => 0.0,
+    }
+);
+
+/// A synthetic single-lead ECG waveform sampled at a fixed rate.
+///
+/// The paper notes bulk monitoring data like an ECG stream bypasses the
+/// event bus (it goes straight to a viewing station); this generator
+/// feeds that path. The waveform is a crude but recognisable P-QRS-T
+/// composite whose rate follows a [`HeartRateTrace`].
+#[derive(Debug)]
+pub struct EcgTrace {
+    hr: HeartRateTrace,
+    sample_rate_hz: f64,
+    phase: f64,
+    samples_taken: u64,
+}
+
+impl EcgTrace {
+    /// Creates an ECG generator at `sample_rate_hz` (typically 250).
+    pub fn new(seed: u64, sample_rate_hz: f64) -> Self {
+        assert!(sample_rate_hz > 0.0);
+        EcgTrace { hr: HeartRateTrace::new(seed), sample_rate_hz, phase: 0.0, samples_taken: 0 }
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.sample_rate_hz
+    }
+
+    /// Schedules an episode on the underlying rate trace.
+    pub fn with_episode(mut self, episode: Episode) -> Self {
+        self.hr = self.hr.with_episode(episode);
+        self
+    }
+
+    /// Produces the next `n` samples in millivolts.
+    pub fn next_samples(&mut self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = Duration::from_secs_f64(self.samples_taken as f64 / self.sample_rate_hz);
+            let bpm = self.hr.sample(t);
+            let beat_hz = bpm / 60.0;
+            self.phase = (self.phase + beat_hz / self.sample_rate_hz).fract();
+            out.push(ecg_waveform(self.phase));
+            self.samples_taken += 1;
+        }
+        out
+    }
+}
+
+/// One cardiac cycle of a stylised P-QRS-T shape over phase `[0, 1)`.
+fn ecg_waveform(phase: f64) -> f64 {
+    let g = |center: f64, width: f64, height: f64| {
+        let d = (phase - center) / width;
+        height * (-d * d).exp()
+    };
+    // P wave, Q dip, R spike, S dip, T wave.
+    g(0.18, 0.025, 0.15) + g(0.295, 0.012, -0.12) + g(0.32, 0.008, 1.2)
+        + g(0.345, 0.012, -0.25)
+        + g(0.55, 0.04, 0.3)
+}
+
+/// A patient scenario: a named bundle of episodes shared by all of the
+/// patient's vital traces.
+///
+/// ```
+/// use std::time::Duration;
+/// use smc_sensors::traces::{HeartRateTrace, Scenario, VitalTrace};
+///
+/// let scenario = Scenario::cardiac_event(Duration::from_secs(10));
+/// let mut hr = HeartRateTrace::new(7);
+/// for episode in &scenario.episodes {
+///     hr = hr.with_episode(*episode);
+/// }
+/// let during = hr.sample(Duration::from_secs(60));
+/// assert!(during > 120.0, "the cardiac event drives the rate up: {during}");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// Scenario label.
+    pub name: String,
+    /// The scripted episodes.
+    pub episodes: Vec<Episode>,
+}
+
+impl Scenario {
+    /// An uneventful patient.
+    pub fn stable(name: impl Into<String>) -> Self {
+        Scenario { name: name.into(), episodes: Vec::new() }
+    }
+
+    /// Adds an episode (builder style).
+    pub fn with(mut self, episode: Episode) -> Self {
+        self.episodes.push(episode);
+        self
+    }
+
+    /// The paper's motivating case: a possible heart attack — tachycardia
+    /// with hypoxia and a pressure drop, starting at `onset`.
+    pub fn cardiac_event(onset: Duration) -> Self {
+        Scenario::stable("cardiac-event")
+            .with(Episode::new(EpisodeKind::Tachycardia, onset, Duration::from_secs(90), 0.9))
+            .with(Episode::new(
+                EpisodeKind::Hypoxia,
+                onset + Duration::from_secs(20),
+                Duration::from_secs(70),
+                0.7,
+            ))
+            .with(Episode::new(
+                EpisodeKind::Hypotension,
+                onset + Duration::from_secs(30),
+                Duration::from_secs(60),
+                0.8,
+            ))
+    }
+
+    /// An infection developing over hours: fever plus mild tachycardia.
+    pub fn infection(onset: Duration) -> Self {
+        Scenario::stable("infection")
+            .with(Episode::new(EpisodeKind::Fever, onset, Duration::from_secs(4 * 3600), 0.8))
+            .with(Episode::new(
+                EpisodeKind::Tachycardia,
+                onset + Duration::from_secs(600),
+                Duration::from_secs(3 * 3600),
+                0.3,
+            ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: Duration = Duration::from_secs(1);
+
+    #[test]
+    fn traces_stay_in_plausible_ranges() {
+        let mut hr = HeartRateTrace::new(1);
+        let mut spo2 = Spo2Trace::new(2);
+        let mut temp = TemperatureTrace::new(3);
+        let mut sys = SystolicTrace::new(4);
+        let mut dia = DiastolicTrace::new(5);
+        for i in 0..600 {
+            let t = SEC * i;
+            let h = hr.sample(t);
+            assert!((50.0..110.0).contains(&h), "resting HR {h}");
+            let s = spo2.sample(t);
+            assert!((94.0..100.0).contains(&s), "resting SpO2 {s}");
+            let c = temp.sample(t);
+            assert!((36.0..37.6).contains(&c), "resting temp {c}");
+            assert!(sys.sample(t) > dia.sample(t), "systolic above diastolic");
+        }
+    }
+
+    #[test]
+    fn traces_are_deterministic_per_seed() {
+        let mut a = HeartRateTrace::new(42);
+        let mut b = HeartRateTrace::new(42);
+        let mut c = HeartRateTrace::new(43);
+        let va: Vec<f64> = (0..50).map(|i| a.sample(SEC * i)).collect();
+        let vb: Vec<f64> = (0..50).map(|i| b.sample(SEC * i)).collect();
+        let vc: Vec<f64> = (0..50).map(|i| c.sample(SEC * i)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn tachycardia_episode_raises_rate() {
+        let episode = Episode::new(EpisodeKind::Tachycardia, SEC * 60, SEC * 60, 1.0);
+        let mut hr = HeartRateTrace::new(7).with_episode(episode);
+        let before = hr.sample(SEC * 30);
+        let during = hr.sample(SEC * 90);
+        let after = hr.sample(SEC * 150);
+        assert!(during > before + 60.0, "episode peak {during} vs {before}");
+        assert!(during > 120.0, "alarm threshold crossed: {during}");
+        assert!(after < before + 20.0, "rate recovers: {after}");
+    }
+
+    #[test]
+    fn hypoxia_dips_spo2_below_90() {
+        let episode = Episode::new(EpisodeKind::Hypoxia, SEC * 10, SEC * 40, 0.9);
+        let mut spo2 = Spo2Trace::new(9).with_episode(episode);
+        let during = spo2.sample(SEC * 30);
+        assert!(during < 90.0, "hypoxic SpO2 {during}");
+    }
+
+    #[test]
+    fn fever_episode_crosses_38() {
+        let episode = Episode::new(EpisodeKind::Fever, SEC * 10, SEC * 100, 0.9);
+        let mut t = TemperatureTrace::new(11).with_episode(episode);
+        assert!(t.sample(SEC * 60) > 38.0);
+    }
+
+    #[test]
+    fn activation_envelope() {
+        let e = Episode::new(EpisodeKind::Fever, SEC * 10, SEC * 100, 1.0);
+        assert_eq!(e.activation(SEC * 5), 0.0);
+        assert_eq!(e.activation(SEC * 200), 0.0);
+        assert!(e.activation(SEC * 11) > 0.0);
+        assert!(e.activation(SEC * 11) < 1.0, "ramp-in");
+        assert_eq!(e.activation(SEC * 60), 1.0, "plateau");
+        assert!(e.activation(SEC * 109) < 1.0, "ramp-out");
+    }
+
+    #[test]
+    #[should_panic(expected = "severity")]
+    fn severity_validated() {
+        let _ = Episode::new(EpisodeKind::Fever, SEC, SEC, 2.0);
+    }
+
+    #[test]
+    fn ecg_waveform_has_r_spikes() {
+        let mut ecg = EcgTrace::new(1, 250.0);
+        let samples = ecg.next_samples(2500); // ten seconds
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > 1.0, "R peak present: {max}");
+        // Roughly 72 bpm → 12 beats in 10 s; count threshold crossings.
+        let mut beats = 0;
+        let mut above = false;
+        for &s in &samples {
+            if s > 0.8 && !above {
+                beats += 1;
+                above = true;
+            } else if s < 0.2 {
+                above = false;
+            }
+        }
+        assert!((9..=16).contains(&beats), "beat count {beats}");
+    }
+
+    #[test]
+    fn scenarios_compose() {
+        let s = Scenario::cardiac_event(SEC * 100);
+        assert_eq!(s.episodes.len(), 3);
+        assert_eq!(s.name, "cardiac-event");
+        let i = Scenario::infection(SEC * 10);
+        assert_eq!(i.episodes.len(), 2);
+        let custom = Scenario::stable("x")
+            .with(Episode::new(EpisodeKind::Bradycardia, SEC, SEC, 0.5));
+        assert_eq!(custom.episodes.len(), 1);
+    }
+}

@@ -1,0 +1,262 @@
+//! Full ward scenario: a patient's body-area network joins a cell, a
+//! scripted cardiac event unfolds, policies raise alarms and drive the
+//! actuator — the paper's motivating use case, end-to-end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use smc_core::{RemoteClient, SmcCell, SmcConfig};
+use smc_discovery::AgentConfig;
+use smc_policy::{ActionSpec, Expr, ObligationPolicy, Policy, ValueTemplate};
+use smc_sensors::runner::{Patient, SensorKind, SensorRunner};
+use smc_sensors::{register_standard_codecs, Episode, EpisodeKind, Scenario};
+use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{wellknown, Error, Event, Filter, Op, ServiceId, ServiceInfo};
+
+const TICK: Duration = Duration::from_secs(10);
+
+fn start_cell(net: &SimNetwork) -> Arc<SmcCell> {
+    let cell = SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), SmcConfig::fast());
+    register_standard_codecs(cell.proxy_factory());
+    cell
+}
+
+fn nurse_terminal(net: &SimNetwork) -> Arc<RemoteClient> {
+    RemoteClient::connect(
+        ServiceInfo::new(ServiceId::NIL, "terminal.nurse").with_role("manager"),
+        ReliableChannel::new(
+            Arc::new(net.endpoint()),
+            ReliableConfig {
+                initial_rto: Duration::from_millis(30),
+                poll_interval: Duration::from_millis(10),
+                ..ReliableConfig::default()
+            },
+        ),
+        AgentConfig::default(),
+        TICK,
+    )
+    .unwrap()
+}
+
+#[test]
+fn tachycardia_episode_raises_alarm_to_nurse() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = start_cell(&net);
+    cell.policy()
+        .add(Policy::Obligation(
+            ObligationPolicy::new(
+                "tachy-alarm",
+                Filter::for_type(wellknown::SENSOR_READING).with(("sensor", Op::Eq, "heart-rate")),
+            )
+            .when(Expr::parse("bpm > 120").unwrap())
+            .then(ActionSpec::PublishEvent {
+                event_type: wellknown::ALARM.into(),
+                attrs: vec![
+                    ("kind".into(), ValueTemplate::Literal("tachycardia".into())),
+                    ("bpm".into(), ValueTemplate::FromEvent("bpm".into())),
+                ],
+            }),
+        ))
+        .unwrap();
+
+    let nurse = nurse_terminal(&net);
+    nurse.subscribe(Filter::for_type(wellknown::ALARM), TICK).unwrap();
+
+    // Heart-rate strap whose episode starts essentially immediately.
+    let scenario = Scenario::stable("acute").with(Episode::new(
+        EpisodeKind::Tachycardia,
+        Duration::from_millis(0),
+        Duration::from_secs(60),
+        1.0,
+    ));
+    let strap = SensorRunner::start(
+        &net,
+        SensorKind::HeartRate,
+        &scenario,
+        77,
+        Duration::from_millis(30),
+    )
+    .unwrap();
+
+    // The alarm must arrive, carrying an elevated reading.
+    let alarm = nurse.next_event(TICK).unwrap();
+    assert_eq!(alarm.event_type(), wellknown::ALARM);
+    assert_eq!(alarm.attr("kind").unwrap().as_str(), Some("tachycardia"));
+    let bpm = alarm.attr("bpm").unwrap().as_int().unwrap();
+    assert!(bpm > 120, "alarm bpm {bpm}");
+    assert!(strap.frames_sent() > 0);
+
+    strap.stop();
+    nurse.shutdown();
+    cell.shutdown();
+}
+
+#[test]
+fn full_patient_network_streams_all_channels() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = start_cell(&net);
+    let nurse = nurse_terminal(&net);
+    nurse.subscribe(Filter::for_type(wellknown::SENSOR_READING), TICK).unwrap();
+
+    let patient = Patient::admit(
+        &net,
+        "bed 4",
+        &Scenario::stable("routine"),
+        99,
+        Duration::from_millis(25),
+    )
+    .unwrap();
+    assert_eq!(patient.sensors.len(), 4);
+    assert_eq!(patient.actuators.len(), 1);
+
+    // Every sensor family shows up on the bus.
+    let mut seen = std::collections::HashSet::new();
+    let deadline = std::time::Instant::now() + TICK;
+    while seen.len() < 4 {
+        assert!(std::time::Instant::now() < deadline, "only saw {seen:?}");
+        if let Ok(e) = nurse.next_event(Duration::from_millis(200)) {
+            if let Some(sensor) = e.attr("sensor").and_then(|v| v.as_str()) {
+                seen.insert(sensor.to_owned());
+            }
+        }
+    }
+    assert!(seen.contains("heart-rate"));
+    assert!(seen.contains("spo2"));
+    assert!(seen.contains("blood-pressure"));
+    assert!(seen.contains("temperature"));
+
+    // The cell sees all five devices as members.
+    assert_eq!(cell.members().len(), 6, "4 sensors + pump + nurse");
+
+    patient.discharge();
+    nurse.shutdown();
+    cell.shutdown();
+}
+
+#[test]
+fn policy_commands_actuator_on_hypoxia() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = start_cell(&net);
+    cell.policy()
+        .add(Policy::Obligation(
+            ObligationPolicy::new(
+                "hypoxia-response",
+                Filter::for_type(wellknown::SENSOR_READING).with(("sensor", Op::Eq, "spo2")),
+            )
+            .when(Expr::parse("spo2 < 90").unwrap())
+            .then(ActionSpec::SendCommand {
+                target: None,
+                target_device_type: "actuator.*".into(),
+                name: "increase-oxygen".into(),
+                args: vec![("spo2".into(), ValueTemplate::FromEvent("spo2".into()))],
+            }),
+        ))
+        .unwrap();
+
+    let scenario = Scenario::stable("hypoxia").with(Episode::new(
+        EpisodeKind::Hypoxia,
+        Duration::from_millis(0),
+        Duration::from_secs(60),
+        1.0,
+    ));
+    let patient = Patient::admit(&net, "bed 9", &scenario, 123, Duration::from_millis(25)).unwrap();
+
+    let pump = &patient.actuators[0];
+    let deadline = std::time::Instant::now() + TICK;
+    loop {
+        let state = pump.state();
+        if state.applied.iter().any(|(name, _)| name == "increase-oxygen") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "pump never commanded: {state:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    patient.discharge();
+    cell.shutdown();
+}
+
+#[test]
+fn sensor_survives_transient_dropout() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = start_cell(&net);
+    let nurse = nurse_terminal(&net);
+    nurse.subscribe(Filter::for_type(wellknown::SENSOR_READING), TICK).unwrap();
+
+    let strap = SensorRunner::start(
+        &net,
+        SensorKind::HeartRate,
+        &Scenario::stable("walkabout"),
+        5,
+        Duration::from_millis(20),
+    )
+    .unwrap();
+
+    // Wait for flow.
+    nurse.next_event(TICK).unwrap();
+
+    // The patient wanders out of range briefly (shorter than the grace
+    // period), then returns; readings must resume without rejoin.
+    net.set_partitioned(strap.device_id(), cell.bus_endpoint(), true);
+    net.set_partitioned(strap.device_id(), cell.discovery().local_id(), true);
+    std::thread::sleep(Duration::from_millis(120));
+    net.set_partitioned(strap.device_id(), cell.bus_endpoint(), false);
+    net.set_partitioned(strap.device_id(), cell.discovery().local_id(), false);
+
+    // Drain whatever queued, then confirm fresh readings keep coming.
+    let mut after = 0;
+    let deadline = std::time::Instant::now() + TICK;
+    while after < 10 {
+        assert!(std::time::Instant::now() < deadline);
+        if nurse.next_event(Duration::from_millis(300)).is_ok() {
+            after += 1;
+        }
+    }
+    assert!(cell.discovery().is_member(strap.device_id()), "membership masked the dropout");
+
+    strap.stop();
+    nurse.shutdown();
+    cell.shutdown();
+}
+
+#[test]
+fn discharge_is_clean() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = start_cell(&net);
+    let patient =
+        Patient::admit(&net, "bed 1", &Scenario::stable("ok"), 7, Duration::from_millis(50))
+            .unwrap();
+    let deadline = std::time::Instant::now() + TICK;
+    while cell.members().len() < 5 {
+        assert!(std::time::Instant::now() < deadline);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    patient.discharge();
+    // Leases expire and the members disappear.
+    let deadline = std::time::Instant::now() + TICK;
+    while !cell.members().is_empty() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "members remain: {:?}",
+            cell.members().len()
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    }
+    cell.shutdown();
+}
+
+#[test]
+fn stopped_sensor_errors_propagate() {
+    // A sensor that cannot join (no cell) reports Timeout.
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let result = SensorRunner::start(
+        &net,
+        SensorKind::Spo2,
+        &Scenario::stable("orphan"),
+        1,
+        Duration::from_millis(50),
+    );
+    assert!(matches!(result, Err(Error::Timeout)), "{result:?}");
+    // Events through an event-type constant sanity check.
+    let _ = Event::new(wellknown::SENSOR_READING);
+}

@@ -1,0 +1,169 @@
+//! Wire frames used by the reliability layer.
+//!
+//! A [`Frame`] is what actually crosses a [`crate::Transport`]: either a
+//! `Data` fragment with acknowledgement bookkeeping, an `Ack`, or an
+//! `Unreliable` passthrough (used for discovery beacons and other traffic
+//! that neither needs nor wants retransmission).
+
+use bytes::{BufMut, BytesMut};
+
+use smc_types::codec::{Decode, Encode, Reader, WriteExt};
+use smc_types::error::CodecError;
+
+/// Fixed per-fragment header budget: tag + epoch + seq + 2×u16 + u32 len.
+pub const FRAME_HEADER_LEN: usize = 1 + 8 + 8 + 2 + 2 + 4;
+
+/// A reliability-layer frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// One fragment of a reliable message.
+    Data {
+        /// Sender session epoch (strictly increasing across restarts).
+        epoch: u64,
+        /// Message sequence number within the epoch, starting at 1.
+        seq: u64,
+        /// Fragment index within the message, `0..frag_count`.
+        frag_index: u16,
+        /// Total fragments in the message (≥ 1).
+        frag_count: u16,
+        /// The fragment bytes.
+        payload: Vec<u8>,
+    },
+    /// Acknowledges one fragment of a reliable message.
+    Ack {
+        /// Echo of the sender's epoch.
+        epoch: u64,
+        /// Echo of the message sequence.
+        seq: u64,
+        /// Echo of the fragment index.
+        frag_index: u16,
+    },
+    /// Fire-and-forget payload with no reliability state.
+    Unreliable {
+        /// The raw bytes.
+        payload: Vec<u8>,
+    },
+}
+
+const F_DATA: u8 = 0xD1;
+const F_ACK: u8 = 0xA1;
+const F_UNRELIABLE: u8 = 0x01;
+
+impl Encode for Frame {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Frame::Data { epoch, seq, frag_index, frag_count, payload } => {
+                buf.put_u8(F_DATA);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*seq);
+                buf.put_u16_le(*frag_index);
+                buf.put_u16_le(*frag_count);
+                buf.put_bytes_field(payload);
+            }
+            Frame::Ack { epoch, seq, frag_index } => {
+                buf.put_u8(F_ACK);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*seq);
+                buf.put_u16_le(*frag_index);
+            }
+            Frame::Unreliable { payload } => {
+                buf.put_u8(F_UNRELIABLE);
+                buf.put_bytes_field(payload);
+            }
+        }
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            F_DATA => {
+                let epoch = r.u64()?;
+                let seq = r.u64()?;
+                let frag_index = r.u16()?;
+                let frag_count = r.u16()?;
+                let payload = r.bytes()?;
+                if frag_count == 0 || frag_index >= frag_count {
+                    return Err(CodecError::BadTag { what: "fragment index", tag: 0 });
+                }
+                Ok(Frame::Data { epoch, seq, frag_index, frag_count, payload })
+            }
+            F_ACK => Ok(Frame::Ack { epoch: r.u64()?, seq: r.u64()?, frag_index: r.u16()? }),
+            F_UNRELIABLE => Ok(Frame::Unreliable { payload: r.bytes()? }),
+            t => Err(CodecError::BadTag { what: "frame", tag: t }),
+        }
+    }
+}
+
+/// Splits `payload` into fragments of at most `max_fragment` bytes.
+///
+/// Always yields at least one fragment (an empty payload travels as one
+/// empty fragment).
+///
+/// # Panics
+///
+/// Panics if `max_fragment` is zero or the payload needs more than
+/// `u16::MAX` fragments.
+pub fn fragment(payload: &[u8], max_fragment: usize) -> Vec<Vec<u8>> {
+    assert!(max_fragment > 0, "max_fragment must be positive");
+    if payload.is_empty() {
+        return vec![Vec::new()];
+    }
+    let count = payload.len().div_ceil(max_fragment);
+    assert!(count <= u16::MAX as usize, "payload needs too many fragments");
+    payload.chunks(max_fragment).map(<[u8]>::to_vec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::codec::{from_bytes, to_bytes};
+
+    #[test]
+    fn frames_round_trip() {
+        for f in [
+            Frame::Data { epoch: 1, seq: 2, frag_index: 0, frag_count: 3, payload: vec![9; 10] },
+            Frame::Ack { epoch: 1, seq: 2, frag_index: 1 },
+            Frame::Unreliable { payload: vec![1, 2, 3] },
+        ] {
+            let bytes = to_bytes(&f);
+            assert_eq!(from_bytes::<Frame>(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn header_budget_is_honest() {
+        let f = Frame::Data { epoch: 0, seq: 0, frag_index: 0, frag_count: 1, payload: vec![] };
+        assert!(to_bytes(&f).len() <= FRAME_HEADER_LEN);
+    }
+
+    #[test]
+    fn bad_fragment_indices_rejected() {
+        let f = Frame::Data { epoch: 0, seq: 0, frag_index: 5, frag_count: 3, payload: vec![] };
+        let bytes = to_bytes(&f);
+        assert!(from_bytes::<Frame>(&bytes).is_err());
+    }
+
+    #[test]
+    fn unknown_frame_tag_rejected() {
+        assert!(from_bytes::<Frame>(&[0x77]).is_err());
+    }
+
+    #[test]
+    fn fragmentation() {
+        assert_eq!(fragment(&[], 10), vec![Vec::<u8>::new()]);
+        assert_eq!(fragment(&[1, 2, 3], 10), vec![vec![1, 2, 3]]);
+        let frags = fragment(&[0u8; 25], 10);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[0].len(), 10);
+        assert_eq!(frags[2].len(), 5);
+        let rejoined: Vec<u8> = frags.concat();
+        assert_eq!(rejoined, vec![0u8; 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_fragment_size_panics() {
+        let _ = fragment(&[1], 0);
+    }
+}

@@ -1,0 +1,630 @@
+//! In-memory simulated network.
+//!
+//! The prototype was developed over UDP on a LAN "to mimic the wireless
+//! environment"; tests and the figure harnesses here go one step further
+//! and simulate the link itself, with configurable latency, jitter, loss,
+//! duplication, serial bandwidth and broadcast domains. Partitioning and
+//! domain moves emulate devices drifting out of radio range.
+//!
+//! Endpoints attached to the same [`SimNetwork`] exchange datagrams; a
+//! background timer thread delivers delayed datagrams in deadline order.
+//! With an [ideal link](crate::profile::LinkConfig::ideal) delivery is
+//! synchronous, which keeps correctness tests deterministic.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use smc_types::{Error, Result, ServiceId};
+
+use crate::profile::LinkConfig;
+use crate::transport::{Datagram, Transport};
+
+/// Counters describing everything the simulated network did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams accepted from senders.
+    pub sent: u64,
+    /// Datagrams handed to receivers (duplicates count).
+    pub delivered: u64,
+    /// Datagrams dropped by the loss model.
+    pub lost: u64,
+    /// Datagrams dropped because sender and receiver were partitioned or
+    /// in different domains.
+    pub unreachable: u64,
+    /// Extra copies delivered by the duplication model.
+    pub duplicated: u64,
+    /// Total payload bytes handed to receivers.
+    pub bytes_delivered: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    to: ServiceId,
+    datagram: Datagram,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Endpoint {
+    sender: Sender<Datagram>,
+    domain: u32,
+}
+
+#[derive(Debug)]
+struct NetState {
+    endpoints: HashMap<ServiceId, Endpoint>,
+    default_link: LinkConfig,
+    links: HashMap<(ServiceId, ServiceId), LinkConfig>,
+    busy_until: HashMap<(ServiceId, ServiceId), Instant>,
+    partitioned: HashSet<(ServiceId, ServiceId)>,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    next_host: u32,
+    closed: bool,
+    stats: NetStats,
+}
+
+#[derive(Debug)]
+struct NetInner {
+    state: Mutex<NetState>,
+    timer_cv: Condvar,
+    rng: Mutex<StdRng>,
+}
+
+/// A simulated network that [`MemTransport`] endpoints attach to.
+///
+/// ```
+/// use smc_transport::{LinkConfig, SimNetwork, Transport};
+///
+/// let net = SimNetwork::new(LinkConfig::ideal());
+/// let a = net.endpoint();
+/// let b = net.endpoint();
+/// a.send(b.local_id(), b"hello")?;
+/// let got = b.recv(Some(std::time::Duration::from_secs(1)))?;
+/// assert_eq!(got.payload, b"hello");
+/// assert_eq!(got.from, a.local_id());
+/// # Ok::<(), smc_types::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimNetwork {
+    inner: Arc<NetInner>,
+}
+
+impl SimNetwork {
+    /// Creates a network whose links default to `default_link`, seeded
+    /// from entropy.
+    pub fn new(default_link: LinkConfig) -> Self {
+        SimNetwork::with_seed(default_link, rand::random())
+    }
+
+    /// Creates a network with a deterministic random seed (loss, jitter
+    /// and duplication become reproducible).
+    pub fn with_seed(default_link: LinkConfig, seed: u64) -> Self {
+        let inner = Arc::new(NetInner {
+            state: Mutex::new(NetState {
+                endpoints: HashMap::new(),
+                default_link,
+                links: HashMap::new(),
+                busy_until: HashMap::new(),
+                partitioned: HashSet::new(),
+                queue: BinaryHeap::new(),
+                next_seq: 0,
+                next_host: 1,
+                closed: false,
+                stats: NetStats::default(),
+            }),
+            timer_cv: Condvar::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        });
+        let timer_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("simnet-timer".into())
+            .spawn(move || timer_loop(timer_inner))
+            .expect("spawn simnet timer thread");
+        SimNetwork { inner }
+    }
+
+    /// Attaches a new endpoint with an auto-assigned identifier.
+    pub fn endpoint(&self) -> MemTransport {
+        let id = {
+            let mut st = self.inner.state.lock();
+            let host = st.next_host;
+            st.next_host += 1;
+            ServiceId::from_addr_port(Ipv4Addr::from(0x0A00_0000 | host), 4000)
+        };
+        self.endpoint_with_id(id)
+    }
+
+    /// Attaches a new endpoint with a caller-chosen identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is already attached.
+    pub fn endpoint_with_id(&self, id: ServiceId) -> MemTransport {
+        let (tx, rx) = unbounded();
+        let mut st = self.inner.state.lock();
+        let prev = st.endpoints.insert(id, Endpoint { sender: tx, domain: 0 });
+        assert!(prev.is_none(), "endpoint {id} already attached");
+        MemTransport {
+            net: self.clone(),
+            id,
+            rx,
+            closed: Arc::new(Mutex::new(false)),
+        }
+    }
+
+    /// Overrides the link configuration for the directed pair `from → to`.
+    pub fn set_link(&self, from: ServiceId, to: ServiceId, link: LinkConfig) {
+        self.inner.state.lock().links.insert((from, to), link);
+    }
+
+    /// Overrides the link configuration in both directions.
+    pub fn set_link_between(&self, a: ServiceId, b: ServiceId, link: LinkConfig) {
+        let mut st = self.inner.state.lock();
+        st.links.insert((a, b), link.clone());
+        st.links.insert((b, a), link);
+    }
+
+    /// Replaces the default link configuration for pairs without an
+    /// override.
+    pub fn set_default_link(&self, link: LinkConfig) {
+        self.inner.state.lock().default_link = link;
+    }
+
+    /// Partitions (or heals) the pair `a ↔ b`. Partitioned endpoints drop
+    /// all traffic between each other, emulating radio silence.
+    pub fn set_partitioned(&self, a: ServiceId, b: ServiceId, partitioned: bool) {
+        let mut st = self.inner.state.lock();
+        if partitioned {
+            st.partitioned.insert((a, b));
+            st.partitioned.insert((b, a));
+        } else {
+            st.partitioned.remove(&(a, b));
+            st.partitioned.remove(&(b, a));
+        }
+    }
+
+    /// Moves an endpoint to a broadcast domain (0 is the default). Traffic
+    /// only flows within a domain — a device "out of range" sits alone in
+    /// its own domain.
+    pub fn set_domain(&self, id: ServiceId, domain: u32) {
+        let mut st = self.inner.state.lock();
+        if let Some(ep) = st.endpoints.get_mut(&id) {
+            ep.domain = domain;
+        }
+    }
+
+    /// A snapshot of the network counters.
+    pub fn stats(&self) -> NetStats {
+        self.inner.state.lock().stats.clone()
+    }
+
+    /// Number of attached endpoints.
+    pub fn endpoint_count(&self) -> usize {
+        self.inner.state.lock().endpoints.len()
+    }
+
+    /// Shuts the whole network down; all endpoints see `Closed`.
+    pub fn shutdown(&self) {
+        let mut st = self.inner.state.lock();
+        st.closed = true;
+        st.endpoints.clear();
+        st.queue.clear();
+        self.inner.timer_cv.notify_all();
+    }
+
+    fn detach(&self, id: ServiceId) {
+        self.inner.state.lock().endpoints.remove(&id);
+    }
+
+    /// Core send path shared by unicast and broadcast.
+    fn transmit(&self, from: ServiceId, to: ServiceId, payload: &[u8], broadcast: bool) -> Result<()> {
+        let now = Instant::now();
+        let mut st = self.inner.state.lock();
+        if st.closed {
+            return Err(Error::Closed);
+        }
+        st.stats.sent += 1;
+        // Reachability: both partitions and domain mismatches silently eat
+        // the datagram, exactly like radio out-of-range.
+        let reachable = {
+            let src_domain = st.endpoints.get(&from).map(|e| e.domain);
+            match (src_domain, st.endpoints.get(&to)) {
+                (Some(sd), Some(ep)) if ep.domain == sd => !st.partitioned.contains(&(from, to)),
+                _ => false,
+            }
+        };
+        if !reachable {
+            st.stats.unreachable += 1;
+            return Ok(());
+        }
+        let link = st.links.get(&(from, to)).unwrap_or(&st.default_link).clone();
+        if payload.len() > link.mtu {
+            return Err(Error::Invalid(format!(
+                "payload of {} bytes exceeds link mtu {}",
+                payload.len(),
+                link.mtu
+            )));
+        }
+        let (lost, duplicated, jitter) = {
+            let mut rng = self.inner.rng.lock();
+            let lost = link.loss > 0.0 && rng.gen_bool(link.loss.min(1.0));
+            let duplicated = link.duplicate > 0.0 && rng.gen_bool(link.duplicate.min(1.0));
+            let jitter = if link.jitter.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.gen_range(0..=link.jitter.as_nanos() as u64))
+            };
+            (lost, duplicated, jitter)
+        };
+        if lost {
+            st.stats.lost += 1;
+            return Ok(());
+        }
+        let datagram = if broadcast {
+            Datagram::broadcasted(from, payload.to_vec())
+        } else {
+            Datagram::unicast(from, payload.to_vec())
+        };
+
+        // Serial-link pacing: a directed link transmits one datagram at a
+        // time at its configured bandwidth.
+        let tx_time = link.transmission_time(payload.len());
+        let deliver_at = if link.is_instant() {
+            now
+        } else {
+            let busy = st.busy_until.entry((from, to)).or_insert(now);
+            let start = (*busy).max(now);
+            *busy = start + tx_time;
+            start + tx_time + link.latency + jitter
+        };
+
+        let copies = if duplicated { 2 } else { 1 };
+        if duplicated {
+            st.stats.duplicated += 1;
+        }
+        for _ in 0..copies {
+            if deliver_at <= now {
+                deliver(&mut st, to, datagram.clone());
+            } else {
+                let seq = st.next_seq;
+                st.next_seq += 1;
+                st.queue.push(Reverse(Scheduled { due: deliver_at, seq, to, datagram: datagram.clone() }));
+            }
+        }
+        drop(st);
+        self.inner.timer_cv.notify_all();
+        Ok(())
+    }
+}
+
+fn deliver(st: &mut NetState, to: ServiceId, datagram: Datagram) {
+    if let Some(ep) = st.endpoints.get(&to) {
+        st.stats.bytes_delivered += datagram.payload.len() as u64;
+        st.stats.delivered += 1;
+        // A closed receiver just drops the datagram.
+        let _ = ep.sender.send(datagram);
+    } else {
+        st.stats.unreachable += 1;
+    }
+}
+
+fn timer_loop(inner: Arc<NetInner>) {
+    let mut st = inner.state.lock();
+    loop {
+        if st.closed {
+            return;
+        }
+        match st.queue.peek() {
+            None => {
+                inner.timer_cv.wait(&mut st);
+            }
+            Some(Reverse(next)) => {
+                let due = next.due;
+                let now = Instant::now();
+                if due <= now {
+                    let Reverse(item) = st.queue.pop().expect("peeked item present");
+                    deliver(&mut st, item.to, item.datagram);
+                } else {
+                    inner.timer_cv.wait_for(&mut st, due - now);
+                }
+            }
+        }
+    }
+}
+
+/// A [`Transport`] endpoint attached to a [`SimNetwork`].
+#[derive(Debug)]
+pub struct MemTransport {
+    net: SimNetwork,
+    id: ServiceId,
+    rx: Receiver<Datagram>,
+    closed: Arc<Mutex<bool>>,
+}
+
+impl MemTransport {
+    /// The network this endpoint is attached to.
+    pub fn network(&self) -> &SimNetwork {
+        &self.net
+    }
+}
+
+impl Transport for MemTransport {
+    fn local_id(&self) -> ServiceId {
+        self.id
+    }
+
+    fn send(&self, to: ServiceId, payload: &[u8]) -> Result<()> {
+        if *self.closed.lock() {
+            return Err(Error::Closed);
+        }
+        self.net.transmit(self.id, to, payload, false)
+    }
+
+    fn broadcast(&self, payload: &[u8]) -> Result<()> {
+        if *self.closed.lock() {
+            return Err(Error::Closed);
+        }
+        let peers: Vec<ServiceId> = {
+            let st = self.net.inner.state.lock();
+            st.endpoints.keys().copied().filter(|&id| id != self.id).collect()
+        };
+        for peer in peers {
+            self.net.transmit(self.id, peer, payload, true)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<Datagram> {
+        if *self.closed.lock() {
+            return Err(Error::Closed);
+        }
+        match timeout {
+            Some(t) => self.rx.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => Error::Timeout,
+                RecvTimeoutError::Disconnected => Error::Closed,
+            }),
+            None => self.rx.recv().map_err(|_| Error::Closed),
+        }
+    }
+
+    fn max_datagram(&self) -> usize {
+        self.net.inner.state.lock().default_link.mtu
+    }
+
+    fn close(&self) {
+        let mut closed = self.closed.lock();
+        if !*closed {
+            *closed = true;
+            self.net.detach(self.id);
+        }
+    }
+}
+
+impl Drop for MemTransport {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn unicast_ideal_link() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.local_id(), b"hi").unwrap();
+        let d = b.recv(Some(TICK)).unwrap();
+        assert_eq!(d.payload, b"hi");
+        assert_eq!(d.from, a.local_id());
+        assert!(!d.broadcast);
+        assert!(matches!(a.recv(Some(Duration::from_millis(10))), Err(Error::Timeout)));
+    }
+
+    #[test]
+    fn broadcast_reaches_all_but_sender() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let c = net.endpoint();
+        a.broadcast(b"beacon").unwrap();
+        for ep in [&b, &c] {
+            let d = ep.recv(Some(TICK)).unwrap();
+            assert!(d.broadcast);
+            assert_eq!(d.payload, b"beacon");
+        }
+        assert!(matches!(a.recv(Some(Duration::from_millis(10))), Err(Error::Timeout)));
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let net = SimNetwork::new(LinkConfig::ideal().with_latency(Duration::from_millis(30)));
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let start = Instant::now();
+        a.send(b.local_id(), b"x").unwrap();
+        let _ = b.recv(Some(TICK)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25), "{:?}", start.elapsed());
+    }
+
+    #[test]
+    fn bandwidth_paces_back_to_back_sends() {
+        let mut link = LinkConfig::ideal();
+        link.bandwidth_bytes_per_sec = Some(100_000); // 10 µs per byte
+        link.per_packet_overhead = 0;
+        let net = SimNetwork::new(link);
+        let a = net.endpoint();
+        let b = net.endpoint();
+        let start = Instant::now();
+        for _ in 0..10 {
+            a.send(b.local_id(), &[0u8; 1000]).unwrap(); // 10 ms each
+        }
+        for _ in 0..10 {
+            b.recv(Some(TICK)).unwrap();
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(90), "paced too fast: {elapsed:?}");
+    }
+
+    #[test]
+    fn loss_drops_packets_deterministically() {
+        let net = SimNetwork::with_seed(LinkConfig::ideal().with_loss(0.5), 42);
+        let a = net.endpoint();
+        let b = net.endpoint();
+        for _ in 0..100 {
+            a.send(b.local_id(), b"p").unwrap();
+        }
+        let mut got = 0;
+        while b.recv(Some(Duration::from_millis(50))).is_ok() {
+            got += 1;
+        }
+        let stats = net.stats();
+        assert_eq!(stats.lost + got, 100);
+        assert!(got > 20 && got < 80, "suspicious loss pattern: {got}");
+    }
+
+    #[test]
+    fn duplicates_are_delivered_twice() {
+        let net = SimNetwork::with_seed(LinkConfig::ideal().with_duplicates(1.0), 1);
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.local_id(), b"d").unwrap();
+        assert_eq!(b.recv(Some(TICK)).unwrap().payload, b"d");
+        assert_eq!(b.recv(Some(TICK)).unwrap().payload, b"d");
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn partition_blocks_traffic() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        net.set_partitioned(a.local_id(), b.local_id(), true);
+        a.send(b.local_id(), b"x").unwrap();
+        assert!(matches!(b.recv(Some(Duration::from_millis(20))), Err(Error::Timeout)));
+        net.set_partitioned(a.local_id(), b.local_id(), false);
+        a.send(b.local_id(), b"y").unwrap();
+        assert_eq!(b.recv(Some(TICK)).unwrap().payload, b"y");
+        assert_eq!(net.stats().unreachable, 1);
+    }
+
+    #[test]
+    fn domains_model_radio_range() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        net.set_domain(b.local_id(), 7);
+        a.broadcast(b"beacon").unwrap();
+        assert!(matches!(b.recv(Some(Duration::from_millis(20))), Err(Error::Timeout)));
+        net.set_domain(b.local_id(), 0);
+        a.broadcast(b"beacon2").unwrap();
+        assert_eq!(b.recv(Some(TICK)).unwrap().payload, b"beacon2");
+    }
+
+    #[test]
+    fn mtu_is_enforced() {
+        let mut link = LinkConfig::ideal();
+        link.mtu = 10;
+        let net = SimNetwork::new(link);
+        let a = net.endpoint();
+        let b = net.endpoint();
+        assert!(matches!(a.send(b.local_id(), &[0u8; 11]), Err(Error::Invalid(_))));
+        assert!(a.send(b.local_id(), &[0u8; 10]).is_ok());
+    }
+
+    #[test]
+    fn close_detaches_endpoint() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        assert_eq!(net.endpoint_count(), 2);
+        b.close();
+        assert_eq!(net.endpoint_count(), 1);
+        assert!(matches!(b.recv(Some(TICK)), Err(Error::Closed)));
+        assert!(matches!(b.send(a.local_id(), b"x"), Err(Error::Closed)));
+        // Sending to a detached endpoint is not an error, just unreachable.
+        assert!(a.send(b.local_id(), b"x").is_ok());
+    }
+
+    #[test]
+    fn shutdown_closes_everything() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        net.shutdown();
+        assert!(matches!(a.send(ServiceId::from_raw(9), b"x"), Err(Error::Closed)));
+    }
+
+    #[test]
+    fn distinct_auto_ids() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        assert_ne!(a.local_id(), b.local_id());
+    }
+
+    #[test]
+    #[should_panic(expected = "already attached")]
+    fn duplicate_id_panics() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let id = ServiceId::from_raw(7);
+        let _a = net.endpoint_with_id(id);
+        let _b = net.endpoint_with_id(id);
+    }
+
+    #[test]
+    fn per_pair_link_override() {
+        let net = SimNetwork::new(LinkConfig::ideal());
+        let a = net.endpoint();
+        let b = net.endpoint();
+        net.set_link(a.local_id(), b.local_id(), LinkConfig::ideal().with_loss(1.0));
+        a.send(b.local_id(), b"gone").unwrap();
+        assert!(matches!(b.recv(Some(Duration::from_millis(20))), Err(Error::Timeout)));
+        // Reverse direction unaffected.
+        b.send(a.local_id(), b"back").unwrap();
+        assert_eq!(a.recv(Some(TICK)).unwrap().payload, b"back");
+    }
+
+    #[test]
+    fn ordering_preserved_on_delayed_link() {
+        let net = SimNetwork::new(LinkConfig::ideal().with_latency(Duration::from_millis(5)));
+        let a = net.endpoint();
+        let b = net.endpoint();
+        for i in 0..20u8 {
+            a.send(b.local_id(), &[i]).unwrap();
+        }
+        for i in 0..20u8 {
+            assert_eq!(b.recv(Some(TICK)).unwrap().payload, vec![i]);
+        }
+    }
+}

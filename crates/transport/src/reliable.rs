@@ -1,0 +1,653 @@
+//! The reliability layer: acknowledged, exactly-once, per-sender-FIFO
+//! message delivery over an unreliable datagram [`Transport`].
+//!
+//! The paper's delivery semantics (§II-C) require that every event reach
+//! each interested member **exactly once** and that events from one sender
+//! arrive **in the order sent**. Rather than re-implementing that per
+//! component, every hop (publisher proxy → bus, bus → subscriber proxy,
+//! discovery handshakes) runs over a [`ReliableChannel`]:
+//!
+//! * every message gets a per-peer sequence number within a session
+//!   *epoch*; receivers deliver strictly in sequence order;
+//! * every fragment is acknowledged; unacknowledged fragments are
+//!   retransmitted with exponential backoff (for as long as the caller
+//!   wants — proxies retry until the member is purged);
+//! * duplicates (from the network or from retransmission) are suppressed
+//!   and re-acknowledged;
+//! * messages larger than the transport MTU are fragmented and
+//!   reassembled.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{Error, Result, ServiceId};
+
+use crate::frame::{fragment, Frame, FRAME_HEADER_LEN};
+use crate::transport::Transport;
+
+/// Retransmission and flow-control parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout.
+    pub initial_rto: Duration,
+    /// Multiplier applied to the RTO after each retransmission.
+    pub backoff: u32,
+    /// Upper bound on the RTO.
+    pub max_rto: Duration,
+    /// Give up after this many retransmissions of a message (`None` =
+    /// retry forever, the proxy behaviour).
+    pub max_retries: Option<u32>,
+    /// Maximum messages in flight per peer; excess sends queue.
+    pub window: usize,
+    /// How long `recv` polls the transport between retransmission scans.
+    pub poll_interval: Duration,
+    /// Maximum out-of-order messages buffered per peer before the
+    /// receiver starts dropping (the sender retransmits them later).
+    pub reorder_buffer: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            initial_rto: Duration::from_millis(60),
+            backoff: 2,
+            max_rto: Duration::from_secs(2),
+            max_retries: None,
+            window: 64,
+            poll_interval: Duration::from_millis(20),
+            reorder_buffer: 256,
+        }
+    }
+}
+
+/// Counters describing a channel's activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Reliable messages accepted for sending.
+    pub msgs_sent: u64,
+    /// Reliable messages fully acknowledged.
+    pub msgs_acked: u64,
+    /// Reliable messages delivered to the application.
+    pub msgs_delivered: u64,
+    /// Messages abandoned after `max_retries`.
+    pub msgs_expired: u64,
+    /// Fragment retransmissions.
+    pub retransmits: u64,
+    /// Duplicate fragments suppressed on receive.
+    pub duplicates_suppressed: u64,
+    /// Unreliable payloads sent (including broadcasts).
+    pub unreliable_sent: u64,
+    /// Unreliable payloads received.
+    pub unreliable_received: u64,
+}
+
+/// A message handed up by [`ReliableChannel::recv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Incoming {
+    /// An exactly-once, in-order message from `from`.
+    Reliable {
+        /// The sending endpoint.
+        from: ServiceId,
+        /// The reassembled message bytes.
+        payload: Vec<u8>,
+    },
+    /// A fire-and-forget payload (e.g. a discovery beacon).
+    Unreliable {
+        /// The sending endpoint.
+        from: ServiceId,
+        /// The payload bytes.
+        payload: Vec<u8>,
+        /// Whether it arrived by broadcast.
+        broadcast: bool,
+    },
+}
+
+impl Incoming {
+    /// The sender, regardless of reliability class.
+    pub fn from(&self) -> ServiceId {
+        match self {
+            Incoming::Reliable { from, .. } | Incoming::Unreliable { from, .. } => *from,
+        }
+    }
+
+    /// The payload, regardless of reliability class.
+    pub fn payload(&self) -> &[u8] {
+        match self {
+            Incoming::Reliable { payload, .. } | Incoming::Unreliable { payload, .. } => payload,
+        }
+    }
+}
+
+/// Resolves when a reliable send is fully acknowledged (or abandoned).
+#[derive(Debug)]
+pub struct Receipt {
+    rx: Receiver<Result<()>>,
+}
+
+impl Receipt {
+    /// Waits up to `timeout` for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if not acknowledged in time; [`Error::Closed`]
+    /// if the channel shut down or the peer was forgotten first.
+    pub fn wait(&self, timeout: Duration) -> Result<()> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => r,
+            Err(RecvTimeoutError::Timeout) => Err(Error::Timeout),
+            Err(RecvTimeoutError::Disconnected) => Err(Error::Closed),
+        }
+    }
+
+    /// Returns the outcome if already resolved, without blocking.
+    pub fn poll(&self) -> Option<Result<()>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[derive(Debug)]
+struct OutMessage {
+    fragments: Vec<Vec<u8>>,
+    acked: Vec<bool>,
+    unacked: usize,
+    receipt: Option<Sender<Result<()>>>,
+    last_tx: Instant,
+    rto: Duration,
+    retries: u32,
+}
+
+/// A queued message and the optional receipt to resolve on ack.
+type QueuedMessage = (Vec<u8>, Option<Sender<Result<()>>>);
+
+#[derive(Debug, Default)]
+struct PeerOut {
+    next_seq: u64,
+    inflight: BTreeMap<u64, OutMessage>,
+    queued: VecDeque<QueuedMessage>,
+}
+
+#[derive(Debug)]
+struct Partial {
+    frag_count: u16,
+    got: Vec<Option<Vec<u8>>>,
+    received: usize,
+}
+
+#[derive(Debug, Default)]
+struct PeerIn {
+    epoch: u64,
+    /// Next sequence number to deliver.
+    expected: u64,
+    /// Fully reassembled messages waiting for their turn.
+    ready: BTreeMap<u64, Vec<u8>>,
+    /// Messages still missing fragments.
+    partial: HashMap<u64, Partial>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    out: Mutex<HashMap<ServiceId, PeerOut>>,
+    stats: Mutex<ChannelStats>,
+    closed: AtomicBool,
+    epoch: u64,
+    config: ReliableConfig,
+}
+
+/// Reliable messaging endpoint over any [`Transport`].
+///
+/// ```
+/// use std::sync::Arc;
+/// use std::time::Duration;
+/// use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+///
+/// let net = SimNetwork::new(LinkConfig::ideal());
+/// let a = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
+/// let b = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
+/// let receipt = a.send(b.local_id(), b"event".to_vec())?;
+/// match b.recv(Some(Duration::from_secs(2)))? {
+///     Incoming::Reliable { payload, .. } => assert_eq!(payload, b"event"),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// receipt.wait(Duration::from_secs(2))?;
+/// # Ok::<(), smc_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct ReliableChannel {
+    transport: Arc<dyn Transport>,
+    shared: Arc<Shared>,
+    inbox: Receiver<Incoming>,
+    rx_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ReliableChannel {
+    /// Wraps `transport` in a reliable channel and starts its receive
+    /// thread.
+    pub fn new(transport: Arc<dyn Transport>, config: ReliableConfig) -> Arc<Self> {
+        // Epochs must grow across process restarts; wall time does that.
+        static EPOCH_BUMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let epoch = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros() as u64
+            + EPOCH_BUMP.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(Shared {
+            out: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ChannelStats::default()),
+            closed: AtomicBool::new(false),
+            epoch,
+            config,
+        });
+        let (inbox_tx, inbox_rx) = unbounded();
+        let channel = Arc::new(ReliableChannel {
+            transport: Arc::clone(&transport),
+            shared: Arc::clone(&shared),
+            inbox: inbox_rx,
+            rx_thread: Mutex::new(None),
+        });
+        let worker = RxWorker {
+            transport,
+            shared,
+            inbox: inbox_tx,
+            peers_in: HashMap::new(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("reliable-rx-{}", channel.local_id()))
+            .spawn(move || worker.run())
+            .expect("spawn reliable rx thread");
+        *channel.rx_thread.lock() = Some(handle);
+        channel
+    }
+
+    /// The underlying endpoint's identifier.
+    pub fn local_id(&self) -> ServiceId {
+        self.transport.local_id()
+    }
+
+    /// The underlying transport.
+    pub fn transport(&self) -> &Arc<dyn Transport> {
+        &self.transport
+    }
+
+    /// Queues `payload` for exactly-once, in-order delivery to `to`.
+    ///
+    /// Returns a [`Receipt`] resolving when the peer acknowledged every
+    /// fragment.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Closed`] if the channel is shut down.
+    pub fn send(&self, to: ServiceId, payload: Vec<u8>) -> Result<Receipt> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(Error::Closed);
+        }
+        let (tx, rx) = bounded(1);
+        {
+            let mut out = self.shared.out.lock();
+            let peer = out.entry(to).or_default();
+            peer.queued.push_back((payload, Some(tx)));
+            self.shared.stats.lock().msgs_sent += 1;
+            pump(&self.transport, self.shared.epoch, &self.shared.config, to, peer);
+        }
+        Ok(Receipt { rx })
+    }
+
+    /// Like [`ReliableChannel::send`] but blocks until acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] if not acknowledged within `timeout`;
+    /// [`Error::Closed`] if the channel shut down.
+    pub fn send_blocking(&self, to: ServiceId, payload: Vec<u8>, timeout: Duration) -> Result<()> {
+        self.send(to, payload)?.wait(timeout)
+    }
+
+    /// Sends a fire-and-forget payload (no ordering, no retransmission).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors; loss in the network is not an error.
+    pub fn send_unreliable(&self, to: ServiceId, payload: &[u8]) -> Result<()> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(Error::Closed);
+        }
+        let frame = to_bytes(&Frame::Unreliable { payload: payload.to_vec() });
+        self.shared.stats.lock().unreliable_sent += 1;
+        self.transport.send(to, &frame)
+    }
+
+    /// Broadcasts a fire-and-forget payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn broadcast_unreliable(&self, payload: &[u8]) -> Result<()> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(Error::Closed);
+        }
+        let frame = to_bytes(&Frame::Unreliable { payload: payload.to_vec() });
+        self.shared.stats.lock().unreliable_sent += 1;
+        self.transport.broadcast(&frame)
+    }
+
+    /// Receives the next message, blocking up to `timeout` (forever when
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Timeout`] on timeout, [`Error::Closed`] after shutdown.
+    pub fn recv(&self, timeout: Option<Duration>) -> Result<Incoming> {
+        match timeout {
+            Some(t) => self.inbox.recv_timeout(t).map_err(|e| match e {
+                RecvTimeoutError::Timeout => Error::Timeout,
+                RecvTimeoutError::Disconnected => Error::Closed,
+            }),
+            None => self.inbox.recv().map_err(|_| Error::Closed),
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Incoming> {
+        self.inbox.try_recv().ok()
+    }
+
+    /// Number of messages (queued + in flight) not yet acknowledged by
+    /// `peer`.
+    pub fn pending(&self, peer: ServiceId) -> usize {
+        let out = self.shared.out.lock();
+        out.get(&peer).map_or(0, |p| p.inflight.len() + p.queued.len())
+    }
+
+    /// Drops all outbound state for `peer` (queued and in-flight
+    /// messages). Pending receipts resolve with [`Error::Closed`].
+    ///
+    /// This is the proxy-destruction path: on `Purge Member` the proxy
+    /// destroys "any outbound data awaiting delivery".
+    pub fn forget_peer(&self, peer: ServiceId) {
+        let removed = self.shared.out.lock().remove(&peer);
+        if let Some(peer_out) = removed {
+            for (_, msg) in peer_out.inflight {
+                if let Some(tx) = msg.receipt {
+                    let _ = tx.send(Err(Error::Closed));
+                }
+            }
+            for (_, receipt) in peer_out.queued {
+                if let Some(tx) = receipt {
+                    let _ = tx.send(Err(Error::Closed));
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the channel counters.
+    pub fn stats(&self) -> ChannelStats {
+        self.shared.stats.lock().clone()
+    }
+
+    /// Shuts the channel down: closes the transport and stops the receive
+    /// thread. Unacknowledged messages are dropped.
+    pub fn close(&self) {
+        if self.shared.closed.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.transport.close();
+        let peers: Vec<ServiceId> = self.shared.out.lock().keys().copied().collect();
+        for p in peers {
+            self.forget_peer(p);
+        }
+        if let Some(handle) = self.rx_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+}
+
+impl Drop for ReliableChannel {
+    fn drop(&mut self) {
+        // Close without joining (join may self-deadlock if dropped from
+        // the rx thread; it never is, but stay safe and cheap).
+        if !self.shared.closed.swap(true, Ordering::SeqCst) {
+            self.transport.close();
+        }
+    }
+}
+
+
+/// Promotes queued messages into the send window and transmits their
+/// fragments. Callers hold the out-map lock.
+fn pump(
+    transport: &Arc<dyn Transport>,
+    epoch: u64,
+    config: &ReliableConfig,
+    to: ServiceId,
+    peer: &mut PeerOut,
+) {
+    let max_frag = transport.max_datagram().saturating_sub(FRAME_HEADER_LEN).max(1);
+    while peer.inflight.len() < config.window {
+        let Some((payload, receipt)) = peer.queued.pop_front() else { break };
+        let seq = peer.next_seq + 1;
+        peer.next_seq = seq;
+        let fragments = fragment(&payload, max_frag);
+        let n = fragments.len();
+        let msg = OutMessage {
+            acked: vec![false; n],
+            unacked: n,
+            fragments,
+            receipt,
+            last_tx: Instant::now(),
+            rto: config.initial_rto,
+            retries: 0,
+        };
+        for (i, frag) in msg.fragments.iter().enumerate() {
+            let frame = Frame::Data {
+                epoch,
+                seq,
+                frag_index: i as u16,
+                frag_count: n as u16,
+                payload: frag.clone(),
+            };
+            let _ = transport.send(to, &to_bytes(&frame));
+        }
+        peer.inflight.insert(seq, msg);
+    }
+}
+
+/// The receive/retransmit worker.
+struct RxWorker {
+    transport: Arc<dyn Transport>,
+    shared: Arc<Shared>,
+    inbox: Sender<Incoming>,
+    peers_in: HashMap<ServiceId, PeerIn>,
+}
+
+impl RxWorker {
+    fn run(mut self) {
+        let poll = self.shared.config.poll_interval;
+        let mut last_scan = Instant::now();
+        loop {
+            if self.shared.closed.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.transport.recv(Some(poll)) {
+                Ok(datagram) => {
+                    let broadcast = datagram.broadcast;
+                    let from = datagram.from;
+                    match from_bytes::<Frame>(&datagram.payload) {
+                        Ok(frame) => self.handle_frame(from, broadcast, frame),
+                        Err(_) => { /* corrupt datagram: drop silently */ }
+                    }
+                }
+                Err(Error::Timeout) => {}
+                Err(_) => return,
+            }
+            if last_scan.elapsed() >= poll {
+                self.retransmit_due();
+                last_scan = Instant::now();
+            }
+        }
+    }
+
+    fn handle_frame(&mut self, from: ServiceId, broadcast: bool, frame: Frame) {
+        match frame {
+            Frame::Unreliable { payload } => {
+                self.shared.stats.lock().unreliable_received += 1;
+                let _ = self.inbox.send(Incoming::Unreliable { from, payload, broadcast });
+            }
+            Frame::Ack { epoch, seq, frag_index } => {
+                if epoch != self.shared.epoch {
+                    return;
+                }
+                let mut out = self.shared.out.lock();
+                let Some(peer) = out.get_mut(&from) else { return };
+                let mut done = false;
+                if let Some(msg) = peer.inflight.get_mut(&seq) {
+                    let i = frag_index as usize;
+                    if i < msg.acked.len() && !msg.acked[i] {
+                        msg.acked[i] = true;
+                        msg.unacked -= 1;
+                        done = msg.unacked == 0;
+                    }
+                }
+                if done {
+                    let msg = peer.inflight.remove(&seq).expect("completed message exists");
+                    if let Some(tx) = msg.receipt {
+                        let _ = tx.send(Ok(()));
+                    }
+                    let mut stats = self.shared.stats.lock();
+                    stats.msgs_acked += 1;
+                    drop(stats);
+                    // Window slot freed: promote queued messages.
+                    pump(&self.transport, self.shared.epoch, &self.shared.config, from, peer);
+                }
+            }
+            Frame::Data { epoch, seq, frag_index, frag_count, payload } => {
+                self.handle_data(from, epoch, seq, frag_index, frag_count, payload);
+            }
+        }
+    }
+
+
+    fn handle_data(
+        &mut self,
+        from: ServiceId,
+        epoch: u64,
+        seq: u64,
+        frag_index: u16,
+        frag_count: u16,
+        payload: Vec<u8>,
+    ) {
+        let peer = self.peers_in.entry(from).or_default();
+        if epoch < peer.epoch {
+            // Stray frame from a dead session: ignore entirely.
+            return;
+        }
+        if epoch > peer.epoch {
+            // The peer restarted: adopt the new session.
+            *peer = PeerIn { epoch, expected: 1, ready: BTreeMap::new(), partial: HashMap::new() };
+        }
+        // Capacity check FIRST: a fragment we cannot buffer must be
+        // dropped *without* acknowledging it, or the sender would mark it
+        // delivered and never retransmit — wedging the FIFO stream
+        // forever once the gap in front of it closes. (Reachable because
+        // buffered-but-undelivered messages are acked, so the sender's
+        // window keeps sliding past `expected` while a retransmission is
+        // pending.)
+        if seq >= peer.expected
+            && !peer.ready.contains_key(&seq)
+            && (seq - peer.expected) as usize > self.shared.config.reorder_buffer
+        {
+            return;
+        }
+
+        // (Re-)acknowledge everything else — including duplicates, whose
+        // original ack may have been lost.
+        let ack = Frame::Ack { epoch, seq, frag_index };
+        let _ = self.transport.send(from, &to_bytes(&ack));
+
+        if seq < peer.expected || peer.ready.contains_key(&seq) {
+            self.shared.stats.lock().duplicates_suppressed += 1;
+            return;
+        }
+        let partial = peer.partial.entry(seq).or_insert_with(|| Partial {
+            frag_count,
+            got: vec![None; frag_count as usize],
+            received: 0,
+        });
+        if partial.frag_count != frag_count || frag_index as usize >= partial.got.len() {
+            // Inconsistent metadata — treat as corrupt and ignore.
+            return;
+        }
+        if partial.got[frag_index as usize].is_some() {
+            self.shared.stats.lock().duplicates_suppressed += 1;
+            return;
+        }
+        partial.got[frag_index as usize] = Some(payload);
+        partial.received += 1;
+        if partial.received == partial.frag_count as usize {
+            let partial = peer.partial.remove(&seq).expect("partial present");
+            let mut whole = Vec::new();
+            for piece in partial.got {
+                whole.extend_from_slice(&piece.expect("all fragments received"));
+            }
+            peer.ready.insert(seq, whole);
+            // Deliver everything now in order.
+            while let Some(msg) = peer.ready.remove(&peer.expected) {
+                peer.expected += 1;
+                self.shared.stats.lock().msgs_delivered += 1;
+                let _ = self.inbox.send(Incoming::Reliable { from, payload: msg });
+            }
+        }
+    }
+
+    fn retransmit_due(&mut self) {
+        let now = Instant::now();
+        let config = self.shared.config.clone();
+        let mut out = self.shared.out.lock();
+        for (&peer_id, peer) in out.iter_mut() {
+            let mut expired: Vec<u64> = Vec::new();
+            for (&seq, msg) in peer.inflight.iter_mut() {
+                if msg.unacked == 0 || now.duration_since(msg.last_tx) < msg.rto {
+                    continue;
+                }
+                if let Some(max) = config.max_retries {
+                    if msg.retries >= max {
+                        expired.push(seq);
+                        continue;
+                    }
+                }
+                msg.retries += 1;
+                msg.last_tx = now;
+                msg.rto = (msg.rto * config.backoff).min(config.max_rto);
+                let n = msg.fragments.len() as u16;
+                for (i, frag) in msg.fragments.iter().enumerate() {
+                    if msg.acked[i] {
+                        continue;
+                    }
+                    self.shared.stats.lock().retransmits += 1;
+                    let frame = Frame::Data {
+                        epoch: self.shared.epoch,
+                        seq,
+                        frag_index: i as u16,
+                        frag_count: n,
+                        payload: frag.clone(),
+                    };
+                    let _ = self.transport.send(peer_id, &to_bytes(&frame));
+                }
+            }
+            for seq in expired {
+                let msg = peer.inflight.remove(&seq).expect("expired message exists");
+                if let Some(tx) = msg.receipt {
+                    let _ = tx.send(Err(Error::Timeout));
+                }
+                self.shared.stats.lock().msgs_expired += 1;
+            }
+            pump(&self.transport, self.shared.epoch, &config, peer_id, peer);
+        }
+    }
+
+}

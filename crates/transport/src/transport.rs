@@ -1,0 +1,98 @@
+//! The generic transport abstraction.
+//!
+//! The paper's transport layer "presents `recv()` and `send()` calls …
+//! the layer returns and accepts arrays of bytes", hiding the concrete
+//! network (UDP, Bluetooth, ZigBee) behind an abstract class. [`Transport`]
+//! is that abstraction: unreliable, unordered, datagram-oriented, byte
+//! arrays in and out. Reliability lives one layer up, in
+//! [`crate::reliable::ReliableChannel`].
+
+use std::fmt;
+use std::time::Duration;
+
+use smc_types::{Result, ServiceId};
+
+/// A received datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// The sending endpoint.
+    pub from: ServiceId,
+    /// The raw bytes.
+    pub payload: Vec<u8>,
+    /// Whether this arrived via broadcast rather than unicast.
+    pub broadcast: bool,
+}
+
+impl Datagram {
+    /// Creates a unicast datagram record.
+    pub fn unicast(from: ServiceId, payload: Vec<u8>) -> Self {
+        Datagram { from, payload, broadcast: false }
+    }
+
+    /// Creates a broadcast datagram record.
+    pub fn broadcasted(from: ServiceId, payload: Vec<u8>) -> Self {
+        Datagram { from, payload, broadcast: true }
+    }
+}
+
+/// An unreliable datagram transport endpoint.
+///
+/// Implementations: [`crate::mem::MemTransport`] (simulated network with
+/// configurable latency, loss and bandwidth) and
+/// [`crate::udp::UdpTransport`] (real UDP sockets, as in the prototype).
+///
+/// Datagrams may be lost, duplicated or reordered; they are never
+/// corrupted or truncated. `send` never blocks for link-level delays —
+/// queueing and pacing happen inside the transport.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// This endpoint's identifier (derived from its address, as in the
+    /// paper's 48-bit socket-based ids).
+    fn local_id(&self) -> ServiceId;
+
+    /// Sends `payload` to the endpoint `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`smc_types::Error::Invalid`] if the payload exceeds
+    /// [`Transport::max_datagram`], or [`smc_types::Error::Closed`] if the
+    /// endpoint has been shut down. Loss of the datagram in the network is
+    /// *not* an error.
+    fn send(&self, to: ServiceId, payload: &[u8]) -> Result<()>;
+
+    /// Broadcasts `payload` to every reachable endpoint (e.g. the
+    /// discovery beacon port).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transport::send`].
+    fn broadcast(&self, payload: &[u8]) -> Result<()>;
+
+    /// Receives the next datagram, blocking up to `timeout` (forever when
+    /// `None`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`smc_types::Error::Timeout`] when the timeout elapses and
+    /// [`smc_types::Error::Closed`] when the endpoint is shut down.
+    fn recv(&self, timeout: Option<Duration>) -> Result<Datagram>;
+
+    /// Largest payload accepted by [`Transport::send`], in bytes.
+    fn max_datagram(&self) -> usize;
+
+    /// Shuts the endpoint down; subsequent operations return `Closed`.
+    fn close(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datagram_constructors() {
+        let d = Datagram::unicast(ServiceId::from_raw(1), vec![1, 2]);
+        assert!(!d.broadcast);
+        let b = Datagram::broadcasted(ServiceId::from_raw(1), vec![]);
+        assert!(b.broadcast);
+        assert_eq!(b.from, ServiceId::from_raw(1));
+    }
+}

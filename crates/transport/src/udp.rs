@@ -1,0 +1,257 @@
+//! Real UDP datagram transport, matching the paper's prototype.
+//!
+//! The prototype "uses a transport layer which makes use of datagram
+//! sockets … by simply opening a socket and not binding to a specific
+//! port, the operating system is free to choose the port number", and
+//! derives the 48-bit service id from the unicast address and port.
+//! Broadcast traffic is "delivered on an arbitrarily chosen port number
+//! known by services".
+//!
+//! On a real LAN the broadcast address does that job; inside test
+//! machines and containers IP broadcast is unreliable, so this transport
+//! lets broadcast peers be registered explicitly ([`UdpTransport::add_broadcast_peer`]),
+//! which sends each broadcast as a unicast copy — the semantics the
+//! discovery service needs, without requiring network privileges.
+
+use std::net::{Ipv4Addr, SocketAddr, SocketAddrV4, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use smc_types::{Error, Result, ServiceId};
+
+use crate::transport::{Datagram, Transport};
+
+/// One-byte flag marking a datagram as broadcast.
+const FLAG_BROADCAST: u8 = 0x01;
+/// Header: flags byte + 6-byte sender id.
+const HEADER_LEN: usize = 7;
+
+/// A [`Transport`] over a real UDP socket bound to an OS-chosen port.
+///
+/// # Example
+///
+/// ```
+/// use smc_transport::{Transport, UdpTransport};
+///
+/// let a = UdpTransport::bind()?;
+/// let b = UdpTransport::bind()?;
+/// a.send(b.local_id(), b"ping")?;
+/// let got = b.recv(Some(std::time::Duration::from_secs(2)))?;
+/// assert_eq!(got.payload, b"ping");
+/// assert_eq!(got.from, a.local_id());
+/// # Ok::<(), smc_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+    id: ServiceId,
+    broadcast_peers: Mutex<Vec<ServiceId>>,
+    closed: AtomicBool,
+    mtu: usize,
+}
+
+impl UdpTransport {
+    /// Binds a new socket on the loopback interface with an OS-chosen
+    /// port (exactly the paper's scheme).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind() -> Result<Self> {
+        UdpTransport::bind_addr(Ipv4Addr::LOCALHOST)
+    }
+
+    /// Binds on a specific interface address with an OS-chosen port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_addr(addr: Ipv4Addr) -> Result<Self> {
+        let socket = UdpSocket::bind(SocketAddrV4::new(addr, 0))?;
+        let local = match socket.local_addr()? {
+            SocketAddr::V4(v4) => v4,
+            SocketAddr::V6(_) => return Err(Error::Io("bound to unexpected IPv6 address".into())),
+        };
+        let id = ServiceId::from_addr_port(*local.ip(), local.port());
+        Ok(UdpTransport {
+            socket,
+            id,
+            broadcast_peers: Mutex::new(Vec::new()),
+            closed: AtomicBool::new(false),
+            mtu: 60_000,
+        })
+    }
+
+    /// Registers a peer to receive copies of our broadcasts.
+    pub fn add_broadcast_peer(&self, peer: ServiceId) {
+        let mut peers = self.broadcast_peers.lock();
+        if !peers.contains(&peer) {
+            peers.push(peer);
+        }
+    }
+
+    /// Removes a broadcast peer.
+    pub fn remove_broadcast_peer(&self, peer: ServiceId) {
+        self.broadcast_peers.lock().retain(|&p| p != peer);
+    }
+
+    fn addr_of(id: ServiceId) -> SocketAddrV4 {
+        SocketAddrV4::new(id.ipv4(), id.port())
+    }
+
+    fn send_with_flags(&self, to: ServiceId, payload: &[u8], flags: u8) -> Result<()> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(Error::Closed);
+        }
+        if payload.len() > self.mtu {
+            return Err(Error::Invalid(format!(
+                "payload of {} bytes exceeds udp mtu {}",
+                payload.len(),
+                self.mtu
+            )));
+        }
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.push(flags);
+        buf.extend_from_slice(&self.id.raw().to_le_bytes()[..6]);
+        buf.extend_from_slice(payload);
+        self.socket.send_to(&buf, Self::addr_of(to))?;
+        Ok(())
+    }
+}
+
+impl Transport for UdpTransport {
+    fn local_id(&self) -> ServiceId {
+        self.id
+    }
+
+    fn send(&self, to: ServiceId, payload: &[u8]) -> Result<()> {
+        self.send_with_flags(to, payload, 0)
+    }
+
+    fn broadcast(&self, payload: &[u8]) -> Result<()> {
+        let peers = self.broadcast_peers.lock().clone();
+        for peer in peers {
+            self.send_with_flags(peer, payload, FLAG_BROADCAST)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&self, timeout: Option<Duration>) -> Result<Datagram> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(Error::Closed);
+        }
+        self.socket.set_read_timeout(timeout)?;
+        let mut buf = vec![0u8; self.mtu + HEADER_LEN];
+        loop {
+            match self.socket.recv_from(&mut buf) {
+                Ok((n, _src)) => {
+                    if n < HEADER_LEN {
+                        continue; // runt datagram: ignore
+                    }
+                    let flags = buf[0];
+                    let mut raw = [0u8; 8];
+                    raw[..6].copy_from_slice(&buf[1..7]);
+                    let from = ServiceId::from_raw(u64::from_le_bytes(raw));
+                    let payload = buf[HEADER_LEN..n].to_vec();
+                    return Ok(Datagram {
+                        from,
+                        payload,
+                        broadcast: flags & FLAG_BROADCAST != 0,
+                    });
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(Error::Timeout);
+                }
+                Err(_) if self.closed.load(Ordering::SeqCst) => return Err(Error::Closed),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn max_datagram(&self) -> usize {
+        self.mtu
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Unblock a parked recv by poking our own socket.
+        if let Ok(probe) = UdpSocket::bind(SocketAddrV4::new(Ipv4Addr::LOCALHOST, 0)) {
+            let _ = probe.send_to(&[], Self::addr_of(self.id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn unicast_round_trip() {
+        let a = UdpTransport::bind().unwrap();
+        let b = UdpTransport::bind().unwrap();
+        a.send(b.local_id(), b"hello").unwrap();
+        let d = b.recv(Some(TICK)).unwrap();
+        assert_eq!(d.payload, b"hello");
+        assert_eq!(d.from, a.local_id());
+        assert!(!d.broadcast);
+    }
+
+    #[test]
+    fn id_matches_socket() {
+        let t = UdpTransport::bind().unwrap();
+        assert_eq!(t.local_id().ipv4(), Ipv4Addr::LOCALHOST);
+        assert_ne!(t.local_id().port(), 0);
+    }
+
+    #[test]
+    fn broadcast_to_registered_peers() {
+        let a = UdpTransport::bind().unwrap();
+        let b = UdpTransport::bind().unwrap();
+        let c = UdpTransport::bind().unwrap();
+        a.add_broadcast_peer(b.local_id());
+        a.add_broadcast_peer(c.local_id());
+        a.add_broadcast_peer(c.local_id()); // duplicate registration is a no-op
+        a.broadcast(b"beacon").unwrap();
+        for ep in [&b, &c] {
+            let d = ep.recv(Some(TICK)).unwrap();
+            assert!(d.broadcast);
+            assert_eq!(d.payload, b"beacon");
+            assert_eq!(d.from, a.local_id());
+        }
+        a.remove_broadcast_peer(b.local_id());
+        a.broadcast(b"again").unwrap();
+        assert!(matches!(b.recv(Some(Duration::from_millis(50))), Err(Error::Timeout)));
+        assert_eq!(c.recv(Some(TICK)).unwrap().payload, b"again");
+    }
+
+    #[test]
+    fn recv_times_out() {
+        let t = UdpTransport::bind().unwrap();
+        assert!(matches!(t.recv(Some(Duration::from_millis(30))), Err(Error::Timeout)));
+    }
+
+    #[test]
+    fn oversize_payload_rejected() {
+        let a = UdpTransport::bind().unwrap();
+        let b = UdpTransport::bind().unwrap();
+        assert!(matches!(
+            a.send(b.local_id(), &vec![0u8; 70_000]),
+            Err(Error::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn close_makes_operations_fail() {
+        let a = UdpTransport::bind().unwrap();
+        a.close();
+        assert!(matches!(a.send(ServiceId::from_raw(1), b"x"), Err(Error::Closed)));
+        assert!(matches!(a.recv(Some(TICK)), Err(Error::Closed)));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests for the transport layer's codecs and invariants.
+
+use proptest::prelude::*;
+use smc_transport::{fragment, Frame, FRAME_HEADER_LEN};
+use smc_types::codec::{from_bytes, to_bytes};
+
+proptest! {
+    /// Frame encode/decode is the identity.
+    #[test]
+    fn frame_round_trip(
+        epoch in any::<u64>(),
+        seq in any::<u64>(),
+        frag_index in 0u16..64,
+        extra in 0u16..64,
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let frames = vec![
+            Frame::Data {
+                epoch,
+                seq,
+                frag_index,
+                frag_count: frag_index + extra + 1,
+                payload: payload.clone(),
+            },
+            Frame::Ack { epoch, seq, frag_index },
+            Frame::Unreliable { payload },
+        ];
+        for f in frames {
+            let bytes = to_bytes(&f);
+            prop_assert_eq!(from_bytes::<Frame>(&bytes).unwrap(), f);
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes::<Frame>(&bytes);
+    }
+
+    /// The frame header budget is honest: an encoded empty-payload data
+    /// frame never exceeds it.
+    #[test]
+    fn header_budget(epoch in any::<u64>(), seq in any::<u64>()) {
+        let f = Frame::Data { epoch, seq, frag_index: 0, frag_count: 1, payload: vec![] };
+        prop_assert!(to_bytes(&f).len() <= FRAME_HEADER_LEN);
+    }
+
+    /// Fragmentation partitions the payload exactly: concatenation
+    /// restores it, every fragment respects the bound, and only the last
+    /// may be short.
+    #[test]
+    fn fragmentation_partitions(
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        max_fragment in 1usize..512,
+    ) {
+        let frags = fragment(&payload, max_fragment);
+        prop_assert!(!frags.is_empty());
+        let rejoined: Vec<u8> = frags.concat();
+        prop_assert_eq!(&rejoined, &payload);
+        for (i, f) in frags.iter().enumerate() {
+            prop_assert!(f.len() <= max_fragment);
+            if i + 1 < frags.len() {
+                prop_assert_eq!(f.len(), max_fragment, "only the last fragment may be short");
+            }
+        }
+        if payload.is_empty() {
+            prop_assert_eq!(frags.len(), 1);
+            prop_assert!(frags[0].is_empty());
+        } else {
+            prop_assert_eq!(frags.len(), payload.len().div_ceil(max_fragment));
+        }
+    }
+
+    /// Reliable delivery is exactly-once and FIFO for any payload set and
+    /// loss seed (bounded sizes keep the test quick).
+    #[test]
+    fn reliable_exactly_once_fifo(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..12),
+        seed in any::<u64>(),
+        loss in 0.0f64..0.3,
+    ) {
+        use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let net = SimNetwork::with_seed(LinkConfig::ideal().with_loss(loss), seed);
+        let config = ReliableConfig {
+            initial_rto: Duration::from_millis(20),
+            poll_interval: Duration::from_millis(5),
+            ..ReliableConfig::default()
+        };
+        let a = ReliableChannel::new(Arc::new(net.endpoint()), config.clone());
+        let b = ReliableChannel::new(Arc::new(net.endpoint()), config);
+        for p in &payloads {
+            a.send(b.local_id(), p.clone()).unwrap();
+        }
+        for expected in &payloads {
+            match b.recv(Some(Duration::from_secs(10))).unwrap() {
+                Incoming::Reliable { payload, .. } => prop_assert_eq!(&payload, expected),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+        prop_assert!(b.try_recv().is_none(), "duplicate deliveries");
+        a.close();
+        b.close();
+        net.shutdown();
+    }
+}

@@ -1,0 +1,151 @@
+//! Clock abstraction so correctness tests can control time explicitly.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+/// A source of monotonically non-decreasing microsecond timestamps.
+///
+/// Components that time out (discovery leases, retransmission timers) take a
+/// `Clock` so tests can advance time manually instead of sleeping.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Current time in microseconds since an arbitrary epoch.
+    fn now_micros(&self) -> u64;
+
+    /// Convenience: current time as a [`Duration`] since the epoch.
+    fn now(&self) -> Duration {
+        Duration::from_micros(self.now_micros())
+    }
+}
+
+/// Wall-clock backed [`Clock`] based on [`Instant`], anchored at creation.
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+    /// Offset so that different `SystemClock`s in one process roughly agree.
+    offset_micros: u64,
+}
+
+impl SystemClock {
+    /// Creates a clock anchored at the UNIX epoch (modulo precision).
+    pub fn new() -> Self {
+        let offset = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_micros() as u64;
+        SystemClock { origin: Instant::now(), offset_micros: offset }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_micros(&self) -> u64 {
+        self.offset_micros + self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually driven clock for deterministic tests.
+///
+/// ```
+/// use smc_types::{Clock, ManualClock};
+///
+/// let clock = ManualClock::new();
+/// assert_eq!(clock.now_micros(), 0);
+/// clock.advance_millis(5);
+/// assert_eq!(clock.now_micros(), 5_000);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl ManualClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `micros` microseconds.
+    pub fn advance_micros(&self, micros: u64) {
+        self.micros.fetch_add(micros, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `millis` milliseconds.
+    pub fn advance_millis(&self, millis: u64) {
+        self.advance_micros(millis * 1_000);
+    }
+
+    /// Sets the clock to an absolute microsecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micros` would move the clock backwards.
+    pub fn set_micros(&self, micros: u64) {
+        let prev = self.micros.swap(micros, Ordering::SeqCst);
+        assert!(prev <= micros, "ManualClock must not move backwards ({prev} -> {micros})");
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::SeqCst)
+    }
+}
+
+/// A shareable handle to any clock.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Returns a shared wall clock.
+pub fn system_clock() -> SharedClock {
+    Arc::new(SystemClock::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now_micros();
+        let b = c.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_micros(), 0);
+        c.advance_micros(10);
+        c.advance_millis(1);
+        assert_eq!(c.now_micros(), 1_010);
+        assert_eq!(c.now(), Duration::from_micros(1_010));
+    }
+
+    #[test]
+    fn manual_clock_clones_share_time() {
+        let c = ManualClock::new();
+        let d = c.clone();
+        c.advance_micros(5);
+        assert_eq!(d.now_micros(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not move backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::new();
+        c.advance_micros(10);
+        c.set_micros(3);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let shared: SharedClock = Arc::new(ManualClock::new());
+        assert_eq!(shared.now_micros(), 0);
+    }
+}

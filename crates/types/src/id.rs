@@ -1,0 +1,199 @@
+//! Identifiers for services, cells, subscriptions and events.
+//!
+//! The prototype in the paper derives a **48-bit service identifier** from
+//! the transport's unicast socket: the IPv4 address (32 bits) concatenated
+//! with the port number (16 bits). [`ServiceId::from_addr_port`] reproduces
+//! that scheme; other constructors exist for simulated transports.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Mask retaining the low 48 bits of a `u64`.
+const ID48_MASK: u64 = 0x0000_FFFF_FFFF_FFFF;
+
+/// A 48-bit identifier for a service (sensor, actuator, or core component)
+/// within or around a self-managed cell.
+///
+/// The paper's prototype builds this from the unicast socket address and the
+/// OS-chosen port, so that no port is hardwired:
+///
+/// ```
+/// use smc_types::ServiceId;
+/// use std::net::Ipv4Addr;
+///
+/// let id = ServiceId::from_addr_port(Ipv4Addr::new(192, 168, 0, 7), 40123);
+/// assert_eq!(id.ipv4(), Ipv4Addr::new(192, 168, 0, 7));
+/// assert_eq!(id.port(), 40123);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ServiceId(u64);
+
+impl ServiceId {
+    /// The all-zero identifier, used as a placeholder before assignment.
+    pub const NIL: ServiceId = ServiceId(0);
+
+    /// Builds an identifier from a raw 48-bit value.
+    ///
+    /// The upper 16 bits of `raw` are discarded.
+    pub const fn from_raw(raw: u64) -> Self {
+        ServiceId(raw & ID48_MASK)
+    }
+
+    /// Builds an identifier from an IPv4 address and port, exactly as the
+    /// paper's UDP prototype does.
+    pub fn from_addr_port(addr: Ipv4Addr, port: u16) -> Self {
+        let a = u32::from(addr) as u64;
+        ServiceId((a << 16) | port as u64)
+    }
+
+    /// Returns the raw 48-bit value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the IPv4 address component (upper 32 bits).
+    pub fn ipv4(self) -> Ipv4Addr {
+        Ipv4Addr::from((self.0 >> 16) as u32)
+    }
+
+    /// Returns the port component (lower 16 bits).
+    pub const fn port(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// Returns `true` if this is the nil placeholder identifier.
+    pub const fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for ServiceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:012x}", self.0)
+    }
+}
+
+impl From<ServiceId> for u64 {
+    fn from(id: ServiceId) -> u64 {
+        id.0
+    }
+}
+
+/// Identifier of a self-managed cell.
+///
+/// Cells may federate in future work; the identifier lets beacons from
+/// overlapping cells be told apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CellId(pub u64);
+
+impl CellId {
+    /// Builds a cell identifier from a raw value.
+    pub const fn from_raw(raw: u64) -> Self {
+        CellId(raw)
+    }
+
+    /// Returns the raw value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell-{:x}", self.0)
+    }
+}
+
+/// Identifier of a subscription registered with the event bus.
+///
+/// Allocated by the bus; unique within one bus instance for its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SubscriptionId(pub u64);
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sub-{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a published event: the publisher plus the
+/// publisher's sequence number.
+///
+/// The pair is what makes *exactly-once* delivery checkable: a subscriber
+/// proxy suppresses any event whose `EventId` it has already delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventId {
+    /// The service that published the event.
+    pub publisher: ServiceId,
+    /// The publisher-local sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl EventId {
+    /// Creates an event identifier.
+    pub const fn new(publisher: ServiceId, seq: u64) -> Self {
+        EventId { publisher, seq }
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.publisher, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_port_round_trip() {
+        let addr = Ipv4Addr::new(10, 1, 2, 3);
+        let id = ServiceId::from_addr_port(addr, 55555);
+        assert_eq!(id.ipv4(), addr);
+        assert_eq!(id.port(), 55555);
+    }
+
+    #[test]
+    fn raw_masks_to_48_bits() {
+        let id = ServiceId::from_raw(u64::MAX);
+        assert_eq!(id.raw(), 0x0000_FFFF_FFFF_FFFF);
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(ServiceId::NIL.is_nil());
+        assert!(!ServiceId::from_raw(1).is_nil());
+        assert_eq!(ServiceId::default(), ServiceId::NIL);
+    }
+
+    #[test]
+    fn display_is_twelve_hex_digits() {
+        let id = ServiceId::from_raw(0xABC);
+        assert_eq!(id.to_string(), "000000000abc");
+        assert_eq!(id.to_string().len(), 12);
+    }
+
+    #[test]
+    fn event_id_orders_by_publisher_then_seq() {
+        let a = EventId::new(ServiceId::from_raw(1), 9);
+        let b = EventId::new(ServiceId::from_raw(2), 1);
+        assert!(a < b);
+        let c = EventId::new(ServiceId::from_raw(1), 10);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn ids_display_nonempty() {
+        assert!(!CellId(7).to_string().is_empty());
+        assert!(!SubscriptionId(7).to_string().is_empty());
+        assert!(EventId::default().to_string().contains('#'));
+    }
+
+    #[test]
+    fn service_id_into_u64() {
+        let id = ServiceId::from_raw(42);
+        let raw: u64 = id.into();
+        assert_eq!(raw, 42);
+    }
+}

@@ -1,0 +1,477 @@
+//! Application-level packets exchanged between SMC components.
+//!
+//! These are the messages that travel *inside* the transport layer's
+//! reliable frames: publish/ack, subscribe/ack, discovery beacons and the
+//! join handshake, heartbeats, quench control and raw device data.
+
+use bytes::{BufMut, BytesMut};
+
+use crate::codec::{Decode, Encode, Reader, WriteExt};
+use crate::error::CodecError;
+use crate::event::{AttributeSet, Event};
+use crate::filter::Filter;
+use crate::id::{CellId, EventId, ServiceId, SubscriptionId};
+use crate::member::ServiceInfo;
+
+/// An application-level packet.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Packet {
+    /// Publisher (via its proxy) hands an event to the bus.
+    Publish(Event),
+    /// Bus confirms it accepted the published event.
+    PublishAck(EventId),
+    /// Bus pushes a matching event to a subscriber.
+    Deliver(Event),
+    /// Subscriber confirms it processed a delivered event; the proxy may
+    /// now drop it from the outbound queue.
+    DeliverAck(EventId),
+    /// Register a subscription; `request_id` correlates the ack.
+    Subscribe {
+        /// Caller-chosen correlation id.
+        request_id: u64,
+        /// The content filter to register.
+        filter: Filter,
+    },
+    /// Bus acknowledges a subscription and reports its id.
+    SubscribeAck {
+        /// Echo of the request's correlation id.
+        request_id: u64,
+        /// The bus-assigned subscription id.
+        subscription: SubscriptionId,
+    },
+    /// Remove a subscription.
+    Unsubscribe(SubscriptionId),
+    /// Bus acknowledges removal of a subscription.
+    UnsubscribeAck(SubscriptionId),
+    /// Discovery service presence beacon (broadcast).
+    Beacon {
+        /// The announcing cell.
+        cell: CellId,
+        /// Unicast id of the discovery service.
+        discovery: ServiceId,
+        /// Monotonic beacon sequence number.
+        seq: u64,
+    },
+    /// A device asks to join the cell.
+    JoinRequest {
+        /// Who is joining.
+        info: ServiceInfo,
+        /// Application-specific authentication token.
+        auth_token: Vec<u8>,
+    },
+    /// Discovery's verdict on a join request.
+    JoinResponse {
+        /// Whether the device was admitted.
+        accepted: bool,
+        /// Reason, when rejected.
+        reason: String,
+        /// The cell joined.
+        cell: CellId,
+        /// Membership lease duration in milliseconds; the member must
+        /// heartbeat before it elapses.
+        lease_millis: u64,
+        /// The endpoint of the cell's event bus, which the member talks
+        /// to for publish/subscribe.
+        bus: ServiceId,
+    },
+    /// Member liveness heartbeat (lease renewal).
+    Heartbeat {
+        /// The renewing member.
+        member: ServiceId,
+        /// Monotonic heartbeat sequence.
+        seq: u64,
+    },
+    /// Discovery confirms a heartbeat.
+    HeartbeatAck {
+        /// Echo of the heartbeat sequence.
+        seq: u64,
+    },
+    /// A member announces it is leaving the cell.
+    Leave {
+        /// The departing member.
+        member: ServiceId,
+        /// Free-form reason.
+        reason: String,
+    },
+    /// Bus tells a publisher proxy to stop (or resume) producing events
+    /// because no (or some) subscriptions match — Elvin-style quenching.
+    Quench {
+        /// `true` = stop publishing, `false` = resume.
+        enable: bool,
+    },
+    /// A management command directed at a member (e.g. change a threshold).
+    Command {
+        /// The target member.
+        target: ServiceId,
+        /// Command name.
+        name: String,
+        /// Command arguments.
+        args: AttributeSet,
+    },
+    /// Target confirms execution of a command.
+    CommandAck {
+        /// The member that executed the command.
+        target: ServiceId,
+        /// Echo of the command name.
+        name: String,
+    },
+    /// Opaque device-protocol bytes relayed between a device and its proxy.
+    Raw(Vec<u8>),
+    /// A publisher registers what it intends to publish, enabling
+    /// Elvin-style quenching when nothing subscribed overlaps.
+    Advertise {
+        /// Caller-chosen correlation id.
+        request_id: u64,
+        /// Description of the events the publisher produces.
+        filter: Filter,
+    },
+    /// Bus confirms an advertisement and reports the current interest.
+    AdvertiseAck {
+        /// Echo of the request's correlation id.
+        request_id: u64,
+        /// `true` if at least one subscription overlaps the advertisement.
+        interested: bool,
+    },
+    /// Policy service pushes a policy bundle to a member. The payload is
+    /// an encoded policy set; the policy crate owns the payload format.
+    PolicyDeploy {
+        /// Encoded policy set.
+        payload: Vec<u8>,
+    },
+    /// The cell reports a protocol-level failure to a member.
+    Error {
+        /// What the error concerns (e.g. an event id or request id).
+        about: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+const P_PUBLISH: u8 = 1;
+const P_PUBLISH_ACK: u8 = 2;
+const P_DELIVER: u8 = 3;
+const P_DELIVER_ACK: u8 = 4;
+const P_SUBSCRIBE: u8 = 5;
+const P_SUBSCRIBE_ACK: u8 = 6;
+const P_UNSUBSCRIBE: u8 = 7;
+const P_UNSUBSCRIBE_ACK: u8 = 8;
+const P_BEACON: u8 = 9;
+const P_JOIN_REQUEST: u8 = 10;
+const P_JOIN_RESPONSE: u8 = 11;
+const P_HEARTBEAT: u8 = 12;
+const P_HEARTBEAT_ACK: u8 = 13;
+const P_LEAVE: u8 = 14;
+const P_QUENCH: u8 = 15;
+const P_COMMAND: u8 = 16;
+const P_COMMAND_ACK: u8 = 17;
+const P_RAW: u8 = 18;
+const P_ADVERTISE: u8 = 19;
+const P_ADVERTISE_ACK: u8 = 20;
+const P_POLICY_DEPLOY: u8 = 21;
+const P_ERROR: u8 = 22;
+
+impl Packet {
+    /// Short packet-kind name for logs and metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Packet::Publish(_) => "publish",
+            Packet::PublishAck(_) => "publish-ack",
+            Packet::Deliver(_) => "deliver",
+            Packet::DeliverAck(_) => "deliver-ack",
+            Packet::Subscribe { .. } => "subscribe",
+            Packet::SubscribeAck { .. } => "subscribe-ack",
+            Packet::Unsubscribe(_) => "unsubscribe",
+            Packet::UnsubscribeAck(_) => "unsubscribe-ack",
+            Packet::Beacon { .. } => "beacon",
+            Packet::JoinRequest { .. } => "join-request",
+            Packet::JoinResponse { .. } => "join-response",
+            Packet::Heartbeat { .. } => "heartbeat",
+            Packet::HeartbeatAck { .. } => "heartbeat-ack",
+            Packet::Leave { .. } => "leave",
+            Packet::Quench { .. } => "quench",
+            Packet::Command { .. } => "command",
+            Packet::CommandAck { .. } => "command-ack",
+            Packet::Raw(_) => "raw",
+            Packet::Advertise { .. } => "advertise",
+            Packet::AdvertiseAck { .. } => "advertise-ack",
+            Packet::PolicyDeploy { .. } => "policy-deploy",
+            Packet::Error { .. } => "error",
+        }
+    }
+}
+
+impl Encode for Packet {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Packet::Publish(e) => {
+                buf.put_u8(P_PUBLISH);
+                e.encode(buf);
+            }
+            Packet::PublishAck(id) => {
+                buf.put_u8(P_PUBLISH_ACK);
+                id.encode(buf);
+            }
+            Packet::Deliver(e) => {
+                buf.put_u8(P_DELIVER);
+                e.encode(buf);
+            }
+            Packet::DeliverAck(id) => {
+                buf.put_u8(P_DELIVER_ACK);
+                id.encode(buf);
+            }
+            Packet::Subscribe { request_id, filter } => {
+                buf.put_u8(P_SUBSCRIBE);
+                buf.put_u64_le(*request_id);
+                filter.encode(buf);
+            }
+            Packet::SubscribeAck { request_id, subscription } => {
+                buf.put_u8(P_SUBSCRIBE_ACK);
+                buf.put_u64_le(*request_id);
+                subscription.encode(buf);
+            }
+            Packet::Unsubscribe(id) => {
+                buf.put_u8(P_UNSUBSCRIBE);
+                id.encode(buf);
+            }
+            Packet::UnsubscribeAck(id) => {
+                buf.put_u8(P_UNSUBSCRIBE_ACK);
+                id.encode(buf);
+            }
+            Packet::Beacon { cell, discovery, seq } => {
+                buf.put_u8(P_BEACON);
+                cell.encode(buf);
+                discovery.encode(buf);
+                buf.put_u64_le(*seq);
+            }
+            Packet::JoinRequest { info, auth_token } => {
+                buf.put_u8(P_JOIN_REQUEST);
+                info.encode(buf);
+                buf.put_bytes_field(auth_token);
+            }
+            Packet::JoinResponse { accepted, reason, cell, lease_millis, bus } => {
+                buf.put_u8(P_JOIN_RESPONSE);
+                buf.put_bool(*accepted);
+                buf.put_str(reason);
+                cell.encode(buf);
+                buf.put_u64_le(*lease_millis);
+                bus.encode(buf);
+            }
+            Packet::Heartbeat { member, seq } => {
+                buf.put_u8(P_HEARTBEAT);
+                member.encode(buf);
+                buf.put_u64_le(*seq);
+            }
+            Packet::HeartbeatAck { seq } => {
+                buf.put_u8(P_HEARTBEAT_ACK);
+                buf.put_u64_le(*seq);
+            }
+            Packet::Leave { member, reason } => {
+                buf.put_u8(P_LEAVE);
+                member.encode(buf);
+                buf.put_str(reason);
+            }
+            Packet::Quench { enable } => {
+                buf.put_u8(P_QUENCH);
+                buf.put_bool(*enable);
+            }
+            Packet::Command { target, name, args } => {
+                buf.put_u8(P_COMMAND);
+                target.encode(buf);
+                buf.put_str(name);
+                args.encode(buf);
+            }
+            Packet::CommandAck { target, name } => {
+                buf.put_u8(P_COMMAND_ACK);
+                target.encode(buf);
+                buf.put_str(name);
+            }
+            Packet::Raw(bytes) => {
+                buf.put_u8(P_RAW);
+                buf.put_bytes_field(bytes);
+            }
+            Packet::Advertise { request_id, filter } => {
+                buf.put_u8(P_ADVERTISE);
+                buf.put_u64_le(*request_id);
+                filter.encode(buf);
+            }
+            Packet::AdvertiseAck { request_id, interested } => {
+                buf.put_u8(P_ADVERTISE_ACK);
+                buf.put_u64_le(*request_id);
+                buf.put_bool(*interested);
+            }
+            Packet::PolicyDeploy { payload } => {
+                buf.put_u8(P_POLICY_DEPLOY);
+                buf.put_bytes_field(payload);
+            }
+            Packet::Error { about, message } => {
+                buf.put_u8(P_ERROR);
+                buf.put_str(about);
+                buf.put_str(message);
+            }
+        }
+    }
+}
+
+impl Decode for Packet {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            P_PUBLISH => Packet::Publish(Event::decode(r)?),
+            P_PUBLISH_ACK => Packet::PublishAck(EventId::decode(r)?),
+            P_DELIVER => Packet::Deliver(Event::decode(r)?),
+            P_DELIVER_ACK => Packet::DeliverAck(EventId::decode(r)?),
+            P_SUBSCRIBE => {
+                Packet::Subscribe { request_id: r.u64()?, filter: Filter::decode(r)? }
+            }
+            P_SUBSCRIBE_ACK => Packet::SubscribeAck {
+                request_id: r.u64()?,
+                subscription: SubscriptionId::decode(r)?,
+            },
+            P_UNSUBSCRIBE => Packet::Unsubscribe(SubscriptionId::decode(r)?),
+            P_UNSUBSCRIBE_ACK => Packet::UnsubscribeAck(SubscriptionId::decode(r)?),
+            P_BEACON => Packet::Beacon {
+                cell: CellId::decode(r)?,
+                discovery: ServiceId::decode(r)?,
+                seq: r.u64()?,
+            },
+            P_JOIN_REQUEST => {
+                Packet::JoinRequest { info: ServiceInfo::decode(r)?, auth_token: r.bytes()? }
+            }
+            P_JOIN_RESPONSE => Packet::JoinResponse {
+                accepted: r.bool()?,
+                reason: r.str()?,
+                cell: CellId::decode(r)?,
+                lease_millis: r.u64()?,
+                bus: ServiceId::decode(r)?,
+            },
+            P_HEARTBEAT => Packet::Heartbeat { member: ServiceId::decode(r)?, seq: r.u64()? },
+            P_HEARTBEAT_ACK => Packet::HeartbeatAck { seq: r.u64()? },
+            P_LEAVE => Packet::Leave { member: ServiceId::decode(r)?, reason: r.str()? },
+            P_QUENCH => Packet::Quench { enable: r.bool()? },
+            P_COMMAND => Packet::Command {
+                target: ServiceId::decode(r)?,
+                name: r.str()?,
+                args: AttributeSet::decode(r)?,
+            },
+            P_COMMAND_ACK => {
+                Packet::CommandAck { target: ServiceId::decode(r)?, name: r.str()? }
+            }
+            P_RAW => Packet::Raw(r.bytes()?),
+            P_ADVERTISE => {
+                Packet::Advertise { request_id: r.u64()?, filter: Filter::decode(r)? }
+            }
+            P_ADVERTISE_ACK => {
+                Packet::AdvertiseAck { request_id: r.u64()?, interested: r.bool()? }
+            }
+            P_POLICY_DEPLOY => Packet::PolicyDeploy { payload: r.bytes()? },
+            P_ERROR => Packet::Error { about: r.str()?, message: r.str()? },
+            t => return Err(CodecError::BadTag { what: "packet", tag: t }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+    use crate::filter::Op;
+
+    fn round_trip(p: Packet) {
+        let bytes = to_bytes(&p);
+        let back: Packet = from_bytes(&bytes).expect("decode");
+        assert_eq!(back, p);
+    }
+
+    fn sample_event() -> Event {
+        Event::builder("t")
+            .attr("a", 1i64)
+            .publisher(ServiceId::from_raw(9))
+            .seq(4)
+            .build()
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Packet::Publish(sample_event()));
+        round_trip(Packet::PublishAck(EventId::new(ServiceId::from_raw(9), 4)));
+        round_trip(Packet::Deliver(sample_event()));
+        round_trip(Packet::DeliverAck(EventId::new(ServiceId::from_raw(9), 4)));
+        round_trip(Packet::Subscribe {
+            request_id: 11,
+            filter: Filter::for_type("t").with(("a", Op::Ge, 1i64)),
+        });
+        round_trip(Packet::SubscribeAck { request_id: 11, subscription: SubscriptionId(3) });
+        round_trip(Packet::Unsubscribe(SubscriptionId(3)));
+        round_trip(Packet::UnsubscribeAck(SubscriptionId(3)));
+        round_trip(Packet::Beacon {
+            cell: CellId(1),
+            discovery: ServiceId::from_raw(2),
+            seq: 77,
+        });
+        round_trip(Packet::JoinRequest {
+            info: ServiceInfo::new(ServiceId::from_raw(5), "sensor.hr").with_role("sensor"),
+            auth_token: vec![1, 2, 3],
+        });
+        round_trip(Packet::JoinResponse {
+            accepted: false,
+            reason: "bad token".into(),
+            cell: CellId(1),
+            lease_millis: 30_000,
+            bus: ServiceId::from_raw(0xB05),
+        });
+        round_trip(Packet::Heartbeat { member: ServiceId::from_raw(5), seq: 8 });
+        round_trip(Packet::HeartbeatAck { seq: 8 });
+        round_trip(Packet::Leave { member: ServiceId::from_raw(5), reason: "off".into() });
+        round_trip(Packet::Quench { enable: true });
+        let mut args = AttributeSet::new();
+        args.insert("threshold", 120i64);
+        round_trip(Packet::Command {
+            target: ServiceId::from_raw(5),
+            name: "set-threshold".into(),
+            args,
+        });
+        round_trip(Packet::CommandAck {
+            target: ServiceId::from_raw(5),
+            name: "set-threshold".into(),
+        });
+        round_trip(Packet::Raw(vec![0u8; 64]));
+        round_trip(Packet::Advertise {
+            request_id: 4,
+            filter: Filter::for_type("smc.sensor.reading"),
+        });
+        round_trip(Packet::AdvertiseAck { request_id: 4, interested: true });
+        round_trip(Packet::PolicyDeploy { payload: vec![1, 2, 3] });
+        round_trip(Packet::Error { about: "evt-9".into(), message: "denied".into() });
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let kinds = [
+            Packet::Publish(sample_event()).kind(),
+            Packet::Quench { enable: true }.kind(),
+            Packet::Raw(vec![]).kind(),
+        ];
+        assert_eq!(kinds.len(), kinds.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(matches!(
+            from_bytes::<Packet>(&[0xEE]),
+            Err(CodecError::BadTag { what: "packet", .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let p = Packet::JoinRequest {
+            info: ServiceInfo::new(ServiceId::from_raw(5), "sensor.hr"),
+            auth_token: vec![7; 9],
+        };
+        let bytes = to_bytes(&p);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Packet>(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the wire codec and the filter algebra.
+
+use proptest::prelude::*;
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{
+    AttributeValue, CellId, Constraint, Event, Filter, Op, Packet, ServiceId, ServiceInfo,
+    SubscriptionId,
+};
+
+fn arb_value() -> impl Strategy<Value = AttributeValue> {
+    prop_oneof![
+        any::<bool>().prop_map(AttributeValue::Bool),
+        any::<i64>().prop_map(AttributeValue::Int),
+        // Finite doubles only: NaN breaks PartialEq-based round-trip checks
+        // (bitwise round-tripping of NaN is covered by a unit test).
+        (-1.0e12f64..1.0e12).prop_map(AttributeValue::Double),
+        "[a-zA-Z0-9 _.-]{0,24}".prop_map(AttributeValue::Str),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(AttributeValue::Bytes),
+    ]
+}
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_.]{0,12}"
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_value()), 0..6),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..128),
+    )
+        .prop_map(|(ty, attrs, raw_pub, seq, payload)| {
+            let mut b = Event::builder(ty)
+                .publisher(ServiceId::from_raw(raw_pub))
+                .seq(seq)
+                .payload(payload);
+            for (n, v) in attrs {
+                b = b.attr(n, v);
+            }
+            b.build()
+        })
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Prefix),
+        Just(Op::Suffix),
+        Just(Op::Contains),
+        Just(Op::Exists),
+    ]
+}
+
+fn arb_filter() -> impl Strategy<Value = Filter> {
+    (
+        proptest::option::of(arb_name()),
+        proptest::collection::vec((arb_name(), arb_op(), arb_value()), 0..5),
+    )
+        .prop_map(|(ty, cs)| {
+            let mut f = match ty {
+                Some(t) => Filter::for_type(t),
+                None => Filter::any(),
+            };
+            for (n, op, v) in cs {
+                f.push(Constraint::new(n, op, v));
+            }
+            f
+        })
+}
+
+/// Filters over a tiny attribute alphabet so that covering pairs and
+/// matching events actually occur.
+fn arb_small_filter() -> impl Strategy<Value = Filter> {
+    let name = prop_oneof![Just("a".to_string()), Just("b".to_string())];
+    let op = prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Ne),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+        Just(Op::Exists)
+    ];
+    let value = (-4i64..4).prop_map(AttributeValue::Int);
+    (
+        proptest::option::of(prop_oneof![Just("t".to_string()), Just("u".to_string())]),
+        proptest::collection::vec((name, op, value), 0..4),
+    )
+        .prop_map(|(ty, cs)| {
+            let mut f = match ty {
+                Some(t) => Filter::for_type(t),
+                None => Filter::any(),
+            };
+            for (n, op, v) in cs {
+                f.push(Constraint::new(n, op, v));
+            }
+            f
+        })
+}
+
+fn arb_small_event() -> impl Strategy<Value = Event> {
+    (
+        prop_oneof![Just("t"), Just("u")],
+        proptest::option::of(-4i64..4),
+        proptest::option::of(-4i64..4),
+    )
+        .prop_map(|(ty, a, b)| {
+            let mut e = Event::builder(ty);
+            if let Some(a) = a {
+                e = e.attr("a", a);
+            }
+            if let Some(b) = b {
+                e = e.attr("b", b);
+            }
+            e.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn value_codec_round_trip(v in arb_value()) {
+        let bytes = to_bytes(&v);
+        let back: AttributeValue = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn event_codec_round_trip(e in arb_event()) {
+        let bytes = to_bytes(&e);
+        let back: Event = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn filter_codec_round_trip(f in arb_filter()) {
+        let bytes = to_bytes(&f);
+        let back: Filter = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn packet_codec_round_trip(e in arb_event(), f in arb_filter(), raw in any::<u64>()) {
+        let packets = vec![
+            Packet::Publish(e.clone()),
+            Packet::Deliver(e.clone()),
+            Packet::DeliverAck(e.id()),
+            Packet::Subscribe { request_id: raw, filter: f },
+            Packet::SubscribeAck { request_id: raw, subscription: SubscriptionId(raw) },
+            Packet::Beacon { cell: CellId(raw), discovery: ServiceId::from_raw(raw), seq: 1 },
+            Packet::JoinRequest {
+                info: ServiceInfo::new(ServiceId::from_raw(raw), "sensor.x").with_role("r"),
+                auth_token: e.payload().to_vec(),
+            },
+        ];
+        for p in packets {
+            let bytes = to_bytes(&p);
+            let back: Packet = from_bytes(&bytes).unwrap();
+            prop_assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn decoding_random_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Must not panic; error is fine.
+        let _ = from_bytes::<Packet>(&bytes);
+        let _ = from_bytes::<Event>(&bytes);
+        let _ = from_bytes::<Filter>(&bytes);
+    }
+
+    /// Soundness of the covering relation: if `wide` covers `narrow`, then
+    /// every event matched by `narrow` is matched by `wide`.
+    #[test]
+    fn covering_is_sound(wide in arb_small_filter(), narrow in arb_small_filter(), e in arb_small_event()) {
+        if wide.covers(&narrow) && narrow.matches(&e) {
+            prop_assert!(wide.matches(&e), "wide={wide} narrow={narrow} event={e}");
+        }
+    }
+
+    /// Covering is reflexive.
+    #[test]
+    fn covering_is_reflexive(f in arb_small_filter()) {
+        prop_assert!(f.covers(&f), "filter should cover itself: {f}");
+    }
+
+    /// Constraint implication is sound: if `a implies b`, every value that
+    /// satisfies `a` satisfies `b`.
+    #[test]
+    fn implication_is_sound(
+        op_a in prop_oneof![Just(Op::Eq), Just(Op::Ne), Just(Op::Lt), Just(Op::Le), Just(Op::Gt), Just(Op::Ge), Just(Op::Exists)],
+        op_b in prop_oneof![Just(Op::Eq), Just(Op::Ne), Just(Op::Lt), Just(Op::Le), Just(Op::Gt), Just(Op::Ge), Just(Op::Exists)],
+        va in -5i64..5,
+        vb in -5i64..5,
+        x in -8i64..8,
+    ) {
+        let a = Constraint::new("k", op_a, va);
+        let b = Constraint::new("k", op_b, vb);
+        if a.implies(&b) {
+            let val = AttributeValue::Int(x);
+            if a.matches_value(&val) {
+                prop_assert!(b.matches_value(&val), "a={a} b={b} x={x}");
+            }
+        }
+    }
+}

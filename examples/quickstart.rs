@@ -1,0 +1,78 @@
+//! Quickstart: bring up a self-managed cell, join two devices, and pass
+//! an event through the bus with exactly-once acknowledged delivery.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use amuse::core::{RemoteClient, SmcCell, SmcConfig};
+use amuse::discovery::AgentConfig;
+use amuse::transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use amuse::types::{Event, Filter, Op, ServiceId, ServiceInfo};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A simulated radio environment. Swap in `UdpTransport` endpoints for
+    // real sockets — the rest of the code is identical.
+    let net = SimNetwork::new(LinkConfig::ideal());
+
+    // The cell: event bus + discovery + policy service, two endpoints
+    // (bus and discovery), exactly like the paper's PDA-hosted core.
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    );
+    println!("cell {} up: bus at {}", cell.cell_id(), cell.bus_endpoint());
+
+    // Devices discover the cell via beacons and join automatically.
+    let connect = |device_type: &str| -> Result<Arc<RemoteClient>, amuse::types::Error> {
+        RemoteClient::connect(
+            ServiceInfo::new(ServiceId::NIL, device_type).with_role("demo"),
+            ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default()),
+            AgentConfig::default(),
+            TIMEOUT,
+        )
+    };
+    let sensor = connect("sensor.heart-rate")?;
+    let monitor = connect("monitor.station")?;
+    println!("sensor {} and monitor {} joined", sensor.local_id(), monitor.local_id());
+
+    // Content-based subscription: only elevated heart rates.
+    monitor.subscribe(
+        Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 120i64)),
+        TIMEOUT,
+    )?;
+
+    // A calm reading does not match; a racing one does.
+    sensor.publish(
+        Event::builder("smc.sensor.reading").attr("sensor", "heart-rate").attr("bpm", 72i64).build(),
+        TIMEOUT,
+    )?;
+    sensor.publish(
+        Event::builder("smc.sensor.reading").attr("sensor", "heart-rate").attr("bpm", 147i64).build(),
+        TIMEOUT,
+    )?;
+
+    let alert = monitor.next_event(TIMEOUT)?;
+    println!("monitor received: {alert}");
+    assert_eq!(alert.attr("bpm").and_then(|v| v.as_int()), Some(147));
+    assert!(monitor.try_next_event().is_none(), "the calm reading was filtered out");
+
+    println!(
+        "bus metrics: {} published, {} delivered, {} unmatched",
+        cell.metrics().published,
+        cell.metrics().deliveries,
+        cell.metrics().unmatched
+    );
+
+    sensor.leave("demo over");
+    monitor.leave("demo over");
+    cell.shutdown();
+    println!("quickstart complete");
+    Ok(())
+}

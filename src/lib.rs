@@ -1,0 +1,30 @@
+//! `amuse` — a Rust reproduction of the AMUSE self-managed-cell event
+//! service ("An Event Service Supporting Autonomic Management of
+//! Ubiquitous Systems for e-Health", Strowes et al., ICDCSW 2006).
+//!
+//! This facade crate re-exports the workspace's public API under one
+//! roof. The layers, bottom-up:
+//!
+//! * [`types`] — events, filters, identifiers, the byte-array wire codec;
+//! * [`matching`] — the three content-matching engines (naive oracle,
+//!   Siena-style, fast-forwarding counting algorithm);
+//! * [`transport`] — datagram transports (simulated network, UDP) and
+//!   the reliability layer (exactly-once, per-sender FIFO, acknowledged);
+//! * [`discovery`] — cell membership: beacons, joins, leases, purges;
+//! * [`policy`] — Ponder-style authorisation and obligation policies;
+//! * [`core`] — the event bus, proxies, bootstrap, quenching, typed
+//!   pub/sub, and the assembled [`core::SmcCell`];
+//! * [`sensors`] — simulated e-health devices and patient scenarios.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use smc_core as core;
+pub use smc_discovery as discovery;
+pub use smc_match as matching;
+pub use smc_policy as policy;
+pub use smc_sensors as sensors;
+pub use smc_transport as transport;
+pub use smc_types as types;
+
+pub use smc_core::{RawDevice, RemoteClient, SmcCell, SmcConfig};
+pub use smc_types::{Event, Filter, Op, ServiceId, ServiceInfo};

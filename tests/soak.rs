@@ -1,0 +1,169 @@
+//! Soak test: a whole ward of devices pushing traffic through one cell,
+//! with membership churn, verifying global accounting at the end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use amuse::core::{RemoteClient, SmcCell, SmcConfig};
+use amuse::discovery::AgentConfig;
+use amuse::transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use amuse::types::{Event, Filter, Op, ServiceId, ServiceInfo};
+
+const TICK: Duration = Duration::from_secs(20);
+
+fn fast_reliable() -> ReliableConfig {
+    ReliableConfig {
+        initial_rto: Duration::from_millis(40),
+        poll_interval: Duration::from_millis(10),
+        ..ReliableConfig::default()
+    }
+}
+
+#[test]
+fn many_devices_many_events() {
+    const SENSORS: usize = 10;
+    const EVENTS_PER_SENSOR: i64 = 100;
+
+    let net = SimNetwork::with_seed(LinkConfig::ideal().with_loss(0.05), 2718);
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    );
+    let connect = |device_type: String| {
+        RemoteClient::connect(
+            ServiceInfo::new(ServiceId::NIL, device_type),
+            ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable()),
+            AgentConfig::default(),
+            TICK,
+        )
+        .expect("join")
+    };
+
+    // Two monitors with overlapping interests: one watches everything,
+    // one only the even-numbered streams.
+    let all = connect("monitor.all".into());
+    all.subscribe(Filter::for_type("soak"), TICK).unwrap();
+    let evens = connect("monitor.evens".into());
+    evens
+        .subscribe(Filter::for_type("soak").with(("parity", Op::Eq, 0i64)), TICK)
+        .unwrap();
+
+    let sensors: Vec<Arc<RemoteClient>> =
+        (0..SENSORS).map(|i| connect(format!("sensor.soak{i}"))).collect();
+
+    let mut handles = Vec::new();
+    for (idx, sensor) in sensors.iter().enumerate() {
+        let sensor = Arc::clone(sensor);
+        handles.push(std::thread::spawn(move || {
+            for n in 0..EVENTS_PER_SENSOR {
+                sensor
+                    .publish_nowait(
+                        Event::builder("soak")
+                            .attr("stream", idx as i64)
+                            .attr("n", n)
+                            .attr("parity", idx as i64 % 2)
+                            .build(),
+                    )
+                    .expect("publish");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The all-monitor sees every event exactly once, FIFO per stream.
+    let mut next: Vec<i64> = vec![0; SENSORS];
+    let total = SENSORS as i64 * EVENTS_PER_SENSOR;
+    for got in 0..total {
+        let e = all.next_event(TICK).unwrap_or_else(|e| panic!("all-monitor starves after {got}/{total}: {e:?}"));
+        let stream = e.attr("stream").unwrap().as_int().unwrap() as usize;
+        let n = e.attr("n").unwrap().as_int().unwrap();
+        assert_eq!(n, next[stream], "stream {stream} out of order");
+        next[stream] += 1;
+    }
+    assert!(all.try_next_event().is_none(), "duplicates at the all-monitor");
+
+    // The evens-monitor sees exactly the even streams' events.
+    let even_total = (0..SENSORS).filter(|i| i % 2 == 0).count() as i64 * EVENTS_PER_SENSOR;
+    for _ in 0..even_total {
+        let e = evens.next_event(TICK).expect("evens-monitor starves");
+        assert_eq!(e.attr("parity").unwrap().as_int(), Some(0));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(evens.try_next_event().is_none());
+
+    // Global accounting: the bus also published one `New Member` event
+    // per joining device (management traffic), none of which match the
+    // soak subscriptions.
+    let m = cell.metrics();
+    let member_events = m.published as i64 - total;
+    assert!(
+        (0..=20).contains(&member_events),
+        "unexpected publish count: {} for {total} soak events",
+        m.published
+    );
+    assert_eq!(m.deliveries as i64, total + even_total);
+    assert_eq!(m.delivery_failures, 0);
+
+    for s in sensors {
+        s.shutdown();
+    }
+    all.shutdown();
+    evens.shutdown();
+    cell.shutdown();
+}
+
+#[test]
+fn churn_does_not_disturb_survivors() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    );
+    let connect = |device_type: String| {
+        RemoteClient::connect(
+            ServiceInfo::new(ServiceId::NIL, device_type),
+            ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable()),
+            AgentConfig::default(),
+            TICK,
+        )
+        .expect("join")
+    };
+
+    let steady = connect("monitor.steady".into());
+    steady.subscribe(Filter::for_type("churn"), TICK).unwrap();
+    let publisher = connect("sensor.steady".into());
+
+    let mut expected = 0i64;
+    for round in 0..5 {
+        // A transient device joins, subscribes, and leaves each round.
+        let visitor = connect(format!("visitor.{round}"));
+        visitor.subscribe(Filter::for_type("churn"), TICK).unwrap();
+        for _ in 0..10 {
+            publisher
+                .publish_nowait(Event::builder("churn").attr("n", expected).build())
+                .unwrap();
+            expected += 1;
+        }
+        // Drain the visitor's copies (it must get some before leaving).
+        let mut visitor_got = 0;
+        while visitor.next_event(Duration::from_millis(400)).is_ok() {
+            visitor_got += 1;
+        }
+        assert!(visitor_got > 0, "round {round}: visitor saw nothing");
+        visitor.leave("round over");
+    }
+
+    // The steady monitor saw the entire sequence, gap-free and in order.
+    for n in 0..expected {
+        let e = steady.next_event(TICK).expect("steady starves");
+        assert_eq!(e.attr("n").unwrap().as_int(), Some(n));
+    }
+
+    publisher.shutdown();
+    steady.shutdown();
+    cell.shutdown();
+}
