@@ -119,8 +119,13 @@ impl CompositionLink {
                 out.attributes_mut().insert(CHILD_CELL_ATTR, text.join(","));
                 // Fresh stamp under the link's identity in the parent.
                 out.stamp(ServiceId::NIL, 0, 0);
-                up_client.publish_nowait(out)?;
+                // Count before publishing so an observer woken by the
+                // delivery sees the updated stats.
                 up_exported.fetch_add(1, Ordering::Relaxed);
+                if let Err(e) = up_client.publish_nowait(out) {
+                    up_exported.fetch_sub(1, Ordering::Relaxed);
+                    return Err(e);
+                }
                 Ok(())
             }),
         )?;
@@ -194,8 +199,11 @@ impl CompositionLink {
                         .map(|m| m.id)
                         .collect();
                     for target in targets {
-                        if this.child.send_command(target, &cmd.name, args.clone()).is_ok() {
-                            this.commands_relayed.fetch_add(1, Ordering::Relaxed);
+                        // Count before sending so an observer woken by the
+                        // command sees the updated stats.
+                        this.commands_relayed.fetch_add(1, Ordering::Relaxed);
+                        if this.child.send_command(target, &cmd.name, args.clone()).is_err() {
+                            this.commands_relayed.fetch_sub(1, Ordering::Relaxed);
                         }
                     }
                 }

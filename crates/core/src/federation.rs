@@ -203,10 +203,12 @@ impl FederationLink {
         let mut imported = event;
         let path_text: Vec<String> = path.iter().map(|c| c.raw().to_string()).collect();
         imported.attributes_mut().insert(FEDERATION_PATH_ATTR, path_text.join(","));
-        // Republished under the local cell's identity: local subscribers
-        // see one coherent FIFO stream per link.
-        let _ = self.local.publish_local(imported);
+        // Count before republishing so an observer woken by the delivery
+        // sees the updated stats. Republished under the local cell's
+        // identity: local subscribers see one coherent FIFO stream per
+        // link.
         self.imported.fetch_add(1, Ordering::Relaxed);
+        let _ = self.local.publish_local(imported);
     }
 
     /// Leaves the remote cell and stops importing.

@@ -27,8 +27,8 @@ use smc_policy::{ActionClass, ActionSpec, Decision, FiredAction, PolicyService};
 use smc_transport::{CpuProfile, Incoming, ReliableChannel, ReliableConfig, Transport};
 use smc_types::codec::{from_bytes, to_bytes};
 use smc_types::{
-    new_member_event, purge_member_event, AttributeSet, CellId, Error, Event, Filter, Packet,
-    Result, ServiceId, ServiceInfo, SubscriptionId,
+    new_member_event, purge_member_event, system_clock, AttributeSet, CellId, Error, Event,
+    Filter, Packet, Result, ServiceId, ServiceInfo, SharedClock, SubscriptionId,
 };
 
 use crate::bootstrap::ProxyFactory;
@@ -57,6 +57,9 @@ pub struct SmcConfig {
     /// What to do when no authorisation policy applies: `true` = permit
     /// (the default — policies then only restrict), `false` = deny.
     pub default_permit: bool,
+    /// The clock used to timestamp cell-originated events (inject a
+    /// [`smc_types::ManualClock`] for reproducible timestamps).
+    pub clock: SharedClock,
 }
 
 impl Default for SmcConfig {
@@ -68,6 +71,7 @@ impl Default for SmcConfig {
             reliable: ReliableConfig::default(),
             cpu_profile: CpuProfile::native(),
             default_permit: true,
+            clock: system_clock(),
         }
     }
 }
@@ -228,7 +232,7 @@ impl SmcCell {
     /// Propagates bus errors.
     pub fn publish_local(&self, mut event: Event) -> Result<usize> {
         let seq = self.next_local_seq.fetch_add(1, Ordering::Relaxed);
-        event.stamp(self.bus_endpoint(), seq, now_micros());
+        event.stamp(self.bus_endpoint(), seq, self.config.clock.now_micros());
         self.publish_internal(event, 0)
     }
 
@@ -424,7 +428,7 @@ impl SmcCell {
                     );
                     return;
                 }
-                proxy.stamp_if_needed(&mut event, now_micros());
+                proxy.stamp_if_needed(&mut event, self.config.clock.now_micros());
                 // Acknowledge acceptance (§II-C: "events are always
                 // acknowledged when passing from publisher to event bus").
                 if proxy.forwards_acks() {
@@ -435,7 +439,7 @@ impl SmcCell {
                 let _ = self.publish_internal(event, 0);
             }
             Packet::Raw(raw) => {
-                if let Ok(events) = proxy.uplink(&raw, now_micros()) {
+                if let Ok(events) = proxy.uplink(&raw, self.config.clock.now_micros()) {
                     for event in events {
                         if let Decision::Deny =
                             self.authorise(&info, ActionClass::Publish, event.event_type())
@@ -545,7 +549,7 @@ impl SmcCell {
                 }
                 let mut event = builder.build();
                 let seq = self.next_local_seq.fetch_add(1, Ordering::Relaxed);
-                event.stamp(self.bus_endpoint(), seq, now_micros());
+                event.stamp(self.bus_endpoint(), seq, self.config.clock.now_micros());
                 let _ = self.publish_internal(event, depth + 1);
             }
             ActionSpec::SendCommand { target, target_device_type, name, args } => {
@@ -616,9 +620,4 @@ impl Drop for SmcCell {
         self.running.store(false, Ordering::SeqCst);
         self.channel.close();
     }
-}
-
-fn now_micros() -> u64 {
-    use std::time::{SystemTime, UNIX_EPOCH};
-    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_micros() as u64
 }

@@ -16,7 +16,7 @@ use parking_lot::Mutex;
 
 use smc_transport::{Incoming, ReliableChannel};
 use smc_types::codec::{from_bytes, to_bytes};
-use smc_types::{CellId, Error, Packet, Result, ServiceId, ServiceInfo};
+use smc_types::{CellId, Error, Packet, Result, ServiceId, ServiceInfo, SharedClock};
 
 /// Lifecycle notifications emitted by a [`MemberAgent`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +84,23 @@ struct AgentState {
     missed: u32,
 }
 
+/// Step-driven state for an agent built with [`MemberAgent::with_clock`].
+#[derive(Debug)]
+struct ManualAgent {
+    worker: AgentWorker,
+    clock: SharedClock,
+    /// Wall-clock anchor mapping virtual micros onto the `Instant`
+    /// timeline the heartbeat schedule uses.
+    origin: Instant,
+    origin_micros: u64,
+}
+
+impl ManualAgent {
+    fn virtual_now(&self) -> Instant {
+        self.origin + Duration::from_micros(self.clock.now_micros().saturating_sub(self.origin_micros))
+    }
+}
+
 /// The device-side discovery participant.
 #[derive(Debug)]
 pub struct MemberAgent {
@@ -95,6 +112,7 @@ pub struct MemberAgent {
     unhandled_rx: Receiver<(ServiceId, Packet)>,
     running: Arc<AtomicBool>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    manual: Option<Mutex<ManualAgent>>,
 }
 
 impl MemberAgent {
@@ -127,6 +145,7 @@ impl MemberAgent {
             unhandled_rx,
             running: Arc::clone(&running),
             worker: Mutex::new(None),
+            manual: None,
         });
         let worker = AgentWorker {
             info,
@@ -143,6 +162,82 @@ impl MemberAgent {
             .expect("spawn member agent worker");
         *agent.worker.lock() = Some(handle);
         agent
+    }
+
+    /// Builds a **step-driven** agent timed by `clock`.
+    ///
+    /// No worker thread is spawned: beacons are only noticed and
+    /// heartbeats only sent from [`step`], making the agent fully
+    /// deterministic under a [`smc_types::ManualClock`].
+    ///
+    /// [`step`]: MemberAgent::step
+    pub fn with_clock(
+        mut info: ServiceInfo,
+        channel: Arc<ReliableChannel>,
+        config: AgentConfig,
+        clock: SharedClock,
+    ) -> Arc<Self> {
+        info.id = channel.local_id();
+        let (events_tx, events_rx) = unbounded();
+        let (unhandled_tx, unhandled_rx) = unbounded();
+        let origin = Instant::now();
+        let state = Arc::new(Mutex::new(AgentState {
+            phase: Phase::Searching,
+            cell: None,
+            discovery: None,
+            bus: None,
+            lease: Duration::from_secs(2),
+            next_heartbeat: origin,
+            heartbeat_seq: 0,
+            last_acked_seq: 0,
+            missed: 0,
+        }));
+        let running = Arc::new(AtomicBool::new(true));
+        let worker = AgentWorker {
+            info: info.clone(),
+            channel: Arc::clone(&channel),
+            config,
+            state: Arc::clone(&state),
+            events: events_tx.clone(),
+            unhandled: unhandled_tx,
+            running: Arc::clone(&running),
+        };
+        let origin_micros = clock.now_micros();
+        Arc::new(MemberAgent {
+            info,
+            channel,
+            state,
+            events_rx,
+            events_tx,
+            unhandled_rx,
+            running,
+            worker: Mutex::new(None),
+            manual: Some(Mutex::new(ManualAgent { worker, clock, origin, origin_micros })),
+        })
+    }
+
+    /// Performs one unit of agent work at the injected clock's current
+    /// time: sends a heartbeat if one is due and drains every inbound
+    /// packet already queued on the channel. Returns the number of
+    /// packets and heartbeats processed.
+    ///
+    /// # Panics
+    ///
+    /// If the agent was built with [`MemberAgent::start`] (which owns a
+    /// worker thread) rather than [`MemberAgent::with_clock`].
+    pub fn step(&self) -> usize {
+        let drv = self
+            .manual
+            .as_ref()
+            .expect("step() requires an agent built with MemberAgent::with_clock")
+            .lock();
+        let now = drv.virtual_now();
+        let mut work = usize::from(drv.worker.heartbeat_if_due(now));
+        while let Ok(incoming) = self.channel.recv(Some(Duration::ZERO)) {
+            drv.worker.handle_at(incoming, now);
+            work += 1;
+        }
+        work
     }
 
     /// The agent's service description (with the transport-derived id).
@@ -261,6 +356,7 @@ impl Drop for MemberAgent {
     }
 }
 
+#[derive(Debug)]
 struct AgentWorker {
     info: ServiceInfo,
     channel: Arc<ReliableChannel>,
@@ -275,20 +371,20 @@ impl AgentWorker {
     fn run(self) {
         let poll = Duration::from_millis(10);
         while self.running.load(Ordering::SeqCst) {
-            self.heartbeat_if_due();
+            self.heartbeat_if_due(Instant::now());
             match self.channel.recv(Some(poll)) {
-                Ok(incoming) => self.handle(incoming),
+                Ok(incoming) => self.handle_at(incoming, Instant::now()),
                 Err(Error::Timeout) => {}
                 Err(_) => return,
             }
         }
     }
 
-    fn heartbeat_if_due(&self) {
-        let now = Instant::now();
+    /// Returns `true` if a heartbeat was sent or the cell declared lost.
+    fn heartbeat_if_due(&self, now: Instant) -> bool {
         let mut st = self.state.lock();
         if st.phase != Phase::Member || now < st.next_heartbeat {
-            return;
+            return false;
         }
         // Account the previous heartbeat before sending a new one.
         if st.heartbeat_seq > st.last_acked_seq {
@@ -301,7 +397,7 @@ impl AgentWorker {
                 st.missed = 0;
                 drop(st);
                 let _ = self.events.send(AgentEvent::Lost { cell });
-                return;
+                return true;
             }
         }
         st.heartbeat_seq += 1;
@@ -312,9 +408,10 @@ impl AgentWorker {
         st.next_heartbeat = now + st.lease / 3;
         drop(st);
         let _ = self.channel.send_unreliable(discovery, &to_bytes(&packet));
+        true
     }
 
-    fn handle(&self, incoming: Incoming) {
+    fn handle_at(&self, incoming: Incoming, now: Instant) {
         let from = incoming.from();
         let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
         match packet {
@@ -351,7 +448,7 @@ impl AgentWorker {
                     st.heartbeat_seq = 0;
                     st.last_acked_seq = 0;
                     st.missed = 0;
-                    st.next_heartbeat = Instant::now() + st.lease / 3;
+                    st.next_heartbeat = now + st.lease / 3;
                     drop(st);
                     let _ = self.events.send(AgentEvent::Joined { cell, discovery: from });
                 } else {

@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 
 use smc_transport::{Incoming, ReliableChannel};
 use smc_types::codec::{from_bytes, to_bytes};
-use smc_types::{CellId, Error, Packet, PurgeReason, Result, ServiceId, ServiceInfo};
+use smc_types::{CellId, Error, Packet, PurgeReason, Result, ServiceId, ServiceInfo, SharedClock};
 
 use crate::auth::{AcceptAll, Authenticator};
 use crate::membership::{MembershipEvent, MembershipTable};
@@ -83,6 +83,26 @@ struct ServiceState {
     table: MembershipTable,
 }
 
+/// Step-driven state for a service built with
+/// [`DiscoveryService::with_clock`].
+#[derive(Debug)]
+struct ManualDriver {
+    worker: Worker,
+    clock: SharedClock,
+    /// Wall-clock anchor mapping virtual micros onto the `Instant`
+    /// timeline the membership table uses.
+    origin: Instant,
+    origin_micros: u64,
+    beacon_seq: u64,
+    next_beacon_micros: u64,
+}
+
+impl ManualDriver {
+    fn virtual_now(&self) -> Instant {
+        self.origin + Duration::from_micros(self.clock.now_micros().saturating_sub(self.origin_micros))
+    }
+}
+
 /// The discovery service of one self-managed cell.
 #[derive(Debug)]
 pub struct DiscoveryService {
@@ -94,6 +114,7 @@ pub struct DiscoveryService {
     events_tx: Sender<MembershipEvent>,
     running: Arc<AtomicBool>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    manual: Option<Mutex<ManualDriver>>,
 }
 
 impl DiscoveryService {
@@ -111,6 +132,7 @@ impl DiscoveryService {
             events_tx: events_tx.clone(),
             running: Arc::clone(&running),
             worker: Mutex::new(None),
+            manual: None,
         });
         let worker = Worker { cell, channel, config, state, events: events_tx, running };
         let handle = std::thread::Builder::new()
@@ -119,6 +141,98 @@ impl DiscoveryService {
             .expect("spawn discovery worker");
         *service.worker.lock() = Some(handle);
         service
+    }
+
+    /// Builds a **step-driven** discovery service timed by `clock`.
+    ///
+    /// No worker thread is spawned: nothing happens until [`step`] is
+    /// called, which makes the service fully deterministic under a
+    /// [`smc_types::ManualClock`]. Lease and grace accounting advance
+    /// with the injected clock, not wall time.
+    ///
+    /// [`step`]: DiscoveryService::step
+    pub fn with_clock(
+        cell: CellId,
+        channel: Arc<ReliableChannel>,
+        config: DiscoveryConfig,
+        clock: SharedClock,
+    ) -> Arc<Self> {
+        let (events_tx, events_rx) = unbounded();
+        let state = Arc::new(Mutex::new(ServiceState { table: MembershipTable::new() }));
+        let running = Arc::new(AtomicBool::new(true));
+        let worker = Worker {
+            cell,
+            channel: Arc::clone(&channel),
+            config: config.clone(),
+            state: Arc::clone(&state),
+            events: events_tx.clone(),
+            running: Arc::clone(&running),
+        };
+        let now_micros = clock.now_micros();
+        Arc::new(DiscoveryService {
+            cell,
+            channel,
+            config,
+            state,
+            events_rx,
+            events_tx,
+            running,
+            worker: Mutex::new(None),
+            manual: Some(Mutex::new(ManualDriver {
+                worker,
+                clock,
+                origin: Instant::now(),
+                origin_micros: now_micros,
+                beacon_seq: 0,
+                next_beacon_micros: now_micros,
+            })),
+        })
+    }
+
+    /// Performs one unit of discovery work at the injected clock's
+    /// current time: broadcasts a beacon if one is due, runs lease
+    /// accounting, and drains every inbound packet already queued on the
+    /// channel. Returns the number of packets, beacons and membership
+    /// transitions processed.
+    ///
+    /// # Panics
+    ///
+    /// If the service was built with [`DiscoveryService::start`] (which
+    /// owns a worker thread) rather than
+    /// [`DiscoveryService::with_clock`].
+    pub fn step(&self) -> usize {
+        let mut drv = self
+            .manual
+            .as_ref()
+            .expect("step() requires a service built with DiscoveryService::with_clock")
+            .lock();
+        let now_micros = drv.clock.now_micros();
+        let mut work = 0;
+        if now_micros >= drv.next_beacon_micros {
+            drv.beacon_seq += 1;
+            let beacon = Packet::Beacon {
+                cell: self.cell,
+                discovery: self.channel.local_id(),
+                seq: drv.beacon_seq,
+            };
+            let _ = self.channel.broadcast_unreliable(&to_bytes(&beacon));
+            drv.next_beacon_micros = now_micros + self.config.beacon_interval.as_micros() as u64;
+            work += 1;
+        }
+        let now = drv.virtual_now();
+        let transitions = {
+            let mut st = self.state.lock();
+            st.table.tick(now, self.config.lease, self.config.grace)
+        };
+        work += transitions.len();
+        for ev in transitions {
+            let _ = self.events_tx.send(ev);
+        }
+        while let Ok(incoming) = self.channel.recv(Some(Duration::ZERO)) {
+            drv.worker.handle_at(incoming, now);
+            work += 1;
+        }
+        work
     }
 
     /// The cell this service announces.
@@ -187,6 +301,7 @@ impl Drop for DiscoveryService {
     }
 }
 
+#[derive(Debug)]
 struct Worker {
     cell: CellId,
     channel: Arc<ReliableChannel>,
@@ -223,20 +338,22 @@ impl Worker {
             }
             // Handle one inbound message (or time out and loop).
             match self.channel.recv(Some(poll)) {
-                Ok(incoming) => self.handle(incoming),
+                Ok(incoming) => self.handle_at(incoming, Instant::now()),
                 Err(Error::Timeout) => {}
                 Err(_) => return,
             }
         }
     }
 
-    fn handle(&self, incoming: Incoming) {
+    fn handle_at(&self, incoming: Incoming, now: Instant) {
         let from = incoming.from();
         let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
         match packet {
-            Packet::JoinRequest { info, auth_token } => self.handle_join(from, info, &auth_token),
+            Packet::JoinRequest { info, auth_token } => {
+                self.handle_join(from, info, &auth_token, now);
+            }
             Packet::Heartbeat { member, seq } => {
-                let prev = self.state.lock().table.heartbeat(member, Instant::now());
+                let prev = self.state.lock().table.heartbeat(member, now);
                 match prev {
                     Some(state) => {
                         if state == crate::membership::MemberState::Suspected {
@@ -261,7 +378,7 @@ impl Worker {
         }
     }
 
-    fn handle_join(&self, from: ServiceId, mut info: ServiceInfo, token: &[u8]) {
+    fn handle_join(&self, from: ServiceId, mut info: ServiceInfo, token: &[u8], now: Instant) {
         // Trust the transport-derived id over the self-declared one.
         info.id = from;
         let verdict = self.config.authenticator.authenticate(&info, token);
@@ -278,7 +395,7 @@ impl Worker {
         };
         let _ = self.channel.send(from, to_bytes(&response));
         if accepted {
-            let is_new = self.state.lock().table.admit(info.clone(), Instant::now());
+            let is_new = self.state.lock().table.admit(info.clone(), now);
             if is_new {
                 let _ = self.events.send(MembershipEvent::Joined(info));
             }

@@ -1,0 +1,273 @@
+//! Scenario scripts: seeded, reproducible fault schedules.
+//!
+//! A [`Scenario`] is a complete description of one chaos run — node
+//! count, duration, publish cadence and a list of [`ScriptedOp`]s fired
+//! at scripted virtual times. Everything is plain data: printing a
+//! scenario and feeding it back reproduces the run bit for bit, which is
+//! what makes oracle violations actionable.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Canned link profiles a scripted op can switch a node to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkProfileKind {
+    /// Zero-latency, lossless.
+    Ideal,
+    /// The paper prototype's USB/IP access network.
+    UsbIp,
+    /// Bluetooth personal-area link.
+    Bluetooth,
+    /// 802.15.4 body-sensor link.
+    Zigbee,
+}
+
+impl LinkProfileKind {
+    /// The transport-level configuration for this profile.
+    pub fn config(self) -> smc_transport::LinkConfig {
+        match self {
+            LinkProfileKind::Ideal => smc_transport::LinkConfig::ideal(),
+            LinkProfileKind::UsbIp => smc_transport::LinkConfig::usb_ip_link(),
+            LinkProfileKind::Bluetooth => smc_transport::LinkConfig::bluetooth_link(),
+            LinkProfileKind::Zigbee => smc_transport::LinkConfig::zigbee_link(),
+        }
+    }
+}
+
+/// One fault injected into the simulated world.
+///
+/// `node` indexes the scenario's device nodes (`0..Scenario::nodes`).
+/// Operations with a `duration` are reverted (link restored, partition
+/// healed, node restarted) that long after they fire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosOp {
+    /// The node's links drop datagrams with probability `loss`.
+    LossBurst {
+        /// Target device node index.
+        node: usize,
+        /// Drop probability in `[0, 1]`.
+        loss: f64,
+        /// Burst length; the link heals afterwards.
+        duration: Duration,
+    },
+    /// The node is partitioned from the cell (both endpoints).
+    Partition {
+        /// Target device node index.
+        node: usize,
+        /// Partition length; heals afterwards.
+        duration: Duration,
+    },
+    /// The node's links deliver duplicates with probability `duplicate`.
+    DuplicateStorm {
+        /// Target device node index.
+        node: usize,
+        /// Duplication probability in `[0, 1]`.
+        duplicate: f64,
+        /// Storm length; the link heals afterwards.
+        duration: Duration,
+    },
+    /// The node crashes (loses all channel state) and restarts with the
+    /// same identity after `down_for`.
+    Crash {
+        /// Target device node index.
+        node: usize,
+        /// Outage length before the restart.
+        down_for: Duration,
+    },
+    /// The node moves to another broadcast domain (stops hearing the
+    /// cell's beacons) and moves back after `duration`.
+    DomainMove {
+        /// Target device node index.
+        node: usize,
+        /// The domain wandered into.
+        domain: u32,
+        /// Time away before returning to the cell's domain.
+        duration: Duration,
+    },
+    /// The node's links permanently switch to a different profile.
+    LinkProfile {
+        /// Target device node index.
+        node: usize,
+        /// The new profile.
+        profile: LinkProfileKind,
+    },
+}
+
+impl ChaosOp {
+    /// The device node this op targets.
+    pub fn node(&self) -> usize {
+        match *self {
+            ChaosOp::LossBurst { node, .. }
+            | ChaosOp::Partition { node, .. }
+            | ChaosOp::DuplicateStorm { node, .. }
+            | ChaosOp::Crash { node, .. }
+            | ChaosOp::DomainMove { node, .. }
+            | ChaosOp::LinkProfile { node, .. } => node,
+        }
+    }
+}
+
+/// A [`ChaosOp`] scheduled at a virtual time offset from the run start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScriptedOp {
+    /// When the op fires, relative to the start of the run.
+    pub at: Duration,
+    /// What happens.
+    pub op: ChaosOp,
+}
+
+/// A complete, reproducible chaos-run description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Seed for the network's loss/jitter/duplication draws (and the one
+    /// reported when the oracle flags a violation).
+    pub seed: u64,
+    /// Number of device nodes (publishers) besides the cell.
+    pub nodes: usize,
+    /// Virtual length of the run.
+    pub duration: Duration,
+    /// How often each member device publishes an event.
+    pub publish_interval: Duration,
+    /// The fault schedule.
+    pub ops: Vec<ScriptedOp>,
+}
+
+impl Scenario {
+    /// A quiet scenario: no faults, `nodes` devices publishing for
+    /// `duration`.
+    pub fn quiet(seed: u64, nodes: usize, duration: Duration) -> Self {
+        Scenario {
+            seed,
+            nodes,
+            duration,
+            publish_interval: Duration::from_millis(100),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Generates a randomized fault schedule from `seed`: `ops` faults
+    /// drawn uniformly over the op families, spread over the first 80%
+    /// of the run (so late faults still resolve inside it).
+    pub fn random(seed: u64, nodes: usize, duration: Duration, ops: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = Scenario::quiet(seed, nodes.max(1), duration);
+        let window = (duration.as_micros() as u64).saturating_mul(4) / 5;
+        for _ in 0..ops {
+            let at = Duration::from_micros(rng.gen_range(0..window.max(1)));
+            let node = rng.gen_range(0..scenario.nodes);
+            let hold = Duration::from_millis(rng.gen_range(50..800));
+            let op = match rng.gen_range(0..6u32) {
+                0 => ChaosOp::LossBurst { node, loss: rng.gen_range(0.2..0.9), duration: hold },
+                1 => ChaosOp::Partition { node, duration: hold },
+                2 => ChaosOp::DuplicateStorm {
+                    node,
+                    duplicate: rng.gen_range(0.2..0.9),
+                    duration: hold,
+                },
+                3 => ChaosOp::Crash { node, down_for: hold },
+                4 => ChaosOp::DomainMove { node, domain: rng.gen_range(1..4u32), duration: hold },
+                _ => ChaosOp::LinkProfile {
+                    node,
+                    profile: match rng.gen_range(0..4u32) {
+                        0 => LinkProfileKind::Ideal,
+                        1 => LinkProfileKind::UsbIp,
+                        2 => LinkProfileKind::Bluetooth,
+                        _ => LinkProfileKind::Zigbee,
+                    },
+                },
+            };
+            scenario.ops.push(ScriptedOp { at, op });
+        }
+        scenario.ops.sort_by_key(|s| s.at);
+        scenario
+    }
+
+    /// Scripts sorted by firing time (the runner requires this).
+    pub fn sorted(mut self) -> Self {
+        self.ops.sort_by_key(|s| s.at);
+        self
+    }
+}
+
+/// Reduces a failing scenario to a (locally) minimal one.
+///
+/// `fails` must return `true` when the scenario still exhibits the
+/// failure. The shrinker repeatedly tries dropping each op and halving
+/// the tail of the run, keeping any reduction that still fails — the
+/// moral equivalent of proptest shrinking, specialised to fault scripts
+/// (which our vendored proptest shim cannot shrink structurally).
+pub fn shrink_scenario<F>(mut scenario: Scenario, mut fails: F) -> Scenario
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    loop {
+        let mut reduced = false;
+        // Try dropping each op, last first (later ops are likelier to be
+        // irrelevant to an early violation).
+        let mut i = scenario.ops.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = scenario.clone();
+            candidate.ops.remove(i);
+            if fails(&candidate) {
+                scenario = candidate;
+                reduced = true;
+            }
+        }
+        // Try shortening the run.
+        if scenario.duration > Duration::from_secs(1) {
+            let mut candidate = scenario.clone();
+            candidate.duration = scenario.duration / 2;
+            if fails(&candidate) {
+                scenario = candidate;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return scenario;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = Scenario::random(42, 4, Duration::from_secs(10), 8);
+        let b = Scenario::random(42, 4, Duration::from_secs(10), 8);
+        assert_eq!(a, b);
+        let c = Scenario::random(43, 4, Duration::from_secs(10), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_ops_are_sorted_and_in_window() {
+        let s = Scenario::random(7, 3, Duration::from_secs(10), 12);
+        assert_eq!(s.ops.len(), 12);
+        for pair in s.ops.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+        for op in &s.ops {
+            assert!(op.at < Duration::from_secs(8));
+            assert!(op.op.node() < 3);
+        }
+    }
+
+    #[test]
+    fn shrinker_reaches_a_minimal_script() {
+        // A scenario "fails" whenever it still contains a Crash op; the
+        // shrinker should strip everything else.
+        let s = Scenario::random(11, 4, Duration::from_secs(16), 20);
+        assert!(s.ops.iter().any(|o| matches!(o.op, ChaosOp::Crash { .. })));
+        let minimal = shrink_scenario(s, |c| {
+            c.ops.iter().any(|o| matches!(o.op, ChaosOp::Crash { .. }))
+        });
+        assert_eq!(minimal.ops.len(), 1);
+        assert!(matches!(minimal.ops[0].op, ChaosOp::Crash { .. }));
+        assert!(minimal.duration <= Duration::from_secs(2));
+    }
+}

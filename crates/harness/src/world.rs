@@ -1,0 +1,422 @@
+//! The chaos world: a cell plus device nodes in one virtual timeline.
+//!
+//! [`run`] builds a simulated radio environment ([`SimNetwork`]) around a
+//! [`ManualClock`], wires a step-driven discovery service, an event sink
+//! (standing in for the cell's bus endpoint) and `scenario.nodes` device
+//! agents onto it, then single-threadedly steps virtual time in fixed
+//! ticks: scripted faults fire at their scripted instants, devices
+//! publish while they hold membership, and every observable fact lands in
+//! a [`DeliveryOracle`] in a deterministic order. Seconds of simulated
+//! chaos run in milliseconds of wall time, and the same seed always
+//! produces the same trace, byte for byte.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smc_discovery::{
+    AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent,
+};
+use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{CellId, ManualClock, ServiceId, ServiceInfo, SharedClock};
+
+use crate::oracle::DeliveryOracle;
+use crate::scenario::{ChaosOp, LinkProfileKind, Scenario};
+
+/// Virtual-time step granularity.
+const TICK_MICROS: u64 = 2_000;
+/// Quiescent tail after the scripted run: publishing stops, faults keep
+/// resolving, retransmissions flush.
+const DRAIN_MICROS: u64 = 3_000_000;
+/// Every n-th message carries a large payload to exercise fragmentation.
+const BIG_EVERY: u64 = 5;
+
+/// Reliability parameters the harness runs by default.
+pub fn default_reliable() -> ReliableConfig {
+    ReliableConfig::default()
+}
+
+/// Discovery timings the harness runs by default: second-scale leases
+/// that a 30-virtual-second scenario exercises many times over.
+pub fn default_discovery() -> DiscoveryConfig {
+    DiscoveryConfig {
+        beacon_interval: Duration::from_millis(200),
+        lease: Duration::from_secs(1),
+        grace: Duration::from_secs(1),
+        ..DiscoveryConfig::default()
+    }
+}
+
+/// The outcome of one chaos run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The oracle holding the full trace and any violation.
+    pub oracle: DeliveryOracle,
+    /// The device endpoints, in node-index order.
+    pub device_ids: Vec<ServiceId>,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Virtual micros covered (scripted duration plus drain).
+    pub virtual_micros: u64,
+}
+
+impl RunReport {
+    /// The byte-comparable rendering of the whole trace.
+    pub fn trace_text(&self) -> String {
+        self.oracle.trace_text()
+    }
+
+    /// Panics with seed + trace if a delivery guarantee broke.
+    pub fn assert_clean(&self) {
+        self.oracle.assert_clean();
+    }
+
+    /// `true` when every published message of every device was
+    /// delivered — only meaningful for scenarios without purges.
+    pub fn all_delivered(&self) -> bool {
+        self.device_ids
+            .iter()
+            .all(|&id| self.oracle.delivered(id) == self.oracle.published(id))
+    }
+
+    /// Total messages published across devices.
+    pub fn total_published(&self) -> u64 {
+        self.device_ids.iter().map(|&id| self.oracle.published(id)).sum()
+    }
+
+    /// Total messages delivered across devices.
+    pub fn total_delivered(&self) -> u64 {
+        self.device_ids.iter().map(|&id| self.oracle.delivered(id)).sum()
+    }
+
+    /// `true` if the trace contains a purge of `member`.
+    pub fn was_purged(&self, member: ServiceId) -> bool {
+        self.oracle
+            .trace()
+            .iter()
+            .any(|e| matches!(e, crate::oracle::TraceEvent::Purged { member: m, .. } if *m == member))
+    }
+
+    /// How many times `member` was admitted.
+    pub fn times_joined(&self, member: ServiceId) -> usize {
+        self.oracle
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, crate::oracle::TraceEvent::Joined { member: m, .. } if *m == member))
+            .count()
+    }
+}
+
+/// A fault-timeline entry, expanded from the scenario's scripted ops.
+#[derive(Debug, Clone)]
+enum Act {
+    Loss(f64),
+    Dup(f64),
+    Heal,
+    Profile(LinkProfileKind),
+    PartitionOn,
+    PartitionOff,
+    Domain(u32),
+    Crash,
+    Restart,
+}
+
+struct Device {
+    id: ServiceId,
+    info: ServiceInfo,
+    channel: Arc<ReliableChannel>,
+    agent: Arc<MemberAgent>,
+    next_seq: u64,
+    next_publish: u64,
+    crashed: bool,
+    /// The link profile faults modify and heals restore to.
+    baseline: LinkConfig,
+    domain: u32,
+}
+
+fn encode(seq: u64) -> Vec<u8> {
+    let filler = if seq.is_multiple_of(BIG_EVERY) { 2000 } else { 32 };
+    let mut payload = Vec::with_capacity(8 + filler);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.resize(8 + filler, 0xA5);
+    payload
+}
+
+fn decode(payload: &[u8]) -> Option<u64> {
+    payload.get(..8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+/// Runs `scenario` with the default reliability and discovery settings.
+pub fn run(scenario: &Scenario) -> RunReport {
+    run_with(scenario, default_reliable(), default_discovery())
+}
+
+/// Runs `scenario` with explicit channel and discovery parameters (e.g.
+/// `dedup: false` to prove the oracle catches a broken channel).
+pub fn run_with(
+    scenario: &Scenario,
+    reliable: ReliableConfig,
+    discovery_config: DiscoveryConfig,
+) -> RunReport {
+    let clock = Arc::new(ManualClock::new());
+    let shared: SharedClock = clock.clone();
+    let baseline = LinkConfig::ideal();
+    let net = SimNetwork::with_clock(baseline.clone(), scenario.seed, Arc::clone(&shared));
+
+    let disco_channel = ReliableChannel::with_clock(
+        Arc::new(net.endpoint()),
+        reliable.clone(),
+        Arc::clone(&shared),
+    );
+    let disco_id = disco_channel.local_id();
+    let sink_channel = ReliableChannel::with_clock(
+        Arc::new(net.endpoint()),
+        reliable.clone(),
+        Arc::clone(&shared),
+    );
+    let sink_id = sink_channel.local_id();
+    let service = DiscoveryService::with_clock(
+        CellId(1),
+        Arc::clone(&disco_channel),
+        discovery_config.with_bus_endpoint(sink_id),
+        Arc::clone(&shared),
+    );
+
+    let publish_interval = scenario.publish_interval.as_micros().max(1) as u64;
+    let mut devices: Vec<Device> = (0..scenario.nodes)
+        .map(|n| {
+            let channel = ReliableChannel::with_clock(
+                Arc::new(net.endpoint()),
+                reliable.clone(),
+                Arc::clone(&shared),
+            );
+            let info = ServiceInfo::new(ServiceId::NIL, "harness.device")
+                .with_name(format!("chaos device {n}"));
+            let agent = MemberAgent::with_clock(
+                info.clone(),
+                Arc::clone(&channel),
+                AgentConfig::default(),
+                Arc::clone(&shared),
+            );
+            Device {
+                id: channel.local_id(),
+                info,
+                channel,
+                agent,
+                next_seq: 1,
+                next_publish: 0,
+                crashed: false,
+                baseline: baseline.clone(),
+                domain: 0,
+            }
+        })
+        .collect();
+    let device_ids: Vec<ServiceId> = devices.iter().map(|d| d.id).collect();
+
+    // Expand scripted ops into an absolute-time fault timeline.
+    let mut timeline: Vec<(u64, usize, Act)> = Vec::new();
+    for s in &scenario.ops {
+        let at = s.at.as_micros() as u64;
+        match s.op {
+            ChaosOp::LossBurst { node, loss, duration } => {
+                timeline.push((at, node, Act::Loss(loss)));
+                timeline.push((at + duration.as_micros() as u64, node, Act::Heal));
+            }
+            ChaosOp::DuplicateStorm { node, duplicate, duration } => {
+                timeline.push((at, node, Act::Dup(duplicate)));
+                timeline.push((at + duration.as_micros() as u64, node, Act::Heal));
+            }
+            ChaosOp::Partition { node, duration } => {
+                timeline.push((at, node, Act::PartitionOn));
+                timeline.push((at + duration.as_micros() as u64, node, Act::PartitionOff));
+            }
+            ChaosOp::Crash { node, down_for } => {
+                timeline.push((at, node, Act::Crash));
+                timeline.push((at + down_for.as_micros() as u64, node, Act::Restart));
+            }
+            ChaosOp::DomainMove { node, domain, duration } => {
+                timeline.push((at, node, Act::Domain(domain)));
+                timeline.push((at + duration.as_micros() as u64, node, Act::Domain(0)));
+            }
+            ChaosOp::LinkProfile { node, profile } => {
+                timeline.push((at, node, Act::Profile(profile)));
+            }
+        }
+    }
+    timeline.sort_by_key(|&(at, node, _)| (at, node));
+
+    let mut oracle = DeliveryOracle::new(scenario.seed);
+    let mut members: HashSet<ServiceId> = HashSet::new();
+    let end = scenario.duration.as_micros() as u64;
+    let total = end + DRAIN_MICROS;
+    let mut next_act = 0usize;
+    let mut ticks = 0u64;
+
+    let mut now = 0u64;
+    loop {
+        // 1. Scripted faults due now.
+        while next_act < timeline.len() && timeline[next_act].0 <= now {
+            let (_, node, act) = timeline[next_act].clone();
+            next_act += 1;
+            if node >= devices.len() {
+                continue;
+            }
+            apply(&net, &mut devices[node], node, &act, disco_id, sink_id, &reliable, &shared, &mut oracle, now);
+        }
+        // 2. Deliver every datagram whose deadline has passed.
+        net.pump_due();
+        // 3. Channels: process frames, ack, retransmit.
+        disco_channel.step();
+        sink_channel.step();
+        for dev in &devices {
+            if !dev.crashed {
+                dev.channel.step();
+            }
+        }
+        // 4. Protocol logic on top of the channels.
+        service.step();
+        for dev in &devices {
+            if !dev.crashed {
+                dev.agent.step();
+            }
+        }
+        // 5. Membership transitions into the oracle (and the sink's
+        // member filter).
+        while let Ok(ev) = service.events().try_recv() {
+            match ev {
+                MembershipEvent::Joined(info) => {
+                    members.insert(info.id);
+                    oracle.record_joined(now, info.id);
+                }
+                MembershipEvent::Purged(id, _reason) => {
+                    members.remove(&id);
+                    oracle.record_purged(now, id);
+                }
+                MembershipEvent::Suspected(id) => {
+                    oracle.record_fault(now, format!("suspected {id}"));
+                }
+                MembershipEvent::Recovered(id) => {
+                    oracle.record_fault(now, format!("recovered {id}"));
+                }
+            }
+        }
+        // 6. Member devices publish on schedule (until the scripted end).
+        if now < end {
+            for dev in &mut devices {
+                if dev.crashed || !dev.agent.is_member() || now < dev.next_publish {
+                    continue;
+                }
+                let seq = dev.next_seq;
+                dev.next_seq += 1;
+                dev.next_publish = now + publish_interval;
+                oracle.record_publish(now, dev.id, seq);
+                let _ = dev.channel.send(sink_id, encode(seq));
+            }
+        }
+        // 7. The sink accepts deliveries, mirroring the SMC's rule that
+        // purged members' traffic is no longer served.
+        while let Ok(incoming) = sink_channel.recv(Some(Duration::ZERO)) {
+            if let Incoming::Reliable { from, payload } = incoming {
+                let Some(seq) = decode(&payload) else { continue };
+                if members.contains(&from) {
+                    oracle.record_delivery(now, from, seq);
+                } else {
+                    oracle.record_filtered(now, from, seq);
+                }
+            }
+        }
+        ticks += 1;
+        if now >= total {
+            break;
+        }
+        now += TICK_MICROS;
+        clock.advance_micros(TICK_MICROS);
+    }
+
+    RunReport { oracle, device_ids, ticks, virtual_micros: total }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn apply(
+    net: &SimNetwork,
+    dev: &mut Device,
+    node: usize,
+    act: &Act,
+    disco_id: ServiceId,
+    sink_id: ServiceId,
+    reliable: &ReliableConfig,
+    clock: &SharedClock,
+    oracle: &mut DeliveryOracle,
+    now: u64,
+) {
+    let set_links = |link: LinkConfig| {
+        net.set_link_between(dev.id, sink_id, link.clone());
+        net.set_link_between(dev.id, disco_id, link);
+    };
+    match act {
+        Act::Loss(loss) => {
+            oracle.record_fault(now, format!("node{node} loss burst {loss:.2}"));
+            let mut link = dev.baseline.clone();
+            link.loss = *loss;
+            set_links(link);
+        }
+        Act::Dup(dup) => {
+            oracle.record_fault(now, format!("node{node} duplicate storm {dup:.2}"));
+            let mut link = dev.baseline.clone();
+            link.duplicate = *dup;
+            set_links(link);
+        }
+        Act::Heal => {
+            oracle.record_fault(now, format!("node{node} link healed"));
+            set_links(dev.baseline.clone());
+        }
+        Act::Profile(profile) => {
+            oracle.record_fault(now, format!("node{node} link profile {profile:?}"));
+            let mut link = profile.config();
+            // Keep the baseline MTU: fragments are sized against the
+            // default link, and a shrunken path MTU would wedge them.
+            link.mtu = dev.baseline.mtu;
+            dev.baseline = link.clone();
+            set_links(link);
+        }
+        Act::PartitionOn => {
+            oracle.record_fault(now, format!("node{node} partitioned"));
+            net.set_partitioned(dev.id, sink_id, true);
+            net.set_partitioned(dev.id, disco_id, true);
+        }
+        Act::PartitionOff => {
+            oracle.record_fault(now, format!("node{node} partition healed"));
+            net.set_partitioned(dev.id, sink_id, false);
+            net.set_partitioned(dev.id, disco_id, false);
+        }
+        Act::Domain(domain) => {
+            oracle.record_fault(now, format!("node{node} moved to domain {domain}"));
+            dev.domain = *domain;
+            net.set_domain(dev.id, *domain);
+        }
+        Act::Crash => {
+            oracle.record_fault(now, format!("node{node} crashed"));
+            dev.crashed = true;
+            dev.channel.close();
+        }
+        Act::Restart => {
+            if !dev.crashed {
+                return;
+            }
+            oracle.record_fault(now, format!("node{node} restarted"));
+            let transport = Arc::new(net.endpoint_with_id(dev.id));
+            let channel =
+                ReliableChannel::with_clock(transport, reliable.clone(), Arc::clone(clock));
+            let agent = MemberAgent::with_clock(
+                dev.info.clone(),
+                Arc::clone(&channel),
+                AgentConfig::default(),
+                Arc::clone(clock),
+            );
+            net.set_domain(dev.id, dev.domain);
+            dev.channel = channel;
+            dev.agent = agent;
+            dev.crashed = false;
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! End-to-end chaos-harness tests: the acceptance criteria of the
+//! deterministic virtual-time harness.
+
+use std::time::{Duration, Instant};
+
+use smc_harness::{run, run_with, ChaosOp, Scenario, ScriptedOp, ViolationKind};
+use smc_transport::ReliableConfig;
+
+fn secs(s: u64) -> Duration {
+    Duration::from_secs(s)
+}
+
+fn millis(ms: u64) -> Duration {
+    Duration::from_millis(ms)
+}
+
+/// Same seed, same script → byte-identical traces; different seed →
+/// different trace.
+#[test]
+fn same_seed_gives_byte_identical_traces() {
+    let scenario = Scenario::random(0xC0FFEE, 4, secs(8), 10);
+    let a = run(&scenario);
+    let b = run(&scenario);
+    a.assert_clean();
+    b.assert_clean();
+    assert!(a.total_delivered() > 0, "scenario produced no traffic");
+    assert_eq!(
+        a.trace_text().into_bytes(),
+        b.trace_text().into_bytes(),
+        "same seed must replay byte-identically"
+    );
+
+    let other = Scenario::random(0xC0FFEE + 1, 4, secs(8), 10);
+    let c = run(&other);
+    assert_ne!(a.trace_text(), c.trace_text(), "different seed should diverge");
+}
+
+/// 30 virtual seconds of chaos complete in under a wall-clock second.
+#[test]
+fn thirty_virtual_seconds_run_in_under_a_second() {
+    let scenario = Scenario::random(2024, 5, secs(30), 12);
+    let started = Instant::now();
+    let report = run(&scenario);
+    let wall = started.elapsed();
+    report.assert_clean();
+    assert!(report.virtual_micros >= 30_000_000);
+    assert!(
+        wall < Duration::from_secs(1),
+        "30 virtual seconds took {wall:?} of wall time"
+    );
+}
+
+/// Family 1: loss bursts. Reliable delivery rides out heavy loss — every
+/// published message arrives, exactly once, in order.
+#[test]
+fn loss_burst_family_delivers_everything() {
+    let mut scenario = Scenario::quiet(31, 3, secs(10));
+    for (i, at) in [800u64, 2600, 4400, 6200].iter().enumerate() {
+        scenario.ops.push(ScriptedOp {
+            at: millis(*at),
+            op: ChaosOp::LossBurst { node: i % 3, loss: 0.7, duration: millis(700) },
+        });
+    }
+    let report = run(&scenario.sorted());
+    report.assert_clean();
+    assert!(report.total_published() > 50);
+    assert!(
+        report.all_delivered(),
+        "loss bursts must not lose acknowledged traffic: {}/{} delivered",
+        report.total_delivered(),
+        report.total_published()
+    );
+}
+
+/// Family 2: partition / heal. Safety holds through partitions that
+/// outlive the lease, and the partitioned member is re-admitted.
+#[test]
+fn partition_heal_family_stays_safe() {
+    let mut scenario = Scenario::quiet(32, 3, secs(12));
+    // Long partition: node 0 is purged and must rejoin after the heal.
+    scenario.ops.push(ScriptedOp {
+        at: millis(2000),
+        op: ChaosOp::Partition { node: 0, duration: millis(3500) },
+    });
+    // Short partition: node 1 stays a member throughout.
+    scenario.ops.push(ScriptedOp {
+        at: millis(7000),
+        op: ChaosOp::Partition { node: 1, duration: millis(400) },
+    });
+    let report = run(&scenario.sorted());
+    report.assert_clean();
+    let long_gone = report.device_ids[0];
+    assert!(report.was_purged(long_gone), "a 3.5s partition must purge (lease 1s + grace 1s)");
+    assert!(
+        report.times_joined(long_gone) >= 2,
+        "the purged node must be re-admitted after the heal"
+    );
+    let briefly_gone = report.device_ids[1];
+    assert!(!report.was_purged(briefly_gone), "a 400ms partition must be masked");
+}
+
+/// Family 3: crash / restart. A crashed node loses its channel state,
+/// restarts with the same identity and a fresh epoch, and rejoins
+/// without breaking exactly-once or FIFO at the sink.
+#[test]
+fn crash_restart_family_stays_safe() {
+    let mut scenario = Scenario::quiet(33, 3, secs(12));
+    scenario.ops.push(ScriptedOp {
+        at: millis(3000),
+        op: ChaosOp::Crash { node: 0, down_for: millis(2500) },
+    });
+    scenario.ops.push(ScriptedOp {
+        at: millis(8000),
+        op: ChaosOp::Crash { node: 2, down_for: millis(500) },
+    });
+    let report = run(&scenario.sorted());
+    report.assert_clean();
+    let crashed = report.device_ids[0];
+    assert!(
+        report.times_joined(crashed) >= 2,
+        "the crashed node must rejoin after restarting"
+    );
+    // The restarted node kept publishing under the same id.
+    assert!(report.oracle.delivered(crashed) > 0);
+}
+
+/// Family 4: duplicate storms. The network delivers copies; the channel
+/// dedups them; the oracle sees exactly-once.
+#[test]
+fn duplicate_storm_family_delivers_exactly_once() {
+    let mut scenario = Scenario::quiet(34, 3, secs(10));
+    for at in [1000u64, 3000, 5000, 7000] {
+        scenario.ops.push(ScriptedOp {
+            at: millis(at),
+            op: ChaosOp::DuplicateStorm { node: (at / 3000) as usize % 3, duplicate: 0.8, duration: millis(900) },
+        });
+    }
+    let report = run(&scenario.sorted());
+    report.assert_clean();
+    assert!(report.all_delivered());
+}
+
+/// A channel with dedup disabled breaks exactly-once / FIFO under a
+/// duplicate storm — and the oracle must catch it and report the seed
+/// and a trace.
+#[test]
+fn broken_channel_config_fails_the_oracle() {
+    let mut scenario = Scenario::quiet(35, 2, secs(8));
+    for at in [500u64, 1500, 2500, 3500, 4500, 5500] {
+        scenario.ops.push(ScriptedOp {
+            at: millis(at),
+            op: ChaosOp::DuplicateStorm { node: (at as usize / 1500) % 2, duplicate: 0.9, duration: millis(900) },
+        });
+    }
+    let broken = ReliableConfig { dedup: false, ..ReliableConfig::default() };
+    let report = run_with(&scenario.sorted(), broken, smc_harness::default_discovery());
+    let violation = report
+        .oracle
+        .violation()
+        .expect("dedup=false under a duplicate storm must violate delivery semantics");
+    assert!(matches!(
+        violation.kind,
+        ViolationKind::DuplicateDelivery | ViolationKind::FifoViolation
+    ));
+    assert_eq!(violation.seed, 35);
+    assert!(!violation.trace.is_empty(), "violation must carry the event trace");
+    let rendered = violation.to_string();
+    assert!(rendered.contains("seed 35"), "report must name the seed: {rendered}");
+    assert!(rendered.contains("deliver"), "report must show the trace: {rendered}");
+}
+
+/// Domain moves (walking out of beacon range) and link-profile changes
+/// keep the safety properties intact.
+#[test]
+fn domain_move_and_profile_change_stay_safe() {
+    let mut scenario = Scenario::quiet(36, 3, secs(10));
+    scenario.ops.push(ScriptedOp {
+        at: millis(1500),
+        op: ChaosOp::DomainMove { node: 0, domain: 2, duration: millis(3000) },
+    });
+    scenario.ops.push(ScriptedOp {
+        at: millis(2000),
+        op: ChaosOp::LinkProfile { node: 1, profile: smc_harness::LinkProfileKind::Bluetooth },
+    });
+    let report = run(&scenario.sorted());
+    report.assert_clean();
+    assert!(report.total_delivered() > 0);
+}

@@ -6,23 +6,37 @@
 //! duplication, serial bandwidth and broadcast domains. Partitioning and
 //! domain moves emulate devices drifting out of radio range.
 //!
-//! Endpoints attached to the same [`SimNetwork`] exchange datagrams; a
-//! background timer thread delivers delayed datagrams in deadline order.
+//! Endpoints attached to the same [`SimNetwork`] exchange datagrams.
+//! All timestamps come from a [`Clock`], so the network runs in one of
+//! two modes:
+//!
+//! * **Real time** ([`SimNetwork::new`] / [`SimNetwork::with_seed`]): a
+//!   background timer thread delivers delayed datagrams in deadline
+//!   order against a [`SystemClock`].
+//! * **Virtual time** ([`SimNetwork::with_clock`]): no thread is
+//!   spawned; the owner advances a [`ManualClock`] and calls
+//!   [`SimNetwork::pump_due`] to deliver everything whose deadline has
+//!   passed. Combined with a fixed seed this makes whole scenarios
+//!   bit-identical across runs.
+//!
 //! With an [ideal link](crate::profile::LinkConfig::ideal) delivery is
 //! synchronous, which keeps correctness tests deterministic.
+//!
+//! [`SystemClock`]: smc_types::SystemClock
+//! [`ManualClock`]: smc_types::ManualClock
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use smc_types::{Error, Result, ServiceId};
+use smc_types::{system_clock, Error, Result, ServiceId, SharedClock};
 
 use crate::profile::LinkConfig;
 use crate::transport::{Datagram, Transport};
@@ -47,7 +61,8 @@ pub struct NetStats {
 
 #[derive(Debug)]
 struct Scheduled {
-    due: Instant,
+    /// Virtual-time deadline in clock microseconds.
+    due: u64,
     seq: u64,
     to: ServiceId,
     datagram: Datagram,
@@ -81,7 +96,7 @@ struct NetState {
     endpoints: HashMap<ServiceId, Endpoint>,
     default_link: LinkConfig,
     links: HashMap<(ServiceId, ServiceId), LinkConfig>,
-    busy_until: HashMap<(ServiceId, ServiceId), Instant>,
+    busy_until: HashMap<(ServiceId, ServiceId), u64>,
     partitioned: HashSet<(ServiceId, ServiceId)>,
     queue: BinaryHeap<Reverse<Scheduled>>,
     next_seq: u64,
@@ -95,6 +110,9 @@ struct NetInner {
     state: Mutex<NetState>,
     timer_cv: Condvar,
     rng: Mutex<StdRng>,
+    clock: SharedClock,
+    /// In manual mode no timer thread runs; the owner pumps deliveries.
+    manual: bool,
 }
 
 /// A simulated network that [`MemTransport`] endpoints attach to.
@@ -126,6 +144,29 @@ impl SimNetwork {
     /// Creates a network with a deterministic random seed (loss, jitter
     /// and duplication become reproducible).
     pub fn with_seed(default_link: LinkConfig, seed: u64) -> Self {
+        let net = SimNetwork::build(default_link, seed, system_clock(), false);
+        let timer_inner = Arc::clone(&net.inner);
+        std::thread::Builder::new()
+            .name("simnet-timer".into())
+            .spawn(move || timer_loop(timer_inner))
+            .expect("spawn simnet timer thread");
+        net
+    }
+
+    /// Creates a virtual-time network driven by `clock`.
+    ///
+    /// No timer thread is spawned: delayed datagrams sit in the deadline
+    /// queue until the owner advances the clock and calls [`pump_due`].
+    /// Everything random (loss, jitter, duplication) is drawn from the
+    /// seeded generator in call order, so one thread stepping the network
+    /// reproduces a scenario bit-for-bit from `(seed, script)`.
+    ///
+    /// [`pump_due`]: SimNetwork::pump_due
+    pub fn with_clock(default_link: LinkConfig, seed: u64, clock: SharedClock) -> Self {
+        SimNetwork::build(default_link, seed, clock, true)
+    }
+
+    fn build(default_link: LinkConfig, seed: u64, clock: SharedClock, manual: bool) -> Self {
         let inner = Arc::new(NetInner {
             state: Mutex::new(NetState {
                 endpoints: HashMap::new(),
@@ -141,13 +182,44 @@ impl SimNetwork {
             }),
             timer_cv: Condvar::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            clock,
+            manual,
         });
-        let timer_inner = Arc::clone(&inner);
-        std::thread::Builder::new()
-            .name("simnet-timer".into())
-            .spawn(move || timer_loop(timer_inner))
-            .expect("spawn simnet timer thread");
         SimNetwork { inner }
+    }
+
+    /// The clock this network schedules against.
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.inner.clock)
+    }
+
+    /// Delivers every queued datagram whose deadline has passed, in
+    /// deadline order. Returns the number delivered.
+    ///
+    /// This is how virtual-time networks ([`SimNetwork::with_clock`])
+    /// make progress; calling it on a real-time network is harmless (the
+    /// timer thread usually wins the race).
+    pub fn pump_due(&self) -> usize {
+        let now = self.inner.clock.now_micros();
+        let mut st = self.inner.state.lock();
+        let mut delivered = 0;
+        while let Some(Reverse(next)) = st.queue.peek() {
+            if next.due > now || st.closed {
+                break;
+            }
+            let Reverse(item) = st.queue.pop().expect("peeked item present");
+            deliver(&mut st, item.to, item.datagram);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Deadline of the earliest queued datagram, if any (clock micros).
+    ///
+    /// Virtual-time drivers use this to jump the clock straight to the
+    /// next interesting moment instead of ticking blindly.
+    pub fn next_due_micros(&self) -> Option<u64> {
+        self.inner.state.lock().queue.peek().map(|Reverse(s)| s.due)
     }
 
     /// Attaches a new endpoint with an auto-assigned identifier.
@@ -245,7 +317,7 @@ impl SimNetwork {
 
     /// Core send path shared by unicast and broadcast.
     fn transmit(&self, from: ServiceId, to: ServiceId, payload: &[u8], broadcast: bool) -> Result<()> {
-        let now = Instant::now();
+        let now = self.inner.clock.now_micros();
         let mut st = self.inner.state.lock();
         if st.closed {
             return Err(Error::Closed);
@@ -272,16 +344,16 @@ impl SimNetwork {
                 link.mtu
             )));
         }
-        let (lost, duplicated, jitter) = {
+        let (lost, duplicated, jitter_micros) = {
             let mut rng = self.inner.rng.lock();
             let lost = link.loss > 0.0 && rng.gen_bool(link.loss.min(1.0));
             let duplicated = link.duplicate > 0.0 && rng.gen_bool(link.duplicate.min(1.0));
-            let jitter = if link.jitter.is_zero() {
-                Duration::ZERO
+            let jitter_micros = if link.jitter.is_zero() {
+                0
             } else {
-                Duration::from_nanos(rng.gen_range(0..=link.jitter.as_nanos() as u64))
+                rng.gen_range(0..=link.jitter.as_micros() as u64)
             };
-            (lost, duplicated, jitter)
+            (lost, duplicated, jitter_micros)
         };
         if lost {
             st.stats.lost += 1;
@@ -295,14 +367,14 @@ impl SimNetwork {
 
         // Serial-link pacing: a directed link transmits one datagram at a
         // time at its configured bandwidth.
-        let tx_time = link.transmission_time(payload.len());
+        let tx_micros = link.transmission_time(payload.len()).as_micros() as u64;
         let deliver_at = if link.is_instant() {
             now
         } else {
             let busy = st.busy_until.entry((from, to)).or_insert(now);
             let start = (*busy).max(now);
-            *busy = start + tx_time;
-            start + tx_time + link.latency + jitter
+            *busy = start + tx_micros;
+            start + tx_micros + link.latency.as_micros() as u64 + jitter_micros
         };
 
         let copies = if duplicated { 2 } else { 1 };
@@ -319,7 +391,10 @@ impl SimNetwork {
             }
         }
         drop(st);
-        self.inner.timer_cv.notify_all();
+        // Manual networks have no timer thread to wake.
+        if !self.inner.manual {
+            self.inner.timer_cv.notify_all();
+        }
         Ok(())
     }
 }
@@ -347,12 +422,12 @@ fn timer_loop(inner: Arc<NetInner>) {
             }
             Some(Reverse(next)) => {
                 let due = next.due;
-                let now = Instant::now();
+                let now = inner.clock.now_micros();
                 if due <= now {
                     let Reverse(item) = st.queue.pop().expect("peeked item present");
                     deliver(&mut st, item.to, item.datagram);
                 } else {
-                    inner.timer_cv.wait_for(&mut st, due - now);
+                    inner.timer_cv.wait_for(&mut st, Duration::from_micros(due - now));
                 }
             }
         }
@@ -391,10 +466,14 @@ impl Transport for MemTransport {
         if *self.closed.lock() {
             return Err(Error::Closed);
         }
-        let peers: Vec<ServiceId> = {
+        let mut peers: Vec<ServiceId> = {
             let st = self.net.inner.state.lock();
             st.endpoints.keys().copied().filter(|&id| id != self.id).collect()
         };
+        // Sorted delivery order: each transmit consumes draws from the
+        // seeded rng, so fan-out order must not depend on hash-map layout
+        // for runs to be reproducible.
+        peers.sort_unstable();
         for peer in peers {
             self.net.transmit(self.id, peer, payload, true)?;
         }
@@ -436,8 +515,62 @@ impl Drop for MemTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
+
+    use smc_types::{Clock, ManualClock};
 
     const TICK: Duration = Duration::from_secs(2);
+
+    #[test]
+    fn virtual_time_pump_delivers_on_deadline() {
+        let clock = Arc::new(ManualClock::new());
+        let net = SimNetwork::with_clock(
+            LinkConfig::ideal().with_latency(Duration::from_millis(30)),
+            7,
+            clock.clone(),
+        );
+        let a = net.endpoint();
+        let b = net.endpoint();
+        a.send(b.local_id(), b"x").unwrap();
+        // Not due yet: nothing to pump, nothing delivered.
+        assert_eq!(net.pump_due(), 0);
+        assert!(matches!(b.recv(Some(Duration::ZERO)), Err(Error::Timeout)));
+        let due = net.next_due_micros().expect("queued datagram");
+        assert_eq!(due, 30_000);
+        clock.set_micros(due);
+        assert_eq!(net.pump_due(), 1);
+        assert_eq!(b.recv(Some(Duration::ZERO)).unwrap().payload, b"x");
+    }
+
+    #[test]
+    fn virtual_time_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let clock = Arc::new(ManualClock::new());
+            let link = LinkConfig::ideal()
+                .with_loss(0.3)
+                .with_duplicates(0.2)
+                .with_latency(Duration::from_millis(5));
+            let net = SimNetwork::with_clock(link, seed, clock.clone());
+            let a = net.endpoint();
+            let b = net.endpoint();
+            let mut trace = Vec::new();
+            for i in 0..50u8 {
+                a.send(b.local_id(), &[i]).unwrap();
+                clock.advance_millis(10);
+                net.pump_due();
+                while let Ok(d) = b.recv(Some(Duration::ZERO)) {
+                    trace.push((clock.now_micros(), d.payload));
+                }
+            }
+            (trace, net.stats())
+        };
+        let (t1, s1) = run(99);
+        let (t2, s2) = run(99);
+        assert_eq!(t1, t2);
+        assert_eq!(s1, s2);
+        let (t3, _) = run(100);
+        assert_ne!(t1, t3, "different seeds should differ");
+    }
 
     #[test]
     fn unicast_ideal_link() {

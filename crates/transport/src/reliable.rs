@@ -18,15 +18,15 @@
 //!   reassembled.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use smc_types::codec::{from_bytes, to_bytes};
-use smc_types::{Error, Result, ServiceId};
+use smc_types::{system_clock, Error, Result, ServiceId, SharedClock};
 
 use crate::frame::{fragment, Frame, FRAME_HEADER_LEN};
 use crate::transport::Transport;
@@ -50,6 +50,11 @@ pub struct ReliableConfig {
     /// Maximum out-of-order messages buffered per peer before the
     /// receiver starts dropping (the sender retransmits them later).
     pub reorder_buffer: usize,
+    /// Suppress duplicates and enforce in-order delivery (the normal,
+    /// correct behaviour). Disabling this intentionally breaks the
+    /// exactly-once / FIFO guarantees — it exists so delivery-semantics
+    /// oracles can prove they detect a faulty channel.
+    pub dedup: bool,
 }
 
 impl Default for ReliableConfig {
@@ -62,6 +67,7 @@ impl Default for ReliableConfig {
             window: 64,
             poll_interval: Duration::from_millis(20),
             reorder_buffer: 256,
+            dedup: true,
         }
     }
 }
@@ -157,7 +163,8 @@ struct OutMessage {
     acked: Vec<bool>,
     unacked: usize,
     receipt: Option<Sender<Result<()>>>,
-    last_tx: Instant,
+    /// Clock micros of the last (re)transmission.
+    last_tx: u64,
     rto: Duration,
     retries: u32,
 }
@@ -181,6 +188,8 @@ struct Partial {
 
 #[derive(Debug, Default)]
 struct PeerIn {
+    /// Sender session currently accepted; 0 = none seen yet (real epochs
+    /// are always ≥ 1).
     epoch: u64,
     /// Next sequence number to deliver.
     expected: u64,
@@ -197,6 +206,7 @@ struct Shared {
     closed: AtomicBool,
     epoch: u64,
     config: ReliableConfig,
+    clock: SharedClock,
 }
 
 /// Reliable messaging endpoint over any [`Transport`].
@@ -223,45 +233,115 @@ pub struct ReliableChannel {
     shared: Arc<Shared>,
     inbox: Receiver<Incoming>,
     rx_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Present only on step-driven channels ([`ReliableChannel::with_clock`]):
+    /// the receive/retransmit state the owner pumps via [`ReliableChannel::step`].
+    manual_rx: Option<Mutex<RxWorker>>,
 }
+
+/// Epochs must grow across restarts within a process; a global counter
+/// added to a time base guarantees strict monotonicity either way.
+/// Starts at 1 because receivers use epoch 0 to mean "no session seen
+/// yet" ([`PeerIn::default`]) — a real epoch of 0 would skip session
+/// adoption and wedge delivery.
+static EPOCH_BUMP: AtomicU64 = AtomicU64::new(1);
 
 impl ReliableChannel {
     /// Wraps `transport` in a reliable channel and starts its receive
     /// thread.
     pub fn new(transport: Arc<dyn Transport>, config: ReliableConfig) -> Arc<Self> {
-        // Epochs must grow across process restarts; wall time does that.
-        static EPOCH_BUMP: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let epoch = std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap_or_default()
-            .as_micros() as u64
-            + EPOCH_BUMP.fetch_add(1, Ordering::Relaxed);
+        ReliableChannel::build(transport, config, system_clock(), false)
+    }
+
+    /// Wraps `transport` in a **step-driven** reliable channel timed by
+    /// `clock`.
+    ///
+    /// No receive thread is spawned. The owner must call
+    /// [`ReliableChannel::step`] after advancing the clock (and after the
+    /// network delivered datagrams) to drain the transport, send acks and
+    /// retransmit whatever timed out. Single-threaded stepping plus a
+    /// seeded network makes whole scenarios bit-identical per seed.
+    pub fn with_clock(
+        transport: Arc<dyn Transport>,
+        config: ReliableConfig,
+        clock: SharedClock,
+    ) -> Arc<Self> {
+        ReliableChannel::build(transport, config, clock, true)
+    }
+
+    fn build(
+        transport: Arc<dyn Transport>,
+        config: ReliableConfig,
+        clock: SharedClock,
+        manual: bool,
+    ) -> Arc<Self> {
+        let epoch = clock.now_micros() + EPOCH_BUMP.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(Shared {
             out: Mutex::new(HashMap::new()),
             stats: Mutex::new(ChannelStats::default()),
             closed: AtomicBool::new(false),
             epoch,
             config,
+            clock,
         });
         let (inbox_tx, inbox_rx) = unbounded();
-        let channel = Arc::new(ReliableChannel {
+        let worker = RxWorker {
             transport: Arc::clone(&transport),
             shared: Arc::clone(&shared),
-            inbox: inbox_rx,
-            rx_thread: Mutex::new(None),
-        });
-        let worker = RxWorker {
-            transport,
-            shared,
             inbox: inbox_tx,
             peers_in: HashMap::new(),
         };
+        if manual {
+            return Arc::new(ReliableChannel {
+                transport,
+                shared,
+                inbox: inbox_rx,
+                rx_thread: Mutex::new(None),
+                manual_rx: Some(Mutex::new(worker)),
+            });
+        }
+        let channel = Arc::new(ReliableChannel {
+            transport,
+            shared,
+            inbox: inbox_rx,
+            rx_thread: Mutex::new(None),
+            manual_rx: None,
+        });
         let handle = std::thread::Builder::new()
             .name(format!("reliable-rx-{}", channel.local_id()))
             .spawn(move || worker.run())
             .expect("spawn reliable rx thread");
         *channel.rx_thread.lock() = Some(handle);
         channel
+    }
+
+    /// Drives a step-driven channel: drains every datagram currently in
+    /// the transport, processes it (acks, reassembly, in-order delivery
+    /// into the inbox) and retransmits whatever the clock says is due.
+    ///
+    /// Returns the number of datagrams processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel was built with [`ReliableChannel::new`]
+    /// (its receive thread owns this state).
+    pub fn step(&self) -> usize {
+        let rx = self
+            .manual_rx
+            .as_ref()
+            .expect("step() requires a channel built with ReliableChannel::with_clock")
+            .lock();
+        let mut worker = rx;
+        let mut processed = 0;
+        while let Ok(datagram) = self.transport.recv(Some(Duration::ZERO)) {
+            processed += 1;
+            let broadcast = datagram.broadcast;
+            let from = datagram.from;
+            if let Ok(frame) = from_bytes::<Frame>(&datagram.payload) {
+                worker.handle_frame(from, broadcast, frame);
+            }
+        }
+        worker.retransmit_due();
+        processed
     }
 
     /// The underlying endpoint's identifier.
@@ -292,7 +372,8 @@ impl ReliableChannel {
             let peer = out.entry(to).or_default();
             peer.queued.push_back((payload, Some(tx)));
             self.shared.stats.lock().msgs_sent += 1;
-            pump(&self.transport, self.shared.epoch, &self.shared.config, to, peer);
+            let now = self.shared.clock.now_micros();
+            pump(&self.transport, self.shared.epoch, &self.shared.config, now, to, peer);
         }
         Ok(Receipt { rx })
     }
@@ -424,6 +505,7 @@ fn pump(
     transport: &Arc<dyn Transport>,
     epoch: u64,
     config: &ReliableConfig,
+    now: u64,
     to: ServiceId,
     peer: &mut PeerOut,
 ) {
@@ -439,7 +521,7 @@ fn pump(
             unacked: n,
             fragments,
             receipt,
-            last_tx: Instant::now(),
+            last_tx: now,
             rto: config.initial_rto,
             retries: 0,
         };
@@ -458,6 +540,7 @@ fn pump(
 }
 
 /// The receive/retransmit worker.
+#[derive(Debug)]
 struct RxWorker {
     transport: Arc<dyn Transport>,
     shared: Arc<Shared>,
@@ -468,7 +551,7 @@ struct RxWorker {
 impl RxWorker {
     fn run(mut self) {
         let poll = self.shared.config.poll_interval;
-        let mut last_scan = Instant::now();
+        let mut last_scan = self.shared.clock.now_micros();
         loop {
             if self.shared.closed.load(Ordering::SeqCst) {
                 return;
@@ -485,9 +568,10 @@ impl RxWorker {
                 Err(Error::Timeout) => {}
                 Err(_) => return,
             }
-            if last_scan.elapsed() >= poll {
+            let now = self.shared.clock.now_micros();
+            if Duration::from_micros(now.saturating_sub(last_scan)) >= poll {
                 self.retransmit_due();
-                last_scan = Instant::now();
+                last_scan = now;
             }
         }
     }
@@ -515,14 +599,15 @@ impl RxWorker {
                 }
                 if done {
                     let msg = peer.inflight.remove(&seq).expect("completed message exists");
+                    // Count before resolving the receipt so a caller woken
+                    // by `send_blocking` observes the updated stats.
+                    self.shared.stats.lock().msgs_acked += 1;
                     if let Some(tx) = msg.receipt {
                         let _ = tx.send(Ok(()));
                     }
-                    let mut stats = self.shared.stats.lock();
-                    stats.msgs_acked += 1;
-                    drop(stats);
                     // Window slot freed: promote queued messages.
-                    pump(&self.transport, self.shared.epoch, &self.shared.config, from, peer);
+                    let now = self.shared.clock.now_micros();
+                    pump(&self.transport, self.shared.epoch, &self.shared.config, now, from, peer);
                 }
             }
             Frame::Data { epoch, seq, frag_index, frag_count, payload } => {
@@ -569,6 +654,35 @@ impl RxWorker {
         let ack = Frame::Ack { epoch, seq, frag_index };
         let _ = self.transport.send(from, &to_bytes(&ack));
 
+        if !self.shared.config.dedup {
+            // Intentionally-broken mode for oracle validation: hand every
+            // fragment batch up as soon as it completes, with no duplicate
+            // suppression and no reordering. Retransmitted messages get
+            // delivered again; gaps are not waited for.
+            let partial = peer.partial.entry(seq).or_insert_with(|| Partial {
+                frag_count,
+                got: vec![None; frag_count as usize],
+                received: 0,
+            });
+            if partial.frag_count != frag_count || frag_index as usize >= partial.got.len() {
+                return;
+            }
+            if partial.got[frag_index as usize].is_none() {
+                partial.received += 1;
+            }
+            partial.got[frag_index as usize] = Some(payload);
+            if partial.received == partial.frag_count as usize {
+                let partial = peer.partial.remove(&seq).expect("partial present");
+                let mut whole = Vec::new();
+                for piece in partial.got {
+                    whole.extend_from_slice(&piece.expect("all fragments received"));
+                }
+                self.shared.stats.lock().msgs_delivered += 1;
+                let _ = self.inbox.send(Incoming::Reliable { from, payload: whole });
+            }
+            return;
+        }
+
         if seq < peer.expected || peer.ready.contains_key(&seq) {
             self.shared.stats.lock().duplicates_suppressed += 1;
             return;
@@ -605,13 +719,21 @@ impl RxWorker {
     }
 
     fn retransmit_due(&mut self) {
-        let now = Instant::now();
+        let now = self.shared.clock.now_micros();
         let config = self.shared.config.clone();
         let mut out = self.shared.out.lock();
-        for (&peer_id, peer) in out.iter_mut() {
+        // Sorted peer order: every (re)transmission consumes draws from
+        // the simulated network's seeded rng, so iteration order must not
+        // depend on hash-map layout for runs to be reproducible.
+        let mut peer_ids: Vec<ServiceId> = out.keys().copied().collect();
+        peer_ids.sort_unstable();
+        for peer_id in peer_ids {
+            let peer = out.get_mut(&peer_id).expect("peer present");
             let mut expired: Vec<u64> = Vec::new();
             for (&seq, msg) in peer.inflight.iter_mut() {
-                if msg.unacked == 0 || now.duration_since(msg.last_tx) < msg.rto {
+                if msg.unacked == 0
+                    || Duration::from_micros(now.saturating_sub(msg.last_tx)) < msg.rto
+                {
                     continue;
                 }
                 if let Some(max) = config.max_retries {
@@ -646,7 +768,7 @@ impl RxWorker {
                 }
                 self.shared.stats.lock().msgs_expired += 1;
             }
-            pump(&self.transport, self.shared.epoch, &config, peer_id, peer);
+            pump(&self.transport, self.shared.epoch, &config, now, peer_id, peer);
         }
     }
 

@@ -1,0 +1,150 @@
+//! Minimal API-compatible shim for the subset of the `bytes` crate this
+//! workspace uses: a growable byte buffer ([`BytesMut`]) and the
+//! little-endian writer trait ([`BufMut`]).
+//!
+//! The build environment has no access to crates.io, so the real crate is
+//! replaced by this vendored implementation backed by `Vec<u8>`.
+
+/// A growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { inner: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, returning the underlying bytes.
+    pub fn freeze(self) -> Vec<u8> {
+        self.inner
+    }
+
+    /// Clears the buffer, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Appends `other`'s bytes.
+    pub fn extend_from_slice(&mut self, other: &[u8]) {
+        self.inner.extend_from_slice(other);
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+/// Little-endian primitive writer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends an `i64` in little-endian order.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_u64_le(v as u64);
+    }
+    /// Appends an `f64` in little-endian IEEE-754 bits.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.inner.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_and_read_back() {
+        let mut b = BytesMut::new();
+        b.put_u8(1);
+        b.put_u16_le(0x0203);
+        b.put_u32_le(0x04050607);
+        b.put_u64_le(0x08090a0b0c0d0e0f);
+        b.put_slice(&[0xAA, 0xBB]);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 2);
+        assert_eq!(&b[..3], &[1, 0x03, 0x02]);
+        let v = b.to_vec();
+        assert_eq!(v.len(), 17);
+    }
+}
