@@ -44,7 +44,13 @@ fn bench_packet_codec(c: &mut Criterion) {
                 filter: Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 120i64)),
             },
         ),
-        ("heartbeat", Packet::Heartbeat { member: ServiceId::from_raw(0xAB), seq: 9 }),
+        (
+            "heartbeat",
+            Packet::Heartbeat {
+                member: ServiceId::from_raw(0xAB),
+                seq: 9,
+            },
+        ),
     ];
     for (name, packet) in packets {
         let bytes = to_bytes(&packet);

@@ -13,8 +13,11 @@ fn build_engine(kind: EngineKind, subs: usize) -> Box<dyn Matcher> {
         let filter = match i % 4 {
             0 => Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, (50 + i) as i64)),
             1 => Filter::for_type("smc.alarm").with(("severity", Op::Ge, (i % 5) as i64)),
-            2 => Filter::for_type("smc.sensor.reading")
-                .with(("sensor", Op::Eq, format!("sensor-{}", i % 8))),
+            2 => Filter::for_type("smc.sensor.reading").with((
+                "sensor",
+                Op::Eq,
+                format!("sensor-{}", i % 8),
+            )),
             _ => Filter::any().with(("member.device_type", Op::Prefix, "sensor.")),
         };
         engine
@@ -44,11 +47,9 @@ fn bench_engines_by_subs(c: &mut Criterion) {
         for kind in EngineKind::ALL {
             let mut engine = build_engine(kind, subs);
             let ev = event(0);
-            group.bench_with_input(
-                BenchmarkId::new(kind.as_str(), subs),
-                &subs,
-                |b, _| b.iter(|| engine.matching_subscribers(std::hint::black_box(&ev))),
-            );
+            group.bench_with_input(BenchmarkId::new(kind.as_str(), subs), &subs, |b, _| {
+                b.iter(|| engine.matching_subscribers(std::hint::black_box(&ev)))
+            });
         }
     }
     group.finish();

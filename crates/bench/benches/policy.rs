@@ -12,8 +12,11 @@ fn service_with(policies: usize) -> PolicyService {
             .add(Policy::Obligation(
                 ObligationPolicy::new(
                     format!("p{i}"),
-                    Filter::for_type("smc.sensor.reading")
-                        .with(("sensor", Op::Eq, format!("sensor-{}", i % 8))),
+                    Filter::for_type("smc.sensor.reading").with((
+                        "sensor",
+                        Op::Eq,
+                        format!("sensor-{}", i % 8),
+                    )),
                 )
                 .when(Expr::parse(&format!("bpm > {}", 60 + i % 100)).expect("fixture"))
                 .then(ActionSpec::Log("hit".into())),

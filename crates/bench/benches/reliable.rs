@@ -36,9 +36,13 @@ fn bench_reliable_roundtrip(c: &mut Criterion) {
     for &payload in &[64usize, 1024, 8192] {
         let (a, b, _net) = pair(1400);
         group.throughput(Throughput::Bytes(payload as u64));
-        group.bench_with_input(BenchmarkId::new("mtu1400", payload), &payload, |bench, _| {
-            bench.iter(|| pump(&a, &b, payload));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mtu1400", payload),
+            &payload,
+            |bench, _| {
+                bench.iter(|| pump(&a, &b, payload));
+            },
+        );
     }
     group.finish();
 }
@@ -93,5 +97,10 @@ fn bench_window_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_reliable_roundtrip, bench_fragmentation_cost, bench_window_ablation);
+criterion_group!(
+    benches,
+    bench_reliable_roundtrip,
+    bench_fragmentation_cost,
+    bench_window_ablation
+);
 criterion_main!(benches);

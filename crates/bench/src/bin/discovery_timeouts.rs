@@ -25,7 +25,10 @@ fn main() {
     let grace = Duration::from_millis(args.get("grace-ms", 250));
 
     println!("# Ext-3: silence duration vs membership outcome (lease={lease:?}, grace={grace:?})");
-    println!("{:>12} {:>10} {:>16}", "silence_ms", "outcome", "purge_after_ms");
+    println!(
+        "{:>12} {:>10} {:>16}",
+        "silence_ms", "outcome", "purge_after_ms"
+    );
 
     let budget = lease + grace;
     let silences: Vec<Duration> = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0]
@@ -49,7 +52,10 @@ fn main() {
         let agent = MemberAgent::start(
             ServiceInfo::new(ServiceId::NIL, "bench.device"),
             ReliableChannel::new(Arc::new(net.endpoint()), bench_reliable()),
-            AgentConfig { max_missed_heartbeats: u32::MAX, ..AgentConfig::default() },
+            AgentConfig {
+                max_missed_heartbeats: u32::MAX,
+                ..AgentConfig::default()
+            },
         );
         agent.wait_joined(Duration::from_secs(10)).expect("join");
         // Drain the Joined event.
@@ -82,7 +88,12 @@ fn main() {
                 at.as_secs_f64() * 1e3
             ),
             None => {
-                println!("{:>12.0} {:>10} {:>16}", silence.as_secs_f64() * 1e3, "masked", "-")
+                println!(
+                    "{:>12.0} {:>10} {:>16}",
+                    silence.as_secs_f64() * 1e3,
+                    "masked",
+                    "-"
+                )
             }
         }
 

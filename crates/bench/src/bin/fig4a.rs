@@ -23,7 +23,11 @@ fn main() {
     println!("# Fig 4(a) reproduction: response time vs payload size");
     println!(
         "# testbed: {} link, {} cpu, {} samples/point",
-        if ideal { "ideal" } else { "usb-ip (1.5ms, 575KB/s)" },
+        if ideal {
+            "ideal"
+        } else {
+            "usb-ip (1.5ms, 575KB/s)"
+        },
         if ideal { "native" } else { "ipaq-hx4700 model" },
         samples
     );
@@ -32,12 +36,17 @@ fn main() {
         "payload", "siena_ms", "s_min", "s_max", "c_ms", "c_min", "c_max"
     );
 
-    let payloads: Vec<usize> =
-        std::iter::once(0).chain((1..).map(|i| i * step)).take_while(|&p| p <= max).collect();
+    let payloads: Vec<usize> = std::iter::once(0)
+        .chain((1..).map(|i| i * step))
+        .take_while(|&p| p <= max)
+        .collect();
 
     let run_engine = |engine: EngineKind| -> Vec<smc_bench::Stats> {
-        let mut config =
-            if ideal { TestbedConfig::ideal(engine) } else { TestbedConfig::paper(engine) };
+        let mut config = if ideal {
+            TestbedConfig::ideal(engine)
+        } else {
+            TestbedConfig::paper(engine)
+        };
         config.cpu = config.cpu.scaled(cpu_scale);
         let bed = Testbed::start(&config).expect("testbed start");
         // Warm-up: populate caches and the reliable-channel session.
@@ -63,7 +72,10 @@ fn main() {
     }
 
     // Shape checks the paper's figure exhibits.
-    let (s0, sl) = (siena.first().expect("points"), siena.last().expect("points"));
+    let (s0, sl) = (
+        siena.first().expect("points"),
+        siena.last().expect("points"),
+    );
     let (c0, cl) = (cbus.first().expect("points"), cbus.last().expect("points"));
     println!("#");
     println!(
@@ -72,7 +84,11 @@ fn main() {
     );
     println!(
         "# shape: c-based bus {} the siena bus at max payload ({:.2}x faster)",
-        if cl.mean_ms < sl.mean_ms { "below" } else { "NOT below" },
+        if cl.mean_ms < sl.mean_ms {
+            "below"
+        } else {
+            "NOT below"
+        },
         sl.mean_ms / cl.mean_ms
     );
 }

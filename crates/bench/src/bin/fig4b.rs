@@ -23,7 +23,11 @@ fn main() {
     println!("# Fig 4(b) reproduction: payload throughput vs payload size");
     println!(
         "# testbed: {} link, {} cpu, {} events/point",
-        if ideal { "ideal" } else { "usb-ip (1.5ms, 575KB/s)" },
+        if ideal {
+            "ideal"
+        } else {
+            "usb-ip (1.5ms, 575KB/s)"
+        },
         if ideal { "native" } else { "ipaq-hx4700 model" },
         events
     );
@@ -32,8 +36,11 @@ fn main() {
     let payloads: Vec<usize> = (1..).map(|i| i * step).take_while(|&p| p <= max).collect();
 
     let run_engine = |engine: EngineKind| -> Vec<f64> {
-        let mut config =
-            if ideal { TestbedConfig::ideal(engine) } else { TestbedConfig::paper(engine) };
+        let mut config = if ideal {
+            TestbedConfig::ideal(engine)
+        } else {
+            TestbedConfig::paper(engine)
+        };
         config.cpu = config.cpu.scaled(cpu_scale);
         let bed = Testbed::start(&config).expect("testbed start");
         let _ = bed.measure_throughput(64, 10).expect("warmup");
@@ -63,6 +70,10 @@ fn main() {
     );
     println!(
         "# shape: both sit far below the raw link capacity of 575 KB/s: {}",
-        if cbus[last] < 575.0 && siena[last] < 575.0 { "yes" } else { "NO" }
+        if cbus[last] < 575.0 && siena[last] < 575.0 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 }

@@ -25,7 +25,8 @@ fn main() {
     let mut samples_ms: Vec<f64> = Vec::with_capacity(probes);
     for _ in 0..probes {
         let t0 = Instant::now();
-        a.send_unreliable(b.local_id(), &[0u8; 8]).expect("probe send");
+        a.send_unreliable(b.local_id(), &[0u8; 8])
+            .expect("probe send");
         let _ = b.recv(Some(Duration::from_secs(5))).expect("probe recv");
         samples_ms.push(t0.elapsed().as_secs_f64() * 1e3);
     }

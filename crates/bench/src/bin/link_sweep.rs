@@ -20,7 +20,10 @@ fn main() {
 
     println!("# Link ablation: response time of the C-based bus over each radio profile");
     println!("# payload {payload}B, {samples} samples/point, native cpu");
-    println!("{:>12} {:>10} {:>10} {:>10} {:>12}", "link", "mean_ms", "min_ms", "max_ms", "delivered");
+    println!(
+        "{:>12} {:>10} {:>10} {:>10} {:>12}",
+        "link", "mean_ms", "min_ms", "max_ms", "delivered"
+    );
 
     let links: Vec<(&str, LinkConfig)> = vec![
         ("ideal", LinkConfig::ideal()),
@@ -44,7 +47,11 @@ fn main() {
         let st = stats(&times);
         println!(
             "{:>12} {:>10.2} {:>10.2} {:>10.2} {:>12}",
-            name, st.mean_ms, st.min_ms, st.max_ms, times.len()
+            name,
+            st.mean_ms,
+            st.min_ms,
+            st.max_ms,
+            times.len()
         );
         bed.shutdown();
     }

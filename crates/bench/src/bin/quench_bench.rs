@@ -37,7 +37,11 @@ fn run(honour_quench: bool, rate_hz: u64, window: Duration) -> Run {
         reliable: bench_reliable(),
         ..SmcConfig::default()
     };
-    let cell = SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), smc_config);
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        smc_config,
+    );
     let connect = |device_type: &str| {
         RemoteClient::connect(
             ServiceInfo::new(ServiceId::NIL, device_type).with_role("bench"),
@@ -65,7 +69,10 @@ fn run(honour_quench: bool, rate_hz: u64, window: Duration) -> Run {
             } else {
                 sensor
                     .publish_nowait(
-                        Event::builder("bench.reading").attr("sensor", "hr").attr("bpm", 70i64).build(),
+                        Event::builder("bench.reading")
+                            .attr("sensor", "hr")
+                            .attr("bpm", 70i64)
+                            .build(),
                     )
                     .expect("publish");
                 transmitted += 1;
@@ -78,10 +85,14 @@ fn run(honour_quench: bool, rate_hz: u64, window: Duration) -> Run {
     tick(Instant::now() + window);
     // Phase 2: a monitor subscribes.
     let monitor = connect("bench.monitor");
-    let sub = monitor.subscribe(Filter::for_type("bench.reading"), HARNESS_TIMEOUT).expect("subscribe");
+    let sub = monitor
+        .subscribe(Filter::for_type("bench.reading"), HARNESS_TIMEOUT)
+        .expect("subscribe");
     tick(Instant::now() + window);
     // Phase 3: the monitor unsubscribes again.
-    monitor.unsubscribe(sub, HARNESS_TIMEOUT).expect("unsubscribe");
+    monitor
+        .unsubscribe(sub, HARNESS_TIMEOUT)
+        .expect("unsubscribe");
     std::thread::sleep(Duration::from_millis(50)); // quench signal propagates
     tick(Instant::now() + window);
 
@@ -89,7 +100,10 @@ fn run(honour_quench: bool, rate_hz: u64, window: Duration) -> Run {
     sensor.shutdown();
     cell.shutdown();
     net.shutdown();
-    Run { transmitted, suppressed }
+    Run {
+        transmitted,
+        suppressed,
+    }
 }
 
 fn main() {
@@ -101,8 +115,14 @@ fn main() {
     let naive = run(false, rate_hz, window);
     let quenched = run(true, rate_hz, window);
     println!("{:>10} {:>14} {:>14}", "mode", "transmitted", "suppressed");
-    println!("{:>10} {:>14} {:>14}", "ignore", naive.transmitted, naive.suppressed);
-    println!("{:>10} {:>14} {:>14}", "honour", quenched.transmitted, quenched.suppressed);
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "ignore", naive.transmitted, naive.suppressed
+    );
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "honour", quenched.transmitted, quenched.suppressed
+    );
     let total = quenched.transmitted + quenched.suppressed;
     println!(
         "# quenching avoided {:.0}% of radio transmissions",

@@ -26,7 +26,10 @@ fn main() {
     let engine = EngineKind::parse(&args.get("engine", "ff".to_string())).expect("engine name");
 
     println!("# Ext-1: delivery delay vs number of recipients ({engine} engine, {payload}B)");
-    println!("{:>12} {:>12} {:>10} {:>10}", "subscribers", "mean_ms", "min_ms", "max_ms");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10}",
+        "subscribers", "mean_ms", "min_ms", "max_ms"
+    );
 
     let net = SimNetwork::with_seed(LinkConfig::ideal(), 11);
     let smc_config = SmcConfig {
@@ -41,7 +44,11 @@ fn main() {
         reliable: bench_reliable(),
         ..SmcConfig::default()
     };
-    let cell = SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), smc_config);
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        smc_config,
+    );
     let connect = |device_type: String| {
         RemoteClient::connect(
             ServiceInfo::new(ServiceId::NIL, device_type).with_role("bench"),
@@ -58,7 +65,8 @@ fn main() {
     let mut subscribers: Vec<Arc<RemoteClient>> = Vec::new();
     for n in 1..=max {
         let sub = connect(format!("bench.subscriber{n}"));
-        sub.subscribe(Filter::for_type("bench.event"), HARNESS_TIMEOUT).expect("subscribe");
+        sub.subscribe(Filter::for_type("bench.event"), HARNESS_TIMEOUT)
+            .expect("subscribe");
         net.set_link_between(sub.local_id(), cell.bus_endpoint(), link.clone());
         subscribers.push(sub);
 
@@ -66,7 +74,11 @@ fn main() {
         for _ in 0..samples {
             let t0 = Instant::now();
             publisher
-                .publish_nowait(Event::builder("bench.event").payload(vec![7u8; payload]).build())
+                .publish_nowait(
+                    Event::builder("bench.event")
+                        .payload(vec![7u8; payload])
+                        .build(),
+                )
                 .expect("publish");
             for s in &subscribers {
                 let _ = s.next_event(HARNESS_TIMEOUT).expect("deliver");
@@ -74,7 +86,10 @@ fn main() {
             times.push(t0.elapsed());
         }
         let st = stats(&times);
-        println!("{:>12} {:>12.2} {:>10.2} {:>10.2}", n, st.mean_ms, st.min_ms, st.max_ms);
+        println!(
+            "{:>12} {:>12.2} {:>10.2} {:>10.2}",
+            n, st.mean_ms, st.min_ms, st.max_ms
+        );
     }
 
     for s in &subscribers {

@@ -74,7 +74,12 @@ impl TestbedConfig {
 
     /// An idealised testbed (no link delays, native CPU) for sanity runs.
     pub fn ideal(engine: EngineKind) -> Self {
-        TestbedConfig { engine, link: LinkConfig::ideal(), cpu: CpuProfile::native(), seed: 42 }
+        TestbedConfig {
+            engine,
+            link: LinkConfig::ideal(),
+            cpu: CpuProfile::native(),
+            seed: 42,
+        }
     }
 }
 
@@ -100,8 +105,11 @@ impl Testbed {
             reliable: bench_reliable(),
             ..SmcConfig::default()
         };
-        let cell =
-            SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), smc_config);
+        let cell = SmcCell::start(
+            Arc::new(net.endpoint()),
+            Arc::new(net.endpoint()),
+            smc_config,
+        );
         let connect = |device_type: &str| {
             RemoteClient::connect(
                 ServiceInfo::new(ServiceId::NIL, device_type).with_role("bench"),
@@ -123,12 +131,19 @@ impl Testbed {
         net.set_link_between(subscriber.local_id(), bus, config.link.clone());
         net.set_default_link(config.link.clone());
 
-        Ok(Testbed { net, cell, publisher, subscriber })
+        Ok(Testbed {
+            net,
+            cell,
+            publisher,
+            subscriber,
+        })
     }
 
     /// Builds one benchmark event with `payload` bytes of body.
     pub fn event(payload: usize) -> Event {
-        Event::builder("bench.event").payload(vec![0xA5u8; payload]).build()
+        Event::builder("bench.event")
+            .payload(vec![0xA5u8; payload])
+            .build()
     }
 
     /// Measures end-to-end response time (publish → delivery at the
@@ -214,7 +229,9 @@ pub struct HarnessArgs {
 impl HarnessArgs {
     /// Captures the process arguments.
     pub fn from_env() -> Self {
-        HarnessArgs { args: std::env::args().skip(1).collect() }
+        HarnessArgs {
+            args: std::env::args().skip(1).collect(),
+        }
     }
 
     /// The value following `--name`, parsed, or `default`.
@@ -271,11 +288,17 @@ mod tests {
     fn testbed_round_trips_paper_profile() {
         let mut cfg = TestbedConfig::paper(EngineKind::Siena);
         // Soften the CPU model so the test stays quick.
-        cfg.cpu = CpuProfile { copy_rounds: 10, dispatch_spin: 100 };
+        cfg.cpu = CpuProfile {
+            copy_rounds: 10,
+            dispatch_spin: 100,
+        };
         let bed = Testbed::start(&cfg).unwrap();
         let times = bed.measure_response(1000, 2).unwrap();
         // Two link hops of ≥0.6 ms each plus transmission.
-        assert!(times.iter().all(|t| *t >= Duration::from_millis(1)), "{times:?}");
+        assert!(
+            times.iter().all(|t| *t >= Duration::from_millis(1)),
+            "{times:?}"
+        );
         bed.shutdown();
     }
 }

@@ -40,9 +40,15 @@ pub struct ProxyFactory {
 
 impl std::fmt::Debug for ProxyFactory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let patterns: Vec<String> =
-            self.builders.read().iter().map(|(p, _)| p.clone()).collect();
-        f.debug_struct("ProxyFactory").field("patterns", &patterns).finish()
+        let patterns: Vec<String> = self
+            .builders
+            .read()
+            .iter()
+            .map(|(p, _)| p.clone())
+            .collect();
+        f.debug_struct("ProxyFactory")
+            .field("patterns", &patterns)
+            .finish()
     }
 }
 
@@ -56,7 +62,9 @@ impl ProxyFactory {
     /// Creates a factory with no registered device types (everything gets
     /// a passthrough proxy).
     pub fn new() -> Self {
-        ProxyFactory { builders: RwLock::new(Vec::new()) }
+        ProxyFactory {
+            builders: RwLock::new(Vec::new()),
+        }
     }
 
     /// Registers a codec builder for device types matching `pattern`
@@ -65,7 +73,9 @@ impl ProxyFactory {
     where
         F: Fn(&ServiceInfo) -> Box<dyn DeviceCodec> + Send + Sync + 'static,
     {
-        self.builders.write().push((pattern.into(), Arc::new(builder)));
+        self.builders
+            .write()
+            .push((pattern.into(), Arc::new(builder)));
     }
 
     /// Number of registered patterns.

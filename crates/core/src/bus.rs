@@ -15,9 +15,7 @@ use parking_lot::Mutex;
 
 use smc_match::{EngineKind, Matcher};
 use smc_transport::CpuProfile;
-use smc_types::{
-    Error, Event, Filter, Result, ServiceId, Subscription, SubscriptionId,
-};
+use smc_types::{Error, Event, Filter, Result, ServiceId, Subscription, SubscriptionId};
 
 use crate::metrics::{BusMetrics, MetricsSnapshot};
 
@@ -138,6 +136,30 @@ impl EventBus {
         Ok(id)
     }
 
+    /// Re-installs a subscription under its original id — the recovery
+    /// path. Advances the id allocator past `sub.id` so subsequent
+    /// subscriptions cannot collide with restored ones. Does not count
+    /// as a new subscription in the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (e.g. restoring the same id twice).
+    pub fn restore_subscription(&self, sub: Subscription, sink: Arc<dyn EventSink>) -> Result<()> {
+        self.next_sub.fetch_max(sub.id.0 + 1, Ordering::Relaxed);
+        self.engine.lock().subscribe(sub.clone())?;
+        self.subs
+            .lock()
+            .insert(sub.id, (sub.subscriber, sub.filter));
+        self.sinks.lock().insert(sub.subscriber, sink);
+        Ok(())
+    }
+
+    /// The next subscription id the bus would allocate (snapshotted so
+    /// recovery can restore the allocator).
+    pub fn next_subscription_id(&self) -> u64 {
+        self.next_sub.load(Ordering::Relaxed)
+    }
+
     /// Removes one subscription.
     ///
     /// # Errors
@@ -148,8 +170,7 @@ impl EventBus {
         let removed = self.subs.lock().remove(&id);
         if let Some((subscriber, _)) = removed {
             // Drop the sink only when no subscription references it.
-            let still_used =
-                self.subs.lock().values().any(|(s, _)| *s == subscriber);
+            let still_used = self.subs.lock().values().any(|(s, _)| *s == subscriber);
             if !still_used {
                 self.sinks.lock().remove(&subscriber);
             }
@@ -316,7 +337,11 @@ mod tests {
     }
 
     fn ev(t: &str, bpm: i64) -> Event {
-        Event::builder(t).attr("bpm", bpm).publisher(ServiceId::from_raw(0xFF)).seq(1).build()
+        Event::builder(t)
+            .attr("bpm", bpm)
+            .publisher(ServiceId::from_raw(0xFF))
+            .seq(1)
+            .build()
     }
 
     #[test]
@@ -330,7 +355,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(bus.publish(ev("r", 150)).unwrap(), 1);
-        assert_eq!(rx.try_recv().unwrap().attr("bpm").unwrap().as_int(), Some(150));
+        assert_eq!(
+            rx.try_recv().unwrap().attr("bpm").unwrap().as_int(),
+            Some(150)
+        );
         assert_eq!(bus.publish(ev("r", 50)).unwrap(), 0);
         assert!(rx.try_recv().is_err());
         let m = bus.metrics();
@@ -354,11 +382,16 @@ mod tests {
     fn unsubscribe_stops_delivery() {
         let bus = bus();
         let (sink, rx) = ChannelSink::new();
-        let id = bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink)).unwrap();
+        let id = bus
+            .subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
         bus.publish(ev("a", 1)).unwrap();
         bus.unsubscribe(id).unwrap();
         bus.publish(ev("a", 2)).unwrap();
-        assert_eq!(rx.try_recv().unwrap().attr("bpm").unwrap().as_int(), Some(1));
+        assert_eq!(
+            rx.try_recv().unwrap().attr("bpm").unwrap().as_int(),
+            Some(1)
+        );
         assert!(rx.try_recv().is_err());
         assert!(bus.unsubscribe(id).is_err());
     }
@@ -368,8 +401,10 @@ mod tests {
         let bus = bus();
         let (sink, rx) = ChannelSink::new();
         let s = ServiceId::from_raw(1);
-        bus.subscribe(s, Filter::for_type("a"), Arc::new(sink.clone())).unwrap();
-        bus.subscribe(s, Filter::for_type("b"), Arc::new(sink)).unwrap();
+        bus.subscribe(s, Filter::for_type("a"), Arc::new(sink.clone()))
+            .unwrap();
+        bus.subscribe(s, Filter::for_type("b"), Arc::new(sink))
+            .unwrap();
         assert_eq!(bus.subscription_count(), 2);
         assert_eq!(bus.remove_subscriber(s), 2);
         assert_eq!(bus.subscription_count(), 0);
@@ -383,12 +418,27 @@ mod tests {
         let bus = bus();
         let (sink1, rx1) = ChannelSink::new();
         let (sink2, rx2) = ChannelSink::new();
-        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink1.clone())).unwrap();
+        bus.subscribe(
+            ServiceId::from_raw(1),
+            Filter::any(),
+            Arc::new(sink1.clone()),
+        )
+        .unwrap();
         // Same subscriber twice: still one copy per event.
-        bus.subscribe(ServiceId::from_raw(1), Filter::for_type("a"), Arc::new(sink1)).unwrap();
-        bus.subscribe(ServiceId::from_raw(2), Filter::any(), Arc::new(sink2)).unwrap();
+        bus.subscribe(
+            ServiceId::from_raw(1),
+            Filter::for_type("a"),
+            Arc::new(sink1),
+        )
+        .unwrap();
+        bus.subscribe(ServiceId::from_raw(2), Filter::any(), Arc::new(sink2))
+            .unwrap();
         assert_eq!(bus.publish(ev("a", 1)).unwrap(), 2);
-        assert_eq!(rx1.try_iter().count(), 1, "no duplicate despite two matching subs");
+        assert_eq!(
+            rx1.try_iter().count(),
+            1,
+            "no duplicate despite two matching subs"
+        );
         assert_eq!(rx2.try_iter().count(), 1);
     }
 
@@ -402,7 +452,8 @@ mod tests {
         )
         .unwrap();
         let (ok_sink, rx) = ChannelSink::new();
-        bus.subscribe(ServiceId::from_raw(2), Filter::any(), Arc::new(ok_sink)).unwrap();
+        bus.subscribe(ServiceId::from_raw(2), Filter::any(), Arc::new(ok_sink))
+            .unwrap();
         assert_eq!(bus.publish(ev("a", 1)).unwrap(), 1);
         assert_eq!(rx.try_iter().count(), 1);
         assert_eq!(bus.metrics().delivery_failures, 1);
@@ -415,10 +466,15 @@ mod tests {
         assert!(!bus.has_interest(&advert));
         let (sink, _rx) = ChannelSink::new();
         let id = bus
-            .subscribe(ServiceId::from_raw(1), Filter::for_type("smc.alarm"), Arc::new(sink.clone()))
+            .subscribe(
+                ServiceId::from_raw(1),
+                Filter::for_type("smc.alarm"),
+                Arc::new(sink.clone()),
+            )
             .unwrap();
         assert!(!bus.has_interest(&advert));
-        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink)).unwrap();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
         assert!(bus.has_interest(&advert));
         let _ = id;
     }
@@ -437,9 +493,34 @@ mod tests {
         bus.swap_engine(EngineKind::FastForward).unwrap();
         bus.publish(ev("r", 160)).unwrap();
         bus.publish(ev("r", 50)).unwrap();
-        let got: Vec<i64> =
-            rx.try_iter().map(|e| e.attr("bpm").unwrap().as_int().unwrap()).collect();
+        let got: Vec<i64> = rx
+            .try_iter()
+            .map(|e| e.attr("bpm").unwrap().as_int().unwrap())
+            .collect();
         assert_eq!(got, vec![150, 160]);
+    }
+
+    #[test]
+    fn restore_keeps_id_and_advances_allocator() {
+        let bus = bus();
+        let (sink, rx) = ChannelSink::new();
+        let sub = Subscription::new(
+            SubscriptionId(41),
+            ServiceId::from_raw(1),
+            Filter::for_type("r"),
+        );
+        bus.restore_subscription(sub, Arc::new(sink.clone()))
+            .unwrap();
+        assert_eq!(bus.publish(ev("r", 1)).unwrap(), 1);
+        assert_eq!(rx.try_iter().count(), 1);
+        // Fresh subscriptions allocate past the restored id.
+        let id = bus
+            .subscribe(ServiceId::from_raw(2), Filter::any(), Arc::new(sink))
+            .unwrap();
+        assert_eq!(id, SubscriptionId(42));
+        assert_eq!(bus.next_subscription_id(), 43);
+        // Restored subscriptions were not counted as new ones.
+        assert_eq!(bus.metrics().subscriptions, 1);
     }
 
     #[test]
@@ -447,7 +528,12 @@ mod tests {
         let bus = bus();
         let (sink, _rx) = ChannelSink::new();
         for i in 0..3u64 {
-            bus.subscribe(ServiceId::from_raw(i), Filter::any(), Arc::new(sink.clone())).unwrap();
+            bus.subscribe(
+                ServiceId::from_raw(i),
+                Filter::any(),
+                Arc::new(sink.clone()),
+            )
+            .unwrap();
         }
         let listing = bus.subscriptions();
         assert_eq!(listing.len(), 3);

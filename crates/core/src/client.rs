@@ -157,7 +157,8 @@ impl RemoteClient {
         let id = event.id();
         let (tx, rx) = bounded(1);
         self.pending.lock().map.insert(id.to_string(), tx);
-        self.channel.send(self.bus, to_bytes(&Packet::Publish(event)))?;
+        self.channel
+            .send(self.bus, to_bytes(&Packet::Publish(event)))?;
         let reply = match rx.recv_timeout(timeout) {
             Ok(r) => r,
             Err(RecvTimeoutError::Timeout) => {
@@ -182,7 +183,8 @@ impl RemoteClient {
     pub fn publish_nowait(&self, event: Event) -> Result<EventId> {
         let event = self.stamp(event);
         let id = event.id();
-        self.channel.send(self.bus, to_bytes(&Packet::Publish(event)))?;
+        self.channel
+            .send(self.bus, to_bytes(&Packet::Publish(event)))?;
         Ok(id)
     }
 
@@ -203,9 +205,14 @@ impl RemoteClient {
     pub fn subscribe(&self, filter: Filter, timeout: Duration) -> Result<SubscriptionId> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
-        self.pending.lock().map.insert(format!("req:{request_id}"), tx);
-        self.channel
-            .send(self.bus, to_bytes(&Packet::Subscribe { request_id, filter }))?;
+        self.pending
+            .lock()
+            .map
+            .insert(format!("req:{request_id}"), tx);
+        self.channel.send(
+            self.bus,
+            to_bytes(&Packet::Subscribe { request_id, filter }),
+        )?;
         match self.wait_reply(rx, &format!("req:{request_id}"), timeout)? {
             Reply::Subscribed(id) => Ok(id),
             Reply::Failed(m) => Err(Error::Denied(m)),
@@ -221,7 +228,8 @@ impl RemoteClient {
     pub fn unsubscribe(&self, id: SubscriptionId, timeout: Duration) -> Result<()> {
         let (tx, rx) = bounded(1);
         self.pending.lock().map.insert(id.to_string(), tx);
-        self.channel.send(self.bus, to_bytes(&Packet::Unsubscribe(id)))?;
+        self.channel
+            .send(self.bus, to_bytes(&Packet::Unsubscribe(id)))?;
         match self.wait_reply(rx, &id.to_string(), timeout)? {
             Reply::Unsubscribed => Ok(()),
             Reply::Failed(m) => Err(Error::Denied(m)),
@@ -238,9 +246,14 @@ impl RemoteClient {
     pub fn advertise(&self, filter: Filter, timeout: Duration) -> Result<bool> {
         let request_id = self.next_request.fetch_add(1, Ordering::Relaxed);
         let (tx, rx) = bounded(1);
-        self.pending.lock().map.insert(format!("req:{request_id}"), tx);
-        self.channel
-            .send(self.bus, to_bytes(&Packet::Advertise { request_id, filter }))?;
+        self.pending
+            .lock()
+            .map
+            .insert(format!("req:{request_id}"), tx);
+        self.channel.send(
+            self.bus,
+            to_bytes(&Packet::Advertise { request_id, filter }),
+        )?;
         match self.wait_reply(rx, &format!("req:{request_id}"), timeout)? {
             Reply::Advertised(interested) => {
                 self.quenched.store(!interested, Ordering::SeqCst);
@@ -251,12 +264,7 @@ impl RemoteClient {
         }
     }
 
-    fn wait_reply(
-        &self,
-        rx: Receiver<Reply>,
-        key: &str,
-        timeout: Duration,
-    ) -> Result<Reply> {
+    fn wait_reply(&self, rx: Receiver<Reply>, key: &str, timeout: Duration) -> Result<Reply> {
         match rx.recv_timeout(timeout) {
             Ok(r) => Ok(r),
             Err(RecvTimeoutError::Timeout) => {
@@ -380,11 +388,20 @@ impl Router {
                 let _ = self.events.send(event);
             }
             Packet::PublishAck(id) => self.resolve(&id.to_string(), Reply::PublishAcked),
-            Packet::SubscribeAck { request_id, subscription } => {
-                self.resolve(&format!("req:{request_id}"), Reply::Subscribed(subscription));
+            Packet::SubscribeAck {
+                request_id,
+                subscription,
+            } => {
+                self.resolve(
+                    &format!("req:{request_id}"),
+                    Reply::Subscribed(subscription),
+                );
             }
             Packet::UnsubscribeAck(id) => self.resolve(&id.to_string(), Reply::Unsubscribed),
-            Packet::AdvertiseAck { request_id, interested } => {
+            Packet::AdvertiseAck {
+                request_id,
+                interested,
+            } => {
                 self.quenched.store(!interested, Ordering::SeqCst);
                 self.resolve(&format!("req:{request_id}"), Reply::Advertised(interested));
             }
@@ -392,9 +409,13 @@ impl Router {
                 self.quenched.store(enable, Ordering::SeqCst);
             }
             Packet::Command { target, name, args } => {
-                let _ = self
-                    .channel
-                    .send(from, to_bytes(&Packet::CommandAck { target, name: name.clone() }));
+                let _ = self.channel.send(
+                    from,
+                    to_bytes(&Packet::CommandAck {
+                        target,
+                        name: name.clone(),
+                    }),
+                );
                 let _ = self.commands.send(CommandRequest { name, args });
             }
             Packet::PolicyDeploy { payload } => {
@@ -432,7 +453,11 @@ impl RawDevice {
         let bus = agent
             .bus_endpoint()
             .ok_or_else(|| Error::Invalid("cell reported no bus endpoint".into()))?;
-        Ok(RawDevice { agent, channel, bus })
+        Ok(RawDevice {
+            agent,
+            channel,
+            bus,
+        })
     }
 
     /// The device's id.
@@ -480,5 +505,8 @@ impl RawDevice {
 
 fn now_micros() -> u64 {
     use std::time::{SystemTime, UNIX_EPOCH};
-    SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default().as_micros() as u64
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_micros() as u64
 }

@@ -79,7 +79,10 @@ impl CompositionLink {
         let info = ServiceInfo::new(ServiceId::NIL, "smc.cell")
             .with_name(format!("composed cell {}", child.cell_id()))
             .with_role("cell");
-        let agent_config = AgentConfig { cell_filter: Some(parent), ..AgentConfig::default() };
+        let agent_config = AgentConfig {
+            cell_filter: Some(parent),
+            ..AgentConfig::default()
+        };
         let client = RemoteClient::connect(info, channel, agent_config, join_timeout)?;
         let parent_cell = client.cell().ok_or(Error::NotMember)?;
 
@@ -137,9 +140,7 @@ impl CompositionLink {
         let down_client = Arc::clone(&client);
         let handle = std::thread::Builder::new()
             .name(format!("composition-{child_cell_id}-in-{parent_cell}"))
-            .spawn(move || {
-                CompositionLink::pump_commands(&down_link, &down_running, &down_client)
-            })
+            .spawn(move || CompositionLink::pump_commands(&down_link, &down_running, &down_client))
             .expect("spawn composition worker");
         link.workers.lock().push(handle);
         Ok(link)
@@ -166,11 +167,7 @@ impl CompositionLink {
     /// Holds only a weak reference (upgraded transiently per command,
     /// never across the blocking wait) so dropping the last external
     /// handle stops the worker instead of leaking it.
-    fn pump_commands(
-        weak: &std::sync::Weak<Self>,
-        running: &AtomicBool,
-        client: &RemoteClient,
-    ) {
+    fn pump_commands(weak: &std::sync::Weak<Self>, running: &AtomicBool, client: &RemoteClient) {
         loop {
             if !running.load(Ordering::SeqCst) {
                 return;
@@ -202,7 +199,11 @@ impl CompositionLink {
                         // Count before sending so an observer woken by the
                         // command sees the updated stats.
                         this.commands_relayed.fetch_add(1, Ordering::Relaxed);
-                        if this.child.send_command(target, &cmd.name, args.clone()).is_err() {
+                        if this
+                            .child
+                            .send_command(target, &cmd.name, args.clone())
+                            .is_err()
+                        {
                             this.commands_relayed.fetch_sub(1, Ordering::Relaxed);
                         }
                     }

@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 
 use smc_discovery::AgentConfig;
 use smc_transport::ReliableChannel;
-use smc_types::{CellId, Error, Event, Filter, Result, ServiceInfo, ServiceId};
+use smc_types::{CellId, Error, Event, Filter, Result, ServiceId, ServiceInfo};
 
 use crate::client::RemoteClient;
 use crate::smc::SmcCell;
@@ -99,7 +99,9 @@ impl FederationLink {
         join_timeout: Duration,
     ) -> Result<Arc<Self>> {
         if remote == local.cell_id() {
-            return Err(Error::Invalid("refusing to federate a cell with itself".into()));
+            return Err(Error::Invalid(
+                "refusing to federate a cell with itself".into(),
+            ));
         }
         Self::connect_with(local, channel, Some(remote), filter, join_timeout)
     }
@@ -114,12 +116,17 @@ impl FederationLink {
         let info = ServiceInfo::new(ServiceId::NIL, "smc.federation-link")
             .with_name(format!("federation link of {}", local.cell_id()))
             .with_role("federation");
-        let agent_config = AgentConfig { cell_filter, ..AgentConfig::default() };
+        let agent_config = AgentConfig {
+            cell_filter,
+            ..AgentConfig::default()
+        };
         let client = RemoteClient::connect(info, channel, agent_config, join_timeout)?;
         let remote_cell = client.cell().ok_or(Error::NotMember)?;
         if remote_cell == local.cell_id() {
             client.shutdown();
-            return Err(Error::Invalid("refusing to federate a cell with itself".into()));
+            return Err(Error::Invalid(
+                "refusing to federate a cell with itself".into(),
+            ));
         }
         client.subscribe(filter, join_timeout)?;
 
@@ -140,7 +147,11 @@ impl FederationLink {
         let worker_running = Arc::clone(&running);
         let worker_client = Arc::clone(&client);
         let handle = std::thread::Builder::new()
-            .name(format!("federation-{}-from-{}", local.cell_id(), remote_cell))
+            .name(format!(
+                "federation-{}-from-{}",
+                local.cell_id(),
+                remote_cell
+            ))
             .spawn(move || FederationLink::pump(&worker_link, &worker_running, &worker_client))
             .expect("spawn federation worker");
         *link.worker.lock() = Some(handle);
@@ -168,11 +179,7 @@ impl FederationLink {
     /// Holds only a weak reference (upgraded transiently per event, never
     /// across the blocking wait) so dropping the last external handle
     /// stops the worker instead of leaking it.
-    fn pump(
-        weak: &std::sync::Weak<Self>,
-        running: &AtomicBool,
-        client: &RemoteClient,
-    ) {
+    fn pump(weak: &std::sync::Weak<Self>, running: &AtomicBool, client: &RemoteClient) {
         loop {
             if !running.load(Ordering::SeqCst) {
                 return;
@@ -202,7 +209,9 @@ impl FederationLink {
         path.push(local_cell);
         let mut imported = event;
         let path_text: Vec<String> = path.iter().map(|c| c.raw().to_string()).collect();
-        imported.attributes_mut().insert(FEDERATION_PATH_ATTR, path_text.join(","));
+        imported
+            .attributes_mut()
+            .insert(FEDERATION_PATH_ATTR, path_text.join(","));
         // Count before republishing so an observer woken by the delivery
         // sees the updated stats. Republished under the local cell's
         // identity: local subscribers see one coherent FIFO stream per
@@ -235,10 +244,14 @@ mod tests {
 
     #[test]
     fn path_parsing() {
-        let e = Event::builder("x").attr(FEDERATION_PATH_ATTR, "1,2,9").build();
+        let e = Event::builder("x")
+            .attr(FEDERATION_PATH_ATTR, "1,2,9")
+            .build();
         assert_eq!(federation_path(&e), vec![CellId(1), CellId(2), CellId(9)]);
         assert!(federation_path(&Event::new("x")).is_empty());
-        let odd = Event::builder("x").attr(FEDERATION_PATH_ATTR, "1,zz,3").build();
+        let odd = Event::builder("x")
+            .attr(FEDERATION_PATH_ATTR, "1,zz,3")
+            .build();
         assert_eq!(federation_path(&odd), vec![CellId(1), CellId(3)]);
     }
 }

@@ -80,7 +80,9 @@ pub mod typed;
 pub use bootstrap::{CodecBuilder, ProxyFactory};
 pub use bus::{ChannelSink, EventBus, EventSink};
 pub use client::{CommandRequest, RawDevice, RemoteClient};
-pub use composition::{child_cell_of, composition_path, CompositionLink, CompositionStats, CHILD_CELL_ATTR};
+pub use composition::{
+    child_cell_of, composition_path, CompositionLink, CompositionStats, CHILD_CELL_ATTR,
+};
 pub use federation::{federation_path, FederationLink, FederationStats, FEDERATION_PATH_ATTR};
 pub use metrics::{BusMetrics, LatencyRecorder, LatencySummary, MetricsSnapshot};
 pub use proxy::{DeviceCodec, PassthroughCodec, Proxy, ProxyStats};

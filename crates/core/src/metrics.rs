@@ -32,6 +32,16 @@ pub struct BusMetrics {
     pub policy_actions: AtomicU64,
     /// Payload bytes carried by accepted events.
     pub bytes_published: AtomicU64,
+    /// High-water mark of any proxy's outbound queue depth.
+    pub proxy_queue_hwm: AtomicU64,
+    /// Framed bytes appended to the write-ahead log (durable cells only).
+    pub wal_bytes_appended: AtomicU64,
+    /// Fsyncs issued by the write-ahead log.
+    pub wal_fsyncs: AtomicU64,
+    /// Snapshots written by the write-ahead log.
+    pub wal_snapshots: AtomicU64,
+    /// Wall-clock duration of the last WAL recovery, in microseconds.
+    pub wal_recovery_micros: AtomicU64,
 }
 
 impl BusMetrics {
@@ -50,6 +60,16 @@ impl BusMetrics {
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Raises a high-water-mark counter to at least `value`.
+    pub(crate) fn fetch_max(counter: &AtomicU64, value: u64) {
+        counter.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Overwrites a gauge with an externally-tracked value.
+    pub(crate) fn put(counter: &AtomicU64, value: u64) {
+        counter.store(value, Ordering::Relaxed);
+    }
+
     /// A plain-value snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -64,6 +84,11 @@ impl BusMetrics {
             quench_signals: self.quench_signals.load(Ordering::Relaxed),
             policy_actions: self.policy_actions.load(Ordering::Relaxed),
             bytes_published: self.bytes_published.load(Ordering::Relaxed),
+            proxy_queue_hwm: self.proxy_queue_hwm.load(Ordering::Relaxed),
+            wal_bytes_appended: self.wal_bytes_appended.load(Ordering::Relaxed),
+            wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
+            wal_snapshots: self.wal_snapshots.load(Ordering::Relaxed),
+            wal_recovery_micros: self.wal_recovery_micros.load(Ordering::Relaxed),
         }
     }
 }
@@ -83,6 +108,11 @@ pub struct MetricsSnapshot {
     pub quench_signals: u64,
     pub policy_actions: u64,
     pub bytes_published: u64,
+    pub proxy_queue_hwm: u64,
+    pub wal_bytes_appended: u64,
+    pub wal_fsyncs: u64,
+    pub wal_snapshots: u64,
+    pub wal_recovery_micros: u64,
 }
 
 /// A bounded reservoir of latency samples in microseconds.
@@ -102,7 +132,10 @@ impl LatencyRecorder {
     /// Creates a recorder holding at most `cap` samples (later samples are
     /// dropped once full).
     pub fn new(cap: usize) -> Self {
-        LatencyRecorder { samples: Mutex::new(Vec::new()), cap }
+        LatencyRecorder {
+            samples: Mutex::new(Vec::new()),
+            cap,
+        }
     }
 
     /// Records one sample.
@@ -177,6 +210,17 @@ mod tests {
         assert_eq!(snap.published, 2);
         assert_eq!(snap.bytes_published, 100);
         assert_eq!(snap.deliveries, 0);
+    }
+
+    #[test]
+    fn high_water_mark_only_rises() {
+        let m = BusMetrics::new();
+        BusMetrics::fetch_max(&m.proxy_queue_hwm, 5);
+        BusMetrics::fetch_max(&m.proxy_queue_hwm, 3);
+        assert_eq!(m.snapshot().proxy_queue_hwm, 5);
+        BusMetrics::put(&m.wal_fsyncs, 7);
+        BusMetrics::put(&m.wal_fsyncs, 4);
+        assert_eq!(m.snapshot().wal_fsyncs, 4, "put is a gauge, not a max");
     }
 
     #[test]

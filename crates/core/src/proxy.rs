@@ -15,9 +15,7 @@ use parking_lot::Mutex;
 
 use smc_transport::ReliableChannel;
 use smc_types::codec::to_bytes;
-use smc_types::{
-    Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SubscriptionId,
-};
+use smc_types::{Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SubscriptionId};
 
 use crate::bus::EventSink;
 
@@ -72,7 +70,9 @@ impl DeviceCodec for PassthroughCodec {
     fn decode_uplink(&self, _raw: &[u8]) -> Result<Vec<Event>> {
         // A passthrough device publishes typed `Publish` packets, never
         // raw frames.
-        Err(Error::Invalid("passthrough proxy received raw device bytes".into()))
+        Err(Error::Invalid(
+            "passthrough proxy received raw device bytes".into(),
+        ))
     }
 
     fn encode_downlink(&self, _event: &Event) -> Result<Option<Vec<u8>>> {
@@ -89,6 +89,8 @@ pub struct ProxyStats {
     pub raw_frames: u64,
     pub decode_errors: u64,
     pub encode_errors: u64,
+    /// Deepest the member's outbound queue (queued + in flight) has been.
+    pub queue_depth_hwm: u64,
 }
 
 #[derive(Debug, Default)]
@@ -98,6 +100,7 @@ struct ProxyCounters {
     raw_frames: AtomicU64,
     decode_errors: AtomicU64,
     encode_errors: AtomicU64,
+    queue_depth_hwm: AtomicU64,
 }
 
 /// The per-member proxy.
@@ -130,7 +133,11 @@ impl std::fmt::Debug for Proxy {
 
 impl Proxy {
     /// Creates a proxy for `info`, relaying over `channel`.
-    pub fn new(info: ServiceInfo, codec: Box<dyn DeviceCodec>, channel: Arc<ReliableChannel>) -> Self {
+    pub fn new(
+        info: ServiceInfo,
+        codec: Box<dyn DeviceCodec>,
+        channel: Arc<ReliableChannel>,
+    ) -> Self {
         Proxy {
             info,
             codec,
@@ -238,7 +245,9 @@ impl Proxy {
         if self.is_destroyed() {
             return Err(Error::Closed);
         }
-        self.channel.send(self.info.id, to_bytes(packet)).map(|_| ())
+        self.channel
+            .send(self.info.id, to_bytes(packet))
+            .map(|_| ())
     }
 
     /// A snapshot of the proxy's counters.
@@ -249,6 +258,7 @@ impl Proxy {
             raw_frames: self.counters.raw_frames.load(Ordering::Relaxed),
             decode_errors: self.counters.decode_errors.load(Ordering::Relaxed),
             encode_errors: self.counters.encode_errors.load(Ordering::Relaxed),
+            queue_depth_hwm: self.counters.queue_depth_hwm.load(Ordering::Relaxed),
         }
     }
 }
@@ -273,6 +283,10 @@ impl EventSink for Proxy {
         };
         self.channel.send(self.info.id, to_bytes(&packet))?;
         AtomicU64::fetch_add(&self.counters.events_downlinked, 1, Ordering::Relaxed);
+        let depth = self.channel.pending(self.info.id) as u64;
+        self.counters
+            .queue_depth_hwm
+            .fetch_max(depth, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -302,7 +316,10 @@ mod tests {
         fn encode_downlink(&self, event: &Event) -> Result<Option<Vec<u8>>> {
             // Only threshold commands are meaningful to this device.
             if event.event_type() == "smc.command" {
-                let t = event.attr("threshold").and_then(|v| v.as_int()).unwrap_or(0);
+                let t = event
+                    .attr("threshold")
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
                 Ok(Some(vec![0xC0, t as u8]))
             } else {
                 Err(Error::Invalid("temp sensor cannot display events".into()))
@@ -351,15 +368,15 @@ mod tests {
         let (cell, device, _net) = setup();
         let info = ServiceInfo::new(device.local_id(), "sensor.temperature");
         let proxy = Proxy::new(info, Box::new(TempCodec), cell);
-        let cmd = Event::builder("smc.command").attr("threshold", 40i64).build();
+        let cmd = Event::builder("smc.command")
+            .attr("threshold", 40i64)
+            .build();
         proxy.deliver(&cmd).unwrap();
         match device.recv(Some(Duration::from_secs(2))).unwrap() {
-            Incoming::Reliable { payload, .. } => {
-                match from_bytes::<Packet>(&payload).unwrap() {
-                    Packet::Raw(raw) => assert_eq!(raw, vec![0xC0, 40]),
-                    other => panic!("unexpected {other:?}"),
-                }
-            }
+            Incoming::Reliable { payload, .. } => match from_bytes::<Packet>(&payload).unwrap() {
+                Packet::Raw(raw) => assert_eq!(raw, vec![0xC0, 40]),
+                other => panic!("unexpected {other:?}"),
+            },
             other => panic!("unexpected {other:?}"),
         }
         // Untranslatable events are errors, counted.
@@ -394,7 +411,10 @@ mod tests {
         proxy.stamp_if_needed(&mut unstamped, 55);
         assert_eq!(unstamped.publisher(), device.local_id());
         assert_eq!(unstamped.seq(), 1);
-        let mut stamped = Event::builder("x").publisher(ServiceId::from_raw(9)).seq(42).build();
+        let mut stamped = Event::builder("x")
+            .publisher(ServiceId::from_raw(9))
+            .seq(42)
+            .build();
         proxy.stamp_if_needed(&mut stamped, 56);
         assert_eq!(stamped.publisher(), ServiceId::from_raw(9));
         assert_eq!(stamped.seq(), 42);
@@ -414,14 +434,25 @@ mod tests {
         proxy.untrack_subscription(SubscriptionId(3));
         proxy.deliver(&Event::new("x")).unwrap();
         assert_eq!(cell.pending(device.local_id()), 1);
+        assert_eq!(
+            proxy.stats().queue_depth_hwm,
+            1,
+            "partitioned delivery sits queued"
+        );
         let subs = proxy.destroy();
         assert_eq!(subs, vec![SubscriptionId(9)]);
         assert_eq!(cell.pending(device.local_id()), 0, "queued data destroyed");
         assert!(proxy.is_destroyed());
         // Idempotent; further deliveries fail.
         assert!(proxy.destroy().is_empty());
-        assert!(matches!(proxy.deliver(&Event::new("y")), Err(Error::Closed)));
-        assert!(matches!(proxy.send_packet(&Packet::Quench { enable: true }), Err(Error::Closed)));
+        assert!(matches!(
+            proxy.deliver(&Event::new("y")),
+            Err(Error::Closed)
+        ));
+        assert!(matches!(
+            proxy.send_packet(&Packet::Quench { enable: true }),
+            Err(Error::Closed)
+        ));
     }
 
     #[test]

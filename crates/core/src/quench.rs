@@ -69,7 +69,13 @@ impl QuenchManager {
         subscriptions: &[Filter],
     ) -> bool {
         let interesting = smc_match::any_interest(&filter, subscriptions);
-        self.adverts.lock().insert(publisher, Advert { filter, interesting });
+        self.adverts.lock().insert(
+            publisher,
+            Advert {
+                filter,
+                interesting,
+            },
+        );
         interesting
     }
 
@@ -97,7 +103,10 @@ impl QuenchManager {
             let interesting = smc_match::any_interest(&advert.filter, subscriptions);
             if interesting != advert.interesting {
                 advert.interesting = interesting;
-                changes.push(QuenchChange { publisher, quench: !interesting });
+                changes.push(QuenchChange {
+                    publisher,
+                    quench: !interesting,
+                });
             }
         }
         changes.sort_by_key(|c| c.publisher);
@@ -140,14 +149,20 @@ mod tests {
         let subs = vec![Filter::for_type("smc.sensor.reading")];
         assert_eq!(
             q.on_subscriptions_changed(&subs),
-            vec![QuenchChange { publisher: p, quench: false }]
+            vec![QuenchChange {
+                publisher: p,
+                quench: false
+            }]
         );
         // No change on a second identical recompute.
         assert!(q.on_subscriptions_changed(&subs).is_empty());
         // Subscriber goes away: quench again.
         assert_eq!(
             q.on_subscriptions_changed(&[]),
-            vec![QuenchChange { publisher: p, quench: true }]
+            vec![QuenchChange {
+                publisher: p,
+                quench: true
+            }]
         );
     }
 
@@ -161,8 +176,8 @@ mod tests {
         assert_eq!(q.is_quenched(p), Some(true));
         // A filter on the right type but a contradictory constraint also
         // keeps it quenched.
-        let wrong_sensor = vec![Filter::for_type("smc.sensor.reading")
-            .with(("sensor", Op::Eq, "spo2"))];
+        let wrong_sensor =
+            vec![Filter::for_type("smc.sensor.reading").with(("sensor", Op::Eq, "spo2"))];
         assert!(q.on_subscriptions_changed(&wrong_sensor).is_empty());
     }
 
@@ -178,7 +193,13 @@ mod tests {
         assert_eq!(changes[0].publisher, p2, "sorted by id");
         // Only p1 flips back when interest narrows to "b".
         let changes = q.on_subscriptions_changed(&[Filter::for_type("b")]);
-        assert_eq!(changes, vec![QuenchChange { publisher: p1, quench: true }]);
+        assert_eq!(
+            changes,
+            vec![QuenchChange {
+                publisher: p1,
+                quench: true
+            }]
+        );
     }
 
     #[test]

@@ -27,9 +27,11 @@ use smc_policy::{ActionClass, ActionSpec, Decision, FiredAction, PolicyService};
 use smc_transport::{CpuProfile, Incoming, ReliableChannel, ReliableConfig, Transport};
 use smc_types::codec::{from_bytes, to_bytes};
 use smc_types::{
-    new_member_event, purge_member_event, system_clock, AttributeSet, CellId, Error, Event,
-    Filter, Packet, Result, ServiceId, ServiceInfo, SharedClock, SubscriptionId,
+    new_member_event, purge_member_event, system_clock, AttributeSet, CellId, CoreSnapshot,
+    CursorEntry, Error, Event, Filter, OutboundEntry, Packet, Result, ServiceId, ServiceInfo,
+    SharedClock, Subscription, SubscriptionId, WalRecord,
 };
+use smc_wal::{Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_BUS, CHAN_DISCOVERY};
 
 use crate::bootstrap::ProxyFactory;
 use crate::bus::{EventBus, EventSink};
@@ -100,6 +102,8 @@ pub struct SmcCell {
     factory: Arc<ProxyFactory>,
     quench: Arc<QuenchManager>,
     channel: Arc<ReliableChannel>,
+    discovery_channel: Arc<ReliableChannel>,
+    wal: Option<Arc<Wal>>,
     proxies: Arc<Mutex<HashMap<ServiceId, Arc<Proxy>>>>,
     members: Arc<Mutex<HashMap<ServiceId, ServiceInfo>>>,
     next_local_seq: AtomicU64,
@@ -128,13 +132,99 @@ impl SmcCell {
     ) -> Arc<Self> {
         let channel = ReliableChannel::new(bus_transport, config.reliable.clone());
         let discovery_channel = ReliableChannel::new(discovery_transport, config.reliable.clone());
+        SmcCell::assemble(config, channel, discovery_channel, None)
+    }
+
+    /// Starts a cell whose delivery state survives a crash: every durable
+    /// state transition (receive cursors, outbound proxy queues,
+    /// membership, subscriptions) is journalled to `backend` *before* it
+    /// takes effect, and `Wal::open`'s recovery result seeds the new
+    /// incarnation — restored members get proxies, restored subscriptions
+    /// keep their ids, restored cursors keep suppressing duplicates, and
+    /// unacknowledged downlink messages are re-queued in order.
+    ///
+    /// Reuse the same transport identities as the crashed incarnation so
+    /// devices keep talking to the endpoint they already know; the
+    /// channel's fresh session epoch tells them it restarted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend open/write failures.
+    pub fn start_durable(
+        bus_transport: Arc<dyn Transport>,
+        discovery_transport: Arc<dyn Transport>,
+        config: SmcConfig,
+        backend: Arc<dyn WalBackend>,
+    ) -> Result<Arc<Self>> {
+        let (wal, recovered) = Wal::open(backend, WalConfig::default())?;
+        let wal = Arc::new(wal);
+        let snap = recovered.snapshot;
+        let channel = ReliableChannel::new_journaled(
+            bus_transport,
+            config.reliable.clone(),
+            Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_BUS)),
+            snap.cursors_for(CHAN_BUS),
+        );
+        let discovery_channel = ReliableChannel::new_journaled(
+            discovery_transport,
+            config.reliable.clone(),
+            Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_DISCOVERY)),
+            snap.cursors_for(CHAN_DISCOVERY),
+        );
+        let cell = SmcCell::assemble(config, channel, discovery_channel, Some(Arc::clone(&wal)));
+        BusMetrics::put(
+            &cell.bus.metrics_ref().wal_recovery_micros,
+            recovered.recovery_micros,
+        );
+        // Re-admit recovered members silently (no Joined event — they
+        // never left, the core did) and rebuild their proxies.
+        for info in &snap.members {
+            cell.discovery.restore_member(info.clone());
+            cell.members.lock().insert(info.id, info.clone());
+            cell.ensure_proxy(info);
+        }
+        // Restore proxy-backed subscriptions under their original ids.
+        // In-process sinks cannot be serialised, so local subscriptions
+        // are the owner's job to re-register.
+        for sub in &snap.subscriptions {
+            if let Some(proxy) = cell.proxy(sub.subscriber) {
+                let sink = Arc::clone(&proxy) as Arc<dyn EventSink>;
+                if cell.bus.restore_subscription(sub.clone(), sink).is_ok() {
+                    proxy.track_subscription(sub.id);
+                }
+            }
+        }
+        cell.recompute_quench();
+        // Resume interrupted downlink deliveries in their original order;
+        // the fresh epoch renumbers them on the wire, the restored
+        // receivers dedup by epoch so nothing double-delivers.
+        for (peer, msgs) in snap.outbound_for(CHAN_BUS) {
+            for payload in msgs {
+                let _ = cell.channel.send(peer, payload);
+            }
+        }
+        Ok(cell)
+    }
+
+    fn assemble(
+        config: SmcConfig,
+        channel: Arc<ReliableChannel>,
+        discovery_channel: Arc<ReliableChannel>,
+        wal: Option<Arc<Wal>>,
+    ) -> Arc<Self> {
         let discovery_config = config
             .discovery
             .clone()
             .with_bus_endpoint(channel.local_id());
-        let discovery =
-            DiscoveryService::start(config.cell, discovery_channel, discovery_config);
-        let bus = Arc::new(EventBus::with_cpu_profile(config.engine, config.cpu_profile.clone()));
+        let discovery = DiscoveryService::start(
+            config.cell,
+            Arc::clone(&discovery_channel),
+            discovery_config,
+        );
+        let bus = Arc::new(EventBus::with_cpu_profile(
+            config.engine,
+            config.cpu_profile.clone(),
+        ));
         let cell = Arc::new(SmcCell {
             config,
             bus,
@@ -143,6 +233,8 @@ impl SmcCell {
             factory: Arc::new(ProxyFactory::new()),
             quench: Arc::new(QuenchManager::new()),
             channel,
+            discovery_channel,
+            wal,
             proxies: Arc::new(Mutex::new(HashMap::new())),
             members: Arc::new(Mutex::new(HashMap::new())),
             next_local_seq: AtomicU64::new(1),
@@ -219,9 +311,89 @@ impl SmcCell {
         self.proxies.lock().get(&member).cloned()
     }
 
-    /// Bus metrics.
+    /// Bus metrics, folded together with the proxy queue high-water mark
+    /// and (for durable cells) the WAL's activity counters.
     pub fn metrics(&self) -> MetricsSnapshot {
+        let m = self.bus.metrics_ref();
+        let mut hwm = 0;
+        for proxy in self.proxies.lock().values() {
+            hwm = hwm.max(proxy.stats().queue_depth_hwm);
+        }
+        BusMetrics::fetch_max(&m.proxy_queue_hwm, hwm);
+        if let Some(wal) = &self.wal {
+            let w = wal.metrics();
+            BusMetrics::put(&m.wal_bytes_appended, w.bytes_appended);
+            BusMetrics::put(&m.wal_fsyncs, w.fsyncs);
+            BusMetrics::put(&m.wal_snapshots, w.snapshots);
+        }
         self.bus.metrics()
+    }
+
+    /// Writes a [`CoreSnapshot`] of all durable state and truncates the
+    /// log — bounding both storage and the next recovery's replay time.
+    ///
+    /// Discovery-channel outbound traffic is deliberately not
+    /// snapshotted: it is lease-protocol chatter a restarted service
+    /// regenerates itself.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Invalid`] if the cell was not started with
+    /// [`SmcCell::start_durable`]; otherwise propagates backend write
+    /// failures (the old log remains authoritative on failure).
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(wal) = &self.wal else {
+            return Err(Error::Invalid("cell was not started durable".into()));
+        };
+        let mut snap = CoreSnapshot::default();
+        for (peer, epoch, expected) in self.channel.rx_cursors() {
+            snap.cursors.push(CursorEntry {
+                chan: CHAN_BUS,
+                peer,
+                epoch,
+                expected,
+            });
+        }
+        for (peer, epoch, expected) in self.discovery_channel.rx_cursors() {
+            snap.cursors.push(CursorEntry {
+                chan: CHAN_DISCOVERY,
+                peer,
+                epoch,
+                expected,
+            });
+        }
+        for (peer, msgs) in self.channel.outbound_pending() {
+            for (seq, payload) in msgs {
+                snap.outbound.push(OutboundEntry {
+                    chan: CHAN_BUS,
+                    peer,
+                    seq,
+                    payload,
+                });
+            }
+        }
+        snap.members = self.discovery.members();
+        snap.members.sort_by_key(|i| i.id);
+        let proxies = self.proxies.lock();
+        for (id, subscriber, filter) in self.bus.subscriptions() {
+            if proxies.contains_key(&subscriber) {
+                snap.subscriptions
+                    .push(Subscription::new(id, subscriber, filter));
+            }
+        }
+        drop(proxies);
+        snap.next_subscription = self.bus.next_subscription_id();
+        wal.snapshot(&snap)
+    }
+
+    /// Appends one record to the WAL, if the cell is durable. Membership
+    /// and subscription records tolerate a lost append — a device rejoin
+    /// reconstructs them — so failures are not propagated here; the
+    /// ack-gating appends live in the channel journal instead.
+    fn journal(&self, record: &WalRecord) {
+        if let Some(wal) = &self.wal {
+            let _ = wal.append(record);
+        }
     }
 
     /// Publishes a cell-originated event (management traffic), stamped
@@ -258,14 +430,13 @@ impl SmcCell {
     /// # Errors
     ///
     /// [`Error::NotMember`] if the target has no proxy.
-    pub fn send_command(
-        &self,
-        target: ServiceId,
-        name: &str,
-        args: AttributeSet,
-    ) -> Result<()> {
+    pub fn send_command(&self, target: ServiceId, name: &str, args: AttributeSet) -> Result<()> {
         let proxy = self.proxy(target).ok_or(Error::NotMember)?;
-        proxy.send_packet(&Packet::Command { target, name: name.to_owned(), args })
+        proxy.send_packet(&Packet::Command {
+            target,
+            name: name.to_owned(),
+            args,
+        })
     }
 
     /// Stops the cell: discovery, dispatch, and every proxy.
@@ -322,12 +493,14 @@ impl SmcCell {
     }
 
     fn on_member_joined(&self, info: ServiceInfo) {
+        self.journal(&WalRecord::MemberJoined { info: info.clone() });
         self.members.lock().insert(info.id, info.clone());
         let proxy = self.ensure_proxy(&info);
         // Proxy-registered subscriptions on the device's behalf.
         for filter in proxy.initial_subscriptions() {
             if let Ok(id) =
-                self.bus.subscribe(info.id, filter, Arc::clone(&proxy) as Arc<dyn EventSink>)
+                self.bus
+                    .subscribe(info.id, filter, Arc::clone(&proxy) as Arc<dyn EventSink>)
             {
                 proxy.track_subscription(id);
             }
@@ -343,6 +516,7 @@ impl SmcCell {
     }
 
     fn destroy_member(&self, id: ServiceId) {
+        self.journal(&WalRecord::MemberPurged { member: id });
         self.members.lock().remove(&id);
         let proxy = self.proxies.lock().remove(&id);
         if let Some(proxy) = proxy {
@@ -360,7 +534,9 @@ impl SmcCell {
         if let Some(p) = proxies.get(&info.id) {
             return Arc::clone(p);
         }
-        let proxy = self.factory.create_proxy(info.clone(), Arc::clone(&self.channel));
+        let proxy = self
+            .factory
+            .create_proxy(info.clone(), Arc::clone(&self.channel));
         proxies.insert(info.id, Arc::clone(&proxy));
         proxy
     }
@@ -387,7 +563,9 @@ impl SmcCell {
 
     fn handle_incoming(&self, incoming: Incoming) {
         let from = incoming.from();
-        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
+        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else {
+            return;
+        };
         // Membership gate: everything on the bus endpoint requires
         // membership. The discovery table is authoritative; the local
         // members map may lag it by a beat.
@@ -417,7 +595,9 @@ impl SmcCell {
 
         match packet {
             Packet::Publish(mut event) => {
-                if let Decision::Deny = self.authorise(&info, ActionClass::Publish, event.event_type()) {
+                if let Decision::Deny =
+                    self.authorise(&info, ActionClass::Publish, event.event_type())
+                {
                     BusMetrics::bump(&self.bus.metrics_ref().publishes_denied);
                     let _ = self.channel.send(
                         from,
@@ -464,15 +644,22 @@ impl SmcCell {
                     );
                     return;
                 }
-                match self
-                    .bus
-                    .subscribe(from, filter, Arc::clone(&proxy) as Arc<dyn EventSink>)
-                {
+                match self.bus.subscribe(
+                    from,
+                    filter.clone(),
+                    Arc::clone(&proxy) as Arc<dyn EventSink>,
+                ) {
                     Ok(id) => {
+                        self.journal(&WalRecord::Subscribed {
+                            subscription: Subscription::new(id, from, filter),
+                        });
                         proxy.track_subscription(id);
                         let _ = self.channel.send(
                             from,
-                            to_bytes(&Packet::SubscribeAck { request_id, subscription: id }),
+                            to_bytes(&Packet::SubscribeAck {
+                                request_id,
+                                subscription: id,
+                            }),
                         );
                         self.recompute_quench();
                     }
@@ -490,8 +677,11 @@ impl SmcCell {
             Packet::Unsubscribe(id) => {
                 if proxy.tracked_subscriptions().contains(&id) {
                     let _ = self.bus.unsubscribe(id);
+                    self.journal(&WalRecord::Unsubscribed { id });
                     proxy.untrack_subscription(id);
-                    let _ = self.channel.send(from, to_bytes(&Packet::UnsubscribeAck(id)));
+                    let _ = self
+                        .channel
+                        .send(from, to_bytes(&Packet::UnsubscribeAck(id)));
                     self.recompute_quench();
                 } else {
                     let _ = self.channel.send(
@@ -505,10 +695,15 @@ impl SmcCell {
             }
             Packet::Advertise { request_id, filter } => {
                 let interested =
-                    self.quench.advertise(from, filter, &self.bus.subscription_filters());
-                let _ = self
-                    .channel
-                    .send(from, to_bytes(&Packet::AdvertiseAck { request_id, interested }));
+                    self.quench
+                        .advertise(from, filter, &self.bus.subscription_filters());
+                let _ = self.channel.send(
+                    from,
+                    to_bytes(&Packet::AdvertiseAck {
+                        request_id,
+                        interested,
+                    }),
+                );
             }
             Packet::DeliverAck(_) | Packet::CommandAck { .. } => {
                 // End-to-end confirmations; the reliable layer already
@@ -540,8 +735,8 @@ impl SmcCell {
     fn execute_action(&self, fired: FiredAction, depth: u32) {
         match fired.action {
             ActionSpec::PublishEvent { event_type, attrs } => {
-                let mut builder = Event::builder(event_type)
-                    .attr("policy", fired.policy_id.clone());
+                let mut builder =
+                    Event::builder(event_type).attr("policy", fired.policy_id.clone());
                 for (name, tpl) in attrs {
                     if let Some(value) = tpl.resolve(&fired.trigger) {
                         builder = builder.attr(name, value);
@@ -552,7 +747,12 @@ impl SmcCell {
                 event.stamp(self.bus_endpoint(), seq, self.config.clock.now_micros());
                 let _ = self.publish_internal(event, depth + 1);
             }
-            ActionSpec::SendCommand { target, target_device_type, name, args } => {
+            ActionSpec::SendCommand {
+                target,
+                target_device_type,
+                name,
+                args,
+            } => {
                 let mut resolved = AttributeSet::new();
                 for (arg_name, tpl) in &args {
                     if let Some(value) = tpl.resolve(&fired.trigger) {
@@ -608,9 +808,12 @@ impl SmcCell {
         let changes = self.quench.on_subscriptions_changed(&filters);
         for change in changes {
             BusMetrics::bump(&self.bus.metrics_ref().quench_signals);
-            let _ = self
-                .channel
-                .send(change.publisher, to_bytes(&Packet::Quench { enable: change.quench }));
+            let _ = self.channel.send(
+                change.publisher,
+                to_bytes(&Packet::Quench {
+                    enable: change.quench,
+                }),
+            );
         }
     }
 }

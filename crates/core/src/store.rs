@@ -9,6 +9,7 @@
 //! analysis service subscribes with.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -70,6 +71,7 @@ impl AttributeSummary {
 pub struct EventStore {
     events: RwLock<VecDeque<Event>>,
     capacity: usize,
+    evictions: AtomicU64,
 }
 
 impl EventStore {
@@ -81,7 +83,11 @@ impl EventStore {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        EventStore { events: RwLock::new(VecDeque::new()), capacity }
+        EventStore {
+            events: RwLock::new(VecDeque::new()),
+            capacity,
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Records one event directly (the sink path does this too).
@@ -89,8 +95,15 @@ impl EventStore {
         let mut events = self.events.write();
         if events.len() == self.capacity {
             events.pop_front();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         events.push_back(event);
+    }
+
+    /// How many events capacity pressure has evicted since creation —
+    /// a sizing signal for the analysis window.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Number of stored events.
@@ -115,7 +128,12 @@ impl EventStore {
 
     /// All stored events matching `filter`, oldest first.
     pub fn query(&self, filter: &Filter) -> Vec<Event> {
-        self.events.read().iter().filter(|e| filter.matches(e)).cloned().collect()
+        self.events
+            .read()
+            .iter()
+            .filter(|e| filter.matches(e))
+            .cloned()
+            .collect()
     }
 
     /// Stored events matching `filter` with `timestamp_micros >= since`.
@@ -130,7 +148,12 @@ impl EventStore {
 
     /// The most recent stored event matching `filter`.
     pub fn latest(&self, filter: &Filter) -> Option<Event> {
-        self.events.read().iter().rev().find(|e| filter.matches(e)).cloned()
+        self.events
+            .read()
+            .iter()
+            .rev()
+            .find(|e| filter.matches(e))
+            .cloned()
     }
 
     /// Summary statistics of numeric attribute `attr` over events
@@ -144,7 +167,9 @@ impl EventStore {
             if !filter.matches(e) {
                 continue;
             }
-            let Some(v) = e.attr(attr).and_then(|v| v.as_numeric()) else { continue };
+            let Some(v) = e.attr(attr).and_then(|v| v.as_numeric()) else {
+                continue;
+            };
             if v.is_nan() {
                 continue;
             }
@@ -209,7 +234,12 @@ mod tests {
         assert_eq!(only_a.len(), 2);
         assert_eq!(only_a[0].attr("bpm").unwrap().as_int(), Some(70));
         assert_eq!(
-            store.latest(&Filter::for_type("a")).unwrap().attr("bpm").unwrap().as_int(),
+            store
+                .latest(&Filter::for_type("a"))
+                .unwrap()
+                .attr("bpm")
+                .unwrap()
+                .as_int(),
             Some(90)
         );
         assert!(store.latest(&Filter::for_type("zzz")).is_none());
@@ -218,10 +248,12 @@ mod tests {
     #[test]
     fn capacity_evicts_oldest() {
         let store = EventStore::new(3);
+        assert_eq!(store.evictions(), 0);
         for i in 0..5 {
             store.record(ev("a", i, i as u64));
         }
         assert_eq!(store.len(), 3);
+        assert_eq!(store.evictions(), 2);
         let all = store.query(&Filter::any());
         assert_eq!(all[0].attr("bpm").unwrap().as_int(), Some(2));
         assert_eq!(all[2].attr("bpm").unwrap().as_int(), Some(4));
@@ -252,7 +284,11 @@ mod tests {
         assert_eq!(s.mean, 75.0);
         assert_eq!(s.first, 60.0);
         assert_eq!(s.last, 90.0);
-        assert!(s.drift() > 0.0, "rising series drifts positive: {}", s.drift());
+        assert!(
+            s.drift() > 0.0,
+            "rising series drifts positive: {}",
+            s.drift()
+        );
         assert!(store.summarise(&Filter::for_type("a"), "missing").is_none());
         assert!(store.summarise(&Filter::for_type("zzz"), "bpm").is_none());
     }

@@ -56,9 +56,18 @@ impl TypedBus {
     /// # Errors
     ///
     /// Propagates [`EventBus::publish`] errors.
-    pub fn publish<M: EventMessage>(&self, publisher: ServiceId, seq: u64, message: M) -> Result<usize> {
+    pub fn publish<M: EventMessage>(
+        &self,
+        publisher: ServiceId,
+        seq: u64,
+        message: M,
+    ) -> Result<usize> {
         let mut event = message.into_event();
-        debug_assert_eq!(event.event_type(), M::EVENT_TYPE, "message type tag mismatch");
+        debug_assert_eq!(
+            event.event_type(),
+            M::EVENT_TYPE,
+            "message type tag mismatch"
+        );
         event.stamp(publisher, seq, 0);
         self.bus.publish(event)
     }
@@ -75,7 +84,9 @@ impl TypedBus {
     ) -> Result<(SubscriptionId, Receiver<M>)> {
         let (tx, rx) = crossbeam::channel::unbounded::<M>();
         let sink = TypedSink { tx };
-        let id = self.bus.subscribe(subscriber, Filter::for_type(M::EVENT_TYPE), Arc::new(sink))?;
+        let id = self
+            .bus
+            .subscribe(subscriber, Filter::for_type(M::EVENT_TYPE), Arc::new(sink))?;
         Ok((id, rx))
     }
 }
@@ -87,7 +98,9 @@ struct TypedSink<M: EventMessage> {
 impl<M: EventMessage> EventSink for TypedSink<M> {
     fn deliver(&self, event: &Event) -> Result<()> {
         if let Some(message) = M::from_event(event) {
-            self.tx.send(message).map_err(|_| smc_types::Error::Closed)?;
+            self.tx
+                .send(message)
+                .map_err(|_| smc_types::Error::Closed)?;
         }
         Ok(())
     }
@@ -107,11 +120,15 @@ mod tests {
         const EVENT_TYPE: &'static str = "typed.heart-rate";
 
         fn into_event(self) -> Event {
-            Event::builder(Self::EVENT_TYPE).attr("bpm", self.bpm).build()
+            Event::builder(Self::EVENT_TYPE)
+                .attr("bpm", self.bpm)
+                .build()
         }
 
         fn from_event(event: &Event) -> Option<Self> {
-            Some(HeartRate { bpm: event.attr("bpm")?.as_int()? })
+            Some(HeartRate {
+                bpm: event.attr("bpm")?.as_int()?,
+            })
         }
     }
 
@@ -124,33 +141,59 @@ mod tests {
         const EVENT_TYPE: &'static str = "typed.alarm";
 
         fn into_event(self) -> Event {
-            Event::builder(Self::EVENT_TYPE).attr("message", self.message).build()
+            Event::builder(Self::EVENT_TYPE)
+                .attr("message", self.message)
+                .build()
         }
 
         fn from_event(event: &Event) -> Option<Self> {
-            Some(Alarm { message: event.attr("message")?.as_str()?.to_owned() })
+            Some(Alarm {
+                message: event.attr("message")?.as_str()?.to_owned(),
+            })
         }
     }
 
     #[test]
     fn typed_round_trip() {
         let typed = TypedBus::new(Arc::new(EventBus::new(EngineKind::FastForward)));
-        let (_, hr_rx) = typed.subscribe::<HeartRate>(ServiceId::from_raw(1)).unwrap();
+        let (_, hr_rx) = typed
+            .subscribe::<HeartRate>(ServiceId::from_raw(1))
+            .unwrap();
         let (_, alarm_rx) = typed.subscribe::<Alarm>(ServiceId::from_raw(2)).unwrap();
 
-        typed.publish(ServiceId::from_raw(9), 1, HeartRate { bpm: 72 }).unwrap();
-        typed.publish(ServiceId::from_raw(9), 2, Alarm { message: "check".into() }).unwrap();
+        typed
+            .publish(ServiceId::from_raw(9), 1, HeartRate { bpm: 72 })
+            .unwrap();
+        typed
+            .publish(
+                ServiceId::from_raw(9),
+                2,
+                Alarm {
+                    message: "check".into(),
+                },
+            )
+            .unwrap();
 
         assert_eq!(hr_rx.try_recv().unwrap(), HeartRate { bpm: 72 });
-        assert!(hr_rx.try_recv().is_err(), "heart-rate stream does not see alarms");
-        assert_eq!(alarm_rx.try_recv().unwrap(), Alarm { message: "check".into() });
+        assert!(
+            hr_rx.try_recv().is_err(),
+            "heart-rate stream does not see alarms"
+        );
+        assert_eq!(
+            alarm_rx.try_recv().unwrap(),
+            Alarm {
+                message: "check".into()
+            }
+        );
     }
 
     #[test]
     fn malformed_events_are_skipped_not_fatal() {
         let bus = Arc::new(EventBus::new(EngineKind::FastForward));
         let typed = TypedBus::new(Arc::clone(&bus));
-        let (_, rx) = typed.subscribe::<HeartRate>(ServiceId::from_raw(1)).unwrap();
+        let (_, rx) = typed
+            .subscribe::<HeartRate>(ServiceId::from_raw(1))
+            .unwrap();
         // An untyped publisher sends a malformed event with the right tag.
         let bogus = Event::builder(HeartRate::EVENT_TYPE)
             .attr("bpm", "not a number")
@@ -158,7 +201,9 @@ mod tests {
             .seq(1)
             .build();
         bus.publish(bogus).unwrap();
-        typed.publish(ServiceId::from_raw(9), 2, HeartRate { bpm: 80 }).unwrap();
+        typed
+            .publish(ServiceId::from_raw(9), 2, HeartRate { bpm: 80 })
+            .unwrap();
         assert_eq!(rx.try_recv().unwrap(), HeartRate { bpm: 80 });
         assert!(rx.try_recv().is_err());
     }
@@ -169,8 +214,11 @@ mod tests {
         let typed = TypedBus::new(Arc::clone(&bus));
         // Untyped subscriber sees typed publications.
         let (sink, raw_rx) = crate::bus::ChannelSink::new();
-        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink)).unwrap();
-        typed.publish(ServiceId::from_raw(9), 1, HeartRate { bpm: 64 }).unwrap();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
+        typed
+            .publish(ServiceId::from_raw(9), 1, HeartRate { bpm: 64 })
+            .unwrap();
         let raw = raw_rx.try_recv().unwrap();
         assert_eq!(raw.event_type(), "typed.heart-rate");
         assert_eq!(raw.seq(), 1);

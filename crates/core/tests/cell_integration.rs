@@ -25,7 +25,11 @@ fn fast_reliable() -> ReliableConfig {
 }
 
 fn start_cell(net: &SimNetwork) -> Arc<SmcCell> {
-    SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), SmcConfig::fast())
+    SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    )
 }
 
 fn connect(net: &SimNetwork, device_type: &str, roles: &[&str]) -> Arc<RemoteClient> {
@@ -50,14 +54,27 @@ fn publish_subscribe_end_to_end() {
     let monitor = connect(&net, "monitor.station", &["manager"]);
 
     monitor
-        .subscribe(Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 100i64)), TICK)
+        .subscribe(
+            Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 100i64)),
+            TICK,
+        )
         .unwrap();
 
     sensor
-        .publish(Event::builder("smc.sensor.reading").attr("bpm", 140i64).build(), TICK)
+        .publish(
+            Event::builder("smc.sensor.reading")
+                .attr("bpm", 140i64)
+                .build(),
+            TICK,
+        )
         .unwrap();
     sensor
-        .publish(Event::builder("smc.sensor.reading").attr("bpm", 60i64).build(), TICK)
+        .publish(
+            Event::builder("smc.sensor.reading")
+                .attr("bpm", 60i64)
+                .build(),
+            TICK,
+        )
         .unwrap();
 
     let got = monitor.next_event(TICK).unwrap();
@@ -76,7 +93,9 @@ fn per_sender_fifo_under_loss() {
     let cell = start_cell(&net);
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    monitor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap();
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
 
     for i in 0..30i64 {
         sensor
@@ -85,9 +104,16 @@ fn per_sender_fifo_under_loss() {
     }
     for i in 0..30i64 {
         let got = monitor.next_event(TICK).unwrap();
-        assert_eq!(got.attr("n").unwrap().as_int(), Some(i), "FIFO violated at {i}");
+        assert_eq!(
+            got.attr("n").unwrap().as_int(),
+            Some(i),
+            "FIFO violated at {i}"
+        );
     }
-    assert!(monitor.try_next_event().is_none(), "exactly once: no duplicates");
+    assert!(
+        monitor.try_next_event().is_none(),
+        "exactly once: no duplicates"
+    );
     sensor.shutdown();
     monitor.shutdown();
     cell.shutdown();
@@ -98,8 +124,12 @@ fn membership_events_flow_on_the_bus() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    monitor.subscribe(Filter::for_type(wellknown::NEW_MEMBER), TICK).unwrap();
-    monitor.subscribe(Filter::for_type(wellknown::PURGE_MEMBER), TICK).unwrap();
+    monitor
+        .subscribe(Filter::for_type(wellknown::NEW_MEMBER), TICK)
+        .unwrap();
+    monitor
+        .subscribe(Filter::for_type(wellknown::PURGE_MEMBER), TICK)
+        .unwrap();
 
     let sensor = connect(&net, "sensor.spo2", &["sensor"]);
     let joined = monitor.next_event(TICK).unwrap();
@@ -145,9 +175,14 @@ fn non_member_is_refused() {
     // A channel that never joined sends a publish directly to the bus.
     let rogue = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
     let packet = smc_types::Packet::Publish(
-        Event::builder("x").publisher(rogue.local_id()).seq(1).build(),
+        Event::builder("x")
+            .publisher(rogue.local_id())
+            .seq(1)
+            .build(),
     );
-    rogue.send(cell.bus_endpoint(), smc_types::codec::to_bytes(&packet)).unwrap();
+    rogue
+        .send(cell.bus_endpoint(), smc_types::codec::to_bytes(&packet))
+        .unwrap();
     // The cell answers with an Error packet.
     let deadline = std::time::Instant::now() + TICK;
     loop {
@@ -181,7 +216,9 @@ fn authorisation_policy_denies_publish() {
     let err = sensor.publish(Event::new("smc.alarm"), TICK).unwrap_err();
     assert!(matches!(err, Error::Denied(_)), "{err:?}");
     // Readings are still fine (default permit).
-    sensor.publish(Event::new("smc.sensor.reading"), TICK).unwrap();
+    sensor
+        .publish(Event::new("smc.sensor.reading"), TICK)
+        .unwrap();
     assert_eq!(cell.metrics().publishes_denied, 1);
     sensor.shutdown();
     cell.shutdown();
@@ -200,10 +237,14 @@ fn authorisation_policy_denies_subscribe() {
         )))
         .unwrap();
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
-    let err = sensor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap_err();
+    let err = sensor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap_err();
     assert!(matches!(err, Error::Denied(_)), "{err:?}");
     // Commands are allowed.
-    sensor.subscribe(Filter::for_type("smc.command"), TICK).unwrap();
+    sensor
+        .subscribe(Filter::for_type("smc.command"), TICK)
+        .unwrap();
     sensor.shutdown();
     cell.shutdown();
 }
@@ -238,13 +279,18 @@ fn obligation_policy_raises_alarm_and_commands_actuator() {
         .unwrap();
 
     let nurse = connect(&net, "terminal.nurse", &["manager"]);
-    nurse.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    nurse
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
     let pump = connect(&net, "actuator.insulin-pump", &["actuator"]);
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
 
     sensor
         .publish(
-            Event::builder("smc.sensor.reading").attr("sensor", "hr").attr("bpm", 150i64).build(),
+            Event::builder("smc.sensor.reading")
+                .attr("sensor", "hr")
+                .attr("bpm", 150i64)
+                .build(),
             TICK,
         )
         .unwrap();
@@ -278,7 +324,9 @@ fn quenching_silences_unwatched_publisher() {
 
     // A monitor subscribes: the bus un-quenches the sensor.
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    monitor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap();
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
     let deadline = std::time::Instant::now() + TICK;
     while sensor.is_quenched() {
         assert!(std::time::Instant::now() < deadline, "never un-quenched");
@@ -332,10 +380,13 @@ impl DeviceCodec for TempCodec {
 fn raw_device_through_translating_proxy() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
-    cell.proxy_factory().register("sensor.temperature", |_| Box::new(TempCodec));
+    cell.proxy_factory()
+        .register("sensor.temperature", |_| Box::new(TempCodec));
 
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    monitor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap();
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
 
     let device = RawDevice::connect(
         ServiceInfo::new(ServiceId::NIL, "sensor.temperature").with_role("sensor"),
@@ -354,10 +405,16 @@ fn raw_device_through_translating_proxy() {
 
     // The proxy subscribed to commands on the device's behalf: a command
     // event on the bus reaches the device as a translated raw frame.
-    cell.send_command(device.local_id(), "recalibrate", AttributeSet::new()).unwrap();
+    cell.send_command(device.local_id(), "recalibrate", AttributeSet::new())
+        .unwrap();
     // (send_command goes directly; also publish a command event which the
     // proxy's initial subscription picks up and translates.)
-    cell.publish_local(Event::builder("smc.command").attr("threshold", 40i64).build()).unwrap();
+    cell.publish_local(
+        Event::builder("smc.command")
+            .attr("threshold", 40i64)
+            .build(),
+    )
+    .unwrap();
     let mut saw_translated = false;
     let deadline = std::time::Instant::now() + TICK;
     while std::time::Instant::now() < deadline {
@@ -388,7 +445,8 @@ fn policy_deployment_reaches_matching_devices() {
             "smc.sensor.*",
         )))
         .unwrap();
-    cell.policy().register_deployment("sensor.*", vec!["hr-publish".into()]);
+    cell.policy()
+        .register_deployment("sensor.*", vec!["hr-publish".into()]);
 
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
     let bundle = sensor.next_policy_bundle(TICK).unwrap();
@@ -398,7 +456,10 @@ fn policy_deployment_reaches_matching_devices() {
 
     // A non-matching device gets nothing.
     let station = connect(&net, "monitor.station", &["manager"]);
-    assert!(matches!(station.next_policy_bundle(Duration::from_millis(300)), Err(Error::Timeout)));
+    assert!(matches!(
+        station.next_policy_bundle(Duration::from_millis(300)),
+        Err(Error::Timeout)
+    ));
 
     sensor.shutdown();
     station.shutdown();
@@ -414,17 +475,35 @@ fn delivery_queues_across_transient_disconnect() {
     let cell = start_cell(&net);
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    monitor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap();
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
 
     // Receive one normally.
-    sensor.publish(Event::builder("smc.sensor.reading").attr("n", 0i64).build(), TICK).unwrap();
-    assert_eq!(monitor.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(0));
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading").attr("n", 0i64).build(),
+            TICK,
+        )
+        .unwrap();
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("n")
+            .unwrap()
+            .as_int(),
+        Some(0)
+    );
 
     // Out of range.
     net.set_partitioned(cell.bus_endpoint(), monitor.local_id(), true);
     for i in 1..=5i64 {
         sensor
-            .publish(Event::builder("smc.sensor.reading").attr("n", i).build(), TICK)
+            .publish(
+                Event::builder("smc.sensor.reading").attr("n", i).build(),
+                TICK,
+            )
             .unwrap();
     }
     assert!(monitor.try_next_event().is_none());
@@ -433,7 +512,11 @@ fn delivery_queues_across_transient_disconnect() {
     net.set_partitioned(cell.bus_endpoint(), monitor.local_id(), false);
     for i in 1..=5i64 {
         let got = monitor.next_event(TICK).unwrap();
-        assert_eq!(got.attr("n").unwrap().as_int(), Some(i), "order after reconnect");
+        assert_eq!(
+            got.attr("n").unwrap().as_int(),
+            Some(i),
+            "order after reconnect"
+        );
     }
     sensor.shutdown();
     monitor.shutdown();
@@ -446,15 +529,45 @@ fn engine_swap_is_transparent_to_members() {
     let cell = start_cell(&net);
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    monitor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap();
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
 
-    sensor.publish(Event::builder("smc.sensor.reading").attr("n", 1i64).build(), TICK).unwrap();
-    assert_eq!(monitor.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(1));
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading").attr("n", 1i64).build(),
+            TICK,
+        )
+        .unwrap();
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("n")
+            .unwrap()
+            .as_int(),
+        Some(1)
+    );
 
     // Live-swap the engine, then keep going.
-    cell.bus().swap_engine(smc_match::EngineKind::Siena).unwrap();
-    sensor.publish(Event::builder("smc.sensor.reading").attr("n", 2i64).build(), TICK).unwrap();
-    assert_eq!(monitor.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(2));
+    cell.bus()
+        .swap_engine(smc_match::EngineKind::Siena)
+        .unwrap();
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading").attr("n", 2i64).build(),
+            TICK,
+        )
+        .unwrap();
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("n")
+            .unwrap()
+            .as_int(),
+        Some(2)
+    );
 
     sensor.shutdown();
     monitor.shutdown();
@@ -467,14 +580,31 @@ fn unsubscribe_stops_flow() {
     let cell = start_cell(&net);
     let sensor = connect(&net, "sensor.heart-rate", &["sensor"]);
     let monitor = connect(&net, "monitor.station", &["manager"]);
-    let sub = monitor.subscribe(Filter::for_type("smc.sensor.reading"), TICK).unwrap();
-    sensor.publish(Event::builder("smc.sensor.reading").attr("n", 1i64).build(), TICK).unwrap();
+    let sub = monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading").attr("n", 1i64).build(),
+            TICK,
+        )
+        .unwrap();
     monitor.next_event(TICK).unwrap();
     monitor.unsubscribe(sub, TICK).unwrap();
-    sensor.publish(Event::builder("smc.sensor.reading").attr("n", 2i64).build(), TICK).unwrap();
-    assert!(matches!(monitor.next_event(Duration::from_millis(300)), Err(Error::Timeout)));
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading").attr("n", 2i64).build(),
+            TICK,
+        )
+        .unwrap();
+    assert!(matches!(
+        monitor.next_event(Duration::from_millis(300)),
+        Err(Error::Timeout)
+    ));
     // Unknown subscription id errors.
-    assert!(monitor.unsubscribe(smc_types::SubscriptionId(999), TICK).is_err());
+    assert!(monitor
+        .unsubscribe(smc_types::SubscriptionId(999), TICK)
+        .is_err());
     sensor.shutdown();
     monitor.shutdown();
     cell.shutdown();

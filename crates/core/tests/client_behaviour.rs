@@ -21,7 +21,11 @@ fn fast_reliable() -> ReliableConfig {
 }
 
 fn start_cell(net: &SimNetwork) -> Arc<SmcCell> {
-    SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), SmcConfig::fast())
+    SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    )
 }
 
 fn connect(net: &SimNetwork, device_type: &str) -> Arc<RemoteClient> {
@@ -54,7 +58,9 @@ fn publish_times_out_when_bus_vanishes() {
     // Sever the path to the bus (but not discovery): the acked publish
     // cannot complete.
     net.set_partitioned(client.local_id(), cell.bus_endpoint(), true);
-    let err = client.publish(Event::new("t"), Duration::from_millis(300)).unwrap_err();
+    let err = client
+        .publish(Event::new("t"), Duration::from_millis(300))
+        .unwrap_err();
     assert!(matches!(err, Error::Timeout), "{err:?}");
     // The reliable layer still holds the message; after healing it goes
     // through and a later publish is acknowledged normally.
@@ -83,10 +89,16 @@ fn subscribe_local_feeds_in_process_services() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
     let (sink, rx) = ChannelSink::new();
-    cell.subscribe_local(ServiceId::from_raw(0xCE11), Filter::for_type("t"), Arc::new(sink))
-        .unwrap();
+    cell.subscribe_local(
+        ServiceId::from_raw(0xCE11),
+        Filter::for_type("t"),
+        Arc::new(sink),
+    )
+    .unwrap();
     let client = connect(&net, "sensor.x");
-    client.publish(Event::builder("t").attr("n", 5i64).build(), TICK).unwrap();
+    client
+        .publish(Event::builder("t").attr("n", 5i64).build(), TICK)
+        .unwrap();
     let got = rx.recv_timeout(TICK).unwrap();
     assert_eq!(got.attr("n").unwrap().as_int(), Some(5));
     client.shutdown();
@@ -109,7 +121,8 @@ fn command_round_trip_to_device() {
     let device = connect(&net, "actuator.pump");
     let mut args = AttributeSet::new();
     args.insert("rate", 3i64);
-    cell.send_command(device.local_id(), "set-rate", args).unwrap();
+    cell.send_command(device.local_id(), "set-rate", args)
+        .unwrap();
     let cmd = device.next_command(TICK).unwrap();
     assert_eq!(cmd.name, "set-rate");
     assert_eq!(cmd.args.get("rate").unwrap().as_int(), Some(3));
@@ -126,11 +139,15 @@ impl EventMessage for Spo2Reading {
     const EVENT_TYPE: &'static str = "typed.spo2";
 
     fn into_event(self) -> Event {
-        Event::builder(Self::EVENT_TYPE).attr("pct", self.pct).build()
+        Event::builder(Self::EVENT_TYPE)
+            .attr("pct", self.pct)
+            .build()
     }
 
     fn from_event(event: &Event) -> Option<Self> {
-        Some(Spo2Reading { pct: event.attr("pct")?.as_int()? })
+        Some(Spo2Reading {
+            pct: event.attr("pct")?.as_int()?,
+        })
     }
 }
 
@@ -140,13 +157,23 @@ fn typed_bus_rides_the_cell_bus() {
     let cell = start_cell(&net);
     // In-process typed subscription over the cell's content bus.
     let typed = TypedBus::new(Arc::clone(cell.bus()));
-    let (_, typed_rx) = typed.subscribe::<Spo2Reading>(ServiceId::from_raw(0x717)).unwrap();
+    let (_, typed_rx) = typed
+        .subscribe::<Spo2Reading>(ServiceId::from_raw(0x717))
+        .unwrap();
     // A remote, untyped device publishes the same event type.
     let device = connect(&net, "sensor.spo2");
     device
-        .publish(Event::builder(Spo2Reading::EVENT_TYPE).attr("pct", 93i64).build(), TICK)
+        .publish(
+            Event::builder(Spo2Reading::EVENT_TYPE)
+                .attr("pct", 93i64)
+                .build(),
+            TICK,
+        )
         .unwrap();
-    assert_eq!(typed_rx.recv_timeout(TICK).unwrap(), Spo2Reading { pct: 93 });
+    assert_eq!(
+        typed_rx.recv_timeout(TICK).unwrap(),
+        Spo2Reading { pct: 93 }
+    );
     device.shutdown();
     cell.shutdown();
 }
@@ -176,7 +203,9 @@ fn unsubscribe_unknown_id_is_refused() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
     let client = connect(&net, "monitor.x");
-    let err = client.unsubscribe(SubscriptionId(424242), TICK).unwrap_err();
+    let err = client
+        .unsubscribe(SubscriptionId(424242), TICK)
+        .unwrap_err();
     assert!(matches!(err, Error::Denied(_)), "{err:?}");
     client.shutdown();
     cell.shutdown();

@@ -3,8 +3,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use smc_core::{child_cell_of, CompositionLink, RemoteClient, SmcCell, SmcConfig};
 use smc_core::composition::TARGET_TYPE_ARG;
+use smc_core::{child_cell_of, CompositionLink, RemoteClient, SmcCell, SmcConfig};
 use smc_discovery::{AgentConfig, DiscoveryConfig};
 use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
 use smc_types::{AttributeSet, CellId, Event, Filter, Op, ServiceId, ServiceInfo};
@@ -33,13 +33,21 @@ fn connect(net: &SimNetwork, cell: CellId, device_type: &str) -> Arc<RemoteClien
     RemoteClient::connect(
         ServiceInfo::new(ServiceId::NIL, device_type).with_role("demo"),
         ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable()),
-        AgentConfig { cell_filter: Some(cell), ..AgentConfig::default() },
+        AgentConfig {
+            cell_filter: Some(cell),
+            ..AgentConfig::default()
+        },
         TICK,
     )
     .expect("join")
 }
 
-fn attach(net: &SimNetwork, child: &Arc<SmcCell>, parent: CellId, export: Filter) -> Arc<CompositionLink> {
+fn attach(
+    net: &SimNetwork,
+    child: &Arc<SmcCell>,
+    parent: CellId,
+    export: Filter,
+) -> Arc<CompositionLink> {
     CompositionLink::attach(
         Arc::clone(child),
         ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable()),
@@ -55,7 +63,12 @@ fn child_appears_as_one_member_and_exports_events() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let ward = start_cell(&net, 1);
     let patient = start_cell(&net, 2);
-    let link = attach(&net, &patient, ward.cell_id(), Filter::for_type("smc.alarm"));
+    let link = attach(
+        &net,
+        &patient,
+        ward.cell_id(),
+        Filter::for_type("smc.alarm"),
+    );
 
     // The ward sees exactly one new member of type smc.cell.
     let member = ward
@@ -67,20 +80,37 @@ fn child_appears_as_one_member_and_exports_events() {
 
     // A ward-level monitor receives alarms raised inside the patient cell.
     let sister = connect(&net, ward.cell_id(), "terminal.sister");
-    sister.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    sister
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
     let sensor = connect(&net, patient.cell_id(), "sensor.hr");
     sensor
-        .publish(Event::builder("smc.alarm").attr("kind", "tachycardia").build(), TICK)
+        .publish(
+            Event::builder("smc.alarm")
+                .attr("kind", "tachycardia")
+                .build(),
+            TICK,
+        )
         .unwrap();
 
     let seen = sister.next_event(TICK).unwrap();
     assert_eq!(seen.attr("kind").unwrap().as_str(), Some("tachycardia"));
-    assert_eq!(child_cell_of(&seen), Some(patient.cell_id()), "tagged with its origin");
-    assert_eq!(seen.publisher(), link.parent_identity(), "one stream per child");
+    assert_eq!(
+        child_cell_of(&seen),
+        Some(patient.cell_id()),
+        "tagged with its origin"
+    );
+    assert_eq!(
+        seen.publisher(),
+        link.parent_identity(),
+        "one stream per child"
+    );
     assert!(link.stats().exported >= 1);
 
     // Non-exported traffic stays inside the child.
-    sensor.publish(Event::new("smc.sensor.reading"), TICK).unwrap();
+    sensor
+        .publish(Event::new("smc.sensor.reading"), TICK)
+        .unwrap();
     assert!(sister.next_event(Duration::from_millis(300)).is_err());
 
     link.detach();
@@ -95,7 +125,12 @@ fn commands_descend_by_device_type() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let ward = start_cell(&net, 1);
     let patient = start_cell(&net, 2);
-    let link = attach(&net, &patient, ward.cell_id(), Filter::for_type("smc.alarm"));
+    let link = attach(
+        &net,
+        &patient,
+        ward.cell_id(),
+        Filter::for_type("smc.alarm"),
+    );
 
     // A pump inside the patient cell.
     let pump = connect(&net, patient.cell_id(), "actuator.pump");
@@ -111,12 +146,16 @@ fn commands_descend_by_device_type() {
     let mut args = AttributeSet::new();
     args.insert(TARGET_TYPE_ARG, "actuator.*");
     args.insert("rate", 2i64);
-    ward.send_command(link.parent_identity(), "set-rate", args).unwrap();
+    ward.send_command(link.parent_identity(), "set-rate", args)
+        .unwrap();
 
     let cmd = pump.next_command(TICK).unwrap();
     assert_eq!(cmd.name, "set-rate");
     assert_eq!(cmd.args.get("rate").unwrap().as_int(), Some(2));
-    assert!(cmd.args.get(TARGET_TYPE_ARG).is_none(), "routing argument stripped");
+    assert!(
+        cmd.args.get(TARGET_TYPE_ARG).is_none(),
+        "routing argument stripped"
+    );
     assert_eq!(link.stats().commands_relayed, 1);
 
     link.detach();
@@ -134,21 +173,41 @@ fn three_level_hierarchy() {
     let ward = start_cell(&net, 20);
     let patient = start_cell(&net, 30);
 
-    let ward_in_hospital = attach(&net, &ward, hospital.cell_id(), Filter::for_type("smc.alarm"));
-    let patient_in_ward = attach(&net, &patient, ward.cell_id(), Filter::for_type("smc.alarm"));
+    let ward_in_hospital = attach(
+        &net,
+        &ward,
+        hospital.cell_id(),
+        Filter::for_type("smc.alarm"),
+    );
+    let patient_in_ward = attach(
+        &net,
+        &patient,
+        ward.cell_id(),
+        Filter::for_type("smc.alarm"),
+    );
 
     let board = connect(&net, hospital.cell_id(), "terminal.board");
-    board.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    board
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
 
     let sensor = connect(&net, patient.cell_id(), "sensor.hr");
-    sensor.publish(Event::builder("smc.alarm").attr("kind", "sos").build(), TICK).unwrap();
+    sensor
+        .publish(
+            Event::builder("smc.alarm").attr("kind", "sos").build(),
+            TICK,
+        )
+        .unwrap();
 
     let seen = board.next_event(TICK).unwrap();
     assert_eq!(seen.attr("kind").unwrap().as_str(), Some("sos"));
     // The hospital-level tag names the ward (its immediate child).
     assert_eq!(child_cell_of(&seen), Some(ward.cell_id()));
     std::thread::sleep(Duration::from_millis(200));
-    assert!(board.try_next_event().is_none(), "exactly one copy at the top");
+    assert!(
+        board.try_next_event().is_none(),
+        "exactly one copy at the top"
+    );
 
     let _ = (ward_in_hospital, patient_in_ward);
     sensor.shutdown();
@@ -186,16 +245,28 @@ fn export_filter_with_constraints() {
         Filter::for_type("smc.alarm").with(("severity", Op::Ge, 3i64)),
     );
     let sister = connect(&net, ward.cell_id(), "terminal.sister");
-    sister.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    sister
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
     let sensor = connect(&net, patient.cell_id(), "sensor.hr");
     sensor
-        .publish(Event::builder("smc.alarm").attr("severity", 1i64).build(), TICK)
+        .publish(
+            Event::builder("smc.alarm").attr("severity", 1i64).build(),
+            TICK,
+        )
         .unwrap();
     sensor
-        .publish(Event::builder("smc.alarm").attr("severity", 4i64).build(), TICK)
+        .publish(
+            Event::builder("smc.alarm").attr("severity", 4i64).build(),
+            TICK,
+        )
         .unwrap();
     let seen = sister.next_event(TICK).unwrap();
-    assert_eq!(seen.attr("severity").unwrap().as_int(), Some(4), "minor alarm stayed local");
+    assert_eq!(
+        seen.attr("severity").unwrap().as_int(),
+        Some(4),
+        "minor alarm stayed local"
+    );
     link.detach();
     sensor.shutdown();
     sister.shutdown();

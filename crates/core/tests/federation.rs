@@ -34,13 +34,21 @@ fn connect(net: &SimNetwork, cell: CellId, device_type: &str) -> Arc<RemoteClien
     RemoteClient::connect(
         ServiceInfo::new(ServiceId::NIL, device_type).with_role("demo"),
         ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable()),
-        AgentConfig { cell_filter: Some(cell), ..AgentConfig::default() },
+        AgentConfig {
+            cell_filter: Some(cell),
+            ..AgentConfig::default()
+        },
         TICK,
     )
     .expect("join cell")
 }
 
-fn bridge(net: &SimNetwork, local: &Arc<SmcCell>, remote: CellId, filter: Filter) -> Arc<FederationLink> {
+fn bridge(
+    net: &SimNetwork,
+    local: &Arc<SmcCell>,
+    remote: CellId,
+    filter: Filter,
+) -> Arc<FederationLink> {
     let channel = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
     // The link must join the *remote* cell, so scope its agent with a
     // dedicated channel whose joins target that cell: FederationLink uses
@@ -60,11 +68,18 @@ fn events_cross_the_federation_link() {
     let link = bridge(&net, &clinic, ward.cell_id(), Filter::for_type("smc.alarm"));
 
     let doctor = connect(&net, clinic.cell_id(), "terminal.doctor");
-    doctor.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    doctor
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
 
     let sensor = connect(&net, ward.cell_id(), "sensor.heart-rate");
     sensor
-        .publish(Event::builder("smc.alarm").attr("kind", "tachycardia").build(), TICK)
+        .publish(
+            Event::builder("smc.alarm")
+                .attr("kind", "tachycardia")
+                .build(),
+            TICK,
+        )
         .unwrap();
 
     let got = doctor.next_event(TICK).unwrap();
@@ -75,7 +90,9 @@ fn events_cross_the_federation_link() {
     assert_eq!(link.stats().imported, 1);
 
     // Non-matching events do not cross.
-    sensor.publish(Event::builder("smc.gossip").build(), TICK).unwrap();
+    sensor
+        .publish(Event::builder("smc.gossip").build(), TICK)
+        .unwrap();
     assert!(doctor.next_event(Duration::from_millis(300)).is_err());
 
     link.shutdown();
@@ -96,16 +113,38 @@ fn symmetric_peering_does_not_loop() {
     let b_from_a = bridge(&net, &b, a.cell_id(), Filter::for_type("smc.alarm"));
 
     let watcher_a = connect(&net, a.cell_id(), "watch.a");
-    watcher_a.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    watcher_a
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
     let watcher_b = connect(&net, b.cell_id(), "watch.b");
-    watcher_b.subscribe(Filter::for_type("smc.alarm"), TICK).unwrap();
+    watcher_b
+        .subscribe(Filter::for_type("smc.alarm"), TICK)
+        .unwrap();
 
     let source = connect(&net, a.cell_id(), "sensor.src");
-    source.publish(Event::builder("smc.alarm").attr("n", 1i64).build(), TICK).unwrap();
+    source
+        .publish(Event::builder("smc.alarm").attr("n", 1i64).build(), TICK)
+        .unwrap();
 
     // Each side sees the alarm exactly once.
-    assert_eq!(watcher_a.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(1));
-    assert_eq!(watcher_b.next_event(TICK).unwrap().attr("n").unwrap().as_int(), Some(1));
+    assert_eq!(
+        watcher_a
+            .next_event(TICK)
+            .unwrap()
+            .attr("n")
+            .unwrap()
+            .as_int(),
+        Some(1)
+    );
+    assert_eq!(
+        watcher_b
+            .next_event(TICK)
+            .unwrap()
+            .attr("n")
+            .unwrap()
+            .as_int(),
+        Some(1)
+    );
     std::thread::sleep(Duration::from_millis(300));
     assert!(watcher_a.try_next_event().is_none(), "no echo in A");
     assert!(watcher_b.try_next_event().is_none(), "no duplicate in B");

@@ -66,6 +66,9 @@ fn shutdown_then_drop_is_also_clean() {
     cell.shutdown();
     drop(cell);
     let after = settle(baseline);
-    assert!(after <= baseline, "threads leaked after shutdown: {after} vs {baseline}");
+    assert!(
+        after <= baseline,
+        "threads leaked after shutdown: {after} vs {baseline}"
+    );
     net.shutdown();
 }

@@ -60,7 +60,11 @@ pub struct AgentConfig {
 
 impl Default for AgentConfig {
     fn default() -> Self {
-        AgentConfig { auth_token: Vec::new(), max_missed_heartbeats: 3, cell_filter: None }
+        AgentConfig {
+            auth_token: Vec::new(),
+            max_missed_heartbeats: 3,
+            cell_filter: None,
+        }
     }
 }
 
@@ -97,7 +101,8 @@ struct ManualAgent {
 
 impl ManualAgent {
     fn virtual_now(&self) -> Instant {
-        self.origin + Duration::from_micros(self.clock.now_micros().saturating_sub(self.origin_micros))
+        self.origin
+            + Duration::from_micros(self.clock.now_micros().saturating_sub(self.origin_micros))
     }
 }
 
@@ -120,7 +125,11 @@ impl MemberAgent {
     ///
     /// The agent's id is always the channel's endpoint id; the id inside
     /// `info` is overwritten.
-    pub fn start(mut info: ServiceInfo, channel: Arc<ReliableChannel>, config: AgentConfig) -> Arc<Self> {
+    pub fn start(
+        mut info: ServiceInfo,
+        channel: Arc<ReliableChannel>,
+        config: AgentConfig,
+    ) -> Arc<Self> {
         info.id = channel.local_id();
         let (events_tx, events_rx) = unbounded();
         let (unhandled_tx, unhandled_rx) = unbounded();
@@ -212,7 +221,12 @@ impl MemberAgent {
             unhandled_rx,
             running,
             worker: Mutex::new(None),
-            manual: Some(Mutex::new(ManualAgent { worker, clock, origin, origin_micros })),
+            manual: Some(Mutex::new(ManualAgent {
+                worker,
+                clock,
+                origin,
+                origin_micros,
+            })),
         })
     }
 
@@ -325,7 +339,10 @@ impl MemberAgent {
             st.bus = None;
             (cell, discovery)
         };
-        let leave = Packet::Leave { member: self.local_id(), reason: reason.to_owned() };
+        let leave = Packet::Leave {
+            member: self.local_id(),
+            reason: reason.to_owned(),
+        };
         let _ = self.channel.send(discovery, to_bytes(&leave));
         let _ = self.events_tx.send(AgentEvent::Left { cell });
         Ok(())
@@ -401,7 +418,10 @@ impl AgentWorker {
             }
         }
         st.heartbeat_seq += 1;
-        let packet = Packet::Heartbeat { member: self.info.id, seq: st.heartbeat_seq };
+        let packet = Packet::Heartbeat {
+            member: self.info.id,
+            seq: st.heartbeat_seq,
+        };
         let discovery = st.discovery.expect("member has a discovery endpoint");
         // Heartbeat at a third of the lease so a single loss cannot
         // expire us.
@@ -413,9 +433,13 @@ impl AgentWorker {
 
     fn handle_at(&self, incoming: Incoming, now: Instant) {
         let from = incoming.from();
-        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
+        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else {
+            return;
+        };
         match packet {
-            Packet::Beacon { cell, discovery, .. } => {
+            Packet::Beacon {
+                cell, discovery, ..
+            } => {
                 if let Some(only) = self.config.cell_filter {
                     if cell != only {
                         return;
@@ -434,7 +458,13 @@ impl AgentWorker {
                     let _ = self.channel.send(discovery, to_bytes(&join));
                 }
             }
-            Packet::JoinResponse { accepted, reason, cell, lease_millis, bus } => {
+            Packet::JoinResponse {
+                accepted,
+                reason,
+                cell,
+                lease_millis,
+                bus,
+            } => {
                 let mut st = self.state.lock();
                 if st.phase != Phase::Joining {
                     return;
@@ -450,7 +480,10 @@ impl AgentWorker {
                     st.missed = 0;
                     st.next_heartbeat = now + st.lease / 3;
                     drop(st);
-                    let _ = self.events.send(AgentEvent::Joined { cell, discovery: from });
+                    let _ = self.events.send(AgentEvent::Joined {
+                        cell,
+                        discovery: from,
+                    });
                 } else {
                     st.phase = Phase::Searching;
                     st.cell = None;

@@ -38,7 +38,9 @@ pub struct SharedSecret {
 impl SharedSecret {
     /// Creates an authenticator around `secret`.
     pub fn new(secret: impl Into<Vec<u8>>) -> Self {
-        SharedSecret { secret: secret.into() }
+        SharedSecret {
+            secret: secret.into(),
+        }
     }
 }
 
@@ -66,7 +68,9 @@ impl DeviceTypeAllowList {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        DeviceTypeAllowList { allowed: types.into_iter().map(Into::into).collect() }
+        DeviceTypeAllowList {
+            allowed: types.into_iter().map(Into::into).collect(),
+        }
     }
 }
 

@@ -77,8 +77,12 @@ impl MembershipTable {
     /// Admits (or re-admits) a member, returning `true` if it was new.
     pub fn admit(&mut self, info: ServiceInfo, now: Instant) -> bool {
         let id = info.id;
-        let record =
-            MemberRecord { info, joined_at: now, last_seen: now, state: MemberState::Active };
+        let record = MemberRecord {
+            info,
+            joined_at: now,
+            last_seen: now,
+            state: MemberState::Active,
+        };
         self.members.insert(id, record).is_none()
     }
 
@@ -179,7 +183,10 @@ mod tests {
         assert!(!t.admit(info(1), now), "re-admission is not new");
         assert!(t.contains(ServiceId::from_raw(1)));
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(ServiceId::from_raw(1)).unwrap().state, MemberState::Active);
+        assert_eq!(
+            t.get(ServiceId::from_raw(1)).unwrap().state,
+            MemberState::Active
+        );
         assert_eq!(t.snapshot().len(), 1);
     }
 
@@ -188,7 +195,10 @@ mod tests {
         let mut t = MembershipTable::new();
         let t0 = Instant::now();
         t.admit(info(1), t0);
-        assert_eq!(t.heartbeat(ServiceId::from_raw(1), t0 + LEASE), Some(MemberState::Active));
+        assert_eq!(
+            t.heartbeat(ServiceId::from_raw(1), t0 + LEASE),
+            Some(MemberState::Active)
+        );
         assert_eq!(t.heartbeat(ServiceId::from_raw(9), t0), None);
         // Fresh heartbeat means no suspicion at t0 + lease + ε.
         let events = t.tick(t0 + LEASE + Duration::from_millis(50), LEASE, GRACE);
@@ -201,15 +211,24 @@ mod tests {
         let t0 = Instant::now();
         t.admit(info(1), t0);
         let events = t.tick(t0 + LEASE + Duration::from_millis(1), LEASE, GRACE);
-        assert_eq!(events, vec![MembershipEvent::Suspected(ServiceId::from_raw(1))]);
-        assert_eq!(t.get(ServiceId::from_raw(1)).unwrap().state, MemberState::Suspected);
+        assert_eq!(
+            events,
+            vec![MembershipEvent::Suspected(ServiceId::from_raw(1))]
+        );
+        assert_eq!(
+            t.get(ServiceId::from_raw(1)).unwrap().state,
+            MemberState::Suspected
+        );
         // Still inside grace: nothing more.
         assert!(t.tick(t0 + LEASE + GRACE, LEASE, GRACE).is_empty());
         // Past grace: purged.
         let events = t.tick(t0 + LEASE + GRACE + Duration::from_millis(1), LEASE, GRACE);
         assert_eq!(
             events,
-            vec![MembershipEvent::Purged(ServiceId::from_raw(1), PurgeReason::LeaseExpired)]
+            vec![MembershipEvent::Purged(
+                ServiceId::from_raw(1),
+                PurgeReason::LeaseExpired
+            )]
         );
         assert!(t.is_empty());
     }
@@ -229,7 +248,10 @@ mod tests {
         let check_at = recovered_at + LEASE;
         let events = t.tick(check_at, LEASE, GRACE);
         assert!(events.is_empty(), "{events:?}");
-        assert_eq!(t.get(ServiceId::from_raw(1)).unwrap().state, MemberState::Active);
+        assert_eq!(
+            t.get(ServiceId::from_raw(1)).unwrap().state,
+            MemberState::Active
+        );
     }
 
     #[test]

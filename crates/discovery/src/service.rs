@@ -99,7 +99,8 @@ struct ManualDriver {
 
 impl ManualDriver {
     fn virtual_now(&self) -> Instant {
-        self.origin + Duration::from_micros(self.clock.now_micros().saturating_sub(self.origin_micros))
+        self.origin
+            + Duration::from_micros(self.clock.now_micros().saturating_sub(self.origin_micros))
     }
 }
 
@@ -119,9 +120,15 @@ pub struct DiscoveryService {
 
 impl DiscoveryService {
     /// Starts a discovery service for `cell` on `channel`.
-    pub fn start(cell: CellId, channel: Arc<ReliableChannel>, config: DiscoveryConfig) -> Arc<Self> {
+    pub fn start(
+        cell: CellId,
+        channel: Arc<ReliableChannel>,
+        config: DiscoveryConfig,
+    ) -> Arc<Self> {
         let (events_tx, events_rx) = unbounded();
-        let state = Arc::new(Mutex::new(ServiceState { table: MembershipTable::new() }));
+        let state = Arc::new(Mutex::new(ServiceState {
+            table: MembershipTable::new(),
+        }));
         let running = Arc::new(AtomicBool::new(true));
         let service = Arc::new(DiscoveryService {
             cell,
@@ -134,7 +141,14 @@ impl DiscoveryService {
             worker: Mutex::new(None),
             manual: None,
         });
-        let worker = Worker { cell, channel, config, state, events: events_tx, running };
+        let worker = Worker {
+            cell,
+            channel,
+            config,
+            state,
+            events: events_tx,
+            running,
+        };
         let handle = std::thread::Builder::new()
             .name(format!("discovery-{cell}"))
             .spawn(move || worker.run())
@@ -158,7 +172,9 @@ impl DiscoveryService {
         clock: SharedClock,
     ) -> Arc<Self> {
         let (events_tx, events_rx) = unbounded();
-        let state = Arc::new(Mutex::new(ServiceState { table: MembershipTable::new() }));
+        let state = Arc::new(Mutex::new(ServiceState {
+            table: MembershipTable::new(),
+        }));
         let running = Arc::new(AtomicBool::new(true));
         let worker = Worker {
             cell,
@@ -266,6 +282,19 @@ impl DiscoveryService {
         self.state.lock().table.contains(id)
     }
 
+    /// Silently re-admits a member recovered from a durability snapshot
+    /// after a core restart: the table entry (and its lease) is recreated
+    /// as of now, but **no** `Joined` event is emitted — the membership
+    /// never lapsed from the cell's point of view, the process merely
+    /// died and came back.
+    pub fn restore_member(&self, info: ServiceInfo) {
+        let now = match &self.manual {
+            Some(driver) => driver.lock().virtual_now(),
+            None => Instant::now(),
+        };
+        self.state.lock().table.admit(info, now);
+    }
+
     /// Forcibly removes a member (operator or policy action).
     ///
     /// # Errors
@@ -275,7 +304,9 @@ impl DiscoveryService {
         let removed = self.state.lock().table.remove(id);
         match removed {
             Some(_) => {
-                let _ = self.events_tx.send(MembershipEvent::Purged(id, PurgeReason::Evicted));
+                let _ = self
+                    .events_tx
+                    .send(MembershipEvent::Purged(id, PurgeReason::Evicted));
                 Ok(())
             }
             None => Err(Error::NotMember),
@@ -315,7 +346,11 @@ impl Worker {
     fn run(self) {
         let mut beacon_seq: u64 = 0;
         let mut next_beacon = Instant::now();
-        let poll = self.config.beacon_interval.min(Duration::from_millis(50)).max(Duration::from_millis(5));
+        let poll = self
+            .config
+            .beacon_interval
+            .min(Duration::from_millis(50))
+            .max(Duration::from_millis(5));
         while self.running.load(Ordering::SeqCst) {
             let now = Instant::now();
             if now >= next_beacon {
@@ -347,7 +382,9 @@ impl Worker {
 
     fn handle_at(&self, incoming: Incoming, now: Instant) {
         let from = incoming.from();
-        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else { return };
+        let Ok(packet) = from_bytes::<Packet>(incoming.payload()) else {
+            return;
+        };
         match packet {
             Packet::JoinRequest { info, auth_token } => {
                 self.handle_join(from, info, &auth_token, now);
@@ -371,7 +408,9 @@ impl Worker {
             Packet::Leave { member, .. } => {
                 let removed = self.state.lock().table.remove(member);
                 if removed.is_some() {
-                    let _ = self.events.send(MembershipEvent::Purged(member, PurgeReason::Left));
+                    let _ = self
+                        .events
+                        .send(MembershipEvent::Purged(member, PurgeReason::Left));
                 }
             }
             _ => {}

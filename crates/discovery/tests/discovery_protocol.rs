@@ -4,11 +4,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use smc_discovery::{
-    AgentConfig, AgentEvent, DeviceTypeAllowList, DiscoveryConfig, DiscoveryService,
-    MemberAgent, MembershipEvent, SharedSecret,
+    AgentConfig, AgentEvent, DeviceTypeAllowList, DiscoveryConfig, DiscoveryService, MemberAgent,
+    MembershipEvent, SharedSecret,
 };
 use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
-use smc_types::{CellId, PurgeReason, ServiceInfo, ServiceId};
+use smc_types::{CellId, PurgeReason, ServiceId, ServiceInfo};
 
 const TICK: Duration = Duration::from_secs(5);
 
@@ -24,7 +24,9 @@ fn channel(net: &SimNetwork) -> Arc<ReliableChannel> {
 }
 
 fn info(device_type: &str) -> ServiceInfo {
-    ServiceInfo::new(ServiceId::NIL, device_type).with_name("test device").with_role("sensor")
+    ServiceInfo::new(ServiceId::NIL, device_type)
+        .with_name("test device")
+        .with_role("sensor")
 }
 
 #[test]
@@ -81,7 +83,10 @@ fn shared_secret_controls_admission() {
     let wrong = MemberAgent::start(
         info("sensor.hr"),
         channel(&net),
-        AgentConfig { auth_token: b"bad".to_vec(), ..AgentConfig::default() },
+        AgentConfig {
+            auth_token: b"bad".to_vec(),
+            ..AgentConfig::default()
+        },
     );
     assert!(matches!(
         wrong.events().recv_timeout(TICK).unwrap(),
@@ -91,7 +96,10 @@ fn shared_secret_controls_admission() {
     let right = MemberAgent::start(
         info("sensor.hr"),
         channel(&net),
-        AgentConfig { auth_token: b"tok".to_vec(), ..AgentConfig::default() },
+        AgentConfig {
+            auth_token: b"tok".to_vec(),
+            ..AgentConfig::default()
+        },
     );
     right.wait_joined(TICK).unwrap();
     wrong.shutdown();
@@ -116,8 +124,14 @@ fn graceful_leave_purges_immediately() {
         other => panic!("unexpected {other:?}"),
     }
     assert!(!service.is_member(agent.local_id()));
-    assert!(matches!(agent.events().recv_timeout(TICK).unwrap(), AgentEvent::Joined { .. }));
-    assert!(matches!(agent.events().recv_timeout(TICK).unwrap(), AgentEvent::Left { .. }));
+    assert!(matches!(
+        agent.events().recv_timeout(TICK).unwrap(),
+        AgentEvent::Joined { .. }
+    ));
+    assert!(matches!(
+        agent.events().recv_timeout(TICK).unwrap(),
+        AgentEvent::Left { .. }
+    ));
     agent.shutdown();
     service.shutdown();
 }
@@ -131,7 +145,10 @@ fn transient_disconnect_is_masked() {
     let agent = MemberAgent::start(
         info("sensor.hr"),
         channel(&net),
-        AgentConfig { max_missed_heartbeats: 100, ..AgentConfig::default() },
+        AgentConfig {
+            max_missed_heartbeats: 100,
+            ..AgentConfig::default()
+        },
     );
     agent.wait_joined(TICK).unwrap();
     let _ = service.events().recv_timeout(TICK).unwrap(); // Joined
@@ -217,7 +234,10 @@ fn cell_filter_restricts_agent() {
     let agent = MemberAgent::start(
         info("sensor.hr"),
         channel(&net),
-        AgentConfig { cell_filter: Some(CellId(2)), ..AgentConfig::default() },
+        AgentConfig {
+            cell_filter: Some(CellId(2)),
+            ..AgentConfig::default()
+        },
     );
     // Cell 1 beacons but the agent wants cell 2 only.
     assert!(agent.wait_joined(Duration::from_millis(300)).is_err());

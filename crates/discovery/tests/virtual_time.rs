@@ -11,9 +11,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use smc_discovery::{
-    AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent,
-};
+use smc_discovery::{AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent};
 use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
 use smc_types::{CellId, ManualClock, PurgeReason, ServiceId, ServiceInfo, SharedClock};
 
@@ -65,15 +63,25 @@ impl World {
             ReliableConfig::default(),
             Arc::clone(&shared),
         );
-        let agent_config =
-            AgentConfig { max_missed_heartbeats: max_missed, ..AgentConfig::default() };
+        let agent_config = AgentConfig {
+            max_missed_heartbeats: max_missed,
+            ..AgentConfig::default()
+        };
         let agent = MemberAgent::with_clock(
             ServiceInfo::new(ServiceId::NIL, "test.device"),
             Arc::clone(&dev_channel),
             agent_config,
             Arc::clone(&shared),
         );
-        World { clock, net, disco_channel, service, dev_channel, agent, events: Vec::new() }
+        World {
+            clock,
+            net,
+            disco_channel,
+            service,
+            dev_channel,
+            agent,
+            events: Vec::new(),
+        }
     }
 
     /// One deterministic simulation step, advancing `TICK_MS` of virtual
@@ -129,7 +137,10 @@ fn transient_disconnection_is_masked() {
     let mut w = World::new(71);
     w.run_virtual(Duration::from_secs(1));
     let dev = w.dev_channel.local_id();
-    assert!(w.agent.is_member(), "agent should join within a virtual second");
+    assert!(
+        w.agent.is_member(),
+        "agent should join within a virtual second"
+    );
     assert_eq!(w.joins(dev), 1);
 
     // Silence the device for 700ms of virtual time: beyond the 500ms
@@ -137,19 +148,29 @@ fn transient_disconnection_is_masked() {
     w.partition(true);
     w.run_virtual(Duration::from_millis(700));
     assert!(
-        w.events.iter().any(|e| matches!(e, MembershipEvent::Suspected(id) if *id == dev)),
+        w.events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::Suspected(id) if *id == dev)),
         "silence past the lease must suspect the member"
     );
-    assert!(w.purges(dev).is_empty(), "must not purge inside the grace window");
+    assert!(
+        w.purges(dev).is_empty(),
+        "must not purge inside the grace window"
+    );
 
     // Heal: the next heartbeat recovers the member in place.
     w.partition(false);
     w.run_virtual(Duration::from_secs(1));
     assert!(
-        w.events.iter().any(|e| matches!(e, MembershipEvent::Recovered(id) if *id == dev)),
+        w.events
+            .iter()
+            .any(|e| matches!(e, MembershipEvent::Recovered(id) if *id == dev)),
         "the member must recover on its next heartbeat"
     );
-    assert!(w.purges(dev).is_empty(), "a masked disconnection must never purge");
+    assert!(
+        w.purges(dev).is_empty(),
+        "a masked disconnection must never purge"
+    );
     assert_eq!(w.joins(dev), 1, "a masked disconnection must not re-admit");
     assert!(w.service.is_member(dev));
     assert!(w.agent.is_member());
@@ -205,7 +226,10 @@ fn membership_sequence_is_deterministic() {
         w.run_virtual(Duration::from_millis(1600));
         w.partition(false);
         w.run_virtual(Duration::from_secs(2));
-        w.events.iter().map(|e| format!("{e:?}")).collect::<Vec<_>>()
+        w.events
+            .iter()
+            .map(|e| format!("{e:?}"))
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(99), run(99));
 }

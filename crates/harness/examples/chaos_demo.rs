@@ -33,7 +33,11 @@ fn main() {
     let ops = next("ops", Some(6)) as usize;
 
     let scenario = Scenario::random(seed, nodes, Duration::from_secs(secs), ops);
-    println!("# scenario (seed {seed}): {} nodes, {secs}s, {} ops", scenario.nodes, scenario.ops.len());
+    println!(
+        "# scenario (seed {seed}): {} nodes, {secs}s, {} ops",
+        scenario.nodes,
+        scenario.ops.len()
+    );
     for op in &scenario.ops {
         println!("#   t+{:>6}ms {:?}", op.at.as_millis(), op.op);
     }

@@ -13,8 +13,8 @@
 //!   schedule is bit-identical for a given seed;
 //! * **scenario scripts** — [`Scenario`] describes seeded fault
 //!   schedules (loss bursts, partitions, duplicate storms, crash/restart,
-//!   broadcast-domain moves, link-profile changes) at scripted virtual
-//!   times;
+//!   broadcast-domain moves, link-profile changes, whole-core crashes) at
+//!   scripted virtual times;
 //! * **delivery oracle** — [`DeliveryOracle`] records every publish,
 //!   delivery and membership transition and checks the paper's §II-C
 //!   guarantees (exactly-once, per-sender FIFO, no delivery after purge),
@@ -37,4 +37,4 @@ mod world;
 
 pub use oracle::{DeliveryOracle, OracleViolation, TraceEvent, ViolationKind};
 pub use scenario::{shrink_scenario, ChaosOp, LinkProfileKind, Scenario, ScriptedOp};
-pub use world::{default_discovery, default_reliable, run, run_with, RunReport};
+pub use world::{default_discovery, default_reliable, run, run_with, run_with_backend, RunReport};

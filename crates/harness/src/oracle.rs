@@ -117,7 +117,11 @@ pub enum ViolationKind {
 
 impl fmt::Display for OracleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "delivery oracle violation: {:?} (seed {})", self.kind, self.seed)?;
+        writeln!(
+            f,
+            "delivery oracle violation: {:?} (seed {})",
+            self.kind, self.seed
+        )?;
         writeln!(f, "  {}", self.detail)?;
         writeln!(f, "  trace tail:")?;
         let skip = self.trace.len().saturating_sub(40);
@@ -157,7 +161,12 @@ pub struct DeliveryOracle {
 impl DeliveryOracle {
     /// An empty oracle for a run produced by `seed`.
     pub fn new(seed: u64) -> Self {
-        DeliveryOracle { seed, trace: Vec::new(), senders: HashMap::new(), violation: None }
+        DeliveryOracle {
+            seed,
+            trace: Vec::new(),
+            senders: HashMap::new(),
+            violation: None,
+        }
     }
 
     /// The full trace so far.
@@ -211,7 +220,10 @@ impl DeliveryOracle {
 
     /// Records a scripted fault (context for trace readers).
     pub fn record_fault(&mut self, at: u64, what: impl Into<String>) {
-        self.trace.push(TraceEvent::Fault { at, what: what.into() });
+        self.trace.push(TraceEvent::Fault {
+            at,
+            what: what.into(),
+        });
     }
 
     /// Records a member admission.
@@ -257,7 +269,10 @@ impl DeliveryOracle {
                 format!("message #{seq} from {sender} delivered after #{last}"),
             );
         } else {
-            self.senders.get_mut(&sender).expect("sender state exists").last_delivered = seq;
+            self.senders
+                .get_mut(&sender)
+                .expect("sender state exists")
+                .last_delivered = seq;
         }
         if !member {
             self.fail(
@@ -320,7 +335,10 @@ mod tests {
         o.record_joined(1, id(3));
         o.record_purged(2, id(3));
         o.record_delivery(3, id(3), 1);
-        assert_eq!(o.violation().unwrap().kind, ViolationKind::DeliveryAfterPurge);
+        assert_eq!(
+            o.violation().unwrap().kind,
+            ViolationKind::DeliveryAfterPurge
+        );
     }
 
     #[test]

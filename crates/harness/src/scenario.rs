@@ -93,18 +93,28 @@ pub enum ChaosOp {
         /// The new profile.
         profile: LinkProfileKind,
     },
+    /// The *core* crashes — discovery and the bus sink lose all
+    /// in-memory state — and restarts from its write-ahead log after
+    /// `down_for`. The durability layer's whole job is making this
+    /// indistinguishable (oracle-wise) from a long network stall.
+    CoreCrash {
+        /// Outage length before the recovery.
+        down_for: Duration,
+    },
 }
 
 impl ChaosOp {
-    /// The device node this op targets.
-    pub fn node(&self) -> usize {
+    /// The device node this op targets, or `None` for ops aimed at the
+    /// core itself.
+    pub fn node(&self) -> Option<usize> {
         match *self {
             ChaosOp::LossBurst { node, .. }
             | ChaosOp::Partition { node, .. }
             | ChaosOp::DuplicateStorm { node, .. }
             | ChaosOp::Crash { node, .. }
             | ChaosOp::DomainMove { node, .. }
-            | ChaosOp::LinkProfile { node, .. } => node,
+            | ChaosOp::LinkProfile { node, .. } => Some(node),
+            ChaosOp::CoreCrash { .. } => None,
         }
     }
 }
@@ -158,16 +168,31 @@ impl Scenario {
             let at = Duration::from_micros(rng.gen_range(0..window.max(1)));
             let node = rng.gen_range(0..scenario.nodes);
             let hold = Duration::from_millis(rng.gen_range(50..800));
-            let op = match rng.gen_range(0..6u32) {
-                0 => ChaosOp::LossBurst { node, loss: rng.gen_range(0.2..0.9), duration: hold },
-                1 => ChaosOp::Partition { node, duration: hold },
+            let op = match rng.gen_range(0..7u32) {
+                0 => ChaosOp::LossBurst {
+                    node,
+                    loss: rng.gen_range(0.2..0.9),
+                    duration: hold,
+                },
+                1 => ChaosOp::Partition {
+                    node,
+                    duration: hold,
+                },
                 2 => ChaosOp::DuplicateStorm {
                     node,
                     duplicate: rng.gen_range(0.2..0.9),
                     duration: hold,
                 },
-                3 => ChaosOp::Crash { node, down_for: hold },
-                4 => ChaosOp::DomainMove { node, domain: rng.gen_range(1..4u32), duration: hold },
+                3 => ChaosOp::Crash {
+                    node,
+                    down_for: hold,
+                },
+                4 => ChaosOp::DomainMove {
+                    node,
+                    domain: rng.gen_range(1..4u32),
+                    duration: hold,
+                },
+                5 => ChaosOp::CoreCrash { down_for: hold },
                 _ => ChaosOp::LinkProfile {
                     node,
                     profile: match rng.gen_range(0..4u32) {
@@ -253,7 +278,9 @@ mod tests {
         }
         for op in &s.ops {
             assert!(op.at < Duration::from_secs(8));
-            assert!(op.op.node() < 3);
+            if let Some(node) = op.op.node() {
+                assert!(node < 3);
+            }
         }
     }
 

@@ -9,16 +9,30 @@
 //! a [`DeliveryOracle`] in a deterministic order. Seconds of simulated
 //! chaos run in milliseconds of wall time, and the same seed always
 //! produces the same trace, byte for byte.
+//!
+//! The core itself is durable: its channels journal cursors and outbound
+//! queues into a write-ahead log (an in-memory [`MemBackend`] by
+//! default), and a snapshot is cut every [`CHECKPOINT_MICROS`] of virtual
+//! time. A [`ChaosOp::CoreCrash`] tears the whole core down — discovery
+//! table, sink cursors, pending queues — and rebuilds it from that log,
+//! so the oracle checks exactly-once and FIFO *across* the restart
+//! boundary. [`run_with_backend`] swaps the backend, which is how tests
+//! prove the teeth: the same scenario on a `NoopBackend` loses the
+//! cursors and the oracle flags the redelivery.
 
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::Duration;
 
-use smc_discovery::{
-    AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent,
-};
+use smc_discovery::{AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent};
 use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
-use smc_types::{CellId, ManualClock, ServiceId, ServiceInfo, SharedClock};
+use smc_types::{
+    CellId, CoreSnapshot, CursorEntry, ManualClock, OutboundEntry, ServiceId, ServiceInfo,
+    SharedClock, WalRecord,
+};
+use smc_wal::{
+    MemBackend, Recovered, Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_BUS, CHAN_DISCOVERY,
+};
 
 use crate::oracle::DeliveryOracle;
 use crate::scenario::{ChaosOp, LinkProfileKind, Scenario};
@@ -30,6 +44,8 @@ const TICK_MICROS: u64 = 2_000;
 const DRAIN_MICROS: u64 = 3_000_000;
 /// Every n-th message carries a large payload to exercise fragmentation.
 const BIG_EVERY: u64 = 5;
+/// Virtual interval between core snapshots (log compaction points).
+const CHECKPOINT_MICROS: u64 = 2_000_000;
 
 /// Reliability parameters the harness runs by default.
 pub fn default_reliable() -> ReliableConfig {
@@ -58,6 +74,14 @@ pub struct RunReport {
     pub ticks: u64,
     /// Virtual micros covered (scripted duration plus drain).
     pub virtual_micros: u64,
+    /// Core restarts recovered from the write-ahead log.
+    pub core_recoveries: u64,
+    /// Wall-clock micros spent replaying the log across all recoveries.
+    /// Reporting only — never part of the deterministic trace.
+    pub recovery_micros_total: u64,
+    /// Reliable-channel retransmissions summed over every channel and
+    /// every incarnation (crashed devices and cores included).
+    pub retransmits: u64,
 }
 
 impl RunReport {
@@ -81,20 +105,25 @@ impl RunReport {
 
     /// Total messages published across devices.
     pub fn total_published(&self) -> u64 {
-        self.device_ids.iter().map(|&id| self.oracle.published(id)).sum()
+        self.device_ids
+            .iter()
+            .map(|&id| self.oracle.published(id))
+            .sum()
     }
 
     /// Total messages delivered across devices.
     pub fn total_delivered(&self) -> u64 {
-        self.device_ids.iter().map(|&id| self.oracle.delivered(id)).sum()
+        self.device_ids
+            .iter()
+            .map(|&id| self.oracle.delivered(id))
+            .sum()
     }
 
     /// `true` if the trace contains a purge of `member`.
     pub fn was_purged(&self, member: ServiceId) -> bool {
-        self.oracle
-            .trace()
-            .iter()
-            .any(|e| matches!(e, crate::oracle::TraceEvent::Purged { member: m, .. } if *m == member))
+        self.oracle.trace().iter().any(
+            |e| matches!(e, crate::oracle::TraceEvent::Purged { member: m, .. } if *m == member),
+        )
     }
 
     /// How many times `member` was admitted.
@@ -108,6 +137,7 @@ impl RunReport {
 }
 
 /// A fault-timeline entry, expanded from the scenario's scripted ops.
+/// Core acts carry no node index (`usize::MAX` sentinel in the timeline).
 #[derive(Debug, Clone)]
 enum Act {
     Loss(f64),
@@ -119,6 +149,8 @@ enum Act {
     Domain(u32),
     Crash,
     Restart,
+    CoreCrash,
+    CoreRestart,
 }
 
 struct Device {
@@ -134,8 +166,21 @@ struct Device {
     domain: u32,
 }
 
+/// The cell's side of the world: everything a `CoreCrash` destroys and a
+/// `CoreRestart` rebuilds from the write-ahead log.
+struct Core {
+    wal: Arc<Wal>,
+    disco_channel: Arc<ReliableChannel>,
+    sink_channel: Arc<ReliableChannel>,
+    service: Arc<DiscoveryService>,
+}
+
 fn encode(seq: u64) -> Vec<u8> {
-    let filler = if seq.is_multiple_of(BIG_EVERY) { 2000 } else { 32 };
+    let filler = if seq.is_multiple_of(BIG_EVERY) {
+        2000
+    } else {
+        32
+    };
     let mut payload = Vec::with_capacity(8 + filler);
     payload.extend_from_slice(&seq.to_le_bytes());
     payload.resize(8 + filler, 0xA5);
@@ -143,7 +188,113 @@ fn encode(seq: u64) -> Vec<u8> {
 }
 
 fn decode(payload: &[u8]) -> Option<u64> {
-    payload.get(..8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    payload
+        .get(..8)
+        .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+}
+
+/// Opens the WAL on `backend` and assembles a core from whatever it
+/// recovers: journaled channels seeded with the restored receive
+/// cursors, a discovery service re-admitting every snapshotted member
+/// (resetting the sink's member filter to match), and the recovered
+/// outbound queue re-enqueued for retransmission. `ids` pins the
+/// endpoints of a previous incarnation on restart.
+fn boot_core(
+    net: &SimNetwork,
+    backend: &Arc<dyn WalBackend>,
+    reliable: &ReliableConfig,
+    discovery_config: &DiscoveryConfig,
+    clock: &SharedClock,
+    ids: Option<(ServiceId, ServiceId)>,
+    members: &mut HashSet<ServiceId>,
+) -> (Core, Recovered) {
+    let (wal, recovered) =
+        Wal::open(Arc::clone(backend), WalConfig::default()).expect("wal backend opens");
+    let wal = Arc::new(wal);
+    let (disco_transport, sink_transport) = match ids {
+        Some((disco_id, sink_id)) => (
+            net.endpoint_with_id(disco_id),
+            net.endpoint_with_id(sink_id),
+        ),
+        None => (net.endpoint(), net.endpoint()),
+    };
+    let disco_channel = ReliableChannel::with_clock_journaled(
+        Arc::new(disco_transport),
+        reliable.clone(),
+        Arc::clone(clock),
+        Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_DISCOVERY)),
+        recovered.snapshot.cursors_for(CHAN_DISCOVERY),
+    );
+    let sink_channel = ReliableChannel::with_clock_journaled(
+        Arc::new(sink_transport),
+        reliable.clone(),
+        Arc::clone(clock),
+        Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_BUS)),
+        recovered.snapshot.cursors_for(CHAN_BUS),
+    );
+    let service = DiscoveryService::with_clock(
+        CellId(1),
+        Arc::clone(&disco_channel),
+        discovery_config
+            .clone()
+            .with_bus_endpoint(sink_channel.local_id()),
+        Arc::clone(clock),
+    );
+    members.clear();
+    for info in &recovered.snapshot.members {
+        service.restore_member(info.clone());
+        members.insert(info.id);
+    }
+    for (peer, payloads) in recovered.snapshot.outbound_for(CHAN_BUS) {
+        for payload in payloads {
+            let _ = sink_channel.send(peer, payload);
+        }
+    }
+    (
+        Core {
+            wal,
+            disco_channel,
+            sink_channel,
+            service,
+        },
+        recovered,
+    )
+}
+
+/// Cuts a snapshot of the core's durable state into the WAL: both
+/// channels' receive cursors, the sink's pending outbound and the sorted
+/// membership table. Mirrors `SmcCell::checkpoint`.
+fn checkpoint(core: &Core) {
+    let mut snap = CoreSnapshot::default();
+    for (peer, epoch, expected) in core.sink_channel.rx_cursors() {
+        snap.cursors.push(CursorEntry {
+            chan: CHAN_BUS,
+            peer,
+            epoch,
+            expected,
+        });
+    }
+    for (peer, epoch, expected) in core.disco_channel.rx_cursors() {
+        snap.cursors.push(CursorEntry {
+            chan: CHAN_DISCOVERY,
+            peer,
+            epoch,
+            expected,
+        });
+    }
+    for (peer, msgs) in core.sink_channel.outbound_pending() {
+        for (seq, payload) in msgs {
+            snap.outbound.push(OutboundEntry {
+                chan: CHAN_BUS,
+                peer,
+                seq,
+                payload,
+            });
+        }
+    }
+    snap.members = core.service.members();
+    snap.members.sort_by_key(|i| i.id);
+    let _ = core.wal.snapshot(&snap);
 }
 
 /// Runs `scenario` with the default reliability and discovery settings.
@@ -152,35 +303,49 @@ pub fn run(scenario: &Scenario) -> RunReport {
 }
 
 /// Runs `scenario` with explicit channel and discovery parameters (e.g.
-/// `dedup: false` to prove the oracle catches a broken channel).
+/// `dedup: false` to prove the oracle catches a broken channel). The
+/// core journals into a fresh in-memory WAL backend.
 pub fn run_with(
     scenario: &Scenario,
     reliable: ReliableConfig,
     discovery_config: DiscoveryConfig,
+) -> RunReport {
+    run_with_backend(
+        scenario,
+        reliable,
+        discovery_config,
+        Arc::new(MemBackend::new()),
+    )
+}
+
+/// Runs `scenario` with an explicit WAL backend for the core. Passing
+/// `NoopBackend` demonstrates what the durability layer buys: any
+/// `CoreCrash` then loses the cursors and the oracle catches the
+/// resulting redeliveries.
+pub fn run_with_backend(
+    scenario: &Scenario,
+    reliable: ReliableConfig,
+    discovery_config: DiscoveryConfig,
+    backend: Arc<dyn WalBackend>,
 ) -> RunReport {
     let clock = Arc::new(ManualClock::new());
     let shared: SharedClock = clock.clone();
     let baseline = LinkConfig::ideal();
     let net = SimNetwork::with_clock(baseline.clone(), scenario.seed, Arc::clone(&shared));
 
-    let disco_channel = ReliableChannel::with_clock(
-        Arc::new(net.endpoint()),
-        reliable.clone(),
-        Arc::clone(&shared),
+    let mut oracle = DeliveryOracle::new(scenario.seed);
+    let mut members: HashSet<ServiceId> = HashSet::new();
+    let (mut core, _) = boot_core(
+        &net,
+        &backend,
+        &reliable,
+        &discovery_config,
+        &shared,
+        None,
+        &mut members,
     );
-    let disco_id = disco_channel.local_id();
-    let sink_channel = ReliableChannel::with_clock(
-        Arc::new(net.endpoint()),
-        reliable.clone(),
-        Arc::clone(&shared),
-    );
-    let sink_id = sink_channel.local_id();
-    let service = DiscoveryService::with_clock(
-        CellId(1),
-        Arc::clone(&disco_channel),
-        discovery_config.with_bus_endpoint(sink_id),
-        Arc::clone(&shared),
-    );
+    let disco_id = core.disco_channel.local_id();
+    let sink_id = core.sink_channel.local_id();
 
     let publish_interval = scenario.publish_interval.as_micros().max(1) as u64;
     let mut devices: Vec<Device> = (0..scenario.nodes)
@@ -213,16 +378,26 @@ pub fn run_with(
         .collect();
     let device_ids: Vec<ServiceId> = devices.iter().map(|d| d.id).collect();
 
-    // Expand scripted ops into an absolute-time fault timeline.
+    // Expand scripted ops into an absolute-time fault timeline. Core ops
+    // use a `usize::MAX` node sentinel so they sort after device ops at
+    // the same instant (deterministically).
     let mut timeline: Vec<(u64, usize, Act)> = Vec::new();
     for s in &scenario.ops {
         let at = s.at.as_micros() as u64;
         match s.op {
-            ChaosOp::LossBurst { node, loss, duration } => {
+            ChaosOp::LossBurst {
+                node,
+                loss,
+                duration,
+            } => {
                 timeline.push((at, node, Act::Loss(loss)));
                 timeline.push((at + duration.as_micros() as u64, node, Act::Heal));
             }
-            ChaosOp::DuplicateStorm { node, duplicate, duration } => {
+            ChaosOp::DuplicateStorm {
+                node,
+                duplicate,
+                duration,
+            } => {
                 timeline.push((at, node, Act::Dup(duplicate)));
                 timeline.push((at + duration.as_micros() as u64, node, Act::Heal));
             }
@@ -234,23 +409,38 @@ pub fn run_with(
                 timeline.push((at, node, Act::Crash));
                 timeline.push((at + down_for.as_micros() as u64, node, Act::Restart));
             }
-            ChaosOp::DomainMove { node, domain, duration } => {
+            ChaosOp::DomainMove {
+                node,
+                domain,
+                duration,
+            } => {
                 timeline.push((at, node, Act::Domain(domain)));
                 timeline.push((at + duration.as_micros() as u64, node, Act::Domain(0)));
             }
             ChaosOp::LinkProfile { node, profile } => {
                 timeline.push((at, node, Act::Profile(profile)));
             }
+            ChaosOp::CoreCrash { down_for } => {
+                timeline.push((at, usize::MAX, Act::CoreCrash));
+                timeline.push((
+                    at + down_for.as_micros() as u64,
+                    usize::MAX,
+                    Act::CoreRestart,
+                ));
+            }
         }
     }
     timeline.sort_by_key(|&(at, node, _)| (at, node));
 
-    let mut oracle = DeliveryOracle::new(scenario.seed);
-    let mut members: HashSet<ServiceId> = HashSet::new();
     let end = scenario.duration.as_micros() as u64;
     let total = end + DRAIN_MICROS;
     let mut next_act = 0usize;
     let mut ticks = 0u64;
+    let mut core_crashed = false;
+    let mut core_recoveries = 0u64;
+    let mut recovery_micros_total = 0u64;
+    // Retransmissions of incarnations that no longer exist at run end.
+    let mut retransmits_gone = 0u64;
 
     let mut now = 0u64;
     loop {
@@ -258,37 +448,93 @@ pub fn run_with(
         while next_act < timeline.len() && timeline[next_act].0 <= now {
             let (_, node, act) = timeline[next_act].clone();
             next_act += 1;
+            match act {
+                Act::CoreCrash => {
+                    if core_crashed {
+                        continue;
+                    }
+                    oracle.record_fault(now, "core crashed");
+                    core_crashed = true;
+                    retransmits_gone += core.sink_channel.stats().retransmits
+                        + core.disco_channel.stats().retransmits;
+                    core.service.shutdown();
+                    core.sink_channel.close();
+                    continue;
+                }
+                Act::CoreRestart => {
+                    if !core_crashed {
+                        continue;
+                    }
+                    let (reborn, recovered) = boot_core(
+                        &net,
+                        &backend,
+                        &reliable,
+                        &discovery_config,
+                        &shared,
+                        Some((disco_id, sink_id)),
+                        &mut members,
+                    );
+                    core = reborn;
+                    core_crashed = false;
+                    core_recoveries += 1;
+                    recovery_micros_total += recovered.recovery_micros;
+                    oracle.record_fault(now, "core restarted");
+                    continue;
+                }
+                _ => {}
+            }
             if node >= devices.len() {
                 continue;
             }
-            apply(&net, &mut devices[node], node, &act, disco_id, sink_id, &reliable, &shared, &mut oracle, now);
+            apply(
+                &net,
+                &mut devices[node],
+                node,
+                &act,
+                disco_id,
+                sink_id,
+                &reliable,
+                &shared,
+                &mut oracle,
+                now,
+                &mut retransmits_gone,
+            );
         }
         // 2. Deliver every datagram whose deadline has passed.
         net.pump_due();
         // 3. Channels: process frames, ack, retransmit.
-        disco_channel.step();
-        sink_channel.step();
+        if !core_crashed {
+            core.disco_channel.step();
+            core.sink_channel.step();
+        }
         for dev in &devices {
             if !dev.crashed {
                 dev.channel.step();
             }
         }
         // 4. Protocol logic on top of the channels.
-        service.step();
+        if !core_crashed {
+            core.service.step();
+        }
         for dev in &devices {
             if !dev.crashed {
                 dev.agent.step();
             }
         }
         // 5. Membership transitions into the oracle (and the sink's
-        // member filter).
-        while let Ok(ev) = service.events().try_recv() {
+        // member filter). Joins and purges are journaled, mirroring the
+        // SMC core's own event path.
+        while let Ok(ev) = core.service.events().try_recv() {
             match ev {
                 MembershipEvent::Joined(info) => {
+                    let _ = core
+                        .wal
+                        .append(&WalRecord::MemberJoined { info: info.clone() });
                     members.insert(info.id);
                     oracle.record_joined(now, info.id);
                 }
                 MembershipEvent::Purged(id, _reason) => {
+                    let _ = core.wal.append(&WalRecord::MemberPurged { member: id });
                     members.remove(&id);
                     oracle.record_purged(now, id);
                 }
@@ -300,7 +546,15 @@ pub fn run_with(
                 }
             }
         }
+        // 5b. Periodic snapshot: compacts the log so recovery replays a
+        // bounded tail.
+        if !core_crashed && now > 0 && now.is_multiple_of(CHECKPOINT_MICROS) {
+            checkpoint(&core);
+        }
         // 6. Member devices publish on schedule (until the scripted end).
+        // A crashed core does not stop them: their channels queue and
+        // retransmit into the outage, which is exactly the traffic the
+        // recovered cursors must dedup.
         if now < end {
             for dev in &mut devices {
                 if dev.crashed || !dev.agent.is_member() || now < dev.next_publish {
@@ -315,9 +569,11 @@ pub fn run_with(
         }
         // 7. The sink accepts deliveries, mirroring the SMC's rule that
         // purged members' traffic is no longer served.
-        while let Ok(incoming) = sink_channel.recv(Some(Duration::ZERO)) {
+        while let Ok(incoming) = core.sink_channel.recv(Some(Duration::ZERO)) {
             if let Incoming::Reliable { from, payload } = incoming {
-                let Some(seq) = decode(&payload) else { continue };
+                let Some(seq) = decode(&payload) else {
+                    continue;
+                };
                 if members.contains(&from) {
                     oracle.record_delivery(now, from, seq);
                 } else {
@@ -333,7 +589,23 @@ pub fn run_with(
         clock.advance_micros(TICK_MICROS);
     }
 
-    RunReport { oracle, device_ids, ticks, virtual_micros: total }
+    let retransmits = retransmits_gone
+        + core.sink_channel.stats().retransmits
+        + core.disco_channel.stats().retransmits
+        + devices
+            .iter()
+            .map(|d| d.channel.stats().retransmits)
+            .sum::<u64>();
+
+    RunReport {
+        oracle,
+        device_ids,
+        ticks,
+        virtual_micros: total,
+        core_recoveries,
+        recovery_micros_total,
+        retransmits,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -348,6 +620,7 @@ fn apply(
     clock: &SharedClock,
     oracle: &mut DeliveryOracle,
     now: u64,
+    retransmits_gone: &mut u64,
 ) {
     let set_links = |link: LinkConfig| {
         net.set_link_between(dev.id, sink_id, link.clone());
@@ -397,6 +670,7 @@ fn apply(
         Act::Crash => {
             oracle.record_fault(now, format!("node{node} crashed"));
             dev.crashed = true;
+            *retransmits_gone += dev.channel.stats().retransmits;
             dev.channel.close();
         }
         Act::Restart => {
@@ -418,5 +692,8 @@ fn apply(
             dev.agent = agent;
             dev.crashed = false;
         }
+        // Core acts are handled inline by the run loop (they touch state
+        // no single device owns); reaching here is a timeline bug.
+        Act::CoreCrash | Act::CoreRestart => unreachable!("core acts routed in run loop"),
     }
 }

@@ -32,7 +32,11 @@ fn same_seed_gives_byte_identical_traces() {
 
     let other = Scenario::random(0xC0FFEE + 1, 4, secs(8), 10);
     let c = run(&other);
-    assert_ne!(a.trace_text(), c.trace_text(), "different seed should diverge");
+    assert_ne!(
+        a.trace_text(),
+        c.trace_text(),
+        "different seed should diverge"
+    );
 }
 
 /// 30 virtual seconds of chaos complete in under a wall-clock second.
@@ -58,7 +62,11 @@ fn loss_burst_family_delivers_everything() {
     for (i, at) in [800u64, 2600, 4400, 6200].iter().enumerate() {
         scenario.ops.push(ScriptedOp {
             at: millis(*at),
-            op: ChaosOp::LossBurst { node: i % 3, loss: 0.7, duration: millis(700) },
+            op: ChaosOp::LossBurst {
+                node: i % 3,
+                loss: 0.7,
+                duration: millis(700),
+            },
         });
     }
     let report = run(&scenario.sorted());
@@ -80,23 +88,35 @@ fn partition_heal_family_stays_safe() {
     // Long partition: node 0 is purged and must rejoin after the heal.
     scenario.ops.push(ScriptedOp {
         at: millis(2000),
-        op: ChaosOp::Partition { node: 0, duration: millis(3500) },
+        op: ChaosOp::Partition {
+            node: 0,
+            duration: millis(3500),
+        },
     });
     // Short partition: node 1 stays a member throughout.
     scenario.ops.push(ScriptedOp {
         at: millis(7000),
-        op: ChaosOp::Partition { node: 1, duration: millis(400) },
+        op: ChaosOp::Partition {
+            node: 1,
+            duration: millis(400),
+        },
     });
     let report = run(&scenario.sorted());
     report.assert_clean();
     let long_gone = report.device_ids[0];
-    assert!(report.was_purged(long_gone), "a 3.5s partition must purge (lease 1s + grace 1s)");
+    assert!(
+        report.was_purged(long_gone),
+        "a 3.5s partition must purge (lease 1s + grace 1s)"
+    );
     assert!(
         report.times_joined(long_gone) >= 2,
         "the purged node must be re-admitted after the heal"
     );
     let briefly_gone = report.device_ids[1];
-    assert!(!report.was_purged(briefly_gone), "a 400ms partition must be masked");
+    assert!(
+        !report.was_purged(briefly_gone),
+        "a 400ms partition must be masked"
+    );
 }
 
 /// Family 3: crash / restart. A crashed node loses its channel state,
@@ -107,11 +127,17 @@ fn crash_restart_family_stays_safe() {
     let mut scenario = Scenario::quiet(33, 3, secs(12));
     scenario.ops.push(ScriptedOp {
         at: millis(3000),
-        op: ChaosOp::Crash { node: 0, down_for: millis(2500) },
+        op: ChaosOp::Crash {
+            node: 0,
+            down_for: millis(2500),
+        },
     });
     scenario.ops.push(ScriptedOp {
         at: millis(8000),
-        op: ChaosOp::Crash { node: 2, down_for: millis(500) },
+        op: ChaosOp::Crash {
+            node: 2,
+            down_for: millis(500),
+        },
     });
     let report = run(&scenario.sorted());
     report.assert_clean();
@@ -132,7 +158,11 @@ fn duplicate_storm_family_delivers_exactly_once() {
     for at in [1000u64, 3000, 5000, 7000] {
         scenario.ops.push(ScriptedOp {
             at: millis(at),
-            op: ChaosOp::DuplicateStorm { node: (at / 3000) as usize % 3, duplicate: 0.8, duration: millis(900) },
+            op: ChaosOp::DuplicateStorm {
+                node: (at / 3000) as usize % 3,
+                duplicate: 0.8,
+                duration: millis(900),
+            },
         });
     }
     let report = run(&scenario.sorted());
@@ -149,10 +179,17 @@ fn broken_channel_config_fails_the_oracle() {
     for at in [500u64, 1500, 2500, 3500, 4500, 5500] {
         scenario.ops.push(ScriptedOp {
             at: millis(at),
-            op: ChaosOp::DuplicateStorm { node: (at as usize / 1500) % 2, duplicate: 0.9, duration: millis(900) },
+            op: ChaosOp::DuplicateStorm {
+                node: (at as usize / 1500) % 2,
+                duplicate: 0.9,
+                duration: millis(900),
+            },
         });
     }
-    let broken = ReliableConfig { dedup: false, ..ReliableConfig::default() };
+    let broken = ReliableConfig {
+        dedup: false,
+        ..ReliableConfig::default()
+    };
     let report = run_with(&scenario.sorted(), broken, smc_harness::default_discovery());
     let violation = report
         .oracle
@@ -163,10 +200,19 @@ fn broken_channel_config_fails_the_oracle() {
         ViolationKind::DuplicateDelivery | ViolationKind::FifoViolation
     ));
     assert_eq!(violation.seed, 35);
-    assert!(!violation.trace.is_empty(), "violation must carry the event trace");
+    assert!(
+        !violation.trace.is_empty(),
+        "violation must carry the event trace"
+    );
     let rendered = violation.to_string();
-    assert!(rendered.contains("seed 35"), "report must name the seed: {rendered}");
-    assert!(rendered.contains("deliver"), "report must show the trace: {rendered}");
+    assert!(
+        rendered.contains("seed 35"),
+        "report must name the seed: {rendered}"
+    );
+    assert!(
+        rendered.contains("deliver"),
+        "report must show the trace: {rendered}"
+    );
 }
 
 /// Domain moves (walking out of beacon range) and link-profile changes
@@ -176,11 +222,18 @@ fn domain_move_and_profile_change_stay_safe() {
     let mut scenario = Scenario::quiet(36, 3, secs(10));
     scenario.ops.push(ScriptedOp {
         at: millis(1500),
-        op: ChaosOp::DomainMove { node: 0, domain: 2, duration: millis(3000) },
+        op: ChaosOp::DomainMove {
+            node: 0,
+            domain: 2,
+            duration: millis(3000),
+        },
     });
     scenario.ops.push(ScriptedOp {
         at: millis(2000),
-        op: ChaosOp::LinkProfile { node: 1, profile: smc_harness::LinkProfileKind::Bluetooth },
+        op: ChaosOp::LinkProfile {
+            node: 1,
+            profile: smc_harness::LinkProfileKind::Bluetooth,
+        },
     });
     let report = run(&scenario.sorted());
     report.assert_clean();

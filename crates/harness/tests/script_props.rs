@@ -85,19 +85,35 @@ fn shrinker_minimizes_a_failing_script() {
     // deliveries on their own.
     scenario.ops.push(ScriptedOp {
         at: millis(6000),
-        op: ChaosOp::LossBurst { node: 0, loss: 0.5, duration: millis(300) },
+        op: ChaosOp::LossBurst {
+            node: 0,
+            loss: 0.5,
+            duration: millis(300),
+        },
     });
     scenario.ops.push(ScriptedOp {
         at: millis(6500),
-        op: ChaosOp::Partition { node: 1, duration: millis(200) },
+        op: ChaosOp::Partition {
+            node: 1,
+            duration: millis(200),
+        },
     });
     let scenario = scenario.sorted();
 
-    let broken = ReliableConfig { dedup: false, ..ReliableConfig::default() };
-    let fails = |s: &Scenario| {
-        run_with(s, broken.clone(), default_discovery()).oracle.violation().is_some()
+    let broken = ReliableConfig {
+        dedup: false,
+        ..ReliableConfig::default()
     };
-    assert!(fails(&scenario), "the unshrunk scenario must fail to begin with");
+    let fails = |s: &Scenario| {
+        run_with(s, broken.clone(), default_discovery())
+            .oracle
+            .violation()
+            .is_some()
+    };
+    assert!(
+        fails(&scenario),
+        "the unshrunk scenario must fail to begin with"
+    );
 
     let minimal = shrink_scenario(scenario.clone(), fails);
     assert!(fails(&minimal), "shrinking must preserve the failure");
@@ -115,9 +131,18 @@ fn shrinker_minimizes_a_failing_script() {
         "only duplicate storms can break exactly-once here, got {:?}",
         minimal.ops
     );
-    assert!(minimal.duration < scenario.duration, "the run should have been shortened");
+    assert!(
+        minimal.duration < scenario.duration,
+        "the run should have been shortened"
+    );
 
     let report = run_with(&minimal, broken, default_discovery());
-    let violation = report.oracle.violation().expect("minimal scenario still violates");
-    assert_eq!(violation.seed, 77, "the report must carry the scenario seed");
+    let violation = report
+        .oracle
+        .violation()
+        .expect("minimal scenario still violates");
+    assert_eq!(
+        violation.seed, 77,
+        "the report must carry the scenario seed"
+    );
 }

@@ -75,9 +75,7 @@ fn contradicts(a: &Constraint, b: &Constraint) -> bool {
     };
     // Interval emptiness: lower bound from one side vs upper from other.
     let empty = |l: Option<(f64, bool)>, h: Option<(f64, bool)>| match (l, h) {
-        (Some((lv, li)), Some((hv, hi_incl))) => {
-            lv > hv || (lv == hv && !(li && hi_incl))
-        }
+        (Some((lv, li)), Some((hv, hi_incl))) => lv > hv || (lv == hv && !(li && hi_incl)),
         _ => false,
     };
     if empty(lo(a, na), hi(b, nb)) || empty(lo(b, nb), hi(a, na)) {

@@ -69,7 +69,11 @@ pub enum EngineKind {
 
 impl EngineKind {
     /// All engine kinds.
-    pub const ALL: [EngineKind; 3] = [EngineKind::Naive, EngineKind::Siena, EngineKind::FastForward];
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Naive,
+        EngineKind::Siena,
+        EngineKind::FastForward,
+    ];
 
     /// Constructs a boxed engine of this kind.
     pub fn build(self) -> Box<dyn Matcher> {

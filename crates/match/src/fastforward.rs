@@ -17,8 +17,7 @@
 use std::collections::HashMap;
 
 use smc_types::{
-    AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription,
-    SubscriptionId,
+    AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription, SubscriptionId,
 };
 
 use crate::engine::Matcher;
@@ -80,7 +79,12 @@ struct ConstraintKey {
 
 fn constraint_key(c: &Constraint) -> ConstraintKey {
     let key = value_key(&c.value);
-    ConstraintKey { name: c.name.clone(), op: c.op, nan: key.is_none(), value: key }
+    ConstraintKey {
+        name: c.name.clone(),
+        op: c.op,
+        nan: key.is_none(),
+        value: key,
+    }
 }
 
 /// Per-attribute-name constraint index.
@@ -286,7 +290,10 @@ impl FastForwardEngine {
     fn intern_constraint(&mut self, c: &Constraint) -> ConstraintId {
         let key = constraint_key(c);
         if let Some(&cid) = self.constraint_lookup.get(&key) {
-            self.records[cid].as_mut().expect("looked-up constraint is live").refcount += 1;
+            self.records[cid]
+                .as_mut()
+                .expect("looked-up constraint is live")
+                .refcount += 1;
             return cid;
         }
         let cid = match self.free_records.pop() {
@@ -297,15 +304,23 @@ impl FastForwardEngine {
                 self.records.len() - 1
             }
         };
-        self.records[cid] = Some(ConstraintRecord { constraint: c.clone(), refcount: 1 });
+        self.records[cid] = Some(ConstraintRecord {
+            constraint: c.clone(),
+            refcount: 1,
+        });
         self.postings[cid].clear();
         self.constraint_lookup.insert(key, cid);
-        self.name_index.entry(c.name.clone()).or_default().insert(cid, c);
+        self.name_index
+            .entry(c.name.clone())
+            .or_default()
+            .insert(cid, c);
         cid
     }
 
     fn release_constraint(&mut self, cid: ConstraintId) {
-        let rec = self.records[cid].as_mut().expect("releasing live constraint");
+        let rec = self.records[cid]
+            .as_mut()
+            .expect("releasing live constraint");
         rec.refcount -= 1;
         if rec.refcount > 0 {
             return;
@@ -325,8 +340,11 @@ impl FastForwardEngine {
     fn intern_filter(&mut self, filter: &smc_types::Filter) -> FilterId {
         // Canonical constraint-id list: interned, sorted, de-duplicated
         // (duplicate constraints in a conjunction are redundant).
-        let mut cids: Vec<ConstraintId> =
-            filter.constraints().iter().map(|c| self.intern_constraint(c)).collect();
+        let mut cids: Vec<ConstraintId> = filter
+            .constraints()
+            .iter()
+            .map(|c| self.intern_constraint(c))
+            .collect();
         cids.sort_unstable();
         let before = cids.len();
         cids.dedup();
@@ -342,7 +360,10 @@ impl FastForwardEngine {
                 }
             }
         }
-        let key = FilterKey { event_type: filter.event_type().map(str::to_owned), constraint_ids: cids.clone() };
+        let key = FilterKey {
+            event_type: filter.event_type().map(str::to_owned),
+            constraint_ids: cids.clone(),
+        };
         if let Some(&fid) = self.filter_lookup.get(&key) {
             // The filter structure already exists; drop the refcounts we
             // just took (the entry holds its own).
@@ -468,16 +489,25 @@ impl Matcher for FastForwardEngine {
             .push((sub.id, sub.subscriber));
         self.subs.insert(
             sub.id,
-            SubRecord { subscriber: sub.subscriber, filter: sub.filter, filter_id: fid },
+            SubRecord {
+                subscriber: sub.subscriber,
+                filter: sub.filter,
+                filter_id: fid,
+            },
         );
         Ok(())
     }
 
     fn unsubscribe(&mut self, id: SubscriptionId) -> Result<Subscription> {
-        let rec = self.subs.remove(&id).ok_or_else(|| Error::NotFound(id.to_string()))?;
+        let rec = self
+            .subs
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(id.to_string()))?;
         let fid = rec.filter_id;
         let empty = {
-            let entry = self.filters[fid].as_mut().expect("subscribed filter is live");
+            let entry = self.filters[fid]
+                .as_mut()
+                .expect("subscribed filter is live");
             entry.subs.retain(|&(s, _)| s != id);
             entry.subs.is_empty()
         };
@@ -543,7 +573,9 @@ mod tests {
         m.subscribe(sub(
             1,
             10,
-            Filter::any().with(("a", Op::Gt, 5i64)).with(("b", Op::Lt, 3i64)),
+            Filter::any()
+                .with(("a", Op::Gt, 5i64))
+                .with(("b", Op::Lt, 3i64)),
         ))
         .unwrap();
         let half = Event::builder("t").attr("a", 10i64).build();
@@ -557,20 +589,34 @@ mod tests {
     #[test]
     fn range_boundaries() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 5i64)))).unwrap();
-        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Ge, 5i64)))).unwrap();
-        m.subscribe(sub(3, 3, Filter::any().with(("x", Op::Lt, 5i64)))).unwrap();
-        m.subscribe(sub(4, 4, Filter::any().with(("x", Op::Le, 5i64)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 5i64))))
+            .unwrap();
+        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Ge, 5i64))))
+            .unwrap();
+        m.subscribe(sub(3, 3, Filter::any().with(("x", Op::Lt, 5i64))))
+            .unwrap();
+        m.subscribe(sub(4, 4, Filter::any().with(("x", Op::Le, 5i64))))
+            .unwrap();
         let at = |v: i64| Event::builder("t").attr("x", v).build();
-        assert_eq!(m.matching_subscriptions(&at(5)), vec![SubscriptionId(2), SubscriptionId(4)]);
-        assert_eq!(m.matching_subscriptions(&at(6)), vec![SubscriptionId(1), SubscriptionId(2)]);
-        assert_eq!(m.matching_subscriptions(&at(4)), vec![SubscriptionId(3), SubscriptionId(4)]);
+        assert_eq!(
+            m.matching_subscriptions(&at(5)),
+            vec![SubscriptionId(2), SubscriptionId(4)]
+        );
+        assert_eq!(
+            m.matching_subscriptions(&at(6)),
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
+        assert_eq!(
+            m.matching_subscriptions(&at(4)),
+            vec![SubscriptionId(3), SubscriptionId(4)]
+        );
     }
 
     #[test]
     fn eq_cross_numeric() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, 5i64)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, 5i64))))
+            .unwrap();
         let d = Event::builder("t").attr("x", 5.0f64).build();
         assert_eq!(m.matching_subscriptions(&d).len(), 1);
         let near = Event::builder("t").attr("x", 5.1f64).build();
@@ -580,7 +626,8 @@ mod tests {
     #[test]
     fn negative_zero_equals_zero() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, 0i64)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, 0i64))))
+            .unwrap();
         let nz = Event::builder("t").attr("x", -0.0f64).build();
         assert_eq!(m.matching_subscriptions(&nz).len(), 1);
     }
@@ -594,13 +641,17 @@ mod tests {
             m.matching_subscriptions(&Event::new("a")),
             vec![SubscriptionId(1), SubscriptionId(2)]
         );
-        assert_eq!(m.matching_subscriptions(&Event::new("b")), vec![SubscriptionId(2)]);
+        assert_eq!(
+            m.matching_subscriptions(&Event::new("b")),
+            vec![SubscriptionId(2)]
+        );
     }
 
     #[test]
     fn typed_counted_filter_checks_type() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::for_type("a").with(("x", Op::Gt, 0i64)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::for_type("a").with(("x", Op::Gt, 0i64))))
+            .unwrap();
         let wrong_type = Event::builder("b").attr("x", 5i64).build();
         assert!(m.matching_subscriptions(&wrong_type).is_empty());
         let right = Event::builder("a").attr("x", 5i64).build();
@@ -630,7 +681,9 @@ mod tests {
     #[test]
     fn duplicate_constraint_in_filter_fires() {
         let mut m = FastForwardEngine::new();
-        let f = Filter::any().with(("x", Op::Gt, 0i64)).with(("x", Op::Gt, 0i64));
+        let f = Filter::any()
+            .with(("x", Op::Gt, 0i64))
+            .with(("x", Op::Gt, 0i64));
         m.subscribe(sub(1, 1, f)).unwrap();
         let e = Event::builder("t").attr("x", 1i64).build();
         assert_eq!(m.matching_subscriptions(&e), vec![SubscriptionId(1)]);
@@ -641,11 +694,14 @@ mod tests {
     #[test]
     fn shared_constraints_across_filters() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 5i64)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 5i64))))
+            .unwrap();
         m.subscribe(sub(
             2,
             2,
-            Filter::any().with(("x", Op::Gt, 5i64)).with(("y", Op::Eq, "q")),
+            Filter::any()
+                .with(("x", Op::Gt, 5i64))
+                .with(("y", Op::Eq, "q")),
         ))
         .unwrap();
         assert_eq!(m.constraint_lookup.len(), 2);
@@ -664,21 +720,30 @@ mod tests {
     #[test]
     fn string_and_misc_ops() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("s", Op::Prefix, "heart")))).unwrap();
-        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Ne, 5i64)))).unwrap();
-        let e = Event::builder("t").attr("s", "heart-rate").attr("x", 6i64).build();
+        m.subscribe(sub(1, 1, Filter::any().with(("s", Op::Prefix, "heart"))))
+            .unwrap();
+        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Ne, 5i64))))
+            .unwrap();
+        let e = Event::builder("t")
+            .attr("s", "heart-rate")
+            .attr("x", 6i64)
+            .build();
         assert_eq!(
             m.matching_subscriptions(&e),
             vec![SubscriptionId(1), SubscriptionId(2)]
         );
-        let e2 = Event::builder("t").attr("s", "rate").attr("x", 5i64).build();
+        let e2 = Event::builder("t")
+            .attr("s", "rate")
+            .attr("x", 5i64)
+            .build();
         assert!(m.matching_subscriptions(&e2).is_empty());
     }
 
     #[test]
     fn eq_nan_never_fires() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, f64::NAN)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Eq, f64::NAN))))
+            .unwrap();
         let e = Event::builder("t").attr("x", f64::NAN).build();
         assert!(m.matching_subscriptions(&e).is_empty());
         m.unsubscribe(SubscriptionId(1)).unwrap();
@@ -688,8 +753,10 @@ mod tests {
     #[test]
     fn nan_event_value_matches_nothing_numeric() {
         let mut m = FastForwardEngine::new();
-        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 0i64)))).unwrap();
-        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Exists, 0i64)))).unwrap();
+        m.subscribe(sub(1, 1, Filter::any().with(("x", Op::Gt, 0i64))))
+            .unwrap();
+        m.subscribe(sub(2, 2, Filter::any().with(("x", Op::Exists, 0i64))))
+            .unwrap();
         let e = Event::builder("t").attr("x", f64::NAN).build();
         // Exists still fires; the range does not.
         assert_eq!(m.matching_subscriptions(&e), vec![SubscriptionId(2)]);
@@ -699,7 +766,8 @@ mod tests {
     fn unsubscribe_reuses_slots() {
         let mut m = FastForwardEngine::new();
         for i in 0..10u64 {
-            m.subscribe(sub(i, i, Filter::any().with(("x", Op::Gt, i as i64)))).unwrap();
+            m.subscribe(sub(i, i, Filter::any().with(("x", Op::Gt, i as i64))))
+                .unwrap();
         }
         for i in 0..10u64 {
             m.unsubscribe(SubscriptionId(i)).unwrap();
@@ -708,7 +776,8 @@ mod tests {
         assert_eq!(m.constraint_lookup.len(), 0);
         // Slots get reused rather than leaking.
         let before = m.records.len();
-        m.subscribe(sub(99, 1, Filter::any().with(("x", Op::Gt, 1i64)))).unwrap();
+        m.subscribe(sub(99, 1, Filter::any().with(("x", Op::Gt, 1i64))))
+            .unwrap();
         assert_eq!(m.records.len(), before);
     }
 }

@@ -106,7 +106,10 @@ mod tests {
     #[test]
     fn unknown_unsubscribe_errors() {
         let mut m = NaiveEngine::new();
-        assert!(matches!(m.unsubscribe(SubscriptionId(9)), Err(Error::NotFound(_))));
+        assert!(matches!(
+            m.unsubscribe(SubscriptionId(9)),
+            Err(Error::NotFound(_))
+        ));
     }
 
     #[test]
@@ -122,7 +125,8 @@ mod tests {
     #[test]
     fn content_filtering() {
         let mut m = NaiveEngine::new();
-        m.subscribe(sub(1, 10, Filter::any().with(("bpm", Op::Gt, 120i64)))).unwrap();
+        m.subscribe(sub(1, 10, Filter::any().with(("bpm", Op::Gt, 120i64))))
+            .unwrap();
         let calm = Event::builder("r").attr("bpm", 60i64).build();
         let racing = Event::builder("r").attr("bpm", 150i64).build();
         assert!(m.matching_subscriptions(&calm).is_empty());

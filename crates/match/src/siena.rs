@@ -20,8 +20,7 @@ use std::collections::HashMap;
 
 use smc_types::codec::{from_bytes, to_bytes};
 use smc_types::{
-    AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription,
-    SubscriptionId,
+    AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription, SubscriptionId,
 };
 
 use crate::engine::Matcher;
@@ -53,7 +52,10 @@ impl SienaNotification {
         let event: Event = from_bytes(&wire).expect("event round-trips through own codec");
 
         let mut attrs = Vec::with_capacity(event.attributes().len() + 2);
-        attrs.push((TYPE_ATTR.to_owned(), AttributeValue::Str(event.event_type().to_owned())));
+        attrs.push((
+            TYPE_ATTR.to_owned(),
+            AttributeValue::Str(event.event_type().to_owned()),
+        ));
         for (name, value) in event.attributes().iter() {
             attrs.push((name.to_owned(), value.clone()));
         }
@@ -175,7 +177,10 @@ impl Matcher for SienaEngine {
     }
 
     fn unsubscribe(&mut self, id: SubscriptionId) -> Result<Subscription> {
-        let entry = self.entries.remove(&id).ok_or_else(|| Error::NotFound(id.to_string()))?;
+        let entry = self
+            .entries
+            .remove(&id)
+            .ok_or_else(|| Error::NotFound(id.to_string()))?;
         match &entry.type_key {
             Some(t) => {
                 if let Some(list) = self.by_type.get_mut(t) {
@@ -246,7 +251,10 @@ mod tests {
         m.subscribe(sub(1, 10, Filter::for_type("a"))).unwrap();
         m.subscribe(sub(2, 11, Filter::any())).unwrap();
         let e = Event::new("a");
-        assert_eq!(m.matching_subscriptions(&e), vec![SubscriptionId(1), SubscriptionId(2)]);
+        assert_eq!(
+            m.matching_subscriptions(&e),
+            vec![SubscriptionId(1), SubscriptionId(2)]
+        );
         let f = Event::new("zzz");
         assert_eq!(m.matching_subscriptions(&f), vec![SubscriptionId(2)]);
     }
@@ -254,8 +262,12 @@ mod tests {
     #[test]
     fn content_constraints_apply() {
         let mut m = SienaEngine::new();
-        m.subscribe(sub(1, 10, Filter::for_type("r").with(("bpm", Op::Gt, 120i64))))
-            .unwrap();
+        m.subscribe(sub(
+            1,
+            10,
+            Filter::for_type("r").with(("bpm", Op::Gt, 120i64)),
+        ))
+        .unwrap();
         let calm = Event::builder("r").attr("bpm", 60i64).build();
         let racing = Event::builder("r").attr("bpm", 150i64).build();
         assert!(m.matching_subscriptions(&calm).is_empty());

@@ -240,61 +240,103 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position,
+                });
                 i += 1;
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Token { kind: TokenKind::AndAnd, position });
+                    tokens.push(Token {
+                        kind: TokenKind::AndAnd,
+                        position,
+                    });
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected '&&'".into(), position });
+                    return Err(ParseError {
+                        message: "expected '&&'".into(),
+                        position,
+                    });
                 }
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Token { kind: TokenKind::OrOr, position });
+                    tokens.push(Token {
+                        kind: TokenKind::OrOr,
+                        position,
+                    });
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected '||'".into(), position });
+                    return Err(ParseError {
+                        message: "expected '||'".into(),
+                        position,
+                    });
                 }
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ne), position });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Ne),
+                        position,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Bang, position });
+                    tokens.push(Token {
+                        kind: TokenKind::Bang,
+                        position,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Eq), position });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Eq),
+                        position,
+                    });
                     i += 2;
                 } else {
-                    return Err(ParseError { message: "expected '=='".into(), position });
+                    return Err(ParseError {
+                        message: "expected '=='".into(),
+                        position,
+                    });
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Le), position });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Le),
+                        position,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Lt), position });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Lt),
+                        position,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ge), position });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Ge),
+                        position,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Gt), position });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Gt),
+                        position,
+                    });
                     i += 1;
                 }
             }
@@ -324,9 +366,15 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     }
                 }
                 if !closed {
-                    return Err(ParseError { message: "unterminated string".into(), position });
+                    return Err(ParseError {
+                        message: "unterminated string".into(),
+                        position,
+                    });
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), position });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    position,
+                });
                 i = j + 1;
             }
             c if c.is_ascii_digit() || c == '-' => {
@@ -418,7 +466,10 @@ impl Parser {
             self.pos += 1;
             Ok(())
         } else {
-            Err(ParseError { message: format!("expected {what}"), position: self.position() })
+            Err(ParseError {
+                message: format!("expected {what}"),
+                position: self.position(),
+            })
         }
     }
 
@@ -594,8 +645,20 @@ mod tests {
 
     #[test]
     fn parse_errors_are_reported() {
-        for bad in ["bpm >", "&& x", "bpm > 5 &&", "(bpm > 5", "bpm = 5", "a & b", "a | b",
-                    "\"unterminated", "exists bpm", "exists(5)", "5..5 > 1", "a @ b"] {
+        for bad in [
+            "bpm >",
+            "&& x",
+            "bpm > 5 &&",
+            "(bpm > 5",
+            "bpm = 5",
+            "a & b",
+            "a | b",
+            "\"unterminated",
+            "exists bpm",
+            "exists(5)",
+            "5..5 > 1",
+            "a @ b",
+        ] {
             assert!(Expr::parse(bad).is_err(), "'{bad}' should not parse");
         }
     }
@@ -628,7 +691,11 @@ mod tests {
 
     #[test]
     fn dotted_attribute_names() {
-        let event = Event::builder("r").attr("member.device_type", "sensor.hr").build();
-        assert!(Expr::parse("member.device_type == \"sensor.hr\"").unwrap().eval(&event));
+        let event = Event::builder("r")
+            .attr("member.device_type", "sensor.hr")
+            .build();
+        assert!(Expr::parse("member.device_type == \"sensor.hr\"")
+            .unwrap()
+            .eval(&event));
     }
 }

@@ -102,7 +102,10 @@ pub fn parse_policies(input: &str) -> Result<Vec<Policy>> {
                 policies.push(parse_oblig(lineno + 1, id, &body)?);
             }
             Some(other) => {
-                return Err(err(lineno + 1, &format!("expected 'auth' or 'oblig', got '{other}'")))
+                return Err(err(
+                    lineno + 1,
+                    &format!("expected 'auth' or 'oblig', got '{other}'"),
+                ))
             }
             None => {}
         }
@@ -155,7 +158,9 @@ fn parse_auth(lineno: usize, line: &str) -> Result<Policy> {
     if w.next() != Some("role") {
         return Err(err(lineno, "expected 'role' in auth body"));
     }
-    let role = w.next().ok_or_else(|| err(lineno, "expected a role name"))?;
+    let role = w
+        .next()
+        .ok_or_else(|| err(lineno, "expected a role name"))?;
     if w.next() != Some("can") {
         return Err(err(lineno, "expected 'can'"));
     }
@@ -164,7 +169,10 @@ fn parse_auth(lineno: usize, line: &str) -> Result<Policy> {
         Some("subscribe") => ActionClass::Subscribe,
         Some("command") => ActionClass::Command,
         other => {
-            return Err(err(lineno, &format!("expected publish|subscribe|command, got {other:?}")))
+            return Err(err(
+                lineno,
+                &format!("expected publish|subscribe|command, got {other:?}"),
+            ))
         }
     };
     if w.next() != Some("on") {
@@ -173,7 +181,13 @@ fn parse_auth(lineno: usize, line: &str) -> Result<Policy> {
     let rest: String = w.collect::<Vec<_>>().join(" ");
     let resource = unquote(&rest).ok_or_else(|| err(lineno, "expected a quoted resource"))?;
 
-    let policy = AuthorisationPolicy { id: id.into(), permit, role: role.into(), action, resource };
+    let policy = AuthorisationPolicy {
+        id: id.into(),
+        permit,
+        role: role.into(),
+        action,
+        resource,
+    };
     Ok(Policy::Authorisation(policy))
 }
 
@@ -202,9 +216,7 @@ fn parse_oblig(header_line: usize, id: &str, body: &[(usize, String)]) -> Result
                 if condition.is_some() {
                     return Err(err(*lineno, "duplicate 'when' clause"));
                 }
-                condition = Some(
-                    Expr::parse(rest).map_err(|e| err(*lineno, &e.to_string()))?,
-                );
+                condition = Some(Expr::parse(rest).map_err(|e| err(*lineno, &e.to_string()))?);
             }
             "do" => actions.push(parse_action(*lineno, rest)?),
             other => return Err(err(*lineno, &format!("unknown clause '{other}'"))),
@@ -212,7 +224,10 @@ fn parse_oblig(header_line: usize, id: &str, body: &[(usize, String)]) -> Result
     }
     let filter = filter.ok_or_else(|| err(header_line, "oblig block needs an 'on' clause"))?;
     if actions.is_empty() {
-        return Err(err(header_line, "oblig block needs at least one 'do' clause"));
+        return Err(err(
+            header_line,
+            "oblig block needs at least one 'do' clause",
+        ));
     }
     let mut policy = ObligationPolicy::new(id, filter);
     policy.condition = condition;
@@ -267,8 +282,7 @@ fn parse_action(lineno: usize, text: &str) -> Result<ActionSpec> {
         "enable" => Ok(ActionSpec::EnablePolicy(expect_ident(lineno, rest)?)),
         "disable" => Ok(ActionSpec::DisablePolicy(expect_ident(lineno, rest)?)),
         "log" => {
-            let message =
-                unquote(rest).ok_or_else(|| err(lineno, "log needs a quoted message"))?;
+            let message = unquote(rest).ok_or_else(|| err(lineno, "log needs a quoted message"))?;
             Ok(ActionSpec::Log(message))
         }
         other => Err(err(lineno, &format!("unknown action '{other}'"))),
@@ -346,7 +360,6 @@ fn parse_literal(lineno: usize, text: &str) -> Result<AttributeValue> {
     Err(err(lineno, &format!("cannot parse value '{text}'")))
 }
 
-
 /// Renders policies back into the textual language.
 ///
 /// `parse_policies(&write_policies(&ps))` reconstructs the same policies
@@ -386,8 +399,7 @@ fn write_filter(filter: &smc_types::Filter) -> String {
     let mut out = filter.event_type().unwrap_or("*").to_owned();
     if !filter.constraints().is_empty() {
         out.push_str(" : ");
-        let parts: Vec<String> =
-            filter.constraints().iter().map(write_constraint).collect();
+        let parts: Vec<String> = filter.constraints().iter().map(write_constraint).collect();
         out.push_str(&parts.join(" && "));
     }
     out
@@ -444,11 +456,19 @@ fn write_action(action: &ActionSpec) -> String {
                 format!("publish {event_type} {}", write_assignments(attrs))
             }
         }
-        ActionSpec::SendCommand { target_device_type, name, args, .. } => {
+        ActionSpec::SendCommand {
+            target_device_type,
+            name,
+            args,
+            ..
+        } => {
             if args.is_empty() {
                 format!("command \"{target_device_type}\" {name}")
             } else {
-                format!("command \"{target_device_type}\" {name} {}", write_assignments(args))
+                format!(
+                    "command \"{target_device_type}\" {name} {}",
+                    write_assignments(args)
+                )
             }
         }
         ActionSpec::EnablePolicy(id) => format!("enable {id}"),
@@ -496,12 +516,16 @@ mod tests {
     #[test]
     fn auth_semantics() {
         let policies = parse_policies(DOC).unwrap();
-        let Policy::Authorisation(p) = &policies[0] else { panic!("auth expected") };
+        let Policy::Authorisation(p) = &policies[0] else {
+            panic!("auth expected")
+        };
         assert!(p.permit);
         assert_eq!(p.role, "sensor");
         assert_eq!(p.action, ActionClass::Publish);
         assert!(p.applies_to("sensor", ActionClass::Publish, "smc.sensor.reading"));
-        let Policy::Authorisation(d) = &policies[1] else { panic!("auth expected") };
+        let Policy::Authorisation(d) = &policies[1] else {
+            panic!("auth expected")
+        };
         assert!(!d.permit);
         assert!(d.applies_to("anyone", ActionClass::Command, "defibrillate"));
     }
@@ -509,7 +533,9 @@ mod tests {
     #[test]
     fn oblig_semantics() {
         let policies = parse_policies(DOC).unwrap();
-        let Policy::Obligation(p) = &policies[2] else { panic!("oblig expected") };
+        let Policy::Obligation(p) = &policies[2] else {
+            panic!("oblig expected")
+        };
         assert_eq!(p.actions.len(), 5);
         let racing = Event::builder("smc.sensor.reading")
             .attr("sensor", "heart-rate")
@@ -535,7 +561,12 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         match &p.actions[1] {
-            ActionSpec::SendCommand { target_device_type, name, args, .. } => {
+            ActionSpec::SendCommand {
+                target_device_type,
+                name,
+                args,
+                ..
+            } => {
                 assert_eq!(target_device_type, "actuator.*");
                 assert_eq!(name, "adjust");
                 assert_eq!(args.len(), 2);
@@ -551,7 +582,9 @@ mod tests {
     #[test]
     fn unconditional_oblig_has_no_condition() {
         let policies = parse_policies(DOC).unwrap();
-        let Policy::Obligation(p) = &policies[3] else { panic!() };
+        let Policy::Obligation(p) = &policies[3] else {
+            panic!()
+        };
         assert!(p.condition.is_none());
         assert_eq!(p.event, Filter::for_type("smc.member.new"));
     }
@@ -565,7 +598,9 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let Policy::Obligation(p) = &policies[0] else { panic!() };
+        let Policy::Obligation(p) = &policies[0] else {
+            panic!()
+        };
         assert_eq!(p.actions[0], ActionSpec::Log("issue #42".into()));
     }
 
@@ -578,8 +613,12 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let Policy::Obligation(p) = &policies[0] else { panic!() };
-        let ActionSpec::PublishEvent { attrs, .. } = &p.actions[0] else { panic!() };
+        let Policy::Obligation(p) = &policies[0] else {
+            panic!()
+        };
+        let ActionSpec::PublishEvent { attrs, .. } = &p.actions[0] else {
+            panic!()
+        };
         assert_eq!(attrs.len(), 5);
         assert_eq!(attrs[3].1, ValueTemplate::Literal("s, with comma".into()));
         assert_eq!(attrs[4].1, ValueTemplate::FromEvent("src".into()));
@@ -590,19 +629,31 @@ mod tests {
         for (src, needle) in [
             ("bogus top level", "line 1"),
             ("auth permit x role y", "line 1"),
-            ("auth maybe x { role y can publish on \"z\" }", "permit|deny"),
+            (
+                "auth maybe x { role y can publish on \"z\" }",
+                "permit|deny",
+            ),
             ("oblig x {\n on *\n", "unterminated"),
             ("oblig x {\n do log \"y\"\n}", "'on' clause"),
             ("oblig x {\n on *\n}", "'do' clause"),
             ("oblig x {\n on *\n do fly away\n}", "unknown action"),
             ("oblig x {\n on *\n when ???\n do log \"y\"\n}", "line 3"),
             ("oblig x {\n on bad type!\n do log \"y\"\n}", "line 2"),
-            ("oblig x {\n on *\n do publish t a == 1\n}", "cannot parse value"),
-            ("oblig x {\n on *\n do publish t justaword\n}", "name = value"),
+            (
+                "oblig x {\n on *\n do publish t a == 1\n}",
+                "cannot parse value",
+            ),
+            (
+                "oblig x {\n on *\n do publish t justaword\n}",
+                "name = value",
+            ),
         ] {
             let e = parse_policies(src).expect_err(src);
             let msg = e.to_string();
-            assert!(msg.contains(needle), "'{src}' gave '{msg}', wanted '{needle}'");
+            assert!(
+                msg.contains(needle),
+                "'{src}' gave '{msg}', wanted '{needle}'"
+            );
         }
     }
 
@@ -639,7 +690,9 @@ mod tests {
             }"#,
         )
         .unwrap();
-        let Policy::Obligation(p) = &policies[0] else { panic!() };
+        let Policy::Obligation(p) = &policies[0] else {
+            panic!()
+        };
         assert_eq!(p.event.constraints().len(), 2);
         assert_eq!(p.event.constraints()[1].op, Op::Lt);
     }

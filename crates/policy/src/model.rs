@@ -104,7 +104,10 @@ impl AuthorisationPolicy {
         action: ActionClass,
         resource: impl Into<String>,
     ) -> Self {
-        AuthorisationPolicy { permit: false, ..AuthorisationPolicy::permit(id, role, action, resource) }
+        AuthorisationPolicy {
+            permit: false,
+            ..AuthorisationPolicy::permit(id, role, action, resource)
+        }
     }
 
     /// Returns `true` if this policy speaks to the given request.
@@ -186,7 +189,12 @@ pub struct ObligationPolicy {
 impl ObligationPolicy {
     /// Creates an obligation policy.
     pub fn new(id: impl Into<String>, event: Filter) -> Self {
-        ObligationPolicy { id: id.into(), event, condition: None, actions: Vec::new() }
+        ObligationPolicy {
+            id: id.into(),
+            event,
+            condition: None,
+            actions: Vec::new(),
+        }
     }
 
     /// Sets the condition (builder style).
@@ -203,8 +211,7 @@ impl ObligationPolicy {
 
     /// Returns `true` if the policy fires for `event`.
     pub fn triggers_on(&self, event: &Event) -> bool {
-        self.event.matches(event)
-            && self.condition.as_ref().is_none_or(|c| c.eval(event))
+        self.event.matches(event) && self.condition.as_ref().is_none_or(|c| c.eval(event))
     }
 }
 
@@ -249,7 +256,10 @@ impl Decode for ValueTemplate {
         match r.u8()? {
             0 => Ok(ValueTemplate::Literal(AttributeValue::decode(r)?)),
             1 => Ok(ValueTemplate::FromEvent(r.str()?)),
-            t => Err(CodecError::BadTag { what: "value template", tag: t }),
+            t => Err(CodecError::BadTag {
+                what: "value template",
+                tag: t,
+            }),
         }
     }
 }
@@ -281,7 +291,12 @@ impl Encode for ActionSpec {
                 buf.put_str(event_type);
                 encode_templates(attrs, buf);
             }
-            ActionSpec::SendCommand { target, target_device_type, name, args } => {
+            ActionSpec::SendCommand {
+                target,
+                target_device_type,
+                name,
+                args,
+            } => {
                 buf.put_u8(1);
                 match target {
                     Some(id) => {
@@ -313,9 +328,16 @@ impl Encode for ActionSpec {
 impl Decode for ActionSpec {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         match r.u8()? {
-            0 => Ok(ActionSpec::PublishEvent { event_type: r.str()?, attrs: decode_templates(r)? }),
+            0 => Ok(ActionSpec::PublishEvent {
+                event_type: r.str()?,
+                attrs: decode_templates(r)?,
+            }),
             1 => {
-                let target = if r.bool()? { Some(ServiceId::decode(r)?) } else { None };
+                let target = if r.bool()? {
+                    Some(ServiceId::decode(r)?)
+                } else {
+                    None
+                };
                 Ok(ActionSpec::SendCommand {
                     target,
                     target_device_type: r.str()?,
@@ -326,7 +348,10 @@ impl Decode for ActionSpec {
             2 => Ok(ActionSpec::EnablePolicy(r.str()?)),
             3 => Ok(ActionSpec::DisablePolicy(r.str()?)),
             4 => Ok(ActionSpec::Log(r.str()?)),
-            t => Err(CodecError::BadTag { what: "action spec", tag: t }),
+            t => Err(CodecError::BadTag {
+                what: "action spec",
+                tag: t,
+            }),
         }
     }
 }
@@ -372,10 +397,18 @@ impl Decode for Policy {
                 let permit = r.bool()?;
                 let role = r.str()?;
                 let tag = r.u8()?;
-                let action = ActionClass::from_tag(tag)
-                    .ok_or(CodecError::BadTag { what: "action class", tag })?;
+                let action = ActionClass::from_tag(tag).ok_or(CodecError::BadTag {
+                    what: "action class",
+                    tag,
+                })?;
                 let resource = r.str()?;
-                Ok(Policy::Authorisation(AuthorisationPolicy { id, permit, role, action, resource }))
+                Ok(Policy::Authorisation(AuthorisationPolicy {
+                    id,
+                    permit,
+                    role,
+                    action,
+                    resource,
+                }))
             }
             1 => {
                 let id = r.str()?;
@@ -391,9 +424,17 @@ impl Decode for Policy {
                 for _ in 0..n {
                     actions.push(ActionSpec::decode(r)?);
                 }
-                Ok(Policy::Obligation(ObligationPolicy { id, event, condition, actions }))
+                Ok(Policy::Obligation(ObligationPolicy {
+                    id,
+                    event,
+                    condition,
+                    actions,
+                }))
             }
-            t => Err(CodecError::BadTag { what: "policy", tag: t }),
+            t => Err(CodecError::BadTag {
+                what: "policy",
+                tag: t,
+            }),
         }
     }
 }
@@ -461,9 +502,18 @@ mod tests {
         .when(Expr::parse("bpm > 120").unwrap())
         .then(ActionSpec::Log("tachycardia detected".into()));
 
-        let quiet = Event::builder("smc.sensor.reading").attr("sensor", "hr").attr("bpm", 60i64).build();
-        let racing = Event::builder("smc.sensor.reading").attr("sensor", "hr").attr("bpm", 140i64).build();
-        let other = Event::builder("smc.sensor.reading").attr("sensor", "bp").attr("bpm", 140i64).build();
+        let quiet = Event::builder("smc.sensor.reading")
+            .attr("sensor", "hr")
+            .attr("bpm", 60i64)
+            .build();
+        let racing = Event::builder("smc.sensor.reading")
+            .attr("sensor", "hr")
+            .attr("bpm", 140i64)
+            .build();
+        let other = Event::builder("smc.sensor.reading")
+            .attr("sensor", "bp")
+            .attr("bpm", 140i64)
+            .build();
         assert!(!p.triggers_on(&quiet));
         assert!(p.triggers_on(&racing));
         assert!(!p.triggers_on(&other));
@@ -515,13 +565,18 @@ mod tests {
                 target: None,
                 target_device_type: "actuator.o2*".into(),
                 name: "increase-flow".into(),
-                args: vec![("step".into(), ValueTemplate::Literal(AttributeValue::Int(1)))],
+                args: vec![(
+                    "step".into(),
+                    ValueTemplate::Literal(AttributeValue::Int(1)),
+                )],
             })
             .then(ActionSpec::EnablePolicy("escalation".into()))
             .then(ActionSpec::DisablePolicy("routine".into()))
             .then(ActionSpec::Log("hypoxia handled".into())),
         );
-        let set = PolicySet { policies: vec![auth, obligation] };
+        let set = PolicySet {
+            policies: vec![auth, obligation],
+        };
         let bytes = to_bytes(&set);
         let back: PolicySet = from_bytes(&bytes).unwrap();
         assert_eq!(back, set);
@@ -529,7 +584,12 @@ mod tests {
 
     #[test]
     fn policy_id_accessor() {
-        let p = Policy::Authorisation(AuthorisationPolicy::permit("a", "*", ActionClass::Publish, "*"));
+        let p = Policy::Authorisation(AuthorisationPolicy::permit(
+            "a",
+            "*",
+            ActionClass::Publish,
+            "*",
+        ));
         assert_eq!(p.id(), "a");
         let o = Policy::Obligation(ObligationPolicy::new("b", Filter::any()));
         assert_eq!(o.id(), "b");

@@ -98,7 +98,13 @@ impl PolicyService {
         if st.policies.contains_key(&id) {
             return Err(Error::AlreadyExists(id));
         }
-        st.policies.insert(id, Stored { policy, enabled: true });
+        st.policies.insert(
+            id,
+            Stored {
+                policy,
+                enabled: true,
+            },
+        );
         Ok(())
     }
 
@@ -146,7 +152,11 @@ impl PolicyService {
 
     /// Returns `true` if the policy exists and is enabled.
     pub fn is_enabled(&self, id: &str) -> bool {
-        self.state.read().policies.get(id).is_some_and(|s| s.enabled)
+        self.state
+            .read()
+            .policies
+            .get(id)
+            .is_some_and(|s| s.enabled)
     }
 
     /// Number of stored policies.
@@ -212,13 +222,13 @@ impl PolicyService {
                         return None;
                     }
                     match &stored.policy {
-                        Policy::Obligation(p) if p.triggers_on(event) => Some(
-                            p.actions.iter().map(|a| FiredAction {
+                        Policy::Obligation(p) if p.triggers_on(event) => {
+                            Some(p.actions.iter().map(|a| FiredAction {
                                 policy_id: p.id.clone(),
                                 action: a.clone(),
                                 trigger: event.clone(),
-                            }),
-                        ),
+                            }))
+                        }
                         _ => None,
                     }
                 })
@@ -253,7 +263,10 @@ impl PolicyService {
         device_type_pattern: impl Into<String>,
         policy_ids: Vec<String>,
     ) {
-        self.state.write().deployments.push((device_type_pattern.into(), policy_ids));
+        self.state
+            .write()
+            .deployments
+            .push((device_type_pattern.into(), policy_ids));
     }
 
     /// The policy bundle to deploy to a joining device of `device_type`.
@@ -338,7 +351,10 @@ mod tests {
     use smc_types::{Filter, Op};
 
     fn hr_event(bpm: i64) -> Event {
-        Event::builder("smc.sensor.reading").attr("sensor", "hr").attr("bpm", bpm).build()
+        Event::builder("smc.sensor.reading")
+            .attr("sensor", "hr")
+            .attr("bpm", bpm)
+            .build()
     }
 
     fn tachycardia_policy() -> Policy {
@@ -348,7 +364,10 @@ mod tests {
                 Filter::for_type("smc.sensor.reading").with(("sensor", Op::Eq, "hr")),
             )
             .when(Expr::parse("bpm > 120").unwrap())
-            .then(ActionSpec::PublishEvent { event_type: "smc.alarm".into(), attrs: vec![] }),
+            .then(ActionSpec::PublishEvent {
+                event_type: "smc.alarm".into(),
+                attrs: vec![],
+            }),
         )
     }
 
@@ -356,7 +375,10 @@ mod tests {
     fn add_remove_enable_disable() {
         let s = PolicyService::new();
         s.add(tachycardia_policy()).unwrap();
-        assert!(matches!(s.add(tachycardia_policy()), Err(Error::AlreadyExists(_))));
+        assert!(matches!(
+            s.add(tachycardia_policy()),
+            Err(Error::AlreadyExists(_))
+        ));
         assert_eq!(s.len(), 1);
         assert!(s.is_enabled("tachy"));
         s.disable("tachy").unwrap();
@@ -390,8 +412,14 @@ mod tests {
             "*",
         )))
         .unwrap();
-        assert_eq!(s.check("sensor", ActionClass::Publish, "smc.x"), Decision::Permit);
-        assert_eq!(s.check("nurse", ActionClass::Publish, "smc.x"), Decision::NotApplicable);
+        assert_eq!(
+            s.check("sensor", ActionClass::Publish, "smc.x"),
+            Decision::Permit
+        );
+        assert_eq!(
+            s.check("nurse", ActionClass::Publish, "smc.x"),
+            Decision::NotApplicable
+        );
         s.add(Policy::Authorisation(AuthorisationPolicy::deny(
             "d",
             "*",
@@ -399,11 +427,20 @@ mod tests {
             "smc.x",
         )))
         .unwrap();
-        assert_eq!(s.check("sensor", ActionClass::Publish, "smc.x"), Decision::Deny);
-        assert_eq!(s.check("sensor", ActionClass::Publish, "smc.y"), Decision::Permit);
+        assert_eq!(
+            s.check("sensor", ActionClass::Publish, "smc.x"),
+            Decision::Deny
+        );
+        assert_eq!(
+            s.check("sensor", ActionClass::Publish, "smc.y"),
+            Decision::Permit
+        );
         // Disabling the deny restores the permit.
         s.disable("d").unwrap();
-        assert_eq!(s.check("sensor", ActionClass::Publish, "smc.x"), Decision::Permit);
+        assert_eq!(
+            s.check("sensor", ActionClass::Publish, "smc.x"),
+            Decision::Permit
+        );
     }
 
     #[test]
@@ -435,7 +472,11 @@ mod tests {
         }
         s.register_deployment(
             "sensor.*",
-            vec!["sensors-publish-readings".into(), "tachy".into(), "ghost".into()],
+            vec![
+                "sensors-publish-readings".into(),
+                "tachy".into(),
+                "ghost".into(),
+            ],
         );
         s.register_deployment("actuator.*", vec!["actuators-subscribe-commands".into()]);
 
@@ -449,7 +490,9 @@ mod tests {
     #[test]
     fn import_skips_duplicates() {
         let s = PolicyService::new();
-        let set = PolicySet { policies: vec![tachycardia_policy(), tachycardia_policy()] };
+        let set = PolicySet {
+            policies: vec![tachycardia_policy(), tachycardia_policy()],
+        };
         assert_eq!(s.import(set), 1);
         assert_eq!(s.len(), 1);
     }

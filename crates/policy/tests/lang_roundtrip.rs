@@ -25,11 +25,21 @@ fn arb_auth() -> impl Strategy<Value = Policy> {
         arb_ident(),
         any::<bool>(),
         prop_oneof![Just("*".to_string()), arb_ident()],
-        prop_oneof![Just(ActionClass::Publish), Just(ActionClass::Subscribe), Just(ActionClass::Command)],
+        prop_oneof![
+            Just(ActionClass::Publish),
+            Just(ActionClass::Subscribe),
+            Just(ActionClass::Command)
+        ],
         arb_resource(),
     )
         .prop_map(|(id, permit, role, action, resource)| {
-            Policy::Authorisation(AuthorisationPolicy { id, permit, role, action, resource })
+            Policy::Authorisation(AuthorisationPolicy {
+                id,
+                permit,
+                role,
+                action,
+                resource,
+            })
         })
 }
 
@@ -57,10 +67,17 @@ fn arb_assignments() -> impl Strategy<Value = Vec<(String, ValueTemplate)>> {
 
 fn arb_action() -> impl Strategy<Value = ActionSpec> {
     prop_oneof![
-        ("[a-z][a-z.]{0,10}", arb_assignments())
-            .prop_map(|(t, attrs)| ActionSpec::PublishEvent { event_type: t, attrs }),
+        ("[a-z][a-z.]{0,10}", arb_assignments()).prop_map(|(t, attrs)| ActionSpec::PublishEvent {
+            event_type: t,
+            attrs
+        }),
         (arb_resource(), arb_ident(), arb_assignments()).prop_map(|(glob, name, args)| {
-            ActionSpec::SendCommand { target: None, target_device_type: glob, name, args }
+            ActionSpec::SendCommand {
+                target: None,
+                target_device_type: glob,
+                name,
+                args,
+            }
         }),
         arb_ident().prop_map(ActionSpec::EnablePolicy),
         arb_ident().prop_map(ActionSpec::DisablePolicy),
@@ -119,9 +136,19 @@ fn arb_condition() -> impl Strategy<Value = Option<Expr>> {
 }
 
 fn arb_oblig() -> impl Strategy<Value = Policy> {
-    (arb_ident(), arb_filter(), arb_condition(), proptest::collection::vec(arb_action(), 1..4))
+    (
+        arb_ident(),
+        arb_filter(),
+        arb_condition(),
+        proptest::collection::vec(arb_action(), 1..4),
+    )
         .prop_map(|(id, event, condition, actions)| {
-            Policy::Obligation(ObligationPolicy { id, event, condition, actions })
+            Policy::Obligation(ObligationPolicy {
+                id,
+                event,
+                condition,
+                actions,
+            })
         })
 }
 

@@ -55,7 +55,12 @@ pub fn heart_rate_frame(bpm: f64) -> Vec<u8> {
 /// Encodes an SpO2 frame: `[0x20, spo2_pct, pulse_lo, pulse_hi]`.
 pub fn spo2_frame(spo2: f64, pulse: f64) -> Vec<u8> {
     let p = (pulse.round().clamp(0.0, u16::MAX as f64) as u16).to_le_bytes();
-    vec![frame_tags::SPO2, spo2.round().clamp(0.0, 100.0) as u8, p[0], p[1]]
+    vec![
+        frame_tags::SPO2,
+        spo2.round().clamp(0.0, 100.0) as u8,
+        p[0],
+        p[1],
+    ]
 }
 
 /// Encodes a blood-pressure frame: `[0x30, sys_lo, sys_hi, dia_lo, dia_hi]`.
@@ -195,7 +200,9 @@ sensor_codec!(
 pub fn register_standard_codecs(factory: &ProxyFactory) {
     factory.register(device_types::HEART_RATE, |_| Box::new(HeartRateCodec));
     factory.register(device_types::SPO2, |_| Box::new(Spo2Codec));
-    factory.register(device_types::BLOOD_PRESSURE, |_| Box::new(BloodPressureCodec));
+    factory.register(device_types::BLOOD_PRESSURE, |_| {
+        Box::new(BloodPressureCodec)
+    });
     factory.register(device_types::TEMPERATURE, |_| Box::new(TemperatureCodec));
 }
 
@@ -239,7 +246,9 @@ mod tests {
 
     #[test]
     fn malformed_frames_rejected() {
-        assert!(HeartRateCodec.decode_uplink(&[frame_tags::HEART_RATE]).is_err());
+        assert!(HeartRateCodec
+            .decode_uplink(&[frame_tags::HEART_RATE])
+            .is_err());
         assert!(HeartRateCodec.decode_uplink(&[0x99, 1, 2]).is_err());
         assert!(Spo2Codec.decode_uplink(&[frame_tags::SPO2, 1]).is_err());
         assert!(TemperatureCodec.decode_uplink(&[]).is_err());
@@ -254,7 +263,12 @@ mod tests {
         let frame = HeartRateCodec.encode_downlink(&cmd).unwrap().unwrap();
         assert_eq!(decode_threshold_frame(&frame), Some((1, 120)));
         // Non-command events are not translated to raw frames.
-        assert_eq!(HeartRateCodec.encode_downlink(&Event::new("smc.alarm")).unwrap(), None);
+        assert_eq!(
+            HeartRateCodec
+                .encode_downlink(&Event::new("smc.alarm"))
+                .unwrap(),
+            None
+        );
         assert_eq!(decode_threshold_frame(&[1, 2]), None);
     }
 
@@ -272,7 +286,8 @@ mod tests {
         let factory = ProxyFactory::new();
         register_standard_codecs(&factory);
         assert_eq!(factory.len(), 4);
-        let info = smc_types::ServiceInfo::new(smc_types::ServiceId::from_raw(1), device_types::SPO2);
+        let info =
+            smc_types::ServiceInfo::new(smc_types::ServiceId::from_raw(1), device_types::SPO2);
         let codec = factory.codec_for(&info);
         let frame = spo2_frame(97.0, 70.0);
         assert_eq!(codec.decode_uplink(&frame).unwrap().len(), 1);

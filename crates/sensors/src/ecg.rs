@@ -77,7 +77,13 @@ impl EcgStreamer {
         block_len: usize,
     ) -> Self {
         assert!(block_len > 0 && block_len <= u16::MAX as usize);
-        EcgStreamer { channel, viewer, trace, block_len, next_seq: 0 }
+        EcgStreamer {
+            channel,
+            viewer,
+            trace,
+            block_len,
+            next_seq: 0,
+        }
     }
 
     /// Generates and transmits one block (fire-and-forget, as real
@@ -87,10 +93,13 @@ impl EcgStreamer {
     ///
     /// Propagates transport-level failures (a lost datagram is not one).
     pub fn send_block(&mut self) -> Result<EcgBlock> {
-        let block =
-            EcgBlock { seq: self.next_seq, samples: self.trace.next_samples(self.block_len) };
+        let block = EcgBlock {
+            seq: self.next_seq,
+            samples: self.trace.next_samples(self.block_len),
+        };
         self.next_seq += 1;
-        self.channel.send_unreliable(self.viewer, &encode_block(&block))?;
+        self.channel
+            .send_unreliable(self.viewer, &encode_block(&block))?;
         Ok(block)
     }
 
@@ -111,7 +120,11 @@ pub struct EcgViewer {
 impl EcgViewer {
     /// Wraps a channel as the viewing station.
     pub fn new(channel: Arc<ReliableChannel>) -> Self {
-        EcgViewer { channel, highest_seq: None, received: 0 }
+        EcgViewer {
+            channel,
+            highest_seq: None,
+            received: 0,
+        }
     }
 
     /// Receives the next block, skipping unrelated traffic.
@@ -160,7 +173,10 @@ mod tests {
 
     #[test]
     fn block_codec_round_trip() {
-        let block = EcgBlock { seq: 42, samples: vec![0.0, 1.2, -0.25, 0.31] };
+        let block = EcgBlock {
+            seq: 42,
+            samples: vec![0.0, 1.2, -0.25, 0.31],
+        };
         let bytes = encode_block(&block);
         let back = decode_block(&bytes).unwrap();
         assert_eq!(back.seq, 42);
@@ -174,7 +190,10 @@ mod tests {
     fn corrupt_blocks_rejected() {
         assert!(decode_block(&[]).is_none());
         assert!(decode_block(&[0x00; 16]).is_none());
-        let mut ok = encode_block(&EcgBlock { seq: 1, samples: vec![0.5; 8] });
+        let mut ok = encode_block(&EcgBlock {
+            seq: 1,
+            samples: vec![0.5; 8],
+        });
         ok.truncate(ok.len() - 1);
         assert!(decode_block(&ok).is_none());
     }
@@ -185,8 +204,7 @@ mod tests {
         let tx = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
         let rx = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
         let viewer_id = rx.local_id();
-        let mut streamer =
-            EcgStreamer::new(tx, viewer_id, EcgTrace::new(1, 250.0), 125);
+        let mut streamer = EcgStreamer::new(tx, viewer_id, EcgTrace::new(1, 250.0), 125);
         let mut viewer = EcgViewer::new(rx);
         for _ in 0..50 {
             streamer.send_block().unwrap();

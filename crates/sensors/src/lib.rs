@@ -21,7 +21,7 @@ pub mod ecg;
 pub mod runner;
 pub mod traces;
 
-pub use devices::{register_standard_codecs, device_types};
+pub use devices::{device_types, register_standard_codecs};
 pub use ecg::{EcgBlock, EcgStreamer, EcgViewer};
 pub use runner::{ActuatorRunner, ActuatorState, Patient, SensorKind, SensorRunner};
 pub use traces::{

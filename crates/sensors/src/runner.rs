@@ -86,8 +86,12 @@ impl SensorRunner {
         let info = ServiceInfo::new(ServiceId::NIL, kind.device_type())
             .with_name(format!("{} #{seed}", kind.device_type()))
             .with_role("sensor");
-        let device =
-            RawDevice::connect(info, channel, AgentConfig::default(), Duration::from_secs(10))?;
+        let device = RawDevice::connect(
+            info,
+            channel,
+            AgentConfig::default(),
+            Duration::from_secs(10),
+        )?;
         let device_id = device.local_id();
 
         let mut traces: Vec<Box<dyn VitalTrace>> = match kind {
@@ -190,7 +194,13 @@ macro_rules! impl_with_episode {
         })*
     };
 }
-impl_with_episode!(HeartRateTrace, Spo2Trace, SystolicTrace, DiastolicTrace, TemperatureTrace);
+impl_with_episode!(
+    HeartRateTrace,
+    Spo2Trace,
+    SystolicTrace,
+    DiastolicTrace,
+    TemperatureTrace
+);
 
 /// The state a simulated actuator exposes after applying commands.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -219,8 +229,12 @@ impl ActuatorRunner {
         let info = ServiceInfo::new(ServiceId::NIL, device_type)
             .with_name(device_type.to_owned())
             .with_role("actuator");
-        let client =
-            RemoteClient::connect(info, channel, AgentConfig::default(), Duration::from_secs(10))?;
+        let client = RemoteClient::connect(
+            info,
+            channel,
+            AgentConfig::default(),
+            Duration::from_secs(10),
+        )?;
         let state = Arc::new(Mutex::new(ActuatorState::default()));
         let running = Arc::new(AtomicBool::new(true));
         let runner = Arc::new(ActuatorRunner {
@@ -309,11 +323,27 @@ impl Patient {
         let sensors = vec![
             SensorRunner::start(net, SensorKind::HeartRate, scenario, seed, sample_interval)?,
             SensorRunner::start(net, SensorKind::Spo2, scenario, seed + 1, sample_interval)?,
-            SensorRunner::start(net, SensorKind::BloodPressure, scenario, seed + 2, sample_interval * 5)?,
-            SensorRunner::start(net, SensorKind::Temperature, scenario, seed + 3, sample_interval * 10)?,
+            SensorRunner::start(
+                net,
+                SensorKind::BloodPressure,
+                scenario,
+                seed + 2,
+                sample_interval * 5,
+            )?,
+            SensorRunner::start(
+                net,
+                SensorKind::Temperature,
+                scenario,
+                seed + 3,
+                sample_interval * 10,
+            )?,
         ];
         let actuators = vec![ActuatorRunner::start(net, device_types::INSULIN_PUMP)?];
-        Ok(Patient { name: name.into(), sensors, actuators })
+        Ok(Patient {
+            name: name.into(),
+            sensors,
+            actuators,
+        })
     }
 
     /// Stops every device.

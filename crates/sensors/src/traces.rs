@@ -45,7 +45,12 @@ impl Episode {
     /// Creates an episode.
     pub fn new(kind: EpisodeKind, start: Duration, duration: Duration, severity: f64) -> Self {
         assert!((0.0..=1.0).contains(&severity), "severity must be in [0,1]");
-        Episode { kind, start, duration, severity }
+        Episode {
+            kind,
+            start,
+            duration,
+            severity,
+        }
     }
 
     /// The episode's activation level at `t`: 0 outside, ramping in/out
@@ -95,7 +100,13 @@ struct TraceCore {
 }
 
 impl TraceCore {
-    fn new(baseline: f64, modulation_amp: f64, modulation_period: f64, noise: f64, seed: u64) -> Self {
+    fn new(
+        baseline: f64,
+        modulation_amp: f64,
+        modulation_period: f64,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
         TraceCore {
             baseline,
             modulation_amp,
@@ -245,7 +256,12 @@ impl EcgTrace {
     /// Creates an ECG generator at `sample_rate_hz` (typically 250).
     pub fn new(seed: u64, sample_rate_hz: f64) -> Self {
         assert!(sample_rate_hz > 0.0);
-        EcgTrace { hr: HeartRateTrace::new(seed), sample_rate_hz, phase: 0.0, samples_taken: 0 }
+        EcgTrace {
+            hr: HeartRateTrace::new(seed),
+            sample_rate_hz,
+            phase: 0.0,
+            samples_taken: 0,
+        }
     }
 
     /// Sample rate in Hz.
@@ -281,7 +297,9 @@ fn ecg_waveform(phase: f64) -> f64 {
         height * (-d * d).exp()
     };
     // P wave, Q dip, R spike, S dip, T wave.
-    g(0.18, 0.025, 0.15) + g(0.295, 0.012, -0.12) + g(0.32, 0.008, 1.2)
+    g(0.18, 0.025, 0.15)
+        + g(0.295, 0.012, -0.12)
+        + g(0.32, 0.008, 1.2)
         + g(0.345, 0.012, -0.25)
         + g(0.55, 0.04, 0.3)
 }
@@ -312,7 +330,10 @@ pub struct Scenario {
 impl Scenario {
     /// An uneventful patient.
     pub fn stable(name: impl Into<String>) -> Self {
-        Scenario { name: name.into(), episodes: Vec::new() }
+        Scenario {
+            name: name.into(),
+            episodes: Vec::new(),
+        }
     }
 
     /// Adds an episode (builder style).
@@ -325,7 +346,12 @@ impl Scenario {
     /// with hypoxia and a pressure drop, starting at `onset`.
     pub fn cardiac_event(onset: Duration) -> Self {
         Scenario::stable("cardiac-event")
-            .with(Episode::new(EpisodeKind::Tachycardia, onset, Duration::from_secs(90), 0.9))
+            .with(Episode::new(
+                EpisodeKind::Tachycardia,
+                onset,
+                Duration::from_secs(90),
+                0.9,
+            ))
             .with(Episode::new(
                 EpisodeKind::Hypoxia,
                 onset + Duration::from_secs(20),
@@ -343,7 +369,12 @@ impl Scenario {
     /// An infection developing over hours: fever plus mild tachycardia.
     pub fn infection(onset: Duration) -> Self {
         Scenario::stable("infection")
-            .with(Episode::new(EpisodeKind::Fever, onset, Duration::from_secs(4 * 3600), 0.8))
+            .with(Episode::new(
+                EpisodeKind::Fever,
+                onset,
+                Duration::from_secs(4 * 3600),
+                0.8,
+            ))
             .with(Episode::new(
                 EpisodeKind::Tachycardia,
                 onset + Duration::from_secs(600),
@@ -461,8 +492,8 @@ mod tests {
         assert_eq!(s.name, "cardiac-event");
         let i = Scenario::infection(SEC * 10);
         assert_eq!(i.episodes.len(), 2);
-        let custom = Scenario::stable("x")
-            .with(Episode::new(EpisodeKind::Bradycardia, SEC, SEC, 0.5));
+        let custom =
+            Scenario::stable("x").with(Episode::new(EpisodeKind::Bradycardia, SEC, SEC, 0.5));
         assert_eq!(custom.episodes.len(), 1);
     }
 }

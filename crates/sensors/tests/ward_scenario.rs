@@ -16,7 +16,11 @@ use smc_types::{wellknown, Error, Event, Filter, Op, ServiceId, ServiceInfo};
 const TICK: Duration = Duration::from_secs(10);
 
 fn start_cell(net: &SimNetwork) -> Arc<SmcCell> {
-    let cell = SmcCell::start(Arc::new(net.endpoint()), Arc::new(net.endpoint()), SmcConfig::fast());
+    let cell = SmcCell::start(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+    );
     register_standard_codecs(cell.proxy_factory());
     cell
 }
@@ -60,7 +64,9 @@ fn tachycardia_episode_raises_alarm_to_nurse() {
         .unwrap();
 
     let nurse = nurse_terminal(&net);
-    nurse.subscribe(Filter::for_type(wellknown::ALARM), TICK).unwrap();
+    nurse
+        .subscribe(Filter::for_type(wellknown::ALARM), TICK)
+        .unwrap();
 
     // Heart-rate strap whose episode starts essentially immediately.
     let scenario = Scenario::stable("acute").with(Episode::new(
@@ -96,7 +102,9 @@ fn full_patient_network_streams_all_channels() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
     let nurse = nurse_terminal(&net);
-    nurse.subscribe(Filter::for_type(wellknown::SENSOR_READING), TICK).unwrap();
+    nurse
+        .subscribe(Filter::for_type(wellknown::SENSOR_READING), TICK)
+        .unwrap();
 
     let patient = Patient::admit(
         &net,
@@ -165,10 +173,17 @@ fn policy_commands_actuator_on_hypoxia() {
     let deadline = std::time::Instant::now() + TICK;
     loop {
         let state = pump.state();
-        if state.applied.iter().any(|(name, _)| name == "increase-oxygen") {
+        if state
+            .applied
+            .iter()
+            .any(|(name, _)| name == "increase-oxygen")
+        {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "pump never commanded: {state:?}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pump never commanded: {state:?}"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
 
@@ -181,7 +196,9 @@ fn sensor_survives_transient_dropout() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
     let nurse = nurse_terminal(&net);
-    nurse.subscribe(Filter::for_type(wellknown::SENSOR_READING), TICK).unwrap();
+    nurse
+        .subscribe(Filter::for_type(wellknown::SENSOR_READING), TICK)
+        .unwrap();
 
     let strap = SensorRunner::start(
         &net,
@@ -212,7 +229,10 @@ fn sensor_survives_transient_dropout() {
             after += 1;
         }
     }
-    assert!(cell.discovery().is_member(strap.device_id()), "membership masked the dropout");
+    assert!(
+        cell.discovery().is_member(strap.device_id()),
+        "membership masked the dropout"
+    );
 
     strap.stop();
     nurse.shutdown();
@@ -223,9 +243,14 @@ fn sensor_survives_transient_dropout() {
 fn discharge_is_clean() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let cell = start_cell(&net);
-    let patient =
-        Patient::admit(&net, "bed 1", &Scenario::stable("ok"), 7, Duration::from_millis(50))
-            .unwrap();
+    let patient = Patient::admit(
+        &net,
+        "bed 1",
+        &Scenario::stable("ok"),
+        7,
+        Duration::from_millis(50),
+    )
+    .unwrap();
     let deadline = std::time::Instant::now() + TICK;
     while cell.members().len() < 5 {
         assert!(std::time::Instant::now() < deadline);

@@ -52,7 +52,13 @@ const F_UNRELIABLE: u8 = 0x01;
 impl Encode for Frame {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            Frame::Data { epoch, seq, frag_index, frag_count, payload } => {
+            Frame::Data {
+                epoch,
+                seq,
+                frag_index,
+                frag_count,
+                payload,
+            } => {
                 buf.put_u8(F_DATA);
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*seq);
@@ -60,7 +66,11 @@ impl Encode for Frame {
                 buf.put_u16_le(*frag_count);
                 buf.put_bytes_field(payload);
             }
-            Frame::Ack { epoch, seq, frag_index } => {
+            Frame::Ack {
+                epoch,
+                seq,
+                frag_index,
+            } => {
                 buf.put_u8(F_ACK);
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*seq);
@@ -84,13 +94,31 @@ impl Decode for Frame {
                 let frag_count = r.u16()?;
                 let payload = r.bytes()?;
                 if frag_count == 0 || frag_index >= frag_count {
-                    return Err(CodecError::BadTag { what: "fragment index", tag: 0 });
+                    return Err(CodecError::BadTag {
+                        what: "fragment index",
+                        tag: 0,
+                    });
                 }
-                Ok(Frame::Data { epoch, seq, frag_index, frag_count, payload })
+                Ok(Frame::Data {
+                    epoch,
+                    seq,
+                    frag_index,
+                    frag_count,
+                    payload,
+                })
             }
-            F_ACK => Ok(Frame::Ack { epoch: r.u64()?, seq: r.u64()?, frag_index: r.u16()? }),
-            F_UNRELIABLE => Ok(Frame::Unreliable { payload: r.bytes()? }),
-            t => Err(CodecError::BadTag { what: "frame", tag: t }),
+            F_ACK => Ok(Frame::Ack {
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                frag_index: r.u16()?,
+            }),
+            F_UNRELIABLE => Ok(Frame::Unreliable {
+                payload: r.bytes()?,
+            }),
+            t => Err(CodecError::BadTag {
+                what: "frame",
+                tag: t,
+            }),
         }
     }
 }
@@ -110,7 +138,10 @@ pub fn fragment(payload: &[u8], max_fragment: usize) -> Vec<Vec<u8>> {
         return vec![Vec::new()];
     }
     let count = payload.len().div_ceil(max_fragment);
-    assert!(count <= u16::MAX as usize, "payload needs too many fragments");
+    assert!(
+        count <= u16::MAX as usize,
+        "payload needs too many fragments"
+    );
     payload.chunks(max_fragment).map(<[u8]>::to_vec).collect()
 }
 
@@ -122,9 +153,21 @@ mod tests {
     #[test]
     fn frames_round_trip() {
         for f in [
-            Frame::Data { epoch: 1, seq: 2, frag_index: 0, frag_count: 3, payload: vec![9; 10] },
-            Frame::Ack { epoch: 1, seq: 2, frag_index: 1 },
-            Frame::Unreliable { payload: vec![1, 2, 3] },
+            Frame::Data {
+                epoch: 1,
+                seq: 2,
+                frag_index: 0,
+                frag_count: 3,
+                payload: vec![9; 10],
+            },
+            Frame::Ack {
+                epoch: 1,
+                seq: 2,
+                frag_index: 1,
+            },
+            Frame::Unreliable {
+                payload: vec![1, 2, 3],
+            },
         ] {
             let bytes = to_bytes(&f);
             assert_eq!(from_bytes::<Frame>(&bytes).unwrap(), f);
@@ -133,13 +176,25 @@ mod tests {
 
     #[test]
     fn header_budget_is_honest() {
-        let f = Frame::Data { epoch: 0, seq: 0, frag_index: 0, frag_count: 1, payload: vec![] };
+        let f = Frame::Data {
+            epoch: 0,
+            seq: 0,
+            frag_index: 0,
+            frag_count: 1,
+            payload: vec![],
+        };
         assert!(to_bytes(&f).len() <= FRAME_HEADER_LEN);
     }
 
     #[test]
     fn bad_fragment_indices_rejected() {
-        let f = Frame::Data { epoch: 0, seq: 0, frag_index: 5, frag_count: 3, payload: vec![] };
+        let f = Frame::Data {
+            epoch: 0,
+            seq: 0,
+            frag_index: 5,
+            frag_count: 3,
+            payload: vec![],
+        };
         let bytes = to_bytes(&f);
         assert!(from_bytes::<Frame>(&bytes).is_err());
     }

@@ -29,6 +29,9 @@ pub mod udp;
 pub use frame::{fragment, Frame, FRAME_HEADER_LEN};
 pub use mem::{MemTransport, NetStats, SimNetwork};
 pub use profile::{CpuProfile, LinkConfig};
-pub use reliable::{ChannelStats, Incoming, Receipt, ReliableChannel, ReliableConfig};
+pub use reliable::{
+    ChannelJournal, ChannelStats, Incoming, PendingOutbound, Receipt, ReliableChannel,
+    ReliableConfig,
+};
 pub use transport::{Datagram, Transport};
 pub use udp::UdpTransport;

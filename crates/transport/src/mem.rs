@@ -241,7 +241,13 @@ impl SimNetwork {
     pub fn endpoint_with_id(&self, id: ServiceId) -> MemTransport {
         let (tx, rx) = unbounded();
         let mut st = self.inner.state.lock();
-        let prev = st.endpoints.insert(id, Endpoint { sender: tx, domain: 0 });
+        let prev = st.endpoints.insert(
+            id,
+            Endpoint {
+                sender: tx,
+                domain: 0,
+            },
+        );
         assert!(prev.is_none(), "endpoint {id} already attached");
         MemTransport {
             net: self.clone(),
@@ -316,7 +322,13 @@ impl SimNetwork {
     }
 
     /// Core send path shared by unicast and broadcast.
-    fn transmit(&self, from: ServiceId, to: ServiceId, payload: &[u8], broadcast: bool) -> Result<()> {
+    fn transmit(
+        &self,
+        from: ServiceId,
+        to: ServiceId,
+        payload: &[u8],
+        broadcast: bool,
+    ) -> Result<()> {
         let now = self.inner.clock.now_micros();
         let mut st = self.inner.state.lock();
         if st.closed {
@@ -336,7 +348,11 @@ impl SimNetwork {
             st.stats.unreachable += 1;
             return Ok(());
         }
-        let link = st.links.get(&(from, to)).unwrap_or(&st.default_link).clone();
+        let link = st
+            .links
+            .get(&(from, to))
+            .unwrap_or(&st.default_link)
+            .clone();
         if payload.len() > link.mtu {
             return Err(Error::Invalid(format!(
                 "payload of {} bytes exceeds link mtu {}",
@@ -387,7 +403,12 @@ impl SimNetwork {
             } else {
                 let seq = st.next_seq;
                 st.next_seq += 1;
-                st.queue.push(Reverse(Scheduled { due: deliver_at, seq, to, datagram: datagram.clone() }));
+                st.queue.push(Reverse(Scheduled {
+                    due: deliver_at,
+                    seq,
+                    to,
+                    datagram: datagram.clone(),
+                }));
             }
         }
         drop(st);
@@ -427,7 +448,9 @@ fn timer_loop(inner: Arc<NetInner>) {
                     let Reverse(item) = st.queue.pop().expect("peeked item present");
                     deliver(&mut st, item.to, item.datagram);
                 } else {
-                    inner.timer_cv.wait_for(&mut st, Duration::from_micros(due - now));
+                    inner
+                        .timer_cv
+                        .wait_for(&mut st, Duration::from_micros(due - now));
                 }
             }
         }
@@ -468,7 +491,11 @@ impl Transport for MemTransport {
         }
         let mut peers: Vec<ServiceId> = {
             let st = self.net.inner.state.lock();
-            st.endpoints.keys().copied().filter(|&id| id != self.id).collect()
+            st.endpoints
+                .keys()
+                .copied()
+                .filter(|&id| id != self.id)
+                .collect()
         };
         // Sorted delivery order: each transmit consumes draws from the
         // seeded rng, so fan-out order must not depend on hash-map layout
@@ -582,7 +609,10 @@ mod tests {
         assert_eq!(d.payload, b"hi");
         assert_eq!(d.from, a.local_id());
         assert!(!d.broadcast);
-        assert!(matches!(a.recv(Some(Duration::from_millis(10))), Err(Error::Timeout)));
+        assert!(matches!(
+            a.recv(Some(Duration::from_millis(10))),
+            Err(Error::Timeout)
+        ));
     }
 
     #[test]
@@ -597,7 +627,10 @@ mod tests {
             assert!(d.broadcast);
             assert_eq!(d.payload, b"beacon");
         }
-        assert!(matches!(a.recv(Some(Duration::from_millis(10))), Err(Error::Timeout)));
+        assert!(matches!(
+            a.recv(Some(Duration::from_millis(10))),
+            Err(Error::Timeout)
+        ));
     }
 
     #[test]
@@ -608,7 +641,11 @@ mod tests {
         let start = Instant::now();
         a.send(b.local_id(), b"x").unwrap();
         let _ = b.recv(Some(TICK)).unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(25), "{:?}", start.elapsed());
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "{:?}",
+            start.elapsed()
+        );
     }
 
     #[test]
@@ -627,7 +664,10 @@ mod tests {
             b.recv(Some(TICK)).unwrap();
         }
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(90), "paced too fast: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(90),
+            "paced too fast: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -665,7 +705,10 @@ mod tests {
         let b = net.endpoint();
         net.set_partitioned(a.local_id(), b.local_id(), true);
         a.send(b.local_id(), b"x").unwrap();
-        assert!(matches!(b.recv(Some(Duration::from_millis(20))), Err(Error::Timeout)));
+        assert!(matches!(
+            b.recv(Some(Duration::from_millis(20))),
+            Err(Error::Timeout)
+        ));
         net.set_partitioned(a.local_id(), b.local_id(), false);
         a.send(b.local_id(), b"y").unwrap();
         assert_eq!(b.recv(Some(TICK)).unwrap().payload, b"y");
@@ -679,7 +722,10 @@ mod tests {
         let b = net.endpoint();
         net.set_domain(b.local_id(), 7);
         a.broadcast(b"beacon").unwrap();
-        assert!(matches!(b.recv(Some(Duration::from_millis(20))), Err(Error::Timeout)));
+        assert!(matches!(
+            b.recv(Some(Duration::from_millis(20))),
+            Err(Error::Timeout)
+        ));
         net.set_domain(b.local_id(), 0);
         a.broadcast(b"beacon2").unwrap();
         assert_eq!(b.recv(Some(TICK)).unwrap().payload, b"beacon2");
@@ -692,7 +738,10 @@ mod tests {
         let net = SimNetwork::new(link);
         let a = net.endpoint();
         let b = net.endpoint();
-        assert!(matches!(a.send(b.local_id(), &[0u8; 11]), Err(Error::Invalid(_))));
+        assert!(matches!(
+            a.send(b.local_id(), &[0u8; 11]),
+            Err(Error::Invalid(_))
+        ));
         assert!(a.send(b.local_id(), &[0u8; 10]).is_ok());
     }
 
@@ -715,7 +764,10 @@ mod tests {
         let net = SimNetwork::new(LinkConfig::ideal());
         let a = net.endpoint();
         net.shutdown();
-        assert!(matches!(a.send(ServiceId::from_raw(9), b"x"), Err(Error::Closed)));
+        assert!(matches!(
+            a.send(ServiceId::from_raw(9), b"x"),
+            Err(Error::Closed)
+        ));
     }
 
     #[test]
@@ -740,9 +792,16 @@ mod tests {
         let net = SimNetwork::new(LinkConfig::ideal());
         let a = net.endpoint();
         let b = net.endpoint();
-        net.set_link(a.local_id(), b.local_id(), LinkConfig::ideal().with_loss(1.0));
+        net.set_link(
+            a.local_id(),
+            b.local_id(),
+            LinkConfig::ideal().with_loss(1.0),
+        );
         a.send(b.local_id(), b"gone").unwrap();
-        assert!(matches!(b.recv(Some(Duration::from_millis(20))), Err(Error::Timeout)));
+        assert!(matches!(
+            b.recv(Some(Duration::from_millis(20))),
+            Err(Error::Timeout)
+        ));
         // Reverse direction unaffected.
         b.send(a.local_id(), b"back").unwrap();
         assert_eq!(a.recv(Some(TICK)).unwrap().payload, b"back");

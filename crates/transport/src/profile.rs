@@ -130,9 +130,7 @@ impl LinkConfig {
     /// Whether this link delivers instantly (lets the simulator bypass the
     /// timer thread for deterministic tests).
     pub fn is_instant(&self) -> bool {
-        self.latency.is_zero()
-            && self.jitter.is_zero()
-            && self.bandwidth_bytes_per_sec.is_none()
+        self.latency.is_zero() && self.jitter.is_zero() && self.bandwidth_bytes_per_sec.is_none()
     }
 }
 
@@ -161,7 +159,10 @@ impl Default for CpuProfile {
 impl CpuProfile {
     /// No artificial cost: measure the host as-is.
     pub fn native() -> Self {
-        CpuProfile { copy_rounds: 0, dispatch_spin: 0 }
+        CpuProfile {
+            copy_rounds: 0,
+            dispatch_spin: 0,
+        }
     }
 
     /// Approximation of the iPAQ hx4700 + Blackdown JVM 1.3.1 stack: many
@@ -170,7 +171,10 @@ impl CpuProfile {
     /// that hardware; the bus charges it once per boundary its engine
     /// path crosses.
     pub fn ipaq_hx4700() -> Self {
-        CpuProfile { copy_rounds: 160_000, dispatch_spin: 2_000_000 }
+        CpuProfile {
+            copy_rounds: 160_000,
+            dispatch_spin: 2_000_000,
+        }
     }
 
     /// Returns a copy with every cost scaled by `factor` (≥ 0). Benches
@@ -227,12 +231,18 @@ mod tests {
         let t2 = link.transmission_time(2000);
         assert!(t2 > t1);
         // 1000+28 bytes at 575 KB/s ≈ 1.78 ms.
-        assert!(t1 > Duration::from_micros(1_500) && t1 < Duration::from_micros(2_100), "{t1:?}");
+        assert!(
+            t1 > Duration::from_micros(1_500) && t1 < Duration::from_micros(2_100),
+            "{t1:?}"
+        );
     }
 
     #[test]
     fn infinite_bandwidth_transmits_instantly() {
-        assert_eq!(LinkConfig::ideal().transmission_time(1_000_000), Duration::ZERO);
+        assert_eq!(
+            LinkConfig::ideal().transmission_time(1_000_000),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -266,7 +276,11 @@ mod tests {
 
     #[test]
     fn presets_have_sane_shapes() {
-        for link in [LinkConfig::usb_ip_link(), LinkConfig::bluetooth_link(), LinkConfig::zigbee_link()] {
+        for link in [
+            LinkConfig::usb_ip_link(),
+            LinkConfig::bluetooth_link(),
+            LinkConfig::zigbee_link(),
+        ] {
             assert!(link.mtu > 0);
             assert!(link.bandwidth_bytes_per_sec.unwrap() > 0);
             assert!((0.0..1.0).contains(&link.loss));

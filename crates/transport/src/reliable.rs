@@ -72,6 +72,59 @@ impl Default for ReliableConfig {
     }
 }
 
+/// Observer of a channel's durable state transitions, implemented by the
+/// write-ahead log so exactly-once and FIFO survive a process crash.
+///
+/// The channel calls these hooks at the moments that matter for
+/// crash-consistency:
+///
+/// * [`on_cursor`](ChannelJournal::on_cursor) is called **before** a
+///   message is delivered to the application or any of its fragments are
+///   acknowledged. If journalling fails the message stays buffered and
+///   unacknowledged, so the sender retransmits and delivery is retried —
+///   an acknowledged message is therefore always recorded as delivered.
+/// * [`on_enqueue`](ChannelJournal::on_enqueue) is called **before** a
+///   message joins the outbound queue; a failure fails the send.
+/// * [`on_acked`](ChannelJournal::on_acked) / [`on_forget`](ChannelJournal::on_forget)
+///   trim retained outbound state. Their errors are ignored: replaying a
+///   stale enqueue after a crash only causes a retransmission the
+///   receiver's cursor suppresses.
+pub trait ChannelJournal: Send + Sync + std::fmt::Debug {
+    /// The receiver is about to deliver messages from `peer` (session
+    /// `epoch`) up to, exclusively, sequence number `expected`.
+    ///
+    /// # Errors
+    ///
+    /// An error vetoes the delivery; the channel leaves the message
+    /// buffered and unacknowledged and retries later.
+    fn on_cursor(&self, peer: ServiceId, epoch: u64, expected: u64) -> Result<()>;
+    /// A message with (predicted) sequence number `seq` is about to be
+    /// queued for `peer`.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the send before any state changes.
+    fn on_enqueue(&self, peer: ServiceId, seq: u64, payload: &[u8]) -> Result<()>;
+    /// Outbound message `seq` to `peer` was fully acknowledged or
+    /// abandoned and no longer needs to be retained.
+    ///
+    /// # Errors
+    ///
+    /// Errors are ignored by the channel (see trait docs).
+    fn on_acked(&self, peer: ServiceId, seq: u64) -> Result<()>;
+    /// All outbound state for `peer` was deliberately dropped.
+    ///
+    /// # Errors
+    ///
+    /// Errors are ignored by the channel (see trait docs).
+    fn on_forget(&self, peer: ServiceId) -> Result<()>;
+}
+
+/// Unacknowledged outbound state per peer, as returned by
+/// [`ReliableChannel::outbound_pending`]: each entry pairs a peer with
+/// its `(sequence, payload)` list, oldest first.
+pub type PendingOutbound = Vec<(ServiceId, Vec<(u64, Vec<u8>)>)>;
+
 /// Counters describing a channel's activity.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -193,8 +246,9 @@ struct PeerIn {
     epoch: u64,
     /// Next sequence number to deliver.
     expected: u64,
-    /// Fully reassembled messages waiting for their turn.
-    ready: BTreeMap<u64, Vec<u8>>,
+    /// Fully reassembled messages (payload, fragment count) waiting for
+    /// their turn.
+    ready: BTreeMap<u64, (Vec<u8>, u16)>,
     /// Messages still missing fragments.
     partial: HashMap<u64, Partial>,
 }
@@ -202,11 +256,13 @@ struct PeerIn {
 #[derive(Debug)]
 struct Shared {
     out: Mutex<HashMap<ServiceId, PeerOut>>,
+    peers_in: Mutex<HashMap<ServiceId, PeerIn>>,
     stats: Mutex<ChannelStats>,
     closed: AtomicBool,
     epoch: u64,
     config: ReliableConfig,
     clock: SharedClock,
+    journal: Option<Arc<dyn ChannelJournal>>,
 }
 
 /// Reliable messaging endpoint over any [`Transport`].
@@ -249,7 +305,31 @@ impl ReliableChannel {
     /// Wraps `transport` in a reliable channel and starts its receive
     /// thread.
     pub fn new(transport: Arc<dyn Transport>, config: ReliableConfig) -> Arc<Self> {
-        ReliableChannel::build(transport, config, system_clock(), false)
+        ReliableChannel::build(transport, config, system_clock(), false, None, Vec::new())
+    }
+
+    /// Like [`ReliableChannel::new`], but journalling every durable state
+    /// transition to `journal` and seeding the receive cursors from
+    /// `restored` — the crash-recovery path.
+    ///
+    /// Each `(peer, epoch, expected)` entry in `restored` re-adopts a
+    /// pre-crash sender session: duplicates of messages delivered before
+    /// the crash are suppressed and re-acknowledged instead of being
+    /// delivered again.
+    pub fn new_journaled(
+        transport: Arc<dyn Transport>,
+        config: ReliableConfig,
+        journal: Arc<dyn ChannelJournal>,
+        restored: Vec<(ServiceId, u64, u64)>,
+    ) -> Arc<Self> {
+        ReliableChannel::build(
+            transport,
+            config,
+            system_clock(),
+            false,
+            Some(journal),
+            restored,
+        )
     }
 
     /// Wraps `transport` in a **step-driven** reliable channel timed by
@@ -265,7 +345,19 @@ impl ReliableChannel {
         config: ReliableConfig,
         clock: SharedClock,
     ) -> Arc<Self> {
-        ReliableChannel::build(transport, config, clock, true)
+        ReliableChannel::build(transport, config, clock, true, None, Vec::new())
+    }
+
+    /// The step-driven equivalent of [`ReliableChannel::new_journaled`]:
+    /// journalled, cursor-restored, and timed by `clock`.
+    pub fn with_clock_journaled(
+        transport: Arc<dyn Transport>,
+        config: ReliableConfig,
+        clock: SharedClock,
+        journal: Arc<dyn ChannelJournal>,
+        restored: Vec<(ServiceId, u64, u64)>,
+    ) -> Arc<Self> {
+        ReliableChannel::build(transport, config, clock, true, Some(journal), restored)
     }
 
     fn build(
@@ -273,22 +365,36 @@ impl ReliableChannel {
         config: ReliableConfig,
         clock: SharedClock,
         manual: bool,
+        journal: Option<Arc<dyn ChannelJournal>>,
+        restored: Vec<(ServiceId, u64, u64)>,
     ) -> Arc<Self> {
         let epoch = clock.now_micros() + EPOCH_BUMP.fetch_add(1, Ordering::Relaxed);
+        let mut peers_in = HashMap::new();
+        for (peer, peer_epoch, expected) in restored {
+            peers_in.insert(
+                peer,
+                PeerIn {
+                    epoch: peer_epoch,
+                    expected,
+                    ..PeerIn::default()
+                },
+            );
+        }
         let shared = Arc::new(Shared {
             out: Mutex::new(HashMap::new()),
+            peers_in: Mutex::new(peers_in),
             stats: Mutex::new(ChannelStats::default()),
             closed: AtomicBool::new(false),
             epoch,
             config,
             clock,
+            journal,
         });
         let (inbox_tx, inbox_rx) = unbounded();
         let worker = RxWorker {
             transport: Arc::clone(&transport),
             shared: Arc::clone(&shared),
             inbox: inbox_tx,
-            peers_in: HashMap::new(),
         };
         if manual {
             return Arc::new(ReliableChannel {
@@ -370,10 +476,26 @@ impl ReliableChannel {
         {
             let mut out = self.shared.out.lock();
             let peer = out.entry(to).or_default();
+            if let Some(journal) = &self.shared.journal {
+                // Sequence numbers are assigned when `pump` promotes the
+                // message into the window, strictly in queue order under
+                // this lock — so the eventual number is predictable now,
+                // and the journal entry can carry it before any bytes hit
+                // the wire.
+                let seq = peer.next_seq + peer.queued.len() as u64 + 1;
+                journal.on_enqueue(to, seq, &payload)?;
+            }
             peer.queued.push_back((payload, Some(tx)));
             self.shared.stats.lock().msgs_sent += 1;
             let now = self.shared.clock.now_micros();
-            pump(&self.transport, self.shared.epoch, &self.shared.config, now, to, peer);
+            pump(
+                &self.transport,
+                self.shared.epoch,
+                &self.shared.config,
+                now,
+                to,
+                peer,
+            );
         }
         Ok(Receipt { rx })
     }
@@ -397,7 +519,9 @@ impl ReliableChannel {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(Error::Closed);
         }
-        let frame = to_bytes(&Frame::Unreliable { payload: payload.to_vec() });
+        let frame = to_bytes(&Frame::Unreliable {
+            payload: payload.to_vec(),
+        });
         self.shared.stats.lock().unreliable_sent += 1;
         self.transport.send(to, &frame)
     }
@@ -411,7 +535,9 @@ impl ReliableChannel {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(Error::Closed);
         }
-        let frame = to_bytes(&Frame::Unreliable { payload: payload.to_vec() });
+        let frame = to_bytes(&Frame::Unreliable {
+            payload: payload.to_vec(),
+        });
         self.shared.stats.lock().unreliable_sent += 1;
         self.transport.broadcast(&frame)
     }
@@ -441,7 +567,8 @@ impl ReliableChannel {
     /// `peer`.
     pub fn pending(&self, peer: ServiceId) -> usize {
         let out = self.shared.out.lock();
-        out.get(&peer).map_or(0, |p| p.inflight.len() + p.queued.len())
+        out.get(&peer)
+            .map_or(0, |p| p.inflight.len() + p.queued.len())
     }
 
     /// Drops all outbound state for `peer` (queued and in-flight
@@ -452,6 +579,14 @@ impl ReliableChannel {
     pub fn forget_peer(&self, peer: ServiceId) {
         let removed = self.shared.out.lock().remove(&peer);
         if let Some(peer_out) = removed {
+            // Journal the discard only for a deliberate forget (purge). A
+            // shutdown (`close` flips `closed` first) must *retain* the
+            // queued data so recovery can resume retransmission.
+            if let Some(journal) = &self.shared.journal {
+                if !self.shared.closed.load(Ordering::SeqCst) {
+                    let _ = journal.on_forget(peer);
+                }
+            }
             for (_, msg) in peer_out.inflight {
                 if let Some(tx) = msg.receipt {
                     let _ = tx.send(Err(Error::Closed));
@@ -470,6 +605,55 @@ impl ReliableChannel {
         self.shared.stats.lock().clone()
     }
 
+    /// The receive cursors: one `(peer, epoch, expected)` triple per
+    /// sender session seen (or restored), sorted by peer id.
+    ///
+    /// Everything below `expected` has been delivered and acknowledged;
+    /// a snapshot of these triples is what recovery feeds back into
+    /// [`ReliableChannel::new_journaled`] to keep exactly-once across a
+    /// restart.
+    pub fn rx_cursors(&self) -> Vec<(ServiceId, u64, u64)> {
+        let peers = self.shared.peers_in.lock();
+        let mut cursors: Vec<(ServiceId, u64, u64)> = peers
+            .iter()
+            .filter(|(_, p)| p.epoch != 0)
+            .map(|(&id, p)| (id, p.epoch, p.expected))
+            .collect();
+        cursors.sort_unstable_by_key(|&(id, _, _)| id);
+        cursors
+    }
+
+    /// Unacknowledged outbound messages per peer: in-flight messages
+    /// (reassembled from their fragments) followed by queued ones, each
+    /// with its assigned or predicted sequence number, oldest first.
+    /// Peers are sorted by id.
+    ///
+    /// This is the state a snapshot must retain so that recovery can
+    /// resend everything the crashed process still owed its peers.
+    pub fn outbound_pending(&self) -> PendingOutbound {
+        let out = self.shared.out.lock();
+        let mut peer_ids: Vec<ServiceId> = out.keys().copied().collect();
+        peer_ids.sort_unstable();
+        let mut pending = Vec::new();
+        for id in peer_ids {
+            let peer = &out[&id];
+            let mut msgs: Vec<(u64, Vec<u8>)> = peer
+                .inflight
+                .iter()
+                .map(|(&seq, m)| (seq, m.fragments.concat()))
+                .collect();
+            let mut seq = peer.next_seq;
+            for (payload, _) in &peer.queued {
+                seq += 1;
+                msgs.push((seq, payload.clone()));
+            }
+            if !msgs.is_empty() {
+                pending.push((id, msgs));
+            }
+        }
+        pending
+    }
+
     /// Shuts the channel down: closes the transport and stops the receive
     /// thread. Unacknowledged messages are dropped.
     pub fn close(&self) {
@@ -485,7 +669,6 @@ impl ReliableChannel {
             let _ = handle.join();
         }
     }
-
 }
 
 impl Drop for ReliableChannel {
@@ -498,7 +681,6 @@ impl Drop for ReliableChannel {
     }
 }
 
-
 /// Promotes queued messages into the send window and transmits their
 /// fragments. Callers hold the out-map lock.
 fn pump(
@@ -509,9 +691,14 @@ fn pump(
     to: ServiceId,
     peer: &mut PeerOut,
 ) {
-    let max_frag = transport.max_datagram().saturating_sub(FRAME_HEADER_LEN).max(1);
+    let max_frag = transport
+        .max_datagram()
+        .saturating_sub(FRAME_HEADER_LEN)
+        .max(1);
     while peer.inflight.len() < config.window {
-        let Some((payload, receipt)) = peer.queued.pop_front() else { break };
+        let Some((payload, receipt)) = peer.queued.pop_front() else {
+            break;
+        };
         let seq = peer.next_seq + 1;
         peer.next_seq = seq;
         let fragments = fragment(&payload, max_frag);
@@ -545,7 +732,6 @@ struct RxWorker {
     transport: Arc<dyn Transport>,
     shared: Arc<Shared>,
     inbox: Sender<Incoming>,
-    peers_in: HashMap<ServiceId, PeerIn>,
 }
 
 impl RxWorker {
@@ -580,14 +766,24 @@ impl RxWorker {
         match frame {
             Frame::Unreliable { payload } => {
                 self.shared.stats.lock().unreliable_received += 1;
-                let _ = self.inbox.send(Incoming::Unreliable { from, payload, broadcast });
+                let _ = self.inbox.send(Incoming::Unreliable {
+                    from,
+                    payload,
+                    broadcast,
+                });
             }
-            Frame::Ack { epoch, seq, frag_index } => {
+            Frame::Ack {
+                epoch,
+                seq,
+                frag_index,
+            } => {
                 if epoch != self.shared.epoch {
                     return;
                 }
                 let mut out = self.shared.out.lock();
-                let Some(peer) = out.get_mut(&from) else { return };
+                let Some(peer) = out.get_mut(&from) else {
+                    return;
+                };
                 let mut done = false;
                 if let Some(msg) = peer.inflight.get_mut(&seq) {
                     let i = frag_index as usize;
@@ -598,7 +794,13 @@ impl RxWorker {
                     }
                 }
                 if done {
-                    let msg = peer.inflight.remove(&seq).expect("completed message exists");
+                    let msg = peer
+                        .inflight
+                        .remove(&seq)
+                        .expect("completed message exists");
+                    if let Some(journal) = &self.shared.journal {
+                        let _ = journal.on_acked(from, seq);
+                    }
                     // Count before resolving the receipt so a caller woken
                     // by `send_blocking` observes the updated stats.
                     self.shared.stats.lock().msgs_acked += 1;
@@ -607,15 +809,27 @@ impl RxWorker {
                     }
                     // Window slot freed: promote queued messages.
                     let now = self.shared.clock.now_micros();
-                    pump(&self.transport, self.shared.epoch, &self.shared.config, now, from, peer);
+                    pump(
+                        &self.transport,
+                        self.shared.epoch,
+                        &self.shared.config,
+                        now,
+                        from,
+                        peer,
+                    );
                 }
             }
-            Frame::Data { epoch, seq, frag_index, frag_count, payload } => {
+            Frame::Data {
+                epoch,
+                seq,
+                frag_index,
+                frag_count,
+                payload,
+            } => {
                 self.handle_data(from, epoch, seq, frag_index, frag_count, payload);
             }
         }
     }
-
 
     fn handle_data(
         &mut self,
@@ -626,14 +840,39 @@ impl RxWorker {
         frag_count: u16,
         payload: Vec<u8>,
     ) {
-        let peer = self.peers_in.entry(from).or_default();
+        // Journalled receivers defer acknowledgement until delivery is
+        // durably recorded; without a journal (or with dedup disabled)
+        // the original ack-on-arrival behaviour applies unchanged.
+        let journaled = self.shared.journal.is_some() && self.shared.config.dedup;
+        let mut peers_in = self.shared.peers_in.lock();
+        let peer = peers_in.entry(from).or_default();
         if epoch < peer.epoch {
             // Stray frame from a dead session: ignore entirely.
             return;
         }
         if epoch > peer.epoch {
             // The peer restarted: adopt the new session.
-            *peer = PeerIn { epoch, expected: 1, ready: BTreeMap::new(), partial: HashMap::new() };
+            //
+            // A journalled receiver picks where to start carefully: a
+            // genuinely fresh sender session numbers from 1 and can have
+            // at most `window` messages outstanding, so a first-seen
+            // sequence number beyond the window can only mean the sender
+            // was already mid-stream and *our* cursor is gone (recovery
+            // without a usable log). Adopting at the observed point
+            // avoids re-buffering the peer's whole history; anything the
+            // crashed process already delivered that resurfaces at or
+            // above it is what the delivery oracle flags as a duplicate.
+            let expected = if journaled && seq > self.shared.config.window as u64 {
+                seq
+            } else {
+                1
+            };
+            *peer = PeerIn {
+                epoch,
+                expected,
+                ready: BTreeMap::new(),
+                partial: HashMap::new(),
+            };
         }
         // Capacity check FIRST: a fragment we cannot buffer must be
         // dropped *without* acknowledging it, or the sender would mark it
@@ -650,9 +889,16 @@ impl RxWorker {
         }
 
         // (Re-)acknowledge everything else — including duplicates, whose
-        // original ack may have been lost.
-        let ack = Frame::Ack { epoch, seq, frag_index };
-        let _ = self.transport.send(from, &to_bytes(&ack));
+        // original ack may have been lost. Journalled receivers ack only
+        // at (or after) durably-recorded delivery, below.
+        if !journaled {
+            let ack = Frame::Ack {
+                epoch,
+                seq,
+                frag_index,
+            };
+            let _ = self.transport.send(from, &to_bytes(&ack));
+        }
 
         if !self.shared.config.dedup {
             // Intentionally-broken mode for oracle validation: hand every
@@ -678,13 +924,33 @@ impl RxWorker {
                     whole.extend_from_slice(&piece.expect("all fragments received"));
                 }
                 self.shared.stats.lock().msgs_delivered += 1;
-                let _ = self.inbox.send(Incoming::Reliable { from, payload: whole });
+                let _ = self.inbox.send(Incoming::Reliable {
+                    from,
+                    payload: whole,
+                });
             }
             return;
         }
 
         if seq < peer.expected || peer.ready.contains_key(&seq) {
             self.shared.stats.lock().duplicates_suppressed += 1;
+            if journaled {
+                if seq < peer.expected {
+                    // Its delivery is already journalled — safe to re-ack
+                    // (the original ack may have been lost).
+                    let ack = Frame::Ack {
+                        epoch,
+                        seq,
+                        frag_index,
+                    };
+                    let _ = self.transport.send(from, &to_bytes(&ack));
+                } else {
+                    // Buffered but not yet journalled: don't ack, but
+                    // retry the drain in case it stalled on a journal
+                    // error earlier.
+                    self.drain_in_order(from, peer);
+                }
+            }
             return;
         }
         let partial = peer.partial.entry(seq).or_insert_with(|| Partial {
@@ -708,13 +974,47 @@ impl RxWorker {
             for piece in partial.got {
                 whole.extend_from_slice(&piece.expect("all fragments received"));
             }
-            peer.ready.insert(seq, whole);
+            peer.ready.insert(seq, (whole, frag_count));
             // Deliver everything now in order.
-            while let Some(msg) = peer.ready.remove(&peer.expected) {
-                peer.expected += 1;
-                self.shared.stats.lock().msgs_delivered += 1;
-                let _ = self.inbox.send(Incoming::Reliable { from, payload: msg });
+            self.drain_in_order(from, peer);
+        }
+    }
+
+    /// Delivers every consecutive ready message starting at `expected`.
+    ///
+    /// With a journal attached, each delivery is recorded (cursor
+    /// advance) *before* the message is handed up or any fragment acked;
+    /// a journal error leaves the message buffered and unacknowledged so
+    /// the sender retransmits and delivery is retried — the invariant
+    /// that makes an acked message durably delivered.
+    fn drain_in_order(&self, from: ServiceId, peer: &mut PeerIn) {
+        while peer.ready.contains_key(&peer.expected) {
+            if let Some(journal) = &self.shared.journal {
+                if journal
+                    .on_cursor(from, peer.epoch, peer.expected + 1)
+                    .is_err()
+                {
+                    break;
+                }
             }
+            let (msg, frag_count) = peer
+                .ready
+                .remove(&peer.expected)
+                .expect("ready entry checked above");
+            let seq = peer.expected;
+            peer.expected += 1;
+            if self.shared.journal.is_some() {
+                for i in 0..frag_count {
+                    let ack = Frame::Ack {
+                        epoch: peer.epoch,
+                        seq,
+                        frag_index: i,
+                    };
+                    let _ = self.transport.send(from, &to_bytes(&ack));
+                }
+            }
+            self.shared.stats.lock().msgs_delivered += 1;
+            let _ = self.inbox.send(Incoming::Reliable { from, payload: msg });
         }
     }
 
@@ -763,13 +1063,27 @@ impl RxWorker {
             }
             for seq in expired {
                 let msg = peer.inflight.remove(&seq).expect("expired message exists");
+                // An abandoned message will never be acked; stop
+                // retaining it. (If the journal entry outlives us anyway,
+                // recovery resends it once and the receiver's cursor
+                // decides — at-least-once is the worst case here, and
+                // only for explicitly bounded-retry senders.)
+                if let Some(journal) = &self.shared.journal {
+                    let _ = journal.on_acked(peer_id, seq);
+                }
                 if let Some(tx) = msg.receipt {
                     let _ = tx.send(Err(Error::Timeout));
                 }
                 self.shared.stats.lock().msgs_expired += 1;
             }
-            pump(&self.transport, self.shared.epoch, &config, now, peer_id, peer);
+            pump(
+                &self.transport,
+                self.shared.epoch,
+                &config,
+                now,
+                peer_id,
+                peer,
+            );
         }
     }
-
 }

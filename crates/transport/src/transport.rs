@@ -26,12 +26,20 @@ pub struct Datagram {
 impl Datagram {
     /// Creates a unicast datagram record.
     pub fn unicast(from: ServiceId, payload: Vec<u8>) -> Self {
-        Datagram { from, payload, broadcast: false }
+        Datagram {
+            from,
+            payload,
+            broadcast: false,
+        }
     }
 
     /// Creates a broadcast datagram record.
     pub fn broadcasted(from: ServiceId, payload: Vec<u8>) -> Self {
-        Datagram { from, payload, broadcast: true }
+        Datagram {
+            from,
+            payload,
+            broadcast: true,
+        }
     }
 }
 

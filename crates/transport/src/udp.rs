@@ -227,14 +227,20 @@ mod tests {
         }
         a.remove_broadcast_peer(b.local_id());
         a.broadcast(b"again").unwrap();
-        assert!(matches!(b.recv(Some(Duration::from_millis(50))), Err(Error::Timeout)));
+        assert!(matches!(
+            b.recv(Some(Duration::from_millis(50))),
+            Err(Error::Timeout)
+        ));
         assert_eq!(c.recv(Some(TICK)).unwrap().payload, b"again");
     }
 
     #[test]
     fn recv_times_out() {
         let t = UdpTransport::bind().unwrap();
-        assert!(matches!(t.recv(Some(Duration::from_millis(30))), Err(Error::Timeout)));
+        assert!(matches!(
+            t.recv(Some(Duration::from_millis(30))),
+            Err(Error::Timeout)
+        ));
     }
 
     #[test]
@@ -251,7 +257,10 @@ mod tests {
     fn close_makes_operations_fail() {
         let a = UdpTransport::bind().unwrap();
         a.close();
-        assert!(matches!(a.send(ServiceId::from_raw(1), b"x"), Err(Error::Closed)));
+        assert!(matches!(
+            a.send(ServiceId::from_raw(1), b"x"),
+            Err(Error::Closed)
+        ));
         assert!(matches!(a.recv(Some(TICK)), Err(Error::Closed)));
     }
 }

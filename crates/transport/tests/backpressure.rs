@@ -82,7 +82,10 @@ fn corrupt_datagrams_are_ignored() {
     use smc_transport::Transport;
     raw.send(b.local_id(), &[0xde, 0xad, 0xbe, 0xef]).unwrap();
     raw.send(b.local_id(), &[]).unwrap();
-    assert!(matches!(b.recv(Some(Duration::from_millis(100))), Err(Error::Timeout)));
+    assert!(matches!(
+        b.recv(Some(Duration::from_millis(100))),
+        Err(Error::Timeout)
+    ));
     // The channel still works afterwards.
     let a = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
     a.send(b.local_id(), b"fine".to_vec()).unwrap();
@@ -133,7 +136,10 @@ fn reorder_overflow_never_wedges_the_stream() {
         a.send(b.local_id(), i.to_le_bytes().to_vec()).unwrap();
     }
     for i in 0..80u32 {
-        match b.recv(Some(TICK)).unwrap_or_else(|e| panic!("wedged at {i}: {e:?}")) {
+        match b
+            .recv(Some(TICK))
+            .unwrap_or_else(|e| panic!("wedged at {i}: {e:?}"))
+        {
             Incoming::Reliable { payload, .. } => {
                 assert_eq!(payload, i.to_le_bytes().to_vec(), "order broken at {i}");
             }

@@ -43,7 +43,10 @@ fn exactly_once_in_order_on_clean_link() {
         assert_eq!(payload, &(i as u32).to_le_bytes().to_vec());
     }
     // Nothing extra arrives.
-    assert!(matches!(b.recv(Some(Duration::from_millis(50))), Err(Error::Timeout)));
+    assert!(matches!(
+        b.recv(Some(Duration::from_millis(50))),
+        Err(Error::Timeout)
+    ));
 }
 
 #[test]
@@ -58,7 +61,10 @@ fn survives_heavy_loss() {
     for (i, payload) in got.iter().enumerate() {
         assert_eq!(payload, &(i as u32).to_le_bytes().to_vec(), "message {i}");
     }
-    assert!(a.stats().retransmits > 0, "loss should force retransmission");
+    assert!(
+        a.stats().retransmits > 0,
+        "loss should force retransmission"
+    );
 }
 
 #[test]
@@ -73,7 +79,10 @@ fn suppresses_network_duplicates() {
     for (i, payload) in got.iter().enumerate() {
         assert_eq!(payload, &(i as u32).to_le_bytes().to_vec());
     }
-    assert!(matches!(b.recv(Some(Duration::from_millis(80))), Err(Error::Timeout)));
+    assert!(matches!(
+        b.recv(Some(Duration::from_millis(80))),
+        Err(Error::Timeout)
+    ));
     assert!(b.stats().duplicates_suppressed > 0);
 }
 
@@ -111,7 +120,10 @@ fn receipt_resolves_on_ack_and_timeout() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let a = ReliableChannel::new(
         Arc::new(net.endpoint()),
-        ReliableConfig { max_retries: Some(3), ..fast_config() },
+        ReliableConfig {
+            max_retries: Some(3),
+            ..fast_config()
+        },
     );
     let b = ReliableChannel::new(Arc::new(net.endpoint()), fast_config());
     // Successful send resolves Ok.
@@ -150,7 +162,10 @@ fn delivery_resumes_after_transient_partition() {
         a.send(b.local_id(), vec![i]).unwrap();
     }
     std::thread::sleep(Duration::from_millis(100));
-    assert!(matches!(b.recv(Some(Duration::from_millis(30))), Err(Error::Timeout)));
+    assert!(matches!(
+        b.recv(Some(Duration::from_millis(30))),
+        Err(Error::Timeout)
+    ));
     net.set_partitioned(a.local_id(), b.local_id(), false);
     let got = collect_reliable(&b, 5);
     assert_eq!(got, vec![vec![0], vec![1], vec![2], vec![3], vec![4]]);
@@ -216,7 +231,11 @@ fn unreliable_and_broadcast_pass_through() {
     let c = ReliableChannel::new(Arc::new(net.endpoint()), fast_config());
     a.send_unreliable(b.local_id(), b"direct").unwrap();
     match b.recv(Some(TICK)).unwrap() {
-        Incoming::Unreliable { payload, broadcast, from } => {
+        Incoming::Unreliable {
+            payload,
+            broadcast,
+            from,
+        } => {
             assert_eq!(payload, b"direct");
             assert!(!broadcast);
             assert_eq!(from, a.local_id());
@@ -226,7 +245,9 @@ fn unreliable_and_broadcast_pass_through() {
     a.broadcast_unreliable(b"beacon").unwrap();
     for ch in [&b, &c] {
         match ch.recv(Some(TICK)).unwrap() {
-            Incoming::Unreliable { payload, broadcast, .. } => {
+            Incoming::Unreliable {
+                payload, broadcast, ..
+            } => {
                 assert_eq!(payload, b"beacon");
                 assert!(broadcast);
             }

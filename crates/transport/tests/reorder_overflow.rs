@@ -20,7 +20,10 @@ fn reorder_overflow_drops_backlog_then_recovers_in_order() {
     let shared: SharedClock = clock.clone();
     let net = SimNetwork::with_clock(LinkConfig::ideal(), 5, Arc::clone(&shared));
 
-    let config = ReliableConfig { reorder_buffer: 4, ..ReliableConfig::default() };
+    let config = ReliableConfig {
+        reorder_buffer: 4,
+        ..ReliableConfig::default()
+    };
     let tx = ReliableChannel::with_clock(
         Arc::new(net.endpoint()),
         config.clone(),
@@ -40,7 +43,11 @@ fn reorder_overflow_drops_backlog_then_recovers_in_order() {
     };
 
     // Message 1 vanishes on the wire: the head of the stream is a gap.
-    net.set_link(tx.local_id(), rx.local_id(), LinkConfig::ideal().with_loss(1.0));
+    net.set_link(
+        tx.local_id(),
+        rx.local_id(),
+        LinkConfig::ideal().with_loss(1.0),
+    );
     let first = tx.send(rx.local_id(), vec![1]).expect("send 1");
     step_all();
 
@@ -80,7 +87,9 @@ fn reorder_overflow_drops_backlog_then_recovers_in_order() {
         (1u8..=20).collect::<Vec<_>>(),
         "every message must arrive exactly once, in send order"
     );
-    first.wait(Duration::ZERO).expect("message 1 fully acknowledged");
+    first
+        .wait(Duration::ZERO)
+        .expect("message 1 fully acknowledged");
     assert_eq!(tx.pending(rx.local_id()), 0);
 
     let stats = tx.stats();

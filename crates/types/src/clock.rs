@@ -33,7 +33,10 @@ impl SystemClock {
             .duration_since(UNIX_EPOCH)
             .unwrap_or_default()
             .as_micros() as u64;
-        SystemClock { origin: Instant::now(), offset_micros: offset }
+        SystemClock {
+            origin: Instant::now(),
+            offset_micros: offset,
+        }
     }
 }
 
@@ -87,7 +90,10 @@ impl ManualClock {
     /// Panics if `micros` would move the clock backwards.
     pub fn set_micros(&self, micros: u64) {
         let prev = self.micros.swap(micros, Ordering::SeqCst);
-        assert!(prev <= micros, "ManualClock must not move backwards ({prev} -> {micros})");
+        assert!(
+            prev <= micros,
+            "ManualClock must not move backwards ({prev} -> {micros})"
+        );
     }
 }
 

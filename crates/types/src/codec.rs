@@ -90,7 +90,10 @@ impl<'a> Reader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEnd { needed: n, remaining: self.remaining() });
+            return Err(CodecError::UnexpectedEnd {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -117,7 +120,9 @@ impl<'a> Reader<'a> {
     /// Reads a little-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, CodecError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("take returned 8 bytes")))
+        Ok(u64::from_le_bytes(
+            b.try_into().expect("take returned 8 bytes"),
+        ))
     }
 
     /// Reads a little-endian `i64`.
@@ -135,7 +140,10 @@ impl<'a> Reader<'a> {
         match self.u8()? {
             0 => Ok(false),
             1 => Ok(true),
-            t => Err(CodecError::BadTag { what: "bool", tag: t }),
+            t => Err(CodecError::BadTag {
+                what: "bool",
+                tag: t,
+            }),
         }
     }
 
@@ -150,7 +158,10 @@ impl<'a> Reader<'a> {
     pub fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
         let len = self.u32()? as usize;
         if len > MAX_BYTES_LEN {
-            return Err(CodecError::LengthOverflow { declared: len, limit: MAX_BYTES_LEN });
+            return Err(CodecError::LengthOverflow {
+                declared: len,
+                limit: MAX_BYTES_LEN,
+            });
         }
         Ok(self.take(len)?.to_vec())
     }
@@ -159,7 +170,10 @@ impl<'a> Reader<'a> {
     pub fn collection_len(&mut self) -> Result<usize, CodecError> {
         let len = self.u16()? as usize;
         if len > MAX_COLLECTION_LEN {
-            return Err(CodecError::LengthOverflow { declared: len, limit: MAX_COLLECTION_LEN });
+            return Err(CodecError::LengthOverflow {
+                declared: len,
+                limit: MAX_COLLECTION_LEN,
+            });
         }
         Ok(len)
     }
@@ -182,13 +196,19 @@ pub trait WriteExt {
 
 impl WriteExt for BytesMut {
     fn put_str(&mut self, s: &str) {
-        assert!(s.len() <= MAX_STR_LEN, "string field exceeds {MAX_STR_LEN} bytes");
+        assert!(
+            s.len() <= MAX_STR_LEN,
+            "string field exceeds {MAX_STR_LEN} bytes"
+        );
         self.put_u16_le(s.len() as u16);
         self.put_slice(s.as_bytes());
     }
 
     fn put_bytes_field(&mut self, b: &[u8]) {
-        assert!(b.len() <= MAX_BYTES_LEN, "byte field exceeds {MAX_BYTES_LEN} bytes");
+        assert!(
+            b.len() <= MAX_BYTES_LEN,
+            "byte field exceeds {MAX_BYTES_LEN} bytes"
+        );
         self.put_u32_le(b.len() as u32);
         self.put_slice(b);
     }
@@ -250,7 +270,10 @@ impl Encode for EventId {
 
 impl Decode for EventId {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        Ok(EventId { publisher: ServiceId::decode(r)?, seq: r.u64()? })
+        Ok(EventId {
+            publisher: ServiceId::decode(r)?,
+            seq: r.u64()?,
+        })
     }
 }
 
@@ -297,7 +320,10 @@ impl Decode for AttributeValue {
             VAL_DOUBLE => Ok(AttributeValue::Double(r.f64()?)),
             VAL_STR => Ok(AttributeValue::Str(r.str()?)),
             VAL_BYTES => Ok(AttributeValue::Bytes(r.bytes()?)),
-            t => Err(CodecError::BadTag { what: "attribute value", tag: t }),
+            t => Err(CodecError::BadTag {
+                what: "attribute value",
+                tag: t,
+            }),
         }
     }
 }
@@ -372,7 +398,10 @@ impl Decode for Constraint {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let name = r.str()?;
         let tag = r.u8()?;
-        let op = Op::from_tag(tag).ok_or(CodecError::BadTag { what: "operator", tag })?;
+        let op = Op::from_tag(tag).ok_or(CodecError::BadTag {
+            what: "operator",
+            tag,
+        })?;
         let value = AttributeValue::decode(r)?;
         Ok(Constraint { name, op, value })
     }
@@ -396,8 +425,11 @@ impl Encode for Filter {
 
 impl Decode for Filter {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
-        let mut filter =
-            if r.bool()? { Filter::for_type(r.str()?) } else { Filter::any() };
+        let mut filter = if r.bool()? {
+            Filter::for_type(r.str()?)
+        } else {
+            Filter::any()
+        };
         let len = r.collection_len()?;
         for _ in 0..len {
             filter.push(Constraint::decode(r)?);
@@ -474,9 +506,10 @@ mod tests {
 
     #[test]
     fn filter_round_trip() {
-        let f = Filter::for_type("r")
-            .with(("bpm", Op::Gt, 100i64))
-            .with(("sensor", Op::Prefix, "hr"));
+        let f =
+            Filter::for_type("r")
+                .with(("bpm", Op::Gt, 100i64))
+                .with(("sensor", Op::Prefix, "hr"));
         round_trip(&f);
         round_trip(&Filter::any());
     }
@@ -504,25 +537,40 @@ mod tests {
     fn trailing_bytes_rejected() {
         let mut bytes = to_bytes(&AttributeValue::Bool(true));
         bytes.push(0);
-        assert_eq!(from_bytes::<AttributeValue>(&bytes), Err(CodecError::TrailingBytes(1)));
+        assert_eq!(
+            from_bytes::<AttributeValue>(&bytes),
+            Err(CodecError::TrailingBytes(1))
+        );
     }
 
     #[test]
     fn bad_tags_rejected() {
         assert!(matches!(
             from_bytes::<AttributeValue>(&[99]),
-            Err(CodecError::BadTag { what: "attribute value", tag: 99 })
+            Err(CodecError::BadTag {
+                what: "attribute value",
+                tag: 99
+            })
         ));
         // bool with tag 2
         let mut r = Reader::new(&[2]);
-        assert!(matches!(r.bool(), Err(CodecError::BadTag { what: "bool", tag: 2 })));
+        assert!(matches!(
+            r.bool(),
+            Err(CodecError::BadTag {
+                what: "bool",
+                tag: 2
+            })
+        ));
     }
 
     #[test]
     fn bad_utf8_rejected() {
         // VAL_STR, len 1, invalid byte.
         let bytes = [VAL_STR, 1, 0, 0xFF];
-        assert_eq!(from_bytes::<AttributeValue>(&bytes), Err(CodecError::BadUtf8));
+        assert_eq!(
+            from_bytes::<AttributeValue>(&bytes),
+            Err(CodecError::BadUtf8)
+        );
     }
 
     #[test]

@@ -69,7 +69,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEnd { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed} bytes, {remaining} remain")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag:#04x}"),
             CodecError::LengthOverflow { declared, limit } => {
@@ -152,13 +155,24 @@ mod tests {
 
     #[test]
     fn codec_error_display_variants() {
-        assert!(CodecError::UnexpectedEnd { needed: 4, remaining: 1 }
-            .to_string()
-            .contains("needed 4"));
-        assert!(CodecError::BadTag { what: "packet", tag: 0xff }.to_string().contains("0xff"));
-        assert!(CodecError::LengthOverflow { declared: 10, limit: 5 }
-            .to_string()
-            .contains("10"));
+        assert!(CodecError::UnexpectedEnd {
+            needed: 4,
+            remaining: 1
+        }
+        .to_string()
+        .contains("needed 4"));
+        assert!(CodecError::BadTag {
+            what: "packet",
+            tag: 0xff
+        }
+        .to_string()
+        .contains("0xff"));
+        assert!(CodecError::LengthOverflow {
+            declared: 10,
+            limit: 5
+        }
+        .to_string()
+        .contains("10"));
         assert!(CodecError::TrailingBytes(3).to_string().contains('3'));
     }
 }

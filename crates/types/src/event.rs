@@ -30,7 +30,10 @@ impl AttributeSet {
     ) -> Option<AttributeValue> {
         let name = name.into();
         let value = value.into();
-        match self.entries.binary_search_by(|(n, _)| n.as_str().cmp(&name)) {
+        match self
+            .entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(&name))
+        {
             Ok(i) => Some(std::mem::replace(&mut self.entries[i].1, value)),
             Err(i) => {
                 self.entries.insert(i, (name, value));
@@ -125,7 +128,12 @@ pub struct Event {
 impl Event {
     /// Starts building an event of type `event_type`.
     pub fn builder(event_type: impl Into<String>) -> EventBuilder {
-        EventBuilder { event: Event { event_type: event_type.into(), ..Event::default() } }
+        EventBuilder {
+            event: Event {
+                event_type: event_type.into(),
+                ..Event::default()
+            },
+        }
     }
 
     /// Creates an event with a type name and no attributes.
@@ -348,7 +356,10 @@ mod tests {
 
     #[test]
     fn display_contains_type_and_attrs() {
-        let e = Event::builder("t").attr("a", 1i64).payload(vec![0u8; 4]).build();
+        let e = Event::builder("t")
+            .attr("a", 1i64)
+            .payload(vec![0u8; 4])
+            .build();
         let s = e.to_string();
         assert!(s.contains("t["));
         assert!(s.contains("a=1"));

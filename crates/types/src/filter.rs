@@ -40,8 +40,18 @@ pub enum Op {
 
 impl Op {
     /// All operators, in tag order.
-    pub const ALL: [Op; 10] =
-        [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge, Op::Prefix, Op::Suffix, Op::Contains, Op::Exists];
+    pub const ALL: [Op; 10] = [
+        Op::Eq,
+        Op::Ne,
+        Op::Lt,
+        Op::Le,
+        Op::Gt,
+        Op::Ge,
+        Op::Prefix,
+        Op::Suffix,
+        Op::Contains,
+        Op::Exists,
+    ];
 
     /// Decodes an operator from its wire tag.
     pub fn from_tag(tag: u8) -> Option<Op> {
@@ -86,7 +96,11 @@ pub struct Constraint {
 impl Constraint {
     /// Creates a constraint.
     pub fn new(name: impl Into<String>, op: Op, value: impl Into<AttributeValue>) -> Self {
-        Constraint { name: name.into(), op, value: value.into() }
+        Constraint {
+            name: name.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// Evaluates the constraint against a concrete attribute value.
@@ -102,7 +116,10 @@ impl Constraint {
                 actual.partial_cmp_filter(&self.value),
                 Some(Ordering::Less | Ordering::Equal)
             ),
-            Op::Gt => matches!(actual.partial_cmp_filter(&self.value), Some(Ordering::Greater)),
+            Op::Gt => matches!(
+                actual.partial_cmp_filter(&self.value),
+                Some(Ordering::Greater)
+            ),
             Op::Ge => matches!(
                 actual.partial_cmp_filter(&self.value),
                 Some(Ordering::Greater | Ordering::Equal)
@@ -177,12 +194,10 @@ impl Constraint {
             },
             (Op::Prefix, Op::Contains)
             | (Op::Suffix, Op::Contains)
-            | (Op::Contains, Op::Contains) => {
-                match (self.value.as_str(), other.value.as_str()) {
-                    (Some(a), Some(b)) => a.contains(b),
-                    _ => false,
-                }
-            }
+            | (Op::Contains, Op::Contains) => match (self.value.as_str(), other.value.as_str()) {
+                (Some(a), Some(b)) => a.contains(b),
+                _ => false,
+            },
             _ => false,
         }
     }
@@ -225,7 +240,10 @@ impl Filter {
 
     /// A filter matching all events of one type.
     pub fn for_type(event_type: impl Into<String>) -> Self {
-        Filter { event_type: Some(event_type.into()), constraints: Vec::new() }
+        Filter {
+            event_type: Some(event_type.into()),
+            constraints: Vec::new(),
+        }
     }
 
     /// Adds a constraint (builder style).
@@ -339,7 +357,11 @@ pub struct Subscription {
 impl Subscription {
     /// Creates a subscription record.
     pub fn new(id: SubscriptionId, subscriber: ServiceId, filter: Filter) -> Self {
-        Subscription { id, subscriber, filter }
+        Subscription {
+            id,
+            subscriber,
+            filter,
+        }
     }
 }
 
@@ -354,7 +376,10 @@ mod tests {
     use super::*;
 
     fn ev(bpm: i64) -> Event {
-        Event::builder("r").attr("bpm", bpm).attr("sensor", "hr").build()
+        Event::builder("r")
+            .attr("bpm", bpm)
+            .attr("sensor", "hr")
+            .build()
     }
 
     #[test]
@@ -427,7 +452,9 @@ mod tests {
 
     #[test]
     fn filter_conjunction() {
-        let f = Filter::any().with(("bpm", Op::Gt, 50i64)).with(("bpm", Op::Lt, 150i64));
+        let f = Filter::any()
+            .with(("bpm", Op::Gt, 50i64))
+            .with(("bpm", Op::Lt, 150i64));
         assert!(f.matches(&ev(100)));
         assert!(!f.matches(&ev(10)));
         assert!(!f.matches(&ev(200)));
@@ -435,7 +462,9 @@ mod tests {
 
     #[test]
     fn filter_constraints_sorted_by_name() {
-        let f = Filter::any().with(("z", Op::Exists, 0i64)).with(("a", Op::Exists, 0i64));
+        let f = Filter::any()
+            .with(("z", Op::Exists, 0i64))
+            .with(("a", Op::Exists, 0i64));
         let names: Vec<&str> = f.constraints().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(names, vec!["a", "z"]);
     }
@@ -494,7 +523,9 @@ mod tests {
     #[test]
     fn covering_conjunction() {
         let wide = Filter::any().with(("a", Op::Gt, 0i64));
-        let narrow = Filter::any().with(("a", Op::Gt, 5i64)).with(("b", Op::Eq, 1i64));
+        let narrow = Filter::any()
+            .with(("a", Op::Gt, 5i64))
+            .with(("b", Op::Eq, 1i64));
         assert!(wide.covers(&narrow));
         assert!(!narrow.covers(&wide));
     }
@@ -504,11 +535,7 @@ mod tests {
         let f = Filter::for_type("r").with(("bpm", Op::Gt, 10i64));
         assert_eq!(f.to_string(), "[r] bpm > 10");
         assert_eq!(Filter::any().to_string(), "[*]");
-        let s = Subscription::new(
-            SubscriptionId(3),
-            ServiceId::from_raw(1),
-            Filter::any(),
-        );
+        let s = Subscription::new(SubscriptionId(3), ServiceId::from_raw(1), Filter::any());
         assert!(s.to_string().contains("sub-3"));
     }
 

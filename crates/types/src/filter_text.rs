@@ -142,8 +142,14 @@ mod tests {
 
     #[test]
     fn type_only_forms() {
-        assert_eq!(parse_filter("smc.alarm").unwrap(), Filter::for_type("smc.alarm"));
-        assert_eq!(parse_filter("smc.alarm :").unwrap(), Filter::for_type("smc.alarm"));
+        assert_eq!(
+            parse_filter("smc.alarm").unwrap(),
+            Filter::for_type("smc.alarm")
+        );
+        assert_eq!(
+            parse_filter("smc.alarm :").unwrap(),
+            Filter::for_type("smc.alarm")
+        );
         assert_eq!(parse_filter("*").unwrap(), Filter::any());
         assert_eq!(parse_filter("").unwrap(), Filter::any());
         assert_eq!(parse_filter("  * :  ").unwrap(), Filter::any());
@@ -152,8 +158,14 @@ mod tests {
     #[test]
     fn full_filter_matches_as_expected() {
         let f = parse_filter(r#"smc.sensor.reading : sensor == "hr" && bpm > 120"#).unwrap();
-        let yes = Event::builder("smc.sensor.reading").attr("sensor", "hr").attr("bpm", 130i64).build();
-        let no = Event::builder("smc.sensor.reading").attr("sensor", "hr").attr("bpm", 100i64).build();
+        let yes = Event::builder("smc.sensor.reading")
+            .attr("sensor", "hr")
+            .attr("bpm", 130i64)
+            .build();
+        let no = Event::builder("smc.sensor.reading")
+            .attr("sensor", "hr")
+            .attr("bpm", 100i64)
+            .build();
         assert!(f.matches(&yes));
         assert!(!f.matches(&no));
     }
@@ -212,7 +224,10 @@ mod tests {
             "* : && a == 1",
         ] {
             let err = parse_filter(bad);
-            assert!(matches!(err, Err(Error::Invalid(_))), "'{bad}' gave {err:?}");
+            assert!(
+                matches!(err, Err(Error::Invalid(_))),
+                "'{bad}' gave {err:?}"
+            );
         }
     }
 
@@ -220,7 +235,10 @@ mod tests {
     fn round_trips_through_display_semantics() {
         // The Display form differs syntactically but selects identically.
         let f = parse_filter(r#"smc.alarm : kind == "fever" && severity >= 2"#).unwrap();
-        let e = Event::builder("smc.alarm").attr("kind", "fever").attr("severity", 3i64).build();
+        let e = Event::builder("smc.alarm")
+            .attr("kind", "fever")
+            .attr("severity", 3i64)
+            .build();
         assert!(f.matches(&e));
         assert!(f.to_string().contains("smc.alarm"));
     }

@@ -43,6 +43,7 @@ pub mod id;
 pub mod member;
 pub mod packet;
 pub mod value;
+pub mod wal;
 
 pub use clock::{system_clock, Clock, ManualClock, SharedClock, SystemClock};
 pub use error::{CodecError, Error, Result};
@@ -51,8 +52,9 @@ pub use filter::{Constraint, Filter, Op, Subscription};
 pub use filter_text::parse_filter;
 pub use id::{CellId, EventId, ServiceId, SubscriptionId};
 pub use member::{
-    device_type_of, member_id_of, new_member_event, purge_member_event, wellknown,
-    PurgeReason, ServiceInfo,
+    device_type_of, member_id_of, new_member_event, purge_member_event, wellknown, PurgeReason,
+    ServiceInfo,
 };
 pub use packet::Packet;
 pub use value::AttributeValue;
+pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, WalRecord};

@@ -128,7 +128,12 @@ impl Decode for ServiceInfo {
         for _ in 0..n {
             roles.push(r.str()?);
         }
-        Ok(ServiceInfo { id, device_type, display_name, roles })
+        Ok(ServiceInfo {
+            id,
+            device_type,
+            display_name,
+            roles,
+        })
     }
 }
 
@@ -184,13 +189,15 @@ mod tests {
 
     #[test]
     fn new_member_event_carries_identity() {
-        let info = ServiceInfo::new(ServiceId::from_raw(0xBEEF), "sensor.spo2")
-            .with_role("sensor");
+        let info = ServiceInfo::new(ServiceId::from_raw(0xBEEF), "sensor.spo2").with_role("sensor");
         let e = new_member_event(&info);
         assert_eq!(e.event_type(), wellknown::NEW_MEMBER);
         assert_eq!(member_id_of(&e), Some(ServiceId::from_raw(0xBEEF)));
         assert_eq!(device_type_of(&e), Some("sensor.spo2"));
-        assert_eq!(e.attr(wellknown::ROLES).and_then(|v| v.as_str()), Some("sensor"));
+        assert_eq!(
+            e.attr(wellknown::ROLES).and_then(|v| v.as_str()),
+            Some("sensor")
+        );
     }
 
     #[test]

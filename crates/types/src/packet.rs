@@ -225,7 +225,10 @@ impl Encode for Packet {
                 buf.put_u64_le(*request_id);
                 filter.encode(buf);
             }
-            Packet::SubscribeAck { request_id, subscription } => {
+            Packet::SubscribeAck {
+                request_id,
+                subscription,
+            } => {
                 buf.put_u8(P_SUBSCRIBE_ACK);
                 buf.put_u64_le(*request_id);
                 subscription.encode(buf);
@@ -238,7 +241,11 @@ impl Encode for Packet {
                 buf.put_u8(P_UNSUBSCRIBE_ACK);
                 id.encode(buf);
             }
-            Packet::Beacon { cell, discovery, seq } => {
+            Packet::Beacon {
+                cell,
+                discovery,
+                seq,
+            } => {
                 buf.put_u8(P_BEACON);
                 cell.encode(buf);
                 discovery.encode(buf);
@@ -249,7 +256,13 @@ impl Encode for Packet {
                 info.encode(buf);
                 buf.put_bytes_field(auth_token);
             }
-            Packet::JoinResponse { accepted, reason, cell, lease_millis, bus } => {
+            Packet::JoinResponse {
+                accepted,
+                reason,
+                cell,
+                lease_millis,
+                bus,
+            } => {
                 buf.put_u8(P_JOIN_RESPONSE);
                 buf.put_bool(*accepted);
                 buf.put_str(reason);
@@ -295,7 +308,10 @@ impl Encode for Packet {
                 buf.put_u64_le(*request_id);
                 filter.encode(buf);
             }
-            Packet::AdvertiseAck { request_id, interested } => {
+            Packet::AdvertiseAck {
+                request_id,
+                interested,
+            } => {
                 buf.put_u8(P_ADVERTISE_ACK);
                 buf.put_u64_le(*request_id);
                 buf.put_bool(*interested);
@@ -321,9 +337,10 @@ impl Decode for Packet {
             P_PUBLISH_ACK => Packet::PublishAck(EventId::decode(r)?),
             P_DELIVER => Packet::Deliver(Event::decode(r)?),
             P_DELIVER_ACK => Packet::DeliverAck(EventId::decode(r)?),
-            P_SUBSCRIBE => {
-                Packet::Subscribe { request_id: r.u64()?, filter: Filter::decode(r)? }
-            }
+            P_SUBSCRIBE => Packet::Subscribe {
+                request_id: r.u64()?,
+                filter: Filter::decode(r)?,
+            },
             P_SUBSCRIBE_ACK => Packet::SubscribeAck {
                 request_id: r.u64()?,
                 subscription: SubscriptionId::decode(r)?,
@@ -335,9 +352,10 @@ impl Decode for Packet {
                 discovery: ServiceId::decode(r)?,
                 seq: r.u64()?,
             },
-            P_JOIN_REQUEST => {
-                Packet::JoinRequest { info: ServiceInfo::decode(r)?, auth_token: r.bytes()? }
-            }
+            P_JOIN_REQUEST => Packet::JoinRequest {
+                info: ServiceInfo::decode(r)?,
+                auth_token: r.bytes()?,
+            },
             P_JOIN_RESPONSE => Packet::JoinResponse {
                 accepted: r.bool()?,
                 reason: r.str()?,
@@ -345,28 +363,47 @@ impl Decode for Packet {
                 lease_millis: r.u64()?,
                 bus: ServiceId::decode(r)?,
             },
-            P_HEARTBEAT => Packet::Heartbeat { member: ServiceId::decode(r)?, seq: r.u64()? },
+            P_HEARTBEAT => Packet::Heartbeat {
+                member: ServiceId::decode(r)?,
+                seq: r.u64()?,
+            },
             P_HEARTBEAT_ACK => Packet::HeartbeatAck { seq: r.u64()? },
-            P_LEAVE => Packet::Leave { member: ServiceId::decode(r)?, reason: r.str()? },
+            P_LEAVE => Packet::Leave {
+                member: ServiceId::decode(r)?,
+                reason: r.str()?,
+            },
             P_QUENCH => Packet::Quench { enable: r.bool()? },
             P_COMMAND => Packet::Command {
                 target: ServiceId::decode(r)?,
                 name: r.str()?,
                 args: AttributeSet::decode(r)?,
             },
-            P_COMMAND_ACK => {
-                Packet::CommandAck { target: ServiceId::decode(r)?, name: r.str()? }
-            }
+            P_COMMAND_ACK => Packet::CommandAck {
+                target: ServiceId::decode(r)?,
+                name: r.str()?,
+            },
             P_RAW => Packet::Raw(r.bytes()?),
-            P_ADVERTISE => {
-                Packet::Advertise { request_id: r.u64()?, filter: Filter::decode(r)? }
+            P_ADVERTISE => Packet::Advertise {
+                request_id: r.u64()?,
+                filter: Filter::decode(r)?,
+            },
+            P_ADVERTISE_ACK => Packet::AdvertiseAck {
+                request_id: r.u64()?,
+                interested: r.bool()?,
+            },
+            P_POLICY_DEPLOY => Packet::PolicyDeploy {
+                payload: r.bytes()?,
+            },
+            P_ERROR => Packet::Error {
+                about: r.str()?,
+                message: r.str()?,
+            },
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "packet",
+                    tag: t,
+                })
             }
-            P_ADVERTISE_ACK => {
-                Packet::AdvertiseAck { request_id: r.u64()?, interested: r.bool()? }
-            }
-            P_POLICY_DEPLOY => Packet::PolicyDeploy { payload: r.bytes()? },
-            P_ERROR => Packet::Error { about: r.str()?, message: r.str()? },
-            t => return Err(CodecError::BadTag { what: "packet", tag: t }),
         })
     }
 }
@@ -401,7 +438,10 @@ mod tests {
             request_id: 11,
             filter: Filter::for_type("t").with(("a", Op::Ge, 1i64)),
         });
-        round_trip(Packet::SubscribeAck { request_id: 11, subscription: SubscriptionId(3) });
+        round_trip(Packet::SubscribeAck {
+            request_id: 11,
+            subscription: SubscriptionId(3),
+        });
         round_trip(Packet::Unsubscribe(SubscriptionId(3)));
         round_trip(Packet::UnsubscribeAck(SubscriptionId(3)));
         round_trip(Packet::Beacon {
@@ -420,9 +460,15 @@ mod tests {
             lease_millis: 30_000,
             bus: ServiceId::from_raw(0xB05),
         });
-        round_trip(Packet::Heartbeat { member: ServiceId::from_raw(5), seq: 8 });
+        round_trip(Packet::Heartbeat {
+            member: ServiceId::from_raw(5),
+            seq: 8,
+        });
         round_trip(Packet::HeartbeatAck { seq: 8 });
-        round_trip(Packet::Leave { member: ServiceId::from_raw(5), reason: "off".into() });
+        round_trip(Packet::Leave {
+            member: ServiceId::from_raw(5),
+            reason: "off".into(),
+        });
         round_trip(Packet::Quench { enable: true });
         let mut args = AttributeSet::new();
         args.insert("threshold", 120i64);
@@ -440,9 +486,17 @@ mod tests {
             request_id: 4,
             filter: Filter::for_type("smc.sensor.reading"),
         });
-        round_trip(Packet::AdvertiseAck { request_id: 4, interested: true });
-        round_trip(Packet::PolicyDeploy { payload: vec![1, 2, 3] });
-        round_trip(Packet::Error { about: "evt-9".into(), message: "denied".into() });
+        round_trip(Packet::AdvertiseAck {
+            request_id: 4,
+            interested: true,
+        });
+        round_trip(Packet::PolicyDeploy {
+            payload: vec![1, 2, 3],
+        });
+        round_trip(Packet::Error {
+            about: "evt-9".into(),
+            message: "denied".into(),
+        });
     }
 
     #[test]
@@ -452,7 +506,10 @@ mod tests {
             Packet::Quench { enable: true }.kind(),
             Packet::Raw(vec![]).kind(),
         ];
-        assert_eq!(kinds.len(), kinds.iter().collect::<std::collections::HashSet<_>>().len());
+        assert_eq!(
+            kinds.len(),
+            kinds.iter().collect::<std::collections::HashSet<_>>().len()
+        );
     }
 
     #[test]

@@ -111,7 +111,9 @@ impl AttributeValue {
             (Bytes(a), Bytes(b)) => Some(a.cmp(b)),
             (a, b) if a.is_numeric() && b.is_numeric() => {
                 // Unwrap is fine: is_numeric guarantees as_numeric is Some.
-                a.as_numeric().unwrap().partial_cmp(&b.as_numeric().unwrap())
+                a.as_numeric()
+                    .unwrap()
+                    .partial_cmp(&b.as_numeric().unwrap())
             }
             _ => None,
         }
@@ -219,7 +221,10 @@ mod tests {
         let i = AttributeValue::Int(5);
         let d = AttributeValue::Double(5.0);
         assert!(i.eq_filter(&d));
-        assert_eq!(i.partial_cmp_filter(&AttributeValue::Double(5.5)), Some(Ordering::Less));
+        assert_eq!(
+            i.partial_cmp_filter(&AttributeValue::Double(5.5)),
+            Some(Ordering::Less)
+        );
         assert_eq!(
             AttributeValue::Double(9.0).partial_cmp_filter(&AttributeValue::Int(3)),
             Some(Ordering::Greater)
@@ -272,14 +277,23 @@ mod tests {
     fn display_forms() {
         assert_eq!(AttributeValue::Int(42).to_string(), "42");
         assert_eq!(AttributeValue::from("a").to_string(), "\"a\"");
-        assert_eq!(AttributeValue::from(vec![0xabu8, 0x01]).to_string(), "0xab01");
+        assert_eq!(
+            AttributeValue::from(vec![0xabu8, 0x01]).to_string(),
+            "0xab01"
+        );
     }
 
     #[test]
     fn from_impls() {
         assert_eq!(AttributeValue::from(3i32), AttributeValue::Int(3));
         assert_eq!(AttributeValue::from(3u32), AttributeValue::Int(3));
-        assert_eq!(AttributeValue::from(String::from("x")), AttributeValue::Str("x".into()));
-        assert_eq!(AttributeValue::from(&b"ab"[..]), AttributeValue::Bytes(vec![97, 98]));
+        assert_eq!(
+            AttributeValue::from(String::from("x")),
+            AttributeValue::Str("x".into())
+        );
+        assert_eq!(
+            AttributeValue::from(&b"ab"[..]),
+            AttributeValue::Bytes(vec![97, 98])
+        );
     }
 }

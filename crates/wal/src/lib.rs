@@ -1,0 +1,1011 @@
+//! The durability layer of the SMC core: an append-only, checksummed,
+//! segment-based write-ahead log plus a periodic snapshot.
+//!
+//! The paper's delivery guarantees (§II-C: exactly-once, per-sender
+//! FIFO, queue-until-acked) are promises about *state* — receive
+//! cursors, outbound proxy queues, subscriptions, membership. While that
+//! state lives only in memory, the guarantees end at the first core
+//! crash. This crate makes the state outlive the process:
+//!
+//! * [`Wal`] frames [`WalRecord`]s as `[len][crc32][payload]` into
+//!   numbered segments behind a [`WalBackend`], optionally fsyncing each
+//!   append, and compacts them with [`CoreSnapshot`]s;
+//! * [`Wal::open`] recovers: decode the latest snapshot, replay every
+//!   segment in order, skip checksum-corrupt records, stop at a torn
+//!   tail — never panicking on damaged storage;
+//! * [`WalChannelJournal`] adapts a [`Wal`] to the transport layer's
+//!   [`ChannelJournal`] hooks, so a `ReliableChannel` journals cursors
+//!   and outbound queues as it runs;
+//! * backends: [`FileBackend`] (real files, `fsync`), [`MemBackend`]
+//!   (deterministic, with injectable torn-tail / corrupt-record / fsync
+//!   faults for the virtual-time harness), and [`NoopBackend`] (retains
+//!   nothing — exists so tests can prove the oracle catches a core that
+//!   recovers without a log).
+//!
+//! Crash-consistency argument, in one paragraph: the channel journals a
+//! cursor advance *before* delivering or acking a message, and journals
+//! an outbound enqueue *before* the message can reach the wire. So at
+//! every crash point, anything a peer saw acknowledged is in the log
+//! (exactly-once holds on replay), and anything accepted for sending is
+//! either in the log or was never sent (queue-until-acked holds).
+//! Trimming records (`OutAck`, `OutForget`) may be lost with the tail —
+//! recovery then resends an already-acked message, which the receiver's
+//! restored cursor suppresses.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use smc_transport::ChannelJournal;
+use smc_types::codec::{from_bytes, to_bytes};
+use smc_types::{CoreSnapshot, Error, Result, ServiceId, WalRecord};
+
+/// Channel discriminator for the bus/device channel's journal records.
+pub const CHAN_BUS: u8 = 0;
+/// Channel discriminator for the discovery channel's journal records.
+pub const CHAN_DISCOVERY: u8 = 1;
+
+/// Upper bound on one framed record's payload — far above any event the
+/// bus carries, low enough that a torn length prefix is recognised
+/// instead of driving a huge read.
+pub const MAX_RECORD_LEN: usize = 1024 * 1024;
+
+const RECORD_HEADER_LEN: usize = 8;
+
+// --- crc32 -----------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE 802.3, as used by gzip/zlib) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// --- backend trait ---------------------------------------------------------
+
+/// Storage abstraction under the [`Wal`]: numbered append-only segments
+/// plus one atomically-replaced snapshot blob.
+///
+/// Implementations decide what "durable" means — real files with `fsync`
+/// ([`FileBackend`]), deterministic memory with injectable faults
+/// ([`MemBackend`]), or nothing at all ([`NoopBackend`]).
+pub trait WalBackend: Send + Sync + std::fmt::Debug {
+    /// Ids of all existing segments, ascending.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure listing the storage.
+    fn segments(&self) -> Result<Vec<u64>>;
+    /// Full contents of segment `id`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or unknown segment.
+    fn read_segment(&self, id: u64) -> Result<Vec<u8>>;
+    /// Creates empty segment `id` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    fn create_segment(&self, id: u64) -> Result<()>;
+    /// Appends `data` to segment `id`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure or unknown segment.
+    fn append(&self, id: u64, data: &[u8]) -> Result<()>;
+    /// Makes segment `id`'s appended data durable (fsync).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure — the caller treats the appended data as *not*
+    /// durable and propagates the error.
+    fn sync(&self, id: u64) -> Result<()>;
+    /// Deletes segment `id` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// I/O failure.
+    fn remove_segment(&self, id: u64) -> Result<()>;
+    /// The current snapshot blob, if one was ever written.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure (a missing snapshot is `Ok(None)`).
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>>;
+    /// Atomically replaces the snapshot blob.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure; on error the previous snapshot must survive.
+    fn write_snapshot(&self, data: &[u8]) -> Result<()>;
+}
+
+fn io_err(context: &str, e: std::io::Error) -> Error {
+    Error::Io(format!("{context}: {e}"))
+}
+
+// --- file backend ----------------------------------------------------------
+
+/// A [`WalBackend`] over real files in one directory: `seg-NNNNNNNN.wal`
+/// segments and a `snapshot.bin` blob replaced via write-to-temp+rename.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+}
+
+impl FileBackend {
+    /// Opens (creating if needed) the WAL directory at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure creating the directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create wal dir", e))?;
+        Ok(FileBackend { dir })
+    }
+
+    fn segment_path(&self, id: u64) -> PathBuf {
+        self.dir.join(format!("seg-{id:08}.wal"))
+    }
+
+    fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("snapshot.bin")
+    }
+}
+
+impl WalBackend for FileBackend {
+    fn segments(&self) -> Result<Vec<u64>> {
+        let mut ids = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| io_err("list wal dir", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list wal dir", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|s| s.strip_suffix(".wal"))
+            {
+                if let Ok(id) = id.parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+        ids.sort_unstable();
+        Ok(ids)
+    }
+
+    fn read_segment(&self, id: u64) -> Result<Vec<u8>> {
+        fs::read(self.segment_path(id)).map_err(|e| io_err("read segment", e))
+    }
+
+    fn create_segment(&self, id: u64) -> Result<()> {
+        fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.segment_path(id))
+            .map(|_| ())
+            .map_err(|e| io_err("create segment", e))
+    }
+
+    fn append(&self, id: u64, data: &[u8]) -> Result<()> {
+        let mut file = fs::OpenOptions::new()
+            .append(true)
+            .open(self.segment_path(id))
+            .map_err(|e| io_err("open segment", e))?;
+        file.write_all(data)
+            .map_err(|e| io_err("append segment", e))
+    }
+
+    fn sync(&self, id: u64) -> Result<()> {
+        let file = fs::File::open(self.segment_path(id)).map_err(|e| io_err("open segment", e))?;
+        file.sync_data().map_err(|e| io_err("fsync segment", e))
+    }
+
+    fn remove_segment(&self, id: u64) -> Result<()> {
+        match fs::remove_file(self.segment_path(id)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove segment", e)),
+        }
+    }
+
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>> {
+        match fs::read(self.snapshot_path()) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read snapshot", e)),
+        }
+    }
+
+    fn write_snapshot(&self, data: &[u8]) -> Result<()> {
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut file = fs::File::create(&tmp).map_err(|e| io_err("create snapshot", e))?;
+            file.write_all(data)
+                .map_err(|e| io_err("write snapshot", e))?;
+            file.sync_data().map_err(|e| io_err("fsync snapshot", e))?;
+        }
+        fs::rename(&tmp, self.snapshot_path()).map_err(|e| io_err("rename snapshot", e))
+    }
+}
+
+// --- memory backend --------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct MemState {
+    segments: BTreeMap<u64, Vec<u8>>,
+    snapshot: Option<Vec<u8>>,
+    /// `Some(n)`: the next `n` fsyncs succeed, every one after fails.
+    fsyncs_until_failure: Option<u64>,
+}
+
+/// A deterministic in-memory [`WalBackend`] with injectable faults.
+///
+/// Cloning shares the underlying storage, so a harness can keep a handle
+/// across a simulated crash and hand a clone to the recovering core —
+/// exactly how a real process would find its files again.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> Self {
+        MemBackend::default()
+    }
+
+    /// Injects a torn tail write into the newest segment: a record
+    /// header claiming more bytes than follow — what a power cut
+    /// mid-`write` leaves behind.
+    pub fn inject_torn_tail(&self) {
+        let mut state = self.state.lock();
+        if let Some(data) = state.segments.values_mut().next_back() {
+            data.extend_from_slice(&1000u32.to_le_bytes());
+            data.extend_from_slice(&0u32.to_le_bytes());
+            data.extend_from_slice(&[0xEE; 10]);
+        }
+    }
+
+    /// Flips one byte inside the payload of the last complete record of
+    /// the newest non-empty segment, leaving its stored checksum stale.
+    pub fn corrupt_tail_record(&self) {
+        let mut state = self.state.lock();
+        if let Some(data) = state.segments.values_mut().rev().find(|d| !d.is_empty()) {
+            // Walk the frames to find the last record's payload offset.
+            let mut pos = 0usize;
+            let mut last_payload = None;
+            while data.len() - pos >= RECORD_HEADER_LEN {
+                let len =
+                    u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                if len > MAX_RECORD_LEN || pos + RECORD_HEADER_LEN + len > data.len() {
+                    break;
+                }
+                last_payload = Some(pos + RECORD_HEADER_LEN);
+                pos += RECORD_HEADER_LEN + len;
+            }
+            if let Some(offset) = last_payload {
+                data[offset] ^= 0xFF;
+            }
+        }
+    }
+
+    /// Makes every fsync after the next `n` fail with an I/O error.
+    pub fn fail_fsync_after(&self, n: u64) {
+        self.state.lock().fsyncs_until_failure = Some(n);
+    }
+
+    /// Clears an injected fsync fault.
+    pub fn heal_fsync(&self) {
+        self.state.lock().fsyncs_until_failure = None;
+    }
+}
+
+impl WalBackend for MemBackend {
+    fn segments(&self) -> Result<Vec<u64>> {
+        Ok(self.state.lock().segments.keys().copied().collect())
+    }
+
+    fn read_segment(&self, id: u64) -> Result<Vec<u8>> {
+        self.state
+            .lock()
+            .segments
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("wal segment {id}")))
+    }
+
+    fn create_segment(&self, id: u64) -> Result<()> {
+        self.state.lock().segments.entry(id).or_default();
+        Ok(())
+    }
+
+    fn append(&self, id: u64, data: &[u8]) -> Result<()> {
+        let mut state = self.state.lock();
+        match state.segments.get_mut(&id) {
+            Some(segment) => {
+                segment.extend_from_slice(data);
+                Ok(())
+            }
+            None => Err(Error::NotFound(format!("wal segment {id}"))),
+        }
+    }
+
+    fn sync(&self, _id: u64) -> Result<()> {
+        let mut state = self.state.lock();
+        match &mut state.fsyncs_until_failure {
+            Some(0) => Err(Error::Io("injected fsync failure".into())),
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    fn remove_segment(&self, id: u64) -> Result<()> {
+        self.state.lock().segments.remove(&id);
+        Ok(())
+    }
+
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>> {
+        Ok(self.state.lock().snapshot.clone())
+    }
+
+    fn write_snapshot(&self, data: &[u8]) -> Result<()> {
+        self.state.lock().snapshot = Some(data.to_vec());
+        Ok(())
+    }
+}
+
+// --- noop backend ----------------------------------------------------------
+
+/// A [`WalBackend`] that retains nothing.
+///
+/// Recovery from it always finds an empty log — the "durability layer
+/// disabled" configuration the acceptance tests use to prove the chaos
+/// oracle actually detects a core that forgets its delivery state.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopBackend;
+
+impl WalBackend for NoopBackend {
+    fn segments(&self) -> Result<Vec<u64>> {
+        Ok(Vec::new())
+    }
+
+    fn read_segment(&self, _id: u64) -> Result<Vec<u8>> {
+        Ok(Vec::new())
+    }
+
+    fn create_segment(&self, _id: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn append(&self, _id: u64, _data: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn sync(&self, _id: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn remove_segment(&self, _id: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn read_snapshot(&self) -> Result<Option<Vec<u8>>> {
+        Ok(None)
+    }
+
+    fn write_snapshot(&self, _data: &[u8]) -> Result<()> {
+        Ok(())
+    }
+}
+
+// --- the log engine --------------------------------------------------------
+
+/// Tuning knobs for the [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotate to a new segment once the active one exceeds this size.
+    pub segment_max_bytes: usize,
+    /// Fsync after every append (the durable default). Disabling trades
+    /// the crash-consistency guarantee for throughput.
+    pub sync_each_append: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_max_bytes: 256 * 1024,
+            sync_each_append: true,
+        }
+    }
+}
+
+/// What [`Wal::open`] rebuilt from storage.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The state to resume from: latest snapshot plus every replayed
+    /// record folded in.
+    pub snapshot: CoreSnapshot,
+    /// Log records successfully replayed.
+    pub replayed: u64,
+    /// Records dropped for checksum or decode failures (including an
+    /// undecodable snapshot blob).
+    pub skipped: u64,
+    /// Whether a torn tail ended a segment early.
+    pub truncated: bool,
+    /// Wall-clock duration of recovery, in microseconds. Reporting only
+    /// — never feed it into a deterministic trace.
+    pub recovery_micros: u64,
+}
+
+/// Counters describing a [`Wal`]'s activity since open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalMetrics {
+    /// Records appended.
+    pub records_appended: u64,
+    /// Framed bytes appended (headers included).
+    pub bytes_appended: u64,
+    /// Fsyncs performed.
+    pub fsyncs: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+}
+
+#[derive(Debug)]
+struct WalInner {
+    active: u64,
+    active_bytes: usize,
+}
+
+/// The write-ahead log: checksummed record framing and snapshot
+/// compaction over a [`WalBackend`].
+#[derive(Debug)]
+pub struct Wal {
+    backend: Arc<dyn WalBackend>,
+    config: WalConfig,
+    inner: Mutex<WalInner>,
+    records_appended: AtomicU64,
+    bytes_appended: AtomicU64,
+    fsyncs: AtomicU64,
+    snapshots: AtomicU64,
+}
+
+impl Wal {
+    /// Opens the log, running recovery: decodes the latest snapshot,
+    /// replays every segment in id order (skipping corrupt records,
+    /// stopping a segment at a torn tail), then starts a fresh active
+    /// segment so damaged tails are never appended to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O failures. Damaged *contents* (bad
+    /// checksums, torn tails, undecodable snapshots) are not errors —
+    /// they are tallied in [`Recovered`] and recovery continues.
+    pub fn open(backend: Arc<dyn WalBackend>, config: WalConfig) -> Result<(Wal, Recovered)> {
+        let started = Instant::now();
+        let mut snapshot = CoreSnapshot::default();
+        let mut replayed = 0u64;
+        let mut skipped = 0u64;
+        let mut truncated = false;
+
+        if let Some(blob) = backend.read_snapshot()? {
+            match decode_snapshot(&blob) {
+                Some(snap) => snapshot = snap,
+                None => skipped += 1,
+            }
+        }
+
+        let segment_ids = backend.segments()?;
+        for &id in &segment_ids {
+            let data = backend.read_segment(id)?;
+            let mut pos = 0usize;
+            while data.len() - pos >= RECORD_HEADER_LEN {
+                let len =
+                    u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+                let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+                if len > MAX_RECORD_LEN || pos + RECORD_HEADER_LEN + len > data.len() {
+                    // Torn tail: the header (or payload) never finished
+                    // hitting storage. Nothing after it in this segment
+                    // is trustworthy.
+                    truncated = true;
+                    break;
+                }
+                let payload = &data[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
+                pos += RECORD_HEADER_LEN + len;
+                if crc32(payload) != crc {
+                    skipped += 1;
+                    continue;
+                }
+                match from_bytes::<WalRecord>(payload) {
+                    Ok(record) => {
+                        snapshot.apply(&record);
+                        replayed += 1;
+                    }
+                    Err(_) => skipped += 1,
+                }
+            }
+            if data.len() > pos {
+                // Trailing sub-header bytes are also a torn tail.
+                truncated = true;
+            }
+        }
+
+        // Always start a new active segment: a damaged tail stays frozen
+        // in its old segment instead of being appended past.
+        let active = segment_ids.last().map_or(1, |last| last + 1);
+        backend.create_segment(active)?;
+
+        let wal = Wal {
+            backend,
+            config,
+            inner: Mutex::new(WalInner {
+                active,
+                active_bytes: 0,
+            }),
+            records_appended: AtomicU64::new(0),
+            bytes_appended: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+        };
+        let recovered = Recovered {
+            snapshot,
+            replayed,
+            skipped,
+            truncated,
+            recovery_micros: started.elapsed().as_micros() as u64,
+        };
+        Ok((wal, recovered))
+    }
+
+    /// Appends one record, rotating segments as configured and fsyncing
+    /// if `sync_each_append` is set.
+    ///
+    /// # Errors
+    ///
+    /// Backend append/fsync failures — on error the record must be
+    /// treated as *not* durable (the channel layer then refuses to ack
+    /// the state transition it describes).
+    pub fn append(&self, record: &WalRecord) -> Result<()> {
+        let payload = to_bytes(record);
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(Error::Invalid(format!(
+                "wal record of {} bytes",
+                payload.len()
+            )));
+        }
+        let mut framed = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+
+        let mut inner = self.inner.lock();
+        if inner.active_bytes > 0
+            && inner.active_bytes + framed.len() > self.config.segment_max_bytes
+        {
+            let next = inner.active + 1;
+            self.backend.create_segment(next)?;
+            inner.active = next;
+            inner.active_bytes = 0;
+        }
+        self.backend.append(inner.active, &framed)?;
+        inner.active_bytes += framed.len();
+        self.records_appended.fetch_add(1, Ordering::Relaxed);
+        self.bytes_appended
+            .fetch_add(framed.len() as u64, Ordering::Relaxed);
+        if self.config.sync_each_append {
+            self.backend.sync(inner.active)?;
+            self.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// Writes `snapshot` and compacts: all segments written before it
+    /// are removed and a fresh active segment begins. Atomic with
+    /// respect to concurrent appends.
+    ///
+    /// # Errors
+    ///
+    /// Backend I/O failures; on a snapshot-write failure the log is
+    /// untouched and the previous snapshot remains current.
+    pub fn snapshot(&self, snapshot: &CoreSnapshot) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let payload = to_bytes(snapshot);
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        self.backend.write_snapshot(&framed)?;
+        let old_segments = self.backend.segments()?;
+        let next = inner.active + 1;
+        self.backend.create_segment(next)?;
+        inner.active = next;
+        inner.active_bytes = 0;
+        for id in old_segments {
+            if id != next {
+                self.backend.remove_segment(id)?;
+            }
+        }
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// A snapshot of the log's activity counters.
+    pub fn metrics(&self) -> WalMetrics {
+        WalMetrics {
+            records_appended: self.records_appended.load(Ordering::Relaxed),
+            bytes_appended: self.bytes_appended.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            snapshots: self.snapshots.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The backend this log writes to.
+    pub fn backend(&self) -> &Arc<dyn WalBackend> {
+        &self.backend
+    }
+}
+
+fn decode_snapshot(blob: &[u8]) -> Option<CoreSnapshot> {
+    if blob.len() < 4 {
+        return None;
+    }
+    let crc = u32::from_le_bytes(blob[..4].try_into().expect("4 bytes"));
+    let payload = &blob[4..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    from_bytes::<CoreSnapshot>(payload).ok()
+}
+
+// --- channel journal adapter -----------------------------------------------
+
+/// Adapts a shared [`Wal`] to one channel's [`ChannelJournal`] hooks,
+/// tagging every record with the channel discriminator (one SMC core
+/// journals several channels — bus and discovery — into one log).
+#[derive(Debug)]
+pub struct WalChannelJournal {
+    wal: Arc<Wal>,
+    chan: u8,
+}
+
+impl WalChannelJournal {
+    /// Journals channel `chan`'s state transitions into `wal`.
+    pub fn new(wal: Arc<Wal>, chan: u8) -> Self {
+        WalChannelJournal { wal, chan }
+    }
+}
+
+impl ChannelJournal for WalChannelJournal {
+    fn on_cursor(&self, peer: ServiceId, epoch: u64, expected: u64) -> Result<()> {
+        self.wal.append(&WalRecord::RxCursor {
+            chan: self.chan,
+            peer,
+            epoch,
+            expected,
+        })
+    }
+
+    fn on_enqueue(&self, peer: ServiceId, seq: u64, payload: &[u8]) -> Result<()> {
+        self.wal.append(&WalRecord::OutEnqueue {
+            chan: self.chan,
+            peer,
+            seq,
+            payload: payload.to_vec(),
+        })
+    }
+
+    fn on_acked(&self, peer: ServiceId, seq: u64) -> Result<()> {
+        self.wal.append(&WalRecord::OutAck {
+            chan: self.chan,
+            peer,
+            seq,
+        })
+    }
+
+    fn on_forget(&self, peer: ServiceId) -> Result<()> {
+        self.wal.append(&WalRecord::OutForget {
+            chan: self.chan,
+            peer,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sid(n: u64) -> ServiceId {
+        ServiceId::from_raw(n)
+    }
+
+    fn cursor(peer: u64, expected: u64) -> WalRecord {
+        WalRecord::RxCursor {
+            chan: CHAN_BUS,
+            peer: sid(peer),
+            epoch: 7,
+            expected,
+        }
+    }
+
+    fn open_mem(backend: &MemBackend) -> (Wal, Recovered) {
+        Wal::open(Arc::new(backend.clone()), WalConfig::default()).expect("open")
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn reopen_replays_appended_records() {
+        let backend = MemBackend::new();
+        let (wal, first) = open_mem(&backend);
+        assert_eq!(first.replayed, 0);
+        wal.append(&cursor(1, 5)).unwrap();
+        wal.append(&cursor(1, 6)).unwrap();
+        wal.append(&WalRecord::OutEnqueue {
+            chan: CHAN_BUS,
+            peer: sid(2),
+            seq: 1,
+            payload: vec![9; 32],
+        })
+        .unwrap();
+        drop(wal);
+
+        let (_, recovered) = open_mem(&backend);
+        assert_eq!(recovered.replayed, 3);
+        assert_eq!(recovered.skipped, 0);
+        assert!(!recovered.truncated);
+        assert_eq!(
+            recovered.snapshot.cursors_for(CHAN_BUS),
+            vec![(sid(1), 7, 6)]
+        );
+        assert_eq!(
+            recovered.snapshot.outbound_for(CHAN_BUS),
+            vec![(sid(2), vec![vec![9; 32]])]
+        );
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        wal.append(&cursor(1, 5)).unwrap();
+        wal.append(&cursor(1, 6)).unwrap();
+        drop(wal);
+        backend.inject_torn_tail();
+
+        let (wal, recovered) = open_mem(&backend);
+        assert!(recovered.truncated, "a torn tail must be reported");
+        assert_eq!(recovered.replayed, 2, "records before the tear survive");
+        assert_eq!(
+            recovered.snapshot.cursors_for(CHAN_BUS),
+            vec![(sid(1), 7, 6)]
+        );
+
+        // New appends land in a fresh segment and survive another reopen.
+        wal.append(&cursor(1, 7)).unwrap();
+        drop(wal);
+        let (_, again) = open_mem(&backend);
+        assert_eq!(again.snapshot.cursors_for(CHAN_BUS), vec![(sid(1), 7, 7)]);
+    }
+
+    #[test]
+    fn corrupt_record_is_skipped() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        wal.append(&cursor(1, 5)).unwrap();
+        wal.append(&cursor(1, 6)).unwrap();
+        drop(wal);
+        backend.corrupt_tail_record();
+
+        let (_, recovered) = open_mem(&backend);
+        assert_eq!(recovered.skipped, 1, "the corrupt record is dropped");
+        assert_eq!(recovered.replayed, 1, "the intact record still replays");
+        assert!(!recovered.truncated);
+        assert_eq!(
+            recovered.snapshot.cursors_for(CHAN_BUS),
+            vec![(sid(1), 7, 5)]
+        );
+    }
+
+    #[test]
+    fn fsync_failure_propagates_to_append() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        backend.fail_fsync_after(1);
+        wal.append(&cursor(1, 5)).unwrap();
+        let err = wal
+            .append(&cursor(1, 6))
+            .expect_err("fsync fault must fail the append");
+        assert!(matches!(err, Error::Io(_)));
+        backend.heal_fsync();
+        wal.append(&cursor(1, 6)).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_all_replay() {
+        let backend = MemBackend::new();
+        let config = WalConfig {
+            segment_max_bytes: 64,
+            sync_each_append: true,
+        };
+        let (wal, _) = Wal::open(Arc::new(backend.clone()), config.clone()).unwrap();
+        for i in 1..=20 {
+            wal.append(&cursor(1, i)).unwrap();
+        }
+        drop(wal);
+        assert!(
+            backend.segments().unwrap().len() > 1,
+            "64-byte segments must have rotated: {:?}",
+            backend.segments().unwrap()
+        );
+        let (_, recovered) = Wal::open(Arc::new(backend.clone()), config).unwrap();
+        assert_eq!(recovered.replayed, 20);
+        assert_eq!(
+            recovered.snapshot.cursors_for(CHAN_BUS),
+            vec![(sid(1), 7, 20)]
+        );
+    }
+
+    #[test]
+    fn snapshot_compacts_and_recovers() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        for i in 1..=5 {
+            wal.append(&cursor(1, i)).unwrap();
+        }
+        let mut snap = CoreSnapshot::default();
+        snap.apply(&cursor(1, 5));
+        wal.snapshot(&snap).unwrap();
+        assert_eq!(
+            backend.segments().unwrap().len(),
+            1,
+            "compaction removes old segments"
+        );
+        wal.append(&cursor(1, 6)).unwrap();
+        assert_eq!(wal.metrics().snapshots, 1);
+        drop(wal);
+
+        let (_, recovered) = open_mem(&backend);
+        assert_eq!(
+            recovered.replayed, 1,
+            "only the post-snapshot record replays"
+        );
+        assert_eq!(
+            recovered.snapshot.cursors_for(CHAN_BUS),
+            vec![(sid(1), 7, 6)]
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_recovers_empty_not_panicking() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        let mut snap = CoreSnapshot::default();
+        snap.apply(&cursor(1, 5));
+        wal.snapshot(&snap).unwrap();
+        drop(wal);
+        // Flip a payload byte so the snapshot checksum no longer holds.
+        {
+            let mut blob = backend.read_snapshot().unwrap().unwrap();
+            let last = blob.len() - 1;
+            blob[last] ^= 0xFF;
+            backend.write_snapshot(&blob).unwrap();
+        }
+        let (_, recovered) = open_mem(&backend);
+        assert_eq!(recovered.skipped, 1, "the corrupt snapshot is counted");
+        assert!(recovered.snapshot.cursors_for(CHAN_BUS).is_empty());
+    }
+
+    #[test]
+    fn noop_backend_retains_nothing() {
+        let backend = Arc::new(NoopBackend);
+        let (wal, _) = Wal::open(backend.clone(), WalConfig::default()).unwrap();
+        wal.append(&cursor(1, 5)).unwrap();
+        drop(wal);
+        let (_, recovered) = Wal::open(backend, WalConfig::default()).unwrap();
+        assert_eq!(recovered.replayed, 0);
+        assert_eq!(recovered.snapshot, CoreSnapshot::default());
+    }
+
+    #[test]
+    fn metrics_count_appends_and_fsyncs() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        wal.append(&cursor(1, 1)).unwrap();
+        wal.append(&cursor(1, 2)).unwrap();
+        let m = wal.metrics();
+        assert_eq!(m.records_appended, 2);
+        assert_eq!(m.fsyncs, 2);
+        assert!(m.bytes_appended > 2 * RECORD_HEADER_LEN as u64);
+    }
+
+    #[test]
+    fn file_backend_round_trips() {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "smc-wal-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let backend = Arc::new(FileBackend::open(&dir).unwrap());
+        let (wal, _) = Wal::open(backend.clone(), WalConfig::default()).unwrap();
+        wal.append(&cursor(1, 5)).unwrap();
+        let mut snap = CoreSnapshot::default();
+        snap.apply(&cursor(2, 9));
+        wal.snapshot(&snap).unwrap();
+        wal.append(&cursor(1, 6)).unwrap();
+        drop(wal);
+
+        let (_, recovered) = Wal::open(backend, WalConfig::default()).unwrap();
+        assert_eq!(recovered.replayed, 1);
+        let mut cursors = recovered.snapshot.cursors_for(CHAN_BUS);
+        cursors.sort_unstable_by_key(|&(id, _, _)| id);
+        assert_eq!(cursors, vec![(sid(1), 7, 6), (sid(2), 7, 9)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_channel_journal_tags_records() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        let wal = Arc::new(wal);
+        let bus = WalChannelJournal::new(Arc::clone(&wal), CHAN_BUS);
+        let disco = WalChannelJournal::new(Arc::clone(&wal), CHAN_DISCOVERY);
+        bus.on_cursor(sid(1), 3, 10).unwrap();
+        disco.on_enqueue(sid(2), 1, &[5, 6]).unwrap();
+        bus.on_acked(sid(3), 4).unwrap();
+        disco.on_forget(sid(2)).unwrap();
+        drop(bus);
+        drop(disco);
+        drop(wal);
+
+        let (_, recovered) = open_mem(&backend);
+        assert_eq!(recovered.replayed, 4);
+        assert_eq!(
+            recovered.snapshot.cursors_for(CHAN_BUS),
+            vec![(sid(1), 3, 10)]
+        );
+        assert!(recovered.snapshot.cursors_for(CHAN_DISCOVERY).is_empty());
+        assert!(recovered.snapshot.outbound_for(CHAN_DISCOVERY).is_empty());
+    }
+}

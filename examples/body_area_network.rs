@@ -79,8 +79,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Admit the patient: four sensors + an infusion pump, with a cardiac
     // event scripted to start two seconds in.
     let scenario = Scenario::stable("demo-cardiac")
-        .with(Episode::new(EpisodeKind::Tachycardia, Duration::from_secs(2), Duration::from_secs(20), 0.9))
-        .with(Episode::new(EpisodeKind::Hypoxia, Duration::from_secs(1), Duration::from_secs(20), 0.9));
+        .with(Episode::new(
+            EpisodeKind::Tachycardia,
+            Duration::from_secs(2),
+            Duration::from_secs(20),
+            0.9,
+        ))
+        .with(Episode::new(
+            EpisodeKind::Hypoxia,
+            Duration::from_secs(1),
+            Duration::from_secs(20),
+            0.9,
+        ));
     let patient = Patient::admit(&net, "bed 4", &scenario, 2024, Duration::from_millis(100))?;
     println!(
         "admitted patient '{}' with {} sensors and {} actuator(s); members: {}",
@@ -114,7 +124,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "saw {alarms} alarms of kinds {kinds:?}; infusion pump applied: {:?}",
         &pump_state.applied[..pump_state.applied.len().min(3)]
     );
-    assert!(!pump_state.applied.is_empty(), "the hypoxia policy must drive the pump");
+    assert!(
+        !pump_state.applied.is_empty(),
+        "the hypoxia policy must drive the pump"
+    );
 
     println!(
         "bus metrics: {} events published, {} deliveries, {} policy actions",

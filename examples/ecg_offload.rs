@@ -44,10 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     station.subscribe(Filter::for_type(wellknown::ALARM), TIMEOUT)?;
 
     // The waveform itself bypasses the bus: streamer → viewer, raw.
-    let stream_tx =
-        ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
-    let stream_rx =
-        ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
+    let stream_tx = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
+    let stream_rx = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
     let mut streamer = EcgStreamer::new(
         Arc::clone(&stream_tx),
         stream_rx.local_id(),
@@ -76,7 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Meanwhile the management plane still works, reliably, on the same
     // lossy network: the ECG monitor raises an artefact alarm via the bus.
     ecg_monitor.publish(
-        Event::builder(wellknown::ALARM).attr("kind", "lead-off").build(),
+        Event::builder(wellknown::ALARM)
+            .attr("kind", "lead-off")
+            .build(),
         TIMEOUT,
     )?;
     let alarm = station.next_event(TIMEOUT)?;

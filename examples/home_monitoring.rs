@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .when(Expr::parse("celsius > 37.3")?)
         .then(ActionSpec::PublishEvent {
             event_type: wellknown::ALARM.into(),
-            attrs: vec![("kind".into(), ValueTemplate::Literal("elevated-temperature".into()))],
+            attrs: vec![(
+                "kind".into(),
+                ValueTemplate::Literal("elevated-temperature".into()),
+            )],
         }),
     ))?;
     // Strict mode starts disabled.
@@ -85,9 +88,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Duration::from_secs(60),
         0.9,
     ));
-    let patch =
-        SensorRunner::start(&net, SensorKind::Temperature, &scenario, 11, Duration::from_millis(80))?;
-    println!("temperature patch {} joined the home cell", patch.device_id());
+    let patch = SensorRunner::start(
+        &net,
+        SensorKind::Temperature,
+        &scenario,
+        11,
+        Duration::from_millis(80),
+    )?;
+    println!(
+        "temperature patch {} joined the home cell",
+        patch.device_id()
+    );
 
     // The patient wanders to the garden: out of range for a moment.
     std::thread::sleep(Duration::from_millis(400));

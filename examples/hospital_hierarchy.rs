@@ -22,7 +22,11 @@ fn start_cell(net: &SimNetwork, id: u64) -> Arc<SmcCell> {
     SmcCell::start(
         Arc::new(net.endpoint()),
         Arc::new(net.endpoint()),
-        SmcConfig { cell: CellId(id), discovery: DiscoveryConfig::fast(), ..SmcConfig::fast() },
+        SmcConfig {
+            cell: CellId(id),
+            discovery: DiscoveryConfig::fast(),
+            ..SmcConfig::fast()
+        },
     )
 }
 
@@ -30,7 +34,10 @@ fn connect(net: &SimNetwork, cell: CellId, device_type: &str, role: &str) -> Arc
     RemoteClient::connect(
         ServiceInfo::new(ServiceId::NIL, device_type).with_role(role),
         ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default()),
-        AgentConfig { cell_filter: Some(cell), ..AgentConfig::default() },
+        AgentConfig {
+            cell_filter: Some(cell),
+            ..AgentConfig::default()
+        },
         TIMEOUT,
     )
     .expect("join")
@@ -75,14 +82,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pump = connect(&net, bed2.cell_id(), "actuator.pump", "actuator");
 
     sensor.publish(
-        Event::builder("smc.alarm").attr("kind", "tachycardia").attr("bpm", 152i64).build(),
+        Event::builder("smc.alarm")
+            .attr("kind", "tachycardia")
+            .attr("bpm", 152i64)
+            .build(),
         TIMEOUT,
     )?;
     let alarm = board.next_event(TIMEOUT)?;
-    let path: Vec<String> = composition_path(&alarm).iter().map(|c| c.to_string()).collect();
+    let path: Vec<String> = composition_path(&alarm)
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
     println!("hospital board sees: {alarm}");
     println!("  bubbled out of: {}", path.join(" → "));
-    assert_eq!(path, vec!["cell-65", "cell-a"], "bed1(0x65=101) then ward(0xa=10)");
+    assert_eq!(
+        path,
+        vec!["cell-65", "cell-a"],
+        "bed1(0x65=101) then ward(0xa=10)"
+    );
 
     // Downward: the ward nurses bed 2's actuators as one unit.
     let mut args = AttributeSet::new();
@@ -90,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     args.insert("rate", 5i64);
     ward.send_command(bed2_link.parent_identity(), "set-rate", args)?;
     let cmd = pump.next_command(TIMEOUT)?;
-    println!("bed 2 pump executed: {} rate={:?}", cmd.name, cmd.args.get("rate").unwrap());
+    println!(
+        "bed 2 pump executed: {} rate={:?}",
+        cmd.name,
+        cmd.args.get("rate").unwrap()
+    );
 
     println!(
         "link stats: ward-in-hospital exported {}, bed1 exported {}, bed2 relayed {} command(s)",

@@ -29,12 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for p in amuse::policy::ehealth_baseline() {
         cell.policy().add(p)?;
     }
-    cell.policy().add(Policy::Authorisation(AuthorisationPolicy::deny(
-        "quiet-hours",
-        "sensor",
-        ActionClass::Publish,
-        "smc.sensor.reading",
-    )))?;
+    cell.policy()
+        .add(Policy::Authorisation(AuthorisationPolicy::deny(
+            "quiet-hours",
+            "sensor",
+            ActionClass::Publish,
+            "smc.sensor.reading",
+        )))?;
     cell.policy().disable("quiet-hours")?;
     cell.policy()
         .register_deployment("sensor.*", vec!["sensors-publish-readings".into()]);
@@ -54,8 +55,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         set.policies.iter().map(|p| p.id()).collect::<Vec<_>>()
     );
 
-    let reading =
-        || Event::builder("smc.sensor.reading").attr("sensor", "heart-rate").attr("bpm", 70i64).build();
+    let reading = || {
+        Event::builder("smc.sensor.reading")
+            .attr("sensor", "heart-rate")
+            .attr("bpm", 70i64)
+            .build()
+    };
 
     // Publishing is permitted by the deployed authorisation.
     sensor.publish(reading(), TIMEOUT)?;
@@ -74,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Removing the policy entirely also works mid-flight.
     let removed = cell.policy().remove("quiet-hours")?;
-    println!("removed policy '{}'; {} policies remain", removed.id(), cell.policy().len());
+    println!(
+        "removed policy '{}'; {} policies remain",
+        removed.id(),
+        cell.policy().len()
+    );
 
     println!(
         "bus saw {} publishes, denied {}",

@@ -77,7 +77,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let escalated = nurse.next_event(TIMEOUT)?;
     println!("escalated alarm: {escalated}");
-    assert_eq!(escalated.attr("kind").unwrap().as_str(), Some("elevated-temperature"));
+    assert_eq!(
+        escalated.attr("kind").unwrap().as_str(),
+        Some("elevated-temperature")
+    );
 
     println!("audit log:");
     for line in cell.policy().audit_log() {

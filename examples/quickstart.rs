@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let sensor = connect("sensor.heart-rate")?;
     let monitor = connect("monitor.station")?;
-    println!("sensor {} and monitor {} joined", sensor.local_id(), monitor.local_id());
+    println!(
+        "sensor {} and monitor {} joined",
+        sensor.local_id(),
+        monitor.local_id()
+    );
 
     // Content-based subscription: only elevated heart rates.
     monitor.subscribe(
@@ -50,18 +54,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A calm reading does not match; a racing one does.
     sensor.publish(
-        Event::builder("smc.sensor.reading").attr("sensor", "heart-rate").attr("bpm", 72i64).build(),
+        Event::builder("smc.sensor.reading")
+            .attr("sensor", "heart-rate")
+            .attr("bpm", 72i64)
+            .build(),
         TIMEOUT,
     )?;
     sensor.publish(
-        Event::builder("smc.sensor.reading").attr("sensor", "heart-rate").attr("bpm", 147i64).build(),
+        Event::builder("smc.sensor.reading")
+            .attr("sensor", "heart-rate")
+            .attr("bpm", 147i64)
+            .build(),
         TIMEOUT,
     )?;
 
     let alert = monitor.next_event(TIMEOUT)?;
     println!("monitor received: {alert}");
     assert_eq!(alert.attr("bpm").and_then(|v| v.as_int()), Some(147));
-    assert!(monitor.try_next_event().is_none(), "the calm reading was filtered out");
+    assert!(
+        monitor.try_next_event().is_none(),
+        "the calm reading was filtered out"
+    );
 
     println!(
         "bus metrics: {} published, {} delivered, {} unmatched",

@@ -39,34 +39,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A slow-burn infection: fever and mild tachycardia ramping in.
     let scenario = Scenario::stable("developing-infection")
-        .with(Episode::new(EpisodeKind::Fever, Duration::from_secs(2), Duration::from_secs(60), 0.5))
+        .with(Episode::new(
+            EpisodeKind::Fever,
+            Duration::from_secs(2),
+            Duration::from_secs(60),
+            0.5,
+        ))
         .with(Episode::new(
             EpisodeKind::Tachycardia,
             Duration::from_secs(2),
             Duration::from_secs(60),
             0.25,
         ));
-    let patch =
-        SensorRunner::start(&net, SensorKind::Temperature, &scenario, 3, Duration::from_millis(40))?;
-    let strap =
-        SensorRunner::start(&net, SensorKind::HeartRate, &scenario, 4, Duration::from_millis(40))?;
+    let patch = SensorRunner::start(
+        &net,
+        SensorKind::Temperature,
+        &scenario,
+        3,
+        Duration::from_millis(40),
+    )?;
+    let strap = SensorRunner::start(
+        &net,
+        SensorKind::HeartRate,
+        &scenario,
+        4,
+        Duration::from_millis(40),
+    )?;
 
     std::thread::sleep(Duration::from_secs(6));
 
     let temp_filter = parse_filter(r#"smc.sensor.reading : sensor == "temperature""#)?;
     let hr_filter = parse_filter(r#"smc.sensor.reading : sensor == "heart-rate""#)?;
 
-    let temp = store.summarise(&temp_filter, "celsius").expect("temperature data");
+    let temp = store
+        .summarise(&temp_filter, "celsius")
+        .expect("temperature data");
     let hr = store.summarise(&hr_filter, "bpm").expect("heart-rate data");
 
     println!("recorded {} readings", store.len());
     println!(
         "temperature: n={} range {:.1}–{:.1} °C, mean {:.2}, latest {:.1}, drift {:+.2}",
-        temp.count, temp.min, temp.max, temp.mean, temp.last, temp.drift()
+        temp.count,
+        temp.min,
+        temp.max,
+        temp.mean,
+        temp.last,
+        temp.drift()
     );
     println!(
         "heart rate:  n={} range {:.0}–{:.0} bpm, mean {:.1}, latest {:.0}, drift {:+.2}",
-        hr.count, hr.min, hr.max, hr.mean, hr.last, hr.drift()
+        hr.count,
+        hr.min,
+        hr.max,
+        hr.mean,
+        hr.last,
+        hr.drift()
     );
 
     // The point: both channels drift upward together well before any
@@ -80,12 +107,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The raw series is also available for offline study.
     let recent = store.query(&temp_filter);
-    println!("latest temperature samples: {:?}", recent
-        .iter()
-        .rev()
-        .take(5)
-        .filter_map(|e| e.attr("celsius").and_then(|v| v.as_double()))
-        .collect::<Vec<_>>());
+    println!(
+        "latest temperature samples: {:?}",
+        recent
+            .iter()
+            .rev()
+            .take(5)
+            .filter_map(|e| e.attr("celsius").and_then(|v| v.as_double()))
+            .collect::<Vec<_>>()
+    );
 
     patch.stop();
     strap.stop();

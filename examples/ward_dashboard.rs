@@ -62,7 +62,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Duration::from_secs(30),
         0.9,
     ));
-    let acute = Patient::admit(&net, "bed 2 (acute)", &acute_scenario, 42, Duration::from_millis(120))?;
+    let acute = Patient::admit(
+        &net,
+        "bed 2 (acute)",
+        &acute_scenario,
+        42,
+        Duration::from_millis(120),
+    )?;
 
     // Print three dashboard frames, two seconds apart.
     for frame in 1..=3 {
@@ -83,9 +89,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "bus: {} published · {} delivered · {} unmatched · {} policy actions",
             metrics.published, metrics.deliveries, metrics.unmatched, metrics.policy_actions
         );
-        let pending: Vec<String> =
-            alarms.try_iter().map(|a| format!("bpm={}", a.attr("bpm").unwrap())).collect();
-        println!("alarms this frame: {}", if pending.is_empty() { "none".into() } else { pending.join(", ") });
+        let pending: Vec<String> = alarms
+            .try_iter()
+            .map(|a| format!("bpm={}", a.attr("bpm").unwrap()))
+            .collect();
+        println!(
+            "alarms this frame: {}",
+            if pending.is_empty() {
+                "none".into()
+            } else {
+                pending.join(", ")
+            }
+        );
     }
 
     assert!(cell.metrics().published > 0);

@@ -64,16 +64,40 @@ fn full_stack_over_real_udp() {
     let monitor = connect(monitor_t, "monitor.station");
 
     monitor
-        .subscribe(Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 100i64)), TICK)
+        .subscribe(
+            Filter::for_type("smc.sensor.reading").with(("bpm", Op::Gt, 100i64)),
+            TICK,
+        )
         .unwrap();
 
     for bpm in [72i64, 131, 88, 154] {
         sensor
-            .publish(Event::builder("smc.sensor.reading").attr("bpm", bpm).build(), TICK)
+            .publish(
+                Event::builder("smc.sensor.reading")
+                    .attr("bpm", bpm)
+                    .build(),
+                TICK,
+            )
             .unwrap();
     }
-    assert_eq!(monitor.next_event(TICK).unwrap().attr("bpm").unwrap().as_int(), Some(131));
-    assert_eq!(monitor.next_event(TICK).unwrap().attr("bpm").unwrap().as_int(), Some(154));
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("bpm")
+            .unwrap()
+            .as_int(),
+        Some(131)
+    );
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("bpm")
+            .unwrap()
+            .as_int(),
+        Some(154)
+    );
     assert!(monitor.try_next_event().is_none());
 
     sensor.shutdown();
@@ -126,7 +150,11 @@ fn engine_swap_torture() {
         })
     };
     // Swap engines while events are in flight.
-    for kind in [EngineKind::Siena, EngineKind::Naive, EngineKind::FastForward] {
+    for kind in [
+        EngineKind::Siena,
+        EngineKind::Naive,
+        EngineKind::FastForward,
+    ] {
         std::thread::sleep(Duration::from_millis(60));
         cell.bus().swap_engine(kind).unwrap();
     }
@@ -134,7 +162,11 @@ fn engine_swap_torture() {
 
     for i in 0..150i64 {
         let got = monitor.next_event(TICK).unwrap();
-        assert_eq!(got.attr("n").unwrap().as_int(), Some(i), "gap or reorder at {i}");
+        assert_eq!(
+            got.attr("n").unwrap().as_int(),
+            Some(i),
+            "gap or reorder at {i}"
+        );
     }
     assert!(monitor.try_next_event().is_none(), "no duplicates");
 
@@ -169,14 +201,19 @@ fn semantics_survive_hostile_network() {
     monitor.subscribe(Filter::for_type("t"), TICK).unwrap();
 
     for i in 0..60i64 {
-        sensor.publish_nowait(Event::builder("t").attr("n", i).build()).unwrap();
+        sensor
+            .publish_nowait(Event::builder("t").attr("n", i).build())
+            .unwrap();
     }
     for i in 0..60i64 {
         let got = monitor.next_event(Duration::from_secs(20)).unwrap();
         assert_eq!(got.attr("n").unwrap().as_int(), Some(i));
     }
     std::thread::sleep(Duration::from_millis(200));
-    assert!(monitor.try_next_event().is_none(), "duplicates leaked through");
+    assert!(
+        monitor.try_next_event().is_none(),
+        "duplicates leaked through"
+    );
 
     sensor.shutdown();
     monitor.shutdown();

@@ -46,11 +46,15 @@ fn many_devices_many_events() {
     all.subscribe(Filter::for_type("soak"), TICK).unwrap();
     let evens = connect("monitor.evens".into());
     evens
-        .subscribe(Filter::for_type("soak").with(("parity", Op::Eq, 0i64)), TICK)
+        .subscribe(
+            Filter::for_type("soak").with(("parity", Op::Eq, 0i64)),
+            TICK,
+        )
         .unwrap();
 
-    let sensors: Vec<Arc<RemoteClient>> =
-        (0..SENSORS).map(|i| connect(format!("sensor.soak{i}"))).collect();
+    let sensors: Vec<Arc<RemoteClient>> = (0..SENSORS)
+        .map(|i| connect(format!("sensor.soak{i}")))
+        .collect();
 
     let mut handles = Vec::new();
     for (idx, sensor) in sensors.iter().enumerate() {
@@ -77,13 +81,18 @@ fn many_devices_many_events() {
     let mut next: Vec<i64> = vec![0; SENSORS];
     let total = SENSORS as i64 * EVENTS_PER_SENSOR;
     for got in 0..total {
-        let e = all.next_event(TICK).unwrap_or_else(|e| panic!("all-monitor starves after {got}/{total}: {e:?}"));
+        let e = all
+            .next_event(TICK)
+            .unwrap_or_else(|e| panic!("all-monitor starves after {got}/{total}: {e:?}"));
         let stream = e.attr("stream").unwrap().as_int().unwrap() as usize;
         let n = e.attr("n").unwrap().as_int().unwrap();
         assert_eq!(n, next[stream], "stream {stream} out of order");
         next[stream] += 1;
     }
-    assert!(all.try_next_event().is_none(), "duplicates at the all-monitor");
+    assert!(
+        all.try_next_event().is_none(),
+        "duplicates at the all-monitor"
+    );
 
     // The evens-monitor sees exactly the even streams' events.
     let even_total = (0..SENSORS).filter(|i| i % 2 == 0).count() as i64 * EVENTS_PER_SENSOR;

@@ -19,7 +19,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with at least `capacity` bytes reserved.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { inner: Vec::with_capacity(capacity) }
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of bytes written so far.

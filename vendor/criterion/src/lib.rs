@@ -24,12 +24,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Creates an id from a function name and a parameter value.
     pub fn new<P: Display>(function_id: &str, parameter: P) -> Self {
-        BenchmarkId { id: format!("{function_id}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
     }
 
     /// Creates an id from a parameter value only.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -169,7 +173,10 @@ impl<'a> BenchmarkGroup<'a> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
-    let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+    let mut bencher = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
     f(&mut bencher);
     if bencher.iters == 0 {
         println!("{id:<48} (no iterations measured)");
@@ -187,7 +194,10 @@ fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut
         }
         None => String::new(),
     };
-    println!("{id:<48} {:>12.1} ns/iter ({} iters){rate}", ns_per_iter, bencher.iters);
+    println!(
+        "{id:<48} {:>12.1} ns/iter ({} iters){rate}",
+        ns_per_iter, bencher.iters
+    );
 }
 
 /// Declares a group of benchmark functions.

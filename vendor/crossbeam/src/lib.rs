@@ -103,7 +103,12 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { chan: Arc::clone(&chan) }, Receiver { chan })
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
     }
 
     /// Creates a channel with a capacity hint.
@@ -118,7 +123,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.chan.senders.fetch_add(1, Ordering::SeqCst);
-            Sender { chan: Arc::clone(&self.chan) }
+            Sender {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
@@ -135,7 +142,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.chan.receivers.fetch_add(1, Ordering::SeqCst);
-            Receiver { chan: Arc::clone(&self.chan) }
+            Receiver {
+                chan: Arc::clone(&self.chan),
+            }
         }
     }
 
@@ -222,7 +231,11 @@ pub mod channel {
 
         /// Number of values currently queued.
         pub fn len(&self) -> usize {
-            self.chan.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
         }
 
         /// Returns `true` if nothing is queued.
@@ -262,9 +275,15 @@ mod tests {
     #[test]
     fn timeout_and_disconnect() {
         let (tx, rx) = unbounded::<u8>();
-        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Timeout));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
         drop(tx);
-        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Err(RecvTimeoutError::Disconnected));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the value.
@@ -35,16 +37,18 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())) }
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
     }
 
     /// Tries to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(e)) => {
-                Some(MutexGuard { inner: Some(e.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -82,7 +86,9 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T> RwLock<T> {
     /// Creates a lock holding `value`.
     pub const fn new(value: T) -> Self {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the value.
@@ -94,12 +100,16 @@ impl<T> RwLock<T> {
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read guard.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard { inner: self.inner.read().unwrap_or_else(|e| e.into_inner()) }
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquires an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard { inner: self.inner.write().unwrap_or_else(|e| e.into_inner()) }
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 }
 
@@ -145,13 +155,18 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a condition variable.
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Blocks until notified, releasing the guard while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present");
-        let std_guard = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
     }
 
@@ -167,7 +182,9 @@ impl Condvar {
             .wait_timeout(std_guard, timeout)
             .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
-        WaitTimeoutResult { timed_out: res.timed_out() }
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     /// Wakes one waiter.

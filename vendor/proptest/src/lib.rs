@@ -27,7 +27,9 @@ pub struct TestRng {
 impl TestRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> Self {
-        TestRng { inner: StdRng::seed_from_u64(seed) }
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Next 64 uniformly random bits.
@@ -58,14 +60,20 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
@@ -121,7 +129,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Arc::new(self) }
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
     }
 }
 
@@ -132,7 +142,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        BoxedStrategy { inner: Arc::clone(&self.inner) }
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -209,14 +221,18 @@ pub struct Union<T> {
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
-        Union { options: self.options.clone() }
+        Union {
+            options: self.options.clone(),
+        }
     }
 }
 
 impl<T> Union<T> {
     /// Uniform choice.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
-        Union { options: options.into_iter().map(|s| (1, s)).collect() }
+        Union {
+            options: options.into_iter().map(|s| (1, s)).collect(),
+        }
     }
 
     /// Weighted choice.
@@ -344,9 +360,9 @@ fn parse_pattern(pattern: &str) -> Vec<(Atom, u32, u32)> {
                             ranges.push((start, end));
                         }
                         '\\' => {
-                            if let Some(p) = prev.replace(
-                                chars.next().expect("dangling escape in class"),
-                            ) {
+                            if let Some(p) =
+                                prev.replace(chars.next().expect("dangling escape in class"))
+                            {
                                 ranges.push((p, p));
                             }
                         }
@@ -407,7 +423,11 @@ fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
     let atoms = parse_pattern(pattern);
     let mut out = String::new();
     for (atom, min, max) in atoms {
-        let n = if min == max { min } else { min + rng.below((max - min + 1) as usize) as u32 };
+        let n = if min == max {
+            min
+        } else {
+            min + rng.below((max - min + 1) as usize) as u32
+        };
         for _ in 0..n {
             match &atom {
                 Atom::Any => {
@@ -522,7 +542,9 @@ impl<T: Arbitrary> Strategy for AnyStrategy<T> {
 
 /// The canonical strategy for an [`Arbitrary`] type.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
-    AnyStrategy { _marker: std::marker::PhantomData }
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 // --- collection / option / sample ----------------------------------------
@@ -548,13 +570,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { min: r.start, max: r.end }
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() + 1 }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end() + 1,
+            }
         }
     }
 
@@ -567,7 +595,10 @@ pub mod collection {
 
     /// Generates vectors of values from `element` with lengths in `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -659,7 +690,9 @@ pub fn run_cases<F: FnMut(&mut TestRng)>(config: ProptestConfig, name: &str, mut
         .and_then(|v| v.parse().ok())
         .unwrap_or_else(|| fnv1a(name.as_bytes()));
     for case in 0..cases {
-        let mut rng = TestRng::seed_from_u64(base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(case as u64 + 1)));
+        let mut rng = TestRng::seed_from_u64(
+            base_seed.wrapping_add(0x9E3779B97F4A7C15u64.wrapping_mul(case as u64 + 1)),
+        );
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
         if let Err(payload) = result {
             eprintln!(
@@ -779,10 +812,9 @@ mod tests {
             assert!(!s.is_empty() && s.len() <= 13, "{s:?}");
             let first = s.chars().next().unwrap();
             assert!(first.is_ascii_lowercase(), "{s:?}");
-            assert!(s.chars().all(|c| c.is_ascii_lowercase()
-                || c.is_ascii_digit()
-                || c == '_'
-                || c == '.'));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '.'));
         }
         for _ in 0..50 {
             let s = gen_from_pattern("[ -~]{0,80}", &mut rng);
@@ -805,10 +837,7 @@ mod tests {
 
     #[test]
     fn union_and_map_compose() {
-        let strat = prop_oneof![
-            Just(1i64),
-            (10i64..20).prop_map(|v| v * 2),
-        ];
+        let strat = prop_oneof![Just(1i64), (10i64..20).prop_map(|v| v * 2),];
         let mut rng = TestRng::seed_from_u64(3);
         for _ in 0..100 {
             let v = strat.gen(&mut rng);
@@ -829,9 +858,11 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (0i64..10).prop_map(Tree::Leaf).prop_recursive(4, 32, 2, |inner| {
-            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-        });
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = TestRng::seed_from_u64(11);
         for _ in 0..100 {
             assert!(depth(&strat.gen(&mut rng)) <= 4);
