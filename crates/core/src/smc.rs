@@ -159,17 +159,28 @@ impl SmcCell {
         let (wal, recovered) = Wal::open(backend, WalConfig::default())?;
         let wal = Arc::new(wal);
         let snap = recovered.snapshot;
+        // The bus journal retains rx payloads: once the channel acks an
+        // event the device will never retransmit it, so the event must
+        // live in the log until it is routed. Discovery traffic is
+        // lease-protocol chatter a peer's next refresh regenerates, so a
+        // bare cursor suffices there.
+        let pending = snap.pending_rx_for(CHAN_BUS);
         let channel = ReliableChannel::new_journaled(
             bus_transport,
             config.reliable.clone(),
-            Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_BUS)),
+            Arc::new(WalChannelJournal::with_rx_retention(
+                Arc::clone(&wal),
+                CHAN_BUS,
+            )),
             snap.cursors_for(CHAN_BUS),
+            pending.clone(),
         );
         let discovery_channel = ReliableChannel::new_journaled(
             discovery_transport,
             config.reliable.clone(),
             Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_DISCOVERY)),
             snap.cursors_for(CHAN_DISCOVERY),
+            Vec::new(),
         );
         let cell = SmcCell::assemble(config, channel, discovery_channel, Some(Arc::clone(&wal)));
         BusMetrics::put(
@@ -198,10 +209,27 @@ impl SmcCell {
         // Resume interrupted downlink deliveries in their original order;
         // the fresh epoch renumbers them on the wire, the restored
         // receivers dedup by epoch so nothing double-delivers.
+        // `send_recovered` renumbers the journal's retained entries to
+        // the fresh sequence numbers instead of journalling a second
+        // copy, so a crash during (or after) recovery resends the queue
+        // exactly once more — never twice.
         for (peer, msgs) in snap.outbound_for(CHAN_BUS) {
-            for payload in msgs {
-                let _ = cell.channel.send(peer, payload);
+            for (prior_seq, payload) in msgs {
+                let _ = cell.channel.send_recovered(peer, payload, prior_seq);
             }
+        }
+        // Re-route events the crash caught between ack and routing: their
+        // senders saw them acknowledged and will never retransmit, so the
+        // log is the only copy. Routing goes through the normal dispatch
+        // path (subscriptions are already restored above) and each event
+        // is marked consumed afterwards, exactly as live traffic is.
+        for (peer, _epoch, seq, payload) in pending {
+            cell.handle_incoming(Incoming::Reliable {
+                from: peer,
+                seq,
+                payload,
+            });
+            cell.channel.consumed(peer, seq);
         }
         Ok(cell)
     }
@@ -332,6 +360,13 @@ impl SmcCell {
     /// Writes a [`CoreSnapshot`] of all durable state and truncates the
     /// log — bounding both storage and the next recovery's replay time.
     ///
+    /// Safe to call while the cell is live: the WAL rotates its active
+    /// segment *before* the state is captured and removes only
+    /// pre-rotation segments ([`Wal::snapshot_with`]), so a record the
+    /// channels journal concurrently is never lost — it is either
+    /// reflected in the captured state or replayed from a retained
+    /// segment.
+    ///
     /// Discovery-channel outbound traffic is deliberately not
     /// snapshotted: it is lease-protocol chatter a restarted service
     /// regenerates itself.
@@ -345,6 +380,14 @@ impl SmcCell {
         let Some(wal) = &self.wal else {
             return Err(Error::Invalid("cell was not started durable".into()));
         };
+        wal.snapshot_with(|| Ok(self.capture_snapshot()))
+    }
+
+    /// Reads the durable state out of the live channels and bus. Called
+    /// by [`Wal::snapshot_with`] after the segment boundary is pinned;
+    /// must not take WAL locks (journalling threads hold channel locks
+    /// across their appends).
+    fn capture_snapshot(&self) -> CoreSnapshot {
         let mut snap = CoreSnapshot::default();
         for (peer, epoch, expected) in self.channel.rx_cursors() {
             snap.cursors.push(CursorEntry {
@@ -372,6 +415,19 @@ impl SmcCell {
                 });
             }
         }
+        // Read the unconsumed list only *after* the cursors: a delivery
+        // advances the cursor and joins the list under one channel lock,
+        // so this order can over-report (entry present, cursor stale —
+        // harmless, replay is idempotent) but never under-report.
+        for (peer, epoch, seq, payload) in self.channel.unconsumed_rx() {
+            snap.pending_rx.push(smc_types::PendingRx {
+                chan: CHAN_BUS,
+                peer,
+                epoch,
+                seq,
+                payload,
+            });
+        }
         snap.members = self.discovery.members();
         snap.members.sort_by_key(|i| i.id);
         let proxies = self.proxies.lock();
@@ -383,7 +439,7 @@ impl SmcCell {
         }
         drop(proxies);
         snap.next_subscription = self.bus.next_subscription_id();
-        wal.snapshot(&snap)
+        snap
     }
 
     /// Appends one record to the WAL, if the cell is durable. Membership
@@ -553,7 +609,18 @@ impl SmcCell {
             match channel.recv(Some(Duration::from_millis(50))) {
                 Ok(incoming) => {
                     let Some(cell) = weak.upgrade() else { return };
+                    // Mark reliable messages consumed once routing
+                    // returns, releasing the journal's retained copy; a
+                    // crash mid-routing leaves the message pending in the
+                    // log and recovery re-routes it.
+                    let consumed = match &incoming {
+                        Incoming::Reliable { from, seq, .. } => Some((*from, *seq)),
+                        Incoming::Unreliable { .. } => None,
+                    };
                     cell.handle_incoming(incoming);
+                    if let Some((from, seq)) = consumed {
+                        cell.channel.consumed(from, seq);
+                    }
                 }
                 Err(Error::Timeout) => {}
                 Err(_) => return,

@@ -8,8 +8,9 @@ use std::time::Duration;
 use smc_core::{RemoteClient, SmcCell, SmcConfig};
 use smc_discovery::AgentConfig;
 use smc_transport::{LinkConfig, ReliableChannel, ReliableConfig, SimNetwork, Transport};
-use smc_types::{Error, Event, Filter, ServiceId, ServiceInfo};
-use smc_wal::MemBackend;
+use smc_types::codec::to_bytes;
+use smc_types::{Error, Event, Filter, Packet, ServiceId, ServiceInfo, WalRecord};
+use smc_wal::{MemBackend, Wal, WalConfig, CHAN_BUS};
 
 const TICK: Duration = Duration::from_secs(5);
 
@@ -144,6 +145,107 @@ fn restart_restores_members_subscriptions_and_delivery() {
     sensor.shutdown();
     monitor.shutdown();
     reborn.shutdown();
+}
+
+#[test]
+fn unconsumed_rx_payload_is_routed_after_restart() {
+    // A crash can land after the transport layer journalled and
+    // acknowledged an inbound publish but before the dispatch thread
+    // routed it. The log then holds an RxDeliver with no matching
+    // RxConsumed, and recovery must re-route the payload — the sender
+    // saw its ack and will never retransmit.
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let backend = Arc::new(MemBackend::new());
+
+    let bus_t = net.endpoint();
+    let disco_t = net.endpoint();
+    let (bus_id, disco_id) = (bus_t.local_id(), disco_t.local_id());
+    let cell = SmcCell::start_durable(
+        Arc::new(bus_t),
+        Arc::new(disco_t),
+        SmcConfig::fast(),
+        backend.clone(),
+    )
+    .expect("durable start");
+
+    let sensor = connect(&net, "sensor.heart-rate");
+    let monitor = connect(&net, "monitor.station");
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
+    // One normal round trip so the sensor has a live cursor on the bus.
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading")
+                .attr("bpm", 70i64)
+                .build(),
+            TICK,
+        )
+        .unwrap();
+    monitor.next_event(TICK).unwrap();
+
+    cell.shutdown();
+    drop(cell);
+
+    // Plant the half-processed delivery: an RxDeliver continuing the
+    // sensor's real session (same epoch, next expected seq) with no
+    // RxConsumed after it — exactly what a crash inside the ack→route
+    // window leaves behind.
+    let (wal, recovered) = Wal::open(backend.clone(), WalConfig::default()).unwrap();
+    let (_, epoch, expected) = recovered
+        .snapshot
+        .cursors_for(CHAN_BUS)
+        .into_iter()
+        .find(|(peer, _, _)| *peer == sensor.local_id())
+        .expect("sensor has a bus cursor");
+    let payload = to_bytes(&Packet::Publish(
+        Event::builder("smc.sensor.reading")
+            .attr("bpm", 140i64)
+            .publisher(sensor.local_id())
+            .seq(2)
+            .build(),
+    ));
+    wal.append(&WalRecord::RxDeliver {
+        chan: CHAN_BUS,
+        peer: sensor.local_id(),
+        epoch,
+        seq: expected,
+        payload,
+    })
+    .unwrap();
+    drop(wal);
+
+    let reborn = SmcCell::start_durable(
+        Arc::new(net.endpoint_with_id(bus_id)),
+        Arc::new(net.endpoint_with_id(disco_id)),
+        SmcConfig::fast(),
+        backend.clone(),
+    )
+    .expect("durable restart");
+
+    // Recovery reprocesses the orphaned payload through normal dispatch:
+    // the monitor gets the reading it would otherwise silently lose.
+    let bpm = monitor
+        .next_event(TICK)
+        .expect("orphaned rx payload re-routed")
+        .attr("bpm")
+        .unwrap()
+        .as_int();
+    assert_eq!(bpm, Some(140));
+
+    // Reprocessing marked it consumed: a checkpoint must not carry the
+    // payload forward into the next incarnation's snapshot.
+    reborn.checkpoint().expect("checkpoint");
+    reborn.shutdown();
+    drop(reborn);
+    let (_, recovered) = Wal::open(backend, WalConfig::default()).unwrap();
+    assert!(
+        recovered.snapshot.pending_rx_for(CHAN_BUS).is_empty(),
+        "consumed rx payload must not survive the checkpoint"
+    );
+
+    sensor.shutdown();
+    monitor.shutdown();
 }
 
 #[test]

@@ -27,8 +27,8 @@ use std::time::Duration;
 use smc_discovery::{AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent};
 use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
 use smc_types::{
-    CellId, CoreSnapshot, CursorEntry, ManualClock, OutboundEntry, ServiceId, ServiceInfo,
-    SharedClock, WalRecord,
+    CellId, CoreSnapshot, CursorEntry, ManualClock, OutboundEntry, PendingRx, ServiceId,
+    ServiceInfo, SharedClock, WalRecord,
 };
 use smc_wal::{
     MemBackend, Recovered, Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_BUS, CHAN_DISCOVERY,
@@ -224,13 +224,21 @@ fn boot_core(
         Arc::clone(clock),
         Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_DISCOVERY)),
         recovered.snapshot.cursors_for(CHAN_DISCOVERY),
+        Vec::new(),
     );
+    // The sink retains delivered payloads until the run loop records
+    // them (mirroring the SMC bus channel): an acked-but-unrecorded
+    // message survives a crash in the log instead of vanishing.
     let sink_channel = ReliableChannel::with_clock_journaled(
         Arc::new(sink_transport),
         reliable.clone(),
         Arc::clone(clock),
-        Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_BUS)),
+        Arc::new(WalChannelJournal::with_rx_retention(
+            Arc::clone(&wal),
+            CHAN_BUS,
+        )),
         recovered.snapshot.cursors_for(CHAN_BUS),
+        recovered.snapshot.pending_rx_for(CHAN_BUS),
     );
     let service = DiscoveryService::with_clock(
         CellId(1),
@@ -245,9 +253,12 @@ fn boot_core(
         service.restore_member(info.clone());
         members.insert(info.id);
     }
+    // `send_recovered` renumbers the journal's retained entries instead
+    // of journalling fresh copies, so a second crash resends this queue
+    // once more — never twice.
     for (peer, payloads) in recovered.snapshot.outbound_for(CHAN_BUS) {
-        for payload in payloads {
-            let _ = sink_channel.send(peer, payload);
+        for (prior_seq, payload) in payloads {
+            let _ = sink_channel.send_recovered(peer, payload, prior_seq);
         }
     }
     (
@@ -262,8 +273,10 @@ fn boot_core(
 }
 
 /// Cuts a snapshot of the core's durable state into the WAL: both
-/// channels' receive cursors, the sink's pending outbound and the sorted
-/// membership table. Mirrors `SmcCell::checkpoint`.
+/// channels' receive cursors, the sink's pending outbound plus
+/// delivered-but-unrecorded inbound, and the sorted membership table.
+/// Mirrors `SmcCell::checkpoint` (the world is single-threaded, so the
+/// pre-built-snapshot form of `Wal::snapshot` is race-free here).
 fn checkpoint(core: &Core) {
     let mut snap = CoreSnapshot::default();
     for (peer, epoch, expected) in core.sink_channel.rx_cursors() {
@@ -291,6 +304,15 @@ fn checkpoint(core: &Core) {
                 payload,
             });
         }
+    }
+    for (peer, epoch, seq, payload) in core.sink_channel.unconsumed_rx() {
+        snap.pending_rx.push(PendingRx {
+            chan: CHAN_BUS,
+            peer,
+            epoch,
+            seq,
+            payload,
+        });
     }
     snap.members = core.service.members();
     snap.members.sort_by_key(|i| i.id);
@@ -479,6 +501,21 @@ pub fn run_with_backend(
                     core_recoveries += 1;
                     recovery_micros_total += recovered.recovery_micros;
                     oracle.record_fault(now, "core restarted");
+                    // Re-process events the crash caught between ack and
+                    // recording: their senders saw them acknowledged and
+                    // will never retransmit, so the log held the only
+                    // copy. Mirrors `SmcCell::start_durable`.
+                    for (peer, _epoch, seq, payload) in recovered.snapshot.pending_rx_for(CHAN_BUS)
+                    {
+                        if let Some(published) = decode(&payload) {
+                            if members.contains(&peer) {
+                                oracle.record_delivery(now, peer, published);
+                            } else {
+                                oracle.record_filtered(now, peer, published);
+                            }
+                        }
+                        core.sink_channel.consumed(peer, seq);
+                    }
                     continue;
                 }
                 _ => {}
@@ -570,15 +607,17 @@ pub fn run_with_backend(
         // 7. The sink accepts deliveries, mirroring the SMC's rule that
         // purged members' traffic is no longer served.
         while let Ok(incoming) = core.sink_channel.recv(Some(Duration::ZERO)) {
-            if let Incoming::Reliable { from, payload } = incoming {
-                let Some(seq) = decode(&payload) else {
-                    continue;
-                };
-                if members.contains(&from) {
-                    oracle.record_delivery(now, from, seq);
-                } else {
-                    oracle.record_filtered(now, from, seq);
+            if let Incoming::Reliable { from, seq, payload } = incoming {
+                if let Some(published) = decode(&payload) {
+                    if members.contains(&from) {
+                        oracle.record_delivery(now, from, published);
+                    } else {
+                        oracle.record_filtered(now, from, published);
+                    }
                 }
+                // Recording *is* the harness's routing step; release the
+                // journal's retained copy so checkpoints stop carrying it.
+                core.sink_channel.consumed(from, seq);
             }
         }
         ticks += 1;

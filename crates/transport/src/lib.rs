@@ -31,7 +31,7 @@ pub use mem::{MemTransport, NetStats, SimNetwork};
 pub use profile::{CpuProfile, LinkConfig};
 pub use reliable::{
     ChannelJournal, ChannelStats, Incoming, PendingOutbound, Receipt, ReliableChannel,
-    ReliableConfig,
+    ReliableConfig, UnconsumedRx,
 };
 pub use transport::{Datagram, Transport};
 pub use udp::UdpTransport;

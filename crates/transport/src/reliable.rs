@@ -78,26 +78,55 @@ impl Default for ReliableConfig {
 /// The channel calls these hooks at the moments that matter for
 /// crash-consistency:
 ///
-/// * [`on_cursor`](ChannelJournal::on_cursor) is called **before** a
+/// * [`on_deliver`](ChannelJournal::on_deliver) is called **before** a
 ///   message is delivered to the application or any of its fragments are
-///   acknowledged. If journalling fails the message stays buffered and
-///   unacknowledged, so the sender retransmits and delivery is retried —
-///   an acknowledged message is therefore always recorded as delivered.
+///   acknowledged, and carries the payload so the journal can retain the
+///   message itself — not just the cursor advance — until the
+///   application confirms it finished with it. If journalling fails the
+///   message stays buffered and unacknowledged, so the sender
+///   retransmits and delivery is retried — anything a peer saw
+///   acknowledged is therefore durably recorded, payload included.
+/// * [`on_consumed`](ChannelJournal::on_consumed) is called once the
+///   application finished processing a delivered message
+///   ([`ReliableChannel::consumed`]); the journal may stop retaining its
+///   payload. Errors are ignored: the worst case is the payload being
+///   processed again after a crash.
 /// * [`on_enqueue`](ChannelJournal::on_enqueue) is called **before** a
 ///   message joins the outbound queue; a failure fails the send.
+/// * [`on_requeue`](ChannelJournal::on_requeue) is the crash-recovery
+///   variant of `on_enqueue` ([`ReliableChannel::send_recovered`]): the
+///   payload is already retained under `prior_seq`, so the journal
+///   renumbers the retained entry instead of storing a second copy.
 /// * [`on_acked`](ChannelJournal::on_acked) / [`on_forget`](ChannelJournal::on_forget)
 ///   trim retained outbound state. Their errors are ignored: replaying a
 ///   stale enqueue after a crash only causes a retransmission the
 ///   receiver's cursor suppresses.
 pub trait ChannelJournal: Send + Sync + std::fmt::Debug {
-    /// The receiver is about to deliver messages from `peer` (session
-    /// `epoch`) up to, exclusively, sequence number `expected`.
+    /// The receiver is about to deliver message `seq` (with `payload`)
+    /// from `peer`'s session `epoch` and acknowledge its fragments.
     ///
     /// # Errors
     ///
     /// An error vetoes the delivery; the channel leaves the message
     /// buffered and unacknowledged and retries later.
-    fn on_cursor(&self, peer: ServiceId, epoch: u64, expected: u64) -> Result<()>;
+    fn on_deliver(&self, peer: ServiceId, epoch: u64, seq: u64, payload: &[u8]) -> Result<()>;
+    /// Whether delivered payloads must be retained until
+    /// [`on_consumed`](ChannelJournal::on_consumed). When `true` the
+    /// channel tracks every delivery in its unconsumed list
+    /// ([`ReliableChannel::unconsumed_rx`]) so checkpoints can capture
+    /// in-flight messages.
+    fn retains_rx(&self) -> bool {
+        false
+    }
+    /// The application finished processing message `seq` from `peer`.
+    ///
+    /// # Errors
+    ///
+    /// Errors are ignored by the channel (see trait docs).
+    fn on_consumed(&self, peer: ServiceId, seq: u64) -> Result<()> {
+        let _ = (peer, seq);
+        Ok(())
+    }
     /// A message with (predicted) sequence number `seq` is about to be
     /// queued for `peer`.
     ///
@@ -105,6 +134,17 @@ pub trait ChannelJournal: Send + Sync + std::fmt::Debug {
     ///
     /// An error aborts the send before any state changes.
     fn on_enqueue(&self, peer: ServiceId, seq: u64, payload: &[u8]) -> Result<()>;
+    /// A recovered payload, retained by the journal under `prior_seq`, is
+    /// about to re-enter the queue for `peer` under the fresh (predicted)
+    /// number `seq`.
+    ///
+    /// # Errors
+    ///
+    /// An error aborts the send before any state changes.
+    fn on_requeue(&self, peer: ServiceId, prior_seq: u64, seq: u64) -> Result<()> {
+        let _ = (peer, prior_seq, seq);
+        Ok(())
+    }
     /// Outbound message `seq` to `peer` was fully acknowledged or
     /// abandoned and no longer needs to be retained.
     ///
@@ -124,6 +164,11 @@ pub trait ChannelJournal: Send + Sync + std::fmt::Debug {
 /// [`ReliableChannel::outbound_pending`]: each entry pairs a peer with
 /// its `(sequence, payload)` list, oldest first.
 pub type PendingOutbound = Vec<(ServiceId, Vec<(u64, Vec<u8>)>)>;
+
+/// Delivered-but-unconsumed inbound messages, as returned by
+/// [`ReliableChannel::unconsumed_rx`]: `(peer, epoch, seq, payload)`
+/// entries in delivery order.
+pub type UnconsumedRx = Vec<(ServiceId, u64, u64, Vec<u8>)>;
 
 /// Counters describing a channel's activity.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -153,6 +198,10 @@ pub enum Incoming {
     Reliable {
         /// The sending endpoint.
         from: ServiceId,
+        /// The sender-assigned sequence number — the handle the consumer
+        /// passes back to [`ReliableChannel::consumed`] once it finished
+        /// processing the message.
+        seq: u64,
         /// The reassembled message bytes.
         payload: Vec<u8>,
     },
@@ -257,6 +306,12 @@ struct PeerIn {
 struct Shared {
     out: Mutex<HashMap<ServiceId, PeerOut>>,
     peers_in: Mutex<HashMap<ServiceId, PeerIn>>,
+    /// Delivered messages the application has not yet confirmed via
+    /// [`ReliableChannel::consumed`], in delivery order. Populated only
+    /// when the journal retains rx payloads
+    /// ([`ChannelJournal::retains_rx`]); seeded from the snapshot on
+    /// recovery.
+    unconsumed: Mutex<UnconsumedRx>,
     stats: Mutex<ChannelStats>,
     closed: AtomicBool,
     epoch: u64,
@@ -305,7 +360,15 @@ impl ReliableChannel {
     /// Wraps `transport` in a reliable channel and starts its receive
     /// thread.
     pub fn new(transport: Arc<dyn Transport>, config: ReliableConfig) -> Arc<Self> {
-        ReliableChannel::build(transport, config, system_clock(), false, None, Vec::new())
+        ReliableChannel::build(
+            transport,
+            config,
+            system_clock(),
+            false,
+            None,
+            Vec::new(),
+            Vec::new(),
+        )
     }
 
     /// Like [`ReliableChannel::new`], but journalling every durable state
@@ -315,12 +378,16 @@ impl ReliableChannel {
     /// Each `(peer, epoch, expected)` entry in `restored` re-adopts a
     /// pre-crash sender session: duplicates of messages delivered before
     /// the crash are suppressed and re-acknowledged instead of being
-    /// delivered again.
+    /// delivered again. `pending` seeds the unconsumed list with
+    /// messages the crashed process delivered (and acked) but had not
+    /// finished processing — the caller must re-process each and mark it
+    /// [`consumed`](ReliableChannel::consumed).
     pub fn new_journaled(
         transport: Arc<dyn Transport>,
         config: ReliableConfig,
         journal: Arc<dyn ChannelJournal>,
         restored: Vec<(ServiceId, u64, u64)>,
+        pending: UnconsumedRx,
     ) -> Arc<Self> {
         ReliableChannel::build(
             transport,
@@ -329,6 +396,7 @@ impl ReliableChannel {
             false,
             Some(journal),
             restored,
+            pending,
         )
     }
 
@@ -345,19 +413,28 @@ impl ReliableChannel {
         config: ReliableConfig,
         clock: SharedClock,
     ) -> Arc<Self> {
-        ReliableChannel::build(transport, config, clock, true, None, Vec::new())
+        ReliableChannel::build(transport, config, clock, true, None, Vec::new(), Vec::new())
     }
 
     /// The step-driven equivalent of [`ReliableChannel::new_journaled`]:
-    /// journalled, cursor-restored, and timed by `clock`.
+    /// journalled, cursor-restored, pending-seeded and timed by `clock`.
     pub fn with_clock_journaled(
         transport: Arc<dyn Transport>,
         config: ReliableConfig,
         clock: SharedClock,
         journal: Arc<dyn ChannelJournal>,
         restored: Vec<(ServiceId, u64, u64)>,
+        pending: UnconsumedRx,
     ) -> Arc<Self> {
-        ReliableChannel::build(transport, config, clock, true, Some(journal), restored)
+        ReliableChannel::build(
+            transport,
+            config,
+            clock,
+            true,
+            Some(journal),
+            restored,
+            pending,
+        )
     }
 
     fn build(
@@ -367,6 +444,7 @@ impl ReliableChannel {
         manual: bool,
         journal: Option<Arc<dyn ChannelJournal>>,
         restored: Vec<(ServiceId, u64, u64)>,
+        pending: UnconsumedRx,
     ) -> Arc<Self> {
         let epoch = clock.now_micros() + EPOCH_BUMP.fetch_add(1, Ordering::Relaxed);
         let mut peers_in = HashMap::new();
@@ -383,6 +461,7 @@ impl ReliableChannel {
         let shared = Arc::new(Shared {
             out: Mutex::new(HashMap::new()),
             peers_in: Mutex::new(peers_in),
+            unconsumed: Mutex::new(pending),
             stats: Mutex::new(ChannelStats::default()),
             closed: AtomicBool::new(false),
             epoch,
@@ -469,6 +548,34 @@ impl ReliableChannel {
     ///
     /// [`Error::Closed`] if the channel is shut down.
     pub fn send(&self, to: ServiceId, payload: Vec<u8>) -> Result<Receipt> {
+        self.send_inner(to, payload, None)
+    }
+
+    /// The crash-recovery variant of [`ReliableChannel::send`]: queues a
+    /// payload the journal already retains under `prior_seq` (from the
+    /// crashed incarnation's outbound queue). The journal renumbers its
+    /// retained entry to this send's fresh sequence number instead of
+    /// storing a duplicate copy — so a second crash resends the queue
+    /// exactly once more, never twice.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Closed`] if the channel is shut down.
+    pub fn send_recovered(
+        &self,
+        to: ServiceId,
+        payload: Vec<u8>,
+        prior_seq: u64,
+    ) -> Result<Receipt> {
+        self.send_inner(to, payload, Some(prior_seq))
+    }
+
+    fn send_inner(
+        &self,
+        to: ServiceId,
+        payload: Vec<u8>,
+        requeued_from: Option<u64>,
+    ) -> Result<Receipt> {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(Error::Closed);
         }
@@ -483,7 +590,10 @@ impl ReliableChannel {
                 // and the journal entry can carry it before any bytes hit
                 // the wire.
                 let seq = peer.next_seq + peer.queued.len() as u64 + 1;
-                journal.on_enqueue(to, seq, &payload)?;
+                match requeued_from {
+                    Some(prior_seq) => journal.on_requeue(to, prior_seq, seq)?,
+                    None => journal.on_enqueue(to, seq, &payload)?,
+                }
             }
             peer.queued.push_back((payload, Some(tx)));
             self.shared.stats.lock().msgs_sent += 1;
@@ -621,6 +731,49 @@ impl ReliableChannel {
             .collect();
         cursors.sort_unstable_by_key(|&(id, _, _)| id);
         cursors
+    }
+
+    /// Marks inbound message `seq` from `peer` as fully processed by the
+    /// application.
+    ///
+    /// For a journalled channel whose journal
+    /// [retains rx payloads](ChannelJournal::retains_rx) this drops the
+    /// message from the unconsumed list and records the consumption, so
+    /// neither the next checkpoint nor crash recovery re-processes it.
+    /// The journal is told even when the entry is not in the in-memory
+    /// list — recovery re-processes snapshot-restored messages that the
+    /// reborn channel never delivered itself. On other channels this is
+    /// a no-op.
+    pub fn consumed(&self, peer: ServiceId, seq: u64) {
+        let Some(journal) = &self.shared.journal else {
+            return;
+        };
+        if !journal.retains_rx() {
+            return;
+        }
+        {
+            let mut unconsumed = self.shared.unconsumed.lock();
+            if let Some(pos) = unconsumed
+                .iter()
+                .position(|&(p, _, s, _)| p == peer && s == seq)
+            {
+                unconsumed.remove(pos);
+            }
+        }
+        let _ = journal.on_consumed(peer, seq);
+    }
+
+    /// Delivered inbound messages not yet marked
+    /// [`consumed`](ReliableChannel::consumed), in delivery order.
+    ///
+    /// Together with [`rx_cursors`](ReliableChannel::rx_cursors) and
+    /// [`outbound_pending`](ReliableChannel::outbound_pending) this is
+    /// the state a checkpoint captures: these messages were acknowledged
+    /// to their senders (who will never retransmit them) but their
+    /// downstream effects are not yet journalled, so a snapshot must
+    /// carry their payloads for recovery to re-process.
+    pub fn unconsumed_rx(&self) -> UnconsumedRx {
+        self.shared.unconsumed.lock().clone()
     }
 
     /// Unacknowledged outbound messages per peer: in-flight messages
@@ -926,6 +1079,7 @@ impl RxWorker {
                 self.shared.stats.lock().msgs_delivered += 1;
                 let _ = self.inbox.send(Incoming::Reliable {
                     from,
+                    seq,
                     payload: whole,
                 });
             }
@@ -982,27 +1136,37 @@ impl RxWorker {
 
     /// Delivers every consecutive ready message starting at `expected`.
     ///
-    /// With a journal attached, each delivery is recorded (cursor
-    /// advance) *before* the message is handed up or any fragment acked;
-    /// a journal error leaves the message buffered and unacknowledged so
-    /// the sender retransmits and delivery is retried — the invariant
-    /// that makes an acked message durably delivered.
+    /// With a journal attached, each delivery is recorded — payload
+    /// included — *before* the message is handed up or any fragment
+    /// acked; a journal error leaves the message buffered and
+    /// unacknowledged so the sender retransmits and delivery is retried
+    /// — the invariant that makes an acked message durably recorded.
+    /// When the journal retains rx payloads the message also joins the
+    /// unconsumed list (under the same `peers_in` lock the journal
+    /// append happened under, so checkpoints never observe the append
+    /// without its effect) until the application calls
+    /// [`ReliableChannel::consumed`].
     fn drain_in_order(&self, from: ServiceId, peer: &mut PeerIn) {
-        while peer.ready.contains_key(&peer.expected) {
+        loop {
+            let seq = peer.expected;
+            let Some((msg, _)) = peer.ready.get(&seq) else {
+                break;
+            };
+            let mut retain = false;
             if let Some(journal) = &self.shared.journal {
-                if journal
-                    .on_cursor(from, peer.epoch, peer.expected + 1)
-                    .is_err()
-                {
+                if journal.on_deliver(from, peer.epoch, seq, msg).is_err() {
                     break;
                 }
+                retain = journal.retains_rx();
             }
-            let (msg, frag_count) = peer
-                .ready
-                .remove(&peer.expected)
-                .expect("ready entry checked above");
-            let seq = peer.expected;
-            peer.expected += 1;
+            let (msg, frag_count) = peer.ready.remove(&seq).expect("ready entry checked above");
+            peer.expected = seq + 1;
+            if retain {
+                self.shared
+                    .unconsumed
+                    .lock()
+                    .push((from, peer.epoch, seq, msg.clone()));
+            }
             if self.shared.journal.is_some() {
                 for i in 0..frag_count {
                     let ack = Frame::Ack {
@@ -1014,7 +1178,11 @@ impl RxWorker {
                 }
             }
             self.shared.stats.lock().msgs_delivered += 1;
-            let _ = self.inbox.send(Incoming::Reliable { from, payload: msg });
+            let _ = self.inbox.send(Incoming::Reliable {
+                from,
+                seq,
+                payload: msg,
+            });
         }
     }
 

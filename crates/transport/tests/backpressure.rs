@@ -103,7 +103,7 @@ fn send_to_self_round_trips() {
     let a = ReliableChannel::new(Arc::new(net.endpoint()), ReliableConfig::default());
     a.send(a.local_id(), b"me".to_vec()).unwrap();
     match a.recv(Some(TICK)).unwrap() {
-        Incoming::Reliable { from, payload } => {
+        Incoming::Reliable { from, payload, .. } => {
             assert_eq!(from, a.local_id());
             assert_eq!(payload, b"me");
         }

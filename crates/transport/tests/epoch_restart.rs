@@ -42,11 +42,13 @@ impl RecordingJournal {
 }
 
 impl ChannelJournal for RecordingJournal {
-    fn on_cursor(&self, peer: ServiceId, epoch: u64, expected: u64) -> Result<()> {
+    fn on_deliver(&self, peer: ServiceId, epoch: u64, seq: u64, _payload: &[u8]) -> Result<()> {
         if *self.failing.lock() {
             return Err(Error::Io("injected journal failure".into()));
         }
-        self.cursors.lock().push((peer, epoch, expected));
+        // Record the cursor position the delivery advances to, as the
+        // WAL's cursor-only journal would.
+        self.cursors.lock().push((peer, epoch, seq + 1));
         Ok(())
     }
 
@@ -196,6 +198,7 @@ fn crashed_core_scenario(
         Arc::clone(&shared),
         Arc::clone(&journal) as Arc<dyn ChannelJournal>,
         Vec::new(),
+        Vec::new(),
     );
     let core_id = core.local_id();
     let device_id = device.local_id();
@@ -264,6 +267,7 @@ fn restored_cursors_suppress_redelivery_after_restart() {
         clock.clone() as SharedClock,
         Arc::new(RecordingJournal::default()) as Arc<dyn ChannelJournal>,
         restored,
+        Vec::new(),
     );
 
     // Let the device's retransmission timers fire until it drains.
@@ -313,6 +317,7 @@ fn lost_cursors_redeliver_after_restart() {
         clock.clone() as SharedClock,
         Arc::new(RecordingJournal::default()) as Arc<dyn ChannelJournal>,
         Vec::new(), // nothing recovered
+        Vec::new(),
     );
 
     let mut redelivered = Vec::new();
@@ -360,6 +365,7 @@ fn journal_failure_defers_delivery_and_ack_until_success() {
         config,
         Arc::clone(&shared),
         Arc::clone(&journal) as Arc<dyn ChannelJournal>,
+        Vec::new(),
         Vec::new(),
     );
 

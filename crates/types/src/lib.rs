@@ -57,4 +57,4 @@ pub use member::{
 };
 pub use packet::Packet;
 pub use value::AttributeValue;
-pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, WalRecord};
+pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, PendingRx, RetainedOutbound, WalRecord};

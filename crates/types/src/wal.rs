@@ -36,6 +36,9 @@ const W_MEMBER_JOINED: u8 = 5;
 const W_MEMBER_PURGED: u8 = 6;
 const W_SUBSCRIBED: u8 = 7;
 const W_UNSUBSCRIBED: u8 = 8;
+const W_RX_DELIVER: u8 = 9;
+const W_RX_CONSUMED: u8 = 10;
+const W_OUT_REQUEUE: u8 = 11;
 
 /// One durable state transition of the SMC core.
 ///
@@ -59,6 +62,38 @@ pub enum WalRecord {
         /// The next sequence number the receiver will deliver.
         expected: u64,
     },
+    /// A receiver is delivering message `seq` from `peer` and retains
+    /// its payload until the application confirms it was routed
+    /// ([`WalRecord::RxConsumed`]). Written *instead of* [`WalRecord::RxCursor`]
+    /// on channels whose inbound messages have durable downstream
+    /// effects (the bus channel): it advances the cursor exactly like an
+    /// `RxCursor { expected: seq + 1 }` *and* keeps the payload, so a
+    /// crash between the acknowledgement and the event's routing cannot
+    /// lose the message.
+    RxDeliver {
+        /// Which channel of the core delivered the message.
+        chan: u8,
+        /// The sending peer.
+        peer: ServiceId,
+        /// The sender's session epoch.
+        epoch: u64,
+        /// The delivered sequence number (the cursor advances to
+        /// `seq + 1`).
+        seq: u64,
+        /// The full reassembled message payload.
+        payload: Vec<u8>,
+    },
+    /// The application finished routing inbound message `seq` from
+    /// `peer` (every downstream effect is journalled); the retained
+    /// [`WalRecord::RxDeliver`] payload is no longer needed.
+    RxConsumed {
+        /// Which channel of the core the message arrived on.
+        chan: u8,
+        /// The sending peer.
+        peer: ServiceId,
+        /// The consumed sequence number.
+        seq: u64,
+    },
     /// A message was queued for transmission to `peer` and must survive
     /// a crash until acknowledged (the paper's "queued and resent by the
     /// proxy" guarantee).
@@ -80,6 +115,22 @@ pub enum WalRecord {
         /// The destination peer.
         peer: ServiceId,
         /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// Recovery re-enqueued the outbound message journalled under
+    /// `prior_seq` and the reborn channel assigned it `seq`. Written by
+    /// the recovery resend path *instead of* a fresh
+    /// [`WalRecord::OutEnqueue`]: replay renumbers the already-retained
+    /// entry rather than duplicating its payload, so a second crash
+    /// cannot queue the same message twice.
+    OutRequeue {
+        /// Which channel of the core re-enqueued the message.
+        chan: u8,
+        /// The destination peer.
+        peer: ServiceId,
+        /// The sequence number the retained entry was journalled under.
+        prior_seq: u64,
+        /// The sequence number the reborn channel assigned.
         seq: u64,
     },
     /// All outbound state for `peer` was dropped (member purge /
@@ -127,6 +178,26 @@ impl Encode for WalRecord {
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*expected);
             }
+            WalRecord::RxDeliver {
+                chan,
+                peer,
+                epoch,
+                seq,
+                payload,
+            } => {
+                buf.put_u8(W_RX_DELIVER);
+                buf.put_u8(*chan);
+                peer.encode(buf);
+                buf.put_u64_le(*epoch);
+                buf.put_u64_le(*seq);
+                buf.put_bytes_field(payload);
+            }
+            WalRecord::RxConsumed { chan, peer, seq } => {
+                buf.put_u8(W_RX_CONSUMED);
+                buf.put_u8(*chan);
+                peer.encode(buf);
+                buf.put_u64_le(*seq);
+            }
             WalRecord::OutEnqueue {
                 chan,
                 peer,
@@ -138,6 +209,18 @@ impl Encode for WalRecord {
                 peer.encode(buf);
                 buf.put_u64_le(*seq);
                 buf.put_bytes_field(payload);
+            }
+            WalRecord::OutRequeue {
+                chan,
+                peer,
+                prior_seq,
+                seq,
+            } => {
+                buf.put_u8(W_OUT_REQUEUE);
+                buf.put_u8(*chan);
+                peer.encode(buf);
+                buf.put_u64_le(*prior_seq);
+                buf.put_u64_le(*seq);
             }
             WalRecord::OutAck { chan, peer, seq } => {
                 buf.put_u8(W_OUT_ACK);
@@ -179,11 +262,29 @@ impl Decode for WalRecord {
                 epoch: r.u64()?,
                 expected: r.u64()?,
             }),
+            W_RX_DELIVER => Ok(WalRecord::RxDeliver {
+                chan: r.u8()?,
+                peer: ServiceId::decode(r)?,
+                epoch: r.u64()?,
+                seq: r.u64()?,
+                payload: r.bytes()?,
+            }),
+            W_RX_CONSUMED => Ok(WalRecord::RxConsumed {
+                chan: r.u8()?,
+                peer: ServiceId::decode(r)?,
+                seq: r.u64()?,
+            }),
             W_OUT_ENQUEUE => Ok(WalRecord::OutEnqueue {
                 chan: r.u8()?,
                 peer: ServiceId::decode(r)?,
                 seq: r.u64()?,
                 payload: r.bytes()?,
+            }),
+            W_OUT_REQUEUE => Ok(WalRecord::OutRequeue {
+                chan: r.u8()?,
+                peer: ServiceId::decode(r)?,
+                prior_seq: r.u64()?,
+                seq: r.u64()?,
             }),
             W_OUT_ACK => Ok(WalRecord::OutAck {
                 chan: r.u8()?,
@@ -227,6 +328,10 @@ pub struct CursorEntry {
     pub expected: u64,
 }
 
+/// Retained outbound messages for one peer as `(seq, payload)` pairs in
+/// original send order — the shape [`CoreSnapshot::outbound_for`] returns.
+pub type RetainedOutbound = Vec<(u64, Vec<u8>)>;
+
 /// One unacknowledged outbound message in a [`CoreSnapshot`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutboundEntry {
@@ -239,6 +344,45 @@ pub struct OutboundEntry {
     pub seq: u64,
     /// The full message payload.
     pub payload: Vec<u8>,
+}
+
+/// One inbound message a [`CoreSnapshot`] retains because it was
+/// acknowledged to its sender but not yet routed by the application
+/// (see [`WalRecord::RxDeliver`] / [`WalRecord::RxConsumed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRx {
+    /// Which channel of the core the message arrived on.
+    pub chan: u8,
+    /// The sending peer.
+    pub peer: ServiceId,
+    /// The sender's session epoch.
+    pub epoch: u64,
+    /// The delivered sequence number.
+    pub seq: u64,
+    /// The full reassembled message payload.
+    pub payload: Vec<u8>,
+}
+
+impl Encode for PendingRx {
+    fn encode(&self, buf: &mut BytesMut) {
+        buf.put_u8(self.chan);
+        self.peer.encode(buf);
+        buf.put_u64_le(self.epoch);
+        buf.put_u64_le(self.seq);
+        buf.put_bytes_field(&self.payload);
+    }
+}
+
+impl Decode for PendingRx {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(PendingRx {
+            chan: r.u8()?,
+            peer: ServiceId::decode(r)?,
+            epoch: r.u64()?,
+            seq: r.u64()?,
+            payload: r.bytes()?,
+        })
+    }
 }
 
 impl Encode for CursorEntry {
@@ -294,6 +438,9 @@ pub struct CoreSnapshot {
     pub cursors: Vec<CursorEntry>,
     /// Queued-or-inflight outbound messages, oldest first per peer.
     pub outbound: Vec<OutboundEntry>,
+    /// Inbound messages acknowledged to their senders but not yet routed
+    /// by the application, in delivery (log) order.
+    pub pending_rx: Vec<PendingRx>,
     /// The admitted membership at snapshot time.
     pub members: Vec<ServiceInfo>,
     /// The installed subscriptions at snapshot time.
@@ -303,7 +450,31 @@ pub struct CoreSnapshot {
 }
 
 impl CoreSnapshot {
+    fn upsert_cursor(&mut self, chan: u8, peer: ServiceId, epoch: u64, expected: u64) {
+        match self
+            .cursors
+            .iter_mut()
+            .find(|c| c.chan == chan && c.peer == peer)
+        {
+            Some(c) => {
+                c.epoch = epoch;
+                c.expected = expected;
+            }
+            None => self.cursors.push(CursorEntry {
+                chan,
+                peer,
+                epoch,
+                expected,
+            }),
+        }
+    }
+
     /// Folds one logged record into the snapshot state.
+    ///
+    /// Every fold is **idempotent**: a snapshot cut mid-log means the
+    /// records preceding it replay *on top of* state that already
+    /// contains their effects, so re-applying a record must never
+    /// duplicate an entry (enqueues, delivers) or regress a removal.
     pub fn apply(&mut self, record: &WalRecord) {
         match record {
             WalRecord::RxCursor {
@@ -312,21 +483,36 @@ impl CoreSnapshot {
                 epoch,
                 expected,
             } => {
-                match self
-                    .cursors
-                    .iter_mut()
-                    .find(|c| c.chan == *chan && c.peer == *peer)
-                {
-                    Some(c) => {
-                        c.epoch = *epoch;
-                        c.expected = *expected;
-                    }
-                    None => self.cursors.push(CursorEntry {
+                self.upsert_cursor(*chan, *peer, *epoch, *expected);
+            }
+            WalRecord::RxDeliver {
+                chan,
+                peer,
+                epoch,
+                seq,
+                payload,
+            } => {
+                self.upsert_cursor(*chan, *peer, *epoch, *seq + 1);
+                let duplicate = self.pending_rx.iter().any(|p| {
+                    p.chan == *chan && p.peer == *peer && p.epoch == *epoch && p.seq == *seq
+                });
+                if !duplicate {
+                    self.pending_rx.push(PendingRx {
                         chan: *chan,
                         peer: *peer,
                         epoch: *epoch,
-                        expected: *expected,
-                    }),
+                        seq: *seq,
+                        payload: payload.clone(),
+                    });
+                }
+            }
+            WalRecord::RxConsumed { chan, peer, seq } => {
+                if let Some(i) = self
+                    .pending_rx
+                    .iter()
+                    .position(|p| p.chan == *chan && p.peer == *peer && p.seq == *seq)
+                {
+                    self.pending_rx.remove(i);
                 }
             }
             WalRecord::OutEnqueue {
@@ -335,12 +521,34 @@ impl CoreSnapshot {
                 seq,
                 payload,
             } => {
-                self.outbound.push(OutboundEntry {
-                    chan: *chan,
-                    peer: *peer,
-                    seq: *seq,
-                    payload: payload.clone(),
-                });
+                let duplicate = self
+                    .outbound
+                    .iter()
+                    .any(|o| o.chan == *chan && o.peer == *peer && o.seq == *seq);
+                if !duplicate {
+                    self.outbound.push(OutboundEntry {
+                        chan: *chan,
+                        peer: *peer,
+                        seq: *seq,
+                        payload: payload.clone(),
+                    });
+                }
+            }
+            WalRecord::OutRequeue {
+                chan,
+                peer,
+                prior_seq,
+                seq,
+            } => {
+                // Renumber the retained entry; a miss means a later
+                // checkpoint already captured the renumbered queue.
+                if let Some(o) = self
+                    .outbound
+                    .iter_mut()
+                    .find(|o| o.chan == *chan && o.peer == *peer && o.seq == *prior_seq)
+                {
+                    o.seq = *seq;
+                }
             }
             WalRecord::OutAck { chan, peer, seq } => {
                 self.outbound
@@ -377,19 +585,32 @@ impl CoreSnapshot {
     }
 
     /// Queued-or-inflight outbound messages for one channel, grouped per
-    /// peer (peers sorted by id, messages in original send order).
-    pub fn outbound_for(&self, chan: u8) -> Vec<(ServiceId, Vec<Vec<u8>>)> {
-        let mut grouped: Vec<(ServiceId, Vec<Vec<u8>>)> = Vec::new();
+    /// peer (peers sorted by id, messages in original send order), each
+    /// paired with the sequence number it is retained under — the
+    /// `prior_seq` a recovery resend must cite in [`WalRecord::OutRequeue`].
+    pub fn outbound_for(&self, chan: u8) -> Vec<(ServiceId, RetainedOutbound)> {
+        let mut grouped: Vec<(ServiceId, RetainedOutbound)> = Vec::new();
         let mut entries: Vec<&OutboundEntry> =
             self.outbound.iter().filter(|o| o.chan == chan).collect();
         entries.sort_by_key(|o| (o.peer, o.seq));
         for entry in entries {
+            let item = (entry.seq, entry.payload.clone());
             match grouped.last_mut() {
-                Some((peer, msgs)) if *peer == entry.peer => msgs.push(entry.payload.clone()),
-                _ => grouped.push((entry.peer, vec![entry.payload.clone()])),
+                Some((peer, msgs)) if *peer == entry.peer => msgs.push(item),
+                _ => grouped.push((entry.peer, vec![item])),
             }
         }
         grouped
+    }
+
+    /// Acknowledged-but-unrouted inbound messages for one channel as
+    /// `(peer, epoch, seq, payload)`, in delivery (log) order.
+    pub fn pending_rx_for(&self, chan: u8) -> Vec<(ServiceId, u64, u64, Vec<u8>)> {
+        self.pending_rx
+            .iter()
+            .filter(|p| p.chan == chan)
+            .map(|p| (p.peer, p.epoch, p.seq, p.payload.clone()))
+            .collect()
     }
 
     /// Receive cursors for one channel as `(peer, epoch, expected)`,
@@ -432,6 +653,7 @@ impl Encode for CoreSnapshot {
     fn encode(&self, buf: &mut BytesMut) {
         put_seq(buf, &self.cursors);
         put_seq(buf, &self.outbound);
+        put_seq(buf, &self.pending_rx);
         put_seq(buf, &self.members);
         put_seq(buf, &self.subscriptions);
         buf.put_u64_le(self.next_subscription);
@@ -443,6 +665,7 @@ impl Decode for CoreSnapshot {
         Ok(CoreSnapshot {
             cursors: get_seq(r)?,
             outbound: get_seq(r)?,
+            pending_rx: get_seq(r)?,
             members: get_seq(r)?,
             subscriptions: get_seq(r)?,
             next_subscription: r.u64()?,
@@ -468,11 +691,29 @@ mod tests {
                 epoch: 123,
                 expected: 42,
             },
+            WalRecord::RxDeliver {
+                chan: 0,
+                peer: sid(7),
+                epoch: 123,
+                seq: 42,
+                payload: vec![9, 9, 9],
+            },
+            WalRecord::RxConsumed {
+                chan: 0,
+                peer: sid(7),
+                seq: 42,
+            },
             WalRecord::OutEnqueue {
                 chan: 1,
                 peer: sid(8),
                 seq: 3,
                 payload: vec![1, 2, 3],
+            },
+            WalRecord::OutRequeue {
+                chan: 1,
+                peer: sid(8),
+                prior_seq: 3,
+                seq: 1,
             },
             WalRecord::OutAck {
                 chan: 1,
@@ -579,7 +820,7 @@ mod tests {
             peer: sid(2),
             seq: 1,
         });
-        assert_eq!(snap.outbound_for(0), vec![(sid(2), vec![vec![2]])]);
+        assert_eq!(snap.outbound_for(0), vec![(sid(2), vec![(2, vec![2])])]);
         snap.apply(&WalRecord::OutForget {
             chan: 0,
             peer: sid(2),
@@ -635,10 +876,115 @@ mod tests {
         assert_eq!(
             snap.outbound_for(0),
             vec![
-                (sid(4), vec![vec![4, 7]]),
-                (sid(9), vec![vec![9, 1], vec![9, 2]])
+                (sid(4), vec![(7, vec![4, 7])]),
+                (sid(9), vec![(1, vec![9, 1]), (2, vec![9, 2])])
             ]
         );
+    }
+
+    #[test]
+    fn apply_out_enqueue_is_idempotent() {
+        // A snapshot cut between write and segment removal leaves the
+        // original enqueue records in the log; replaying them on top of
+        // the snapshot must not queue a second copy.
+        let enqueue = WalRecord::OutEnqueue {
+            chan: 0,
+            peer: sid(2),
+            seq: 5,
+            payload: vec![0xAB],
+        };
+        let mut snap = CoreSnapshot::default();
+        snap.apply(&enqueue);
+        snap.apply(&enqueue);
+        assert_eq!(snap.outbound_for(0), vec![(sid(2), vec![(5, vec![0xAB])])]);
+    }
+
+    #[test]
+    fn apply_out_requeue_renumbers_without_duplicating() {
+        let mut snap = CoreSnapshot::default();
+        // Pre-crash queue journalled under seqs 5 and 6 (1-4 were acked).
+        for seq in [5u64, 6] {
+            snap.apply(&WalRecord::OutEnqueue {
+                chan: 0,
+                peer: sid(2),
+                seq,
+                payload: vec![seq as u8],
+            });
+        }
+        // Recovery resent them; the reborn channel numbered them 1 and 2.
+        snap.apply(&WalRecord::OutRequeue {
+            chan: 0,
+            peer: sid(2),
+            prior_seq: 5,
+            seq: 1,
+        });
+        snap.apply(&WalRecord::OutRequeue {
+            chan: 0,
+            peer: sid(2),
+            prior_seq: 6,
+            seq: 2,
+        });
+        assert_eq!(
+            snap.outbound_for(0),
+            vec![(sid(2), vec![(1, vec![5]), (2, vec![6])])],
+            "entries renumbered in place, order preserved, no duplicates"
+        );
+        // The live acks cite the new numbers and must trim correctly.
+        snap.apply(&WalRecord::OutAck {
+            chan: 0,
+            peer: sid(2),
+            seq: 1,
+        });
+        assert_eq!(snap.outbound_for(0), vec![(sid(2), vec![(2, vec![6])])]);
+        // A requeue replayed on top of a post-recovery checkpoint (entry
+        // already renumbered and re-captured) is a no-op.
+        snap.apply(&WalRecord::OutRequeue {
+            chan: 0,
+            peer: sid(2),
+            prior_seq: 6,
+            seq: 2,
+        });
+        assert_eq!(snap.outbound_for(0), vec![(sid(2), vec![(2, vec![6])])]);
+    }
+
+    #[test]
+    fn apply_rx_deliver_and_consume_track_pending() {
+        let mut snap = CoreSnapshot::default();
+        let deliver = WalRecord::RxDeliver {
+            chan: 0,
+            peer: sid(3),
+            epoch: 9,
+            seq: 4,
+            payload: vec![0xCD],
+        };
+        snap.apply(&deliver);
+        assert_eq!(
+            snap.cursors_for(0),
+            vec![(sid(3), 9, 5)],
+            "a deliver advances the cursor past the delivered seq"
+        );
+        assert_eq!(snap.pending_rx_for(0), vec![(sid(3), 9, 4, vec![0xCD])]);
+        // Replaying it (snapshot raced the log tail) adds nothing.
+        snap.apply(&deliver);
+        assert_eq!(snap.pending_rx_for(0).len(), 1);
+        snap.apply(&WalRecord::RxConsumed {
+            chan: 0,
+            peer: sid(3),
+            seq: 4,
+        });
+        assert!(snap.pending_rx_for(0).is_empty());
+        assert_eq!(
+            snap.cursors_for(0),
+            vec![(sid(3), 9, 5)],
+            "consuming trims the payload, not the cursor"
+        );
+        // Consuming again (replay) is a no-op.
+        snap.apply(&WalRecord::RxConsumed {
+            chan: 0,
+            peer: sid(3),
+            seq: 4,
+        });
+        assert!(snap.pending_rx_for(0).is_empty());
     }
 
     #[test]
