@@ -36,7 +36,7 @@ fn bench_event_codec(c: &mut Criterion) {
 fn bench_packet_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("packet_codec");
     let packets = vec![
-        ("publish", Packet::Publish(event(500))),
+        ("publish", Packet::publish(event(500))),
         (
             "subscribe",
             Packet::Subscribe {

@@ -1,0 +1,196 @@
+//! Observability overhead bench: per-hop latency percentiles and the
+//! wall-clock cost of hop tracing, measured on the deterministic chaos
+//! harness under the paper prototype's USB/IP link profile.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin trace_overhead -- \
+//!     [--seeds 6] [--nodes 3] [--secs 8] [--reps 5] [--smoke]
+//! ```
+//!
+//! Two arms run the *same* scenarios: one with the trace sink attached,
+//! one without. Virtual-time determinism means both arms do identical
+//! protocol work, so the wall-clock ratio isolates what recording hops
+//! costs. The traced arm's sink is then mined for every message's
+//! journey, and the per-hop leg latencies (virtual µs) are reported as
+//! p50/p95/p99.
+//!
+//! Writes `results/BENCH_observability.json` and exits non-zero if the
+//! traced/untraced wall-clock ratio exceeds 1.15×.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use smc_bench::HarnessArgs;
+use smc_harness::{run_with_options, ChaosOp, LinkProfileKind, RunOptions, Scenario, ScriptedOp};
+
+/// The gate: tracing must cost less than 15% wall-clock overhead.
+const MAX_RATIO: f64 = 1.15;
+
+/// A USB/IP-profiled quiet scenario: every node's link is switched to the
+/// paper testbed profile at t=0, then devices publish on schedule.
+fn scenario(seed: u64, nodes: usize, secs: u64) -> Scenario {
+    let mut s = Scenario::quiet(seed, nodes, Duration::from_secs(secs));
+    for node in 0..nodes {
+        s.ops.push(ScriptedOp {
+            at: Duration::ZERO,
+            op: ChaosOp::LinkProfile {
+                node,
+                profile: LinkProfileKind::UsbIp,
+            },
+        });
+    }
+    s.sorted()
+}
+
+/// Wall-clock micros for one full arm (all seeds, one repetition).
+fn arm_wall(seeds: &[Scenario], trace: bool) -> u64 {
+    let started = Instant::now();
+    for s in seeds {
+        let report = run_with_options(
+            s,
+            RunOptions {
+                trace,
+                ..RunOptions::default()
+            },
+        );
+        report.assert_clean();
+    }
+    started.elapsed().as_micros() as u64
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct HopStats {
+    name: &'static str,
+    count: usize,
+    p50: u64,
+    p95: u64,
+    p99: u64,
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let smoke = args.has("smoke");
+    let seeds: u64 = args.get("seeds", if smoke { 2 } else { 6 });
+    let nodes: usize = args.get("nodes", 3);
+    let secs: u64 = args.get("secs", if smoke { 4 } else { 8 });
+    let reps: usize = args.get("reps", if smoke { 3 } else { 5 });
+
+    let scenarios: Vec<Scenario> = (0..seeds)
+        .map(|i| scenario(0x0B5E + i, nodes, secs))
+        .collect();
+
+    // Warm-up both paths once so neither arm pays first-touch costs.
+    arm_wall(&scenarios[..1], false);
+    arm_wall(&scenarios[..1], true);
+
+    // Interleave the arms and keep each arm's *minimum* wall time: the
+    // least-disturbed repetition is the best estimate of intrinsic cost.
+    let mut untraced_walls = Vec::with_capacity(reps);
+    let mut traced_walls = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        untraced_walls.push(arm_wall(&scenarios, false));
+        traced_walls.push(arm_wall(&scenarios, true));
+    }
+    let untraced = *untraced_walls.iter().min().expect("reps > 0");
+    let traced = *traced_walls.iter().min().expect("reps > 0");
+    let ratio = traced as f64 / untraced.max(1) as f64;
+
+    // Mine one traced run per seed for per-hop leg latencies: for every
+    // published message, each journey leg's delta (virtual µs since the
+    // previous hop) is bucketed under the hop it *arrives* at.
+    let mut legs: std::collections::BTreeMap<&'static str, Vec<u64>> =
+        std::collections::BTreeMap::new();
+    let mut journeys = 0u64;
+    for s in &scenarios {
+        let report = run_with_options(s, RunOptions::default());
+        for &dev in &report.device_ids {
+            for seq in 1..=report.oracle.published(dev) {
+                let Some(journey) = report.journey(dev, seq) else {
+                    continue;
+                };
+                if journey.is_empty() {
+                    continue;
+                }
+                journeys += 1;
+                for (hop, _at, delta) in journey.legs().iter().skip(1) {
+                    legs.entry(hop.name()).or_default().push(*delta);
+                }
+            }
+        }
+    }
+    let hop_stats: Vec<HopStats> = legs
+        .iter()
+        .map(|(name, deltas)| {
+            let mut sorted = deltas.clone();
+            sorted.sort_unstable();
+            HopStats {
+                name,
+                count: sorted.len(),
+                p50: percentile(&sorted, 0.50),
+                p95: percentile(&sorted, 0.95),
+                p99: percentile(&sorted, 0.99),
+            }
+        })
+        .collect();
+
+    eprintln!(
+        "# trace overhead under usb-ip ({seeds} seeds × {secs}s × {nodes} nodes, {reps} reps)"
+    );
+    eprintln!("untraced: {untraced} µs   traced: {traced} µs   ratio: {ratio:.3}");
+    eprintln!(
+        "{:>16} {:>8} {:>10} {:>10} {:>10}",
+        "hop", "count", "p50_µs", "p95_µs", "p99_µs"
+    );
+    for h in &hop_stats {
+        eprintln!(
+            "{:>16} {:>8} {:>10} {:>10} {:>10}",
+            h.name, h.count, h.p50, h.p95, h.p99
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"trace_overhead\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"seeds\": {seeds}, \"nodes\": {nodes}, \"virtual_secs\": {secs}, \
+         \"reps\": {reps}, \"link\": \"usb-ip\", \"smoke\": {smoke}}},"
+    );
+    let _ = writeln!(json, "  \"untraced_wall_micros\": {untraced},");
+    let _ = writeln!(json, "  \"traced_wall_micros\": {traced},");
+    let _ = writeln!(json, "  \"overhead_ratio\": {ratio:.4},");
+    let _ = writeln!(json, "  \"max_ratio\": {MAX_RATIO},");
+    let _ = writeln!(json, "  \"journeys\": {journeys},");
+    json.push_str("  \"hops\": [\n");
+    for (i, h) in hop_stats.iter().enumerate() {
+        let comma = if i + 1 < hop_stats.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"hop\": \"{}\", \"count\": {}, \"p50_micros\": {}, \"p95_micros\": {}, \
+             \"p99_micros\": {}}}{comma}",
+            h.name, h.count, h.p50, h.p95, h.p99
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new("results");
+    let target = if path.is_dir() {
+        path.join("BENCH_observability.json")
+    } else {
+        std::path::PathBuf::from("BENCH_observability.json")
+    };
+    std::fs::write(&target, &json).expect("write BENCH_observability.json");
+    eprintln!("wrote {}", target.display());
+
+    if ratio > MAX_RATIO {
+        eprintln!("FAIL: tracing overhead {ratio:.3}× exceeds the {MAX_RATIO}× budget");
+        std::process::exit(1);
+    }
+}

@@ -14,10 +14,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use smc_match::{EngineKind, Matcher};
+use smc_telemetry::{Hop, Registry, Tracer};
 use smc_transport::CpuProfile;
-use smc_types::{Error, Event, Filter, Result, ServiceId, Subscription, SubscriptionId};
+use smc_types::{Error, Event, Filter, Result, ServiceId, Subscription, SubscriptionId, TraceId};
 
-use crate::metrics::{BusMetrics, MetricsSnapshot};
+use crate::metrics::{register_bus_metrics, BusMetrics, MetricsSnapshot};
 
 /// A subscriber-side delivery target.
 ///
@@ -74,6 +75,7 @@ pub struct EventBus {
     next_sub: AtomicU64,
     cpu: CpuProfile,
     metrics: BusMetrics,
+    tracer: Mutex<Tracer>,
 }
 
 impl std::fmt::Debug for EventBus {
@@ -102,7 +104,22 @@ impl EventBus {
             next_sub: AtomicU64::new(1),
             cpu,
             metrics: BusMetrics::new(),
+            tracer: Mutex::new(Tracer::disabled()),
         }
+    }
+
+    /// Installs (or replaces) the hop tracer: dispatch records
+    /// `Published`, `Matched` and `Dropped` hops against each event's
+    /// derived [`TraceId`].
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
+    }
+
+    /// Exports this bus's counters into `registry` (sampled at render
+    /// time; the [`BusMetrics`] atomics remain the source of truth).
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry) {
+        let bus = Arc::clone(self);
+        register_bus_metrics(registry, move || bus.metrics());
     }
 
     /// Which engine the bus is running.
@@ -211,6 +228,9 @@ impl EventBus {
     pub fn publish(&self, event: Event) -> Result<usize> {
         BusMetrics::bump(&self.metrics.published);
         BusMetrics::add(&self.metrics.bytes_published, event.content_len() as u64);
+        let tracer = self.tracer.lock().clone();
+        let trace = TraceId::for_event(event.publisher(), event.seq());
+        tracer.record(trace, Hop::Published);
         // The modelled per-event processing cost. `charge` represents one
         // full buffer copy across an OS/JVM/engine boundary on the target
         // hardware; the Siena path crosses four such boundaries (socket →
@@ -228,8 +248,15 @@ impl EventBus {
         let targets = self.engine.lock().matching_subscribers(&event);
         if targets.is_empty() {
             BusMetrics::bump(&self.metrics.unmatched);
+            tracer.record(
+                trace,
+                Hop::Dropped {
+                    reason: "unmatched",
+                },
+            );
             return Ok(0);
         }
+        tracer.record(trace, Hop::Matched);
         let sinks = self.sinks.lock();
         let mut delivered = 0;
         for subscriber in targets {
@@ -242,7 +269,15 @@ impl EventBus {
                 BusMetrics::bump(&self.metrics.deliveries);
                 match sink.deliver(&event) {
                     Ok(()) => delivered += 1,
-                    Err(_) => BusMetrics::bump(&self.metrics.delivery_failures),
+                    Err(_) => {
+                        BusMetrics::bump(&self.metrics.delivery_failures);
+                        tracer.record(
+                            trace,
+                            Hop::Dropped {
+                                reason: "delivery-failure",
+                            },
+                        );
+                    }
                 }
             }
         }

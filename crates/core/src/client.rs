@@ -158,7 +158,7 @@ impl RemoteClient {
         let (tx, rx) = bounded(1);
         self.pending.lock().map.insert(id.to_string(), tx);
         self.channel
-            .send(self.bus, to_bytes(&Packet::Publish(event)))?;
+            .send(self.bus, to_bytes(&Packet::publish(event)))?;
         let reply = match rx.recv_timeout(timeout) {
             Ok(r) => r,
             Err(RecvTimeoutError::Timeout) => {
@@ -184,7 +184,7 @@ impl RemoteClient {
         let event = self.stamp(event);
         let id = event.id();
         self.channel
-            .send(self.bus, to_bytes(&Packet::Publish(event)))?;
+            .send(self.bus, to_bytes(&Packet::publish(event)))?;
         Ok(id)
     }
 
@@ -380,7 +380,7 @@ impl Router {
 
     fn route(&self, from: ServiceId, packet: Packet) {
         match packet {
-            Packet::Deliver(event) => {
+            Packet::Deliver { event, .. } => {
                 // Acknowledge end-to-end, then hand to the application.
                 let _ = self
                     .channel

@@ -116,10 +116,40 @@ pub struct MetricsSnapshot {
 }
 
 /// A bounded reservoir of latency samples in microseconds.
+///
+/// Uses reservoir sampling (Algorithm R, deterministic seed): once the
+/// reservoir is full each new sample replaces a uniformly random stored
+/// one, so the summary describes the *whole* run, not just the first
+/// `cap` observations. Min, max, mean and the observation count are
+/// tracked exactly; percentiles come from the reservoir.
 #[derive(Debug)]
 pub struct LatencyRecorder {
-    samples: Mutex<Vec<u64>>,
+    state: Mutex<RecorderState>,
     cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct RecorderState {
+    samples: Vec<u64>,
+    /// Total observations (≥ `samples.len()`).
+    seen: u64,
+    /// Exact aggregates over every observation.
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// splitmix64 state for reservoir replacement draws.
+    rng: u64,
+}
+
+/// Fixed PRNG seed: summaries of a deterministic run are reproducible.
+const RESERVOIR_SEED: u64 = 0x5EED_1A7E_0B5E_55ED;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Default for LatencyRecorder {
@@ -129,26 +159,45 @@ impl Default for LatencyRecorder {
 }
 
 impl LatencyRecorder {
-    /// Creates a recorder holding at most `cap` samples (later samples are
-    /// dropped once full).
+    /// Creates a recorder whose reservoir holds at most `cap` samples.
     pub fn new(cap: usize) -> Self {
         LatencyRecorder {
-            samples: Mutex::new(Vec::new()),
-            cap,
+            state: Mutex::new(RecorderState {
+                rng: RESERVOIR_SEED,
+                ..RecorderState::default()
+            }),
+            cap: cap.max(1),
         }
     }
 
     /// Records one sample.
     pub fn record(&self, micros: u64) {
-        let mut s = self.samples.lock();
-        if s.len() < self.cap {
-            s.push(micros);
+        let mut s = self.state.lock();
+        s.seen += 1;
+        s.sum = s.sum.saturating_add(micros);
+        if s.seen == 1 {
+            s.min = micros;
+            s.max = micros;
+        } else {
+            s.min = s.min.min(micros);
+            s.max = s.max.max(micros);
+        }
+        if s.samples.len() < self.cap {
+            s.samples.push(micros);
+        } else {
+            // Algorithm R: keep with probability cap/seen, replacing a
+            // uniform victim — every observation ends up in the reservoir
+            // with equal probability.
+            let j = splitmix64(&mut s.rng) % s.seen;
+            if (j as usize) < self.cap {
+                s.samples[j as usize] = micros;
+            }
         }
     }
 
-    /// Number of stored samples.
+    /// Number of stored samples (bounded by the reservoir capacity).
     pub fn len(&self) -> usize {
-        self.samples.lock().len()
+        self.state.lock().samples.len()
     }
 
     /// Returns `true` if no samples are stored.
@@ -156,31 +205,147 @@ impl LatencyRecorder {
         self.len() == 0
     }
 
-    /// Clears all samples.
+    /// Clears all samples and aggregates.
     pub fn clear(&self) {
-        self.samples.lock().clear();
+        *self.state.lock() = RecorderState {
+            rng: RESERVOIR_SEED,
+            ..RecorderState::default()
+        };
     }
 
-    /// Summary statistics of the stored samples.
+    /// Summary statistics: exact count/min/max/mean over everything
+    /// observed, percentiles estimated from the reservoir.
     pub fn summary(&self) -> LatencySummary {
-        let mut s = self.samples.lock().clone();
-        if s.is_empty() {
+        let state = self.state.lock();
+        if state.samples.is_empty() {
             return LatencySummary::default();
         }
+        let mut s = state.samples.clone();
         s.sort_unstable();
         let count = s.len();
-        let sum: u64 = s.iter().sum();
         let pct = |p: f64| s[(((count - 1) as f64) * p) as usize];
         LatencySummary {
-            count,
-            min_micros: s[0],
-            max_micros: s[count - 1],
-            mean_micros: sum as f64 / count as f64,
+            count: state.seen as usize,
+            min_micros: state.min,
+            max_micros: state.max,
+            mean_micros: state.sum as f64 / state.seen as f64,
             p50_micros: pct(0.50),
             p95_micros: pct(0.95),
             p99_micros: pct(0.99),
         }
     }
+}
+
+/// Migrates [`BusMetrics`] into a telemetry [`Registry`]: installs a
+/// collector that samples `source` at every render, exposing each counter
+/// under a `smc_bus_*` name. The [`BusMetrics`] atomics stay the source
+/// of truth (and `snapshot()` keeps working), so hot paths are untouched.
+pub fn register_bus_metrics(
+    registry: &smc_telemetry::Registry,
+    source: impl Fn() -> MetricsSnapshot + Send + Sync + 'static,
+) {
+    use smc_telemetry::metrics::Sample;
+    registry.register_collector(move |out| {
+        let s = source();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push(Sample {
+                name: name.to_owned(),
+                help: help.to_owned(),
+                monotonic: true,
+                labels: Vec::new(),
+                value,
+            });
+        };
+        counter(
+            "smc_bus_published_total",
+            "Events accepted from publishers.",
+            s.published,
+        );
+        counter(
+            "smc_bus_deliveries_total",
+            "Event deliveries attempted (events x matching subscribers).",
+            s.deliveries,
+        );
+        counter(
+            "smc_bus_unmatched_total",
+            "Events that matched no subscription.",
+            s.unmatched,
+        );
+        counter(
+            "smc_bus_delivery_failures_total",
+            "Deliveries that failed outright (send error).",
+            s.delivery_failures,
+        );
+        counter(
+            "smc_bus_subscriptions_total",
+            "Subscriptions registered.",
+            s.subscriptions,
+        );
+        counter(
+            "smc_bus_unsubscriptions_total",
+            "Subscriptions removed.",
+            s.unsubscriptions,
+        );
+        counter(
+            "smc_bus_publishes_denied_total",
+            "Publish attempts rejected by policy.",
+            s.publishes_denied,
+        );
+        counter(
+            "smc_bus_subscribes_denied_total",
+            "Subscribe attempts rejected by policy.",
+            s.subscribes_denied,
+        );
+        counter(
+            "smc_bus_quench_signals_total",
+            "Quench state flips sent to publishers.",
+            s.quench_signals,
+        );
+        counter(
+            "smc_bus_policy_actions_total",
+            "Obligation policy actions executed by the cell.",
+            s.policy_actions,
+        );
+        counter(
+            "smc_bus_bytes_published_total",
+            "Payload bytes carried by accepted events.",
+            s.bytes_published,
+        );
+        counter(
+            "smc_wal_bytes_appended_total",
+            "Framed bytes appended to the write-ahead log.",
+            s.wal_bytes_appended,
+        );
+        counter(
+            "smc_wal_fsyncs_total",
+            "Fsyncs issued by the write-ahead log.",
+            s.wal_fsyncs,
+        );
+        counter(
+            "smc_wal_snapshots_total",
+            "Snapshots written by the write-ahead log.",
+            s.wal_snapshots,
+        );
+        let mut gauge = |name: &str, help: &str, value: u64| {
+            out.push(Sample {
+                name: name.to_owned(),
+                help: help.to_owned(),
+                monotonic: false,
+                labels: Vec::new(),
+                value,
+            });
+        };
+        gauge(
+            "smc_bus_proxy_queue_hwm",
+            "High-water mark of any proxy's outbound queue depth.",
+            s.proxy_queue_hwm,
+        );
+        gauge(
+            "smc_wal_recovery_micros",
+            "Wall-clock duration of the last WAL recovery, in microseconds.",
+            s.wal_recovery_micros,
+        );
+    });
 }
 
 /// Summary statistics produced by [`LatencyRecorder::summary`].
@@ -218,9 +383,31 @@ mod tests {
         BusMetrics::fetch_max(&m.proxy_queue_hwm, 5);
         BusMetrics::fetch_max(&m.proxy_queue_hwm, 3);
         assert_eq!(m.snapshot().proxy_queue_hwm, 5);
-        BusMetrics::put(&m.wal_fsyncs, 7);
-        BusMetrics::put(&m.wal_fsyncs, 4);
-        assert_eq!(m.snapshot().wal_fsyncs, 4, "put is a gauge, not a max");
+    }
+
+    /// WAL fsync/snapshot/bytes counters are documented as monotonic and
+    /// must behave that way: successive syncs accumulate, they never step
+    /// backwards. (`put` remains only for true gauges such as
+    /// `wal_recovery_micros`.)
+    #[test]
+    fn wal_counters_are_monotonic() {
+        let m = BusMetrics::new();
+        BusMetrics::add(&m.wal_fsyncs, 7);
+        BusMetrics::add(&m.wal_fsyncs, 4);
+        BusMetrics::add(&m.wal_snapshots, 1);
+        BusMetrics::add(&m.wal_snapshots, 1);
+        BusMetrics::add(&m.wal_bytes_appended, 100);
+        BusMetrics::add(&m.wal_bytes_appended, 50);
+        let snap = m.snapshot();
+        assert_eq!(snap.wal_fsyncs, 11, "fsync count accumulates");
+        assert_eq!(snap.wal_snapshots, 2, "snapshot count accumulates");
+        assert_eq!(snap.wal_bytes_appended, 150, "byte count accumulates");
+        let before = m.snapshot().wal_fsyncs;
+        BusMetrics::add(&m.wal_fsyncs, 3);
+        assert!(
+            m.snapshot().wal_fsyncs >= before,
+            "a monotonic counter never decreases"
+        );
     }
 
     #[test]
@@ -248,5 +435,47 @@ mod tests {
             r.record(v);
         }
         assert_eq!(r.len(), 3);
+    }
+
+    /// The reservoir keeps describing the whole run after the cap: a
+    /// sudden latency regression late in a long run must show up in the
+    /// summary (the old behaviour dropped every post-cap sample, so
+    /// summaries only ever described the warm-up).
+    #[test]
+    fn reservoir_sees_past_the_cap() {
+        let r = LatencyRecorder::new(64);
+        for _ in 0..1_000 {
+            r.record(10);
+        }
+        // Regression phase, entirely after the cap is full.
+        for _ in 0..9_000 {
+            r.record(1_000);
+        }
+        let s = r.summary();
+        assert_eq!(s.count, 10_000, "count covers every observation");
+        assert_eq!(s.max_micros, 1_000, "exact max sees the regression");
+        assert!(
+            s.mean_micros > 800.0,
+            "exact mean is dominated by the regression, got {}",
+            s.mean_micros
+        );
+        assert!(
+            s.p95_micros == 1_000,
+            "the reservoir must contain post-cap samples (p95 = {})",
+            s.p95_micros
+        );
+    }
+
+    /// Same inputs → same summary: the reservoir's PRNG seed is fixed.
+    #[test]
+    fn reservoir_is_deterministic() {
+        let mk = || {
+            let r = LatencyRecorder::new(8);
+            for v in 0..500u64 {
+                r.record(v * 7 % 97);
+            }
+            r.summary()
+        };
+        assert_eq!(mk(), mk());
     }
 }

@@ -13,9 +13,12 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use smc_telemetry::Hop;
 use smc_transport::ReliableChannel;
 use smc_types::codec::to_bytes;
-use smc_types::{Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SubscriptionId};
+use smc_types::{
+    Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SubscriptionId, TraceId,
+};
 
 use crate::bus::EventSink;
 
@@ -273,15 +276,21 @@ impl EventSink for Proxy {
         if self.is_destroyed() {
             return Err(Error::Closed);
         }
+        let trace = TraceId::for_event(event.publisher(), event.seq());
         let packet = match self.codec.encode_downlink(event) {
             Ok(Some(raw)) => Packet::Raw(raw),
-            Ok(None) => Packet::Deliver(event.clone()),
+            Ok(None) => Packet::Deliver {
+                event: event.clone(),
+                trace,
+            },
             Err(e) => {
                 AtomicU64::fetch_add(&self.counters.encode_errors, 1, Ordering::Relaxed);
                 return Err(e);
             }
         };
-        self.channel.send(self.info.id, to_bytes(&packet))?;
+        self.channel.tracer().record(trace, Hop::ProxyEnqueued);
+        self.channel
+            .send_traced(self.info.id, to_bytes(&packet), trace)?;
         AtomicU64::fetch_add(&self.counters.events_downlinked, 1, Ordering::Relaxed);
         let depth = self.channel.pending(self.info.id) as u64;
         self.counters
@@ -394,7 +403,10 @@ mod tests {
         proxy.deliver(&event).unwrap();
         match device.recv(Some(Duration::from_secs(2))).unwrap() {
             Incoming::Reliable { payload, .. } => match from_bytes::<Packet>(&payload).unwrap() {
-                Packet::Deliver(e) => assert_eq!(e, event),
+                Packet::Deliver { event: e, trace } => {
+                    assert_eq!(e, event);
+                    assert_eq!(trace, TraceId::for_event(e.publisher(), e.seq()));
+                }
                 other => panic!("unexpected {other:?}"),
             },
             other => panic!("unexpected {other:?}"),

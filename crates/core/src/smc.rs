@@ -24,18 +24,21 @@ use parking_lot::Mutex;
 use smc_discovery::{DiscoveryConfig, DiscoveryService, MembershipEvent};
 use smc_match::EngineKind;
 use smc_policy::{ActionClass, ActionSpec, Decision, FiredAction, PolicyService};
+use smc_telemetry::{Hop, Registry, Tracer};
 use smc_transport::{CpuProfile, Incoming, ReliableChannel, ReliableConfig, Transport};
 use smc_types::codec::{from_bytes, to_bytes};
 use smc_types::{
     new_member_event, purge_member_event, system_clock, AttributeSet, CellId, CoreSnapshot,
     CursorEntry, Error, Event, Filter, OutboundEntry, Packet, Result, ServiceId, ServiceInfo,
-    SharedClock, Subscription, SubscriptionId, WalRecord,
+    SharedClock, Subscription, SubscriptionId, TraceId, WalRecord,
 };
-use smc_wal::{Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_BUS, CHAN_DISCOVERY};
+use smc_wal::{
+    Wal, WalBackend, WalChannelJournal, WalConfig, WalMetrics, CHAN_BUS, CHAN_DISCOVERY,
+};
 
 use crate::bootstrap::ProxyFactory;
 use crate::bus::{EventBus, EventSink};
-use crate::metrics::{BusMetrics, MetricsSnapshot};
+use crate::metrics::{register_bus_metrics, BusMetrics, MetricsSnapshot};
 use crate::proxy::Proxy;
 use crate::quench::QuenchManager;
 
@@ -62,6 +65,9 @@ pub struct SmcConfig {
     /// The clock used to timestamp cell-originated events (inject a
     /// [`smc_types::ManualClock`] for reproducible timestamps).
     pub clock: SharedClock,
+    /// Hop tracer wired into the bus, the channels and the dispatch path.
+    /// Disabled (free) by default.
+    pub tracer: Tracer,
 }
 
 impl Default for SmcConfig {
@@ -74,6 +80,7 @@ impl Default for SmcConfig {
             cpu_profile: CpuProfile::native(),
             default_permit: true,
             clock: system_clock(),
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -104,6 +111,10 @@ pub struct SmcCell {
     channel: Arc<ReliableChannel>,
     discovery_channel: Arc<ReliableChannel>,
     wal: Option<Arc<Wal>>,
+    /// WAL counter values already folded into [`BusMetrics`], so
+    /// successive [`SmcCell::metrics`] calls add only the delta and the
+    /// bus-side counters stay genuinely monotonic.
+    wal_seen: Mutex<WalMetrics>,
     proxies: Arc<Mutex<HashMap<ServiceId, Arc<Proxy>>>>,
     members: Arc<Mutex<HashMap<ServiceId, ServiceInfo>>>,
     next_local_seq: AtomicU64,
@@ -253,6 +264,9 @@ impl SmcCell {
             config.engine,
             config.cpu_profile.clone(),
         ));
+        bus.set_tracer(config.tracer.clone());
+        channel.set_tracer(config.tracer.clone());
+        discovery_channel.set_tracer(config.tracer.clone());
         let cell = Arc::new(SmcCell {
             config,
             bus,
@@ -263,6 +277,7 @@ impl SmcCell {
             channel,
             discovery_channel,
             wal,
+            wal_seen: Mutex::new(WalMetrics::default()),
             proxies: Arc::new(Mutex::new(HashMap::new())),
             members: Arc::new(Mutex::new(HashMap::new())),
             next_local_seq: AtomicU64::new(1),
@@ -350,11 +365,27 @@ impl SmcCell {
         BusMetrics::fetch_max(&m.proxy_queue_hwm, hwm);
         if let Some(wal) = &self.wal {
             let w = wal.metrics();
-            BusMetrics::put(&m.wal_bytes_appended, w.bytes_appended);
-            BusMetrics::put(&m.wal_fsyncs, w.fsyncs);
-            BusMetrics::put(&m.wal_snapshots, w.snapshots);
+            // Fold in only what the WAL did since we last looked: the
+            // bus-side counters are documented as monotonic, and `add`
+            // keeps them that way even though the WAL's own counters
+            // reset when a recovered cell reopens the log.
+            let mut seen = self.wal_seen.lock();
+            BusMetrics::add(
+                &m.wal_bytes_appended,
+                w.bytes_appended.saturating_sub(seen.bytes_appended),
+            );
+            BusMetrics::add(&m.wal_fsyncs, w.fsyncs.saturating_sub(seen.fsyncs));
+            BusMetrics::add(&m.wal_snapshots, w.snapshots.saturating_sub(seen.snapshots));
+            *seen = w;
         }
         self.bus.metrics()
+    }
+
+    /// Exports this cell's counters (bus + proxy high-water mark + WAL)
+    /// into `registry`, sampled at render time.
+    pub fn register_metrics(self: &Arc<Self>, registry: &Registry) {
+        let cell = Arc::clone(self);
+        register_bus_metrics(registry, move || cell.metrics());
     }
 
     /// Writes a [`CoreSnapshot`] of all durable state and truncates the
@@ -661,11 +692,21 @@ impl SmcCell {
         let proxy = self.ensure_proxy(&info);
 
         match packet {
-            Packet::Publish(mut event) => {
+            Packet::Publish { mut event, trace } => {
                 if let Decision::Deny =
                     self.authorise(&info, ActionClass::Publish, event.event_type())
                 {
                     BusMetrics::bump(&self.bus.metrics_ref().publishes_denied);
+                    self.config.tracer.record(
+                        if trace.is_some() {
+                            trace
+                        } else {
+                            TraceId::for_event(event.publisher(), event.seq())
+                        },
+                        Hop::Dropped {
+                            reason: "policy-deny",
+                        },
+                    );
                     let _ = self.channel.send(
                         from,
                         to_bytes(&Packet::Error {

@@ -174,7 +174,7 @@ fn non_member_is_refused() {
     let cell = start_cell(&net);
     // A channel that never joined sends a publish directly to the bus.
     let rogue = ReliableChannel::new(Arc::new(net.endpoint()), fast_reliable());
-    let packet = smc_types::Packet::Publish(
+    let packet = smc_types::Packet::publish(
         Event::builder("x")
             .publisher(rogue.local_id())
             .seq(1)

@@ -198,7 +198,7 @@ fn unconsumed_rx_payload_is_routed_after_restart() {
         .into_iter()
         .find(|(peer, _, _)| *peer == sensor.local_id())
         .expect("sensor has a bus cursor");
-    let payload = to_bytes(&Packet::Publish(
+    let payload = to_bytes(&Packet::publish(
         Event::builder("smc.sensor.reading")
             .attr("bpm", 140i64)
             .publisher(sensor.local_id())

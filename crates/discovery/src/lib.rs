@@ -29,4 +29,4 @@ pub mod service;
 pub use agent::{AgentConfig, AgentEvent, MemberAgent};
 pub use auth::{AcceptAll, Authenticator, DeviceTypeAllowList, SharedSecret};
 pub use membership::{MemberRecord, MemberState, MembershipEvent, MembershipTable};
-pub use service::{DiscoveryConfig, DiscoveryService};
+pub use service::{DiscoveryConfig, DiscoveryService, DiscoveryStats};

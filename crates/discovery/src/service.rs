@@ -6,7 +6,7 @@
 //! on the bus — the paper is explicit that "the discovery protocol does
 //! not use the event bus for monitoring group membership".
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -78,6 +78,52 @@ impl DiscoveryConfig {
     }
 }
 
+/// Counters describing one discovery service's activity since start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct DiscoveryStats {
+    pub joins: u64,
+    pub join_rejects: u64,
+    pub heartbeats: u64,
+    pub suspects: u64,
+    pub recovers: u64,
+    pub purges: u64,
+}
+
+#[derive(Debug, Default)]
+struct DiscoveryCounters {
+    joins: AtomicU64,
+    join_rejects: AtomicU64,
+    heartbeats: AtomicU64,
+    suspects: AtomicU64,
+    recovers: AtomicU64,
+    purges: AtomicU64,
+}
+
+impl DiscoveryCounters {
+    /// Tallies a membership transition as it is reported.
+    fn count(&self, ev: &MembershipEvent) {
+        let counter = match ev {
+            MembershipEvent::Joined(_) => &self.joins,
+            MembershipEvent::Suspected(_) => &self.suspects,
+            MembershipEvent::Recovered(_) => &self.recovers,
+            MembershipEvent::Purged(..) => &self.purges,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> DiscoveryStats {
+        DiscoveryStats {
+            joins: self.joins.load(Ordering::Relaxed),
+            join_rejects: self.join_rejects.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
+            suspects: self.suspects.load(Ordering::Relaxed),
+            recovers: self.recovers.load(Ordering::Relaxed),
+            purges: self.purges.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct ServiceState {
     table: MembershipTable,
@@ -114,6 +160,7 @@ pub struct DiscoveryService {
     events_rx: Receiver<MembershipEvent>,
     events_tx: Sender<MembershipEvent>,
     running: Arc<AtomicBool>,
+    counters: Arc<DiscoveryCounters>,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
     manual: Option<Mutex<ManualDriver>>,
 }
@@ -130,6 +177,7 @@ impl DiscoveryService {
             table: MembershipTable::new(),
         }));
         let running = Arc::new(AtomicBool::new(true));
+        let counters = Arc::new(DiscoveryCounters::default());
         let service = Arc::new(DiscoveryService {
             cell,
             channel: Arc::clone(&channel),
@@ -138,6 +186,7 @@ impl DiscoveryService {
             events_rx,
             events_tx: events_tx.clone(),
             running: Arc::clone(&running),
+            counters: Arc::clone(&counters),
             worker: Mutex::new(None),
             manual: None,
         });
@@ -148,6 +197,7 @@ impl DiscoveryService {
             state,
             events: events_tx,
             running,
+            counters,
         };
         let handle = std::thread::Builder::new()
             .name(format!("discovery-{cell}"))
@@ -176,6 +226,7 @@ impl DiscoveryService {
             table: MembershipTable::new(),
         }));
         let running = Arc::new(AtomicBool::new(true));
+        let counters = Arc::new(DiscoveryCounters::default());
         let worker = Worker {
             cell,
             channel: Arc::clone(&channel),
@@ -183,6 +234,7 @@ impl DiscoveryService {
             state: Arc::clone(&state),
             events: events_tx.clone(),
             running: Arc::clone(&running),
+            counters: Arc::clone(&counters),
         };
         let now_micros = clock.now_micros();
         Arc::new(DiscoveryService {
@@ -193,6 +245,7 @@ impl DiscoveryService {
             events_rx,
             events_tx,
             running,
+            counters,
             worker: Mutex::new(None),
             manual: Some(Mutex::new(ManualDriver {
                 worker,
@@ -242,6 +295,7 @@ impl DiscoveryService {
         };
         work += transitions.len();
         for ev in transitions {
+            self.counters.count(&ev);
             let _ = self.events_tx.send(ev);
         }
         while let Ok(incoming) = self.channel.recv(Some(Duration::ZERO)) {
@@ -304,13 +358,64 @@ impl DiscoveryService {
         let removed = self.state.lock().table.remove(id);
         match removed {
             Some(_) => {
-                let _ = self
-                    .events_tx
-                    .send(MembershipEvent::Purged(id, PurgeReason::Evicted));
+                let ev = MembershipEvent::Purged(id, PurgeReason::Evicted);
+                self.counters.count(&ev);
+                let _ = self.events_tx.send(ev);
                 Ok(())
             }
             None => Err(Error::NotMember),
         }
+    }
+
+    /// A snapshot of the service's activity counters.
+    pub fn stats(&self) -> DiscoveryStats {
+        self.counters.snapshot()
+    }
+
+    /// Exports this service's counters into `registry` as
+    /// `smc_discovery_*` series, sampled at render time.
+    pub fn register_with(self: &Arc<Self>, registry: &smc_telemetry::Registry) {
+        let service = Arc::clone(self);
+        registry.register_collector(move |out| {
+            let s = service.stats();
+            let counter = |name: &str, help: &str, value: u64| smc_telemetry::Sample {
+                name: name.to_string(),
+                help: help.to_string(),
+                monotonic: true,
+                labels: Vec::new(),
+                value,
+            };
+            out.push(counter(
+                "smc_discovery_joins_total",
+                "Members admitted to the cell.",
+                s.joins,
+            ));
+            out.push(counter(
+                "smc_discovery_join_rejects_total",
+                "Join requests denied by the authenticator.",
+                s.join_rejects,
+            ));
+            out.push(counter(
+                "smc_discovery_heartbeats_total",
+                "Heartbeats received from known members.",
+                s.heartbeats,
+            ));
+            out.push(counter(
+                "smc_discovery_suspects_total",
+                "Lease expiries (member suspected).",
+                s.suspects,
+            ));
+            out.push(counter(
+                "smc_discovery_recovers_total",
+                "Suspected members that heartbeat within grace.",
+                s.recovers,
+            ));
+            out.push(counter(
+                "smc_discovery_purges_total",
+                "Members purged (grace expiry, leave or eviction).",
+                s.purges,
+            ));
+        });
     }
 
     /// Stops the service and its worker thread.
@@ -340,6 +445,7 @@ struct Worker {
     state: Arc<Mutex<ServiceState>>,
     events: Sender<MembershipEvent>,
     running: Arc<AtomicBool>,
+    counters: Arc<DiscoveryCounters>,
 }
 
 impl Worker {
@@ -369,6 +475,7 @@ impl Worker {
                 st.table.tick(now, self.config.lease, self.config.grace)
             };
             for ev in transitions {
+                self.counters.count(&ev);
                 let _ = self.events.send(ev);
             }
             // Handle one inbound message (or time out and loop).
@@ -393,8 +500,11 @@ impl Worker {
                 let prev = self.state.lock().table.heartbeat(member, now);
                 match prev {
                     Some(state) => {
+                        self.counters.heartbeats.fetch_add(1, Ordering::Relaxed);
                         if state == crate::membership::MemberState::Suspected {
-                            let _ = self.events.send(MembershipEvent::Recovered(member));
+                            let ev = MembershipEvent::Recovered(member);
+                            self.counters.count(&ev);
+                            let _ = self.events.send(ev);
                         }
                         let ack = Packet::HeartbeatAck { seq };
                         let _ = self.channel.send_unreliable(from, &to_bytes(&ack));
@@ -408,9 +518,9 @@ impl Worker {
             Packet::Leave { member, .. } => {
                 let removed = self.state.lock().table.remove(member);
                 if removed.is_some() {
-                    let _ = self
-                        .events
-                        .send(MembershipEvent::Purged(member, PurgeReason::Left));
+                    let ev = MembershipEvent::Purged(member, PurgeReason::Left);
+                    self.counters.count(&ev);
+                    let _ = self.events.send(ev);
                 }
             }
             _ => {}
@@ -436,8 +546,12 @@ impl Worker {
         if accepted {
             let is_new = self.state.lock().table.admit(info.clone(), now);
             if is_new {
-                let _ = self.events.send(MembershipEvent::Joined(info));
+                let ev = MembershipEvent::Joined(info);
+                self.counters.count(&ev);
+                let _ = self.events.send(ev);
             }
+        } else {
+            self.counters.join_rejects.fetch_add(1, Ordering::Relaxed);
         }
     }
 }

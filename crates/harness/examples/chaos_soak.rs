@@ -38,6 +38,7 @@ fn main() {
     let ops = next(10) as usize;
 
     let mut results: Vec<SeedResult> = Vec::new();
+    let mut last_report = None;
     for seed in 9000..9000 + seeds {
         let scenario = Scenario::random(seed, nodes, Duration::from_secs(secs), ops);
         let report = run(&scenario);
@@ -62,6 +63,15 @@ fn main() {
             recovery_micros_total: report.recovery_micros_total,
             verdict,
         });
+        last_report = Some(report);
+    }
+
+    // Final metrics dump in exposition format — what a scrape of the last
+    // seed's run would have returned.
+    if let Some(report) = &last_report {
+        eprintln!("# --- final run metrics (exposition format) ---");
+        eprint!("{}", report.registry.render_text());
+        eprintln!("# --- end metrics ---");
     }
 
     let violations = results.iter().filter(|r| r.verdict != "clean").count();

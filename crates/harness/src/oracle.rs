@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use smc_telemetry::Journey;
 use smc_types::ServiceId;
 
 /// One observed fact, stamped with virtual micros.
@@ -100,6 +101,12 @@ pub struct OracleViolation {
     pub kind: ViolationKind,
     /// Human-readable description of the offending delivery.
     pub detail: String,
+    /// The offending delivery, if the violation has one: `(sender, seq)`
+    /// — enough to derive its [`smc_types::TraceId`].
+    pub offender: Option<(ServiceId, u64)>,
+    /// The offending event's hop-by-hop journey, attached by the harness
+    /// after the run when a trace sink was recording.
+    pub journey: Option<Journey>,
     /// The trace up to and including the violation.
     pub trace: Vec<TraceEvent>,
 }
@@ -130,6 +137,12 @@ impl fmt::Display for OracleViolation {
         }
         for ev in &self.trace[skip..] {
             writeln!(f, "    {ev}")?;
+        }
+        if let Some(journey) = &self.journey {
+            writeln!(f, "  offending event's journey:")?;
+            for line in journey.to_string().lines() {
+                writeln!(f, "    {line}")?;
+            }
         }
         Ok(())
     }
@@ -190,6 +203,12 @@ impl DeliveryOracle {
         self.violation.as_ref()
     }
 
+    /// Mutable access to the violation — the harness uses it to attach
+    /// the offending event's journey once the run has finished.
+    pub fn violation_mut(&mut self) -> Option<&mut OracleViolation> {
+        self.violation.as_mut()
+    }
+
     /// Panics with the full seed + trace report if a guarantee broke.
     pub fn assert_clean(&self) {
         if let Some(v) = &self.violation {
@@ -207,12 +226,14 @@ impl DeliveryOracle {
         self.senders.get(&sender).map_or(0, |s| s.delivered)
     }
 
-    fn fail(&mut self, kind: ViolationKind, detail: String) {
+    fn fail(&mut self, kind: ViolationKind, detail: String, offender: Option<(ServiceId, u64)>) {
         if self.violation.is_none() {
             self.violation = Some(OracleViolation {
                 seed: self.seed,
                 kind,
                 detail,
+                offender,
+                journey: None,
                 trace: self.trace.clone(),
             });
         }
@@ -262,11 +283,13 @@ impl DeliveryOracle {
             self.fail(
                 ViolationKind::DuplicateDelivery,
                 format!("message #{seq} from {sender} delivered twice"),
+                Some((sender, seq)),
             );
         } else if seq < last {
             self.fail(
                 ViolationKind::FifoViolation,
                 format!("message #{seq} from {sender} delivered after #{last}"),
+                Some((sender, seq)),
             );
         } else {
             self.senders
@@ -278,6 +301,7 @@ impl DeliveryOracle {
             self.fail(
                 ViolationKind::DeliveryAfterPurge,
                 format!("message #{seq} from {sender} delivered while purged / never admitted"),
+                Some((sender, seq)),
             );
         }
     }

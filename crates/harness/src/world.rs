@@ -25,10 +25,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use smc_discovery::{AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent};
+use smc_telemetry::{Hop, Journey, Registry, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
 use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
 use smc_types::{
     CellId, CoreSnapshot, CursorEntry, ManualClock, OutboundEntry, PendingRx, ServiceId,
-    ServiceInfo, SharedClock, WalRecord,
+    ServiceInfo, SharedClock, TraceId, WalRecord,
 };
 use smc_wal::{
     MemBackend, Recovered, Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_BUS, CHAN_DISCOVERY,
@@ -63,6 +64,44 @@ pub fn default_discovery() -> DiscoveryConfig {
     }
 }
 
+/// Everything configurable about a chaos run.
+pub struct RunOptions {
+    /// Reliable-channel parameters (weaken them — `dedup: false` — to
+    /// prove the oracle has teeth).
+    pub reliable: ReliableConfig,
+    /// Discovery timings and admission control.
+    pub discovery: DiscoveryConfig,
+    /// The core's WAL backend ([`MemBackend`] by default; `NoopBackend`
+    /// demonstrates what durability buys).
+    pub backend: Arc<dyn WalBackend>,
+    /// Whether every channel, publish and delivery records hops into a
+    /// trace sink. On by default; the bench's untraced arm turns it off.
+    pub trace: bool,
+    /// Ring capacity of the trace sink, in hop records.
+    pub trace_capacity: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            reliable: default_reliable(),
+            discovery: default_discovery(),
+            backend: Arc::new(MemBackend::new()),
+            trace: true,
+            trace_capacity: DEFAULT_SINK_CAPACITY,
+        }
+    }
+}
+
+impl std::fmt::Debug for RunOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunOptions")
+            .field("trace", &self.trace)
+            .field("trace_capacity", &self.trace_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The outcome of one chaos run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -82,12 +121,27 @@ pub struct RunReport {
     /// Reliable-channel retransmissions summed over every channel and
     /// every incarnation (crashed devices and cores included).
     pub retransmits: u64,
+    /// The hop-record sink every component traced into, when
+    /// [`RunOptions::trace`] was on.
+    pub trace_sink: Option<Arc<TraceSink>>,
+    /// The run's metrics registry: WAL, discovery, channel and harness
+    /// counters, sampled when rendered.
+    pub registry: Registry,
 }
 
 impl RunReport {
     /// The byte-comparable rendering of the whole trace.
     pub fn trace_text(&self) -> String {
         self.oracle.trace_text()
+    }
+
+    /// The hop-by-hop journey of one published message, if tracing was
+    /// on (`None` otherwise; an *empty* journey means the ring has
+    /// overwritten its records).
+    pub fn journey(&self, sender: ServiceId, seq: u64) -> Option<Journey> {
+        self.trace_sink
+            .as_ref()
+            .map(|s| s.journey(TraceId::for_event(sender, seq)))
     }
 
     /// Panics with seed + trace if a delivery guarantee broke.
@@ -199,12 +253,14 @@ fn decode(payload: &[u8]) -> Option<u64> {
 /// (resetting the sink's member filter to match), and the recovered
 /// outbound queue re-enqueued for retransmission. `ids` pins the
 /// endpoints of a previous incarnation on restart.
+#[allow(clippy::too_many_arguments)]
 fn boot_core(
     net: &SimNetwork,
     backend: &Arc<dyn WalBackend>,
     reliable: &ReliableConfig,
     discovery_config: &DiscoveryConfig,
     clock: &SharedClock,
+    tracer: &Tracer,
     ids: Option<(ServiceId, ServiceId)>,
     members: &mut HashSet<ServiceId>,
 ) -> (Core, Recovered) {
@@ -240,6 +296,8 @@ fn boot_core(
         recovered.snapshot.cursors_for(CHAN_BUS),
         recovered.snapshot.pending_rx_for(CHAN_BUS),
     );
+    disco_channel.set_tracer(tracer.clone());
+    sink_channel.set_tracer(tracer.clone());
     let service = DiscoveryService::with_clock(
         CellId(1),
         Arc::clone(&disco_channel),
@@ -321,7 +379,7 @@ fn checkpoint(core: &Core) {
 
 /// Runs `scenario` with the default reliability and discovery settings.
 pub fn run(scenario: &Scenario) -> RunReport {
-    run_with(scenario, default_reliable(), default_discovery())
+    run_with_options(scenario, RunOptions::default())
 }
 
 /// Runs `scenario` with explicit channel and discovery parameters (e.g.
@@ -332,11 +390,13 @@ pub fn run_with(
     reliable: ReliableConfig,
     discovery_config: DiscoveryConfig,
 ) -> RunReport {
-    run_with_backend(
+    run_with_options(
         scenario,
-        reliable,
-        discovery_config,
-        Arc::new(MemBackend::new()),
+        RunOptions {
+            reliable,
+            discovery: discovery_config,
+            ..RunOptions::default()
+        },
     )
 }
 
@@ -350,10 +410,40 @@ pub fn run_with_backend(
     discovery_config: DiscoveryConfig,
     backend: Arc<dyn WalBackend>,
 ) -> RunReport {
+    run_with_options(
+        scenario,
+        RunOptions {
+            reliable,
+            discovery: discovery_config,
+            backend,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Runs `scenario` under full [`RunOptions`] control.
+pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
+    let RunOptions {
+        reliable,
+        discovery: discovery_config,
+        backend,
+        trace,
+        trace_capacity,
+    } = options;
     let clock = Arc::new(ManualClock::new());
     let shared: SharedClock = clock.clone();
     let baseline = LinkConfig::ideal();
     let net = SimNetwork::with_clock(baseline.clone(), scenario.seed, Arc::clone(&shared));
+
+    let (tracer, trace_sink) = if trace {
+        let sink = Arc::new(TraceSink::with_capacity(trace_capacity));
+        (
+            Tracer::new(Arc::clone(&sink), Arc::clone(&shared)),
+            Some(sink),
+        )
+    } else {
+        (Tracer::disabled(), None)
+    };
 
     let mut oracle = DeliveryOracle::new(scenario.seed);
     let mut members: HashSet<ServiceId> = HashSet::new();
@@ -363,6 +453,7 @@ pub fn run_with_backend(
         &reliable,
         &discovery_config,
         &shared,
+        &tracer,
         None,
         &mut members,
     );
@@ -379,6 +470,7 @@ pub fn run_with_backend(
             );
             let info = ServiceInfo::new(ServiceId::NIL, "harness.device")
                 .with_name(format!("chaos device {n}"));
+            channel.set_tracer(tracer.clone());
             let agent = MemberAgent::with_clock(
                 info.clone(),
                 Arc::clone(&channel),
@@ -493,6 +585,7 @@ pub fn run_with_backend(
                         &reliable,
                         &discovery_config,
                         &shared,
+                        &tracer,
                         Some((disco_id, sink_id)),
                         &mut members,
                     );
@@ -508,9 +601,17 @@ pub fn run_with_backend(
                     for (peer, _epoch, seq, payload) in recovered.snapshot.pending_rx_for(CHAN_BUS)
                     {
                         if let Some(published) = decode(&payload) {
+                            let t = TraceId::for_event(peer, published);
                             if members.contains(&peer) {
+                                tracer.record(t, Hop::Delivered);
                                 oracle.record_delivery(now, peer, published);
                             } else {
+                                tracer.record(
+                                    t,
+                                    Hop::Dropped {
+                                        reason: "purge-filter",
+                                    },
+                                );
                                 oracle.record_filtered(now, peer, published);
                             }
                         }
@@ -532,6 +633,7 @@ pub fn run_with_backend(
                 sink_id,
                 &reliable,
                 &shared,
+                &tracer,
                 &mut oracle,
                 now,
                 &mut retransmits_gone,
@@ -600,8 +702,10 @@ pub fn run_with_backend(
                 let seq = dev.next_seq;
                 dev.next_seq += 1;
                 dev.next_publish = now + publish_interval;
+                let t = TraceId::for_event(dev.id, seq);
+                tracer.record(t, Hop::Published);
                 oracle.record_publish(now, dev.id, seq);
-                let _ = dev.channel.send(sink_id, encode(seq));
+                let _ = dev.channel.send_traced(sink_id, encode(seq), t);
             }
         }
         // 7. The sink accepts deliveries, mirroring the SMC's rule that
@@ -609,9 +713,17 @@ pub fn run_with_backend(
         while let Ok(incoming) = core.sink_channel.recv(Some(Duration::ZERO)) {
             if let Incoming::Reliable { from, seq, payload } = incoming {
                 if let Some(published) = decode(&payload) {
+                    let t = TraceId::for_event(from, published);
                     if members.contains(&from) {
+                        tracer.record(t, Hop::Delivered);
                         oracle.record_delivery(now, from, published);
                     } else {
+                        tracer.record(
+                            t,
+                            Hop::Dropped {
+                                reason: "purge-filter",
+                            },
+                        );
                         oracle.record_filtered(now, from, published);
                     }
                 }
@@ -636,6 +748,96 @@ pub fn run_with_backend(
             .map(|d| d.channel.stats().retransmits)
             .sum::<u64>();
 
+    // Attach the offending event's journey to the violation, if any: the
+    // sink can replay exactly where the message's guarantees broke down.
+    if let Some(sink) = &trace_sink {
+        if let Some(v) = oracle.violation_mut() {
+            if let Some((sender, seq)) = v.offender {
+                v.journey = Some(sink.journey(TraceId::for_event(sender, seq)));
+            }
+        }
+    }
+
+    // Assemble the run's registry. Collectors sample the final core
+    // incarnation at render time; run-wide aggregates (which span crashed
+    // incarnations) go in as plain instruments with their final values.
+    let registry = Registry::default();
+    core.wal.register_with(&registry);
+    core.service.register_with(&registry);
+    {
+        let sink_channel = Arc::clone(&core.sink_channel);
+        registry.register_collector(move |out| {
+            let s = sink_channel.stats();
+            let counter = |name: &str, help: &str, value: u64| smc_telemetry::Sample {
+                name: name.to_string(),
+                help: help.to_string(),
+                monotonic: true,
+                labels: vec![("channel".to_string(), "sink".to_string())],
+                value,
+            };
+            out.push(counter(
+                "smc_channel_msgs_delivered_total",
+                "Reliable messages delivered to the application.",
+                s.msgs_delivered,
+            ));
+            out.push(counter(
+                "smc_channel_retransmits_total",
+                "Fragment retransmissions.",
+                s.retransmits,
+            ));
+            out.push(counter(
+                "smc_channel_duplicates_suppressed_total",
+                "Duplicate fragments suppressed on receive.",
+                s.duplicates_suppressed,
+            ));
+        });
+    }
+    if let Some(sink) = &trace_sink {
+        let sink = Arc::clone(sink);
+        registry.register_collector(move |out| {
+            out.push(smc_telemetry::Sample {
+                name: "smc_trace_hops_appended_total".to_string(),
+                help: "Hop records appended to the trace sink.".to_string(),
+                monotonic: true,
+                labels: Vec::new(),
+                value: sink.appended(),
+            });
+            out.push(smc_telemetry::Sample {
+                name: "smc_trace_hops_overwritten_total".to_string(),
+                help: "Hop records lost to trace-ring wrap-around.".to_string(),
+                monotonic: true,
+                labels: Vec::new(),
+                value: sink.overwritten(),
+            });
+        });
+    }
+    let published_total: u64 = device_ids.iter().map(|&id| oracle.published(id)).sum();
+    let delivered_total: u64 = device_ids.iter().map(|&id| oracle.delivered(id)).sum();
+    registry
+        .counter(
+            "smc_harness_published_total",
+            "Messages devices handed to their channels over the run.",
+        )
+        .add(published_total);
+    registry
+        .counter(
+            "smc_harness_delivered_total",
+            "Messages the sink accepted over the run.",
+        )
+        .add(delivered_total);
+    registry
+        .counter(
+            "smc_harness_retransmits_total",
+            "Retransmissions across every channel and incarnation.",
+        )
+        .add(retransmits);
+    registry
+        .counter(
+            "smc_harness_core_recoveries_total",
+            "Core restarts recovered from the write-ahead log.",
+        )
+        .add(core_recoveries);
+
     RunReport {
         oracle,
         device_ids,
@@ -644,6 +846,8 @@ pub fn run_with_backend(
         core_recoveries,
         recovery_micros_total,
         retransmits,
+        trace_sink,
+        registry,
     }
 }
 
@@ -657,6 +861,7 @@ fn apply(
     sink_id: ServiceId,
     reliable: &ReliableConfig,
     clock: &SharedClock,
+    tracer: &Tracer,
     oracle: &mut DeliveryOracle,
     now: u64,
     retransmits_gone: &mut u64,
@@ -720,6 +925,7 @@ fn apply(
             let transport = Arc::new(net.endpoint_with_id(dev.id));
             let channel =
                 ReliableChannel::with_clock(transport, reliable.clone(), Arc::clone(clock));
+            channel.set_tracer(tracer.clone());
             let agent = MemberAgent::with_clock(
                 dev.info.clone(),
                 Arc::clone(&channel),

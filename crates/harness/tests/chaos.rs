@@ -3,7 +3,10 @@
 
 use std::time::{Duration, Instant};
 
-use smc_harness::{run, run_with, ChaosOp, Scenario, ScriptedOp, ViolationKind};
+use smc_harness::{
+    run, run_with, run_with_options, ChaosOp, RunOptions, Scenario, ScriptedOp, ViolationKind,
+};
+use smc_telemetry::Hop;
 use smc_transport::ReliableConfig;
 
 fn secs(s: u64) -> Duration {
@@ -212,6 +215,152 @@ fn broken_channel_config_fails_the_oracle() {
     assert!(
         rendered.contains("deliver"),
         "report must show the trace: {rendered}"
+    );
+}
+
+/// A clean run traces complete journeys: every delivered message can be
+/// replayed hop by hop from publish to delivery, and the run's registry
+/// renders the standard exposition series.
+#[test]
+fn clean_run_traces_complete_journeys() {
+    let scenario = Scenario::quiet(40, 2, secs(6));
+    let report = run(&scenario);
+    report.assert_clean();
+    assert!(report.total_delivered() > 0);
+    let dev = report.device_ids[0];
+    let journey = report
+        .journey(dev, 1)
+        .expect("tracing is on by default")
+        .clone();
+    assert!(
+        !journey.is_empty(),
+        "device 0's first message must have hops"
+    );
+    let names: Vec<&str> = journey.hops.iter().map(|r| r.hop.name()).collect();
+    assert_eq!(names.first(), Some(&"published"));
+    assert!(names.contains(&"tx-sent"), "hops: {names:?}");
+    assert!(names.contains(&"rx-acked"), "hops: {names:?}");
+    assert_eq!(names.last(), Some(&"delivered"), "hops: {names:?}");
+    // Timestamps never go backwards along a journey.
+    let times: Vec<u64> = journey.hops.iter().map(|r| r.at_micros).collect();
+    assert!(times.windows(2).all(|w| w[0] <= w[1]), "times: {times:?}");
+    // The registry renders parseable exposition text with run counters.
+    let text = report.registry.render_text();
+    assert!(text.contains("# TYPE smc_harness_published_total counter"));
+    assert!(text.contains("smc_trace_hops_appended_total"));
+    let parsed = smc_telemetry::parse_text(&text).expect("render_text must parse back");
+    let published = parsed
+        .iter()
+        .find(|s| s.name == "smc_harness_published_total")
+        .expect("published counter rendered");
+    assert_eq!(published.value, report.total_published() as f64);
+}
+
+/// The acceptance criterion for tracing: an injected delivery violation
+/// (dedup disabled under a duplicate storm) is reported with the
+/// offending event's complete hop journey attached.
+#[test]
+fn violation_report_carries_offending_journey() {
+    let mut scenario = Scenario::quiet(41, 2, secs(8));
+    for at in [500u64, 1500, 2500, 3500, 4500, 5500] {
+        scenario.ops.push(ScriptedOp {
+            at: millis(at),
+            op: ChaosOp::DuplicateStorm {
+                node: (at as usize / 1500) % 2,
+                duplicate: 0.9,
+                duration: millis(900),
+            },
+        });
+    }
+    let report = run_with_options(
+        &scenario.sorted(),
+        RunOptions {
+            reliable: ReliableConfig {
+                dedup: false,
+                ..ReliableConfig::default()
+            },
+            ..RunOptions::default()
+        },
+    );
+    let violation = report
+        .oracle
+        .violation()
+        .expect("dedup=false under a duplicate storm must violate delivery semantics");
+    let (sender, seq) = violation
+        .offender
+        .expect("delivery violations name the offending message");
+    let journey = violation
+        .journey
+        .as_ref()
+        .expect("the harness attaches the offender's journey");
+    assert!(
+        !journey.is_empty(),
+        "offender {sender} #{seq} must have recorded hops"
+    );
+    let names: Vec<&str> = journey.hops.iter().map(|r| r.hop.name()).collect();
+    assert_eq!(
+        names.first(),
+        Some(&"published"),
+        "journey starts at the publish: {names:?}"
+    );
+    assert!(
+        names.iter().filter(|&&n| n == "delivered").count() >= 2,
+        "a duplicate delivery shows up as two delivered hops: {names:?}"
+    );
+    let rendered = violation.to_string();
+    assert!(
+        rendered.contains("offending event's journey"),
+        "report must print the journey: {rendered}"
+    );
+    assert!(rendered.contains("delivered"), "{rendered}");
+}
+
+/// Turning tracing off must not change the run itself: the oracle trace
+/// is byte-identical with and without hop recording.
+#[test]
+fn tracing_does_not_perturb_the_run() {
+    let scenario = Scenario::random(42, 3, secs(6), 8);
+    let traced = run_with_options(&scenario, RunOptions::default());
+    let untraced = run_with_options(
+        &scenario,
+        RunOptions {
+            trace: false,
+            ..RunOptions::default()
+        },
+    );
+    assert!(traced.trace_sink.is_some());
+    assert!(untraced.trace_sink.is_none());
+    assert_eq!(
+        traced.trace_text().into_bytes(),
+        untraced.trace_text().into_bytes(),
+        "hop recording must be invisible to the virtual-time schedule"
+    );
+}
+
+/// Retransmission rounds show up as hops on the journey of a message
+/// published into a loss burst.
+#[test]
+fn loss_burst_journeys_show_retransmit_hops() {
+    let mut scenario = Scenario::quiet(43, 1, secs(6));
+    scenario.ops.push(ScriptedOp {
+        at: millis(500),
+        op: ChaosOp::LossBurst {
+            node: 0,
+            loss: 0.85,
+            duration: millis(2500),
+        },
+    });
+    let report = run(&scenario.sorted());
+    report.assert_clean();
+    let dev = report.device_ids[0];
+    let retransmitted = (1..=report.oracle.published(dev)).any(|seq| {
+        report
+            .journey(dev, seq)
+            .is_some_and(|j| j.hops.iter().any(|r| r.hop == Hop::TxRetransmit))
+    });
+    assert!(
+        retransmitted,
+        "an 85% loss burst must force at least one traced retransmission round"
     );
 }
 

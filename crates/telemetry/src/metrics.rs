@@ -1,0 +1,646 @@
+//! The metrics registry: named counters, gauges and log₂-bucketed
+//! histograms with Prometheus-style text exposition.
+//!
+//! Instruments are cheap atomic handles; the registry remembers what was
+//! registered (name, help, labels) and renders everything on demand.
+//! Components that already keep their own atomic counters (the bus, the
+//! WAL, discovery) plug in as *collectors* — closures sampled at render
+//! time — so migration does not require rewriting their hot paths.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is currently lower (high-water mark).
+    pub fn fetch_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Bucket count: `le 1, 2, 4, …, 2³¹` plus `+Inf`.
+const BUCKETS: usize = 33;
+
+/// A histogram over `u64` observations with log₂ bucket boundaries.
+///
+/// Bucket `i < 32` counts observations `≤ 2^i`; the last bucket is
+/// `+Inf`. Boundaries are fixed, so merging and rendering need no
+/// configuration and observation is one atomic increment.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The upper boundary of bucket `i`, as rendered in the `le` label.
+fn bucket_bound(i: usize) -> String {
+    if i == BUCKETS - 1 {
+        "+Inf".to_owned()
+    } else {
+        (1u64 << i).to_string()
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// The upper bucket boundary below which at least `q` (0..=1) of the
+    /// observations fall — a bucket-resolution quantile estimate.
+    /// Returns `u64::MAX` when the quantile lands in the `+Inf` bucket,
+    /// `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == BUCKETS - 1 {
+                    u64::MAX
+                } else {
+                    1u64 << i
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.0
+            .buckets
+            .iter()
+            .map(|b| {
+                acc += b.load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    inst: Instrument,
+}
+
+/// A sample produced by a collector at render time.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Metric name.
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// `true` for counters, `false` for gauges.
+    pub monotonic: bool,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: u64,
+}
+
+type Collector = Box<dyn Fn(&mut Vec<Sample>) + Send + Sync>;
+
+/// A registry of named instruments, rendered as Prometheus-style text.
+#[derive(Clone, Default)]
+pub struct Registry(Arc<RegistryInner>);
+
+#[derive(Default)]
+struct RegistryInner {
+    entries: Mutex<Vec<Entry>>,
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("entries", &self.0.entries.lock().len())
+            .field("collectors", &self.0.collectors.lock().len())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        let mut entries = self.0.entries.lock();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return e.inst.clone();
+        }
+        let inst = make();
+        entries.push(Entry {
+            name: name.to_owned(),
+            help: help.to_owned(),
+            labels,
+            inst: inst.clone(),
+        });
+        inst
+    }
+
+    /// Registers (or retrieves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled counter.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, help, labels, || {
+            Instrument::Counter(Counter::default())
+        }) {
+            Instrument::Counter(c) => c,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled gauge.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, help, labels, || Instrument::Gauge(Gauge::default())) {
+            Instrument::Gauge(g) => g,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Registers (or retrieves) an unlabelled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Registers (or retrieves) a labelled histogram.
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.instrument(name, help, labels, || {
+            Instrument::Histogram(Histogram::default())
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Installs a collector: a closure sampled at every
+    /// [`Registry::render_text`], for components that keep their own
+    /// counters (the bus, the WAL, discovery).
+    pub fn register_collector(&self, f: impl Fn(&mut Vec<Sample>) + Send + Sync + 'static) {
+        self.0.collectors.lock().push(Box::new(f));
+    }
+
+    /// Renders every instrument and collector sample in the Prometheus
+    /// text exposition format (`# HELP`/`# TYPE`, labelled series,
+    /// cumulative histogram buckets ending in `+Inf`).
+    pub fn render_text(&self) -> String {
+        // name → (help, kind, series); BTreeMap for stable output.
+        let mut families: BTreeMap<String, (String, Kind, Vec<String>)> = BTreeMap::new();
+        let add_series = |families: &mut BTreeMap<String, (String, Kind, Vec<String>)>,
+                          name: &str,
+                          help: &str,
+                          kind: Kind,
+                          line: String| {
+            let fam = families
+                .entry(name.to_owned())
+                .or_insert_with(|| (help.to_owned(), kind, Vec::new()));
+            fam.2.push(line);
+        };
+
+        for e in self.0.entries.lock().iter() {
+            match &e.inst {
+                Instrument::Counter(c) => add_series(
+                    &mut families,
+                    &e.name,
+                    &e.help,
+                    Kind::Counter,
+                    format!("{}{} {}", e.name, render_labels(&e.labels, None), c.get()),
+                ),
+                Instrument::Gauge(g) => add_series(
+                    &mut families,
+                    &e.name,
+                    &e.help,
+                    Kind::Gauge,
+                    format!("{}{} {}", e.name, render_labels(&e.labels, None), g.get()),
+                ),
+                Instrument::Histogram(h) => {
+                    let cumulative = h.cumulative();
+                    let mut lines = Vec::with_capacity(BUCKETS + 2);
+                    for (i, c) in cumulative.iter().enumerate() {
+                        lines.push(format!(
+                            "{}_bucket{} {}",
+                            e.name,
+                            render_labels(&e.labels, Some(&bucket_bound(i))),
+                            c
+                        ));
+                    }
+                    lines.push(format!(
+                        "{}_sum{} {}",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.sum()
+                    ));
+                    lines.push(format!(
+                        "{}_count{} {}",
+                        e.name,
+                        render_labels(&e.labels, None),
+                        h.count()
+                    ));
+                    for line in lines {
+                        add_series(&mut families, &e.name, &e.help, Kind::Histogram, line);
+                    }
+                }
+            }
+        }
+
+        let mut samples = Vec::new();
+        for c in self.0.collectors.lock().iter() {
+            c(&mut samples);
+        }
+        for s in samples {
+            let kind = if s.monotonic {
+                Kind::Counter
+            } else {
+                Kind::Gauge
+            };
+            add_series(
+                &mut families,
+                &s.name,
+                &s.help,
+                kind,
+                format!("{}{} {}", s.name, render_labels(&s.labels, None), s.value),
+            );
+        }
+
+        let mut out = String::new();
+        for (name, (help, kind, series)) in families {
+            out.push_str(&format!("# HELP {name} {}\n", escape_help(&help)));
+            out.push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+            for line in series {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(bound) = le {
+        parts.push(format!("le=\"{bound}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One series parsed back out of exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Series name (including `_bucket`/`_sum`/`_count` suffixes).
+    pub name: String,
+    /// Label pairs, in written order (including `le` on buckets).
+    pub labels: Vec<(String, String)>,
+    /// The value.
+    pub value: f64,
+}
+
+/// Parses exposition text back into samples — the inverse of
+/// [`Registry::render_text`] for the subset this crate emits. Used by
+/// the golden round-trip tests; returns `None` on any malformed line.
+pub fn parse_text(text: &str) -> Option<Vec<ParsedSample>> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ')?;
+        let value: f64 = value.parse().ok()?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_owned(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}')?;
+                let mut labels = Vec::new();
+                if !body.is_empty() {
+                    for pair in split_label_pairs(body)? {
+                        let (k, v) = pair.split_once('=')?;
+                        let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                        labels.push((k.to_owned(), unescape_label(v)?));
+                    }
+                }
+                (name.to_owned(), labels)
+            }
+        };
+        out.push(ParsedSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Some(out)
+}
+
+/// Splits `k1="v1",k2="v2"` on commas outside quotes.
+fn split_label_pairs(body: &str) -> Option<Vec<&str>> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            _ if escaped => escaped = false,
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if in_quotes {
+        return None;
+    }
+    parts.push(&body[start..]);
+    Some(parts)
+}
+
+fn unescape_label(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next()? {
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                'n' => out.push('\n'),
+                _ => return None,
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_and_parse_back() {
+        let r = Registry::new();
+        let c = r.counter_with("smc_events_published_total", "Events accepted.", &[]);
+        c.add(42);
+        let g = r.gauge_with(
+            "smc_queue_depth",
+            "Proxy queue depth.",
+            &[("member", "a\"b")],
+        );
+        g.set(7);
+        let text = r.render_text();
+        assert!(text.contains("# TYPE smc_events_published_total counter"));
+        assert!(text.contains("# TYPE smc_queue_depth gauge"));
+        let parsed = parse_text(&text).expect("parse");
+        let c_back = parsed
+            .iter()
+            .find(|s| s.name == "smc_events_published_total")
+            .unwrap();
+        assert_eq!(c_back.value, 42.0);
+        assert!(c_back.labels.is_empty());
+        let g_back = parsed.iter().find(|s| s.name == "smc_queue_depth").unwrap();
+        assert_eq!(g_back.value, 7.0);
+        assert_eq!(
+            g_back.labels,
+            vec![("member".to_owned(), "a\"b".to_owned())]
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_in_inf() {
+        let r = Registry::new();
+        let h = r.histogram("smc_hop_micros", "Per-hop latency.");
+        for v in [1u64, 2, 3, 100, 1_000_000_000_000] {
+            h.observe(v);
+        }
+        let text = r.render_text();
+        let parsed = parse_text(&text).expect("parse");
+        let buckets: Vec<&ParsedSample> = parsed
+            .iter()
+            .filter(|s| s.name == "smc_hop_micros_bucket")
+            .collect();
+        assert_eq!(buckets.len(), BUCKETS);
+        // Cumulative: never decreasing.
+        let counts: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+        // Last bucket is +Inf and holds every observation.
+        let last = buckets.last().unwrap();
+        assert_eq!(
+            last.labels.last().unwrap(),
+            &("le".to_owned(), "+Inf".to_owned())
+        );
+        assert_eq!(last.value, 5.0);
+        let count = parsed
+            .iter()
+            .find(|s| s.name == "smc_hop_micros_count")
+            .unwrap();
+        assert_eq!(count.value, 5.0);
+        let sum = parsed
+            .iter()
+            .find(|s| s.name == "smc_hop_micros_sum")
+            .unwrap();
+        assert_eq!(sum.value, 1_000_000_000_106.0);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(3); // bucket le=4
+        }
+        for _ in 0..10 {
+            h.observe(1000); // bucket le=1024
+        }
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(0.95), 1024);
+        assert_eq!(h.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn same_name_and_labels_return_the_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("c", "help");
+        let b = r.counter("c", "help");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        // Different labels are a different series.
+        let c = r.counter_with("c", "help", &[("k", "v")]);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn collectors_are_sampled_at_render_time() {
+        let r = Registry::new();
+        let source = Arc::new(AtomicU64::new(5));
+        let s2 = Arc::clone(&source);
+        r.register_collector(move |out| {
+            out.push(Sample {
+                name: "external_total".into(),
+                help: "From a component's own atomics.".into(),
+                monotonic: true,
+                labels: vec![],
+                value: s2.load(Ordering::Relaxed),
+            });
+        });
+        assert!(r.render_text().contains("external_total 5"));
+        source.store(9, Ordering::Relaxed);
+        assert!(r.render_text().contains("external_total 9"));
+    }
+}

@@ -1,0 +1,369 @@
+//! Causal event tracing: hop records, the ring-buffer sink and the
+//! [`Tracer`] handle components carry.
+//!
+//! A hop is one observable step of an event's life. Components record
+//! hops against the event's [`TraceId`]; the sink keeps the most recent
+//! `capacity` records (overwriting the oldest — tracing must never block
+//! or grow without bound) and can reassemble any event's journey on
+//! demand.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use smc_types::{SharedClock, TraceId};
+
+/// One observable step in an event's journey through the cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Hop {
+    /// The event entered the system (stamped at the publisher or bus).
+    Published,
+    /// The bus's matcher selected at least one subscriber.
+    Matched,
+    /// A cell-side proxy queued the event for downlink to its device.
+    ProxyEnqueued,
+    /// The reliable channel put the message's fragments on the wire.
+    TxSent,
+    /// The reliable channel re-sent unacked fragments (one hop per
+    /// retransmission round).
+    TxRetransmit,
+    /// The far side acknowledged every fragment of the message.
+    RxAcked,
+    /// The message was made durable in the write-ahead log.
+    WalAppended,
+    /// The event reached its subscriber.
+    Delivered,
+    /// The event left the system without being delivered.
+    Dropped {
+        /// Why (`"unmatched"`, `"expired"`, `"policy-deny"`, …).
+        reason: &'static str,
+    },
+}
+
+impl Hop {
+    /// Stable short name (used in journeys and metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Hop::Published => "published",
+            Hop::Matched => "matched",
+            Hop::ProxyEnqueued => "proxy-enqueued",
+            Hop::TxSent => "tx-sent",
+            Hop::TxRetransmit => "tx-retransmit",
+            Hop::RxAcked => "rx-acked",
+            Hop::WalAppended => "wal-appended",
+            Hop::Delivered => "delivered",
+            Hop::Dropped { .. } => "dropped",
+        }
+    }
+}
+
+impl std::fmt::Display for Hop {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Hop::Dropped { reason } => write!(f, "dropped({reason})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A timestamped hop, as stored in the sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Which event this hop belongs to.
+    pub trace: TraceId,
+    /// What happened.
+    pub hop: Hop,
+    /// When (microseconds on the recording [`Tracer`]'s clock).
+    pub at_micros: u64,
+    /// Global insertion index — total order over the sink's lifetime,
+    /// ties on `at_micros` resolve by it.
+    pub order: u64,
+}
+
+/// Slots per lazily-initialized ring segment.
+const SEGMENT_SLOTS: usize = 1024;
+
+type Segment = Box<[Mutex<Option<HopRecord>>]>;
+
+/// A bounded, lock-light ring buffer of [`HopRecord`]s.
+///
+/// Writers claim a slot with one atomic increment and hold only that
+/// slot's mutex while storing — concurrent writers touch different
+/// slots and never contend. When the ring wraps, the oldest records are
+/// overwritten ([`TraceSink::overwritten`] counts them); queries see the
+/// most recent `capacity` hops.
+///
+/// Slots are allocated in [`SEGMENT_SLOTS`]-sized segments on first
+/// touch, so creating a large sink is cheap and a lightly-used one never
+/// pays for its full capacity.
+#[derive(Debug)]
+pub struct TraceSink {
+    segments: Vec<std::sync::OnceLock<Segment>>,
+    capacity: usize,
+    cursor: AtomicU64,
+}
+
+/// Default ring capacity (records, not events — a traced event typically
+/// contributes 4–8 hops).
+pub const DEFAULT_SINK_CAPACITY: usize = 65_536;
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink::with_capacity(DEFAULT_SINK_CAPACITY)
+    }
+}
+
+impl TraceSink {
+    /// A sink holding the most recent `capacity` hop records.
+    pub fn with_capacity(capacity: usize) -> TraceSink {
+        let capacity = capacity.max(1);
+        let segments = capacity.div_ceil(SEGMENT_SLOTS);
+        TraceSink {
+            segments: (0..segments).map(|_| std::sync::OnceLock::new()).collect(),
+            capacity,
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    fn segment_len(&self, seg: usize) -> usize {
+        (self.capacity - seg * SEGMENT_SLOTS).min(SEGMENT_SLOTS)
+    }
+
+    fn slot(&self, index: usize) -> &Mutex<Option<HopRecord>> {
+        let seg = index / SEGMENT_SLOTS;
+        let segment = self.segments[seg].get_or_init(|| {
+            (0..self.segment_len(seg))
+                .map(|_| Mutex::new(None))
+                .collect()
+        });
+        &segment[index % SEGMENT_SLOTS]
+    }
+
+    /// Appends one record (overwriting the oldest when full).
+    pub fn record(&self, trace: TraceId, hop: Hop, at_micros: u64) {
+        let order = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let index = (order % self.capacity as u64) as usize;
+        *self.slot(index).lock() = Some(HopRecord {
+            trace,
+            hop,
+            at_micros,
+            order,
+        });
+    }
+
+    /// Ring capacity in records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total records ever appended.
+    pub fn appended(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records lost to ring wrap-around.
+    pub fn overwritten(&self) -> u64 {
+        self.appended().saturating_sub(self.capacity as u64)
+    }
+
+    fn collect_matching(&self, mut keep: impl FnMut(&HopRecord) -> bool) -> Vec<HopRecord> {
+        let mut out = Vec::new();
+        for seg in &self.segments {
+            // Untouched segments hold no records by construction.
+            if let Some(slots) = seg.get() {
+                out.extend(slots.iter().filter_map(|s| *s.lock()).filter(&mut keep));
+            }
+        }
+        out.sort_by_key(|r| r.order);
+        out
+    }
+
+    /// A snapshot of every live record, in insertion order.
+    pub fn records(&self) -> Vec<HopRecord> {
+        self.collect_matching(|_| true)
+    }
+
+    /// Reassembles one event's hop-by-hop journey.
+    pub fn journey(&self, trace: TraceId) -> Journey {
+        let hops = self.collect_matching(|r| r.trace == trace);
+        Journey { trace, hops }
+    }
+}
+
+/// One event's reassembled journey: its hops in order, with per-hop
+/// latencies derivable from the timestamps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journey {
+    /// The event's trace id.
+    pub trace: TraceId,
+    /// The hops recorded for it, in insertion order.
+    pub hops: Vec<HopRecord>,
+}
+
+impl Journey {
+    /// Whether any hops were captured (the ring may have overwritten an
+    /// old event's records).
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// `(hop, at_micros, delta_micros_from_previous_hop)` triples.
+    pub fn legs(&self) -> Vec<(Hop, u64, u64)> {
+        let mut prev: Option<u64> = None;
+        self.hops
+            .iter()
+            .map(|r| {
+                let delta = prev.map_or(0, |p| r.at_micros.saturating_sub(p));
+                prev = Some(r.at_micros);
+                (r.hop, r.at_micros, delta)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Journey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "journey {}:", self.trace)?;
+        if self.hops.is_empty() {
+            return writeln!(f, "  (no hops captured — ring overwrote or never traced)");
+        }
+        for (hop, at, delta) in self.legs() {
+            writeln!(f, "  {at:>12} µs  {hop:<20} (+{delta} µs)")?;
+        }
+        Ok(())
+    }
+}
+
+/// The handle instrumented components carry.
+///
+/// Cheap to clone; the disabled tracer (the default) records nothing and
+/// costs one branch per hop, which is what keeps the untraced path's
+/// overhead negligible.
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Arc<TracerInner>>);
+
+struct TracerInner {
+    sink: Arc<TraceSink>,
+    clock: SharedClock,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.0 {
+            Some(inner) => f
+                .debug_struct("Tracer")
+                .field("capacity", &inner.sink.capacity())
+                .field("appended", &inner.sink.appended())
+                .finish(),
+            None => f.write_str("Tracer(disabled)"),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer recording into `sink`, timestamping from `clock`.
+    pub fn new(sink: Arc<TraceSink>, clock: SharedClock) -> Tracer {
+        Tracer(Some(Arc::new(TracerInner { sink, clock })))
+    }
+
+    /// The no-op tracer (also `Tracer::default()`).
+    pub fn disabled() -> Tracer {
+        Tracer(None)
+    }
+
+    /// Whether hops are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records a hop for `trace` now. No-op when disabled or when
+    /// `trace` is [`TraceId::NONE`] (an untraced event).
+    pub fn record(&self, trace: TraceId, hop: Hop) {
+        if let Some(inner) = &self.0 {
+            if trace.is_some() {
+                inner.sink.record(trace, hop, inner.clock.now_micros());
+            }
+        }
+    }
+
+    /// The sink this tracer writes to, if enabled.
+    pub fn sink(&self) -> Option<&Arc<TraceSink>> {
+        self.0.as_ref().map(|i| &i.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_types::{ManualClock, ServiceId};
+
+    fn tid(n: u64) -> TraceId {
+        TraceId::from_raw(n)
+    }
+
+    #[test]
+    fn journey_reassembles_in_order_with_deltas() {
+        let sink = TraceSink::with_capacity(16);
+        sink.record(tid(7), Hop::Published, 100);
+        sink.record(tid(8), Hop::Published, 150);
+        sink.record(tid(7), Hop::Matched, 130);
+        sink.record(tid(7), Hop::Delivered, 400);
+        let j = sink.journey(tid(7));
+        assert_eq!(j.hops.len(), 3);
+        assert_eq!(
+            j.legs()
+                .iter()
+                .map(|(h, _, d)| (h.name(), *d))
+                .collect::<Vec<_>>(),
+            vec![("published", 0), ("matched", 30), ("delivered", 270)]
+        );
+        assert!(j.to_string().contains("delivered"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_losses() {
+        let sink = TraceSink::with_capacity(4);
+        for i in 0..10u64 {
+            sink.record(tid(1), Hop::TxSent, i);
+        }
+        assert_eq!(sink.appended(), 10);
+        assert_eq!(sink.overwritten(), 6);
+        let records = sink.records();
+        assert_eq!(records.len(), 4);
+        // The survivors are the four most recent.
+        assert_eq!(
+            records.iter().map(|r| r.at_micros).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_and_none_trace_record_nothing() {
+        let sink = Arc::new(TraceSink::with_capacity(8));
+        let clock: SharedClock = Arc::new(ManualClock::new());
+        let t = Tracer::new(Arc::clone(&sink), clock);
+        t.record(TraceId::NONE, Hop::Published);
+        assert_eq!(sink.appended(), 0);
+        let off = Tracer::disabled();
+        off.record(tid(5), Hop::Published);
+        assert!(!off.is_enabled());
+    }
+
+    #[test]
+    fn tracer_timestamps_from_injected_clock() {
+        let sink = Arc::new(TraceSink::with_capacity(8));
+        let manual = Arc::new(ManualClock::new());
+        let t = Tracer::new(Arc::clone(&sink), manual.clone() as SharedClock);
+        let trace = TraceId::for_event(ServiceId::from_raw(3), 1);
+        manual.advance_micros(250);
+        t.record(trace, Hop::Published);
+        manual.advance_micros(50);
+        t.record(trace, Hop::Delivered);
+        let j = sink.journey(trace);
+        assert_eq!(
+            j.hops.iter().map(|r| r.at_micros).collect::<Vec<_>>(),
+            vec![250, 300]
+        );
+    }
+}

@@ -25,8 +25,9 @@ use std::time::Duration;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
+use smc_telemetry::{Hop, Tracer};
 use smc_types::codec::{from_bytes, to_bytes};
-use smc_types::{system_clock, Error, Result, ServiceId, SharedClock};
+use smc_types::{system_clock, Error, Result, ServiceId, SharedClock, TraceId};
 
 use crate::frame::{fragment, Frame, FRAME_HEADER_LEN};
 use crate::transport::Transport;
@@ -269,10 +270,13 @@ struct OutMessage {
     last_tx: u64,
     rto: Duration,
     retries: u32,
+    /// Causal trace of the payload ([`TraceId::NONE`] when untraced).
+    trace: TraceId,
 }
 
-/// A queued message and the optional receipt to resolve on ack.
-type QueuedMessage = (Vec<u8>, Option<Sender<Result<()>>>);
+/// A queued message, the optional receipt to resolve on ack, and the
+/// payload's causal trace.
+type QueuedMessage = (Vec<u8>, Option<Sender<Result<()>>>, TraceId);
 
 #[derive(Debug, Default)]
 struct PeerOut {
@@ -318,6 +322,8 @@ struct Shared {
     config: ReliableConfig,
     clock: SharedClock,
     journal: Option<Arc<dyn ChannelJournal>>,
+    /// Hop recorder for traced payloads; disabled (free) by default.
+    tracer: Mutex<Tracer>,
 }
 
 /// Reliable messaging endpoint over any [`Transport`].
@@ -468,6 +474,7 @@ impl ReliableChannel {
             config,
             clock,
             journal,
+            tracer: Mutex::new(Tracer::disabled()),
         });
         let (inbox_tx, inbox_rx) = unbounded();
         let worker = RxWorker {
@@ -539,6 +546,19 @@ impl ReliableChannel {
         &self.transport
     }
 
+    /// Installs (or replaces) the hop tracer. Subsequent transmit,
+    /// retransmit, ack and expiry events of traced messages are recorded
+    /// against their [`TraceId`].
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.shared.tracer.lock() = tracer;
+    }
+
+    /// The currently installed hop tracer (disabled unless
+    /// [`ReliableChannel::set_tracer`] was called).
+    pub fn tracer(&self) -> Tracer {
+        self.shared.tracer.lock().clone()
+    }
+
     /// Queues `payload` for exactly-once, in-order delivery to `to`.
     ///
     /// Returns a [`Receipt`] resolving when the peer acknowledged every
@@ -548,7 +568,18 @@ impl ReliableChannel {
     ///
     /// [`Error::Closed`] if the channel is shut down.
     pub fn send(&self, to: ServiceId, payload: Vec<u8>) -> Result<Receipt> {
-        self.send_inner(to, payload, None)
+        self.send_inner(to, payload, None, TraceId::NONE)
+    }
+
+    /// Like [`ReliableChannel::send`], with the payload's causal trace:
+    /// the channel records `WalAppended` / `TxSent` / `TxRetransmit` /
+    /// `RxAcked` / `Dropped` hops for it on the installed tracer.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Closed`] if the channel is shut down.
+    pub fn send_traced(&self, to: ServiceId, payload: Vec<u8>, trace: TraceId) -> Result<Receipt> {
+        self.send_inner(to, payload, None, trace)
     }
 
     /// The crash-recovery variant of [`ReliableChannel::send`]: queues a
@@ -567,7 +598,7 @@ impl ReliableChannel {
         payload: Vec<u8>,
         prior_seq: u64,
     ) -> Result<Receipt> {
-        self.send_inner(to, payload, Some(prior_seq))
+        self.send_inner(to, payload, Some(prior_seq), TraceId::NONE)
     }
 
     fn send_inner(
@@ -575,6 +606,7 @@ impl ReliableChannel {
         to: ServiceId,
         payload: Vec<u8>,
         requeued_from: Option<u64>,
+        trace: TraceId,
     ) -> Result<Receipt> {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(Error::Closed);
@@ -594,10 +626,12 @@ impl ReliableChannel {
                     Some(prior_seq) => journal.on_requeue(to, prior_seq, seq)?,
                     None => journal.on_enqueue(to, seq, &payload)?,
                 }
+                self.shared.tracer.lock().record(trace, Hop::WalAppended);
             }
-            peer.queued.push_back((payload, Some(tx)));
+            peer.queued.push_back((payload, Some(tx), trace));
             self.shared.stats.lock().msgs_sent += 1;
             let now = self.shared.clock.now_micros();
+            let tracer = self.shared.tracer.lock().clone();
             pump(
                 &self.transport,
                 self.shared.epoch,
@@ -605,6 +639,7 @@ impl ReliableChannel {
                 now,
                 to,
                 peer,
+                &tracer,
             );
         }
         Ok(Receipt { rx })
@@ -697,12 +732,25 @@ impl ReliableChannel {
                     let _ = journal.on_forget(peer);
                 }
             }
+            let tracer = self.shared.tracer.lock().clone();
             for (_, msg) in peer_out.inflight {
+                tracer.record(
+                    msg.trace,
+                    Hop::Dropped {
+                        reason: "member-purged",
+                    },
+                );
                 if let Some(tx) = msg.receipt {
                     let _ = tx.send(Err(Error::Closed));
                 }
             }
-            for (_, receipt) in peer_out.queued {
+            for (_, receipt, trace) in peer_out.queued {
+                tracer.record(
+                    trace,
+                    Hop::Dropped {
+                        reason: "member-purged",
+                    },
+                );
                 if let Some(tx) = receipt {
                     let _ = tx.send(Err(Error::Closed));
                 }
@@ -796,7 +844,7 @@ impl ReliableChannel {
                 .map(|(&seq, m)| (seq, m.fragments.concat()))
                 .collect();
             let mut seq = peer.next_seq;
-            for (payload, _) in &peer.queued {
+            for (payload, _, _) in &peer.queued {
                 seq += 1;
                 msgs.push((seq, payload.clone()));
             }
@@ -843,13 +891,14 @@ fn pump(
     now: u64,
     to: ServiceId,
     peer: &mut PeerOut,
+    tracer: &Tracer,
 ) {
     let max_frag = transport
         .max_datagram()
         .saturating_sub(FRAME_HEADER_LEN)
         .max(1);
     while peer.inflight.len() < config.window {
-        let Some((payload, receipt)) = peer.queued.pop_front() else {
+        let Some((payload, receipt, trace)) = peer.queued.pop_front() else {
             break;
         };
         let seq = peer.next_seq + 1;
@@ -864,7 +913,9 @@ fn pump(
             last_tx: now,
             rto: config.initial_rto,
             retries: 0,
+            trace,
         };
+        tracer.record(trace, Hop::TxSent);
         for (i, frag) in msg.fragments.iter().enumerate() {
             let frame = Frame::Data {
                 epoch,
@@ -954,6 +1005,8 @@ impl RxWorker {
                     if let Some(journal) = &self.shared.journal {
                         let _ = journal.on_acked(from, seq);
                     }
+                    let tracer = self.shared.tracer.lock().clone();
+                    tracer.record(msg.trace, Hop::RxAcked);
                     // Count before resolving the receipt so a caller woken
                     // by `send_blocking` observes the updated stats.
                     self.shared.stats.lock().msgs_acked += 1;
@@ -969,6 +1022,7 @@ impl RxWorker {
                         now,
                         from,
                         peer,
+                        &tracer,
                     );
                 }
             }
@@ -1189,6 +1243,7 @@ impl RxWorker {
     fn retransmit_due(&mut self) {
         let now = self.shared.clock.now_micros();
         let config = self.shared.config.clone();
+        let tracer = self.shared.tracer.lock().clone();
         let mut out = self.shared.out.lock();
         // Sorted peer order: every (re)transmission consumes draws from
         // the simulated network's seeded rng, so iteration order must not
@@ -1213,6 +1268,8 @@ impl RxWorker {
                 msg.retries += 1;
                 msg.last_tx = now;
                 msg.rto = (msg.rto * config.backoff).min(config.max_rto);
+                // One hop per retransmission round, not per fragment.
+                tracer.record(msg.trace, Hop::TxRetransmit);
                 let n = msg.fragments.len() as u16;
                 for (i, frag) in msg.fragments.iter().enumerate() {
                     if msg.acked[i] {
@@ -1239,6 +1296,7 @@ impl RxWorker {
                 if let Some(journal) = &self.shared.journal {
                     let _ = journal.on_acked(peer_id, seq);
                 }
+                tracer.record(msg.trace, Hop::Dropped { reason: "expired" });
                 if let Some(tx) = msg.receipt {
                     let _ = tx.send(Err(Error::Timeout));
                 }
@@ -1251,6 +1309,7 @@ impl RxWorker {
                 now,
                 peer_id,
                 peer,
+                &tracer,
             );
         }
     }

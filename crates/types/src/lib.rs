@@ -24,9 +24,9 @@
 //! assert!(filter.matches(&event));
 //!
 //! // …and the byte-array form that crosses the transport layer.
-//! let wire = codec::to_bytes(&Packet::Publish(event));
+//! let wire = codec::to_bytes(&Packet::publish(event));
 //! let back: Packet = codec::from_bytes(&wire)?;
-//! assert!(matches!(back, Packet::Publish(_)));
+//! assert!(matches!(back, Packet::Publish { .. }));
 //! # Ok::<(), smc_types::CodecError>(())
 //! ```
 
@@ -42,6 +42,7 @@ pub mod filter_text;
 pub mod id;
 pub mod member;
 pub mod packet;
+pub mod trace;
 pub mod value;
 pub mod wal;
 
@@ -56,5 +57,6 @@ pub use member::{
     ServiceInfo,
 };
 pub use packet::Packet;
+pub use trace::TraceId;
 pub use value::AttributeValue;
 pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, PendingRx, RetainedOutbound, WalRecord};

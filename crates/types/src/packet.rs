@@ -12,17 +12,31 @@ use crate::event::{AttributeSet, Event};
 use crate::filter::Filter;
 use crate::id::{CellId, EventId, ServiceId, SubscriptionId};
 use crate::member::ServiceInfo;
+use crate::trace::TraceId;
 
 /// An application-level packet.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum Packet {
     /// Publisher (via its proxy) hands an event to the bus.
-    Publish(Event),
+    Publish {
+        /// The published event.
+        event: Event,
+        /// Causal trace id minted at publish time; [`TraceId::NONE`] on
+        /// frames from pre-trace peers (the field is a trailing optional
+        /// on the wire).
+        trace: TraceId,
+    },
     /// Bus confirms it accepted the published event.
     PublishAck(EventId),
     /// Bus pushes a matching event to a subscriber.
-    Deliver(Event),
+    Deliver {
+        /// The delivered event.
+        event: Event,
+        /// Causal trace id carried from the publish;
+        /// [`TraceId::NONE`] on frames from pre-trace peers.
+        trace: TraceId,
+    },
     /// Subscriber confirms it processed a delivered event; the proxy may
     /// now drop it from the outbound queue.
     DeliverAck(EventId),
@@ -172,12 +186,29 @@ const P_POLICY_DEPLOY: u8 = 21;
 const P_ERROR: u8 = 22;
 
 impl Packet {
+    /// An untraced `Publish` packet (the trace id, if wanted, can always
+    /// be derived later via [`TraceId::for_event`]).
+    pub fn publish(event: Event) -> Packet {
+        Packet::Publish {
+            event,
+            trace: TraceId::NONE,
+        }
+    }
+
+    /// An untraced `Deliver` packet.
+    pub fn deliver(event: Event) -> Packet {
+        Packet::Deliver {
+            event,
+            trace: TraceId::NONE,
+        }
+    }
+
     /// Short packet-kind name for logs and metrics.
     pub fn kind(&self) -> &'static str {
         match self {
-            Packet::Publish(_) => "publish",
+            Packet::Publish { .. } => "publish",
             Packet::PublishAck(_) => "publish-ack",
-            Packet::Deliver(_) => "deliver",
+            Packet::Deliver { .. } => "deliver",
             Packet::DeliverAck(_) => "deliver-ack",
             Packet::Subscribe { .. } => "subscribe",
             Packet::SubscribeAck { .. } => "subscribe-ack",
@@ -204,17 +235,25 @@ impl Packet {
 impl Encode for Packet {
     fn encode(&self, buf: &mut BytesMut) {
         match self {
-            Packet::Publish(e) => {
+            Packet::Publish { event, trace } => {
                 buf.put_u8(P_PUBLISH);
-                e.encode(buf);
+                event.encode(buf);
+                // Trailing optional: omitted entirely when untraced, so
+                // the NONE encoding is byte-identical to pre-trace frames.
+                if trace.is_some() {
+                    buf.put_u64_le(trace.raw());
+                }
             }
             Packet::PublishAck(id) => {
                 buf.put_u8(P_PUBLISH_ACK);
                 id.encode(buf);
             }
-            Packet::Deliver(e) => {
+            Packet::Deliver { event, trace } => {
                 buf.put_u8(P_DELIVER);
-                e.encode(buf);
+                event.encode(buf);
+                if trace.is_some() {
+                    buf.put_u64_le(trace.raw());
+                }
             }
             Packet::DeliverAck(id) => {
                 buf.put_u8(P_DELIVER_ACK);
@@ -333,9 +372,15 @@ impl Decode for Packet {
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let tag = r.u8()?;
         Ok(match tag {
-            P_PUBLISH => Packet::Publish(Event::decode(r)?),
+            P_PUBLISH => Packet::Publish {
+                event: Event::decode(r)?,
+                trace: decode_trailing_trace(r)?,
+            },
             P_PUBLISH_ACK => Packet::PublishAck(EventId::decode(r)?),
-            P_DELIVER => Packet::Deliver(Event::decode(r)?),
+            P_DELIVER => Packet::Deliver {
+                event: Event::decode(r)?,
+                trace: decode_trailing_trace(r)?,
+            },
             P_DELIVER_ACK => Packet::DeliverAck(EventId::decode(r)?),
             P_SUBSCRIBE => Packet::Subscribe {
                 request_id: r.u64()?,
@@ -408,6 +453,16 @@ impl Decode for Packet {
     }
 }
 
+/// Reads the trailing optional trace id: old (pre-trace) frames end at the
+/// event, new frames append exactly 8 more bytes.
+fn decode_trailing_trace(r: &mut Reader<'_>) -> Result<TraceId, CodecError> {
+    if r.remaining() >= 8 {
+        Ok(TraceId::from_raw(r.u64()?))
+    } else {
+        Ok(TraceId::NONE)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,9 +485,17 @@ mod tests {
 
     #[test]
     fn all_variants_round_trip() {
-        round_trip(Packet::Publish(sample_event()));
+        round_trip(Packet::publish(sample_event()));
+        round_trip(Packet::Publish {
+            event: sample_event(),
+            trace: TraceId::for_event(ServiceId::from_raw(9), 4),
+        });
         round_trip(Packet::PublishAck(EventId::new(ServiceId::from_raw(9), 4)));
-        round_trip(Packet::Deliver(sample_event()));
+        round_trip(Packet::deliver(sample_event()));
+        round_trip(Packet::Deliver {
+            event: sample_event(),
+            trace: TraceId::from_raw(0xDEAD_BEEF),
+        });
         round_trip(Packet::DeliverAck(EventId::new(ServiceId::from_raw(9), 4)));
         round_trip(Packet::Subscribe {
             request_id: 11,
@@ -502,7 +565,7 @@ mod tests {
     #[test]
     fn kind_names_are_distinct() {
         let kinds = [
-            Packet::Publish(sample_event()).kind(),
+            Packet::publish(sample_event()).kind(),
             Packet::Quench { enable: true }.kind(),
             Packet::Raw(vec![]).kind(),
         ];
@@ -518,6 +581,45 @@ mod tests {
             from_bytes::<Packet>(&[0xEE]),
             Err(CodecError::BadTag { what: "packet", .. })
         ));
+    }
+
+    /// Satellite: `TraceId` rides the packet header and old (trace-less)
+    /// frames still decode — the untraced encoding is byte-identical to
+    /// the pre-trace wire format.
+    #[test]
+    fn trace_id_round_trips_and_old_frames_decode() {
+        let trace = TraceId::for_event(ServiceId::from_raw(9), 4);
+        let traced = to_bytes(&Packet::Publish {
+            event: sample_event(),
+            trace,
+        });
+        let untraced = to_bytes(&Packet::publish(sample_event()));
+        assert_eq!(traced.len(), untraced.len() + 8, "trace is a trailing u64");
+
+        // New frame: the trace survives the round trip.
+        match from_bytes::<Packet>(&traced).expect("decode traced") {
+            Packet::Publish { event, trace: t } => {
+                assert_eq!(event, sample_event());
+                assert_eq!(t, trace);
+            }
+            other => panic!("unexpected packet {other:?}"),
+        }
+
+        // Old frame (exactly the untraced bytes): decodes with NONE.
+        match from_bytes::<Packet>(&untraced).expect("decode untraced") {
+            Packet::Publish { trace: t, .. } => assert_eq!(t, TraceId::NONE),
+            other => panic!("unexpected packet {other:?}"),
+        }
+
+        // Deliver behaves identically.
+        let d = to_bytes(&Packet::Deliver {
+            event: sample_event(),
+            trace,
+        });
+        match from_bytes::<Packet>(&d).expect("decode deliver") {
+            Packet::Deliver { trace: t, .. } => assert_eq!(t, trace),
+            other => panic!("unexpected packet {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Compact causal trace identifiers.
+//!
+//! A [`TraceId`] names one event's journey through the cell — publish,
+//! match, proxy enqueue, transmit, retransmit, ack, delivery — so an
+//! observability layer can stitch per-hop records back into a single
+//! story. It is minted *deterministically* from the event's identity
+//! (`publisher ‖ seq`, the same pair that forms the `EventId`), which
+//! means any component that can see the event can derive its trace id
+//! without extra plumbing, and two runs of a deterministic harness mint
+//! identical ids.
+//!
+//! On the wire the id rides as a trailing optional `u64` on
+//! `Publish`/`Deliver` packets: absent (old frames) decodes as
+//! [`TraceId::NONE`], so pre-trace peers interoperate unchanged.
+
+/// A 64-bit causal trace identifier. `0` is reserved for "untraced".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The absent trace id (old frames, untraced events).
+    pub const NONE: TraceId = TraceId(0);
+
+    /// Builds a trace id from its raw wire value.
+    pub const fn from_raw(raw: u64) -> TraceId {
+        TraceId(raw)
+    }
+
+    /// The raw wire value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is a real trace id (not [`TraceId::NONE`]).
+    pub const fn is_some(self) -> bool {
+        self.0 != 0
+    }
+
+    /// Mints the trace id for the event identified by `publisher ‖ seq`.
+    ///
+    /// Deterministic (a splitmix64-style mix of the two halves) and
+    /// never [`TraceId::NONE`], so every stamped event has a derivable,
+    /// stable trace id.
+    pub const fn for_event(publisher: crate::id::ServiceId, seq: u64) -> TraceId {
+        let mut z = publisher
+            .raw()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(seq);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        if z == 0 {
+            // publisher=0 ‖ seq=0 (and only that degenerate identity)
+            // mixes to zero; nudge it off the reserved value.
+            z = 1;
+        }
+        TraceId(z)
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_some() {
+            write!(f, "{:016x}", self.0)
+        } else {
+            f.write_str("-")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ServiceId;
+
+    #[test]
+    fn deterministic_and_nonzero() {
+        let a = TraceId::for_event(ServiceId::from_raw(9), 4);
+        let b = TraceId::for_event(ServiceId::from_raw(9), 4);
+        assert_eq!(a, b);
+        assert!(a.is_some());
+        assert!(TraceId::for_event(ServiceId::NIL, 0).is_some());
+    }
+
+    #[test]
+    fn distinct_events_get_distinct_ids() {
+        let a = TraceId::for_event(ServiceId::from_raw(9), 4);
+        let b = TraceId::for_event(ServiceId::from_raw(9), 5);
+        let c = TraceId::for_event(ServiceId::from_raw(10), 4);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn display_marks_untraced() {
+        assert_eq!(TraceId::NONE.to_string(), "-");
+        assert_eq!(
+            TraceId::from_raw(0xAB).to_string(),
+            format!("{:016x}", 0xAB)
+        );
+    }
+}

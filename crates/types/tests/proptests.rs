@@ -148,8 +148,12 @@ proptest! {
     #[test]
     fn packet_codec_round_trip(e in arb_event(), f in arb_filter(), raw in any::<u64>()) {
         let packets = vec![
-            Packet::Publish(e.clone()),
-            Packet::Deliver(e.clone()),
+            Packet::publish(e.clone()),
+            Packet::deliver(e.clone()),
+            Packet::Publish {
+                event: e.clone(),
+                trace: smc_types::TraceId::from_raw(raw | 1),
+            },
             Packet::DeliverAck(e.id()),
             Packet::Subscribe { request_id: raw, filter: f },
             Packet::SubscribeAck { request_id: raw, subscription: SubscriptionId(raw) },

@@ -742,6 +742,42 @@ impl Wal {
     pub fn backend(&self) -> &Arc<dyn WalBackend> {
         &self.backend
     }
+
+    /// Exports this log's counters into `registry` as `smc_wal_*` series,
+    /// sampled at render time.
+    pub fn register_with(self: &Arc<Self>, registry: &smc_telemetry::Registry) {
+        let wal = Arc::clone(self);
+        registry.register_collector(move |out| {
+            let m = wal.metrics();
+            let counter = |name: &str, help: &str, value: u64| smc_telemetry::Sample {
+                name: name.to_string(),
+                help: help.to_string(),
+                monotonic: true,
+                labels: Vec::new(),
+                value,
+            };
+            out.push(counter(
+                "smc_wal_records_appended_total",
+                "Records appended to the write-ahead log.",
+                m.records_appended,
+            ));
+            out.push(counter(
+                "smc_wal_bytes_appended_total",
+                "Framed bytes appended to the write-ahead log.",
+                m.bytes_appended,
+            ));
+            out.push(counter(
+                "smc_wal_fsyncs_total",
+                "Fsyncs performed by the write-ahead log.",
+                m.fsyncs,
+            ));
+            out.push(counter(
+                "smc_wal_snapshots_total",
+                "Snapshots written by the write-ahead log.",
+                m.snapshots,
+            ));
+        });
+    }
 }
 
 fn decode_snapshot(blob: &[u8]) -> Option<CoreSnapshot> {
