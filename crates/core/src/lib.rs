@@ -84,7 +84,9 @@ pub use composition::{
     child_cell_of, composition_path, CompositionLink, CompositionStats, CHILD_CELL_ATTR,
 };
 pub use federation::{federation_path, FederationLink, FederationStats, FEDERATION_PATH_ATTR};
-pub use metrics::{BusMetrics, LatencyRecorder, LatencySummary, MetricsSnapshot};
+pub use metrics::{
+    register_bus_metrics, BusMetrics, LatencyRecorder, LatencySummary, MetricsSnapshot,
+};
 pub use proxy::{DeviceCodec, PassthroughCodec, Proxy, ProxyStats};
 pub use quench::{QuenchChange, QuenchManager};
 pub use smc::{SmcCell, SmcConfig};

@@ -881,6 +881,18 @@ impl SmcCell {
                     let _ = self.send_command(t, &name, resolved.clone());
                 }
             }
+            ActionSpec::Quench { publisher, enable } => {
+                // The template addresses the publisher by raw service id
+                // (e.g. `health.member` on an smc.health event); events
+                // without it simply don't resolve.
+                if let Some(raw) = publisher.resolve(&fired.trigger).and_then(|v| v.as_int()) {
+                    let target = ServiceId::from_raw(raw as u64);
+                    BusMetrics::bump(&self.bus.metrics_ref().quench_signals);
+                    let _ = self
+                        .channel
+                        .send(target, to_bytes(&Packet::Quench { enable }));
+                }
+            }
             // Enable/Disable/Log were applied inside the policy service;
             // future action kinds are ignored by this executor.
             _ => {}

@@ -39,5 +39,5 @@ pub use oracle::{DeliveryOracle, OracleViolation, TraceEvent, ViolationKind};
 pub use scenario::{shrink_scenario, ChaosOp, LinkProfileKind, Scenario, ScriptedOp};
 pub use world::{
     default_discovery, default_reliable, run, run_with, run_with_backend, run_with_options,
-    RunOptions, RunReport,
+    HealthOptions, HealthOutcome, RunOptions, RunReport,
 };

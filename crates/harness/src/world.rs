@@ -21,11 +21,19 @@
 //! cursors and the oracle flags the redelivery.
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 use smc_discovery::{AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent};
-use smc_telemetry::{Hop, Journey, Registry, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
+use smc_health::{
+    health_event, DeliveryLatency, Detector, FlightRecorder, HealthConfig, HealthMonitor,
+    HealthReport, HealthTransition, MembershipFlap, QueueGrowth, RetransmitStorm, WalStall,
+};
+use smc_policy::{health_quench_policies, ActionSpec, PolicyService};
+use smc_telemetry::{
+    Hop, HopRecord, Journey, Registry, Sample, TraceSink, Tracer, DEFAULT_SINK_CAPACITY,
+};
 use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
 use smc_types::{
     CellId, CoreSnapshot, CursorEntry, ManualClock, OutboundEntry, PendingRx, ServiceId,
@@ -79,6 +87,35 @@ pub struct RunOptions {
     pub trace: bool,
     /// Ring capacity of the trace sink, in hop records.
     pub trace_capacity: usize,
+    /// Autonomic self-observation: `Some` runs a [`HealthMonitor`] (plus
+    /// flight recorder and the built-in quench obligations) inside the
+    /// virtual timeline. `None` (the default) leaves the run untouched —
+    /// traces stay byte-identical with pre-health harness versions.
+    pub health: Option<HealthOptions>,
+}
+
+/// How the in-run health monitor behaves.
+#[derive(Debug, Clone)]
+pub struct HealthOptions {
+    /// Sampling interval and hysteresis.
+    pub config: HealthConfig,
+    /// Whether the built-in obligations act on transitions: a member
+    /// whose channel goes `Degraded` is quenched (stops publishing)
+    /// until it recovers. Off = observe-only.
+    pub quench: bool,
+    /// When set, the flight recorder dumps here if the run ends with an
+    /// oracle violation or saw a core crash.
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for HealthOptions {
+    fn default() -> Self {
+        HealthOptions {
+            config: HealthConfig::default(),
+            quench: true,
+            dump_path: None,
+        }
+    }
 }
 
 impl Default for RunOptions {
@@ -89,6 +126,7 @@ impl Default for RunOptions {
             backend: Arc::new(MemBackend::new()),
             trace: true,
             trace_capacity: DEFAULT_SINK_CAPACITY,
+            health: None,
         }
     }
 }
@@ -127,6 +165,43 @@ pub struct RunReport {
     /// The run's metrics registry: WAL, discovery, channel and harness
     /// counters, sampled when rendered.
     pub registry: Registry,
+    /// What the health monitor saw, when [`RunOptions::health`] was on.
+    pub health: Option<HealthOutcome>,
+}
+
+/// Everything the in-run health monitor produced.
+#[derive(Debug)]
+pub struct HealthOutcome {
+    /// Every state transition, in virtual-time order.
+    pub transitions: Vec<HealthTransition>,
+    /// Every quench/wake the built-in obligations applied:
+    /// `(at_micros, member, quenched)`.
+    pub quenches: Vec<(u64, ServiceId, bool)>,
+    /// Final per-component health.
+    pub report: HealthReport,
+    /// The black box: registry snapshots, hops and notes from the run.
+    pub recorder: FlightRecorder,
+    /// Where the recorder dumped, if it did.
+    pub dumped_to: Option<PathBuf>,
+}
+
+impl HealthOutcome {
+    /// The first transition of `component` into `to`, if any.
+    pub fn first_transition(
+        &self,
+        component: &str,
+        to: smc_health::HealthState,
+    ) -> Option<&HealthTransition> {
+        self.transitions
+            .iter()
+            .find(|t| t.component == component && t.to == to)
+    }
+
+    /// `true` when the run produced no transitions at all — every
+    /// component stayed `Healthy` throughout (the clean-run criterion).
+    pub fn stayed_green(&self) -> bool {
+        self.transitions.is_empty() && self.report.all_healthy()
+    }
 }
 
 impl RunReport {
@@ -215,6 +290,9 @@ struct Device {
     next_seq: u64,
     next_publish: u64,
     crashed: bool,
+    /// Set by the built-in health obligation: a quenched device holds
+    /// its publishes until woken.
+    quenched: bool,
     /// The link profile faults modify and heals restore to.
     baseline: LinkConfig,
     domain: u32,
@@ -227,6 +305,132 @@ struct Core {
     disco_channel: Arc<ReliableChannel>,
     sink_channel: Arc<ReliableChannel>,
     service: Arc<DiscoveryService>,
+}
+
+/// The in-run self-observation stack: monitor, built-in obligations, and
+/// the flight recorder, all stepped on the virtual timeline.
+struct HealthRuntime {
+    monitor: HealthMonitor,
+    policy: PolicyService,
+    recorder: FlightRecorder,
+    transitions: Vec<HealthTransition>,
+    quenches: Vec<(u64, ServiceId, bool)>,
+    quench: bool,
+    dump_path: Option<PathBuf>,
+    hop_cursor: u64,
+}
+
+impl HealthRuntime {
+    fn new(opts: HealthOptions) -> HealthRuntime {
+        // The same detector suite `default_detectors` ships, except the
+        // WAL-stall traffic reference is the harness's own publish
+        // counter (the harness routes events itself, so the cell's
+        // `smc_events_published_total` never moves here).
+        let detectors: Vec<Box<dyn Detector>> = vec![
+            Box::new(RetransmitStorm::default()),
+            Box::new(QueueGrowth::default()),
+            Box::new(WalStall::new(
+                "smc_wal_records_appended_total",
+                "smc_harness_published_total",
+            )),
+            Box::new(DeliveryLatency::default()),
+            Box::new(MembershipFlap::default()),
+        ];
+        let policy = PolicyService::new();
+        for p in health_quench_policies() {
+            policy.add(p).expect("built-in health policies are valid");
+        }
+        HealthRuntime {
+            monitor: HealthMonitor::with_detectors(opts.config, detectors),
+            policy,
+            recorder: FlightRecorder::default(),
+            transitions: Vec::new(),
+            quenches: Vec::new(),
+            quench: opts.quench,
+            dump_path: opts.dump_path,
+            hop_cursor: 0,
+        }
+    }
+}
+
+/// One health-sampling window's worth of metrics, read straight off the
+/// live objects (the registry's collectors capture the *final* core
+/// incarnation, so the in-run monitor samples the current one directly).
+fn health_samples(
+    devices: &[Device],
+    core: &Core,
+    core_crashed: bool,
+    oracle: &DeliveryOracle,
+    device_ids: &[ServiceId],
+    sink_id: ServiceId,
+) -> Vec<Sample> {
+    fn mk(name: &str, labels: Vec<(String, String)>, monotonic: bool, value: u64) -> Sample {
+        Sample {
+            name: name.to_string(),
+            help: String::new(),
+            monotonic,
+            labels,
+            value,
+        }
+    }
+    let mut out = Vec::new();
+    for (n, dev) in devices.iter().enumerate() {
+        let label = format!("device{n}");
+        out.push(mk(
+            "smc_channel_retransmits_total",
+            vec![("channel".to_string(), label.clone())],
+            true,
+            dev.channel.stats().retransmits,
+        ));
+        out.push(mk(
+            "smc_proxy_queue_depth",
+            vec![("queue".to_string(), label)],
+            false,
+            dev.channel.pending(sink_id) as u64,
+        ));
+    }
+    if !core_crashed {
+        out.push(mk(
+            "smc_channel_retransmits_total",
+            vec![("channel".to_string(), "sink".to_string())],
+            true,
+            core.sink_channel.stats().retransmits,
+        ));
+        out.push(mk(
+            "smc_channel_retransmits_total",
+            vec![("channel".to_string(), "discovery".to_string())],
+            true,
+            core.disco_channel.stats().retransmits,
+        ));
+        let d = core.service.stats();
+        out.push(mk("smc_discovery_joins_total", Vec::new(), true, d.joins));
+        out.push(mk("smc_discovery_purges_total", Vec::new(), true, d.purges));
+        out.push(mk(
+            "smc_wal_records_appended_total",
+            Vec::new(),
+            true,
+            core.wal.metrics().records_appended,
+        ));
+    }
+    let published: u64 = device_ids.iter().map(|&id| oracle.published(id)).sum();
+    out.push(mk(
+        "smc_harness_published_total",
+        Vec::new(),
+        true,
+        published,
+    ));
+    out
+}
+
+/// Maps a detector's component key back to the device it watches:
+/// `channel:device3` / `queue:device3` → index 3.
+fn component_device(component: &str, device_ids: &[ServiceId]) -> Option<ServiceId> {
+    component
+        .strip_prefix("channel:")
+        .or_else(|| component.strip_prefix("queue:"))
+        .and_then(|l| l.strip_prefix("device"))
+        .and_then(|n| n.parse::<usize>().ok())
+        .and_then(|n| device_ids.get(n).copied())
 }
 
 fn encode(seq: u64) -> Vec<u8> {
@@ -429,6 +633,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         backend,
         trace,
         trace_capacity,
+        health,
     } = options;
     let clock = Arc::new(ManualClock::new());
     let shared: SharedClock = clock.clone();
@@ -485,6 +690,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                 next_seq: 1,
                 next_publish: 0,
                 crashed: false,
+                quenched: false,
                 baseline: baseline.clone(),
                 domain: 0,
             }
@@ -555,6 +761,8 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
     let mut recovery_micros_total = 0u64;
     // Retransmissions of incarnations that no longer exist at run end.
     let mut retransmits_gone = 0u64;
+    let mut saw_core_crash = false;
+    let mut health_rt = health.map(HealthRuntime::new);
 
     let mut now = 0u64;
     loop {
@@ -569,6 +777,10 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                     }
                     oracle.record_fault(now, "core crashed");
                     core_crashed = true;
+                    saw_core_crash = true;
+                    if let Some(rt) = health_rt.as_mut() {
+                        rt.recorder.note(now, "core crashed");
+                    }
                     retransmits_gone += core.sink_channel.stats().retransmits
                         + core.disco_channel.stats().retransmits;
                     core.service.shutdown();
@@ -594,6 +806,9 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                     core_recoveries += 1;
                     recovery_micros_total += recovered.recovery_micros;
                     oracle.record_fault(now, "core restarted");
+                    if let Some(rt) = health_rt.as_mut() {
+                        rt.recorder.note(now, "core restarted from WAL");
+                    }
                     // Re-process events the crash caught between ack and
                     // recording: their senders saw them acknowledged and
                     // will never retransmit, so the log held the only
@@ -690,13 +905,76 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         if !core_crashed && now > 0 && now.is_multiple_of(CHECKPOINT_MICROS) {
             checkpoint(&core);
         }
+        // 5c. Self-observation: the health monitor samples the live
+        // channels/WAL/discovery on its own virtual cadence, runs its
+        // detectors, and lets the built-in obligations quench a degraded
+        // publisher — the paper's autonomic feedback loop, in-run.
+        if let Some(rt) = health_rt.as_mut() {
+            if rt.monitor.due(now) {
+                let samples =
+                    health_samples(&devices, &core, core_crashed, &oracle, &device_ids, sink_id);
+                let hops: Vec<HopRecord> = match &trace_sink {
+                    Some(sink) => sink
+                        .records()
+                        .into_iter()
+                        .filter(|r| r.order >= rt.hop_cursor)
+                        .collect(),
+                    None => Vec::new(),
+                };
+                if let Some(max) = hops.iter().map(|r| r.order).max() {
+                    rt.hop_cursor = max + 1;
+                }
+                let transitions = rt.monitor.observe(now, &samples, &hops);
+                for t in &transitions {
+                    oracle.record_fault(
+                        now,
+                        format!(
+                            "health {} {}->{} [{}]",
+                            t.component,
+                            t.from.as_str(),
+                            t.to.as_str(),
+                            t.detector
+                        ),
+                    );
+                    if !rt.quench {
+                        continue;
+                    }
+                    // Publish the transition as a typed `smc.health`
+                    // event through the policy service, exactly as the
+                    // cell would; execute any quench it fires.
+                    let member = component_device(&t.component, &device_ids);
+                    for fired in rt.policy.on_event(&health_event(t, member)) {
+                        let ActionSpec::Quench { publisher, enable } = fired.action else {
+                            continue;
+                        };
+                        let Some(raw) = publisher.resolve(&fired.trigger).and_then(|v| v.as_int())
+                        else {
+                            continue;
+                        };
+                        let target = ServiceId::from_raw(raw as u64);
+                        if let Some(dev) = devices.iter_mut().find(|d| d.id == target) {
+                            dev.quenched = enable;
+                            rt.quenches.push((now, target, enable));
+                            oracle.record_fault(
+                                now,
+                                format!("{} {target}", if enable { "quench" } else { "wake" }),
+                            );
+                        }
+                    }
+                }
+                rt.recorder.record_hops(&hops);
+                rt.recorder.record_frame(now, samples, rt.monitor.report());
+                rt.transitions.extend(transitions);
+            }
+        }
         // 6. Member devices publish on schedule (until the scripted end).
         // A crashed core does not stop them: their channels queue and
         // retransmit into the outage, which is exactly the traffic the
-        // recovered cursors must dedup.
+        // recovered cursors must dedup. A *quenched* device, though,
+        // holds its publishes until the obligation wakes it.
         if now < end {
             for dev in &mut devices {
-                if dev.crashed || !dev.agent.is_member() || now < dev.next_publish {
+                if dev.crashed || dev.quenched || !dev.agent.is_member() || now < dev.next_publish {
                     continue;
                 }
                 let seq = dev.next_seq;
@@ -793,23 +1071,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         });
     }
     if let Some(sink) = &trace_sink {
-        let sink = Arc::clone(sink);
-        registry.register_collector(move |out| {
-            out.push(smc_telemetry::Sample {
-                name: "smc_trace_hops_appended_total".to_string(),
-                help: "Hop records appended to the trace sink.".to_string(),
-                monotonic: true,
-                labels: Vec::new(),
-                value: sink.appended(),
-            });
-            out.push(smc_telemetry::Sample {
-                name: "smc_trace_hops_overwritten_total".to_string(),
-                help: "Hop records lost to trace-ring wrap-around.".to_string(),
-                monotonic: true,
-                labels: Vec::new(),
-                value: sink.overwritten(),
-            });
-        });
+        sink.register_with(&registry);
     }
     let published_total: u64 = device_ids.iter().map(|&id| oracle.published(id)).sum();
     let delivered_total: u64 = device_ids.iter().map(|&id| oracle.delivered(id)).sum();
@@ -838,6 +1100,36 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         )
         .add(core_recoveries);
 
+    // The flight recorder's reason to exist: when the run ended badly,
+    // dump the black box for post-mortem before reporting.
+    let health = health_rt.map(|mut rt| {
+        let report = rt.monitor.report();
+        let violated = oracle.violation().is_some();
+        let mut dumped_to = None;
+        if let Some(path) = rt.dump_path.take() {
+            if violated || saw_core_crash {
+                rt.recorder.note(
+                    total,
+                    if violated {
+                        "dump: run ended with an oracle violation"
+                    } else {
+                        "dump: run saw a core crash"
+                    },
+                );
+                if rt.recorder.dump_to(&path).is_ok() {
+                    dumped_to = Some(path);
+                }
+            }
+        }
+        HealthOutcome {
+            transitions: rt.transitions,
+            quenches: rt.quenches,
+            report,
+            recorder: rt.recorder,
+            dumped_to,
+        }
+    });
+
     RunReport {
         oracle,
         device_ids,
@@ -848,6 +1140,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         retransmits,
         trace_sink,
         registry,
+        health,
     }
 }
 

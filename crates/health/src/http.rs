@@ -1,0 +1,248 @@
+//! A tiny dependency-free blocking HTTP status server — the operator
+//! surface. Serves:
+//!
+//! * `GET /metrics` — the registry's Prometheus text exposition,
+//! * `GET /health` — per-component health state as JSON,
+//! * `GET /journey?sender=<raw-id>&seq=<n>` — one event's hop-by-hop
+//!   journey replayed from the trace sink.
+//!
+//! One request per connection, `Connection: close` — deliberately
+//! minimal, since the workspace is offline and vendors no HTTP stack.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use smc_telemetry::{Registry, TraceSink};
+use smc_types::{ServiceId, TraceId};
+
+use crate::monitor::HealthReport;
+
+/// What the server reads on each request. The health report is shared
+/// state refreshed by whoever drives the
+/// [`HealthMonitor`](crate::HealthMonitor); the registry and sink sample
+/// themselves.
+#[derive(Debug, Clone, Default)]
+pub struct StatusSources {
+    /// Metrics registry behind `/metrics`.
+    pub registry: Registry,
+    /// Trace sink behind `/journey` (404s when absent).
+    pub sink: Option<Arc<TraceSink>>,
+    /// Latest health report behind `/health`.
+    pub health: Arc<parking_lot::Mutex<HealthReport>>,
+}
+
+/// The running server: a background accept loop that can be stopped.
+#[derive(Debug)]
+pub struct StatusServer {
+    addr: SocketAddr,
+    running: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving
+    /// `sources` on a background thread.
+    pub fn start(addr: &str, sources: StatusSources) -> std::io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let running = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&running);
+        let handle = std::thread::Builder::new()
+            .name("smc-status".into())
+            .spawn(move || {
+                while flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = serve_one(stream, &sources);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(StatusServer {
+            addr,
+            running,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.running.store(false, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_one(mut stream: TcpStream, sources: &StatusSources) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 16 * 1024 {
+            break;
+        }
+    }
+    let request = String::from_utf8_lossy(&buf);
+    let target = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = route(target, sources);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, String) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            sources.registry.render_text(),
+        ),
+        "/health" => {
+            let report = sources.health.lock().clone();
+            ("200 OK", "application/json", report.to_json())
+        }
+        "/journey" => match (&sources.sink, parse_journey_query(query)) {
+            (Some(sink), Some((sender, seq))) => {
+                let trace = TraceId::for_event(ServiceId::from_raw(sender), seq);
+                ("200 OK", "text/plain", sink.journey(trace).to_string())
+            }
+            (None, _) => (
+                "404 Not Found",
+                "text/plain",
+                "tracing is not enabled\n".to_owned(),
+            ),
+            (_, None) => (
+                "400 Bad Request",
+                "text/plain",
+                "expected /journey?sender=<raw-id>&seq=<n>\n".to_owned(),
+            ),
+        },
+        "/" => (
+            "200 OK",
+            "text/plain",
+            "smc status server: /metrics /health /journey?sender=..&seq=..\n".to_owned(),
+        ),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+    }
+}
+
+fn parse_journey_query(query: &str) -> Option<(u64, u64)> {
+    let mut sender = None;
+    let mut seq = None;
+    for pair in query.split('&') {
+        let (k, v) = pair.split_once('=')?;
+        match k {
+            "sender" => sender = v.parse().ok(),
+            "seq" => seq = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((sender?, seq?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{ComponentStatus, HealthReport};
+    use crate::HealthState;
+    use smc_telemetry::Hop;
+
+    fn get(addr: SocketAddr, target: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(format!("GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").as_bytes())
+            .expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    }
+
+    #[test]
+    fn serves_metrics_health_and_journey() {
+        let registry = Registry::new();
+        registry
+            .counter("smc_http_test_total", "Test counter.")
+            .add(3);
+        let sink = Arc::new(TraceSink::with_capacity(64));
+        let trace = TraceId::for_event(ServiceId::from_raw(9), 4);
+        sink.record(trace, Hop::Published, 100);
+        sink.record(trace, Hop::Delivered, 400);
+        let sources = StatusSources {
+            registry,
+            sink: Some(Arc::clone(&sink)),
+            health: Arc::new(parking_lot::Mutex::new(HealthReport {
+                at_micros: 7,
+                components: vec![ComponentStatus {
+                    component: "wal".into(),
+                    detector: "wal-stall",
+                    state: HealthState::Degraded,
+                    detail: "stalled".into(),
+                    since_micros: 7,
+                }],
+            })),
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let addr = server.local_addr();
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"));
+        assert!(metrics.contains("smc_http_test_total 3"));
+
+        let health = get(addr, "/health");
+        assert!(health.contains("application/json"));
+        assert!(health.contains("\"overall\":\"degraded\""));
+
+        let journey = get(addr, "/journey?sender=9&seq=4");
+        assert!(journey.starts_with("HTTP/1.1 200 OK"));
+        assert!(journey.contains("published"));
+        assert!(journey.contains("delivered"));
+
+        let bad = get(addr, "/journey?sender=oops");
+        assert!(bad.starts_with("HTTP/1.1 400"));
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"));
+
+        server.stop();
+    }
+}

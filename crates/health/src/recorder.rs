@@ -1,0 +1,218 @@
+//! The flight recorder: a bounded ring of registry snapshots, recent
+//! hops and free-form notes, dumped to a file when something goes wrong
+//! (a chaos-oracle violation, a core crash) so every red run is
+//! post-mortem-debuggable without rerunning it.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+
+use smc_telemetry::{HopRecord, Sample};
+
+use crate::monitor::HealthReport;
+
+/// One recorded frame: the registry and health state at a sample tick.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// When the frame was captured (microseconds).
+    pub at_micros: u64,
+    /// Registry samples at capture time.
+    pub samples: Vec<Sample>,
+    /// Health snapshot at capture time.
+    pub report: HealthReport,
+}
+
+/// A bounded black-box recorder. Keeps the last `frames` registry
+/// snapshots, the last `hops` hop records and the last `notes` free-form
+/// annotations; renders them oldest-first on demand.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    frames: VecDeque<Frame>,
+    hops: VecDeque<HopRecord>,
+    notes: VecDeque<(u64, String)>,
+    max_frames: usize,
+    max_hops: usize,
+    max_notes: usize,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(64, 2048, 256)
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder bounded to `max_frames` frames, `max_hops` hop records
+    /// and `max_notes` notes.
+    pub fn new(max_frames: usize, max_hops: usize, max_notes: usize) -> FlightRecorder {
+        FlightRecorder {
+            frames: VecDeque::new(),
+            hops: VecDeque::new(),
+            notes: VecDeque::new(),
+            max_frames: max_frames.max(1),
+            max_hops: max_hops.max(1),
+            max_notes: max_notes.max(1),
+        }
+    }
+
+    /// Records one frame (evicting the oldest when full).
+    pub fn record_frame(&mut self, at_micros: u64, samples: Vec<Sample>, report: HealthReport) {
+        self.frames.push_back(Frame {
+            at_micros,
+            samples,
+            report,
+        });
+        while self.frames.len() > self.max_frames {
+            self.frames.pop_front();
+        }
+    }
+
+    /// Appends hop records (evicting the oldest when full).
+    pub fn record_hops(&mut self, hops: &[HopRecord]) {
+        for h in hops {
+            self.hops.push_back(*h);
+        }
+        while self.hops.len() > self.max_hops {
+            self.hops.pop_front();
+        }
+    }
+
+    /// Appends a free-form annotation ("core crashed", "oracle
+    /// violation: …").
+    pub fn note(&mut self, at_micros: u64, text: impl Into<String>) {
+        self.notes.push_back((at_micros, text.into()));
+        while self.notes.len() > self.max_notes {
+            self.notes.pop_front();
+        }
+    }
+
+    /// Frames currently held, oldest first.
+    pub fn frames(&self) -> impl Iterator<Item = &Frame> {
+        self.frames.iter()
+    }
+
+    /// Notes currently held, oldest first.
+    pub fn notes(&self) -> impl Iterator<Item = (u64, &str)> {
+        self.notes.iter().map(|(at, s)| (*at, s.as_str()))
+    }
+
+    /// Renders the recorder's contents as a human-readable post-mortem
+    /// dump.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== flight recorder dump ===\n");
+        out.push_str(&format!(
+            "frames: {} · hops: {} · notes: {}\n",
+            self.frames.len(),
+            self.hops.len(),
+            self.notes.len()
+        ));
+        out.push_str("\n--- notes (oldest first) ---\n");
+        for (at, text) in &self.notes {
+            out.push_str(&format!("{at:>12} µs  {text}\n"));
+        }
+        out.push_str("\n--- health timeline ---\n");
+        for f in &self.frames {
+            out.push_str(&format!(
+                "{:>12} µs  overall={}",
+                f.at_micros,
+                f.report.overall().as_str()
+            ));
+            for c in &f.report.components {
+                if c.state != crate::HealthState::Healthy {
+                    out.push_str(&format!("  {}={}", c.component, c.state.as_str()));
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str("\n--- last frame registry ---\n");
+        if let Some(f) = self.frames.back() {
+            for s in &f.samples {
+                let labels = if s.labels.is_empty() {
+                    String::new()
+                } else {
+                    let parts: Vec<String> =
+                        s.labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    format!("{{{}}}", parts.join(","))
+                };
+                out.push_str(&format!("{}{labels} {}\n", s.name, s.value));
+            }
+        }
+        out.push_str("\n--- recent hops (oldest first) ---\n");
+        for h in &self.hops {
+            out.push_str(&format!("{:>12} µs  {}  {}\n", h.at_micros, h.trace, h.hop));
+        }
+        out
+    }
+
+    /// Writes [`FlightRecorder::render`] to `path` (creating parent
+    /// directories).
+    pub fn dump_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.render().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::{ComponentStatus, HealthReport};
+    use crate::HealthState;
+    use smc_telemetry::Hop;
+    use smc_types::{ServiceId, TraceId};
+
+    fn frame_report(state: HealthState) -> HealthReport {
+        HealthReport {
+            at_micros: 0,
+            components: vec![ComponentStatus {
+                component: "channel:a".into(),
+                detector: "retransmit-storm",
+                state,
+                detail: "test".into(),
+                since_micros: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn ring_bounds_hold_and_render_mentions_everything() {
+        let mut r = FlightRecorder::new(2, 3, 2);
+        for i in 0..4u64 {
+            r.record_frame(i * 1000, vec![], frame_report(HealthState::Degraded));
+            r.note(i * 1000, format!("note {i}"));
+        }
+        let hops: Vec<HopRecord> = (0..5u64)
+            .map(|i| HopRecord {
+                trace: TraceId::for_event(ServiceId::from_raw(1), i),
+                hop: Hop::Published,
+                at_micros: i,
+                order: i,
+            })
+            .collect();
+        r.record_hops(&hops);
+        assert_eq!(r.frames().count(), 2);
+        assert_eq!(r.notes().count(), 2);
+        let text = r.render();
+        assert!(text.contains("note 3"));
+        assert!(!text.contains("note 0"));
+        assert!(text.contains("channel:a=degraded"));
+        assert!(text.contains("published"));
+    }
+
+    #[test]
+    fn dump_writes_the_render_to_disk() {
+        let mut r = FlightRecorder::default();
+        r.note(7, "oracle violation: duplicate");
+        let dir = std::env::temp_dir().join("smc_health_recorder_test");
+        let path = dir.join("dump.txt");
+        r.dump_to(&path).expect("dump");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("oracle violation: duplicate"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,176 @@
+//! The per-component health state machine: `Healthy → Degraded →
+//! Failed` with hysteresis, so a single bad (or good) sample never flaps
+//! the state.
+
+/// A component's health, as judged by its detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HealthState {
+    /// Operating normally.
+    Healthy,
+    /// A detector has seen sustained anomaly; the component still works
+    /// but needs attention (the autonomic loop may act here).
+    Degraded,
+    /// The anomaly persisted past the degraded threshold.
+    Failed,
+}
+
+impl HealthState {
+    /// Stable lowercase name, used in events, JSON and logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Failed => "failed",
+        }
+    }
+}
+
+impl std::fmt::Display for HealthState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Streak thresholds governing state transitions.
+///
+/// The state machine only moves after `N` *consecutive* samples agree:
+/// `degrade_after` bad samples lift `Healthy → Degraded`, `fail_after`
+/// bad samples (total, from the first bad one) lift `Degraded → Failed`,
+/// and `recover_after` good samples step the state back down one level
+/// at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hysteresis {
+    /// Consecutive bad samples before `Healthy → Degraded`.
+    pub degrade_after: u32,
+    /// Consecutive bad samples (from the first) before
+    /// `Degraded → Failed`.
+    pub fail_after: u32,
+    /// Consecutive good samples before stepping down one level.
+    pub recover_after: u32,
+}
+
+impl Default for Hysteresis {
+    fn default() -> Self {
+        Hysteresis {
+            degrade_after: 2,
+            fail_after: 8,
+            recover_after: 4,
+        }
+    }
+}
+
+/// One component's health trajectory.
+#[derive(Debug, Clone)]
+pub struct ComponentHealth {
+    state: HealthState,
+    bad_streak: u32,
+    good_streak: u32,
+}
+
+impl Default for ComponentHealth {
+    fn default() -> Self {
+        ComponentHealth {
+            state: HealthState::Healthy,
+            bad_streak: 0,
+            good_streak: 0,
+        }
+    }
+}
+
+impl ComponentHealth {
+    /// A fresh, healthy component.
+    pub fn new() -> ComponentHealth {
+        ComponentHealth::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Feeds one sample verdict; returns `Some((from, to))` when the
+    /// state changed.
+    pub fn observe(&mut self, healthy: bool, h: &Hysteresis) -> Option<(HealthState, HealthState)> {
+        let from = self.state;
+        if healthy {
+            self.bad_streak = 0;
+            self.good_streak = self.good_streak.saturating_add(1);
+            if self.good_streak >= h.recover_after.max(1) {
+                self.good_streak = 0;
+                self.state = match self.state {
+                    HealthState::Failed => HealthState::Degraded,
+                    _ => HealthState::Healthy,
+                };
+            }
+        } else {
+            self.good_streak = 0;
+            self.bad_streak = self.bad_streak.saturating_add(1);
+            if self.state == HealthState::Healthy && self.bad_streak >= h.degrade_after.max(1) {
+                self.state = HealthState::Degraded;
+            }
+            if self.state == HealthState::Degraded && self.bad_streak >= h.fail_after.max(1) {
+                self.state = HealthState::Failed;
+            }
+        }
+        (from != self.state).then_some((from, self.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const H: Hysteresis = Hysteresis {
+        degrade_after: 2,
+        fail_after: 4,
+        recover_after: 3,
+    };
+
+    #[test]
+    fn one_blip_never_degrades() {
+        let mut c = ComponentHealth::new();
+        assert_eq!(c.observe(false, &H), None);
+        assert_eq!(c.observe(true, &H), None);
+        assert_eq!(c.observe(false, &H), None);
+        assert_eq!(c.state(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn sustained_badness_walks_degraded_then_failed() {
+        let mut c = ComponentHealth::new();
+        assert_eq!(c.observe(false, &H), None);
+        assert_eq!(
+            c.observe(false, &H),
+            Some((HealthState::Healthy, HealthState::Degraded))
+        );
+        assert_eq!(c.observe(false, &H), None);
+        assert_eq!(
+            c.observe(false, &H),
+            Some((HealthState::Degraded, HealthState::Failed))
+        );
+        assert_eq!(c.state(), HealthState::Failed);
+    }
+
+    #[test]
+    fn recovery_steps_down_one_level_at_a_time() {
+        let mut c = ComponentHealth::new();
+        for _ in 0..4 {
+            c.observe(false, &H);
+        }
+        assert_eq!(c.state(), HealthState::Failed);
+        assert_eq!(c.observe(true, &H), None);
+        assert_eq!(c.observe(true, &H), None);
+        assert_eq!(
+            c.observe(true, &H),
+            Some((HealthState::Failed, HealthState::Degraded))
+        );
+        // A relapse mid-recovery resets the good streak.
+        c.observe(false, &H);
+        assert_eq!(c.observe(true, &H), None);
+        assert_eq!(c.observe(true, &H), None);
+        assert_eq!(
+            c.observe(true, &H),
+            Some((HealthState::Degraded, HealthState::Healthy))
+        );
+    }
+}

@@ -285,6 +285,12 @@ fn parse_action(lineno: usize, text: &str) -> Result<ActionSpec> {
             let message = unquote(rest).ok_or_else(|| err(lineno, "log needs a quoted message"))?;
             Ok(ActionSpec::Log(message))
         }
+        // quench @attr | quench 123 — silence the addressed publisher;
+        // wake undoes it.
+        "quench" | "wake" => Ok(ActionSpec::Quench {
+            publisher: parse_template(lineno, rest)?,
+            enable: verb == "quench",
+        }),
         other => Err(err(lineno, &format!("unknown action '{other}'"))),
     }
 }
@@ -321,6 +327,18 @@ fn parse_assignments(lineno: usize, text: &str) -> Result<Vec<(String, ValueTemp
         out.push((name.to_owned(), template));
     }
     Ok(out)
+}
+
+/// `@attr` or a literal — one standalone value template.
+fn parse_template(lineno: usize, text: &str) -> Result<ValueTemplate> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(err(lineno, "expected a value or @attribute"));
+    }
+    if let Some(attr) = text.strip_prefix('@') {
+        return Ok(ValueTemplate::FromEvent(attr.to_owned()));
+    }
+    Ok(ValueTemplate::Literal(parse_literal(lineno, text)?))
 }
 
 fn split_top_level_commas(s: &str) -> Vec<&str> {
@@ -474,6 +492,10 @@ fn write_action(action: &ActionSpec) -> String {
         ActionSpec::EnablePolicy(id) => format!("enable {id}"),
         ActionSpec::DisablePolicy(id) => format!("disable {id}"),
         ActionSpec::Log(msg) => format!("log {msg:?}"),
+        ActionSpec::Quench { publisher, enable } => {
+            let verb = if *enable { "quench" } else { "wake" };
+            format!("{verb} {}", write_template(publisher))
+        }
     }
 }
 

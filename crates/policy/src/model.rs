@@ -168,6 +168,16 @@ pub enum ActionSpec {
     DisablePolicy(String),
     /// Record a log line (visible via the policy service's audit log).
     Log(String),
+    /// Quench (or wake) a publisher — the Elvin-style flow-control
+    /// signal `core/quench.rs` manages. The built-in health obligations
+    /// use this to silence a publisher whose channel has degraded.
+    Quench {
+        /// Where to find the publisher's raw service id (int attribute,
+        /// typically `health.member` on an `smc.health` event).
+        publisher: ValueTemplate,
+        /// `true` = stop publishing, `false` = resume.
+        enable: bool,
+    },
 }
 
 /// An obligation (event-condition-action) policy.
@@ -321,6 +331,11 @@ impl Encode for ActionSpec {
                 buf.put_u8(4);
                 buf.put_str(msg);
             }
+            ActionSpec::Quench { publisher, enable } => {
+                buf.put_u8(5);
+                publisher.encode(buf);
+                buf.put_bool(*enable);
+            }
         }
     }
 }
@@ -348,6 +363,10 @@ impl Decode for ActionSpec {
             2 => Ok(ActionSpec::EnablePolicy(r.str()?)),
             3 => Ok(ActionSpec::DisablePolicy(r.str()?)),
             4 => Ok(ActionSpec::Log(r.str()?)),
+            5 => Ok(ActionSpec::Quench {
+                publisher: ValueTemplate::decode(r)?,
+                enable: r.bool()?,
+            }),
             t => Err(CodecError::BadTag {
                 what: "action spec",
                 tag: t,

@@ -12,7 +12,10 @@ use parking_lot::RwLock;
 
 use smc_types::{Error, Event, Result};
 
-use crate::model::{glob_matches, ActionClass, ActionSpec, AuthorisationPolicy, Policy, PolicySet};
+use crate::model::{
+    glob_matches, ActionClass, ActionSpec, AuthorisationPolicy, ObligationPolicy, Policy,
+    PolicySet, ValueTemplate,
+};
 
 /// The outcome of an authorisation check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -343,6 +346,44 @@ pub fn ehealth_baseline() -> Vec<Policy> {
     ]
 }
 
+/// The built-in autonomic health obligations: when the health monitor
+/// reports a member's channel `Degraded`, quench that publisher
+/// (Elvin-style — it stops publishing until woken); when the component
+/// recovers to `Healthy`, wake it again. The `smc.health` event carries
+/// the target's raw service id in `health.member`; transitions without
+/// one (aggregate components like `wal`) simply don't trigger, because
+/// the filter requires the attribute.
+pub fn health_quench_policies() -> Vec<Policy> {
+    use smc_types::member::wellknown;
+    use smc_types::{Constraint, Filter, Op};
+    vec![
+        Policy::Obligation(
+            ObligationPolicy::new(
+                "builtin.health.quench-degraded",
+                Filter::for_type(wellknown::HEALTH)
+                    .with((wellknown::HEALTH_TO, Op::Eq, "degraded"))
+                    .with(Constraint::new(wellknown::HEALTH_MEMBER, Op::Exists, 0i64)),
+            )
+            .then(ActionSpec::Quench {
+                publisher: ValueTemplate::FromEvent(wellknown::HEALTH_MEMBER.into()),
+                enable: true,
+            }),
+        ),
+        Policy::Obligation(
+            ObligationPolicy::new(
+                "builtin.health.wake-recovered",
+                Filter::for_type(wellknown::HEALTH)
+                    .with((wellknown::HEALTH_TO, Op::Eq, "healthy"))
+                    .with(Constraint::new(wellknown::HEALTH_MEMBER, Op::Exists, 0i64)),
+            )
+            .then(ActionSpec::Quench {
+                publisher: ValueTemplate::FromEvent(wellknown::HEALTH_MEMBER.into()),
+                enable: false,
+            }),
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -400,6 +441,48 @@ mod tests {
         assert!(s.on_event(&hr_event(60)).is_empty());
         s.disable("tachy").unwrap();
         assert!(s.on_event(&hr_event(150)).is_empty());
+    }
+
+    #[test]
+    fn health_quench_policies_fire_on_degraded_and_healthy() {
+        use smc_types::member::wellknown;
+        let s = PolicyService::new();
+        for p in health_quench_policies() {
+            s.add(p).unwrap();
+        }
+        let health = |to: &str, member: Option<i64>| {
+            let mut b = Event::builder(wellknown::HEALTH)
+                .attr(wellknown::HEALTH_COMPONENT, "channel:device0")
+                .attr(wellknown::HEALTH_TO, to);
+            if let Some(m) = member {
+                b = b.attr(wellknown::HEALTH_MEMBER, m);
+            }
+            b.build()
+        };
+        let fired = s.on_event(&health("degraded", Some(42)));
+        assert_eq!(fired.len(), 1);
+        match &fired[0].action {
+            ActionSpec::Quench { publisher, enable } => {
+                assert!(*enable);
+                assert_eq!(
+                    publisher
+                        .resolve(&fired[0].trigger)
+                        .and_then(|v| v.as_int()),
+                    Some(42)
+                );
+            }
+            other => panic!("expected quench, got {other:?}"),
+        }
+        let fired = s.on_event(&health("healthy", Some(42)));
+        assert_eq!(fired.len(), 1);
+        assert!(matches!(
+            &fired[0].action,
+            ActionSpec::Quench { enable: false, .. }
+        ));
+        // Aggregate components carry no member id → nothing fires.
+        assert!(s.on_event(&health("degraded", None)).is_empty());
+        // Degraded → Failed transitions don't re-quench.
+        assert!(s.on_event(&health("failed", Some(42))).is_empty());
     }
 
     #[test]

@@ -82,6 +82,8 @@ fn arb_action() -> impl Strategy<Value = ActionSpec> {
         arb_ident().prop_map(ActionSpec::EnablePolicy),
         arb_ident().prop_map(ActionSpec::DisablePolicy),
         "[a-zA-Z0-9 _.-]{0,20}".prop_map(ActionSpec::Log),
+        (arb_template(), any::<bool>())
+            .prop_map(|(publisher, enable)| ActionSpec::Quench { publisher, enable }),
     ]
 }
 

@@ -307,6 +307,53 @@ impl Registry {
         self.0.collectors.lock().push(Box::new(f));
     }
 
+    /// Samples every instrument and collector into a flat list — the
+    /// structured twin of [`Registry::render_text`], consumed by readers
+    /// that analyse the registry programmatically (the health monitor)
+    /// rather than scraping text. Histograms contribute their `_count`
+    /// and `_sum` series; bucket detail stays in the text exposition.
+    pub fn gather(&self) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for e in self.0.entries.lock().iter() {
+            match &e.inst {
+                Instrument::Counter(c) => out.push(Sample {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    monotonic: true,
+                    labels: e.labels.clone(),
+                    value: c.get(),
+                }),
+                Instrument::Gauge(g) => out.push(Sample {
+                    name: e.name.clone(),
+                    help: e.help.clone(),
+                    monotonic: false,
+                    labels: e.labels.clone(),
+                    value: g.get(),
+                }),
+                Instrument::Histogram(h) => {
+                    out.push(Sample {
+                        name: format!("{}_count", e.name),
+                        help: e.help.clone(),
+                        monotonic: true,
+                        labels: e.labels.clone(),
+                        value: h.count(),
+                    });
+                    out.push(Sample {
+                        name: format!("{}_sum", e.name),
+                        help: e.help.clone(),
+                        monotonic: true,
+                        labels: e.labels.clone(),
+                        value: h.sum(),
+                    });
+                }
+            }
+        }
+        for c in self.0.collectors.lock().iter() {
+            c(&mut out);
+        }
+        out
+    }
+
     /// Renders every instrument and collector sample in the Prometheus
     /// text exposition format (`# HELP`/`# TYPE`, labelled series,
     /// cumulative histogram buckets ending in `+Inf`).
@@ -609,6 +656,59 @@ mod tests {
         assert_eq!(h.quantile(0.5), 4);
         assert_eq!(h.quantile(0.95), 1024);
         assert_eq!(h.quantile(1.0), 1024);
+    }
+
+    #[test]
+    fn quantile_on_empty_histogram_is_zero_not_a_bound() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn quantile_clamps_q_outside_unit_interval() {
+        let h = Histogram::default();
+        for v in [3u64, 3, 1000] {
+            h.observe(v);
+        }
+        // Below 0 clamps to 0 → the first populated bucket.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(-1.0), 4);
+        // Above 1 clamps to 1 → the last populated bucket.
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(2.0), 1024);
+        // NaN never panics and returns a populated bound.
+        let nan = h.quantile(f64::NAN);
+        assert!(nan == 4 || nan == 1024);
+    }
+
+    #[test]
+    fn gather_returns_entries_and_collector_samples() {
+        let r = Registry::new();
+        r.counter("g_total", "A counter.").add(3);
+        r.gauge_with("g_depth", "A gauge.", &[("q", "a")]).set(9);
+        let h = r.histogram("g_lat", "A histogram.");
+        h.observe(5);
+        h.observe(7);
+        r.register_collector(|out| {
+            out.push(Sample {
+                name: "g_ext".into(),
+                help: "External.".into(),
+                monotonic: true,
+                labels: vec![],
+                value: 1,
+            });
+        });
+        let samples = r.gather();
+        let find = |n: &str| samples.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(find("g_total").value, 3);
+        assert!(find("g_total").monotonic);
+        assert_eq!(find("g_depth").value, 9);
+        assert!(!find("g_depth").monotonic);
+        assert_eq!(find("g_lat_count").value, 2);
+        assert_eq!(find("g_lat_sum").value, 12);
+        assert_eq!(find("g_ext").value, 1);
     }
 
     #[test]

@@ -102,6 +102,7 @@ pub struct TraceSink {
     segments: Vec<std::sync::OnceLock<Segment>>,
     capacity: usize,
     cursor: AtomicU64,
+    dropped: AtomicU64,
 }
 
 /// Default ring capacity (records, not events — a traced event typically
@@ -123,6 +124,7 @@ impl TraceSink {
             segments: (0..segments).map(|_| std::sync::OnceLock::new()).collect(),
             capacity,
             cursor: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -143,6 +145,10 @@ impl TraceSink {
     /// Appends one record (overwriting the oldest when full).
     pub fn record(&self, trace: TraceId, hop: Hop, at_micros: u64) {
         let order = self.cursor.fetch_add(1, Ordering::Relaxed);
+        if order >= self.capacity as u64 {
+            // This write evicts the record `capacity` slots behind it.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
         let index = (order % self.capacity as u64) as usize;
         *self.slot(index).lock() = Some(HopRecord {
             trace,
@@ -162,9 +168,40 @@ impl TraceSink {
         self.cursor.load(Ordering::Relaxed)
     }
 
+    /// Records lost to ring wrap-around (counted as each overwrite
+    /// happens, not derived from the cursor).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
     /// Records lost to ring wrap-around.
     pub fn overwritten(&self) -> u64 {
         self.appended().saturating_sub(self.capacity as u64)
+    }
+
+    /// Exports the sink's own counters through `registry` as a
+    /// collector: `smc_trace_hops_appended_total` and
+    /// `smc_trace_dropped_hops_total` (hops silently lost to ring
+    /// wrap-around — nonzero means journeys may be incomplete and the
+    /// sink capacity should grow).
+    pub fn register_with(self: &Arc<Self>, registry: &crate::Registry) {
+        let sink = Arc::clone(self);
+        registry.register_collector(move |out| {
+            out.push(crate::Sample {
+                name: "smc_trace_hops_appended_total".into(),
+                help: "Hop records appended to the trace sink.".into(),
+                monotonic: true,
+                labels: vec![],
+                value: sink.appended(),
+            });
+            out.push(crate::Sample {
+                name: "smc_trace_dropped_hops_total".into(),
+                help: "Hop records lost to trace-ring wrap-around.".into(),
+                monotonic: true,
+                labels: vec![],
+                value: sink.dropped(),
+            });
+        });
     }
 
     fn collect_matching(&self, mut keep: impl FnMut(&HopRecord) -> bool) -> Vec<HopRecord> {
@@ -329,6 +366,7 @@ mod tests {
         }
         assert_eq!(sink.appended(), 10);
         assert_eq!(sink.overwritten(), 6);
+        assert_eq!(sink.dropped(), 6);
         let records = sink.records();
         assert_eq!(records.len(), 4);
         // The survivors are the four most recent.
@@ -348,6 +386,26 @@ mod tests {
         let off = Tracer::disabled();
         off.record(tid(5), Hop::Published);
         assert!(!off.is_enabled());
+    }
+
+    #[test]
+    fn sink_exports_dropped_hops_through_the_registry() {
+        let sink = Arc::new(TraceSink::with_capacity(4));
+        let registry = crate::Registry::new();
+        sink.register_with(&registry);
+        for i in 0..7u64 {
+            sink.record(tid(1), Hop::TxSent, i);
+        }
+        let text = registry.render_text();
+        assert!(text.contains("smc_trace_hops_appended_total 7"));
+        assert!(text.contains("smc_trace_dropped_hops_total 3"));
+        let dropped = registry
+            .gather()
+            .into_iter()
+            .find(|s| s.name == "smc_trace_dropped_hops_total")
+            .unwrap();
+        assert_eq!(dropped.value, 3);
+        assert!(dropped.monotonic);
     }
 
     #[test]

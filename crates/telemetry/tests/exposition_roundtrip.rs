@@ -1,0 +1,212 @@
+//! Property: the text exposition survives a parse round-trip. For any
+//! randomized registry — counters, gauges, histograms, collector
+//! samples, hostile label values — `parse_text(render_text(r))`
+//! succeeds and reproduces every series name, label set and value.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use smc_telemetry::{parse_text, ParsedSample, Registry, Sample};
+
+/// Values stay under 2^53 so the parser's f64 compares exactly.
+const MAX_VALUE: u64 = 1 << 53;
+
+#[derive(Debug, Clone)]
+enum Spec {
+    Counter {
+        labels: Labels,
+        value: u64,
+    },
+    Gauge {
+        labels: Labels,
+        value: u64,
+    },
+    Histogram {
+        labels: Labels,
+        observations: Vec<u64>,
+    },
+    Collector {
+        labels: Labels,
+        value: u64,
+        monotonic: bool,
+    },
+}
+
+type Labels = Vec<(String, String)>;
+
+fn arb_label_value() -> impl Strategy<Value = String> {
+    // `.` is printable ASCII (quotes and backslashes included); the
+    // fixed alternative pins the escaper's worst case every run.
+    prop_oneof![".{0,8}", Just("a\"b\\c\nd".to_owned())]
+}
+
+fn arb_labels() -> impl Strategy<Value = Labels> {
+    // Distinct keys per instrument (duplicate keys are not a shape the
+    // registry emits).
+    proptest::collection::vec(("[a-z][a-z0-9_]{0,6}", arb_label_value()), 0..3).prop_map(|pairs| {
+        let dedup: BTreeMap<String, String> = pairs.into_iter().collect();
+        dedup.into_iter().collect()
+    })
+}
+
+fn arb_spec() -> impl Strategy<Value = Spec> {
+    prop_oneof![
+        (arb_labels(), 0..MAX_VALUE).prop_map(|(labels, value)| Spec::Counter { labels, value }),
+        (arb_labels(), 0..MAX_VALUE).prop_map(|(labels, value)| Spec::Gauge { labels, value }),
+        (
+            arb_labels(),
+            proptest::collection::vec(0u64..1_000_000, 0..6)
+        )
+            .prop_map(|(labels, observations)| Spec::Histogram {
+                labels,
+                observations
+            }),
+        (arb_labels(), 0..MAX_VALUE, any::<bool>()).prop_map(|(labels, value, monotonic)| {
+            Spec::Collector {
+                labels,
+                value,
+                monotonic,
+            }
+        }),
+    ]
+}
+
+/// Distinct family names per spec: a kind prefix plus the index, so
+/// random draws can never collide across kinds or with histogram
+/// `_bucket`/`_sum`/`_count` suffixes.
+fn family_name(i: usize, spec: &Spec) -> String {
+    match spec {
+        Spec::Counter { .. } => format!("ctr_{i}_total"),
+        Spec::Gauge { .. } => format!("gauge_{i}"),
+        Spec::Histogram { .. } => format!("hist_{i}"),
+        Spec::Collector { .. } => format!("coll_{i}"),
+    }
+}
+
+fn as_refs(labels: &Labels) -> Vec<(&str, &str)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect()
+}
+
+fn build(specs: &[Spec]) -> Registry {
+    let registry = Registry::default();
+    for (i, spec) in specs.iter().enumerate() {
+        let name = family_name(i, spec);
+        match spec {
+            Spec::Counter { labels, value } => {
+                registry
+                    .counter_with(&name, "a counter", &as_refs(labels))
+                    .add(*value);
+            }
+            Spec::Gauge { labels, value } => {
+                registry
+                    .gauge_with(&name, "a gauge", &as_refs(labels))
+                    .set(*value);
+            }
+            Spec::Histogram {
+                labels,
+                observations,
+            } => {
+                let h = registry.histogram_with(&name, "a histogram", &as_refs(labels));
+                for &o in observations {
+                    h.observe(o);
+                }
+            }
+            Spec::Collector {
+                labels,
+                value,
+                monotonic,
+            } => {
+                let sample = Sample {
+                    name: name.clone(),
+                    help: "a collector".to_owned(),
+                    monotonic: *monotonic,
+                    labels: labels.clone(),
+                    value: *value,
+                };
+                registry.register_collector(move |out| out.push(sample.clone()));
+            }
+        }
+    }
+    registry
+}
+
+fn find<'a>(parsed: &'a [ParsedSample], name: &str, labels: &Labels) -> Option<&'a ParsedSample> {
+    parsed.iter().find(|p| {
+        p.name == name
+            && p.labels.iter().filter(|(k, _)| k != "le").count() == labels.len()
+            && labels.iter().all(|l| p.labels.contains(l))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn exposition_text_parses_back_to_the_same_series(
+        specs in proptest::collection::vec(arb_spec(), 0..8)
+    ) {
+        let registry = build(&specs);
+        let text = registry.render_text();
+        let parsed = parse_text(&text)
+            .unwrap_or_else(|| panic!("exposition must parse:\n{text}"));
+
+        for (i, spec) in specs.iter().enumerate() {
+            let name = family_name(i, spec);
+            match spec {
+                Spec::Counter { labels, value }
+                | Spec::Gauge { labels, value }
+                | Spec::Collector { labels, value, .. } => {
+                    let p = find(&parsed, &name, labels).unwrap_or_else(|| {
+                        panic!("series {name} {labels:?} missing from:\n{text}")
+                    });
+                    prop_assert_eq!(p.value, *value as f64);
+                }
+                Spec::Histogram { labels, observations } => {
+                    let count = find(&parsed, &format!("{name}_count"), labels)
+                        .expect("histogram count series");
+                    prop_assert_eq!(count.value, observations.len() as f64);
+                    let sum = find(&parsed, &format!("{name}_sum"), labels)
+                        .expect("histogram sum series");
+                    prop_assert_eq!(sum.value, observations.iter().sum::<u64>() as f64);
+                    // Buckets are cumulative and end at +Inf == count.
+                    let bucket_name = format!("{name}_bucket");
+                    let buckets: Vec<&ParsedSample> = parsed
+                        .iter()
+                        .filter(|p| p.name == bucket_name
+                            && labels.iter().all(|l| p.labels.contains(l)))
+                        .collect();
+                    prop_assert!(!buckets.is_empty());
+                    prop_assert!(buckets.windows(2).all(|w| w[0].value <= w[1].value));
+                    let last = buckets.last().expect("at least one bucket");
+                    prop_assert_eq!(
+                        last.labels.iter().find(|(k, _)| k == "le").map(|(_, v)| v.as_str()),
+                        Some("+Inf")
+                    );
+                    prop_assert_eq!(last.value, observations.len() as f64);
+                }
+            }
+        }
+
+        // No phantom series: every parsed family traces back to a spec.
+        let families: BTreeMap<String, ()> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (family_name(i, s), ()))
+            .collect();
+        for p in &parsed {
+            let base = p
+                .name
+                .strip_suffix("_bucket")
+                .or_else(|| p.name.strip_suffix("_sum"))
+                .or_else(|| p.name.strip_suffix("_count"))
+                .unwrap_or(&p.name);
+            prop_assert!(
+                families.contains_key(base) || families.contains_key(&p.name),
+                "unexpected series {} in:\n{}", p.name, text
+            );
+        }
+    }
+}

@@ -35,6 +35,25 @@ pub mod wellknown {
     pub const ALARM: &str = "smc.alarm";
     /// Event type for generic sensor readings.
     pub const SENSOR_READING: &str = "smc.sensor.reading";
+    /// Event type for health-state transitions published by the
+    /// autonomic health monitor.
+    pub const HEALTH: &str = "smc.health";
+    /// Attribute: the component whose health changed (string, e.g.
+    /// `channel:device0`, `wal`, `membership`).
+    pub const HEALTH_COMPONENT: &str = "health.component";
+    /// Attribute: the detector that drove the transition (string).
+    pub const HEALTH_DETECTOR: &str = "health.detector";
+    /// Attribute: previous health state (string: `healthy`, `degraded`,
+    /// `failed`).
+    pub const HEALTH_FROM: &str = "health.from";
+    /// Attribute: new health state (string).
+    pub const HEALTH_TO: &str = "health.to";
+    /// Attribute: human-readable detector detail (string).
+    pub const HEALTH_DETAIL: &str = "health.detail";
+    /// Attribute: raw service id of the member behind the component, when
+    /// the component maps to one (int) — the hook obligation policies use
+    /// to aim a quench at the offending publisher.
+    pub const HEALTH_MEMBER: &str = "health.member";
 }
 
 /// Why a member was purged from the cell.
