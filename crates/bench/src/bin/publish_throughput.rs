@@ -1,0 +1,365 @@
+//! Publish-path throughput bench: the lock-free snapshot bus against a
+//! reconstruction of the pre-snapshot locked hot path, measured in the
+//! same process and the same run.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin publish_throughput -- \
+//!     [--events 20000] [--smoke] [--gate]
+//! ```
+//!
+//! The sweep crosses publisher count × fan-out. For every cell both
+//! arms do the same semantic work — match the event, skip the
+//! publisher, hand each interested subscriber a deliverable packet —
+//! but the baseline arm pays the old costs (three lock acquisitions per
+//! publish, one event clone plus one full packet encode per subscriber)
+//! while the snapshot arm pays the new ones (one atomic snapshot load,
+//! one shared encode per publish).
+//!
+//! Writes `results/BENCH_perf.json`. With `--gate`, the committed
+//! `results/BENCH_perf.json` is read *first* and the run fails if the
+//! fresh overall speedup drops below [`GATE_FRACTION`] of the committed
+//! one — the CI regression gate.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use smc_bench::HarnessArgs;
+use smc_core::{DeliveryFrame, EventBus, EventSink};
+use smc_match::{EngineKind, Matcher};
+use smc_telemetry::{Hop, Tracer};
+use smc_types::codec::to_bytes;
+use smc_types::{Event, Filter, Packet, Result, ServiceId, Subscription, SubscriptionId, TraceId};
+
+/// The regression gate: a fresh run must reach at least this fraction of
+/// the committed overall speedup.
+const GATE_FRACTION: f64 = 0.85;
+
+/// Counts deliveries and delivered bytes; the snapshot arm's sink takes
+/// a reference-counted handle on the shared encoded frame, exactly as a
+/// proxy enqueue does.
+#[derive(Default)]
+struct CountingSink {
+    delivered: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl EventSink for CountingSink {
+    fn deliver(&self, event: &Event) -> Result<()> {
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(event.payload().len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn deliver_frame(&self, frame: &DeliveryFrame<'_>) -> Result<()> {
+        let encoded = frame.encoded();
+        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.bytes
+            .fetch_add(encoded.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// The pre-snapshot hot path, reconstructed for the baseline arm: the
+/// matcher, the sink map and the tracer each behind their own mutex, a
+/// fresh allocation for the match result, and one event clone plus one
+/// packet encode per subscriber.
+struct LockedBus {
+    engine: Mutex<Box<dyn Matcher>>,
+    sinks: Mutex<HashMap<ServiceId, Arc<CountingSink>>>,
+    tracer: Mutex<Tracer>,
+}
+
+impl LockedBus {
+    fn new(kind: EngineKind) -> Self {
+        LockedBus {
+            engine: Mutex::new(kind.build()),
+            sinks: Mutex::new(HashMap::new()),
+            tracer: Mutex::new(Tracer::disabled()),
+        }
+    }
+
+    fn subscribe(&self, id: u64, subscriber: ServiceId, filter: Filter, sink: Arc<CountingSink>) {
+        self.engine
+            .lock()
+            .subscribe(Subscription::new(SubscriptionId(id), subscriber, filter))
+            .expect("baseline subscribe");
+        self.sinks.lock().insert(subscriber, sink);
+    }
+
+    fn publish(&self, event: &Event) -> usize {
+        let trace = TraceId::for_event(event.publisher(), event.seq());
+        self.tracer.lock().record(trace, Hop::Published);
+        let targets = self.engine.lock().matching_subscribers(event);
+        let sinks = self.sinks.lock();
+        let mut delivered = 0;
+        for subscriber in targets {
+            if subscriber == event.publisher() {
+                continue;
+            }
+            if let Some(sink) = sinks.get(&subscriber) {
+                let packet = Packet::Deliver {
+                    event: event.clone(),
+                    trace,
+                };
+                let bytes = to_bytes(&packet);
+                sink.delivered.fetch_add(1, Ordering::Relaxed);
+                sink.bytes.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+                delivered += 1;
+            }
+        }
+        delivered
+    }
+}
+
+const EVENT_TYPE: &str = "bench.reading";
+
+fn bench_event(publisher: u64) -> Event {
+    Event::builder(EVENT_TYPE)
+        .publisher(ServiceId::from_raw(0x9000 + publisher))
+        .seq(1)
+        .attr("bpm", 120i64)
+        .payload(vec![0xEE; 64])
+        .build()
+}
+
+/// Total deliveries recorded across `sinks`.
+fn total_delivered(sinks: &[Arc<CountingSink>]) -> u64 {
+    sinks
+        .iter()
+        .map(|s| s.delivered.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Extracts `"speedup_total": <f64>` from a committed results file, if
+/// present (hand-rolled: the repo carries no JSON parser dependency).
+fn read_committed_speedup(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"speedup_total\":";
+    let at = text.find(key)? + key.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let smoke = args.has("smoke");
+    let gate = args.has("gate");
+    let events_each: usize = args.get("events", if smoke { 4_000 } else { 20_000 });
+    let publisher_sweep: &[usize] = if smoke { &[1, 4] } else { &[1, 2, 4] };
+    let fanout_sweep: &[usize] = if smoke { &[8] } else { &[1, 8, 32] };
+
+    let committed_speedup = if gate {
+        read_committed_speedup("results/BENCH_perf.json")
+    } else {
+        None
+    };
+
+    eprintln!("# publish throughput sweep ({events_each} events/publisher, smoke: {smoke})");
+    eprintln!(
+        "{:>10} {:>7} {:>16} {:>16} {:>9}",
+        "publishers", "fanout", "locked_ev/s", "snapshot_ev/s", "speedup"
+    );
+
+    let mut rows: Vec<(usize, usize, f64, f64, f64)> = Vec::new();
+    for &publishers in publisher_sweep {
+        for &fanout in fanout_sweep {
+            let locked = measure_locked(publishers, fanout, events_each);
+            let snapshot = measure_snapshot(publishers, fanout, events_each);
+            let speedup = snapshot / locked.max(1.0);
+            eprintln!(
+                "{publishers:>10} {fanout:>7} {locked:>16.0} {snapshot:>16.0} {speedup:>8.2}x"
+            );
+            rows.push((publishers, fanout, locked, snapshot, speedup));
+        }
+    }
+
+    // Overall figure: geometric mean of the per-cell speedups, so no
+    // single cell dominates.
+    let speedup_total = (rows.iter().map(|r| r.4.ln()).sum::<f64>() / rows.len() as f64).exp();
+    let shared = payload_sharing_proof();
+    eprintln!("overall speedup (geomean): {speedup_total:.2}x");
+    eprintln!("payload buffer shared across fan-out: {shared}");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"publish_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"events_per_publisher\": {events_each}, \"engine\": \"fastforward\", \
+         \"payload_bytes\": 64, \"smoke\": {smoke}}},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, (publishers, fanout, locked, snapshot, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"publishers\": {publishers}, \"fanout\": {fanout}, \
+             \"locked_events_per_sec\": {locked:.0}, \
+             \"snapshot_events_per_sec\": {snapshot:.0}, \"speedup\": {speedup:.3}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"speedup_total\": {speedup_total:.3},");
+    let _ = writeln!(json, "  \"gate_fraction\": {GATE_FRACTION},");
+    let _ = writeln!(json, "  \"payload_buffer_shared_across_fanout\": {shared}");
+    json.push_str("}\n");
+
+    let path = std::path::Path::new("results");
+    let target = if path.is_dir() {
+        path.join("BENCH_perf.json")
+    } else {
+        std::path::PathBuf::from("BENCH_perf.json")
+    };
+    std::fs::write(&target, &json).expect("write BENCH_perf.json");
+    eprintln!("wrote {}", target.display());
+
+    if !shared {
+        eprintln!("FAIL: fan-out did not share one payload buffer");
+        std::process::exit(1);
+    }
+    if let Some(committed) = committed_speedup {
+        let floor = committed * GATE_FRACTION;
+        if speedup_total < floor {
+            eprintln!(
+                "FAIL: speedup {speedup_total:.2}x below {GATE_FRACTION} × committed \
+                 {committed:.2}x = {floor:.2}x"
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate ok: {speedup_total:.2}x ≥ {GATE_FRACTION} × {committed:.2}x");
+    }
+}
+
+/// One sweep cell on the baseline arm; returns events/second.
+fn measure_locked(publishers: usize, fanout: usize, events_each: usize) -> f64 {
+    let bus = Arc::new(LockedBus::new(EngineKind::FastForward));
+    let sinks: Vec<Arc<CountingSink>> = (0..fanout)
+        .map(|i| {
+            let sink = Arc::new(CountingSink::default());
+            bus.subscribe(
+                i as u64,
+                ServiceId::from_raw(0x100 + i as u64),
+                Filter::for_type(EVENT_TYPE),
+                Arc::clone(&sink),
+            );
+            sink
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(publishers + 1));
+    // The scope closure returns the Instant taken at barrier release;
+    // `scope` itself returns only after every publisher joined, so the
+    // elapsed time spans exactly the publishing work.
+    let started = {
+        let bus = &bus;
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            for p in 0..publishers {
+                scope.spawn(move || {
+                    let event = bench_event(p as u64);
+                    barrier.wait();
+                    for _ in 0..events_each {
+                        bus.publish(&event);
+                    }
+                });
+            }
+            barrier.wait();
+            Instant::now()
+        })
+    };
+    let secs = started.elapsed().as_secs_f64();
+    let expected = (publishers * events_each * fanout) as u64;
+    assert_eq!(
+        total_delivered(&sinks),
+        expected,
+        "baseline arm dropped deliveries"
+    );
+    (publishers * events_each) as f64 / secs
+}
+
+/// One sweep cell on the snapshot arm; returns events/second.
+fn measure_snapshot(publishers: usize, fanout: usize, events_each: usize) -> f64 {
+    let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+    let sinks: Vec<Arc<CountingSink>> = (0..fanout)
+        .map(|i| {
+            let sink = Arc::new(CountingSink::default());
+            bus.subscribe(
+                ServiceId::from_raw(0x100 + i as u64),
+                Filter::for_type(EVENT_TYPE),
+                Arc::clone(&sink) as Arc<dyn EventSink>,
+            )
+            .expect("subscribe");
+            sink
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(publishers + 1));
+    let started = {
+        let bus = &bus;
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            for p in 0..publishers {
+                scope.spawn(move || {
+                    let event = bench_event(p as u64);
+                    barrier.wait();
+                    for _ in 0..events_each {
+                        bus.publish(event.clone()).expect("publish");
+                    }
+                });
+            }
+            barrier.wait();
+            Instant::now()
+        })
+    };
+    let secs = started.elapsed().as_secs_f64();
+    let expected = (publishers * events_each * fanout) as u64;
+    assert_eq!(
+        total_delivered(&sinks),
+        expected,
+        "snapshot arm dropped deliveries"
+    );
+    (publishers * events_each) as f64 / secs
+}
+
+/// Retains every delivered event (as a proxy queue would) and proves the
+/// payload buffer is the publisher's own, shared across the whole
+/// fan-out — the zero-copy claim.
+fn payload_sharing_proof() -> bool {
+    #[derive(Default)]
+    struct RetainingSink {
+        events: Mutex<Vec<Event>>,
+    }
+    impl EventSink for RetainingSink {
+        fn deliver(&self, event: &Event) -> Result<()> {
+            self.events.lock().push(event.clone());
+            Ok(())
+        }
+    }
+    let bus = EventBus::new(EngineKind::FastForward);
+    let sinks: Vec<Arc<RetainingSink>> = (0..32)
+        .map(|i| {
+            let sink = Arc::new(RetainingSink::default());
+            bus.subscribe(
+                ServiceId::from_raw(0x100 + i as u64),
+                Filter::for_type(EVENT_TYPE),
+                Arc::clone(&sink) as Arc<dyn EventSink>,
+            )
+            .expect("subscribe");
+            sink
+        })
+        .collect();
+    let event = bench_event(0);
+    let original = event.payload_shared().clone();
+    bus.publish(event).expect("publish");
+    sinks.iter().all(|s| {
+        let events = s.events.lock();
+        events.len() == 1 && events[0].payload_shared().ptr_eq(&original)
+    })
+}

@@ -6,19 +6,80 @@
 //! facing (proxies, the packet protocol) layers on top in
 //! [`crate::smc::SmcCell`]; the core itself only knows about
 //! [`EventSink`]s.
+//!
+//! # Hot-path structure
+//!
+//! The publish path is read-only and steady-state allocation-free. All
+//! routing state — the frozen match table, the sink map, the tracer —
+//! lives in one immutable [`RouteTable`] behind a
+//! [`SnapshotCell`](smc_types::SnapshotCell): `publish` performs a single
+//! lock-free snapshot load where it used to take three mutexes. Control
+//! operations (subscribe/unsubscribe/purge/engine-swap) mutate the
+//! private [`Control`] state under one mutex and publish a fresh
+//! snapshot; a concurrent publish sees either the entire old table or
+//! the entire new one, never a mix.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
-use smc_match::{EngineKind, Matcher};
+use smc_match::{EngineKind, MatchScratch, Matcher, RouteSnapshot};
 use smc_telemetry::{Hop, Registry, Tracer};
 use smc_transport::CpuProfile;
-use smc_types::{Error, Event, Filter, Result, ServiceId, Subscription, SubscriptionId, TraceId};
+use smc_types::{
+    encode_deliver, Error, Event, Filter, Result, ServiceId, SnapshotCell, Subscription,
+    SubscriptionId, TraceId,
+};
 
 use crate::metrics::{register_bus_metrics, BusMetrics, MetricsSnapshot};
+
+/// One publish's worth of delivery context, shared across the fan-out.
+///
+/// The frame carries the event by reference and lazily encodes the
+/// `Packet::Deliver` wire bytes **once**, on first demand, into a shared
+/// `Arc<[u8]>`. Sinks that relay over the network ask for
+/// [`DeliveryFrame::encoded`] and enqueue the shared buffer; in-process
+/// sinks just read the event. Either way, per-subscriber cost is a
+/// reference-count bump — no event clone, no repeated encode.
+#[derive(Debug)]
+pub struct DeliveryFrame<'a> {
+    event: &'a Event,
+    trace: TraceId,
+    encoded: OnceLock<Arc<[u8]>>,
+}
+
+impl<'a> DeliveryFrame<'a> {
+    /// Creates a frame for one publish.
+    pub fn new(event: &'a Event, trace: TraceId) -> Self {
+        DeliveryFrame {
+            event,
+            trace,
+            encoded: OnceLock::new(),
+        }
+    }
+
+    /// The event being delivered.
+    pub fn event(&self) -> &Event {
+        self.event
+    }
+
+    /// The publish's trace id ([`TraceId::NONE`] when untraced).
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// The encoded `Packet::Deliver` frame, computed at most once per
+    /// publish and shared by every subscriber that asks.
+    pub fn encoded(&self) -> Arc<[u8]> {
+        Arc::clone(
+            self.encoded
+                .get_or_init(|| Arc::from(encode_deliver(self.event, self.trace))),
+        )
+    }
+}
 
 /// A subscriber-side delivery target.
 ///
@@ -34,6 +95,19 @@ pub trait EventSink: Send + Sync {
     /// counts them and keeps going — retry/durability lives in the
     /// reliability layer underneath proxies.
     fn deliver(&self, event: &Event) -> Result<()>;
+
+    /// Delivers one event with its shared fan-out context.
+    ///
+    /// The default forwards to [`EventSink::deliver`]; network-facing
+    /// sinks override it to enqueue [`DeliveryFrame::encoded`]'s shared
+    /// buffer instead of re-encoding the event per subscriber.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EventSink::deliver`].
+    fn deliver_frame(&self, frame: &DeliveryFrame<'_>) -> Result<()> {
+        self.deliver(frame.event())
+    }
 }
 
 impl<F> EventSink for F
@@ -68,21 +142,64 @@ where
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct EventBus {
-    engine: Mutex<Box<dyn Matcher>>,
+    /// All mutable routing state, mutated under one lock (fixed lock
+    /// order by construction: there is only one lock to take).
+    control: Mutex<Control>,
+    /// The published routing snapshot; `publish` does one lock-free load.
+    routes: SnapshotCell<RouteTable>,
     engine_kind: EngineKind,
-    subs: Mutex<HashMap<SubscriptionId, (ServiceId, Filter)>>,
-    sinks: Mutex<HashMap<ServiceId, Arc<dyn EventSink>>>,
     next_sub: AtomicU64,
     cpu: CpuProfile,
     metrics: BusMetrics,
-    tracer: Mutex<Tracer>,
+}
+
+/// The write side: engine, subscription registry, sinks and tracer.
+struct Control {
+    engine: Box<dyn Matcher>,
+    subs: HashMap<SubscriptionId, (ServiceId, Filter)>,
+    sinks: HashMap<ServiceId, Arc<dyn EventSink>>,
+    tracer: Tracer,
+}
+
+impl Control {
+    /// Freezes the current routing state into an immutable snapshot.
+    fn route_table(&self) -> RouteTable {
+        RouteTable {
+            matcher: self.engine.snapshot(),
+            sinks: self.sinks.clone(),
+            tracer: self.tracer.clone(),
+        }
+    }
+}
+
+/// The read side: everything `publish` needs, immutable once published.
+struct RouteTable {
+    matcher: Arc<dyn RouteSnapshot>,
+    sinks: HashMap<ServiceId, Arc<dyn EventSink>>,
+    tracer: Tracer,
+}
+
+impl std::fmt::Debug for RouteTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteTable")
+            .field("subscriptions", &self.matcher.len())
+            .field("sinks", &self.sinks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+thread_local! {
+    /// Per-thread match scratch + target buffer: a steady-state publish
+    /// loop allocates nothing once these have grown to working size.
+    static PUBLISH_SCRATCH: RefCell<(MatchScratch, Vec<ServiceId>)> =
+        RefCell::new((MatchScratch::new(), Vec::new()));
 }
 
 impl std::fmt::Debug for EventBus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EventBus")
             .field("engine", &self.engine_kind)
-            .field("subscriptions", &self.subs.lock().len())
+            .field("subscriptions", &self.control.lock().subs.len())
             .finish_non_exhaustive()
     }
 }
@@ -96,23 +213,36 @@ impl EventBus {
     /// Creates a bus that charges the given CPU cost model per event —
     /// used by the figure harnesses to approximate the paper's PDA.
     pub fn with_cpu_profile(engine: EngineKind, cpu: CpuProfile) -> Self {
+        let control = Control {
+            engine: engine.build(),
+            subs: HashMap::new(),
+            sinks: HashMap::new(),
+            tracer: Tracer::disabled(),
+        };
+        let routes = SnapshotCell::new(Arc::new(control.route_table()));
         EventBus {
-            engine: Mutex::new(engine.build()),
+            control: Mutex::new(control),
+            routes,
             engine_kind: engine,
-            subs: Mutex::new(HashMap::new()),
-            sinks: Mutex::new(HashMap::new()),
             next_sub: AtomicU64::new(1),
             cpu,
             metrics: BusMetrics::new(),
-            tracer: Mutex::new(Tracer::disabled()),
         }
+    }
+
+    /// Rebuilds and publishes the routing snapshot. Callers hold the
+    /// control lock, so snapshots are published in control-op order.
+    fn republish(&self, control: &Control) {
+        self.routes.store(Arc::new(control.route_table()));
     }
 
     /// Installs (or replaces) the hop tracer: dispatch records
     /// `Published`, `Matched` and `Dropped` hops against each event's
     /// derived [`TraceId`].
     pub fn set_tracer(&self, tracer: Tracer) {
-        *self.tracer.lock() = tracer;
+        let mut control = self.control.lock();
+        control.tracer = tracer;
+        self.republish(&control);
     }
 
     /// Exports this bus's counters into `registry` (sampled at render
@@ -144,11 +274,13 @@ impl EventBus {
         sink: Arc<dyn EventSink>,
     ) -> Result<SubscriptionId> {
         let id = SubscriptionId(self.next_sub.fetch_add(1, Ordering::Relaxed));
-        self.engine
-            .lock()
+        let mut control = self.control.lock();
+        control
+            .engine
             .subscribe(Subscription::new(id, subscriber, filter.clone()))?;
-        self.subs.lock().insert(id, (subscriber, filter));
-        self.sinks.lock().insert(subscriber, sink);
+        control.subs.insert(id, (subscriber, filter));
+        control.sinks.insert(subscriber, sink);
+        self.republish(&control);
         BusMetrics::bump(&self.metrics.subscriptions);
         Ok(id)
     }
@@ -163,11 +295,11 @@ impl EventBus {
     /// Propagates engine errors (e.g. restoring the same id twice).
     pub fn restore_subscription(&self, sub: Subscription, sink: Arc<dyn EventSink>) -> Result<()> {
         self.next_sub.fetch_max(sub.id.0 + 1, Ordering::Relaxed);
-        self.engine.lock().subscribe(sub.clone())?;
-        self.subs
-            .lock()
-            .insert(sub.id, (sub.subscriber, sub.filter));
-        self.sinks.lock().insert(sub.subscriber, sink);
+        let mut control = self.control.lock();
+        control.engine.subscribe(sub.clone())?;
+        control.subs.insert(sub.id, (sub.subscriber, sub.filter));
+        control.sinks.insert(sub.subscriber, sink);
+        self.republish(&control);
         Ok(())
     }
 
@@ -183,37 +315,47 @@ impl EventBus {
     ///
     /// [`Error::NotFound`] if the id is unknown.
     pub fn unsubscribe(&self, id: SubscriptionId) -> Result<()> {
-        self.engine.lock().unsubscribe(id)?;
-        let removed = self.subs.lock().remove(&id);
-        if let Some((subscriber, _)) = removed {
+        // One lock acquisition covering the whole removal: the engine
+        // entry, the registry entry and the sink liveness check change
+        // together, so a concurrent subscribe can neither revive the
+        // sink between our two looks at the registry nor observe the
+        // engine and registry disagreeing.
+        let mut control = self.control.lock();
+        control.engine.unsubscribe(id)?;
+        if let Some((subscriber, _)) = control.subs.remove(&id) {
             // Drop the sink only when no subscription references it.
-            let still_used = self.subs.lock().values().any(|(s, _)| *s == subscriber);
+            let still_used = control.subs.values().any(|(s, _)| *s == subscriber);
             if !still_used {
-                self.sinks.lock().remove(&subscriber);
+                control.sinks.remove(&subscriber);
             }
         }
+        self.republish(&control);
         BusMetrics::bump(&self.metrics.unsubscriptions);
         Ok(())
     }
 
     /// Removes *all* subscriptions of `subscriber` and its sink — the
     /// purge path. Returns how many subscriptions were removed.
+    ///
+    /// The whole purge happens under one control-lock acquisition and is
+    /// published as a single snapshot swap: a concurrent publish either
+    /// sees the member fully present or fully gone, never half-purged.
     pub fn remove_subscriber(&self, subscriber: ServiceId) -> usize {
-        let ids: Vec<SubscriptionId> = self
+        let mut control = self.control.lock();
+        let ids: Vec<SubscriptionId> = control
             .subs
-            .lock()
             .iter()
             .filter(|(_, (s, _))| *s == subscriber)
             .map(|(&id, _)| id)
             .collect();
-        let mut engine = self.engine.lock();
         for &id in &ids {
-            let _ = engine.unsubscribe(id);
-            self.subs.lock().remove(&id);
-            BusMetrics::bump(&self.metrics.unsubscriptions);
+            let _ = control.engine.unsubscribe(id);
+            control.subs.remove(&id);
         }
-        drop(engine);
-        self.sinks.lock().remove(&subscriber);
+        control.sinks.remove(&subscriber);
+        self.republish(&control);
+        drop(control);
+        BusMetrics::add(&self.metrics.unsubscriptions, ids.len() as u64);
         ids.len()
     }
 
@@ -228,9 +370,11 @@ impl EventBus {
     pub fn publish(&self, event: Event) -> Result<usize> {
         BusMetrics::bump(&self.metrics.published);
         BusMetrics::add(&self.metrics.bytes_published, event.content_len() as u64);
-        let tracer = self.tracer.lock().clone();
+        // The only synchronisation on the whole publish path: one
+        // lock-free snapshot load covering matcher, sinks and tracer.
+        let routes = self.routes.load();
         let trace = TraceId::for_event(event.publisher(), event.seq());
-        tracer.record(trace, Hop::Published);
+        routes.tracer.record(trace, Hop::Published);
         // The modelled per-event processing cost. `charge` represents one
         // full buffer copy across an OS/JVM/engine boundary on the target
         // hardware; the Siena path crosses four such boundaries (socket →
@@ -245,10 +389,41 @@ impl EventBus {
                 self.cpu.charge(event.payload());
             }
         }
-        let targets = self.engine.lock().matching_subscribers(&event);
+        PUBLISH_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut slot) => {
+                let (scratch, targets) = &mut *slot;
+                self.fan_out(&routes, &event, trace, scratch, targets)
+            }
+            // A sink re-entered publish on this thread (an in-process
+            // subscriber publishing from inside its delivery callback);
+            // fall back to fresh buffers for the nested publish.
+            Err(_) => self.fan_out(
+                &routes,
+                &event,
+                trace,
+                &mut MatchScratch::new(),
+                &mut Vec::new(),
+            ),
+        })
+    }
+
+    /// Matches `event` against the snapshot and delivers to every
+    /// interested sink. Metrics are accumulated locally and flushed as
+    /// one batched `add` per counter, not one `bump` per delivery.
+    fn fan_out(
+        &self,
+        routes: &RouteTable,
+        event: &Event,
+        trace: TraceId,
+        scratch: &mut MatchScratch,
+        targets: &mut Vec<ServiceId>,
+    ) -> Result<usize> {
+        routes
+            .matcher
+            .matching_subscribers_into(event, scratch, targets);
         if targets.is_empty() {
             BusMetrics::bump(&self.metrics.unmatched);
-            tracer.record(
+            routes.tracer.record(
                 trace,
                 Hop::Dropped {
                     reason: "unmatched",
@@ -256,22 +431,24 @@ impl EventBus {
             );
             return Ok(0);
         }
-        tracer.record(trace, Hop::Matched);
-        let sinks = self.sinks.lock();
+        routes.tracer.record(trace, Hop::Matched);
+        let frame = DeliveryFrame::new(event, trace);
         let mut delivered = 0;
-        for subscriber in targets {
+        let mut attempted = 0u64;
+        let mut failures = 0u64;
+        for &subscriber in targets.iter() {
             // Do not loop events back to their publisher: the paper's
             // publishers are not implicit subscribers of themselves.
             if subscriber == event.publisher() {
                 continue;
             }
-            if let Some(sink) = sinks.get(&subscriber) {
-                BusMetrics::bump(&self.metrics.deliveries);
-                match sink.deliver(&event) {
+            if let Some(sink) = routes.sinks.get(&subscriber) {
+                attempted += 1;
+                match sink.deliver_frame(&frame) {
                     Ok(()) => delivered += 1,
                     Err(_) => {
-                        BusMetrics::bump(&self.metrics.delivery_failures);
-                        tracer.record(
+                        failures += 1;
+                        routes.tracer.record(
                             trace,
                             Hop::Dropped {
                                 reason: "delivery-failure",
@@ -281,26 +458,39 @@ impl EventBus {
                 }
             }
         }
+        BusMetrics::add(&self.metrics.deliveries, attempted);
+        if failures > 0 {
+            BusMetrics::add(&self.metrics.delivery_failures, failures);
+        }
         Ok(delivered)
     }
 
     /// Returns `true` if at least one current subscription's filter
     /// overlaps `advert` — the quench test for a prospective publisher.
     pub fn has_interest(&self, advert: &Filter) -> bool {
-        let subs = self.subs.lock();
-        subs.values().any(|(_, f)| smc_match::overlaps(advert, f))
+        self.control
+            .lock()
+            .subs
+            .values()
+            .any(|(_, f)| smc_match::overlaps(advert, f))
     }
 
     /// All current subscription filters (used by the quench manager).
     pub fn subscription_filters(&self) -> Vec<Filter> {
-        self.subs.lock().values().map(|(_, f)| f.clone()).collect()
+        self.control
+            .lock()
+            .subs
+            .values()
+            .map(|(_, f)| f.clone())
+            .collect()
     }
 
     /// All current subscriptions as `(id, subscriber, filter)`.
     pub fn subscriptions(&self) -> Vec<(SubscriptionId, ServiceId, Filter)> {
         let mut out: Vec<_> = self
-            .subs
+            .control
             .lock()
+            .subs
             .iter()
             .map(|(&id, (s, f))| (id, *s, f.clone()))
             .collect();
@@ -310,7 +500,7 @@ impl EventBus {
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.subs.lock().len()
+        self.control.lock().subs.len()
     }
 
     /// Bus activity counters.
@@ -332,12 +522,13 @@ impl EventBus {
     /// Propagates engine insertion errors; on error the bus is left on
     /// the old engine.
     pub fn swap_engine(&self, kind: EngineKind) -> Result<()> {
+        let mut control = self.control.lock();
         let mut new_engine = kind.build();
-        let subs = self.subs.lock();
-        for (&id, (subscriber, filter)) in subs.iter() {
+        for (&id, (subscriber, filter)) in control.subs.iter() {
             new_engine.subscribe(Subscription::new(id, *subscriber, filter.clone()))?;
         }
-        *self.engine.lock() = new_engine;
+        control.engine = new_engine;
+        self.republish(&control);
         Ok(())
     }
 }

@@ -78,7 +78,7 @@ pub mod store;
 pub mod typed;
 
 pub use bootstrap::{CodecBuilder, ProxyFactory};
-pub use bus::{ChannelSink, EventBus, EventSink};
+pub use bus::{ChannelSink, DeliveryFrame, EventBus, EventSink};
 pub use client::{CommandRequest, RawDevice, RemoteClient};
 pub use composition::{
     child_cell_of, composition_path, CompositionLink, CompositionStats, CHILD_CELL_ATTR,

@@ -20,7 +20,7 @@ use smc_types::{
     Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SubscriptionId, TraceId,
 };
 
-use crate::bus::EventSink;
+use crate::bus::{DeliveryFrame, EventSink};
 
 /// Device-specific translation logic plugged into a [`Proxy`].
 ///
@@ -253,6 +253,34 @@ impl Proxy {
             .map(|_| ())
     }
 
+    /// Queues several already-encoded downlink packets for the device in
+    /// one reliable-channel batch: one out-lock acquisition and one
+    /// window pump for the whole burst, each payload enqueued by
+    /// reference count (no copy).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Closed`] if the proxy is destroyed or the channel is
+    /// shut; journal errors propagate from the channel (already-queued
+    /// entries of the batch stay queued).
+    pub fn deliver_encoded_batch(&self, batch: Vec<(Arc<[u8]>, TraceId)>) -> Result<()> {
+        if self.is_destroyed() {
+            return Err(Error::Closed);
+        }
+        let n = batch.len() as u64;
+        let tracer = self.channel.tracer();
+        for &(_, trace) in &batch {
+            tracer.record(trace, Hop::ProxyEnqueued);
+        }
+        self.channel.send_shared_batch(self.info.id, batch)?;
+        AtomicU64::fetch_add(&self.counters.events_downlinked, n, Ordering::Relaxed);
+        let depth = self.channel.pending(self.info.id) as u64;
+        self.counters
+            .queue_depth_hwm
+            .fetch_max(depth, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// A snapshot of the proxy's counters.
     pub fn stats(&self) -> ProxyStats {
         ProxyStats {
@@ -297,6 +325,38 @@ impl EventSink for Proxy {
             .queue_depth_hwm
             .fetch_max(depth, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Zero-copy downlink for passthrough members: when the codec has no
+    /// device-specific translation (`encode_downlink` → `Ok(None)`), the
+    /// bytes on the wire are exactly the frame's shared `Deliver`
+    /// encoding, so the proxy enqueues the fan-out's one buffer by
+    /// reference count instead of re-encoding the event per subscriber.
+    fn deliver_frame(&self, frame: &DeliveryFrame<'_>) -> Result<()> {
+        if self.is_destroyed() {
+            return Err(Error::Closed);
+        }
+        let event = frame.event();
+        match self.codec.encode_downlink(event) {
+            // Device-specific raw translation: fall back to the owned path.
+            Ok(Some(_)) => self.deliver(event),
+            Ok(None) => {
+                let trace = frame.trace();
+                self.channel.tracer().record(trace, Hop::ProxyEnqueued);
+                self.channel
+                    .send_traced(self.info.id, frame.encoded(), trace)?;
+                AtomicU64::fetch_add(&self.counters.events_downlinked, 1, Ordering::Relaxed);
+                let depth = self.channel.pending(self.info.id) as u64;
+                self.counters
+                    .queue_depth_hwm
+                    .fetch_max(depth, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                AtomicU64::fetch_add(&self.counters.encode_errors, 1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
     }
 }
 

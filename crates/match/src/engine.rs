@@ -6,8 +6,66 @@
 //! `Box<dyn Matcher>` and never knows which engine is behind it.
 
 use std::fmt;
+use std::sync::Arc;
 
 use smc_types::{Error, Event, Result, ServiceId, Subscription, SubscriptionId};
+
+/// Reusable per-caller scratch space for [`RouteSnapshot`] matching.
+///
+/// Snapshot matching is read-only over the snapshot but still needs
+/// working memory (the counting algorithm's per-filter counters, the
+/// fired-filter list). Callers own that memory and pass it in, so a
+/// steady-state publish loop performs no allocation: the buffers are
+/// grown once and reused for every subsequent match.
+///
+/// A scratch may be reused freely across different snapshots and engine
+/// kinds — the generation counter makes stale state self-invalidating.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    /// Counting slots, `(generation, satisfied-count)` per filter slot.
+    pub(crate) counters: Vec<(u64, u32)>,
+    /// Current match generation (epoch trick: bumping it invalidates all
+    /// counters without clearing them).
+    pub(crate) generation: u64,
+    /// Filter ids fired by the current match.
+    pub(crate) fired: Vec<usize>,
+}
+
+impl MatchScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        MatchScratch::default()
+    }
+}
+
+/// An immutable, point-in-time view of an engine's subscription set that
+/// matches events with `&self`.
+///
+/// This is the read side of the bus's copy-on-write route table: control
+/// operations (subscribe/unsubscribe/purge) build a fresh snapshot via
+/// [`Matcher::snapshot`] and publish it atomically; concurrent publishes
+/// match against whichever snapshot they loaded, with no locks and no
+/// allocation beyond the caller's reusable [`MatchScratch`].
+pub trait RouteSnapshot: Send + Sync + fmt::Debug {
+    /// Clears `out` and fills it with the distinct subscribers interested
+    /// in `event`, sorted and de-duplicated — the same answer the owning
+    /// engine's [`Matcher::matching_subscribers`] would give at the moment
+    /// the snapshot was taken.
+    fn matching_subscribers_into(
+        &self,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ServiceId>,
+    );
+
+    /// Number of subscriptions frozen into this snapshot.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the snapshot contains no subscriptions.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A content-based matching engine.
 ///
@@ -41,6 +99,12 @@ pub trait Matcher: Send + fmt::Debug {
 
     /// Returns the distinct subscribers interested in `event`, sorted.
     fn matching_subscribers(&mut self, event: &Event) -> Vec<ServiceId>;
+
+    /// Freezes the current subscription set into an immutable snapshot
+    /// that can match events concurrently with `&self` (see
+    /// [`RouteSnapshot`]). The snapshot is a value: later mutations of
+    /// the engine do not affect it.
+    fn snapshot(&self) -> Arc<dyn RouteSnapshot>;
 
     /// Number of registered subscriptions.
     fn len(&self) -> usize;

@@ -15,12 +15,13 @@
 //!   reads the event's attributes in place.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use smc_types::{
     AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription, SubscriptionId,
 };
 
-use crate::engine::Matcher;
+use crate::engine::{MatchScratch, Matcher, RouteSnapshot};
 
 /// Hashable canonical form of an equality-comparable value.
 ///
@@ -61,7 +62,7 @@ fn norm_bits(d: f64) -> u64 {
 type ConstraintId = usize;
 type FilterId = usize;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct ConstraintRecord {
     constraint: Constraint,
     refcount: usize,
@@ -88,7 +89,7 @@ fn constraint_key(c: &Constraint) -> ConstraintKey {
 }
 
 /// Per-attribute-name constraint index.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct NameIndex {
     /// Equality tests, hash-indexed by canonical value.
     eq: HashMap<ValueKey, Vec<ConstraintId>>,
@@ -223,7 +224,7 @@ struct FilterKey {
     constraint_ids: Vec<ConstraintId>,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct FilterEntry {
     event_type: Option<String>,
     constraint_ids: Vec<ConstraintId>,
@@ -259,26 +260,137 @@ struct SubRecord {
 /// ```
 #[derive(Debug, Default)]
 pub struct FastForwardEngine {
-    records: Vec<Option<ConstraintRecord>>,
+    /// The matchable forwarding table. Everything matching reads lives
+    /// here; it is `Clone` so [`Matcher::snapshot`] can freeze it.
+    table: FfTable,
     free_records: Vec<ConstraintId>,
     constraint_lookup: HashMap<ConstraintKey, ConstraintId>,
+    free_filters: Vec<FilterId>,
+    filter_lookup: HashMap<FilterKey, FilterId>,
+
+    subs: HashMap<SubscriptionId, SubRecord>,
+
+    /// Scratch for the engine's own `&mut self` matching entry points.
+    scratch: MatchScratch,
+}
+
+/// The immutable-at-match-time part of the forwarding table: constraint
+/// records, per-name indexes, filter entries and their subscriber lists.
+/// Matching only ever reads it; all mutation happens through the owning
+/// [`FastForwardEngine`], which keeps the interning side tables.
+#[derive(Debug, Default, Clone)]
+struct FfTable {
+    records: Vec<Option<ConstraintRecord>>,
     /// constraint -> filters containing it.
     postings: Vec<Vec<FilterId>>,
     name_index: HashMap<String, NameIndex>,
 
     filters: Vec<Option<FilterEntry>>,
-    free_filters: Vec<FilterId>,
-    filter_lookup: HashMap<FilterKey, FilterId>,
     /// Filters with zero constraints and a type restriction, by type.
     empty_typed: HashMap<String, Vec<FilterId>>,
     /// Filters with zero constraints and no type restriction.
     match_all: Vec<FilterId>,
+}
 
-    subs: HashMap<SubscriptionId, SubRecord>,
+impl FfTable {
+    /// Core counting match: fills `scratch.fired` with the ids of all
+    /// firing filters. Read-only over the table; all working memory is
+    /// the caller's scratch.
+    fn matching_filters_into(&self, event: &Event, scratch: &mut MatchScratch) {
+        let MatchScratch {
+            counters,
+            generation,
+            fired,
+        } = scratch;
+        fired.clear();
+        if counters.len() < self.filters.len() {
+            counters.resize(self.filters.len(), (0, 0));
+        }
+        *generation += 1;
+        let generation = *generation;
 
-    /// Match-generation counters (epoch trick avoids clearing per match).
-    counters: Vec<(u64, u32)>,
-    generation: u64,
+        {
+            let postings = &self.postings;
+            let filters = &self.filters;
+            let records = &self.records;
+            let event_type = event.event_type();
+            let mut satisfy = |cid: ConstraintId| {
+                for &fid in &postings[cid] {
+                    let slot = &mut counters[fid];
+                    if slot.0 != generation {
+                        *slot = (generation, 0);
+                    }
+                    slot.1 += 1;
+                    let entry = filters[fid].as_ref().expect("posted filter is live");
+                    if slot.1 == entry.needed {
+                        let type_ok = match &entry.event_type {
+                            Some(t) => t == event_type,
+                            None => true,
+                        };
+                        if type_ok {
+                            fired.push(fid);
+                        }
+                    }
+                }
+            };
+            for (name, value) in event.attributes().iter() {
+                if let Some(idx) = self.name_index.get(name) {
+                    idx.visit_satisfied(value, records, &mut satisfy);
+                }
+            }
+        }
+
+        fired.extend(self.match_all.iter().copied());
+        if let Some(list) = self.empty_typed.get(event.event_type()) {
+            fired.extend(list.iter().copied());
+        }
+    }
+
+    /// Clears `out` and fills it with the distinct subscribers of the
+    /// fired filters, sorted and de-duplicated.
+    fn subscribers_into(&self, fired: &[FilterId], out: &mut Vec<ServiceId>) {
+        out.clear();
+        for &fid in fired {
+            let entry = self.filters[fid].as_ref().expect("fired filter is live");
+            out.extend(entry.subs.iter().map(|&(_, svc)| svc));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// As [`FfTable::subscribers_into`] but for subscription ids.
+    fn subscriptions_into(&self, fired: &[FilterId], out: &mut Vec<SubscriptionId>) {
+        out.clear();
+        for &fid in fired {
+            let entry = self.filters[fid].as_ref().expect("fired filter is live");
+            out.extend(entry.subs.iter().map(|&(s, _)| s));
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// A frozen fast-forward table (see [`Matcher::snapshot`]).
+#[derive(Debug)]
+struct FfSnapshot {
+    table: FfTable,
+    subs: usize,
+}
+
+impl RouteSnapshot for FfSnapshot {
+    fn matching_subscribers_into(
+        &self,
+        event: &Event,
+        scratch: &mut MatchScratch,
+        out: &mut Vec<ServiceId>,
+    ) {
+        self.table.matching_filters_into(event, scratch);
+        self.table.subscribers_into(&scratch.fired, out);
+    }
+
+    fn len(&self) -> usize {
+        self.subs
+    }
 }
 
 impl FastForwardEngine {
@@ -290,7 +402,7 @@ impl FastForwardEngine {
     fn intern_constraint(&mut self, c: &Constraint) -> ConstraintId {
         let key = constraint_key(c);
         if let Some(&cid) = self.constraint_lookup.get(&key) {
-            self.records[cid]
+            self.table.records[cid]
                 .as_mut()
                 .expect("looked-up constraint is live")
                 .refcount += 1;
@@ -299,18 +411,19 @@ impl FastForwardEngine {
         let cid = match self.free_records.pop() {
             Some(cid) => cid,
             None => {
-                self.records.push(None);
-                self.postings.push(Vec::new());
-                self.records.len() - 1
+                self.table.records.push(None);
+                self.table.postings.push(Vec::new());
+                self.table.records.len() - 1
             }
         };
-        self.records[cid] = Some(ConstraintRecord {
+        self.table.records[cid] = Some(ConstraintRecord {
             constraint: c.clone(),
             refcount: 1,
         });
-        self.postings[cid].clear();
+        self.table.postings[cid].clear();
         self.constraint_lookup.insert(key, cid);
-        self.name_index
+        self.table
+            .name_index
             .entry(c.name.clone())
             .or_default()
             .insert(cid, c);
@@ -318,7 +431,7 @@ impl FastForwardEngine {
     }
 
     fn release_constraint(&mut self, cid: ConstraintId) {
-        let rec = self.records[cid]
+        let rec = self.table.records[cid]
             .as_mut()
             .expect("releasing live constraint");
         rec.refcount -= 1;
@@ -326,13 +439,13 @@ impl FastForwardEngine {
             return;
         }
         let c = rec.constraint.clone();
-        self.records[cid] = None;
+        self.table.records[cid] = None;
         self.free_records.push(cid);
         self.constraint_lookup.remove(&constraint_key(&c));
-        if let Some(idx) = self.name_index.get_mut(&c.name) {
+        if let Some(idx) = self.table.name_index.get_mut(&c.name) {
             idx.remove(cid, &c);
             if idx.is_empty() {
-                self.name_index.remove(&c.name);
+                self.table.name_index.remove(&c.name);
             }
         }
     }
@@ -375,15 +488,12 @@ impl FastForwardEngine {
         let fid = match self.free_filters.pop() {
             Some(fid) => fid,
             None => {
-                self.filters.push(None);
-                self.filters.len() - 1
+                self.table.filters.push(None);
+                self.table.filters.len() - 1
             }
         };
-        if self.counters.len() <= fid {
-            self.counters.resize(fid + 1, (0, 0));
-        }
         for &cid in &cids {
-            self.postings[cid].push(fid);
+            self.table.postings[cid].push(fid);
         }
         let entry = FilterEntry {
             event_type: key.event_type.clone(),
@@ -394,81 +504,43 @@ impl FastForwardEngine {
         };
         if entry.needed == 0 {
             match &entry.event_type {
-                Some(t) => self.empty_typed.entry(t.clone()).or_default().push(fid),
-                None => self.match_all.push(fid),
+                Some(t) => self
+                    .table
+                    .empty_typed
+                    .entry(t.clone())
+                    .or_default()
+                    .push(fid),
+                None => self.table.match_all.push(fid),
             }
         }
-        self.filters[fid] = Some(entry);
+        self.table.filters[fid] = Some(entry);
         self.filter_lookup.insert(key, fid);
         fid
     }
 
     fn release_filter(&mut self, fid: FilterId) {
-        let entry = self.filters[fid].take().expect("releasing live filter");
+        let entry = self.table.filters[fid]
+            .take()
+            .expect("releasing live filter");
         self.filter_lookup.remove(&entry.key);
         for &cid in &entry.constraint_ids {
-            self.postings[cid].retain(|&f| f != fid);
+            self.table.postings[cid].retain(|&f| f != fid);
             self.release_constraint(cid);
         }
         if entry.needed == 0 {
             match &entry.event_type {
                 Some(t) => {
-                    if let Some(list) = self.empty_typed.get_mut(t) {
+                    if let Some(list) = self.table.empty_typed.get_mut(t) {
                         list.retain(|&f| f != fid);
                         if list.is_empty() {
-                            self.empty_typed.remove(t);
+                            self.table.empty_typed.remove(t);
                         }
                     }
                 }
-                None => self.match_all.retain(|&f| f != fid),
+                None => self.table.match_all.retain(|&f| f != fid),
             }
         }
         self.free_filters.push(fid);
-    }
-
-    /// Core counting match: collects the ids of all firing filters.
-    fn matching_filters(&mut self, event: &Event) -> Vec<FilterId> {
-        self.generation += 1;
-        let generation = self.generation;
-        let mut fired: Vec<FilterId> = Vec::new();
-
-        {
-            let counters = &mut self.counters;
-            let postings = &self.postings;
-            let filters = &self.filters;
-            let records = &self.records;
-            let event_type = event.event_type();
-            let mut satisfy = |cid: ConstraintId| {
-                for &fid in &postings[cid] {
-                    let slot = &mut counters[fid];
-                    if slot.0 != generation {
-                        *slot = (generation, 0);
-                    }
-                    slot.1 += 1;
-                    let entry = filters[fid].as_ref().expect("posted filter is live");
-                    if slot.1 == entry.needed {
-                        let type_ok = match &entry.event_type {
-                            Some(t) => t == event_type,
-                            None => true,
-                        };
-                        if type_ok {
-                            fired.push(fid);
-                        }
-                    }
-                }
-            };
-            for (name, value) in event.attributes().iter() {
-                if let Some(idx) = self.name_index.get(name) {
-                    idx.visit_satisfied(value, records, &mut satisfy);
-                }
-            }
-        }
-
-        fired.extend(self.match_all.iter().copied());
-        if let Some(list) = self.empty_typed.get(event.event_type()) {
-            fired.extend(list.iter().copied());
-        }
-        fired
     }
 }
 
@@ -482,7 +554,7 @@ impl Matcher for FastForwardEngine {
             return Err(Error::AlreadyExists(sub.id.to_string()));
         }
         let fid = self.intern_filter(&sub.filter);
-        self.filters[fid]
+        self.table.filters[fid]
             .as_mut()
             .expect("interned filter is live")
             .subs
@@ -505,7 +577,7 @@ impl Matcher for FastForwardEngine {
             .ok_or_else(|| Error::NotFound(id.to_string()))?;
         let fid = rec.filter_id;
         let empty = {
-            let entry = self.filters[fid]
+            let entry = self.table.filters[fid]
                 .as_mut()
                 .expect("subscribed filter is live");
             entry.subs.retain(|&(s, _)| s != id);
@@ -518,39 +590,24 @@ impl Matcher for FastForwardEngine {
     }
 
     fn matching_subscriptions(&mut self, event: &Event) -> Vec<SubscriptionId> {
-        let fired = self.matching_filters(event);
-        let mut out: Vec<SubscriptionId> = fired
-            .into_iter()
-            .flat_map(|fid| {
-                self.filters[fid]
-                    .as_ref()
-                    .expect("fired filter is live")
-                    .subs
-                    .iter()
-                    .map(|&(s, _)| s)
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
+        self.table.matching_filters_into(event, &mut self.scratch);
+        let mut out = Vec::new();
+        self.table.subscriptions_into(&self.scratch.fired, &mut out);
         out
     }
 
     fn matching_subscribers(&mut self, event: &Event) -> Vec<ServiceId> {
-        let fired = self.matching_filters(event);
-        let mut out: Vec<ServiceId> = fired
-            .into_iter()
-            .flat_map(|fid| {
-                self.filters[fid]
-                    .as_ref()
-                    .expect("fired filter is live")
-                    .subs
-                    .iter()
-                    .map(|&(_, svc)| svc)
-            })
-            .collect();
-        out.sort_unstable();
-        out.dedup();
+        self.table.matching_filters_into(event, &mut self.scratch);
+        let mut out = Vec::new();
+        self.table.subscribers_into(&self.scratch.fired, &mut out);
         out
+    }
+
+    fn snapshot(&self) -> Arc<dyn RouteSnapshot> {
+        Arc::new(FfSnapshot {
+            table: self.table.clone(),
+            subs: self.subs.len(),
+        })
     }
 
     fn len(&self) -> usize {
@@ -775,9 +832,9 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.constraint_lookup.len(), 0);
         // Slots get reused rather than leaking.
-        let before = m.records.len();
+        let before = m.table.records.len();
         m.subscribe(sub(99, 1, Filter::any().with(("x", Op::Gt, 1i64))))
             .unwrap();
-        assert_eq!(m.records.len(), before);
+        assert_eq!(m.table.records.len(), before);
     }
 }

@@ -40,7 +40,7 @@ pub mod naive;
 pub mod siena;
 
 pub use covering::{any_interest, minimal_cover, overlaps};
-pub use engine::{EngineKind, Matcher};
+pub use engine::{EngineKind, MatchScratch, Matcher, RouteSnapshot};
 pub use fastforward::FastForwardEngine;
 pub use naive::NaiveEngine;
 pub use siena::SienaEngine;

@@ -1,8 +1,10 @@
 //! Linear-scan engine: the correctness oracle.
 
+use std::sync::Arc;
+
 use smc_types::{Error, Event, Result, ServiceId, Subscription, SubscriptionId};
 
-use crate::engine::Matcher;
+use crate::engine::{MatchScratch, Matcher, RouteSnapshot};
 
 /// The simplest possible engine: every match evaluates every filter.
 ///
@@ -63,6 +65,41 @@ impl Matcher for NaiveEngine {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    fn snapshot(&self) -> Arc<dyn RouteSnapshot> {
+        Arc::new(NaiveSnapshot {
+            subs: self.subs.clone(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.subs.len()
+    }
+}
+
+/// A frozen copy of the subscription list (see [`Matcher::snapshot`]).
+#[derive(Debug)]
+struct NaiveSnapshot {
+    subs: Vec<Subscription>,
+}
+
+impl RouteSnapshot for NaiveSnapshot {
+    fn matching_subscribers_into(
+        &self,
+        event: &Event,
+        _scratch: &mut MatchScratch,
+        out: &mut Vec<ServiceId>,
+    ) {
+        out.clear();
+        out.extend(
+            self.subs
+                .iter()
+                .filter(|s| s.filter.matches(event))
+                .map(|s| s.subscriber),
+        );
+        out.sort_unstable();
+        out.dedup();
     }
 
     fn len(&self) -> usize {

@@ -17,13 +17,14 @@
 //! attributes.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use smc_types::codec::{from_bytes, to_bytes};
 use smc_types::{
     AttributeValue, Constraint, Error, Event, Op, Result, ServiceId, Subscription, SubscriptionId,
 };
 
-use crate::engine::Matcher;
+use crate::engine::{MatchScratch, Matcher, RouteSnapshot};
 
 /// Reserved attribute name carrying the event type inside a notification.
 ///
@@ -102,7 +103,7 @@ impl SienaFilter {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Entry {
     subscriber: ServiceId,
     filter: SienaFilter,
@@ -229,6 +230,57 @@ impl Matcher for SienaEngine {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    fn snapshot(&self) -> Arc<dyn RouteSnapshot> {
+        Arc::new(SienaSnapshot {
+            entries: self.entries.clone(),
+            by_type: self.by_type.clone(),
+            untyped: self.untyped.clone(),
+        })
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// A frozen copy of the engine's candidate index and translated filters
+/// (see [`Matcher::snapshot`]).
+///
+/// Matching from a snapshot still pays the full translation round-trip
+/// into notification form — the snapshot changes *where* state lives,
+/// not the engine's deliberately honest cost model.
+#[derive(Debug)]
+struct SienaSnapshot {
+    entries: HashMap<SubscriptionId, Entry>,
+    by_type: HashMap<String, Vec<SubscriptionId>>,
+    untyped: Vec<SubscriptionId>,
+}
+
+impl RouteSnapshot for SienaSnapshot {
+    fn matching_subscribers_into(
+        &self,
+        event: &Event,
+        _scratch: &mut MatchScratch,
+        out: &mut Vec<ServiceId>,
+    ) {
+        let notification = SienaNotification::from_event(event);
+        out.clear();
+        let candidates = self
+            .by_type
+            .get(event.event_type())
+            .into_iter()
+            .flatten()
+            .chain(self.untyped.iter());
+        out.extend(candidates.filter_map(|id| {
+            self.entries
+                .get(id)
+                .filter(|e| e.filter.matches(&notification))
+                .map(|e| e.subscriber)
+        }));
+        out.sort_unstable();
+        out.dedup();
     }
 
     fn len(&self) -> usize {

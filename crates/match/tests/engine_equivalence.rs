@@ -108,6 +108,52 @@ proptest! {
         }
     }
 
+    /// Every engine's frozen snapshot answers exactly like the live
+    /// engine, and stays pinned to the subscription set it was taken
+    /// from even after the engine mutates.
+    #[test]
+    fn snapshots_agree_with_engines(
+        filters in proptest::collection::vec(arb_filter(), 1..10),
+        events in proptest::collection::vec(arb_event(), 1..8),
+    ) {
+        use smc_match::MatchScratch;
+        let mut scratch = MatchScratch::new();
+        let mut out = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut engine = kind.build();
+            for (i, f) in filters.iter().enumerate() {
+                engine.subscribe(Subscription::new(
+                    SubscriptionId(i as u64),
+                    ServiceId::from_raw(100 + (i % 3) as u64),
+                    f.clone(),
+                )).unwrap();
+            }
+            let snap = engine.snapshot();
+            prop_assert_eq!(snap.len(), engine.len());
+            for ev in &events {
+                let live = engine.matching_subscribers(ev);
+                snap.matching_subscribers_into(ev, &mut scratch, &mut out);
+                prop_assert_eq!(&out, &live,
+                    "{} snapshot disagrees with engine on {}", engine.name(), ev);
+            }
+            // Mutating the engine must not leak into the taken snapshot.
+            engine.unsubscribe(SubscriptionId(0)).unwrap();
+            for ev in &events {
+                snap.matching_subscribers_into(ev, &mut scratch, &mut out);
+                let mut stale = kind.build();
+                for (i, f) in filters.iter().enumerate() {
+                    stale.subscribe(Subscription::new(
+                        SubscriptionId(i as u64),
+                        ServiceId::from_raw(100 + (i % 3) as u64),
+                        f.clone(),
+                    )).unwrap();
+                }
+                prop_assert_eq!(&out, &stale.matching_subscribers(ev),
+                    "{} snapshot changed after engine mutation", kind);
+            }
+        }
+    }
+
     /// Engines agree after an arbitrary unsubscription interleaving.
     #[test]
     fn engines_agree_after_unsubscribes(

@@ -38,6 +38,16 @@ pub enum Frame {
         /// Echo of the fragment index.
         frag_index: u16,
     },
+    /// Acknowledges several fragments in one frame — the coalesced form
+    /// a receiver emits when a batch of deliveries (or a multi-fragment
+    /// message) becomes ack-able at once. Semantically identical to the
+    /// same sequence of [`Frame::Ack`]s.
+    AckBatch {
+        /// Echo of the sender's epoch (one batch never mixes epochs).
+        epoch: u64,
+        /// `(seq, frag_index)` pairs being acknowledged.
+        acks: Vec<(u64, u16)>,
+    },
     /// Fire-and-forget payload with no reliability state.
     Unreliable {
         /// The raw bytes.
@@ -47,6 +57,7 @@ pub enum Frame {
 
 const F_DATA: u8 = 0xD1;
 const F_ACK: u8 = 0xA1;
+const F_ACK_BATCH: u8 = 0xA2;
 const F_UNRELIABLE: u8 = 0x01;
 
 impl Encode for Frame {
@@ -75,6 +86,15 @@ impl Encode for Frame {
                 buf.put_u64_le(*epoch);
                 buf.put_u64_le(*seq);
                 buf.put_u16_le(*frag_index);
+            }
+            Frame::AckBatch { epoch, acks } => {
+                buf.put_u8(F_ACK_BATCH);
+                buf.put_u64_le(*epoch);
+                buf.put_u16_le(acks.len() as u16);
+                for &(seq, frag_index) in acks {
+                    buf.put_u64_le(seq);
+                    buf.put_u16_le(frag_index);
+                }
             }
             Frame::Unreliable { payload } => {
                 buf.put_u8(F_UNRELIABLE);
@@ -112,6 +132,15 @@ impl Decode for Frame {
                 seq: r.u64()?,
                 frag_index: r.u16()?,
             }),
+            F_ACK_BATCH => {
+                let epoch = r.u64()?;
+                let count = r.collection_len()?;
+                let mut acks = Vec::with_capacity(count);
+                for _ in 0..count {
+                    acks.push((r.u64()?, r.u16()?));
+                }
+                Ok(Frame::AckBatch { epoch, acks })
+            }
             F_UNRELIABLE => Ok(Frame::Unreliable {
                 payload: r.bytes()?,
             }),
@@ -145,6 +174,48 @@ pub fn fragment(payload: &[u8], max_fragment: usize) -> Vec<Vec<u8>> {
     payload.chunks(max_fragment).map(<[u8]>::to_vec).collect()
 }
 
+/// Computes the `start..end` byte ranges [`fragment`] would copy, without
+/// copying anything. The reliability layer keeps one shared payload buffer
+/// and slices it per fragment at transmit time.
+///
+/// # Panics
+///
+/// Same contract as [`fragment`].
+pub fn fragment_ranges(len: usize, max_fragment: usize) -> Vec<(usize, usize)> {
+    assert!(max_fragment > 0, "max_fragment must be positive");
+    if len == 0 {
+        return vec![(0, 0)];
+    }
+    let count = len.div_ceil(max_fragment);
+    assert!(
+        count <= u16::MAX as usize,
+        "payload needs too many fragments"
+    );
+    (0..count)
+        .map(|i| (i * max_fragment, ((i + 1) * max_fragment).min(len)))
+        .collect()
+}
+
+/// Encodes a [`Frame::Data`] straight from a borrowed fragment slice,
+/// byte-identical to `to_bytes(&Frame::Data { .. })` but without first
+/// materialising the fragment as an owned `Vec<u8>`.
+pub fn encode_data_frame(
+    epoch: u64,
+    seq: u64,
+    frag_index: u16,
+    frag_count: u16,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.put_u8(F_DATA);
+    buf.put_u64_le(epoch);
+    buf.put_u64_le(seq);
+    buf.put_u16_le(frag_index);
+    buf.put_u16_le(frag_count);
+    buf.put_bytes_field(payload);
+    buf.to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,12 +236,48 @@ mod tests {
                 seq: 2,
                 frag_index: 1,
             },
+            Frame::AckBatch {
+                epoch: 7,
+                acks: vec![(3, 0), (4, 0), (4, 1)],
+            },
+            Frame::AckBatch {
+                epoch: 7,
+                acks: vec![],
+            },
             Frame::Unreliable {
                 payload: vec![1, 2, 3],
             },
         ] {
             let bytes = to_bytes(&f);
             assert_eq!(from_bytes::<Frame>(&bytes).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn encode_data_frame_matches_frame_encoding() {
+        for payload in [vec![], vec![0xAB; 37]] {
+            let direct = encode_data_frame(9, 12, 1, 4, &payload);
+            let via_frame = to_bytes(&Frame::Data {
+                epoch: 9,
+                seq: 12,
+                frag_index: 1,
+                frag_count: 4,
+                payload: payload.clone(),
+            });
+            assert_eq!(direct, via_frame);
+        }
+    }
+
+    #[test]
+    fn fragment_ranges_mirror_fragment() {
+        for (len, max) in [(0usize, 10usize), (3, 10), (25, 10), (30, 10), (1, 1)] {
+            let payload: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let frags = fragment(&payload, max);
+            let ranges = fragment_ranges(len, max);
+            assert_eq!(frags.len(), ranges.len());
+            for (frag, &(s, e)) in frags.iter().zip(&ranges) {
+                assert_eq!(&payload[s..e], &frag[..]);
+            }
         }
     }
 

@@ -26,10 +26,10 @@ use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender}
 use parking_lot::Mutex;
 
 use smc_telemetry::{Hop, Tracer};
-use smc_types::codec::{from_bytes, to_bytes};
-use smc_types::{system_clock, Error, Result, ServiceId, SharedClock, TraceId};
+use smc_types::codec::{from_bytes, to_bytes, MAX_COLLECTION_LEN};
+use smc_types::{system_clock, Error, Result, ServiceId, SharedClock, SnapshotCell, TraceId};
 
-use crate::frame::{fragment, Frame, FRAME_HEADER_LEN};
+use crate::frame::{encode_data_frame, fragment_ranges, Frame, FRAME_HEADER_LEN};
 use crate::transport::Transport;
 
 /// Retransmission and flow-control parameters.
@@ -262,7 +262,13 @@ impl Receipt {
 
 #[derive(Debug)]
 struct OutMessage {
-    fragments: Vec<Vec<u8>>,
+    /// The whole message, shared with whoever produced it (the bus
+    /// fan-out keeps one encoded buffer per publish; enqueueing here
+    /// costs a reference count, not a copy).
+    payload: Arc<[u8]>,
+    /// `start..end` byte ranges of each fragment within `payload`;
+    /// fragments are sliced out at (re)transmit time.
+    frags: Vec<(usize, usize)>,
     acked: Vec<bool>,
     unacked: usize,
     receipt: Option<Sender<Result<()>>>,
@@ -276,7 +282,7 @@ struct OutMessage {
 
 /// A queued message, the optional receipt to resolve on ack, and the
 /// payload's causal trace.
-type QueuedMessage = (Vec<u8>, Option<Sender<Result<()>>>, TraceId);
+type QueuedMessage = (Arc<[u8]>, Option<Sender<Result<()>>>, TraceId);
 
 #[derive(Debug, Default)]
 struct PeerOut {
@@ -323,7 +329,9 @@ struct Shared {
     clock: SharedClock,
     journal: Option<Arc<dyn ChannelJournal>>,
     /// Hop recorder for traced payloads; disabled (free) by default.
-    tracer: Mutex<Tracer>,
+    /// A copy-on-write snapshot so the send and receive paths read it
+    /// with one atomic load instead of a lock acquisition.
+    tracer: SnapshotCell<Tracer>,
 }
 
 /// Reliable messaging endpoint over any [`Transport`].
@@ -474,7 +482,7 @@ impl ReliableChannel {
             config,
             clock,
             journal,
-            tracer: Mutex::new(Tracer::disabled()),
+            tracer: SnapshotCell::new(Arc::new(Tracer::disabled())),
         });
         let (inbox_tx, inbox_rx) = unbounded();
         let worker = RxWorker {
@@ -550,16 +558,21 @@ impl ReliableChannel {
     /// retransmit, ack and expiry events of traced messages are recorded
     /// against their [`TraceId`].
     pub fn set_tracer(&self, tracer: Tracer) {
-        *self.shared.tracer.lock() = tracer;
+        self.shared.tracer.store(Arc::new(tracer));
     }
 
     /// The currently installed hop tracer (disabled unless
     /// [`ReliableChannel::set_tracer`] was called).
     pub fn tracer(&self) -> Tracer {
-        self.shared.tracer.lock().clone()
+        (*self.shared.tracer.load()).clone()
     }
 
     /// Queues `payload` for exactly-once, in-order delivery to `to`.
+    ///
+    /// The payload may be anything convertible into a shared `Arc<[u8]>`
+    /// buffer — a `Vec<u8>` works as before, and an already-shared buffer
+    /// (e.g. the bus's one-per-publish encoded frame) is enqueued without
+    /// copying.
     ///
     /// Returns a [`Receipt`] resolving when the peer acknowledged every
     /// fragment.
@@ -567,8 +580,8 @@ impl ReliableChannel {
     /// # Errors
     ///
     /// [`Error::Closed`] if the channel is shut down.
-    pub fn send(&self, to: ServiceId, payload: Vec<u8>) -> Result<Receipt> {
-        self.send_inner(to, payload, None, TraceId::NONE)
+    pub fn send(&self, to: ServiceId, payload: impl Into<Arc<[u8]>>) -> Result<Receipt> {
+        self.send_inner(to, payload.into(), None, TraceId::NONE)
     }
 
     /// Like [`ReliableChannel::send`], with the payload's causal trace:
@@ -578,8 +591,63 @@ impl ReliableChannel {
     /// # Errors
     ///
     /// [`Error::Closed`] if the channel is shut down.
-    pub fn send_traced(&self, to: ServiceId, payload: Vec<u8>, trace: TraceId) -> Result<Receipt> {
-        self.send_inner(to, payload, None, trace)
+    pub fn send_traced(
+        &self,
+        to: ServiceId,
+        payload: impl Into<Arc<[u8]>>,
+        trace: TraceId,
+    ) -> Result<Receipt> {
+        self.send_inner(to, payload.into(), None, trace)
+    }
+
+    /// Queues a batch of already-shared payloads for `to` under **one**
+    /// out-lock acquisition and one window pump — the bus fan-out path
+    /// for a proxy that receives several events in a burst.
+    ///
+    /// Receipts come back in batch order. On a journal error the
+    /// messages enqueued before the failing one stay queued (they are
+    /// journalled); the failing one and everything after it are not
+    /// enqueued.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Closed`] if the channel is shut down; journal errors as
+    /// described above.
+    pub fn send_shared_batch(
+        &self,
+        to: ServiceId,
+        batch: Vec<(Arc<[u8]>, TraceId)>,
+    ) -> Result<Vec<Receipt>> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(Error::Closed);
+        }
+        let count = batch.len() as u64;
+        let mut receipts = Vec::with_capacity(batch.len());
+        let mut out = self.shared.out.lock();
+        let peer = out.entry(to).or_default();
+        let tracer = self.shared.tracer.load();
+        for (payload, trace) in batch {
+            if let Some(journal) = &self.shared.journal {
+                let seq = peer.next_seq + peer.queued.len() as u64 + 1;
+                journal.on_enqueue(to, seq, &payload)?;
+                tracer.record(trace, Hop::WalAppended);
+            }
+            let (tx, rx) = bounded(1);
+            peer.queued.push_back((payload, Some(tx), trace));
+            receipts.push(Receipt { rx });
+        }
+        self.shared.stats.lock().msgs_sent += count;
+        let now = self.shared.clock.now_micros();
+        pump(
+            &self.transport,
+            self.shared.epoch,
+            &self.shared.config,
+            now,
+            to,
+            peer,
+            &tracer,
+        );
+        Ok(receipts)
     }
 
     /// The crash-recovery variant of [`ReliableChannel::send`]: queues a
@@ -598,13 +666,13 @@ impl ReliableChannel {
         payload: Vec<u8>,
         prior_seq: u64,
     ) -> Result<Receipt> {
-        self.send_inner(to, payload, Some(prior_seq), TraceId::NONE)
+        self.send_inner(to, payload.into(), Some(prior_seq), TraceId::NONE)
     }
 
     fn send_inner(
         &self,
         to: ServiceId,
-        payload: Vec<u8>,
+        payload: Arc<[u8]>,
         requeued_from: Option<u64>,
         trace: TraceId,
     ) -> Result<Receipt> {
@@ -626,12 +694,12 @@ impl ReliableChannel {
                     Some(prior_seq) => journal.on_requeue(to, prior_seq, seq)?,
                     None => journal.on_enqueue(to, seq, &payload)?,
                 }
-                self.shared.tracer.lock().record(trace, Hop::WalAppended);
+                self.shared.tracer.load().record(trace, Hop::WalAppended);
             }
             peer.queued.push_back((payload, Some(tx), trace));
             self.shared.stats.lock().msgs_sent += 1;
             let now = self.shared.clock.now_micros();
-            let tracer = self.shared.tracer.lock().clone();
+            let tracer = self.shared.tracer.load();
             pump(
                 &self.transport,
                 self.shared.epoch,
@@ -651,7 +719,12 @@ impl ReliableChannel {
     ///
     /// [`Error::Timeout`] if not acknowledged within `timeout`;
     /// [`Error::Closed`] if the channel shut down.
-    pub fn send_blocking(&self, to: ServiceId, payload: Vec<u8>, timeout: Duration) -> Result<()> {
+    pub fn send_blocking(
+        &self,
+        to: ServiceId,
+        payload: impl Into<Arc<[u8]>>,
+        timeout: Duration,
+    ) -> Result<()> {
         self.send(to, payload)?.wait(timeout)
     }
 
@@ -732,7 +805,7 @@ impl ReliableChannel {
                     let _ = journal.on_forget(peer);
                 }
             }
-            let tracer = self.shared.tracer.lock().clone();
+            let tracer = self.shared.tracer.load();
             for (_, msg) in peer_out.inflight {
                 tracer.record(
                     msg.trace,
@@ -841,12 +914,12 @@ impl ReliableChannel {
             let mut msgs: Vec<(u64, Vec<u8>)> = peer
                 .inflight
                 .iter()
-                .map(|(&seq, m)| (seq, m.fragments.concat()))
+                .map(|(&seq, m)| (seq, m.payload.to_vec()))
                 .collect();
             let mut seq = peer.next_seq;
             for (payload, _, _) in &peer.queued {
                 seq += 1;
-                msgs.push((seq, payload.clone()));
+                msgs.push((seq, payload.to_vec()));
             }
             if !msgs.is_empty() {
                 pending.push((id, msgs));
@@ -903,29 +976,26 @@ fn pump(
         };
         let seq = peer.next_seq + 1;
         peer.next_seq = seq;
-        let fragments = fragment(&payload, max_frag);
-        let n = fragments.len();
+        let frags = fragment_ranges(payload.len(), max_frag);
+        let n = frags.len();
+        tracer.record(trace, Hop::TxSent);
+        for (i, &(start, end)) in frags.iter().enumerate() {
+            // Fragments are sliced out of the shared payload and encoded
+            // straight into the wire buffer — no owned per-fragment copy.
+            let frame = encode_data_frame(epoch, seq, i as u16, n as u16, &payload[start..end]);
+            let _ = transport.send(to, &frame);
+        }
         let msg = OutMessage {
             acked: vec![false; n],
             unacked: n,
-            fragments,
+            payload,
+            frags,
             receipt,
             last_tx: now,
             rto: config.initial_rto,
             retries: 0,
             trace,
         };
-        tracer.record(trace, Hop::TxSent);
-        for (i, frag) in msg.fragments.iter().enumerate() {
-            let frame = Frame::Data {
-                epoch,
-                seq,
-                frag_index: i as u16,
-                frag_count: n as u16,
-                payload: frag.clone(),
-            };
-            let _ = transport.send(to, &to_bytes(&frame));
-        }
         peer.inflight.insert(seq, msg);
     }
 }
@@ -981,50 +1051,10 @@ impl RxWorker {
                 seq,
                 frag_index,
             } => {
-                if epoch != self.shared.epoch {
-                    return;
-                }
-                let mut out = self.shared.out.lock();
-                let Some(peer) = out.get_mut(&from) else {
-                    return;
-                };
-                let mut done = false;
-                if let Some(msg) = peer.inflight.get_mut(&seq) {
-                    let i = frag_index as usize;
-                    if i < msg.acked.len() && !msg.acked[i] {
-                        msg.acked[i] = true;
-                        msg.unacked -= 1;
-                        done = msg.unacked == 0;
-                    }
-                }
-                if done {
-                    let msg = peer
-                        .inflight
-                        .remove(&seq)
-                        .expect("completed message exists");
-                    if let Some(journal) = &self.shared.journal {
-                        let _ = journal.on_acked(from, seq);
-                    }
-                    let tracer = self.shared.tracer.lock().clone();
-                    tracer.record(msg.trace, Hop::RxAcked);
-                    // Count before resolving the receipt so a caller woken
-                    // by `send_blocking` observes the updated stats.
-                    self.shared.stats.lock().msgs_acked += 1;
-                    if let Some(tx) = msg.receipt {
-                        let _ = tx.send(Ok(()));
-                    }
-                    // Window slot freed: promote queued messages.
-                    let now = self.shared.clock.now_micros();
-                    pump(
-                        &self.transport,
-                        self.shared.epoch,
-                        &self.shared.config,
-                        now,
-                        from,
-                        peer,
-                        &tracer,
-                    );
-                }
+                self.handle_acks(from, epoch, &[(seq, frag_index)]);
+            }
+            Frame::AckBatch { epoch, acks } => {
+                self.handle_acks(from, epoch, &acks);
             }
             Frame::Data {
                 epoch,
@@ -1035,6 +1065,63 @@ impl RxWorker {
             } => {
                 self.handle_data(from, epoch, seq, frag_index, frag_count, payload);
             }
+        }
+    }
+
+    /// Applies a run of `(seq, frag_index)` acknowledgements from `from`
+    /// under a single out-lock acquisition — shared by [`Frame::Ack`]
+    /// (one pair) and [`Frame::AckBatch`] (the coalesced form).
+    fn handle_acks(&mut self, from: ServiceId, epoch: u64, acks: &[(u64, u16)]) {
+        if epoch != self.shared.epoch {
+            return;
+        }
+        let mut out = self.shared.out.lock();
+        let Some(peer) = out.get_mut(&from) else {
+            return;
+        };
+        let mut completed = false;
+        for &(seq, frag_index) in acks {
+            let mut done = false;
+            if let Some(msg) = peer.inflight.get_mut(&seq) {
+                let i = frag_index as usize;
+                if i < msg.acked.len() && !msg.acked[i] {
+                    msg.acked[i] = true;
+                    msg.unacked -= 1;
+                    done = msg.unacked == 0;
+                }
+            }
+            if done {
+                let msg = peer
+                    .inflight
+                    .remove(&seq)
+                    .expect("completed message exists");
+                if let Some(journal) = &self.shared.journal {
+                    let _ = journal.on_acked(from, seq);
+                }
+                self.shared.tracer.load().record(msg.trace, Hop::RxAcked);
+                // Count before resolving the receipt so a caller woken
+                // by `send_blocking` observes the updated stats.
+                self.shared.stats.lock().msgs_acked += 1;
+                if let Some(tx) = msg.receipt {
+                    let _ = tx.send(Ok(()));
+                }
+                completed = true;
+            }
+        }
+        if completed {
+            // Window slots freed: promote queued messages, once for the
+            // whole batch.
+            let now = self.shared.clock.now_micros();
+            let tracer = self.shared.tracer.load();
+            pump(
+                &self.transport,
+                self.shared.epoch,
+                &self.shared.config,
+                now,
+                from,
+                peer,
+                &tracer,
+            );
         }
     }
 
@@ -1201,6 +1288,10 @@ impl RxWorker {
     /// without its effect) until the application calls
     /// [`ReliableChannel::consumed`].
     fn drain_in_order(&self, from: ServiceId, peer: &mut PeerIn) {
+        // Journalled receivers ack at delivery time; the acks for the
+        // whole drained run are coalesced into batch frames instead of
+        // one datagram per fragment.
+        let mut acks: Vec<(u64, u16)> = Vec::new();
         loop {
             let seq = peer.expected;
             let Some((msg, _)) = peer.ready.get(&seq) else {
@@ -1222,14 +1313,7 @@ impl RxWorker {
                     .push((from, peer.epoch, seq, msg.clone()));
             }
             if self.shared.journal.is_some() {
-                for i in 0..frag_count {
-                    let ack = Frame::Ack {
-                        epoch: peer.epoch,
-                        seq,
-                        frag_index: i,
-                    };
-                    let _ = self.transport.send(from, &to_bytes(&ack));
-                }
+                acks.extend((0..frag_count).map(|i| (seq, i)));
             }
             self.shared.stats.lock().msgs_delivered += 1;
             let _ = self.inbox.send(Incoming::Reliable {
@@ -1238,12 +1322,45 @@ impl RxWorker {
                 payload: msg,
             });
         }
+        // Flush even when the loop broke on a journal error: everything
+        // collected so far was durably recorded before delivery.
+        self.flush_acks(from, peer.epoch, &acks);
+    }
+
+    /// Sends a run of acknowledgements to `to`, coalescing two or more
+    /// into [`Frame::AckBatch`] frames. Batches are chunked to respect
+    /// both the codec's collection cap and the transport datagram size.
+    fn flush_acks(&self, to: ServiceId, epoch: u64, acks: &[(u64, u16)]) {
+        match acks {
+            [] => {}
+            &[(seq, frag_index)] => {
+                let ack = Frame::Ack {
+                    epoch,
+                    seq,
+                    frag_index,
+                };
+                let _ = self.transport.send(to, &to_bytes(&ack));
+            }
+            _ => {
+                // Per-entry cost on the wire is 8 (seq) + 2 (frag_index)
+                // bytes after a tag + epoch + count header of 11.
+                let per_datagram = self.transport.max_datagram().saturating_sub(11) / 10;
+                let chunk = per_datagram.clamp(1, MAX_COLLECTION_LEN);
+                for chunk in acks.chunks(chunk) {
+                    let frame = Frame::AckBatch {
+                        epoch,
+                        acks: chunk.to_vec(),
+                    };
+                    let _ = self.transport.send(to, &to_bytes(&frame));
+                }
+            }
+        }
     }
 
     fn retransmit_due(&mut self) {
         let now = self.shared.clock.now_micros();
         let config = self.shared.config.clone();
-        let tracer = self.shared.tracer.lock().clone();
+        let tracer = self.shared.tracer.load();
         let mut out = self.shared.out.lock();
         // Sorted peer order: every (re)transmission consumes draws from
         // the simulated network's seeded rng, so iteration order must not
@@ -1270,20 +1387,20 @@ impl RxWorker {
                 msg.rto = (msg.rto * config.backoff).min(config.max_rto);
                 // One hop per retransmission round, not per fragment.
                 tracer.record(msg.trace, Hop::TxRetransmit);
-                let n = msg.fragments.len() as u16;
-                for (i, frag) in msg.fragments.iter().enumerate() {
+                let n = msg.frags.len() as u16;
+                for (i, &(start, end)) in msg.frags.iter().enumerate() {
                     if msg.acked[i] {
                         continue;
                     }
                     self.shared.stats.lock().retransmits += 1;
-                    let frame = Frame::Data {
-                        epoch: self.shared.epoch,
+                    let frame = encode_data_frame(
+                        self.shared.epoch,
                         seq,
-                        frag_index: i as u16,
-                        frag_count: n,
-                        payload: frag.clone(),
-                    };
-                    let _ = self.transport.send(peer_id, &to_bytes(&frame));
+                        i as u16,
+                        n,
+                        &msg.payload[start..end],
+                    );
+                    let _ = self.transport.send(peer_id, &frame);
                 }
             }
             for seq in expired {

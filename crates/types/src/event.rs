@@ -1,9 +1,140 @@
 //! Events: the unit of communication on the SMC event bus.
 
 use std::fmt;
+use std::sync::Arc;
 
 use crate::id::{EventId, ServiceId};
 use crate::value::AttributeValue;
+
+/// An immutable, reference-counted bulk payload.
+///
+/// Cloning a `Payload` — and therefore cloning an [`Event`] — shares the
+/// underlying buffer instead of copying it. This is what makes fan-out to
+/// N subscribers allocation-free: every delivered copy of an event points
+/// at the same bytes. Use [`Payload::ptr_eq`] to assert sharing in tests.
+///
+/// ```
+/// use smc_types::event::Payload;
+///
+/// let p = Payload::from(vec![1u8, 2, 3]);
+/// let q = p.clone();
+/// assert!(p.ptr_eq(&q));
+/// assert_eq!(q.as_slice(), &[1, 2, 3]);
+/// ```
+#[derive(Clone)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// The shared empty payload. Cloning it never allocates.
+    pub fn empty() -> Self {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
+        Payload(Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))))
+    }
+
+    /// The payload bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The shared buffer itself; cloning the returned `Arc` is refcount-only.
+    pub fn as_arc(&self) -> &Arc<[u8]> {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `true` if `self` and `other` share the same buffer (not
+    /// merely equal contents).
+    pub fn ptr_eq(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::empty()
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        // Content equality; shared-buffer clones short-circuit.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Payload {}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({}B)", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Self {
+        if v.is_empty() {
+            Payload::empty()
+        } else {
+            Payload(Arc::from(v))
+        }
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Self {
+        if v.is_empty() {
+            Payload::empty()
+        } else {
+            Payload(Arc::from(v))
+        }
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Self {
+        Payload::from(&v[..])
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Payload {
+    fn from(v: &[u8; N]) -> Self {
+        Payload::from(&v[..])
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(v: Arc<[u8]>) -> Self {
+        Payload(v)
+    }
+}
+
+impl From<Payload> for Arc<[u8]> {
+    fn from(p: Payload) -> Self {
+        p.0
+    }
+}
 
 /// An ordered, name-unique set of attributes.
 ///
@@ -122,7 +253,7 @@ pub struct Event {
     publisher: ServiceId,
     seq: u64,
     timestamp_micros: u64,
-    payload: Vec<u8>,
+    payload: Payload,
 }
 
 impl Event {
@@ -178,6 +309,12 @@ impl Event {
 
     /// The opaque bulk payload (possibly empty).
     pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The shared payload handle. Cloning it (or the whole event) shares
+    /// the underlying buffer — see [`Payload`].
+    pub fn payload_shared(&self) -> &Payload {
         &self.payload
     }
 
@@ -264,8 +401,9 @@ impl EventBuilder {
         self
     }
 
-    /// Attaches an opaque bulk payload.
-    pub fn payload(mut self, payload: impl Into<Vec<u8>>) -> Self {
+    /// Attaches an opaque bulk payload. Accepts `Vec<u8>`, `&[u8]`,
+    /// byte arrays, or an already-shared [`Payload`]/`Arc<[u8]>`.
+    pub fn payload(mut self, payload: impl Into<Payload>) -> Self {
         self.event.payload = payload.into();
         self
     }
@@ -352,6 +490,32 @@ mod tests {
             .payload(vec![0u8; 10]) // 10
             .build();
         assert_eq!(e.content_len(), 2 + 2 + 3 + 1 + 8 + 10);
+    }
+
+    #[test]
+    fn cloned_event_shares_payload_buffer() {
+        let e = Event::builder("t").payload(vec![9u8; 64]).build();
+        let copies: Vec<Event> = (0..8).map(|_| e.clone()).collect();
+        for c in &copies {
+            assert!(
+                c.payload_shared().ptr_eq(e.payload_shared()),
+                "clone must share, not copy, the payload buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_payloads_share_one_static_buffer() {
+        let a = Event::new("a");
+        let b = Event::new("b");
+        assert!(a.payload_shared().ptr_eq(b.payload_shared()));
+        assert!(Payload::empty().ptr_eq(&Payload::from(Vec::new())));
+    }
+
+    #[test]
+    fn payload_equality_is_by_content() {
+        assert_eq!(Payload::from(vec![1, 2]), Payload::from(vec![1, 2]));
+        assert_ne!(Payload::from(vec![1, 2]), Payload::from(vec![1, 3]));
     }
 
     #[test]

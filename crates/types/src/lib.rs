@@ -42,13 +42,14 @@ pub mod filter_text;
 pub mod id;
 pub mod member;
 pub mod packet;
+pub mod snap;
 pub mod trace;
 pub mod value;
 pub mod wal;
 
 pub use clock::{system_clock, Clock, ManualClock, SharedClock, SystemClock};
 pub use error::{CodecError, Error, Result};
-pub use event::{AttributeSet, Event, EventBuilder};
+pub use event::{AttributeSet, Event, EventBuilder, Payload};
 pub use filter::{Constraint, Filter, Op, Subscription};
 pub use filter_text::parse_filter;
 pub use id::{CellId, EventId, ServiceId, SubscriptionId};
@@ -56,7 +57,8 @@ pub use member::{
     device_type_of, member_id_of, new_member_event, purge_member_event, wellknown, PurgeReason,
     ServiceInfo,
 };
-pub use packet::Packet;
+pub use packet::{encode_deliver, Packet};
+pub use snap::SnapshotCell;
 pub use trace::TraceId;
 pub use value::AttributeValue;
 pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, PendingRx, RetainedOutbound, WalRecord};

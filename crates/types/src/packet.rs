@@ -453,6 +453,24 @@ impl Decode for Packet {
     }
 }
 
+/// Encodes a [`Packet::Deliver`] frame straight from a borrowed event —
+/// byte-identical to `to_bytes(&Packet::Deliver { event, trace })` but
+/// without cloning the event into a packet first.
+///
+/// This is the fan-out hot path: the bus encodes one delivery frame per
+/// publish and shares it across every remote subscriber, so the per-
+/// subscriber cost is a reference-count bump instead of an event clone
+/// plus a fresh encode.
+pub fn encode_deliver(event: &Event, trace: TraceId) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    buf.put_u8(P_DELIVER);
+    event.encode(&mut buf);
+    if trace.is_some() {
+        buf.put_u64_le(trace.raw());
+    }
+    buf.to_vec()
+}
+
 /// Reads the trailing optional trace id: old (pre-trace) frames end at the
 /// event, new frames append exactly 8 more bytes.
 fn decode_trailing_trace(r: &mut Reader<'_>) -> Result<TraceId, CodecError> {
@@ -481,6 +499,26 @@ mod tests {
             .publisher(ServiceId::from_raw(9))
             .seq(4)
             .build()
+    }
+
+    /// `encode_deliver` must stay byte-identical to the packet encoder —
+    /// remote subscribers decode it as an ordinary `Packet::Deliver`.
+    #[test]
+    fn encode_deliver_matches_packet_encoding() {
+        let event = Event::builder("t.hot")
+            .attr("a", 1i64)
+            .publisher(ServiceId::from_raw(9))
+            .seq(4)
+            .payload(vec![7u8; 32])
+            .build();
+        for trace in [TraceId::NONE, TraceId::for_event(ServiceId::from_raw(9), 4)] {
+            let direct = encode_deliver(&event, trace);
+            let via_packet = to_bytes(&Packet::Deliver {
+                event: event.clone(),
+                trace,
+            });
+            assert_eq!(direct, via_packet);
+        }
     }
 
     #[test]
