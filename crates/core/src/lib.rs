@@ -89,6 +89,6 @@ pub use metrics::{
 };
 pub use proxy::{DeviceCodec, PassthroughCodec, Proxy, ProxyStats};
 pub use quench::{QuenchChange, QuenchManager};
-pub use smc::{SmcCell, SmcConfig};
+pub use smc::{ReconcileReport, SmcCell, SmcConfig};
 pub use store::{shared_store, AttributeSummary, EventStore};
 pub use typed::{EventMessage, TypedBus};

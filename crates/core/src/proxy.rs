@@ -118,8 +118,10 @@ pub struct Proxy {
     channel: Arc<ReliableChannel>,
     /// Sequence numbers stamped onto uplink events from raw devices.
     next_seq: AtomicU64,
-    /// Subscriptions this proxy registered (its own and on-behalf).
-    subscriptions: Mutex<Vec<SubscriptionId>>,
+    /// Subscriptions this proxy registered (its own and on-behalf),
+    /// with the filter each was registered under — the supervisor's
+    /// reconcile pass re-attaches lost bus routes from these.
+    subscriptions: Mutex<Vec<(SubscriptionId, Filter)>>,
     destroyed: AtomicBool,
     counters: ProxyCounters,
 }
@@ -172,18 +174,24 @@ impl Proxy {
         self.codec.initial_subscriptions()
     }
 
-    /// Records a subscription owned by this proxy.
-    pub fn track_subscription(&self, id: SubscriptionId) {
-        self.subscriptions.lock().push(id);
+    /// Records a subscription owned by this proxy, remembering the
+    /// filter so a lost bus route can be restored verbatim.
+    pub fn track_subscription(&self, id: SubscriptionId, filter: Filter) {
+        self.subscriptions.lock().push((id, filter));
     }
 
     /// Stops tracking a subscription (device-initiated unsubscribe).
     pub fn untrack_subscription(&self, id: SubscriptionId) {
-        self.subscriptions.lock().retain(|&s| s != id);
+        self.subscriptions.lock().retain(|(s, _)| *s != id);
     }
 
     /// The subscriptions currently tracked.
     pub fn tracked_subscriptions(&self) -> Vec<SubscriptionId> {
+        self.subscriptions.lock().iter().map(|(s, _)| *s).collect()
+    }
+
+    /// The tracked subscriptions with their filters (reconcile input).
+    pub fn tracked_subscription_filters(&self) -> Vec<(SubscriptionId, Filter)> {
         self.subscriptions.lock().clone()
     }
 
@@ -232,6 +240,9 @@ impl Proxy {
         }
         self.channel.forget_peer(self.info.id);
         std::mem::take(&mut *self.subscriptions.lock())
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Whether the proxy has been destroyed.
@@ -501,9 +512,13 @@ mod tests {
         net.set_partitioned(cell.local_id(), device.local_id(), true);
         let info = ServiceInfo::new(device.local_id(), "monitor.station");
         let proxy = Proxy::new(info, Box::new(PassthroughCodec), Arc::clone(&cell));
-        proxy.track_subscription(SubscriptionId(3));
-        proxy.track_subscription(SubscriptionId(9));
+        proxy.track_subscription(SubscriptionId(3), Filter::for_type("a"));
+        proxy.track_subscription(SubscriptionId(9), Filter::for_type("b"));
         proxy.untrack_subscription(SubscriptionId(3));
+        assert_eq!(
+            proxy.tracked_subscription_filters(),
+            vec![(SubscriptionId(9), Filter::for_type("b"))]
+        );
         proxy.deliver(&Event::new("x")).unwrap();
         assert_eq!(cell.pending(device.local_id()), 1);
         assert_eq!(

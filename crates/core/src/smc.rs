@@ -46,6 +46,30 @@ use crate::quench::QuenchManager;
 /// an event that triggers a policy that publishes…).
 const MAX_POLICY_DEPTH: u32 = 4;
 
+/// What one [`SmcCell::reconcile`] anti-entropy pass found and did.
+///
+/// An empty report means live state already matched durable truth — the
+/// convergence invariant the supervision tests assert.
+#[derive(Debug, Clone, Default)]
+pub struct ReconcileReport {
+    /// One line per divergence observed (repaired or not).
+    pub divergences: Vec<String>,
+    /// How many of the divergences were repaired.
+    pub repaired: usize,
+}
+
+impl ReconcileReport {
+    /// `true` if the pass found nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        self.divergences.is_empty()
+    }
+
+    fn repair(&mut self, what: String) {
+        self.divergences.push(what);
+        self.repaired += 1;
+    }
+}
+
 /// Cell assembly parameters.
 #[derive(Debug, Clone)]
 pub struct SmcConfig {
@@ -212,7 +236,7 @@ impl SmcCell {
             if let Some(proxy) = cell.proxy(sub.subscriber) {
                 let sink = Arc::clone(&proxy) as Arc<dyn EventSink>;
                 if cell.bus.restore_subscription(sub.clone(), sink).is_ok() {
-                    proxy.track_subscription(sub.id);
+                    proxy.track_subscription(sub.id, sub.filter.clone());
                 }
             }
         }
@@ -414,6 +438,120 @@ impl SmcCell {
         wal.snapshot_with(|| Ok(self.capture_snapshot()))
     }
 
+    /// One anti-entropy pass: diffs live membership and routing state
+    /// against the durable source of truth and repairs divergence, so
+    /// state corrupted outside any crash path still converges.
+    ///
+    /// Repairs, in order:
+    ///
+    /// 1. a durable member missing from the discovery table is silently
+    ///    re-admitted (its lease restarts now; no `Joined` event);
+    /// 2. a durable member missing from the members map is re-inserted
+    ///    and its proxy recreated;
+    /// 3. a live member absent from durable truth (a ghost) is removed:
+    ///    proxy destroyed, bus routes dropped, quench state cleared;
+    /// 4. a proxy-tracked subscription with no bus route is re-attached
+    ///    through the RouteTable control path under its original id and
+    ///    filter;
+    /// 5. a bus route owned by a proxied member but not tracked by its
+    ///    proxy is removed.
+    ///
+    /// Subscribers without proxies (in-process [`SmcCell::subscribe_local`]
+    /// sinks) are never touched: the bus is their only record and it is
+    /// taken as correct. Non-durable cells get checks 4–5 only — there
+    /// is no durable membership truth to diff against.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WAL read failures. Individual repairs that fail are
+    /// recorded in the report and do not abort the pass.
+    pub fn reconcile(&self) -> Result<ReconcileReport> {
+        let mut report = ReconcileReport::default();
+        if let Some(wal) = &self.wal {
+            let truth = wal.recover_state()?;
+            let mut truth_members = truth.members.clone();
+            truth_members.sort_by_key(|m| m.id);
+            let truth_ids: std::collections::HashSet<ServiceId> =
+                truth_members.iter().map(|m| m.id).collect();
+            for info in &truth_members {
+                if !self.discovery.is_member(info.id) {
+                    self.discovery.restore_member(info.clone());
+                    self.ensure_proxy(info);
+                    report.repair(format!("re-admitted member {} to discovery", info.id));
+                }
+                let missing = !self.members.lock().contains_key(&info.id);
+                if missing {
+                    self.members.lock().insert(info.id, info.clone());
+                    self.ensure_proxy(info);
+                    report.repair(format!("restored member {} to members map", info.id));
+                }
+            }
+            let mut ghosts: Vec<ServiceId> = self
+                .members
+                .lock()
+                .keys()
+                .filter(|id| !truth_ids.contains(id))
+                .copied()
+                .collect();
+            ghosts.sort();
+            for id in ghosts {
+                self.members.lock().remove(&id);
+                if let Some(proxy) = self.proxies.lock().remove(&id) {
+                    proxy.destroy();
+                }
+                self.bus.remove_subscriber(id);
+                self.quench.remove(id);
+                report.repair(format!("removed ghost member {id}"));
+            }
+        }
+        // Route repairs, against the post-membership-repair bus state.
+        let proxies: Vec<(ServiceId, Arc<Proxy>)> = {
+            let guard = self.proxies.lock();
+            let mut v: Vec<_> = guard.iter().map(|(id, p)| (*id, Arc::clone(p))).collect();
+            v.sort_by_key(|(id, _)| *id);
+            v
+        };
+        let bus_subs = self.bus.subscriptions();
+        let bus_ids: std::collections::HashSet<SubscriptionId> =
+            bus_subs.iter().map(|(id, _, _)| *id).collect();
+        for (member, proxy) in &proxies {
+            for (id, filter) in proxy.tracked_subscription_filters() {
+                if bus_ids.contains(&id) {
+                    continue;
+                }
+                let sink = Arc::clone(proxy) as Arc<dyn EventSink>;
+                match self
+                    .bus
+                    .restore_subscription(Subscription::new(id, *member, filter), sink)
+                {
+                    Ok(()) => {
+                        report.repair(format!("re-attached subscription {} of {member}", id.0));
+                    }
+                    Err(e) => report.divergences.push(format!(
+                        "subscription {} of {member} could not be re-attached: {e}",
+                        id.0
+                    )),
+                }
+            }
+        }
+        for (id, subscriber, _) in &bus_subs {
+            let Some((_, proxy)) = proxies.iter().find(|(m, _)| m == subscriber) else {
+                continue;
+            };
+            if !proxy.tracked_subscriptions().contains(id) {
+                let _ = self.bus.unsubscribe(*id);
+                report.repair(format!(
+                    "dropped untracked subscription {} of {subscriber}",
+                    id.0
+                ));
+            }
+        }
+        if report.repaired > 0 {
+            self.recompute_quench();
+        }
+        Ok(report)
+    }
+
     /// Reads the durable state out of the live channels and bus. Called
     /// by [`Wal::snapshot_with`] after the segment boundary is pinned;
     /// must not take WAL locks (journalling threads hold channel locks
@@ -585,11 +723,12 @@ impl SmcCell {
         let proxy = self.ensure_proxy(&info);
         // Proxy-registered subscriptions on the device's behalf.
         for filter in proxy.initial_subscriptions() {
-            if let Ok(id) =
-                self.bus
-                    .subscribe(info.id, filter, Arc::clone(&proxy) as Arc<dyn EventSink>)
-            {
-                proxy.track_subscription(id);
+            if let Ok(id) = self.bus.subscribe(
+                info.id,
+                filter.clone(),
+                Arc::clone(&proxy) as Arc<dyn EventSink>,
+            ) {
+                proxy.track_subscription(id, filter);
             }
         }
         self.recompute_quench();
@@ -759,9 +898,9 @@ impl SmcCell {
                 ) {
                     Ok(id) => {
                         self.journal(&WalRecord::Subscribed {
-                            subscription: Subscription::new(id, from, filter),
+                            subscription: Subscription::new(id, from, filter.clone()),
                         });
-                        proxy.track_subscription(id);
+                        proxy.track_subscription(id, filter);
                         let _ = self.channel.send(
                             from,
                             to_bytes(&Packet::SubscribeAck {

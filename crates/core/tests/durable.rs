@@ -259,3 +259,104 @@ fn checkpoint_requires_a_durable_cell() {
     assert!(matches!(cell.checkpoint(), Err(Error::Invalid(_))));
     cell.shutdown();
 }
+
+/// State corrupted outside any crash path — a silently lost
+/// discovery-table entry plus dropped bus routes — converges back to
+/// durable truth through one anti-entropy [`SmcCell::reconcile`] pass,
+/// and a second pass finds nothing left to repair.
+#[test]
+fn reconcile_repairs_corrupted_membership_and_routing() {
+    let net = SimNetwork::new(LinkConfig::ideal());
+    let backend = Arc::new(MemBackend::new());
+    let cell = SmcCell::start_durable(
+        Arc::new(net.endpoint()),
+        Arc::new(net.endpoint()),
+        SmcConfig::fast(),
+        backend,
+    )
+    .expect("durable start");
+
+    let sensor = connect(&net, "sensor.heart-rate");
+    let monitor = connect(&net, "monitor.station");
+    monitor
+        .subscribe(Filter::for_type("smc.sensor.reading"), TICK)
+        .unwrap();
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading")
+                .attr("bpm", 70i64)
+                .build(),
+            TICK,
+        )
+        .unwrap();
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("bpm")
+            .unwrap()
+            .as_int(),
+        Some(70)
+    );
+
+    // Corrupt: the monitor's routes vanish from the bus and its entry
+    // vanishes from the discovery table. Neither leaves a crash trail.
+    assert_eq!(cell.bus().remove_subscriber(monitor.local_id()), 1);
+    cell.discovery().forget_member(monitor.local_id());
+
+    // Deliveries are now lost: the event matches no route.
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading")
+                .attr("bpm", 71i64)
+                .build(),
+            TICK,
+        )
+        .unwrap();
+    assert!(
+        monitor.next_event(Duration::from_millis(300)).is_err(),
+        "corrupted route must lose the event"
+    );
+
+    let report = cell.reconcile().expect("reconcile");
+    assert!(
+        report
+            .divergences
+            .iter()
+            .any(|d| d.contains("re-attached subscription")),
+        "reconcile must re-attach the lost route: {:?}",
+        report.divergences
+    );
+    assert!(report.repaired >= 1);
+    assert!(
+        cell.discovery().is_member(monitor.local_id()),
+        "member restored to the discovery table"
+    );
+
+    // The repaired route delivers again, under the original filter.
+    sensor
+        .publish(
+            Event::builder("smc.sensor.reading")
+                .attr("bpm", 72i64)
+                .build(),
+            TICK,
+        )
+        .unwrap();
+    assert_eq!(
+        monitor
+            .next_event(TICK)
+            .unwrap()
+            .attr("bpm")
+            .unwrap()
+            .as_int(),
+        Some(72)
+    );
+
+    let second = cell.reconcile().expect("second pass");
+    assert!(
+        second.is_clean(),
+        "reconcile is idempotent: {:?}",
+        second.divergences
+    );
+    cell.shutdown();
+}

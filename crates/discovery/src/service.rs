@@ -349,6 +349,16 @@ impl DiscoveryService {
         self.state.lock().table.admit(info, now);
     }
 
+    /// Silently drops a member from the table: no `Purged` event, no
+    /// counter — from the protocol's point of view nothing happened.
+    /// This models state corruption (a lost table entry) for the
+    /// self-stabilisation tests; only anti-entropy reconciliation
+    /// against durable truth brings the member back. Returns `true` if
+    /// the entry existed.
+    pub fn forget_member(&self, id: ServiceId) -> bool {
+        self.state.lock().table.remove(id).is_some()
+    }
+
     /// Forcibly removes a member (operator or policy action).
     ///
     /// # Errors

@@ -36,8 +36,10 @@ mod scenario;
 mod world;
 
 pub use oracle::{DeliveryOracle, OracleViolation, TraceEvent, ViolationKind};
-pub use scenario::{shrink_scenario, ChaosOp, LinkProfileKind, Scenario, ScriptedOp};
+pub use scenario::{
+    shrink_scenario, ChaosOp, CoreComponent, CorruptTarget, LinkProfileKind, Scenario, ScriptedOp,
+};
 pub use world::{
     default_discovery, default_reliable, run, run_with, run_with_backend, run_with_options,
-    HealthOptions, HealthOutcome, RunOptions, RunReport,
+    HealthOptions, HealthOutcome, RunOptions, RunReport, SupervisionOptions, SupervisionOutcome,
 };

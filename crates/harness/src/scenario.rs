@@ -36,6 +36,37 @@ impl LinkProfileKind {
     }
 }
 
+/// The cell-side components a supervisor can kill and restart
+/// individually (the whole core is [`ChaosOp::CoreCrash`]'s business).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreComponent {
+    /// The discovery service and its channel.
+    Discovery,
+    /// The bus sink endpoint — the cell's event intake.
+    Sink,
+}
+
+/// Which piece of live state a [`ChaosOp::CorruptState`] damages. Every
+/// target diverges a *view* from durable truth without touching the
+/// write-ahead log, so only an anti-entropy reconcile pass heals it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptTarget {
+    /// The sink's membership view silently forgets device `node`: its
+    /// events are filtered as if it had been purged.
+    MembershipView {
+        /// Target device node index.
+        node: usize,
+    },
+    /// A fabricated member id appears in the sink's membership view.
+    GhostMember,
+    /// The discovery table silently drops device `node` — no `Purged`
+    /// event, no counter; the member just vanishes.
+    DiscoveryMember {
+        /// Target device node index.
+        node: usize,
+    },
+}
+
 /// One fault injected into the simulated world.
 ///
 /// `node` indexes the scenario's device nodes (`0..Scenario::nodes`).
@@ -101,6 +132,24 @@ pub enum ChaosOp {
         /// Outage length before the recovery.
         down_for: Duration,
     },
+    /// One core component silently dies. There is **no scripted
+    /// restart**: only a supervisor (see `RunOptions::supervision`)
+    /// brings it back, which is exactly what the supervision teeth
+    /// tests prove — without one, the component stays down forever.
+    KillComponent {
+        /// Which component dies.
+        component: CoreComponent,
+        /// A wedged component shrugs off restarts: the fault persists
+        /// until the supervisor escalates to a full core reboot.
+        wedged: bool,
+    },
+    /// Live state diverges from durable truth (see [`CorruptTarget`]).
+    /// No detector fires — only a periodic anti-entropy reconcile pass
+    /// notices and repairs the divergence.
+    CorruptState {
+        /// What gets corrupted.
+        target: CorruptTarget,
+    },
 }
 
 impl ChaosOp {
@@ -114,7 +163,9 @@ impl ChaosOp {
             | ChaosOp::Crash { node, .. }
             | ChaosOp::DomainMove { node, .. }
             | ChaosOp::LinkProfile { node, .. } => Some(node),
-            ChaosOp::CoreCrash { .. } => None,
+            ChaosOp::CoreCrash { .. }
+            | ChaosOp::KillComponent { .. }
+            | ChaosOp::CorruptState { .. } => None,
         }
     }
 }
@@ -209,6 +260,54 @@ impl Scenario {
         scenario
     }
 
+    /// Generates a randomized *supervision* fault schedule from `seed`:
+    /// component kills (occasionally wedged) and state corruptions, one
+    /// per evenly-sized slot over the first 80% of the run so the
+    /// supervisor has room to finish each repair (worst-case — a wedged
+    /// kill escalating to a core reboot — takes a few virtual seconds)
+    /// before the next fault lands. Deterministic per seed, and on a
+    /// separate rng stream from [`Scenario::random`] so existing traces
+    /// stay byte-identical.
+    pub fn random_supervision(seed: u64, nodes: usize, duration: Duration, ops: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = Scenario::quiet(seed, nodes.max(1), duration);
+        let window = (duration.as_micros() as u64).saturating_mul(4) / 5;
+        let slot = (window / ops.max(1) as u64).max(1);
+        for i in 0..ops {
+            let at = Duration::from_micros(i as u64 * slot + rng.gen_range(0..slot / 4 + 1));
+            let node = rng.gen_range(0..scenario.nodes);
+            let op = match rng.gen_range(0..8u32) {
+                0 | 1 => ChaosOp::KillComponent {
+                    component: CoreComponent::Discovery,
+                    wedged: false,
+                },
+                2 | 3 => ChaosOp::KillComponent {
+                    component: CoreComponent::Sink,
+                    wedged: false,
+                },
+                4 => ChaosOp::KillComponent {
+                    component: if rng.gen_range(0..2u32) == 0 {
+                        CoreComponent::Discovery
+                    } else {
+                        CoreComponent::Sink
+                    },
+                    wedged: true,
+                },
+                5 => ChaosOp::CorruptState {
+                    target: CorruptTarget::MembershipView { node },
+                },
+                6 => ChaosOp::CorruptState {
+                    target: CorruptTarget::GhostMember,
+                },
+                _ => ChaosOp::CorruptState {
+                    target: CorruptTarget::DiscoveryMember { node },
+                },
+            };
+            scenario.ops.push(ScriptedOp { at, op });
+        }
+        scenario
+    }
+
     /// Scripts sorted by firing time (the runner requires this).
     pub fn sorted(mut self) -> Self {
         self.ops.sort_by_key(|s| s.at);
@@ -281,6 +380,29 @@ mod tests {
             if let Some(node) = op.op.node() {
                 assert!(node < 3);
             }
+        }
+    }
+
+    #[test]
+    fn random_supervision_is_reproducible_and_spaced() {
+        let a = Scenario::random_supervision(42, 3, Duration::from_secs(30), 6);
+        let b = Scenario::random_supervision(42, 3, Duration::from_secs(30), 6);
+        assert_eq!(a, b);
+        assert_ne!(
+            a,
+            Scenario::random_supervision(43, 3, Duration::from_secs(30), 6)
+        );
+        assert_eq!(a.ops.len(), 6);
+        // One op per 4-second slot: consecutive faults never land within
+        // 3 seconds of each other (slot minus the max jitter).
+        for pair in a.ops.windows(2) {
+            assert!(pair[1].at - pair[0].at >= Duration::from_secs(3));
+        }
+        for op in &a.ops {
+            assert!(matches!(
+                op.op,
+                ChaosOp::KillComponent { .. } | ChaosOp::CorruptState { .. }
+            ));
         }
     }
 

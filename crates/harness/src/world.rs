@@ -27,10 +27,12 @@ use std::time::Duration;
 
 use smc_discovery::{AgentConfig, DiscoveryConfig, DiscoveryService, MemberAgent, MembershipEvent};
 use smc_health::{
-    health_event, DeliveryLatency, Detector, FlightRecorder, HealthConfig, HealthMonitor,
-    HealthReport, HealthTransition, MembershipFlap, QueueGrowth, RetransmitStorm, WalStall,
+    health_event, ComponentDown, DeliveryLatency, Detector, FlightRecorder, HealthConfig,
+    HealthMonitor, HealthReport, HealthState, HealthTransition, Hysteresis, MembershipFlap,
+    QueueGrowth, RepairAction, RetransmitStorm, ServiceRegistry, ServiceSpec, SuperviseConfig,
+    SupervisionReport, Supervisor, WalStall,
 };
-use smc_policy::{health_quench_policies, ActionSpec, PolicyService};
+use smc_policy::{health_quench_policies, supervision_policies, ActionSpec, PolicyService};
 use smc_telemetry::{
     Hop, HopRecord, Journey, Registry, Sample, TraceSink, Tracer, DEFAULT_SINK_CAPACITY,
 };
@@ -44,7 +46,7 @@ use smc_wal::{
 };
 
 use crate::oracle::DeliveryOracle;
-use crate::scenario::{ChaosOp, LinkProfileKind, Scenario};
+use crate::scenario::{ChaosOp, CoreComponent, CorruptTarget, LinkProfileKind, Scenario};
 
 /// Virtual-time step granularity.
 const TICK_MICROS: u64 = 2_000;
@@ -55,6 +57,10 @@ const DRAIN_MICROS: u64 = 3_000_000;
 const BIG_EVERY: u64 = 5;
 /// Virtual interval between core snapshots (log compaction points).
 const CHECKPOINT_MICROS: u64 = 2_000_000;
+/// The fabricated member `CorruptTarget::GhostMember` injects into the
+/// sink's routing view. Out of the simulator's address range, so it can
+/// never collide with a real device.
+const GHOST_MEMBER: ServiceId = ServiceId::from_raw(0x0BAD_C0DE_0BAD);
 
 /// Reliability parameters the harness runs by default.
 pub fn default_reliable() -> ReliableConfig {
@@ -92,6 +98,44 @@ pub struct RunOptions {
     /// virtual timeline. `None` (the default) leaves the run untouched —
     /// traces stay byte-identical with pre-health harness versions.
     pub health: Option<HealthOptions>,
+    /// Self-repair: `Some` runs a [`Supervisor`] over the core's
+    /// components — a `component-down` detector feeds failure episodes,
+    /// restarts rebuild the dead component from the write-ahead log,
+    /// wedged components escalate to a full core reboot, and a periodic
+    /// anti-entropy pass reconciles live views against durable truth.
+    /// `None` (the default) leaves [`ChaosOp::KillComponent`] faults
+    /// permanently down — the teeth baseline.
+    pub supervision: Option<SupervisionOptions>,
+}
+
+/// How the in-run supervisor behaves.
+#[derive(Debug, Clone)]
+pub struct SupervisionOptions {
+    /// Restart budget and retry pacing.
+    pub config: SuperviseConfig,
+    /// Sampling cadence and hysteresis of the component-down detector.
+    /// The default is deliberately tight (fail after 2 bad 250 ms
+    /// samples) so time-to-repair stays near one virtual second.
+    pub health: HealthConfig,
+    /// Virtual interval between anti-entropy reconcile passes.
+    pub reconcile_micros: u64,
+}
+
+impl Default for SupervisionOptions {
+    fn default() -> Self {
+        SupervisionOptions {
+            config: SuperviseConfig::default(),
+            health: HealthConfig {
+                interval_micros: 250_000,
+                hysteresis: Hysteresis {
+                    degrade_after: 1,
+                    fail_after: 2,
+                    recover_after: 1,
+                },
+            },
+            reconcile_micros: 500_000,
+        }
+    }
 }
 
 /// How the in-run health monitor behaves.
@@ -127,6 +171,7 @@ impl Default for RunOptions {
             trace: true,
             trace_capacity: DEFAULT_SINK_CAPACITY,
             health: None,
+            supervision: None,
         }
     }
 }
@@ -167,6 +212,35 @@ pub struct RunReport {
     pub registry: Registry,
     /// What the health monitor saw, when [`RunOptions::health`] was on.
     pub health: Option<HealthOutcome>,
+    /// What the supervisor saw and repaired, when
+    /// [`RunOptions::supervision`] was on.
+    pub supervision: Option<SupervisionOutcome>,
+}
+
+/// Everything the in-run supervisor produced.
+#[derive(Debug)]
+pub struct SupervisionOutcome {
+    /// Episode accounting: restarts, escalations, per-episode
+    /// time-to-repair, the full repair log.
+    pub report: SupervisionReport,
+    /// Repair actions the harness actually executed (or refused, for
+    /// wedged components): `(at_micros, what)`.
+    pub repairs: Vec<(u64, String)>,
+    /// Anti-entropy passes run.
+    pub reconciles: u64,
+    /// Divergences the reconcile passes repaired: `(at_micros, what)`.
+    pub reconcile_fixes: Vec<(u64, String)>,
+    /// `Restart` actions the built-in supervision obligation fired
+    /// through the policy service (the policy-layer view of the same
+    /// failures the supervisor handled).
+    pub policy_restarts: u64,
+}
+
+impl SupervisionOutcome {
+    /// `true` when every failure episode was repaired by run end.
+    pub fn converged(&self) -> bool {
+        self.report.converged()
+    }
 }
 
 /// Everything the in-run health monitor produced.
@@ -280,6 +354,91 @@ enum Act {
     Restart,
     CoreCrash,
     CoreRestart,
+    Kill(CoreComponent, bool),
+    Corrupt(CorruptTarget),
+}
+
+/// Which core components are currently dead (and whether a restart can
+/// bring them back). Tracked whether or not supervision is on: without a
+/// supervisor a killed component simply stays down.
+#[derive(Debug, Clone, Copy, Default)]
+struct ComponentFlags {
+    discovery_down: bool,
+    sink_down: bool,
+    discovery_wedged: bool,
+    sink_wedged: bool,
+}
+
+impl ComponentFlags {
+    fn any_down(&self) -> bool {
+        self.discovery_down || self.sink_down
+    }
+}
+
+/// The in-run repair stack: component-down detection, the supervisor,
+/// the built-in supervision obligation, and reconcile bookkeeping.
+struct SupervisionRuntime {
+    monitor: HealthMonitor,
+    supervisor: Supervisor,
+    policy: PolicyService,
+    reconcile_micros: u64,
+    next_reconcile: u64,
+    repairs: Vec<(u64, String)>,
+    reconciles: u64,
+    reconcile_fixes: Vec<(u64, String)>,
+    policy_restarts: u64,
+}
+
+impl SupervisionRuntime {
+    fn new(opts: SupervisionOptions) -> SupervisionRuntime {
+        let mut registry = ServiceRegistry::new();
+        registry.register(ServiceSpec::new("core"));
+        registry.register(
+            ServiceSpec::new("discovery")
+                .depends_on("core")
+                .escalates_to("core"),
+        );
+        registry.register(
+            ServiceSpec::new("sink")
+                .depends_on("core")
+                .escalates_to("core"),
+        );
+        let policy = PolicyService::new();
+        for p in supervision_policies() {
+            policy
+                .add(p)
+                .expect("built-in supervision policies are valid");
+        }
+        SupervisionRuntime {
+            monitor: HealthMonitor::with_detectors(
+                opts.health,
+                vec![Box::new(ComponentDown::default())],
+            ),
+            supervisor: Supervisor::new(registry, opts.config),
+            policy,
+            reconcile_micros: opts.reconcile_micros.max(1),
+            next_reconcile: 0,
+            repairs: Vec::new(),
+            reconciles: 0,
+            reconcile_fixes: Vec::new(),
+            policy_restarts: 0,
+        }
+    }
+
+    /// The up/down gauges the component-down detector watches.
+    fn samples(&self, flags: &ComponentFlags) -> Vec<Sample> {
+        let up = |name: &str, is_up: bool| Sample {
+            name: "smc_component_up".to_string(),
+            help: String::new(),
+            monotonic: false,
+            labels: vec![("component".to_string(), name.to_string())],
+            value: u64::from(is_up),
+        };
+        vec![
+            up("discovery", !flags.discovery_down),
+            up("sink", !flags.sink_down),
+        ]
+    }
 }
 
 struct Device {
@@ -581,6 +740,160 @@ fn checkpoint(core: &Core) {
     let _ = core.wal.snapshot(&snap);
 }
 
+/// Rebuilds the discovery service (and its journaled channel) on the
+/// same endpoint from durable truth — the supervisor's `restart
+/// discovery` repair. The sink and its membership view are untouched.
+#[allow(clippy::too_many_arguments)]
+fn restart_discovery(
+    net: &SimNetwork,
+    core: &mut Core,
+    reliable: &ReliableConfig,
+    discovery_config: &DiscoveryConfig,
+    clock: &SharedClock,
+    tracer: &Tracer,
+    disco_id: ServiceId,
+    sink_id: ServiceId,
+) {
+    let state = core.wal.recover_state().unwrap_or_default();
+    let disco_channel = ReliableChannel::with_clock_journaled(
+        Arc::new(net.endpoint_with_id(disco_id)),
+        reliable.clone(),
+        Arc::clone(clock),
+        Arc::new(WalChannelJournal::new(
+            Arc::clone(&core.wal),
+            CHAN_DISCOVERY,
+        )),
+        state.cursors_for(CHAN_DISCOVERY),
+        Vec::new(),
+    );
+    disco_channel.set_tracer(tracer.clone());
+    let service = DiscoveryService::with_clock(
+        CellId(1),
+        Arc::clone(&disco_channel),
+        discovery_config.clone().with_bus_endpoint(sink_id),
+        Arc::clone(clock),
+    );
+    for info in &state.members {
+        service.restore_member(info.clone());
+    }
+    core.disco_channel = disco_channel;
+    core.service = service;
+}
+
+/// Rebuilds the sink channel on the same endpoint from durable truth —
+/// the supervisor's `restart sink` repair. Recovered receive cursors
+/// keep dedup across the outage; the recovered outbound queue re-enters
+/// retransmission; events the kill caught between ack and recording are
+/// re-processed from the journal's retained copies, exactly like the
+/// core-crash recovery path.
+#[allow(clippy::too_many_arguments)]
+fn restart_sink(
+    net: &SimNetwork,
+    core: &mut Core,
+    reliable: &ReliableConfig,
+    clock: &SharedClock,
+    tracer: &Tracer,
+    sink_id: ServiceId,
+    members: &HashSet<ServiceId>,
+    oracle: &mut DeliveryOracle,
+    now: u64,
+) {
+    let state = core.wal.recover_state().unwrap_or_default();
+    let sink_channel = ReliableChannel::with_clock_journaled(
+        Arc::new(net.endpoint_with_id(sink_id)),
+        reliable.clone(),
+        Arc::clone(clock),
+        Arc::new(WalChannelJournal::with_rx_retention(
+            Arc::clone(&core.wal),
+            CHAN_BUS,
+        )),
+        state.cursors_for(CHAN_BUS),
+        state.pending_rx_for(CHAN_BUS),
+    );
+    sink_channel.set_tracer(tracer.clone());
+    for (peer, payloads) in state.outbound_for(CHAN_BUS) {
+        for (prior_seq, payload) in payloads {
+            let _ = sink_channel.send_recovered(peer, payload, prior_seq);
+        }
+    }
+    core.sink_channel = sink_channel;
+    for (peer, _epoch, seq, payload) in state.pending_rx_for(CHAN_BUS) {
+        if let Some(published) = decode(&payload) {
+            let t = TraceId::for_event(peer, published);
+            if members.contains(&peer) {
+                tracer.record(t, Hop::Delivered);
+                oracle.record_delivery(now, peer, published);
+            } else {
+                tracer.record(
+                    t,
+                    Hop::Dropped {
+                        reason: "purge-filter",
+                    },
+                );
+                oracle.record_filtered(now, peer, published);
+            }
+        }
+        core.sink_channel.consumed(peer, seq);
+    }
+}
+
+/// One anti-entropy pass: diffs the sink's membership view and the
+/// discovery table against durable truth (the folded write-ahead log)
+/// and repairs both directions. Returns human-readable descriptions of
+/// every divergence repaired, in deterministic order.
+fn reconcile_pass(
+    core: &Core,
+    members: &mut HashSet<ServiceId>,
+    flags: &ComponentFlags,
+) -> Vec<String> {
+    let Ok(truth) = core.wal.recover_state() else {
+        return Vec::new();
+    };
+    let mut fixes = Vec::new();
+    let mut truth_sorted = truth.members.clone();
+    truth_sorted.sort_by_key(|i| i.id);
+    let truth_ids: HashSet<ServiceId> = truth_sorted.iter().map(|i| i.id).collect();
+    // Sink view: re-admit members durable truth still has...
+    for info in &truth_sorted {
+        if members.insert(info.id) {
+            fixes.push(format!("sink view re-admitted {}", info.id));
+        }
+    }
+    // ...and drop ids truth never admitted (or has purged).
+    let mut ghosts: Vec<ServiceId> = members
+        .iter()
+        .filter(|id| !truth_ids.contains(id))
+        .copied()
+        .collect();
+    ghosts.sort();
+    for ghost in ghosts {
+        members.remove(&ghost);
+        fixes.push(format!("sink view dropped ghost {ghost}"));
+    }
+    // Discovery table, when it's alive: same diff, both directions.
+    if !flags.discovery_down {
+        let live_ids: HashSet<ServiceId> = core.service.members().iter().map(|i| i.id).collect();
+        for info in &truth_sorted {
+            if !live_ids.contains(&info.id) {
+                core.service.restore_member(info.clone());
+                fixes.push(format!("discovery re-admitted {}", info.id));
+            }
+        }
+        let mut stray: Vec<ServiceId> = live_ids
+            .iter()
+            .filter(|id| !truth_ids.contains(id))
+            .copied()
+            .collect();
+        stray.sort();
+        for id in stray {
+            if core.service.forget_member(id) {
+                fixes.push(format!("discovery dropped ghost {id}"));
+            }
+        }
+    }
+    fixes
+}
+
 /// Runs `scenario` with the default reliability and discovery settings.
 pub fn run(scenario: &Scenario) -> RunReport {
     run_with_options(scenario, RunOptions::default())
@@ -634,6 +947,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         trace,
         trace_capacity,
         health,
+        supervision,
     } = options;
     let clock = Arc::new(ManualClock::new());
     let shared: SharedClock = clock.clone();
@@ -748,6 +1062,14 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                     Act::CoreRestart,
                 ));
             }
+            // No scripted recovery for either: the supervisor restarts
+            // killed components, the reconcile pass heals corruptions.
+            ChaosOp::KillComponent { component, wedged } => {
+                timeline.push((at, usize::MAX, Act::Kill(component, wedged)));
+            }
+            ChaosOp::CorruptState { target } => {
+                timeline.push((at, usize::MAX, Act::Corrupt(target)));
+            }
         }
     }
     timeline.sort_by_key(|&(at, node, _)| (at, node));
@@ -763,6 +1085,8 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
     let mut retransmits_gone = 0u64;
     let mut saw_core_crash = false;
     let mut health_rt = health.map(HealthRuntime::new);
+    let mut sup_rt = supervision.map(SupervisionRuntime::new);
+    let mut flags = ComponentFlags::default();
 
     let mut now = 0u64;
     loop {
@@ -785,6 +1109,71 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                         + core.disco_channel.stats().retransmits;
                     core.service.shutdown();
                     core.sink_channel.close();
+                    flags = ComponentFlags::default();
+                    continue;
+                }
+                Act::Kill(component, wedged) => {
+                    if core_crashed {
+                        continue;
+                    }
+                    match component {
+                        CoreComponent::Discovery => {
+                            if flags.discovery_down {
+                                continue;
+                            }
+                            oracle.record_fault(now, "discovery killed");
+                            retransmits_gone += core.disco_channel.stats().retransmits;
+                            core.service.shutdown();
+                            flags.discovery_down = true;
+                            flags.discovery_wedged = wedged;
+                        }
+                        CoreComponent::Sink => {
+                            if flags.sink_down {
+                                continue;
+                            }
+                            oracle.record_fault(now, "sink killed");
+                            retransmits_gone += core.sink_channel.stats().retransmits;
+                            core.sink_channel.close();
+                            flags.sink_down = true;
+                            flags.sink_wedged = wedged;
+                        }
+                    }
+                    continue;
+                }
+                Act::Corrupt(target) => {
+                    match target {
+                        CorruptTarget::MembershipView { node } => {
+                            if let Some(&id) = device_ids.get(node) {
+                                if members.remove(&id) {
+                                    oracle.record_fault(
+                                        now,
+                                        format!("corrupt: sink view dropped {id}"),
+                                    );
+                                }
+                            }
+                        }
+                        CorruptTarget::GhostMember => {
+                            if members.insert(GHOST_MEMBER) {
+                                oracle.record_fault(
+                                    now,
+                                    format!("corrupt: ghost {GHOST_MEMBER} in sink view"),
+                                );
+                            }
+                        }
+                        CorruptTarget::DiscoveryMember { node } => {
+                            if let Some(&id) = device_ids.get(node) {
+                                if !core_crashed
+                                    && !flags.discovery_down
+                                    && core.service.forget_member(id)
+                                {
+                                    oracle.record_fault(
+                                        now,
+                                        format!("corrupt: discovery forgot {id}"),
+                                    );
+                                }
+                            }
+                        }
+                    }
                     continue;
                 }
                 Act::CoreRestart => {
@@ -856,10 +1245,15 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         }
         // 2. Deliver every datagram whose deadline has passed.
         net.pump_due();
-        // 3. Channels: process frames, ack, retransmit.
+        // 3. Channels: process frames, ack, retransmit. A killed
+        // component's channel is closed; don't step the corpse.
         if !core_crashed {
-            core.disco_channel.step();
-            core.sink_channel.step();
+            if !flags.discovery_down {
+                core.disco_channel.step();
+            }
+            if !flags.sink_down {
+                core.sink_channel.step();
+            }
         }
         for dev in &devices {
             if !dev.crashed {
@@ -867,7 +1261,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
             }
         }
         // 4. Protocol logic on top of the channels.
-        if !core_crashed {
+        if !core_crashed && !flags.discovery_down {
             core.service.step();
         }
         for dev in &devices {
@@ -900,9 +1294,32 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                 }
             }
         }
+        // 5a. Anti-entropy on its own cadence: diff the sink's view and
+        // the discovery table against the folded log and repair both
+        // directions, whether or not anything ever failed. This runs
+        // *before* the checkpoint on purpose — compaction snapshots the
+        // live tables, so reconciling first means a corrupted view can
+        // never be frozen into the durable truth repair depends on.
+        if let Some(rt) = sup_rt.as_mut() {
+            if now >= rt.next_reconcile {
+                rt.next_reconcile = now + rt.reconcile_micros;
+                if !core_crashed {
+                    rt.reconciles += 1;
+                    let fixes = reconcile_pass(&core, &mut members, &flags);
+                    for fix in &fixes {
+                        oracle.record_fault(now, format!("reconcile: {fix}"));
+                    }
+                    rt.supervisor.record_reconcile(now, &fixes);
+                    rt.reconcile_fixes
+                        .extend(fixes.into_iter().map(|f| (now, f)));
+                }
+            }
+        }
         // 5b. Periodic snapshot: compacts the log so recovery replays a
-        // bounded tail.
-        if !core_crashed && now > 0 && now.is_multiple_of(CHECKPOINT_MICROS) {
+        // bounded tail. Never while a component is down: snapshotting a
+        // closed channel would freeze empty cursors over the journal's
+        // live tail and destroy the durable truth repair depends on.
+        if !core_crashed && !flags.any_down() && now > 0 && now.is_multiple_of(CHECKPOINT_MICROS) {
             checkpoint(&core);
         }
         // 5c. Self-observation: the health monitor samples the live
@@ -967,6 +1384,153 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                 rt.transitions.extend(transitions);
             }
         }
+        // 5d. Supervision: the detect → repair loop. The component-down
+        // detector samples liveness gauges, failures route through the
+        // built-in restart obligation (policy-mediated, as the paper's
+        // management events would be) into the supervisor, and the
+        // supervisor's plan is executed against durable truth. A wedged
+        // component refuses its restart, the gauge stays down, and the
+        // tick's retry timeout escalates up the dependency graph. While
+        // the core itself is scripted-crashed the supervisor holds off:
+        // the scenario owns that outage.
+        if let Some(rt) = sup_rt.as_mut() {
+            if !core_crashed && rt.monitor.due(now) {
+                let samples = rt.samples(&flags);
+                let transitions = rt.monitor.observe(now, &samples, &[]);
+                let mut actions = Vec::new();
+                for t in &transitions {
+                    oracle.record_fault(
+                        now,
+                        format!(
+                            "supervision {} {}->{}",
+                            t.component,
+                            t.from.as_str(),
+                            t.to.as_str()
+                        ),
+                    );
+                    if t.to == HealthState::Failed {
+                        for fired in rt.policy.on_event(&health_event(t, None)) {
+                            if let ActionSpec::Restart { component } = &fired.action {
+                                if component
+                                    .resolve(&fired.trigger)
+                                    .is_some_and(|v| v.as_str().is_some())
+                                {
+                                    rt.policy_restarts += 1;
+                                }
+                            }
+                        }
+                    }
+                    actions.extend(rt.supervisor.on_transition(t));
+                }
+                actions.extend(rt.supervisor.tick(now, &rt.monitor.report()));
+                for action in actions {
+                    let target = match &action {
+                        RepairAction::Restart { component, .. } => component.clone(),
+                        RepairAction::Escalate { target, .. } => target.clone(),
+                    };
+                    match target.as_str() {
+                        "discovery" => {
+                            if !flags.discovery_down {
+                                // Already back (detector hysteresis lags
+                                // the repair); nothing to do.
+                            } else if flags.discovery_wedged {
+                                rt.repairs.push((now, format!("{action}: failed (wedged)")));
+                                oracle.record_fault(now, format!("{action}: failed (wedged)"));
+                            } else {
+                                restart_discovery(
+                                    &net,
+                                    &mut core,
+                                    &reliable,
+                                    &discovery_config,
+                                    &shared,
+                                    &tracer,
+                                    disco_id,
+                                    sink_id,
+                                );
+                                flags.discovery_down = false;
+                                rt.repairs.push((now, action.to_string()));
+                                oracle.record_fault(now, format!("{action}: done"));
+                            }
+                        }
+                        "sink" => {
+                            if !flags.sink_down {
+                                // Already back; nothing to do.
+                            } else if flags.sink_wedged {
+                                rt.repairs.push((now, format!("{action}: failed (wedged)")));
+                                oracle.record_fault(now, format!("{action}: failed (wedged)"));
+                            } else {
+                                restart_sink(
+                                    &net,
+                                    &mut core,
+                                    &reliable,
+                                    &shared,
+                                    &tracer,
+                                    sink_id,
+                                    &members,
+                                    &mut oracle,
+                                    now,
+                                );
+                                flags.sink_down = false;
+                                rt.repairs.push((now, action.to_string()));
+                                oracle.record_fault(now, format!("{action}: done"));
+                            }
+                        }
+                        "core" => {
+                            // Escalation target: a full reboot from the
+                            // write-ahead log subsumes every child — and
+                            // clears a wedge, the way power-cycling a
+                            // gateway does what restarting one daemon on
+                            // it could not.
+                            if !flags.sink_down {
+                                retransmits_gone += core.sink_channel.stats().retransmits;
+                                core.sink_channel.close();
+                            }
+                            if !flags.discovery_down {
+                                retransmits_gone += core.disco_channel.stats().retransmits;
+                                core.service.shutdown();
+                            }
+                            let (reborn, recovered) = boot_core(
+                                &net,
+                                &backend,
+                                &reliable,
+                                &discovery_config,
+                                &shared,
+                                &tracer,
+                                Some((disco_id, sink_id)),
+                                &mut members,
+                            );
+                            core = reborn;
+                            core_recoveries += 1;
+                            recovery_micros_total += recovered.recovery_micros;
+                            for (peer, _epoch, seq, payload) in
+                                recovered.snapshot.pending_rx_for(CHAN_BUS)
+                            {
+                                if let Some(published) = decode(&payload) {
+                                    let t = TraceId::for_event(peer, published);
+                                    if members.contains(&peer) {
+                                        tracer.record(t, Hop::Delivered);
+                                        oracle.record_delivery(now, peer, published);
+                                    } else {
+                                        tracer.record(
+                                            t,
+                                            Hop::Dropped {
+                                                reason: "purge-filter",
+                                            },
+                                        );
+                                        oracle.record_filtered(now, peer, published);
+                                    }
+                                }
+                                core.sink_channel.consumed(peer, seq);
+                            }
+                            flags = ComponentFlags::default();
+                            rt.repairs.push((now, action.to_string()));
+                            oracle.record_fault(now, format!("{action}: core rebooted"));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
         // 6. Member devices publish on schedule (until the scripted end).
         // A crashed core does not stop them: their channels queue and
         // retransmit into the outage, which is exactly the traffic the
@@ -987,7 +1551,9 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
             }
         }
         // 7. The sink accepts deliveries, mirroring the SMC's rule that
-        // purged members' traffic is no longer served.
+        // purged members' traffic is no longer served. A killed sink
+        // accepts nothing — its channel is closed and senders retransmit
+        // into the outage until the supervisor brings it back.
         while let Ok(incoming) = core.sink_channel.recv(Some(Duration::ZERO)) {
             if let Incoming::Reliable { from, seq, payload } = incoming {
                 if let Some(published) = decode(&payload) {
@@ -1130,6 +1696,14 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         }
     });
 
+    let supervision = sup_rt.map(|rt| SupervisionOutcome {
+        report: rt.supervisor.report(),
+        repairs: rt.repairs,
+        reconciles: rt.reconciles,
+        reconcile_fixes: rt.reconcile_fixes,
+        policy_restarts: rt.policy_restarts,
+    });
+
     RunReport {
         oracle,
         device_ids,
@@ -1141,6 +1715,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         trace_sink,
         registry,
         health,
+        supervision,
     }
 }
 
@@ -1232,6 +1807,8 @@ fn apply(
         }
         // Core acts are handled inline by the run loop (they touch state
         // no single device owns); reaching here is a timeline bug.
-        Act::CoreCrash | Act::CoreRestart => unreachable!("core acts routed in run loop"),
+        Act::CoreCrash | Act::CoreRestart | Act::Kill(..) | Act::Corrupt(..) => {
+            unreachable!("core acts routed in run loop")
+        }
     }
 }

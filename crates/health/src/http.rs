@@ -141,21 +141,26 @@ fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, 
             let report = sources.health.lock().clone();
             ("200 OK", "application/json", report.to_json())
         }
-        "/journey" => match (&sources.sink, parse_journey_query(query)) {
-            (Some(sink), Some((sender, seq))) => {
-                let trace = TraceId::for_event(ServiceId::from_raw(sender), seq);
-                ("200 OK", "text/plain", sink.journey(trace).to_string())
-            }
-            (None, _) => (
-                "404 Not Found",
-                "text/plain",
-                "tracing is not enabled\n".to_owned(),
-            ),
-            (_, None) => (
-                "400 Bad Request",
-                "text/plain",
-                "expected /journey?sender=<raw-id>&seq=<n>\n".to_owned(),
-            ),
+        "/journey" => match &sources.sink {
+            None => json_error("404 Not Found", "tracing is not enabled"),
+            Some(sink) => match parse_journey_query(query) {
+                Err(e) => json_error("400 Bad Request", &e),
+                Ok((sender, seq)) => {
+                    let trace = TraceId::for_event(ServiceId::from_raw(sender), seq);
+                    let journey = sink.journey(trace);
+                    if journey.is_empty() {
+                        json_error(
+                            "404 Not Found",
+                            &format!(
+                                "no hops recorded for sender={sender} seq={seq} \
+                                 (never traced, or the ring overwrote them)"
+                            ),
+                        )
+                    } else {
+                        ("200 OK", "text/plain", journey.to_string())
+                    }
+                }
+            },
         },
         "/" => (
             "200 OK",
@@ -166,18 +171,35 @@ fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, 
     }
 }
 
-fn parse_journey_query(query: &str) -> Option<(u64, u64)> {
-    let mut sender = None;
-    let mut seq = None;
-    for pair in query.split('&') {
-        let (k, v) = pair.split_once('=')?;
+/// A JSON error body: `{"error":"..."}` with the given status line.
+fn json_error(status: &'static str, message: &str) -> (&'static str, &'static str, String) {
+    (
+        status,
+        "application/json",
+        format!("{{\"error\":{}}}\n", crate::monitor::json_string(message)),
+    )
+}
+
+/// Parses `sender=<u64>&seq=<u64>`, reporting exactly which parameter
+/// is missing or malformed so the 400 body is actionable.
+fn parse_journey_query(query: &str) -> Result<(u64, u64), String> {
+    let mut sender: Option<&str> = None;
+    let mut seq: Option<&str> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
         match k {
-            "sender" => sender = v.parse().ok(),
-            "seq" => seq = v.parse().ok(),
+            "sender" => sender = Some(v),
+            "seq" => seq = Some(v),
             _ => {}
         }
     }
-    Some((sender?, seq?))
+    let parse = |name: &str, raw: Option<&str>| -> Result<u64, String> {
+        let raw = raw.ok_or_else(|| format!("missing query parameter '{name}'"))?;
+        raw.parse().map_err(|_| {
+            format!("query parameter '{name}' must be a non-negative integer, got '{raw}'")
+        })
+    };
+    Ok((parse("sender", sender)?, parse("seq", seq)?))
 }
 
 #[cfg(test)]
@@ -243,6 +265,59 @@ mod tests {
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"));
 
+        server.stop();
+    }
+
+    #[test]
+    fn journey_errors_are_json_with_precise_status() {
+        let sink = Arc::new(TraceSink::with_capacity(64));
+        let trace = TraceId::for_event(ServiceId::from_raw(9), 4);
+        sink.record(trace, Hop::Published, 100);
+        let sources = StatusSources {
+            registry: Registry::new(),
+            sink: Some(sink),
+            health: Arc::default(),
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let addr = server.local_addr();
+
+        // Missing parameters: 400, JSON, naming the missing parameter.
+        let r = get(addr, "/journey");
+        assert!(r.starts_with("HTTP/1.1 400"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("{\"error\":\"missing query parameter 'sender'\"}"));
+        let r = get(addr, "/journey?sender=9");
+        assert!(r.starts_with("HTTP/1.1 400"));
+        assert!(r.contains("missing query parameter 'seq'"));
+
+        // Non-numeric parameters: 400, JSON, echoing the bad value.
+        let r = get(addr, "/journey?sender=abc&seq=4");
+        assert!(r.starts_with("HTTP/1.1 400"));
+        assert!(r.contains("'sender' must be a non-negative integer, got 'abc'"));
+        let r = get(addr, "/journey?sender=9&seq=-1");
+        assert!(r.starts_with("HTTP/1.1 400"));
+        assert!(r.contains("'seq' must be a non-negative integer, got '-1'"));
+
+        // Well-formed but untraced event: 404, JSON.
+        let r = get(addr, "/journey?sender=9&seq=999");
+        assert!(r.starts_with("HTTP/1.1 404"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("no hops recorded for sender=9 seq=999"));
+
+        // The traced event still renders.
+        let r = get(addr, "/journey?sender=9&seq=4");
+        assert!(r.starts_with("HTTP/1.1 200"));
+        assert!(r.contains("published"));
+        server.stop();
+    }
+
+    #[test]
+    fn journey_without_sink_is_a_json_404() {
+        let server = StatusServer::start("127.0.0.1:0", StatusSources::default()).expect("start");
+        let r = get(server.local_addr(), "/journey?sender=1&seq=1");
+        assert!(r.starts_with("HTTP/1.1 404"));
+        assert!(r.contains("application/json"));
+        assert!(r.contains("{\"error\":\"tracing is not enabled\"}"));
         server.stop();
     }
 }

@@ -21,6 +21,10 @@
 //! * **The black box** ([`recorder`]): a bounded flight recorder of
 //!   registry snapshots, hops and notes, dumped to a file on chaos
 //!   violations or core crashes.
+//! * **The supervisor** ([`supervise`]): the repair half of the loop —
+//!   a dependency-aware service registry plus a passive, deterministic
+//!   supervisor that answers `Failed` transitions with restarts and
+//!   escalates up the graph when a restart doesn't clear the detector.
 //!
 //! Everything samples an injected clock, so the virtual-time chaos
 //! harness drives the whole loop deterministically.
@@ -33,10 +37,11 @@ pub mod http;
 pub mod monitor;
 pub mod recorder;
 pub mod state;
+pub mod supervise;
 
 pub use detect::{
-    default_detectors, DeliveryLatency, Detector, MembershipFlap, Observation, QueueGrowth,
-    RetransmitStorm, SampleCtx, WalStall,
+    default_detectors, ComponentDown, DeliveryLatency, Detector, MembershipFlap, Observation,
+    QueueGrowth, RetransmitStorm, SampleCtx, WalStall,
 };
 pub use http::{StatusServer, StatusSources};
 pub use monitor::{
@@ -44,3 +49,6 @@ pub use monitor::{
 };
 pub use recorder::FlightRecorder;
 pub use state::{ComponentHealth, HealthState, Hysteresis};
+pub use supervise::{
+    RepairAction, ServiceRegistry, ServiceSpec, SuperviseConfig, SupervisionReport, Supervisor,
+};

@@ -1,0 +1,624 @@
+//! The supervisor: the *repair* half of the autonomic loop.
+//!
+//! PR 4 built detection — detectors vote, state machines walk
+//! `Healthy → Degraded → Failed`, transitions become `smc.health`
+//! events. Nothing acted beyond quenching. This module closes the
+//! detect → repair loop with a dependency-aware [`ServiceRegistry`]
+//! over the cell's components and a [`Supervisor`] that turns `Failed`
+//! transitions into [`RepairAction`]s:
+//!
+//! * **restart** the failed component from its durable state (the
+//!   embedder re-runs the relevant slice of the `start_durable`
+//!   machinery and re-attaches sinks through the RouteTable control
+//!   path);
+//! * **escalate** up the dependency graph when restarts don't clear the
+//!   detector — a wedged sink endpoint eventually takes the whole core
+//!   down and back up, exactly like a crash-recovery cycle.
+//!
+//! The supervisor is deliberately **passive and deterministic**: it
+//! never spawns threads or touches components itself. The embedder (the
+//! virtual-time harness, or a wall-clock runtime) feeds it transitions
+//! and periodic [`HealthReport`]s and executes the actions it returns.
+//! That keeps every repair decision on the virtual clock and replayable
+//! per seed.
+//!
+//! Repair is judged by the *detector*, not by the restart having run:
+//! an episode stays open until the component's health walks back to
+//! `Healthy`. Time-to-repair is the virtual time from the `Failed`
+//! transition to that recovery.
+
+use std::collections::BTreeMap;
+
+use crate::monitor::{HealthReport, HealthTransition};
+use crate::state::HealthState;
+
+/// One supervised component: its place in the dependency graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceSpec {
+    /// Component key, matching the health monitor's component names
+    /// (e.g. `discovery`, `sink`, `wal`).
+    pub name: String,
+    /// Components this one needs running (documentation of the graph;
+    /// restart ordering derives from `escalate_to`).
+    pub depends_on: Vec<String>,
+    /// Where a failed repair escalates: the component whose restart
+    /// subsumes this one (`None` = top of the graph).
+    pub escalate_to: Option<String>,
+}
+
+impl ServiceSpec {
+    /// A spec with no dependencies and no escalation target.
+    pub fn new(name: impl Into<String>) -> ServiceSpec {
+        ServiceSpec {
+            name: name.into(),
+            depends_on: Vec::new(),
+            escalate_to: None,
+        }
+    }
+
+    /// Declares a dependency (builder style).
+    pub fn depends_on(mut self, dep: impl Into<String>) -> ServiceSpec {
+        self.depends_on.push(dep.into());
+        self
+    }
+
+    /// Sets the escalation target (builder style).
+    pub fn escalates_to(mut self, target: impl Into<String>) -> ServiceSpec {
+        self.escalate_to = Some(target.into());
+        self
+    }
+}
+
+/// The dependency-aware registry of supervised components.
+///
+/// Deterministic by construction: iteration is in `BTreeMap` order, and
+/// the escalation chain is an explicit edge per component rather than a
+/// search.
+#[derive(Debug, Default)]
+pub struct ServiceRegistry {
+    specs: BTreeMap<String, ServiceSpec>,
+}
+
+impl ServiceRegistry {
+    /// An empty registry.
+    pub fn new() -> ServiceRegistry {
+        ServiceRegistry::default()
+    }
+
+    /// Registers (or replaces) a component spec.
+    pub fn register(&mut self, spec: ServiceSpec) {
+        self.specs.insert(spec.name.clone(), spec);
+    }
+
+    /// Whether `name` is supervised.
+    pub fn contains(&self, name: &str) -> bool {
+        self.specs.contains_key(name)
+    }
+
+    /// The registered component names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.specs.keys().cloned().collect()
+    }
+
+    /// The spec for `name`.
+    pub fn spec(&self, name: &str) -> Option<&ServiceSpec> {
+        self.specs.get(name)
+    }
+
+    /// The escalation target of `name`, if any.
+    pub fn escalate_to(&self, name: &str) -> Option<&str> {
+        self.specs.get(name)?.escalate_to.as_deref()
+    }
+
+    /// Every registered component that (transitively) depends on
+    /// `name`, sorted — the set an embedder must consider re-attaching
+    /// after restarting `name`.
+    pub fn dependents(&self, name: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut frontier = vec![name.to_owned()];
+        while let Some(current) = frontier.pop() {
+            for spec in self.specs.values() {
+                if spec.depends_on.contains(&current) && !out.contains(&spec.name) {
+                    out.push(spec.name.clone());
+                    frontier.push(spec.name.clone());
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Validates the graph: every `depends_on`/`escalate_to` edge names
+    /// a registered component, and following `escalate_to` from any
+    /// component terminates (no cycle).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first broken edge or cycle.
+    pub fn validate(&self) -> Result<(), String> {
+        for spec in self.specs.values() {
+            for dep in &spec.depends_on {
+                if !self.specs.contains_key(dep) {
+                    return Err(format!("{} depends on unregistered {dep}", spec.name));
+                }
+            }
+            if let Some(target) = &spec.escalate_to {
+                if !self.specs.contains_key(target) {
+                    return Err(format!("{} escalates to unregistered {target}", spec.name));
+                }
+            }
+            let mut hops = 0usize;
+            let mut cursor = spec.name.as_str();
+            while let Some(next) = self.escalate_to(cursor) {
+                hops += 1;
+                if hops > self.specs.len() {
+                    return Err(format!("escalation cycle through {}", spec.name));
+                }
+                cursor = next;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Supervisor tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct SuperviseConfig {
+    /// Restart attempts per component before escalating up the graph.
+    pub max_restarts: u32,
+    /// How long (virtual µs) a repair action gets to clear the detector
+    /// before the supervisor tries again or escalates.
+    pub retry_after_micros: u64,
+}
+
+impl Default for SuperviseConfig {
+    fn default() -> Self {
+        SuperviseConfig {
+            max_restarts: 2,
+            retry_after_micros: 1_000_000,
+        }
+    }
+}
+
+/// One repair the embedder must execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairAction {
+    /// Restart `component` from its durable state.
+    Restart {
+        /// The component to restart.
+        component: String,
+        /// Which attempt this is within the current episode (1-based).
+        attempt: u32,
+    },
+    /// Restarting `failed` did not clear its detector; restart `target`
+    /// (its ancestor in the dependency graph) instead.
+    Escalate {
+        /// The component whose repairs were exhausted.
+        failed: String,
+        /// The ancestor whose restart subsumes it.
+        target: String,
+    },
+}
+
+impl std::fmt::Display for RepairAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairAction::Restart { component, attempt } => {
+                write!(f, "restart {component} (attempt {attempt})")
+            }
+            RepairAction::Escalate { failed, target } => {
+                write!(f, "escalate {failed} -> {target}")
+            }
+        }
+    }
+}
+
+/// One open failure episode: a component that went `Failed` and has not
+/// yet walked back to `Healthy`.
+#[derive(Debug, Clone)]
+struct Episode {
+    /// When the `Failed` transition landed.
+    failed_at: u64,
+    /// The component currently being repaired — starts as the failed
+    /// component, moves up the graph on escalation.
+    current: String,
+    /// Restart attempts against `current`.
+    attempts: u32,
+    /// When the last repair action was issued.
+    last_action_at: Option<u64>,
+    /// Whether the episode ever escalated.
+    escalated: bool,
+}
+
+/// Summary of everything the supervisor saw and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SupervisionReport {
+    /// Restart actions issued.
+    pub restarts: u64,
+    /// Escalations issued.
+    pub escalations: u64,
+    /// Divergences repaired by anti-entropy reconcile passes (recorded
+    /// via [`Supervisor::record_reconcile`]).
+    pub reconcile_repairs: u64,
+    /// Completed episodes' time-to-repair, virtual µs, in completion
+    /// order (`Failed` transition → `Healthy` recovery).
+    pub ttr_micros: Vec<u64>,
+    /// Components with an episode still open.
+    pub unresolved: Vec<String>,
+    /// The full repair log: `(at_micros, what)`.
+    pub log: Vec<(u64, String)>,
+}
+
+impl SupervisionReport {
+    /// Mean time-to-repair over completed episodes (0 when none).
+    pub fn mean_ttr_micros(&self) -> u64 {
+        if self.ttr_micros.is_empty() {
+            0
+        } else {
+            self.ttr_micros.iter().sum::<u64>() / self.ttr_micros.len() as u64
+        }
+    }
+
+    /// `true` when every failure episode was repaired.
+    pub fn converged(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+}
+
+/// The supervisor: consumes health transitions and reports, produces
+/// [`RepairAction`]s, and accounts for every episode.
+///
+/// Drive it with [`Supervisor::on_transition`] for each transition the
+/// monitor emits **and** [`Supervisor::tick`] once per sampling window.
+/// The tick is load-bearing: the monitor only reports *changes*, so a
+/// component that stays `Failed` after a botched restart is silent —
+/// only the tick's retry timeout notices and escalates.
+#[derive(Debug)]
+pub struct Supervisor {
+    registry: ServiceRegistry,
+    config: SuperviseConfig,
+    episodes: BTreeMap<String, Episode>,
+    report: SupervisionReport,
+}
+
+impl Supervisor {
+    /// A supervisor over `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry fails [`ServiceRegistry::validate`] — a
+    /// broken graph is a construction bug, not a runtime condition.
+    pub fn new(registry: ServiceRegistry, config: SuperviseConfig) -> Supervisor {
+        if let Err(e) = registry.validate() {
+            panic!("invalid service registry: {e}");
+        }
+        Supervisor {
+            registry,
+            config,
+            episodes: BTreeMap::new(),
+            report: SupervisionReport::default(),
+        }
+    }
+
+    /// The registry (for embedders resolving dependents).
+    pub fn registry(&self) -> &ServiceRegistry {
+        &self.registry
+    }
+
+    /// Feeds one monitor transition. A `Failed` transition on a
+    /// supervised component opens an episode and returns its first
+    /// repair action; a recovery to `Healthy` closes the episode and
+    /// books its time-to-repair.
+    pub fn on_transition(&mut self, t: &HealthTransition) -> Vec<RepairAction> {
+        if !self.registry.contains(&t.component) {
+            return Vec::new();
+        }
+        match t.to {
+            HealthState::Failed => {
+                if self.episodes.contains_key(&t.component) {
+                    return Vec::new();
+                }
+                self.log(
+                    t.at_micros,
+                    format!("{} failed [{}]: {}", t.component, t.detector, t.detail),
+                );
+                self.episodes.insert(
+                    t.component.clone(),
+                    Episode {
+                        failed_at: t.at_micros,
+                        current: t.component.clone(),
+                        attempts: 0,
+                        last_action_at: None,
+                        escalated: false,
+                    },
+                );
+                self.plan(&t.component, t.at_micros).into_iter().collect()
+            }
+            HealthState::Healthy => {
+                if let Some(ep) = self.episodes.remove(&t.component) {
+                    let ttr = t.at_micros.saturating_sub(ep.failed_at);
+                    self.report.ttr_micros.push(ttr);
+                    self.log(
+                        t.at_micros,
+                        format!("{} repaired after {ttr} µs", t.component),
+                    );
+                }
+                Vec::new()
+            }
+            HealthState::Degraded => Vec::new(),
+        }
+    }
+
+    /// One supervision tick: retries or escalates open episodes whose
+    /// last action has had `retry_after_micros` to work and whose
+    /// component `report` still shows unhealthy. Call once per
+    /// monitor sampling window, after feeding transitions.
+    pub fn tick(&mut self, now_micros: u64, report: &HealthReport) -> Vec<RepairAction> {
+        let open: Vec<String> = self.episodes.keys().cloned().collect();
+        let mut actions = Vec::new();
+        for component in open {
+            let healthy_now = report
+                .components
+                .iter()
+                .find(|c| c.component == component)
+                .is_some_and(|c| c.state == HealthState::Healthy);
+            if healthy_now {
+                // Defensive close: the recovery transition is the normal
+                // close path, but a purged component can vanish from the
+                // transition stream.
+                if let Some(ep) = self.episodes.remove(&component) {
+                    let ttr = now_micros.saturating_sub(ep.failed_at);
+                    self.report.ttr_micros.push(ttr);
+                    self.log(now_micros, format!("{component} repaired after {ttr} µs"));
+                }
+                continue;
+            }
+            let due = self
+                .episodes
+                .get(&component)
+                .and_then(|ep| ep.last_action_at)
+                .is_none_or(|last| now_micros >= last + self.config.retry_after_micros);
+            if due {
+                actions.extend(self.plan(&component, now_micros));
+            }
+        }
+        actions
+    }
+
+    /// Books the outcome of an anti-entropy reconcile pass into the
+    /// report (the supervisor does not run reconciliation itself — the
+    /// embedder owns the durable truth).
+    pub fn record_reconcile(&mut self, now_micros: u64, divergences: &[String]) {
+        self.report.reconcile_repairs += divergences.len() as u64;
+        for d in divergences {
+            self.log(now_micros, format!("reconcile: {d}"));
+        }
+    }
+
+    /// The running report. `unresolved` reflects episodes open right
+    /// now.
+    pub fn report(&self) -> SupervisionReport {
+        let mut report = self.report.clone();
+        report.unresolved = self.episodes.keys().cloned().collect();
+        report
+    }
+
+    /// Decides the next action for `component`'s episode: restart until
+    /// `max_restarts`, then escalate one step up the graph (the episode
+    /// then repairs the ancestor); at the top of the graph, keep
+    /// restarting — there is nothing bigger to take down.
+    fn plan(&mut self, component: &str, now_micros: u64) -> Option<RepairAction> {
+        let ep = self.episodes.get_mut(component)?;
+        ep.last_action_at = Some(now_micros);
+        if ep.attempts < self.config.max_restarts {
+            ep.attempts += 1;
+            let action = RepairAction::Restart {
+                component: ep.current.clone(),
+                attempt: ep.attempts,
+            };
+            self.report.restarts += 1;
+            self.log(now_micros, action.to_string());
+            return Some(action);
+        }
+        if let Some(target) = self.registry.escalate_to(&ep.current) {
+            let target = target.to_owned();
+            ep.current = target.clone();
+            ep.attempts = 1;
+            ep.escalated = true;
+            let action = RepairAction::Escalate {
+                failed: component.to_owned(),
+                target,
+            };
+            self.report.escalations += 1;
+            self.report.restarts += 1;
+            self.log(now_micros, action.to_string());
+            return Some(action);
+        }
+        // Top of the graph: nothing to escalate to, keep trying.
+        ep.attempts = 1;
+        let action = RepairAction::Restart {
+            component: ep.current.clone(),
+            attempt: ep.attempts,
+        };
+        self.report.restarts += 1;
+        self.log(now_micros, action.to_string());
+        Some(action)
+    }
+
+    fn log(&mut self, at_micros: u64, what: String) {
+        self.report.log.push((at_micros, what));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ComponentStatus;
+
+    fn registry() -> ServiceRegistry {
+        let mut r = ServiceRegistry::new();
+        r.register(ServiceSpec::new("core"));
+        r.register(
+            ServiceSpec::new("discovery")
+                .depends_on("core")
+                .escalates_to("core"),
+        );
+        r.register(
+            ServiceSpec::new("sink")
+                .depends_on("core")
+                .escalates_to("core"),
+        );
+        r
+    }
+
+    fn failed(component: &str, at: u64) -> HealthTransition {
+        HealthTransition {
+            at_micros: at,
+            component: component.into(),
+            detector: "component-down",
+            from: HealthState::Degraded,
+            to: HealthState::Failed,
+            detail: "up=0".into(),
+        }
+    }
+
+    fn recovered(component: &str, at: u64) -> HealthTransition {
+        HealthTransition {
+            at_micros: at,
+            component: component.into(),
+            detector: "component-down",
+            from: HealthState::Degraded,
+            to: HealthState::Healthy,
+            detail: "up=1".into(),
+        }
+    }
+
+    fn report_with(component: &str, state: HealthState, at: u64) -> HealthReport {
+        HealthReport {
+            at_micros: at,
+            components: vec![ComponentStatus {
+                component: component.into(),
+                detector: "component-down",
+                state,
+                detail: String::new(),
+                since_micros: at,
+            }],
+        }
+    }
+
+    #[test]
+    fn registry_validates_edges_and_cycles() {
+        assert!(registry().validate().is_ok());
+        let mut broken = ServiceRegistry::new();
+        broken.register(ServiceSpec::new("a").escalates_to("missing"));
+        assert!(broken.validate().unwrap_err().contains("unregistered"));
+        let mut cyclic = ServiceRegistry::new();
+        cyclic.register(ServiceSpec::new("a").escalates_to("b"));
+        cyclic.register(ServiceSpec::new("b").escalates_to("a"));
+        assert!(cyclic.validate().unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn registry_resolves_transitive_dependents() {
+        let mut r = registry();
+        r.register(ServiceSpec::new("agent").depends_on("discovery"));
+        assert_eq!(
+            r.dependents("core"),
+            vec!["agent".to_owned(), "discovery".into(), "sink".into()]
+        );
+        assert_eq!(r.dependents("discovery"), vec!["agent".to_owned()]);
+        assert!(r.dependents("agent").is_empty());
+    }
+
+    #[test]
+    fn failed_transition_opens_episode_and_restarts() {
+        let mut s = Supervisor::new(registry(), SuperviseConfig::default());
+        let actions = s.on_transition(&failed("discovery", 1_000));
+        assert_eq!(
+            actions,
+            vec![RepairAction::Restart {
+                component: "discovery".into(),
+                attempt: 1
+            }]
+        );
+        // Duplicate Failed transitions don't double-open.
+        assert!(s.on_transition(&failed("discovery", 2_000)).is_empty());
+        assert_eq!(s.report().unresolved, vec!["discovery".to_owned()]);
+
+        let none = s.on_transition(&recovered("discovery", 5_000));
+        assert!(none.is_empty());
+        let report = s.report();
+        assert!(report.converged());
+        assert_eq!(report.ttr_micros, vec![4_000]);
+        assert_eq!(report.mean_ttr_micros(), 4_000);
+        assert_eq!(report.restarts, 1);
+    }
+
+    #[test]
+    fn unsupervised_components_are_ignored() {
+        let mut s = Supervisor::new(registry(), SuperviseConfig::default());
+        assert!(s.on_transition(&failed("channel:device3", 0)).is_empty());
+        assert!(s.report().converged());
+    }
+
+    #[test]
+    fn tick_retries_then_escalates_a_wedged_component() {
+        let mut s = Supervisor::new(
+            registry(),
+            SuperviseConfig {
+                max_restarts: 2,
+                retry_after_micros: 1_000,
+            },
+        );
+        assert_eq!(s.on_transition(&failed("sink", 0)).len(), 1);
+        let still_down = report_with("sink", HealthState::Failed, 0);
+        // Inside the retry window: nothing.
+        assert!(s.tick(500, &still_down).is_empty());
+        // Second restart attempt.
+        assert_eq!(
+            s.tick(1_000, &still_down),
+            vec![RepairAction::Restart {
+                component: "sink".into(),
+                attempt: 2
+            }]
+        );
+        // Attempts exhausted → escalate to core.
+        assert_eq!(
+            s.tick(2_000, &still_down),
+            vec![RepairAction::Escalate {
+                failed: "sink".into(),
+                target: "core".into()
+            }]
+        );
+        // Core is top of the graph: further ticks keep restarting core.
+        assert_eq!(
+            s.tick(3_000, &still_down),
+            vec![RepairAction::Restart {
+                component: "core".into(),
+                attempt: 2
+            }]
+        );
+        let report = s.report();
+        assert_eq!(report.escalations, 1);
+        assert!(!report.converged());
+
+        // The detector finally clears; the tick closes the episode.
+        let healthy = report_with("sink", HealthState::Healthy, 4_000);
+        assert!(s.tick(4_000, &healthy).is_empty());
+        let report = s.report();
+        assert!(report.converged());
+        assert_eq!(report.ttr_micros, vec![4_000]);
+    }
+
+    #[test]
+    fn reconcile_outcomes_land_in_the_report() {
+        let mut s = Supervisor::new(registry(), SuperviseConfig::default());
+        s.record_reconcile(7_000, &["removed ghost member 9".into()]);
+        let report = s.report();
+        assert_eq!(report.reconcile_repairs, 1);
+        assert!(report
+            .log
+            .iter()
+            .any(|(at, line)| *at == 7_000 && line.contains("ghost")));
+    }
+}

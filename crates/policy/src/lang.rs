@@ -291,6 +291,11 @@ fn parse_action(lineno: usize, text: &str) -> Result<ActionSpec> {
             publisher: parse_template(lineno, rest)?,
             enable: verb == "quench",
         }),
+        // restart @attr | restart "name" — ask the supervisor to restart
+        // the addressed cell component.
+        "restart" => Ok(ActionSpec::Restart {
+            component: parse_template(lineno, rest)?,
+        }),
         other => Err(err(lineno, &format!("unknown action '{other}'"))),
     }
 }
@@ -495,6 +500,9 @@ fn write_action(action: &ActionSpec) -> String {
         ActionSpec::Quench { publisher, enable } => {
             let verb = if *enable { "quench" } else { "wake" };
             format!("{verb} {}", write_template(publisher))
+        }
+        ActionSpec::Restart { component } => {
+            format!("restart {}", write_template(component))
         }
     }
 }

@@ -28,4 +28,7 @@ pub use model::{
     glob_matches, ActionClass, ActionSpec, AuthorisationPolicy, ObligationPolicy, Policy,
     PolicySet, ValueTemplate,
 };
-pub use service::{ehealth_baseline, health_quench_policies, Decision, FiredAction, PolicyService};
+pub use service::{
+    ehealth_baseline, health_quench_policies, supervision_policies, Decision, FiredAction,
+    PolicyService,
+};

@@ -178,6 +178,14 @@ pub enum ActionSpec {
         /// `true` = stop publishing, `false` = resume.
         enable: bool,
     },
+    /// Ask the supervisor to restart a cell component — the repair half
+    /// of the detect → repair loop. The built-in supervision obligation
+    /// fires this when a component's health transitions to `failed`.
+    Restart {
+        /// Where to find the component name (string attribute, typically
+        /// `health.component` on an `smc.health` event).
+        component: ValueTemplate,
+    },
 }
 
 /// An obligation (event-condition-action) policy.
@@ -336,6 +344,10 @@ impl Encode for ActionSpec {
                 publisher.encode(buf);
                 buf.put_bool(*enable);
             }
+            ActionSpec::Restart { component } => {
+                buf.put_u8(6);
+                component.encode(buf);
+            }
         }
     }
 }
@@ -366,6 +378,9 @@ impl Decode for ActionSpec {
             5 => Ok(ActionSpec::Quench {
                 publisher: ValueTemplate::decode(r)?,
                 enable: r.bool()?,
+            }),
+            6 => Ok(ActionSpec::Restart {
+                component: ValueTemplate::decode(r)?,
             }),
             t => Err(CodecError::BadTag {
                 what: "action spec",
@@ -591,7 +606,14 @@ mod tests {
             })
             .then(ActionSpec::EnablePolicy("escalation".into()))
             .then(ActionSpec::DisablePolicy("routine".into()))
-            .then(ActionSpec::Log("hypoxia handled".into())),
+            .then(ActionSpec::Log("hypoxia handled".into()))
+            .then(ActionSpec::Quench {
+                publisher: ValueTemplate::FromEvent("health.member".into()),
+                enable: true,
+            })
+            .then(ActionSpec::Restart {
+                component: ValueTemplate::FromEvent("health.component".into()),
+            }),
         );
         let set = PolicySet {
             policies: vec![auth, obligation],

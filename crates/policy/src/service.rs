@@ -384,6 +384,25 @@ pub fn health_quench_policies() -> Vec<Policy> {
     ]
 }
 
+/// The built-in supervision obligation: when a component's health
+/// transitions to `Failed`, ask the supervisor to restart it. This is
+/// the policy-layer entry into the detect → repair loop — the
+/// supervisor decides whether the restart is a component restart or an
+/// escalation up the dependency graph.
+pub fn supervision_policies() -> Vec<Policy> {
+    use smc_types::member::wellknown;
+    use smc_types::{Filter, Op};
+    vec![Policy::Obligation(
+        ObligationPolicy::new(
+            "builtin.health.restart-failed",
+            Filter::for_type(wellknown::HEALTH).with((wellknown::HEALTH_TO, Op::Eq, "failed")),
+        )
+        .then(ActionSpec::Restart {
+            component: ValueTemplate::FromEvent(wellknown::HEALTH_COMPONENT.into()),
+        }),
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +502,38 @@ mod tests {
         assert!(s.on_event(&health("degraded", None)).is_empty());
         // Degraded → Failed transitions don't re-quench.
         assert!(s.on_event(&health("failed", Some(42))).is_empty());
+    }
+
+    #[test]
+    fn supervision_policies_fire_restart_on_failed() {
+        use smc_types::member::wellknown;
+        let s = PolicyService::new();
+        for p in supervision_policies() {
+            s.add(p).unwrap();
+        }
+        let health = |to: &str| {
+            Event::builder(wellknown::HEALTH)
+                .attr(wellknown::HEALTH_COMPONENT, "discovery")
+                .attr(wellknown::HEALTH_TO, to)
+                .build()
+        };
+        let fired = s.on_event(&health("failed"));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].policy_id, "builtin.health.restart-failed");
+        match &fired[0].action {
+            ActionSpec::Restart { component } => {
+                assert_eq!(
+                    component
+                        .resolve(&fired[0].trigger)
+                        .and_then(|v| v.as_str().map(str::to_owned)),
+                    Some("discovery".to_owned())
+                );
+            }
+            other => panic!("expected restart, got {other:?}"),
+        }
+        // Degraded is the quench layer's business, not the supervisor's.
+        assert!(s.on_event(&health("degraded")).is_empty());
+        assert!(s.on_event(&health("healthy")).is_empty());
     }
 
     #[test]

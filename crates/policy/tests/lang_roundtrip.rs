@@ -84,6 +84,7 @@ fn arb_action() -> impl Strategy<Value = ActionSpec> {
         "[a-zA-Z0-9 _.-]{0,20}".prop_map(ActionSpec::Log),
         (arb_template(), any::<bool>())
             .prop_map(|(publisher, enable)| ActionSpec::Quench { publisher, enable }),
+        arb_template().prop_map(|component| ActionSpec::Restart { component }),
     ]
 }
 

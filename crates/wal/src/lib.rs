@@ -522,6 +522,73 @@ struct WalInner {
     active_bytes: usize,
 }
 
+/// The result of folding a backend's snapshot and segments into one
+/// [`CoreSnapshot`] — shared between [`Wal::open`] (which then starts a
+/// fresh active segment) and [`Wal::recover_state`] (a pure read).
+struct BackendFold {
+    snapshot: CoreSnapshot,
+    replayed: u64,
+    skipped: u64,
+    truncated: bool,
+    last_segment: Option<u64>,
+}
+
+fn fold_backend(backend: &dyn WalBackend) -> Result<BackendFold> {
+    let mut snapshot = CoreSnapshot::default();
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    let mut truncated = false;
+
+    if let Some(blob) = backend.read_snapshot()? {
+        match decode_snapshot(&blob) {
+            Some(snap) => snapshot = snap,
+            None => skipped += 1,
+        }
+    }
+
+    let segment_ids = backend.segments()?;
+    for &id in &segment_ids {
+        let data = backend.read_segment(id)?;
+        let mut pos = 0usize;
+        while data.len() - pos >= RECORD_HEADER_LEN {
+            let len = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+            let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
+            if len > MAX_RECORD_LEN || pos + RECORD_HEADER_LEN + len > data.len() {
+                // Torn tail: the header (or payload) never finished
+                // hitting storage. Nothing after it in this segment
+                // is trustworthy.
+                truncated = true;
+                break;
+            }
+            let payload = &data[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
+            pos += RECORD_HEADER_LEN + len;
+            if crc32(payload) != crc {
+                skipped += 1;
+                continue;
+            }
+            match from_bytes::<WalRecord>(payload) {
+                Ok(record) => {
+                    snapshot.apply(&record);
+                    replayed += 1;
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        if data.len() > pos {
+            // Trailing sub-header bytes are also a torn tail.
+            truncated = true;
+        }
+    }
+
+    Ok(BackendFold {
+        snapshot,
+        replayed,
+        skipped,
+        truncated,
+        last_segment: segment_ids.last().copied(),
+    })
+}
+
 /// The write-ahead log: checksummed record framing and snapshot
 /// compaction over a [`WalBackend`].
 #[derive(Debug)]
@@ -548,56 +615,11 @@ impl Wal {
     /// they are tallied in [`Recovered`] and recovery continues.
     pub fn open(backend: Arc<dyn WalBackend>, config: WalConfig) -> Result<(Wal, Recovered)> {
         let started = Instant::now();
-        let mut snapshot = CoreSnapshot::default();
-        let mut replayed = 0u64;
-        let mut skipped = 0u64;
-        let mut truncated = false;
-
-        if let Some(blob) = backend.read_snapshot()? {
-            match decode_snapshot(&blob) {
-                Some(snap) => snapshot = snap,
-                None => skipped += 1,
-            }
-        }
-
-        let segment_ids = backend.segments()?;
-        for &id in &segment_ids {
-            let data = backend.read_segment(id)?;
-            let mut pos = 0usize;
-            while data.len() - pos >= RECORD_HEADER_LEN {
-                let len =
-                    u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes")) as usize;
-                let crc = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("4 bytes"));
-                if len > MAX_RECORD_LEN || pos + RECORD_HEADER_LEN + len > data.len() {
-                    // Torn tail: the header (or payload) never finished
-                    // hitting storage. Nothing after it in this segment
-                    // is trustworthy.
-                    truncated = true;
-                    break;
-                }
-                let payload = &data[pos + RECORD_HEADER_LEN..pos + RECORD_HEADER_LEN + len];
-                pos += RECORD_HEADER_LEN + len;
-                if crc32(payload) != crc {
-                    skipped += 1;
-                    continue;
-                }
-                match from_bytes::<WalRecord>(payload) {
-                    Ok(record) => {
-                        snapshot.apply(&record);
-                        replayed += 1;
-                    }
-                    Err(_) => skipped += 1,
-                }
-            }
-            if data.len() > pos {
-                // Trailing sub-header bytes are also a torn tail.
-                truncated = true;
-            }
-        }
+        let fold = fold_backend(backend.as_ref())?;
 
         // Always start a new active segment: a damaged tail stays frozen
         // in its old segment instead of being appended past.
-        let active = segment_ids.last().map_or(1, |last| last + 1);
+        let active = fold.last_segment.map_or(1, |last| last + 1);
         backend.create_segment(active)?;
 
         let wal = Wal {
@@ -613,13 +635,28 @@ impl Wal {
             snapshots: AtomicU64::new(0),
         };
         let recovered = Recovered {
-            snapshot,
-            replayed,
-            skipped,
-            truncated,
+            snapshot: fold.snapshot,
+            replayed: fold.replayed,
+            skipped: fold.skipped,
+            truncated: fold.truncated,
             recovery_micros: started.elapsed().as_micros() as u64,
         };
         Ok((wal, recovered))
+    }
+
+    /// Re-reads durable state without disturbing the log: the latest
+    /// snapshot plus every decodable record folded in, exactly as
+    /// [`Wal::open`] would compute it, but with no new segment created
+    /// and no mutation of the active one. This is the source of truth
+    /// for anti-entropy reconciliation and component restarts — callers
+    /// diff live state against it and repair divergence.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O failures; damaged contents are skipped,
+    /// as during open.
+    pub fn recover_state(&self) -> Result<CoreSnapshot> {
+        Ok(fold_backend(self.backend.as_ref())?.snapshot)
     }
 
     /// Appends one record, rotating segments as configured and fsyncing
@@ -956,6 +993,32 @@ mod tests {
             recovered.snapshot.outbound_for(CHAN_BUS),
             vec![(sid(2), vec![(1, vec![9; 32])])]
         );
+    }
+
+    #[test]
+    fn recover_state_reads_durable_truth_without_touching_log() {
+        let backend = MemBackend::new();
+        let (wal, _) = open_mem(&backend);
+        wal.append(&cursor(1, 5)).unwrap();
+        wal.append(&WalRecord::MemberJoined {
+            info: smc_types::ServiceInfo::new(sid(9), "sensor.spo2"),
+        })
+        .unwrap();
+
+        // A pure read: appended records are visible, and the read can
+        // repeat without perturbing later appends or reopen.
+        let truth = wal.recover_state().expect("recover");
+        assert_eq!(truth.cursors_for(CHAN_BUS), vec![(sid(1), 7, 5)]);
+        assert_eq!(truth.members.len(), 1);
+        assert_eq!(truth.members[0].id, sid(9));
+
+        wal.append(&cursor(1, 6)).unwrap();
+        let truth = wal.recover_state().expect("recover again");
+        assert_eq!(truth.cursors_for(CHAN_BUS), vec![(sid(1), 7, 6)]);
+
+        drop(wal);
+        let (_, recovered) = open_mem(&backend);
+        assert_eq!(recovered.replayed, 3, "recover_state left the log intact");
     }
 
     #[test]
