@@ -18,7 +18,9 @@ use std::time::{Duration, Instant};
 
 use smc_core::{RemoteClient, SmcCell, SmcConfig};
 use smc_discovery::{AgentConfig, DiscoveryConfig};
-use smc_health::{health_event, HealthConfig, HealthMonitor, StatusServer, StatusSources};
+use smc_health::{
+    health_event, HealthConfig, HealthMonitor, StatusServer, StatusSources, SupervisionStatus,
+};
 use smc_policy::health_quench_policies;
 use smc_telemetry::{Registry, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
 use smc_transport::{LinkConfig, ReliableChannel, SimNetwork};
@@ -93,10 +95,12 @@ fn main() {
     let sensor_id = sensor.local_id();
 
     let mut monitor = HealthMonitor::new(HealthConfig::default());
+    let supervision: Arc<parking_lot::Mutex<SupervisionStatus>> = Arc::default();
     let sources = StatusSources {
         registry: registry.clone(),
         sink: Some(Arc::clone(&sink)),
         health: Arc::default(),
+        supervision: Some(Arc::clone(&supervision)),
     };
     let shared_report = Arc::clone(&sources.health);
     let server = StatusServer::start("127.0.0.1:0", sources).expect("bind status server");
@@ -158,6 +162,11 @@ fn main() {
         );
         if !journey.starts_with("HTTP/1.1 200") {
             eprintln!("SMOKE FAIL: /journey errored:\n{journey}");
+            failures += 1;
+        }
+        let supervision = http_get(addr, "/supervision");
+        if !(supervision.starts_with("HTTP/1.1 200") && supervision.contains("\"peers\"")) {
+            eprintln!("SMOKE FAIL: /supervision not a report:\n{supervision}");
             failures += 1;
         }
         eprintln!(

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 mod oracle;
+mod peer_world;
 mod scenario;
 mod world;
 
 pub use oracle::{DeliveryOracle, OracleViolation, TraceEvent, ViolationKind};
+pub use peer_world::{run_peer, run_peer_with_options, CellReport, PeerOptions, PeerRunReport};
 pub use scenario::{
     shrink_scenario, ChaosOp, CoreComponent, CorruptTarget, LinkProfileKind, Scenario, ScriptedOp,
 };

@@ -1,0 +1,1373 @@
+//! The peer-supervision world: two sibling cells in one virtual
+//! timeline, each watching the other's supervisor over the wire.
+//!
+//! The single-cell world ([`crate::world`]) closes the detect → repair
+//! loop inside a cell, which leaves the loop's own host as the last
+//! single point of failure: kill the supervisor mid-repair and the
+//! outage it was handling stays an outage forever. This world closes
+//! that hole. Each cell heartbeats a lease over a journaled supervision
+//! channel (`smc.supervision` events on [`CHAN_SUPERVISION`], so the
+//! lease/claim/adopt protocol rides the same exactly-once, FIFO
+//! machinery as the data plane); a [`PeerSupervisor`] per cell tracks
+//! sibling leases, claims lapsed ones (lowest member id wins), adopts
+//! the silent cell, and drives repair remotely — restart commands ship
+//! as [`SupervisionMsg::Repair`] through the policy layer's
+//! `peer_repair_policies`, and anti-entropy passes are ordered with
+//! [`SupervisionMsg::Reconcile`] so the ward never compacts a corrupted
+//! view into its durable truth (the reconcile-before-checkpoint
+//! invariant, extended across the wire: a cell whose last reconcile is
+//! older than one checkpoint interval refuses to compact).
+//!
+//! Two planes per cell, deliberately separable:
+//!
+//! * the **supervisor plane** (health monitor, supervisor, peer
+//!   watcher) — killed by [`ChaosOp::KillSupervisor`];
+//! * the **cell runtime** (data channels, the supervision channel, and
+//!   the actuator that executes wire `Repair`/`Reconcile` commands) —
+//!   survives, the way an init system outlives a crashed node agent.
+//!   That is what makes remote revival possible at all: the sibling's
+//!   `Repair { component: "supervisor" }` lands on a live actuator.
+//!
+//! Everything steps one `ManualClock`; the same seed produces the same
+//! trace, byte for byte.
+
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use smc_discovery::{AgentConfig, DiscoveryConfig, MemberAgent, MembershipEvent};
+use smc_health::{
+    health_event, ComponentDown, HealthMonitor, HealthState, PeerConfig, PeerReport,
+    PeerSupervisor, RepairAction, ServiceRegistry, ServiceSpec, SupervisionReport, Supervisor,
+};
+use smc_policy::{peer_repair_policies, ActionSpec, PolicyService};
+use smc_telemetry::{Hop, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
+use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
+use smc_types::{
+    codec, CellId, Event, ManualClock, ServiceId, ServiceInfo, SharedClock, SupervisionMsg,
+    TraceId, WalRecord,
+};
+use smc_wal::{MemBackend, Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_SUPERVISION};
+
+use crate::oracle::DeliveryOracle;
+use crate::scenario::{ChaosOp, CoreComponent, CorruptTarget, Scenario};
+use crate::world::{
+    apply, boot_core, checkpoint, decode, default_discovery, default_reliable, encode,
+    reconcile_pass, restart_discovery, restart_sink, Act, ComponentFlags, Core, Device,
+    SupervisionOptions, SupervisionRuntime, CHECKPOINT_MICROS, DRAIN_MICROS, GHOST_MEMBER,
+    TICK_MICROS,
+};
+
+/// Everything configurable about a peer-supervision run.
+#[derive(Debug, Clone)]
+pub struct PeerOptions {
+    /// Reliable-channel parameters for every channel in both cells.
+    pub reliable: ReliableConfig,
+    /// Discovery timings for both cells.
+    pub discovery: DiscoveryConfig,
+    /// The per-cell in-process supervisor (and its remote twin).
+    pub supervision: SupervisionOptions,
+    /// Lease/claim timings of the peer protocol.
+    pub peer: PeerConfig,
+    /// Whether hops are recorded into a trace sink.
+    pub trace: bool,
+}
+
+impl Default for PeerOptions {
+    fn default() -> Self {
+        PeerOptions {
+            reliable: default_reliable(),
+            discovery: default_discovery(),
+            supervision: SupervisionOptions::default(),
+            peer: PeerConfig::default(),
+            trace: true,
+        }
+    }
+}
+
+/// What one cell ended the run with.
+#[derive(Debug)]
+pub struct CellReport {
+    /// The cell's member id on the supervision plane (1-based).
+    pub member_id: u64,
+    /// Whether the in-process supervisor was alive at run end.
+    pub supervisor_alive: bool,
+    /// Times a sibling's remote `Repair` revived this cell's supervisor.
+    pub supervisor_revivals: u64,
+    /// Core reboots (remote or escalated) this cell went through.
+    pub core_recoveries: u64,
+    /// The peer watcher's counters and decision log (final incarnation).
+    pub peer: PeerReport,
+    /// The local supervisor's episode accounting (final incarnation).
+    pub report: SupervisionReport,
+    /// Repairs executed by the cell's own supervisor: `(at, what)`.
+    pub local_repairs: Vec<(u64, String)>,
+    /// Repair commands this cell shipped to its adopted ward.
+    pub remote_commands: Vec<(u64, String)>,
+    /// Wire-commanded repairs executed *on* this cell.
+    pub remote_repairs: Vec<(u64, String)>,
+    /// Anti-entropy passes run on this cell (local or wire-ordered).
+    pub reconciles: u64,
+    /// Divergences those passes repaired.
+    pub reconcile_fixes: Vec<(u64, String)>,
+    /// Checkpoints refused because no reconcile had run recently enough
+    /// (the cross-wire reconcile-before-checkpoint invariant holding).
+    pub checkpoints_deferred: u64,
+    /// Missed-ack pulses the cell's device channels raised.
+    pub missed_ack_interrupts: u64,
+    /// Sibling member ids this cell still held adopted at run end.
+    pub adopted_at_end: Vec<u64>,
+}
+
+impl CellReport {
+    /// `true` when the cell ended healthy: supervisor alive, no
+    /// component down, no unresolved failure episode, no ward still
+    /// adopted (its sibling recovered and was released).
+    pub fn converged(&self) -> bool {
+        self.supervisor_alive && self.report.converged() && self.adopted_at_end.is_empty()
+    }
+}
+
+/// The outcome of one two-cell peer-supervision run.
+#[derive(Debug)]
+pub struct PeerRunReport {
+    /// The shared oracle holding the full trace and any violation.
+    pub oracle: DeliveryOracle,
+    /// Device endpoints of both cells: cell 0's nodes then cell 1's.
+    pub device_ids: Vec<ServiceId>,
+    /// Per-cell outcomes, in member-id order.
+    pub cells: Vec<CellReport>,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Virtual micros covered (scripted duration plus drain).
+    pub virtual_micros: u64,
+}
+
+impl PeerRunReport {
+    /// Panics with seed + trace if a delivery guarantee broke.
+    pub fn assert_clean(&self) {
+        self.oracle.assert_clean();
+    }
+
+    /// The byte-comparable rendering of the whole trace.
+    pub fn trace_text(&self) -> String {
+        self.oracle.trace_text()
+    }
+
+    /// `true` when every published message of every device (both
+    /// cells) was delivered.
+    pub fn all_delivered(&self) -> bool {
+        self.device_ids
+            .iter()
+            .all(|&id| self.oracle.delivered(id) == self.oracle.published(id))
+    }
+
+    /// Total messages published across both cells' devices.
+    pub fn total_published(&self) -> u64 {
+        self.device_ids
+            .iter()
+            .map(|&id| self.oracle.published(id))
+            .sum()
+    }
+
+    /// Total messages delivered across both cells' sinks.
+    pub fn total_delivered(&self) -> u64 {
+        self.device_ids
+            .iter()
+            .map(|&id| self.oracle.delivered(id))
+            .sum()
+    }
+
+    /// `true` when both cells ended healthy (see
+    /// [`CellReport::converged`]) with no component left down.
+    pub fn converged(&self) -> bool {
+        self.cells.iter().all(CellReport::converged)
+    }
+
+    /// The cell report for member id `id` (1-based). Panics if absent.
+    pub fn cell(&self, id: u64) -> &CellReport {
+        self.cells
+            .iter()
+            .find(|c| c.member_id == id)
+            .expect("cell report present")
+    }
+}
+
+/// The adopter's side of a remote-supervision session: a component-down
+/// monitor and a supervisor planning over the ward's components (its
+/// supervisor included), with repairs shipped as wire commands instead
+/// of executed in-process.
+struct RemoteSupervision {
+    monitor: HealthMonitor,
+    supervisor: Supervisor,
+    next_reconcile: u64,
+}
+
+fn new_remote(opts: &SupervisionOptions) -> RemoteSupervision {
+    let mut registry = ServiceRegistry::new();
+    registry.register(ServiceSpec::new("core"));
+    registry.register(
+        ServiceSpec::new("discovery")
+            .depends_on("core")
+            .escalates_to("core"),
+    );
+    registry.register(
+        ServiceSpec::new("sink")
+            .depends_on("core")
+            .escalates_to("core"),
+    );
+    // The component the local loop can never watch: itself.
+    registry.register(
+        ServiceSpec::new("supervisor")
+            .depends_on("core")
+            .escalates_to("core"),
+    );
+    RemoteSupervision {
+        monitor: HealthMonitor::with_detectors(
+            opts.health,
+            vec![Box::new(ComponentDown::default())],
+        ),
+        supervisor: Supervisor::new(registry, opts.config),
+        next_reconcile: 0,
+    }
+}
+
+/// One sibling cell: a full single-cell world's worth of state plus the
+/// supervision plane.
+struct Cell {
+    member_id: u64,
+    backend: Arc<dyn WalBackend>,
+    core: Core,
+    disco_id: ServiceId,
+    sink_id: ServiceId,
+    members: HashSet<ServiceId>,
+    flags: ComponentFlags,
+    core_crashed: bool,
+    devices: Vec<Device>,
+    device_ids: Vec<ServiceId>,
+    /// The supervision channel journals into its own WAL — the plane
+    /// must survive the cell's core losing *its* log.
+    #[allow(dead_code)]
+    sup_wal: Arc<Wal>,
+    sup_channel: Arc<ReliableChannel>,
+    sup_id: ServiceId,
+    /// The in-process repair stack; `rt.alive == false` after a
+    /// [`ChaosOp::KillSupervisor`] until a sibling revives it.
+    rt: SupervisionRuntime,
+    /// The watcher over the sibling (lives and dies with `rt`).
+    peer: PeerSupervisor,
+    /// The remote session while this cell has adopted its sibling.
+    remote: Option<RemoteSupervision>,
+    /// Executes wire `Repair` commands through `peer_repair_policies`.
+    actuator: PolicyService,
+    last_reconcile_at: u64,
+    supervisor_revivals: u64,
+    core_recoveries: u64,
+    local_repairs: Vec<(u64, String)>,
+    remote_commands: Vec<(u64, String)>,
+    remote_repairs: Vec<(u64, String)>,
+    reconciles: u64,
+    reconcile_fixes: Vec<(u64, String)>,
+    checkpoints_deferred: u64,
+    missed_ack_total: u64,
+}
+
+/// The read-only snapshot of a ward the adopter's monitor samples.
+/// Captured for both cells at the top of the supervision phase so the
+/// order cells are processed in cannot change what either observes.
+#[derive(Clone, Copy)]
+struct CellView {
+    discovery_down: bool,
+    sink_down: bool,
+    sup_alive: bool,
+    core_crashed: bool,
+}
+
+fn up_sample(name: &str, is_up: bool) -> smc_telemetry::Sample {
+    smc_telemetry::Sample {
+        name: "smc_component_up".to_string(),
+        help: String::new(),
+        monotonic: false,
+        labels: vec![("component".to_string(), name.to_string())],
+        value: u64::from(is_up),
+    }
+}
+
+/// The gauges the adopter's component-down detector watches: the
+/// ward's components *and* its supervisor. (In-process stand-ins for
+/// the liveness signals the ward's cell runtime exports; the protocol
+/// itself — lease, claim, repair — still crosses the wire.)
+fn ward_samples(view: &CellView) -> Vec<smc_telemetry::Sample> {
+    vec![
+        up_sample("discovery", !view.discovery_down && !view.core_crashed),
+        up_sample("sink", !view.sink_down && !view.core_crashed),
+        up_sample("supervisor", view.sup_alive),
+    ]
+}
+
+fn send_sup(cell: &Cell, to: ServiceId, msg: &SupervisionMsg, now: u64) {
+    let bytes = codec::to_bytes(&msg.to_event(now));
+    let _ = cell.sup_channel.send(to, bytes);
+}
+
+/// Runs `scenario` in the two-cell peer world with default options.
+pub fn run_peer(scenario: &Scenario) -> PeerRunReport {
+    run_peer_with_options(scenario, PeerOptions::default())
+}
+
+/// Runs `scenario` in the two-cell peer world.
+///
+/// Device-indexed and component ops target cell 0 (the cell under
+/// test); [`ChaosOp::KillSupervisor`] and [`ChaosOp::PartitionCell`]
+/// pick their cell explicitly. Cell 1 runs the same stack and watches.
+pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerRunReport {
+    let PeerOptions {
+        reliable,
+        discovery: discovery_config,
+        supervision,
+        peer: peer_config,
+        trace,
+    } = options;
+    let clock = Arc::new(ManualClock::new());
+    let shared: SharedClock = clock.clone();
+    let baseline = LinkConfig::ideal();
+    let net = SimNetwork::with_clock(baseline.clone(), scenario.seed, Arc::clone(&shared));
+    let (tracer, _trace_sink) = if trace {
+        let sink = Arc::new(TraceSink::with_capacity(DEFAULT_SINK_CAPACITY));
+        (
+            Tracer::new(Arc::clone(&sink), Arc::clone(&shared)),
+            Some(sink),
+        )
+    } else {
+        (Tracer::disabled(), None)
+    };
+    let mut oracle = DeliveryOracle::new(scenario.seed);
+    let publish_interval = scenario.publish_interval.as_micros().max(1) as u64;
+
+    // Build the two symmetric cells, member ids 1 and 2.
+    let mut cells: Vec<Cell> = (0..2u64)
+        .map(|i| {
+            let member_id = i + 1;
+            let backend: Arc<dyn WalBackend> = Arc::new(MemBackend::new());
+            let mut members = HashSet::new();
+            let (core, _) = boot_core(
+                &net,
+                &backend,
+                &reliable,
+                &discovery_config,
+                &shared,
+                &tracer,
+                None,
+                &mut members,
+                CellId(member_id),
+            );
+            let disco_id = core.disco_channel.local_id();
+            let sink_id = core.sink_channel.local_id();
+            let rt = SupervisionRuntime::new(supervision.clone());
+            let devices: Vec<Device> = (0..scenario.nodes)
+                .map(|n| {
+                    let channel = ReliableChannel::with_clock(
+                        Arc::new(net.endpoint()),
+                        reliable.clone(),
+                        Arc::clone(&shared),
+                    );
+                    let info = ServiceInfo::new(ServiceId::NIL, "harness.device")
+                        .with_name(format!("chaos device {member_id}.{n}"));
+                    channel.set_tracer(tracer.clone());
+                    channel.set_missed_ack_interrupt(Arc::clone(&rt.interrupt_line));
+                    // Both cells share one radio network; the filter
+                    // keeps each device joining its own cell's beacons.
+                    let agent = MemberAgent::with_clock(
+                        info.clone(),
+                        Arc::clone(&channel),
+                        AgentConfig {
+                            cell_filter: Some(CellId(member_id)),
+                            ..AgentConfig::default()
+                        },
+                        Arc::clone(&shared),
+                    );
+                    Device {
+                        id: channel.local_id(),
+                        info,
+                        channel,
+                        agent,
+                        next_seq: 1,
+                        next_publish: 0,
+                        crashed: false,
+                        quenched: false,
+                        baseline: baseline.clone(),
+                        domain: 0,
+                    }
+                })
+                .collect();
+            let device_ids: Vec<ServiceId> = devices.iter().map(|d| d.id).collect();
+            let (sup_wal, sup_recovered) =
+                Wal::open(Arc::new(MemBackend::new()), WalConfig::default())
+                    .expect("supervision wal opens");
+            let sup_wal = Arc::new(sup_wal);
+            let sup_channel = ReliableChannel::with_clock_journaled(
+                Arc::new(net.endpoint()),
+                reliable.clone(),
+                Arc::clone(&shared),
+                Arc::new(WalChannelJournal::new(
+                    Arc::clone(&sup_wal),
+                    CHAN_SUPERVISION,
+                )),
+                sup_recovered.snapshot.cursors_for(CHAN_SUPERVISION),
+                Vec::new(),
+            );
+            sup_channel.set_tracer(tracer.clone());
+            let sup_id = sup_channel.local_id();
+            let actuator = PolicyService::new();
+            for p in peer_repair_policies() {
+                actuator
+                    .add(p)
+                    .expect("built-in peer repair policies are valid");
+            }
+            let peer = PeerSupervisor::new(member_id, [1u64, 2], peer_config.clone());
+            Cell {
+                member_id,
+                backend,
+                core,
+                disco_id,
+                sink_id,
+                members,
+                flags: ComponentFlags::default(),
+                core_crashed: false,
+                devices,
+                device_ids,
+                sup_wal,
+                sup_channel,
+                sup_id,
+                rt,
+                peer,
+                remote: None,
+                actuator,
+                last_reconcile_at: 0,
+                supervisor_revivals: 0,
+                core_recoveries: 0,
+                local_repairs: Vec::new(),
+                remote_commands: Vec::new(),
+                remote_repairs: Vec::new(),
+                reconciles: 0,
+                reconcile_fixes: Vec::new(),
+                checkpoints_deferred: 0,
+                missed_ack_total: 0,
+            }
+        })
+        .collect();
+    let sup_ids = [cells[0].sup_id, cells[1].sup_id];
+
+    // Expand the scripted ops into the fault timeline (same shape as
+    // the single-cell world; device and component ops hit cell 0).
+    let mut timeline: Vec<(u64, usize, Act)> = Vec::new();
+    for s in &scenario.ops {
+        let at = s.at.as_micros() as u64;
+        match s.op {
+            ChaosOp::LossBurst {
+                node,
+                loss,
+                duration,
+            } => {
+                timeline.push((at, node, Act::Loss(loss)));
+                timeline.push((at + duration.as_micros() as u64, node, Act::Heal));
+            }
+            ChaosOp::DuplicateStorm {
+                node,
+                duplicate,
+                duration,
+            } => {
+                timeline.push((at, node, Act::Dup(duplicate)));
+                timeline.push((at + duration.as_micros() as u64, node, Act::Heal));
+            }
+            ChaosOp::Partition { node, duration } => {
+                timeline.push((at, node, Act::PartitionOn));
+                timeline.push((at + duration.as_micros() as u64, node, Act::PartitionOff));
+            }
+            ChaosOp::Crash { node, down_for } => {
+                timeline.push((at, node, Act::Crash));
+                timeline.push((at + down_for.as_micros() as u64, node, Act::Restart));
+            }
+            ChaosOp::DomainMove {
+                node,
+                domain,
+                duration,
+            } => {
+                timeline.push((at, node, Act::Domain(domain)));
+                timeline.push((at + duration.as_micros() as u64, node, Act::Domain(0)));
+            }
+            ChaosOp::LinkProfile { node, profile } => {
+                timeline.push((at, node, Act::Profile(profile)));
+            }
+            ChaosOp::CoreCrash { down_for } => {
+                timeline.push((at, usize::MAX, Act::CoreCrash));
+                timeline.push((
+                    at + down_for.as_micros() as u64,
+                    usize::MAX,
+                    Act::CoreRestart,
+                ));
+            }
+            ChaosOp::KillComponent { component, wedged } => {
+                timeline.push((at, usize::MAX, Act::Kill(component, wedged)));
+            }
+            ChaosOp::CorruptState { target } => {
+                timeline.push((at, usize::MAX, Act::Corrupt(target)));
+            }
+            ChaosOp::KillSupervisor { cell } => {
+                timeline.push((at, usize::MAX, Act::KillSupervisor(cell)));
+            }
+            ChaosOp::PartitionCell { cell, duration } => {
+                timeline.push((at, usize::MAX, Act::CellPartition(cell, true)));
+                timeline.push((
+                    at + duration.as_micros() as u64,
+                    usize::MAX,
+                    Act::CellPartition(cell, false),
+                ));
+            }
+        }
+    }
+    timeline.sort_by_key(|&(at, node, _)| (at, node));
+
+    let end = scenario.duration.as_micros() as u64;
+    let total = end + DRAIN_MICROS;
+    let mut next_act = 0usize;
+    let mut ticks = 0u64;
+    let mut retransmits_gone = 0u64;
+
+    let mut now = 0u64;
+    loop {
+        // 1. Scripted faults due now.
+        while next_act < timeline.len() && timeline[next_act].0 <= now {
+            let (_, node, act) = timeline[next_act].clone();
+            next_act += 1;
+            match act {
+                Act::KillSupervisor(c) => {
+                    let cell = &mut cells[c.min(1)];
+                    if cell.rt.alive {
+                        cell.rt.alive = false;
+                        // The remote session (if this cell was an
+                        // adopter) dies with its host.
+                        cell.remote = None;
+                        oracle.record_fault(now, format!("cell{} supervisor killed", c.min(1)));
+                    }
+                    continue;
+                }
+                Act::CellPartition(c, on) => {
+                    let c = c.min(1);
+                    net.set_partitioned(sup_ids[c], sup_ids[1 - c], on);
+                    oracle.record_fault(
+                        now,
+                        format!(
+                            "cell{c} {}",
+                            if on {
+                                "partitioned from siblings"
+                            } else {
+                                "partition healed"
+                            }
+                        ),
+                    );
+                    continue;
+                }
+                Act::CoreCrash => {
+                    let cell = &mut cells[0];
+                    if cell.core_crashed {
+                        continue;
+                    }
+                    oracle.record_fault(now, "cell0 core crashed");
+                    cell.core_crashed = true;
+                    cell.core.service.shutdown();
+                    cell.core.sink_channel.close();
+                    cell.flags = ComponentFlags::default();
+                    continue;
+                }
+                Act::CoreRestart => {
+                    if cells[0].core_crashed {
+                        reboot_core(
+                            &mut cells[0],
+                            &net,
+                            &reliable,
+                            &discovery_config,
+                            &shared,
+                            &tracer,
+                            &mut oracle,
+                            now,
+                        );
+                        oracle.record_fault(now, "cell0 core restarted");
+                    }
+                    continue;
+                }
+                Act::Kill(component, wedged) => {
+                    let cell = &mut cells[0];
+                    if cell.core_crashed {
+                        continue;
+                    }
+                    match component {
+                        CoreComponent::Discovery => {
+                            if cell.flags.discovery_down {
+                                continue;
+                            }
+                            oracle.record_fault(now, "cell0 discovery killed");
+                            cell.core.service.shutdown();
+                            cell.flags.discovery_down = true;
+                            cell.flags.discovery_wedged = wedged;
+                        }
+                        CoreComponent::Sink => {
+                            if cell.flags.sink_down {
+                                continue;
+                            }
+                            oracle.record_fault(now, "cell0 sink killed");
+                            cell.core.sink_channel.close();
+                            cell.flags.sink_down = true;
+                            cell.flags.sink_wedged = wedged;
+                        }
+                    }
+                    continue;
+                }
+                Act::Corrupt(target) => {
+                    let cell = &mut cells[0];
+                    match target {
+                        CorruptTarget::MembershipView { node } => {
+                            if let Some(&id) = cell.device_ids.get(node) {
+                                if cell.members.remove(&id) {
+                                    oracle.record_fault(
+                                        now,
+                                        format!("corrupt: cell0 sink view dropped {id}"),
+                                    );
+                                }
+                            }
+                        }
+                        CorruptTarget::GhostMember => {
+                            if cell.members.insert(GHOST_MEMBER) {
+                                oracle.record_fault(
+                                    now,
+                                    format!("corrupt: ghost {GHOST_MEMBER} in cell0 sink view"),
+                                );
+                            }
+                        }
+                        CorruptTarget::DiscoveryMember { node } => {
+                            if let Some(&id) = cell.device_ids.get(node) {
+                                if !cell.core_crashed
+                                    && !cell.flags.discovery_down
+                                    && cell.core.service.forget_member(id)
+                                {
+                                    oracle.record_fault(
+                                        now,
+                                        format!("corrupt: cell0 discovery forgot {id}"),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+            let cell = &mut cells[0];
+            if node >= cell.devices.len() {
+                continue;
+            }
+            let line = Arc::clone(&cell.rt.interrupt_line);
+            apply(
+                &net,
+                &mut cell.devices[node],
+                node,
+                &act,
+                cell.disco_id,
+                cell.sink_id,
+                &reliable,
+                &shared,
+                &tracer,
+                &mut oracle,
+                now,
+                &mut retransmits_gone,
+                Some(&line),
+            );
+        }
+        // 2. Deliver every datagram whose deadline has passed.
+        net.pump_due();
+        // 3. Channels. The supervision channel always steps: the plane
+        // it carries must outlive both the supervisor and the core.
+        for cell in &cells {
+            if !cell.core_crashed {
+                if !cell.flags.discovery_down {
+                    cell.core.disco_channel.step();
+                }
+                if !cell.flags.sink_down {
+                    cell.core.sink_channel.step();
+                }
+            }
+            cell.sup_channel.step();
+            for dev in &cell.devices {
+                if !dev.crashed {
+                    dev.channel.step();
+                }
+            }
+        }
+        // 4. Protocol logic on top of the channels.
+        for cell in &cells {
+            if !cell.core_crashed && !cell.flags.discovery_down {
+                cell.core.service.step();
+            }
+            for dev in &cell.devices {
+                if !dev.crashed {
+                    dev.agent.step();
+                }
+            }
+        }
+        // 5. Membership transitions into the oracle, per cell.
+        for (i, cell) in cells.iter_mut().enumerate() {
+            let _ = i;
+            while let Ok(ev) = cell.core.service.events().try_recv() {
+                match ev {
+                    MembershipEvent::Joined(info) => {
+                        let _ = cell
+                            .core
+                            .wal
+                            .append(&WalRecord::MemberJoined { info: info.clone() });
+                        cell.members.insert(info.id);
+                        oracle.record_joined(now, info.id);
+                    }
+                    MembershipEvent::Purged(id, _reason) => {
+                        let _ = cell
+                            .core
+                            .wal
+                            .append(&WalRecord::MemberPurged { member: id });
+                        cell.members.remove(&id);
+                        oracle.record_purged(now, id);
+                    }
+                    MembershipEvent::Suspected(id) => {
+                        oracle.record_fault(now, format!("suspected {id}"));
+                    }
+                    MembershipEvent::Recovered(id) => {
+                        oracle.record_fault(now, format!("recovered {id}"));
+                    }
+                }
+            }
+        }
+        // 5s. The supervision plane. Ward views snapshot first so the
+        // processing order of the cells cannot change what either sees.
+        let views: Vec<CellView> = cells
+            .iter()
+            .map(|c| CellView {
+                discovery_down: c.flags.discovery_down,
+                sink_down: c.flags.sink_down,
+                sup_alive: c.rt.alive,
+                core_crashed: c.core_crashed,
+            })
+            .collect();
+        for i in 0..2 {
+            let ward_view = views[1 - i];
+            let sibling_sup = sup_ids[1 - i];
+            supervision_step(
+                &mut cells[i],
+                i,
+                ward_view,
+                sibling_sup,
+                &net,
+                &reliable,
+                &discovery_config,
+                &shared,
+                &tracer,
+                &mut oracle,
+                now,
+                &supervision,
+                &peer_config,
+            );
+        }
+        // 5b. Checkpoints, gated on the reconcile-before-checkpoint
+        // invariant *even when the supervisor that runs reconciles is
+        // dead*: a cell whose last anti-entropy pass is older than one
+        // checkpoint interval refuses to compact, because compaction
+        // would freeze a possibly-diverged view into durable truth.
+        // The adopter's wire-ordered Reconcile is what re-arms this.
+        for (i, cell) in cells.iter_mut().enumerate() {
+            if cell.core_crashed
+                || cell.flags.any_down()
+                || now == 0
+                || !now.is_multiple_of(CHECKPOINT_MICROS)
+            {
+                continue;
+            }
+            if now.saturating_sub(cell.last_reconcile_at) <= CHECKPOINT_MICROS {
+                checkpoint(&cell.core);
+            } else {
+                cell.checkpoints_deferred += 1;
+                oracle.record_fault(
+                    now,
+                    format!("cell{i} checkpoint deferred (no recent reconcile)"),
+                );
+            }
+        }
+        // 6. Devices publish to their own cell's sink.
+        if now < end {
+            for cell in &mut cells {
+                for dev in &mut cell.devices {
+                    if dev.crashed
+                        || dev.quenched
+                        || !dev.agent.is_member()
+                        || now < dev.next_publish
+                    {
+                        continue;
+                    }
+                    let seq = dev.next_seq;
+                    dev.next_seq += 1;
+                    dev.next_publish = now + publish_interval;
+                    let t = TraceId::for_event(dev.id, seq);
+                    tracer.record(t, Hop::Published);
+                    oracle.record_publish(now, dev.id, seq);
+                    let _ = dev.channel.send_traced(cell.sink_id, encode(seq), t);
+                }
+            }
+        }
+        // 7. Sinks accept deliveries, per cell.
+        for cell in &mut cells {
+            while let Ok(incoming) = cell.core.sink_channel.recv(Some(Duration::ZERO)) {
+                if let Incoming::Reliable { from, seq, payload } = incoming {
+                    if let Some(published) = decode(&payload) {
+                        let t = TraceId::for_event(from, published);
+                        if cell.members.contains(&from) {
+                            tracer.record(t, Hop::Delivered);
+                            oracle.record_delivery(now, from, published);
+                        } else {
+                            tracer.record(
+                                t,
+                                Hop::Dropped {
+                                    reason: "purge-filter",
+                                },
+                            );
+                            oracle.record_filtered(now, from, published);
+                        }
+                    }
+                    cell.core.sink_channel.consumed(from, seq);
+                }
+            }
+        }
+        ticks += 1;
+        if now >= total {
+            break;
+        }
+        now += TICK_MICROS;
+        clock.advance_micros(TICK_MICROS);
+    }
+
+    let device_ids: Vec<ServiceId> = cells
+        .iter()
+        .flat_map(|c| c.device_ids.iter().copied())
+        .collect();
+    let cells = cells
+        .into_iter()
+        .map(|cell| CellReport {
+            member_id: cell.member_id,
+            supervisor_alive: cell.rt.alive,
+            supervisor_revivals: cell.supervisor_revivals,
+            core_recoveries: cell.core_recoveries,
+            peer: cell.peer.report().clone(),
+            report: cell.rt.supervisor.report(),
+            local_repairs: cell.local_repairs,
+            remote_commands: cell.remote_commands,
+            remote_repairs: cell.remote_repairs,
+            reconciles: cell.reconciles,
+            reconcile_fixes: cell.reconcile_fixes,
+            checkpoints_deferred: cell.checkpoints_deferred,
+            missed_ack_interrupts: cell.rt.interrupt_line.load(Ordering::Relaxed)
+                + cell.missed_ack_total,
+            adopted_at_end: cell.peer.adopted(),
+        })
+        .collect();
+    PeerRunReport {
+        oracle,
+        device_ids,
+        cells,
+        ticks,
+        virtual_micros: total,
+    }
+}
+
+/// One cell's supervision-plane turn: drain the wire, run the peer
+/// protocol, drive the remote session if adopting, then the local
+/// detect → repair loop.
+#[allow(clippy::too_many_arguments)]
+fn supervision_step(
+    cell: &mut Cell,
+    idx: usize,
+    ward_view: CellView,
+    sibling_sup: ServiceId,
+    net: &SimNetwork,
+    reliable: &ReliableConfig,
+    discovery_config: &DiscoveryConfig,
+    clock: &SharedClock,
+    tracer: &Tracer,
+    oracle: &mut DeliveryOracle,
+    now: u64,
+    sup_opts: &SupervisionOptions,
+    peer_config: &PeerConfig,
+) {
+    // a. Drain the supervision channel. Repair/Reconcile are actuator
+    // commands the cell runtime executes even with its supervisor dead;
+    // everything else is watcher-plane protocol.
+    let mut msgs: Vec<SupervisionMsg> = Vec::new();
+    while let Ok(incoming) = cell.sup_channel.recv(Some(Duration::ZERO)) {
+        if let Incoming::Reliable { payload, .. } = incoming {
+            if let Ok(event) = codec::from_bytes::<Event>(&payload) {
+                if let Some(msg) = SupervisionMsg::from_event(&event) {
+                    msgs.push(msg);
+                }
+            }
+        }
+    }
+    let mut peer_actions = Vec::new();
+    for msg in msgs {
+        match &msg {
+            SupervisionMsg::Repair {
+                target, component, ..
+            } if *target == cell.member_id => {
+                // Policy-mediated execution: the wire command becomes a
+                // typed event, the built-in obligation fires Restart.
+                let fired_list = cell.actuator.on_event(&msg.to_event(now));
+                for fired in fired_list {
+                    let ActionSpec::Restart { component: tmpl } = &fired.action else {
+                        continue;
+                    };
+                    let resolved = tmpl
+                        .resolve(&fired.trigger)
+                        .and_then(|v| v.as_str().map(str::to_string));
+                    if let Some(resolved) = resolved {
+                        debug_assert_eq!(&resolved, component);
+                        execute_repair(
+                            cell,
+                            idx,
+                            &resolved,
+                            true,
+                            net,
+                            reliable,
+                            discovery_config,
+                            clock,
+                            tracer,
+                            oracle,
+                            now,
+                            sup_opts,
+                            peer_config,
+                        );
+                    }
+                }
+            }
+            SupervisionMsg::Reconcile { target, requester } if *target == cell.member_id => {
+                // A wire-ordered anti-entropy pass: the adopter insists
+                // live views match durable truth before any compaction.
+                if !cell.core_crashed {
+                    cell.reconciles += 1;
+                    cell.last_reconcile_at = now;
+                    let fixes = reconcile_pass(&cell.core, &mut cell.members, &cell.flags);
+                    for fix in &fixes {
+                        oracle.record_fault(
+                            now,
+                            format!("reconcile(cell{idx}, by {requester}): {fix}"),
+                        );
+                    }
+                    cell.reconcile_fixes
+                        .extend(fixes.into_iter().map(|f| (now, f)));
+                }
+            }
+            _ => {
+                if cell.rt.alive {
+                    peer_actions.extend(cell.peer.on_msg(now, &msg));
+                }
+            }
+        }
+    }
+    // b + c. The watcher's clock tick, then execute its actions.
+    if cell.rt.alive {
+        peer_actions.extend(cell.peer.tick(now));
+    }
+    for action in peer_actions {
+        match action {
+            smc_health::PeerAction::Send(msg) => {
+                if let SupervisionMsg::Claim { target, claimant } = &msg {
+                    oracle.record_fault(
+                        now,
+                        format!("peer {claimant} claims supervision of cell member {target}"),
+                    );
+                }
+                send_sup(cell, sibling_sup, &msg, now);
+            }
+            smc_health::PeerAction::StartRemote { target } => {
+                oracle.record_fault(
+                    now,
+                    format!(
+                        "cell member {} adopted cell member {target}",
+                        cell.member_id
+                    ),
+                );
+                let mut remote = new_remote(sup_opts);
+                // Reconcile-before-checkpoint starts *now*: order an
+                // anti-entropy pass before the ward's next compaction
+                // window, then keep re-arming it on cadence.
+                remote.next_reconcile = now + cell.rt.reconcile_micros;
+                send_sup(
+                    cell,
+                    sibling_sup,
+                    &SupervisionMsg::Reconcile {
+                        target,
+                        requester: cell.member_id,
+                    },
+                    now,
+                );
+                cell.remote = Some(remote);
+            }
+            smc_health::PeerAction::StopRemote { target } => {
+                oracle.record_fault(
+                    now,
+                    format!(
+                        "cell member {} released cell member {target}",
+                        cell.member_id
+                    ),
+                );
+                cell.remote = None;
+            }
+        }
+    }
+    // d. The remote session: sample the ward, plan repairs, ship them.
+    if cell.rt.alive && !ward_view.core_crashed {
+        let ward_member = 3 - cell.member_id; // {1,2} → the other one
+        let reconcile_micros = cell.rt.reconcile_micros;
+        let self_member = cell.member_id;
+        let mut order_reconcile = false;
+        let mut transition_notes: Vec<String> = Vec::new();
+        let mut commands: Vec<(String, u32, String)> = Vec::new();
+        if let Some(remote) = cell.remote.as_mut() {
+            if now >= remote.next_reconcile {
+                remote.next_reconcile = now + reconcile_micros;
+                order_reconcile = true;
+            }
+            if remote.monitor.due(now) {
+                let samples = ward_samples(&ward_view);
+                let transitions = remote.monitor.observe(now, &samples, &[]);
+                let mut actions = Vec::new();
+                for t in &transitions {
+                    transition_notes.push(format!(
+                        "remote supervision(cell member {self_member}) {} {}->{}",
+                        t.component,
+                        t.from.as_str(),
+                        t.to.as_str()
+                    ));
+                    actions.extend(remote.supervisor.on_transition(t));
+                }
+                actions.extend(remote.supervisor.tick(now, &remote.monitor.report()));
+                for action in actions {
+                    let (component, attempt) = match &action {
+                        RepairAction::Restart { component, attempt } => {
+                            (component.clone(), *attempt)
+                        }
+                        RepairAction::Escalate { target, .. } => (target.clone(), 0),
+                    };
+                    commands.push((component, attempt, action.to_string()));
+                }
+            }
+        }
+        for note in transition_notes {
+            oracle.record_fault(now, note);
+        }
+        if order_reconcile {
+            send_sup(
+                cell,
+                sibling_sup,
+                &SupervisionMsg::Reconcile {
+                    target: ward_member,
+                    requester: self_member,
+                },
+                now,
+            );
+        }
+        for (component, attempt, desc) in commands {
+            oracle.record_fault(
+                now,
+                format!("remote repair order: {component} on cell member {ward_member} ({desc})"),
+            );
+            cell.remote_commands.push((now, desc));
+            send_sup(
+                cell,
+                sibling_sup,
+                &SupervisionMsg::Repair {
+                    target: ward_member,
+                    component,
+                    attempt,
+                },
+                now,
+            );
+        }
+    }
+    // e. Local anti-entropy on cadence (alive only — a dead supervisor
+    // runs no reconciles, which is exactly what starves the checkpoint
+    // gate until the adopter's wire-ordered pass re-arms it).
+    if cell.rt.alive && now >= cell.rt.next_reconcile {
+        cell.rt.next_reconcile = now + cell.rt.reconcile_micros;
+        if !cell.core_crashed {
+            cell.reconciles += 1;
+            cell.last_reconcile_at = now;
+            let fixes = reconcile_pass(&cell.core, &mut cell.members, &cell.flags);
+            for fix in &fixes {
+                oracle.record_fault(now, format!("reconcile(cell{idx}): {fix}"));
+            }
+            cell.rt.supervisor.record_reconcile(now, &fixes);
+            cell.reconcile_fixes
+                .extend(fixes.into_iter().map(|f| (now, f)));
+        }
+    }
+    // f. The local detect → repair loop, interrupt-accelerated exactly
+    // like the single-cell world.
+    if cell.rt.alive && !cell.core_crashed {
+        let pulses = cell.rt.interrupt_line.load(Ordering::Relaxed);
+        let interrupted = pulses != cell.rt.seen_interrupts;
+        cell.rt.seen_interrupts = pulses;
+        if cell.rt.monitor.due(now) || interrupted {
+            let samples = cell.rt.samples(&cell.flags);
+            let transitions = cell.rt.monitor.observe(now, &samples, &[]);
+            let mut actions = Vec::new();
+            for t in &transitions {
+                oracle.record_fault(
+                    now,
+                    format!(
+                        "supervision(cell{idx}) {} {}->{}",
+                        t.component,
+                        t.from.as_str(),
+                        t.to.as_str()
+                    ),
+                );
+                if t.to == HealthState::Failed {
+                    for fired in cell.rt.policy.on_event(&health_event(t, None)) {
+                        if let ActionSpec::Restart { component } = &fired.action {
+                            if component
+                                .resolve(&fired.trigger)
+                                .is_some_and(|v| v.as_str().is_some())
+                            {
+                                cell.rt.policy_restarts += 1;
+                            }
+                        }
+                    }
+                }
+                actions.extend(cell.rt.supervisor.on_transition(t));
+            }
+            actions.extend(cell.rt.supervisor.tick(now, &cell.rt.monitor.report()));
+            for action in actions {
+                let target = match &action {
+                    RepairAction::Restart { component, .. } => component.clone(),
+                    RepairAction::Escalate { target, .. } => target.clone(),
+                };
+                execute_repair(
+                    cell,
+                    idx,
+                    &target,
+                    false,
+                    net,
+                    reliable,
+                    discovery_config,
+                    clock,
+                    tracer,
+                    oracle,
+                    now,
+                    sup_opts,
+                    peer_config,
+                );
+            }
+        }
+    }
+}
+
+/// Executes one repair on `cell` — from its own supervisor (`remote ==
+/// false`) or a sibling's wire command (`remote == true`). Restart of a
+/// wedged component is refused (the gauge stays down and the planner
+/// escalates); `core` is the escalation target (full reboot from the
+/// WAL, clearing wedges); `supervisor` revives a killed supervisor
+/// plane — the repair only a *sibling* can ever order.
+#[allow(clippy::too_many_arguments)]
+fn execute_repair(
+    cell: &mut Cell,
+    idx: usize,
+    component: &str,
+    remote: bool,
+    net: &SimNetwork,
+    reliable: &ReliableConfig,
+    discovery_config: &DiscoveryConfig,
+    clock: &SharedClock,
+    tracer: &Tracer,
+    oracle: &mut DeliveryOracle,
+    now: u64,
+    sup_opts: &SupervisionOptions,
+    peer_config: &PeerConfig,
+) {
+    fn record(
+        oracle: &mut DeliveryOracle,
+        cell: &mut Cell,
+        remote: bool,
+        idx: usize,
+        now: u64,
+        what: String,
+    ) {
+        let kind = if remote { "remote repair" } else { "repair" };
+        oracle.record_fault(now, format!("cell{idx} {kind} {what}"));
+        if remote {
+            cell.remote_repairs.push((now, what));
+        } else {
+            cell.local_repairs.push((now, what));
+        }
+    }
+    match component {
+        "discovery" => {
+            if !cell.flags.discovery_down {
+                // Already back; nothing to do.
+            } else if cell.flags.discovery_wedged {
+                record(
+                    oracle,
+                    cell,
+                    remote,
+                    idx,
+                    now,
+                    "discovery: failed (wedged)".to_string(),
+                );
+            } else {
+                restart_discovery(
+                    net,
+                    &mut cell.core,
+                    reliable,
+                    discovery_config,
+                    clock,
+                    tracer,
+                    cell.disco_id,
+                    cell.sink_id,
+                    CellId(cell.member_id),
+                );
+                cell.flags.discovery_down = false;
+                record(
+                    oracle,
+                    cell,
+                    remote,
+                    idx,
+                    now,
+                    "discovery: done".to_string(),
+                );
+            }
+        }
+        "sink" => {
+            if !cell.flags.sink_down {
+                // Already back; nothing to do.
+            } else if cell.flags.sink_wedged {
+                record(
+                    oracle,
+                    cell,
+                    remote,
+                    idx,
+                    now,
+                    "sink: failed (wedged)".to_string(),
+                );
+            } else {
+                restart_sink(
+                    net,
+                    &mut cell.core,
+                    reliable,
+                    clock,
+                    tracer,
+                    cell.sink_id,
+                    &cell.members,
+                    oracle,
+                    now,
+                );
+                cell.flags.sink_down = false;
+                record(oracle, cell, remote, idx, now, "sink: done".to_string());
+            }
+        }
+        "core" => {
+            if !cell.core_crashed {
+                if !cell.flags.sink_down {
+                    cell.core.sink_channel.close();
+                }
+                if !cell.flags.discovery_down {
+                    cell.core.service.shutdown();
+                }
+                cell.core_crashed = true;
+            }
+            reboot_core(
+                cell,
+                net,
+                reliable,
+                discovery_config,
+                clock,
+                tracer,
+                oracle,
+                now,
+            );
+            record(oracle, cell, remote, idx, now, "core: rebooted".to_string());
+        }
+        "supervisor" if !cell.rt.alive => {
+            // A fresh supervisor plane: fresh monitor (no stale
+            // hysteresis), fresh watcher (its first tick heartbeats,
+            // which is what makes the adopter release).
+            cell.rt = SupervisionRuntime::new(sup_opts.clone());
+            for dev in &cell.devices {
+                dev.channel
+                    .set_missed_ack_interrupt(Arc::clone(&cell.rt.interrupt_line));
+            }
+            cell.peer = PeerSupervisor::new(cell.member_id, [1u64, 2], peer_config.clone());
+            cell.supervisor_revivals += 1;
+            record(
+                oracle,
+                cell,
+                remote,
+                idx,
+                now,
+                "supervisor: revived".to_string(),
+            );
+        }
+        _ => {}
+    }
+}
+
+/// Rebuilds `cell`'s core from its write-ahead log (the escalation
+/// repair and the scripted `CoreRestart`), re-processing events the
+/// outage caught between ack and recording.
+#[allow(clippy::too_many_arguments)]
+fn reboot_core(
+    cell: &mut Cell,
+    net: &SimNetwork,
+    reliable: &ReliableConfig,
+    discovery_config: &DiscoveryConfig,
+    clock: &SharedClock,
+    tracer: &Tracer,
+    oracle: &mut DeliveryOracle,
+    now: u64,
+) {
+    let backend = Arc::clone(&cell.backend);
+    let (reborn, recovered) = boot_core(
+        net,
+        &backend,
+        reliable,
+        discovery_config,
+        clock,
+        tracer,
+        Some((cell.disco_id, cell.sink_id)),
+        &mut cell.members,
+        CellId(cell.member_id),
+    );
+    cell.core = reborn;
+    cell.core_crashed = false;
+    cell.core_recoveries += 1;
+    for (peer, _epoch, seq, payload) in recovered.snapshot.pending_rx_for(smc_wal::CHAN_BUS) {
+        if let Some(published) = decode(&payload) {
+            let t = TraceId::for_event(peer, published);
+            if cell.members.contains(&peer) {
+                tracer.record(t, Hop::Delivered);
+                oracle.record_delivery(now, peer, published);
+            } else {
+                tracer.record(
+                    t,
+                    Hop::Dropped {
+                        reason: "purge-filter",
+                    },
+                );
+                oracle.record_filtered(now, peer, published);
+            }
+        }
+        cell.core.sink_channel.consumed(peer, seq);
+    }
+    cell.flags = ComponentFlags::default();
+}

@@ -150,6 +150,25 @@ pub enum ChaosOp {
         /// What gets corrupted.
         target: CorruptTarget,
     },
+    /// Cell `cell`'s *in-process supervisor* dies — the monitor/supervisor
+    /// loop stops ticking while the cell's data plane keeps running.
+    /// There is no scripted restart: in a single-cell world the loop is
+    /// gone for good (the peer-supervision teeth baseline), and in a
+    /// multi-cell world only a sibling's remote repair revives it.
+    KillSupervisor {
+        /// Which cell's supervisor dies (`0` in a single-cell world).
+        cell: usize,
+    },
+    /// Cell `cell` is partitioned from its sibling cells (supervision
+    /// traffic severed both ways) and heals after `duration`. Exercises
+    /// false-positive adoption: the partitioned cell is alive, so its
+    /// resumed lease must refute any claim the silence provoked.
+    PartitionCell {
+        /// Which cell is cut off.
+        cell: usize,
+        /// Partition length; heals afterwards.
+        duration: Duration,
+    },
 }
 
 impl ChaosOp {
@@ -165,7 +184,9 @@ impl ChaosOp {
             | ChaosOp::LinkProfile { node, .. } => Some(node),
             ChaosOp::CoreCrash { .. }
             | ChaosOp::KillComponent { .. }
-            | ChaosOp::CorruptState { .. } => None,
+            | ChaosOp::CorruptState { .. }
+            | ChaosOp::KillSupervisor { .. }
+            | ChaosOp::PartitionCell { .. } => None,
         }
     }
 }
@@ -308,6 +329,87 @@ impl Scenario {
         scenario
     }
 
+    /// Generates a randomized *peer-supervision* fault schedule from
+    /// `seed`: the supervision families plus supervisor kills, cell
+    /// partitions, and the compound fault the tentpole exists for — a
+    /// component kill followed 600 ms later by the killing of the very
+    /// supervisor repairing it, leaving a sibling cell to adopt and
+    /// finish the repair. One fault (or compound pair) per evenly-sized
+    /// slot over the first 80% of the run so the worst chain (wedged
+    /// kill → orphaned mid-escalation → remote adoption → core reboot)
+    /// resolves before the next fault lands. Deterministic per seed, on
+    /// its own rng stream.
+    pub fn random_peer(seed: u64, nodes: usize, duration: Duration, ops: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut scenario = Scenario::quiet(seed, nodes.max(1), duration);
+        let window = (duration.as_micros() as u64).saturating_mul(4) / 5;
+        let slot = (window / ops.max(1) as u64).max(1);
+        for i in 0..ops {
+            let at = Duration::from_micros(i as u64 * slot + rng.gen_range(0..slot / 8 + 1));
+            let node = rng.gen_range(0..scenario.nodes);
+            let component = if rng.gen_range(0..2u32) == 0 {
+                CoreComponent::Discovery
+            } else {
+                CoreComponent::Sink
+            };
+            match rng.gen_range(0..8u32) {
+                0 | 1 => scenario.ops.push(ScriptedOp {
+                    at,
+                    op: ChaosOp::KillComponent {
+                        component,
+                        wedged: false,
+                    },
+                }),
+                2 => scenario.ops.push(ScriptedOp {
+                    at,
+                    op: ChaosOp::KillComponent {
+                        component,
+                        wedged: true,
+                    },
+                }),
+                3 | 4 => {
+                    // The compound: kill a component, then kill the
+                    // supervisor mid-repair. Only a sibling finishes it.
+                    scenario.ops.push(ScriptedOp {
+                        at,
+                        op: ChaosOp::KillComponent {
+                            component,
+                            wedged: rng.gen_range(0..2u32) == 0,
+                        },
+                    });
+                    scenario.ops.push(ScriptedOp {
+                        at: at + Duration::from_millis(600),
+                        op: ChaosOp::KillSupervisor { cell: 0 },
+                    });
+                }
+                5 => scenario.ops.push(ScriptedOp {
+                    at,
+                    op: ChaosOp::KillSupervisor {
+                        cell: rng.gen_range(0..2usize),
+                    },
+                }),
+                6 => scenario.ops.push(ScriptedOp {
+                    at,
+                    op: ChaosOp::PartitionCell {
+                        cell: rng.gen_range(0..2usize),
+                        duration: Duration::from_millis(rng.gen_range(400..900)),
+                    },
+                }),
+                _ => scenario.ops.push(ScriptedOp {
+                    at,
+                    op: ChaosOp::CorruptState {
+                        target: match rng.gen_range(0..3u32) {
+                            0 => CorruptTarget::MembershipView { node },
+                            1 => CorruptTarget::GhostMember,
+                            _ => CorruptTarget::DiscoveryMember { node },
+                        },
+                    },
+                }),
+            }
+        }
+        scenario.sorted()
+    }
+
     /// Scripts sorted by firing time (the runner requires this).
     pub fn sorted(mut self) -> Self {
         self.ops.sort_by_key(|s| s.at);
@@ -404,6 +506,48 @@ mod tests {
                 ChaosOp::KillComponent { .. } | ChaosOp::CorruptState { .. }
             ));
         }
+    }
+
+    #[test]
+    fn random_peer_is_reproducible_and_spaced() {
+        let a = Scenario::random_peer(42, 3, Duration::from_secs(30), 3);
+        let b = Scenario::random_peer(42, 3, Duration::from_secs(30), 3);
+        assert_eq!(a, b);
+        assert_ne!(a, Scenario::random_peer(43, 3, Duration::from_secs(30), 3));
+        // Slot spacing: ops from different slots land ≥ 5 s apart (slot
+        // minus max jitter minus the compound's 600 ms follow-up).
+        let slots: Vec<_> = a
+            .ops
+            .iter()
+            .map(|o| o.at.as_micros() as u64 / 8_000_000)
+            .collect();
+        for pair in slots.windows(2) {
+            assert!(pair[1] >= pair[0]);
+        }
+        for op in &a.ops {
+            assert!(matches!(
+                op.op,
+                ChaosOp::KillComponent { .. }
+                    | ChaosOp::CorruptState { .. }
+                    | ChaosOp::KillSupervisor { .. }
+                    | ChaosOp::PartitionCell { .. }
+            ));
+        }
+        // Across seeds, every family (including the compound) shows up.
+        let mut saw_kill_supervisor = false;
+        let mut saw_partition = false;
+        for seed in 0..64 {
+            let s = Scenario::random_peer(seed, 3, Duration::from_secs(30), 3);
+            saw_kill_supervisor |= s
+                .ops
+                .iter()
+                .any(|o| matches!(o.op, ChaosOp::KillSupervisor { .. }));
+            saw_partition |= s
+                .ops
+                .iter()
+                .any(|o| matches!(o.op, ChaosOp::PartitionCell { .. }));
+        }
+        assert!(saw_kill_supervisor && saw_partition);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 use std::collections::HashSet;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -49,18 +50,18 @@ use crate::oracle::DeliveryOracle;
 use crate::scenario::{ChaosOp, CoreComponent, CorruptTarget, LinkProfileKind, Scenario};
 
 /// Virtual-time step granularity.
-const TICK_MICROS: u64 = 2_000;
+pub(crate) const TICK_MICROS: u64 = 2_000;
 /// Quiescent tail after the scripted run: publishing stops, faults keep
 /// resolving, retransmissions flush.
-const DRAIN_MICROS: u64 = 3_000_000;
+pub(crate) const DRAIN_MICROS: u64 = 3_000_000;
 /// Every n-th message carries a large payload to exercise fragmentation.
 const BIG_EVERY: u64 = 5;
 /// Virtual interval between core snapshots (log compaction points).
-const CHECKPOINT_MICROS: u64 = 2_000_000;
+pub(crate) const CHECKPOINT_MICROS: u64 = 2_000_000;
 /// The fabricated member `CorruptTarget::GhostMember` injects into the
 /// sink's routing view. Out of the simulator's address range, so it can
 /// never collide with a real device.
-const GHOST_MEMBER: ServiceId = ServiceId::from_raw(0x0BAD_C0DE_0BAD);
+pub(crate) const GHOST_MEMBER: ServiceId = ServiceId::from_raw(0x0BAD_C0DE_0BAD);
 
 /// Reliability parameters the harness runs by default.
 pub fn default_reliable() -> ReliableConfig {
@@ -234,6 +235,13 @@ pub struct SupervisionOutcome {
     /// through the policy service (the policy-layer view of the same
     /// failures the supervisor handled).
     pub policy_restarts: u64,
+    /// Missed-ack retransmission rounds that pulsed the monitor's
+    /// interrupt line (each one woke an immediate sample).
+    pub missed_ack_interrupts: u64,
+    /// `false` when a [`ChaosOp::KillSupervisor`] left the in-process
+    /// supervisor dead at run end — in this single-cell world nothing
+    /// revives it, so any outage it was mid-repair on stays unrepaired.
+    pub supervisor_alive: bool,
 }
 
 impl SupervisionOutcome {
@@ -342,7 +350,7 @@ impl RunReport {
 /// A fault-timeline entry, expanded from the scenario's scripted ops.
 /// Core acts carry no node index (`usize::MAX` sentinel in the timeline).
 #[derive(Debug, Clone)]
-enum Act {
+pub(crate) enum Act {
     Loss(f64),
     Dup(f64),
     Heal,
@@ -356,41 +364,57 @@ enum Act {
     CoreRestart,
     Kill(CoreComponent, bool),
     Corrupt(CorruptTarget),
+    /// The in-process supervisor of cell `n` dies (no scripted revival).
+    KillSupervisor(usize),
+    /// Cell `n`'s inter-cell links sever (`true`) or heal (`false`).
+    CellPartition(usize, bool),
 }
 
 /// Which core components are currently dead (and whether a restart can
 /// bring them back). Tracked whether or not supervision is on: without a
 /// supervisor a killed component simply stays down.
 #[derive(Debug, Clone, Copy, Default)]
-struct ComponentFlags {
-    discovery_down: bool,
-    sink_down: bool,
-    discovery_wedged: bool,
-    sink_wedged: bool,
+pub(crate) struct ComponentFlags {
+    pub(crate) discovery_down: bool,
+    pub(crate) sink_down: bool,
+    pub(crate) discovery_wedged: bool,
+    pub(crate) sink_wedged: bool,
 }
 
 impl ComponentFlags {
-    fn any_down(&self) -> bool {
+    pub(crate) fn any_down(&self) -> bool {
         self.discovery_down || self.sink_down
     }
 }
 
 /// The in-run repair stack: component-down detection, the supervisor,
 /// the built-in supervision obligation, and reconcile bookkeeping.
-struct SupervisionRuntime {
-    monitor: HealthMonitor,
-    supervisor: Supervisor,
-    policy: PolicyService,
-    reconcile_micros: u64,
-    next_reconcile: u64,
-    repairs: Vec<(u64, String)>,
-    reconciles: u64,
-    reconcile_fixes: Vec<(u64, String)>,
-    policy_restarts: u64,
+pub(crate) struct SupervisionRuntime {
+    pub(crate) monitor: HealthMonitor,
+    pub(crate) supervisor: Supervisor,
+    pub(crate) policy: PolicyService,
+    pub(crate) reconcile_micros: u64,
+    pub(crate) next_reconcile: u64,
+    pub(crate) repairs: Vec<(u64, String)>,
+    pub(crate) reconciles: u64,
+    pub(crate) reconcile_fixes: Vec<(u64, String)>,
+    pub(crate) policy_restarts: u64,
+    /// Pulsed by the reliable channels whenever a message enters a
+    /// retransmission round (a missed ack — the earliest wire-visible
+    /// sign of a dead receiver). The monitor samples immediately instead
+    /// of waiting out its cadence.
+    pub(crate) interrupt_line: Arc<AtomicU64>,
+    /// Interrupt pulses already consumed by a sample.
+    pub(crate) seen_interrupts: u64,
+    /// `false` after a [`ChaosOp::KillSupervisor`]: the loop stops
+    /// ticking — detection, repair and reconcile all halt — while the
+    /// data plane runs on. Only a sibling cell's remote repair (the
+    /// peer world) ever revives it.
+    pub(crate) alive: bool,
 }
 
 impl SupervisionRuntime {
-    fn new(opts: SupervisionOptions) -> SupervisionRuntime {
+    pub(crate) fn new(opts: SupervisionOptions) -> SupervisionRuntime {
         let mut registry = ServiceRegistry::new();
         registry.register(ServiceSpec::new("core"));
         registry.register(
@@ -422,11 +446,14 @@ impl SupervisionRuntime {
             reconciles: 0,
             reconcile_fixes: Vec::new(),
             policy_restarts: 0,
+            interrupt_line: Arc::new(AtomicU64::new(0)),
+            seen_interrupts: 0,
+            alive: true,
         }
     }
 
     /// The up/down gauges the component-down detector watches.
-    fn samples(&self, flags: &ComponentFlags) -> Vec<Sample> {
+    pub(crate) fn samples(&self, flags: &ComponentFlags) -> Vec<Sample> {
         let up = |name: &str, is_up: bool| Sample {
             name: "smc_component_up".to_string(),
             help: String::new(),
@@ -441,29 +468,29 @@ impl SupervisionRuntime {
     }
 }
 
-struct Device {
-    id: ServiceId,
-    info: ServiceInfo,
-    channel: Arc<ReliableChannel>,
-    agent: Arc<MemberAgent>,
-    next_seq: u64,
-    next_publish: u64,
-    crashed: bool,
+pub(crate) struct Device {
+    pub(crate) id: ServiceId,
+    pub(crate) info: ServiceInfo,
+    pub(crate) channel: Arc<ReliableChannel>,
+    pub(crate) agent: Arc<MemberAgent>,
+    pub(crate) next_seq: u64,
+    pub(crate) next_publish: u64,
+    pub(crate) crashed: bool,
     /// Set by the built-in health obligation: a quenched device holds
     /// its publishes until woken.
-    quenched: bool,
+    pub(crate) quenched: bool,
     /// The link profile faults modify and heals restore to.
-    baseline: LinkConfig,
-    domain: u32,
+    pub(crate) baseline: LinkConfig,
+    pub(crate) domain: u32,
 }
 
 /// The cell's side of the world: everything a `CoreCrash` destroys and a
 /// `CoreRestart` rebuilds from the write-ahead log.
-struct Core {
-    wal: Arc<Wal>,
-    disco_channel: Arc<ReliableChannel>,
-    sink_channel: Arc<ReliableChannel>,
-    service: Arc<DiscoveryService>,
+pub(crate) struct Core {
+    pub(crate) wal: Arc<Wal>,
+    pub(crate) disco_channel: Arc<ReliableChannel>,
+    pub(crate) sink_channel: Arc<ReliableChannel>,
+    pub(crate) service: Arc<DiscoveryService>,
 }
 
 /// The in-run self-observation stack: monitor, built-in obligations, and
@@ -592,7 +619,7 @@ fn component_device(component: &str, device_ids: &[ServiceId]) -> Option<Service
         .and_then(|n| device_ids.get(n).copied())
 }
 
-fn encode(seq: u64) -> Vec<u8> {
+pub(crate) fn encode(seq: u64) -> Vec<u8> {
     let filler = if seq.is_multiple_of(BIG_EVERY) {
         2000
     } else {
@@ -604,7 +631,7 @@ fn encode(seq: u64) -> Vec<u8> {
     payload
 }
 
-fn decode(payload: &[u8]) -> Option<u64> {
+pub(crate) fn decode(payload: &[u8]) -> Option<u64> {
     payload
         .get(..8)
         .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
@@ -615,9 +642,11 @@ fn decode(payload: &[u8]) -> Option<u64> {
 /// cursors, a discovery service re-admitting every snapshotted member
 /// (resetting the sink's member filter to match), and the recovered
 /// outbound queue re-enqueued for retransmission. `ids` pins the
-/// endpoints of a previous incarnation on restart.
+/// endpoints of a previous incarnation on restart; `cell` names the
+/// cell the discovery service beacons as (sibling cells on one radio
+/// network must beacon distinct ids so agents can filter).
 #[allow(clippy::too_many_arguments)]
-fn boot_core(
+pub(crate) fn boot_core(
     net: &SimNetwork,
     backend: &Arc<dyn WalBackend>,
     reliable: &ReliableConfig,
@@ -626,6 +655,7 @@ fn boot_core(
     tracer: &Tracer,
     ids: Option<(ServiceId, ServiceId)>,
     members: &mut HashSet<ServiceId>,
+    cell: CellId,
 ) -> (Core, Recovered) {
     let (wal, recovered) =
         Wal::open(Arc::clone(backend), WalConfig::default()).expect("wal backend opens");
@@ -662,7 +692,7 @@ fn boot_core(
     disco_channel.set_tracer(tracer.clone());
     sink_channel.set_tracer(tracer.clone());
     let service = DiscoveryService::with_clock(
-        CellId(1),
+        cell,
         Arc::clone(&disco_channel),
         discovery_config
             .clone()
@@ -698,7 +728,7 @@ fn boot_core(
 /// delivered-but-unrecorded inbound, and the sorted membership table.
 /// Mirrors `SmcCell::checkpoint` (the world is single-threaded, so the
 /// pre-built-snapshot form of `Wal::snapshot` is race-free here).
-fn checkpoint(core: &Core) {
+pub(crate) fn checkpoint(core: &Core) {
     let mut snap = CoreSnapshot::default();
     for (peer, epoch, expected) in core.sink_channel.rx_cursors() {
         snap.cursors.push(CursorEntry {
@@ -744,7 +774,7 @@ fn checkpoint(core: &Core) {
 /// same endpoint from durable truth — the supervisor's `restart
 /// discovery` repair. The sink and its membership view are untouched.
 #[allow(clippy::too_many_arguments)]
-fn restart_discovery(
+pub(crate) fn restart_discovery(
     net: &SimNetwork,
     core: &mut Core,
     reliable: &ReliableConfig,
@@ -753,6 +783,7 @@ fn restart_discovery(
     tracer: &Tracer,
     disco_id: ServiceId,
     sink_id: ServiceId,
+    cell: CellId,
 ) {
     let state = core.wal.recover_state().unwrap_or_default();
     let disco_channel = ReliableChannel::with_clock_journaled(
@@ -768,7 +799,7 @@ fn restart_discovery(
     );
     disco_channel.set_tracer(tracer.clone());
     let service = DiscoveryService::with_clock(
-        CellId(1),
+        cell,
         Arc::clone(&disco_channel),
         discovery_config.clone().with_bus_endpoint(sink_id),
         Arc::clone(clock),
@@ -787,7 +818,7 @@ fn restart_discovery(
 /// re-processed from the journal's retained copies, exactly like the
 /// core-crash recovery path.
 #[allow(clippy::too_many_arguments)]
-fn restart_sink(
+pub(crate) fn restart_sink(
     net: &SimNetwork,
     core: &mut Core,
     reliable: &ReliableConfig,
@@ -841,7 +872,7 @@ fn restart_sink(
 /// discovery table against durable truth (the folded write-ahead log)
 /// and repairs both directions. Returns human-readable descriptions of
 /// every divergence repaired, in deterministic order.
-fn reconcile_pass(
+pub(crate) fn reconcile_pass(
     core: &Core,
     members: &mut HashSet<ServiceId>,
     flags: &ComponentFlags,
@@ -975,6 +1006,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         &tracer,
         None,
         &mut members,
+        CellId(1),
     );
     let disco_id = core.disco_channel.local_id();
     let sink_id = core.sink_channel.local_id();
@@ -1070,6 +1102,19 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
             ChaosOp::CorruptState { target } => {
                 timeline.push((at, usize::MAX, Act::Corrupt(target)));
             }
+            // No scripted revival: in this single-cell world a killed
+            // supervisor stays dead (the peer-supervision baseline).
+            ChaosOp::KillSupervisor { cell } => {
+                timeline.push((at, usize::MAX, Act::KillSupervisor(cell)));
+            }
+            ChaosOp::PartitionCell { cell, duration } => {
+                timeline.push((at, usize::MAX, Act::CellPartition(cell, true)));
+                timeline.push((
+                    at + duration.as_micros() as u64,
+                    usize::MAX,
+                    Act::CellPartition(cell, false),
+                ));
+            }
         }
     }
     timeline.sort_by_key(|&(at, node, _)| (at, node));
@@ -1084,9 +1129,19 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
     // Retransmissions of incarnations that no longer exist at run end.
     let mut retransmits_gone = 0u64;
     let mut saw_core_crash = false;
+    let mut saw_escalation = false;
     let mut health_rt = health.map(HealthRuntime::new);
     let mut sup_rt = supervision.map(SupervisionRuntime::new);
     let mut flags = ComponentFlags::default();
+    // Wire the missed-ack interrupt: every device channel pulses the
+    // supervision runtime's line when a send enters retransmission, so
+    // detection reacts at wire speed instead of the sampling cadence.
+    if let Some(rt) = &sup_rt {
+        for dev in &devices {
+            dev.channel
+                .set_missed_ack_interrupt(Arc::clone(&rt.interrupt_line));
+        }
+    }
 
     let mut now = 0u64;
     loop {
@@ -1189,6 +1244,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                         &tracer,
                         Some((disco_id, sink_id)),
                         &mut members,
+                        CellId(1),
                     );
                     core = reborn;
                     core_crashed = false;
@@ -1223,6 +1279,38 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                     }
                     continue;
                 }
+                Act::KillSupervisor(cell) => {
+                    // Single-cell world: only cell 0's supervisor exists.
+                    match sup_rt.as_mut() {
+                        Some(rt) if rt.alive && cell == 0 => {
+                            rt.alive = false;
+                            oracle.record_fault(now, "supervisor killed");
+                            if let Some(h) = health_rt.as_mut() {
+                                h.recorder.note(now, "supervisor killed");
+                            }
+                        }
+                        _ => {
+                            oracle.record_fault(now, "supervisor killed (none running)");
+                        }
+                    }
+                    continue;
+                }
+                Act::CellPartition(cell, on) => {
+                    // No sibling cells in this world — record the fault
+                    // for the trace; the peer world severs real links.
+                    oracle.record_fault(
+                        now,
+                        format!(
+                            "cell{cell} {}",
+                            if on {
+                                "partitioned from siblings"
+                            } else {
+                                "partition healed"
+                            }
+                        ),
+                    );
+                    continue;
+                }
                 _ => {}
             }
             if node >= devices.len() {
@@ -1241,6 +1329,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                 &mut oracle,
                 now,
                 &mut retransmits_gone,
+                sup_rt.as_ref().map(|rt| &rt.interrupt_line),
             );
         }
         // 2. Deliver every datagram whose deadline has passed.
@@ -1301,7 +1390,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         // live tables, so reconciling first means a corrupted view can
         // never be frozen into the durable truth repair depends on.
         if let Some(rt) = sup_rt.as_mut() {
-            if now >= rt.next_reconcile {
+            if rt.alive && now >= rt.next_reconcile {
                 rt.next_reconcile = now + rt.reconcile_micros;
                 if !core_crashed {
                     rt.reconciles += 1;
@@ -1394,7 +1483,14 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         // the core itself is scripted-crashed the supervisor holds off:
         // the scenario owns that outage.
         if let Some(rt) = sup_rt.as_mut() {
-            if !core_crashed && rt.monitor.due(now) {
+            // A missed ack anywhere pulses the interrupt line; sample
+            // immediately instead of waiting out the monitor's cadence.
+            // (Observing resets the cadence, so a quiet line costs
+            // nothing extra.)
+            let pulses = rt.interrupt_line.load(Ordering::Relaxed);
+            let interrupted = pulses != rt.seen_interrupts;
+            rt.seen_interrupts = pulses;
+            if rt.alive && !core_crashed && (rt.monitor.due(now) || interrupted) {
                 let samples = rt.samples(&flags);
                 let transitions = rt.monitor.observe(now, &samples, &[]);
                 let mut actions = Vec::new();
@@ -1424,6 +1520,16 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                 }
                 actions.extend(rt.supervisor.tick(now, &rt.monitor.report()));
                 for action in actions {
+                    if let RepairAction::Escalate { failed, target } = &action {
+                        // Escalations are the loop admitting a restart
+                        // was not enough — exactly the runs worth a
+                        // black-box dump.
+                        saw_escalation = true;
+                        if let Some(h) = health_rt.as_mut() {
+                            h.recorder
+                                .note(now, format!("escalation: {failed} -> {target}"));
+                        }
+                    }
                     let target = match &action {
                         RepairAction::Restart { component, .. } => component.clone(),
                         RepairAction::Escalate { target, .. } => target.clone(),
@@ -1446,6 +1552,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                                     &tracer,
                                     disco_id,
                                     sink_id,
+                                    CellId(1),
                                 );
                                 flags.discovery_down = false;
                                 rt.repairs.push((now, action.to_string()));
@@ -1498,6 +1605,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                                 &tracer,
                                 Some((disco_id, sink_id)),
                                 &mut members,
+                                CellId(1),
                             );
                             core = reborn;
                             core_recoveries += 1;
@@ -1665,6 +1773,14 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
             "Core restarts recovered from the write-ahead log.",
         )
         .add(core_recoveries);
+    if let Some(rt) = &sup_rt {
+        registry
+            .counter(
+                "smc_missed_ack_interrupts_total",
+                "Missed-ack retransmission rounds that pulsed the supervision interrupt line.",
+            )
+            .add(rt.interrupt_line.load(Ordering::Relaxed));
+    }
 
     // The flight recorder's reason to exist: when the run ended badly,
     // dump the black box for post-mortem before reporting.
@@ -1673,13 +1789,15 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         let violated = oracle.violation().is_some();
         let mut dumped_to = None;
         if let Some(path) = rt.dump_path.take() {
-            if violated || saw_core_crash {
+            if violated || saw_core_crash || saw_escalation {
                 rt.recorder.note(
                     total,
                     if violated {
                         "dump: run ended with an oracle violation"
-                    } else {
+                    } else if saw_core_crash {
                         "dump: run saw a core crash"
+                    } else {
+                        "dump: run saw a supervision escalation"
                     },
                 );
                 if rt.recorder.dump_to(&path).is_ok() {
@@ -1702,6 +1820,8 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         reconciles: rt.reconciles,
         reconcile_fixes: rt.reconcile_fixes,
         policy_restarts: rt.policy_restarts,
+        missed_ack_interrupts: rt.interrupt_line.load(Ordering::Relaxed),
+        supervisor_alive: rt.alive,
     });
 
     RunReport {
@@ -1720,7 +1840,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn apply(
+pub(crate) fn apply(
     net: &SimNetwork,
     dev: &mut Device,
     node: usize,
@@ -1733,6 +1853,7 @@ fn apply(
     oracle: &mut DeliveryOracle,
     now: u64,
     retransmits_gone: &mut u64,
+    interrupt_line: Option<&Arc<AtomicU64>>,
 ) {
     let set_links = |link: LinkConfig| {
         net.set_link_between(dev.id, sink_id, link.clone());
@@ -1794,6 +1915,9 @@ fn apply(
             let channel =
                 ReliableChannel::with_clock(transport, reliable.clone(), Arc::clone(clock));
             channel.set_tracer(tracer.clone());
+            if let Some(line) = interrupt_line {
+                channel.set_missed_ack_interrupt(Arc::clone(line));
+            }
             let agent = MemberAgent::with_clock(
                 dev.info.clone(),
                 Arc::clone(&channel),
@@ -1807,7 +1931,12 @@ fn apply(
         }
         // Core acts are handled inline by the run loop (they touch state
         // no single device owns); reaching here is a timeline bug.
-        Act::CoreCrash | Act::CoreRestart | Act::Kill(..) | Act::Corrupt(..) => {
+        Act::CoreCrash
+        | Act::CoreRestart
+        | Act::Kill(..)
+        | Act::Corrupt(..)
+        | Act::KillSupervisor(..)
+        | Act::CellPartition(..) => {
             unreachable!("core acts routed in run loop")
         }
     }

@@ -4,7 +4,9 @@
 //! * `GET /metrics` — the registry's Prometheus text exposition,
 //! * `GET /health` — per-component health state as JSON,
 //! * `GET /journey?sender=<raw-id>&seq=<n>` — one event's hop-by-hop
-//!   journey replayed from the trace sink.
+//!   journey replayed from the trace sink,
+//! * `GET /supervision` — the supervisor's report plus the
+//!   peer-supervision lease table as JSON.
 //!
 //! One request per connection, `Connection: close` — deliberately
 //! minimal, since the workspace is offline and vendors no HTTP stack.
@@ -20,6 +22,18 @@ use smc_telemetry::{Registry, TraceSink};
 use smc_types::{ServiceId, TraceId};
 
 use crate::monitor::HealthReport;
+use crate::peer::{peer_lease_json, PeerLease};
+use crate::supervise::SupervisionReport;
+
+/// What `/supervision` serves: the supervisor's latest report plus the
+/// peer-supervision lease table, refreshed by whoever drives them.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisionStatus {
+    /// The in-process supervisor's report.
+    pub report: SupervisionReport,
+    /// The peer-supervision lease table.
+    pub peers: Vec<PeerLease>,
+}
 
 /// What the server reads on each request. The health report is shared
 /// state refreshed by whoever drives the
@@ -33,6 +47,8 @@ pub struct StatusSources {
     pub sink: Option<Arc<TraceSink>>,
     /// Latest health report behind `/health`.
     pub health: Arc<parking_lot::Mutex<HealthReport>>,
+    /// Supervision state behind `/supervision` (404s when absent).
+    pub supervision: Option<Arc<parking_lot::Mutex<SupervisionStatus>>>,
 }
 
 /// The running server: a background accept loop that can be stopped.
@@ -162,10 +178,26 @@ fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, 
                 }
             },
         },
+        "/supervision" => match &sources.supervision {
+            None => json_error("404 Not Found", "supervision is not enabled"),
+            Some(status) => {
+                let status = status.lock().clone();
+                (
+                    "200 OK",
+                    "application/json",
+                    format!(
+                        "{{\"report\": {}, \"peers\": {}}}\n",
+                        status.report.to_json(),
+                        peer_lease_json(&status.peers),
+                    ),
+                )
+            }
+        },
         "/" => (
             "200 OK",
             "text/plain",
-            "smc status server: /metrics /health /journey?sender=..&seq=..\n".to_owned(),
+            "smc status server: /metrics /health /supervision /journey?sender=..&seq=..\n"
+                .to_owned(),
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
     }
@@ -242,6 +274,7 @@ mod tests {
                     since_micros: 7,
                 }],
             })),
+            supervision: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let addr = server.local_addr();
@@ -277,6 +310,7 @@ mod tests {
             registry: Registry::new(),
             sink: Some(sink),
             health: Arc::default(),
+            supervision: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let addr = server.local_addr();
@@ -318,6 +352,73 @@ mod tests {
         assert!(r.starts_with("HTTP/1.1 404"));
         assert!(r.contains("application/json"));
         assert!(r.contains("{\"error\":\"tracing is not enabled\"}"));
+        server.stop();
+    }
+
+    #[test]
+    fn supervision_serves_report_and_lease_table() {
+        use crate::peer::{PeerConfig, PeerSupervisor};
+        use crate::supervise::{ServiceRegistry, ServiceSpec, SuperviseConfig, Supervisor};
+        use crate::HealthTransition;
+
+        // A supervisor with one closed episode and a watcher with one
+        // tracked sibling: both must surface in the JSON.
+        let mut registry = ServiceRegistry::new();
+        registry.register(ServiceSpec::new("core"));
+        registry.register(
+            ServiceSpec::new("sink")
+                .depends_on("core")
+                .escalates_to("core"),
+        );
+        let mut supervisor = Supervisor::new(registry, SuperviseConfig::default());
+        supervisor.on_transition(&HealthTransition {
+            at_micros: 0,
+            component: "sink".into(),
+            detector: "component-down",
+            from: HealthState::Degraded,
+            to: HealthState::Failed,
+            detail: "up=0".into(),
+        });
+        supervisor.on_transition(&HealthTransition {
+            at_micros: 1_500,
+            component: "sink".into(),
+            detector: "component-down",
+            from: HealthState::Failed,
+            to: HealthState::Healthy,
+            detail: "up=1".into(),
+        });
+        let mut watcher = PeerSupervisor::new(1, [2u64], PeerConfig::default());
+        watcher.tick(0);
+
+        let status = SupervisionStatus {
+            report: supervisor.report().clone(),
+            peers: watcher.lease_table(),
+        };
+        let sources = StatusSources {
+            registry: Registry::new(),
+            sink: None,
+            health: Arc::default(),
+            supervision: Some(Arc::new(parking_lot::Mutex::new(status))),
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let r = get(server.local_addr(), "/supervision");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("\"restarts\": 1"));
+        assert!(r.contains("\"ttr_micros\": [1500]"));
+        assert!(r.contains("\"peers\": [{\"peer\": 2, \"state\": \"watching\""));
+        server.stop();
+    }
+
+    #[test]
+    fn supervision_without_supervisor_is_a_json_404() {
+        // Same error-shape conventions as /journey: JSON body, precise
+        // status, human-readable reason.
+        let server = StatusServer::start("127.0.0.1:0", StatusSources::default()).expect("start");
+        let r = get(server.local_addr(), "/supervision");
+        assert!(r.starts_with("HTTP/1.1 404"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("{\"error\":\"supervision is not enabled\"}"));
         server.stop();
     }
 }

@@ -25,6 +25,11 @@
 //!   a dependency-aware service registry plus a passive, deterministic
 //!   supervisor that answers `Failed` transitions with restarts and
 //!   escalates up the graph when a restart doesn't clear the detector.
+//! * **Peer supervision** ([`peer`]): the loop's survival of its own
+//!   host — cells heartbeat leases to sibling cells over the event
+//!   fabric; when one lapses, watchers arbitrate a claim by lowest
+//!   member id, the winner adopts the silent cell and drives repair
+//!   remotely, and releases the moment the lease resumes.
 //!
 //! Everything samples an injected clock, so the virtual-time chaos
 //! harness drives the whole loop deterministically.
@@ -35,6 +40,7 @@
 pub mod detect;
 pub mod http;
 pub mod monitor;
+pub mod peer;
 pub mod recorder;
 pub mod state;
 pub mod supervise;
@@ -43,10 +49,11 @@ pub use detect::{
     default_detectors, ComponentDown, DeliveryLatency, Detector, MembershipFlap, Observation,
     QueueGrowth, RetransmitStorm, SampleCtx, WalStall,
 };
-pub use http::{StatusServer, StatusSources};
+pub use http::{StatusServer, StatusSources, SupervisionStatus};
 pub use monitor::{
     health_event, ComponentStatus, HealthConfig, HealthMonitor, HealthReport, HealthTransition,
 };
+pub use peer::{peer_lease_json, PeerAction, PeerConfig, PeerLease, PeerReport, PeerSupervisor};
 pub use recorder::FlightRecorder;
 pub use state::{ComponentHealth, HealthState, Hysteresis};
 pub use supervise::{

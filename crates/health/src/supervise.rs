@@ -263,6 +263,43 @@ impl SupervisionReport {
     pub fn converged(&self) -> bool {
         self.unresolved.is_empty()
     }
+
+    /// Render the report as a JSON object (no trailing newline), the
+    /// shape `/supervision` serves. The decision log is summarised as a
+    /// length — the flight recorder owns full post-mortems.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let list = |items: &[u64]| {
+            items
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let unresolved = self
+            .unresolved
+            .iter()
+            .map(|c| format!("\"{c}\""))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"restarts\": {}, \"escalations\": {}, \"reconcile_repairs\": {}, \
+             \"mean_ttr_micros\": {}, \"ttr_micros\": [{}], \"unresolved\": [{}], \
+             \"converged\": {}, \"log_len\": {}",
+            self.restarts,
+            self.escalations,
+            self.reconcile_repairs,
+            self.mean_ttr_micros(),
+            list(&self.ttr_micros),
+            unresolved,
+            self.converged(),
+            self.log.len(),
+        );
+        out.push('}');
+        out
+    }
 }
 
 /// The supervisor: consumes health transitions and reports, produces
@@ -608,6 +645,102 @@ mod tests {
         let report = s.report();
         assert!(report.converged());
         assert_eq!(report.ttr_micros, vec![4_000]);
+    }
+
+    #[test]
+    fn retry_fires_at_exactly_the_deadline_tick() {
+        // The retry window is inclusive: `now == last_action +
+        // retry_after` is due, one tick earlier is not. The boundary
+        // matters because the harness drives ticks on exact virtual
+        // cadences — an exclusive compare would silently push every
+        // retry one whole sampling window late.
+        let mut s = Supervisor::new(
+            registry(),
+            SuperviseConfig {
+                max_restarts: 3,
+                retry_after_micros: 1_000,
+            },
+        );
+        assert_eq!(s.on_transition(&failed("sink", 0)).len(), 1);
+        let still_down = report_with("sink", HealthState::Failed, 0);
+        assert!(
+            s.tick(999, &still_down).is_empty(),
+            "one µs before the deadline must not retry"
+        );
+        assert_eq!(
+            s.tick(1_000, &still_down),
+            vec![RepairAction::Restart {
+                component: "sink".into(),
+                attempt: 2
+            }],
+            "exactly at the deadline the retry fires"
+        );
+        // The clock rebased on the retry: the next boundary is equally
+        // exact relative to the *retry*, not the original failure.
+        assert!(s.tick(1_999, &still_down).is_empty());
+        assert_eq!(
+            s.tick(2_000, &still_down),
+            vec![RepairAction::Restart {
+                component: "sink".into(),
+                attempt: 3
+            }]
+        );
+    }
+
+    #[test]
+    fn restart_budget_exhausts_only_after_the_retry_clock_fires() {
+        // With a budget of one restart, the second action is an
+        // escalation — but only once the retry window has elapsed. The
+        // budget check must never pre-empt the clock: a wedged component
+        // gets its full `retry_after` to come back before the supervisor
+        // walks up the graph.
+        let mut s = Supervisor::new(
+            registry(),
+            SuperviseConfig {
+                max_restarts: 1,
+                retry_after_micros: 1_000,
+            },
+        );
+        assert_eq!(
+            s.on_transition(&failed("sink", 0)),
+            vec![RepairAction::Restart {
+                component: "sink".into(),
+                attempt: 1
+            }]
+        );
+        let still_down = report_with("sink", HealthState::Failed, 0);
+        // Budget already spent, but inside the window: still silent.
+        assert!(s.tick(500, &still_down).is_empty());
+        assert!(s.tick(999, &still_down).is_empty());
+        assert_eq!(s.report().escalations, 0, "no escalation before the clock");
+        // The retry clock fires with no budget left → escalate.
+        assert_eq!(
+            s.tick(1_000, &still_down),
+            vec![RepairAction::Escalate {
+                failed: "sink".into(),
+                target: "core".into()
+            }]
+        );
+        assert_eq!(s.report().escalations, 1);
+    }
+
+    #[test]
+    fn report_renders_as_json() {
+        let mut s = Supervisor::new(
+            registry(),
+            SuperviseConfig {
+                max_restarts: 1,
+                retry_after_micros: 1_000,
+            },
+        );
+        s.on_transition(&failed("sink", 0));
+        s.on_transition(&recovered("sink", 2_500));
+        let json = s.report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"restarts\": 1"));
+        assert!(json.contains("\"ttr_micros\": [2500]"));
+        assert!(json.contains("\"converged\": true"));
+        assert!(json.contains("\"unresolved\": []"));
     }
 
     #[test]

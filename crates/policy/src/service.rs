@@ -403,6 +403,27 @@ pub fn supervision_policies() -> Vec<Policy> {
     )]
 }
 
+/// The built-in peer-repair obligation: a `smc.supervision` *repair*
+/// command arriving from an adopter cell fires [`ActionSpec::Restart`]
+/// aimed at the named component. This is the actuator-plane half of
+/// peer supervision — a cell whose own supervisor is dead still
+/// executes the remote watcher's restart/escalation decisions through
+/// the same `ActionSpec` path local failures take, so remote repair is
+/// policy-governed rather than a privileged side door.
+pub fn peer_repair_policies() -> Vec<Policy> {
+    use smc_types::member::wellknown;
+    use smc_types::{Filter, Op};
+    vec![Policy::Obligation(
+        ObligationPolicy::new(
+            "builtin.supervision.remote-restart",
+            Filter::for_type(wellknown::SUPERVISION).with((wellknown::SUP_KIND, Op::Eq, "repair")),
+        )
+        .then(ActionSpec::Restart {
+            component: ValueTemplate::FromEvent(wellknown::SUP_COMPONENT.into()),
+        }),
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -534,6 +555,62 @@ mod tests {
         // Degraded is the quench layer's business, not the supervisor's.
         assert!(s.on_event(&health("degraded")).is_empty());
         assert!(s.on_event(&health("healthy")).is_empty());
+    }
+
+    #[test]
+    fn peer_repair_policies_fire_restart_on_remote_repair_commands() {
+        use smc_types::SupervisionMsg;
+        let s = PolicyService::new();
+        for p in peer_repair_policies() {
+            s.add(p).unwrap();
+        }
+        // A remote repair command restarts the named component…
+        let repair = SupervisionMsg::Repair {
+            target: 1,
+            component: "sink".into(),
+            attempt: 2,
+        }
+        .to_event(100);
+        let fired = s.on_event(&repair);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].policy_id, "builtin.supervision.remote-restart");
+        match &fired[0].action {
+            ActionSpec::Restart { component } => {
+                assert_eq!(
+                    component
+                        .resolve(&fired[0].trigger)
+                        .and_then(|v| v.as_str().map(str::to_owned)),
+                    Some("sink".to_owned())
+                );
+            }
+            other => panic!("expected restart, got {other:?}"),
+        }
+        // …while watcher-plane protocol traffic is not an actuator's
+        // business: leases, claims, adoptions never fire a restart.
+        for msg in [
+            SupervisionMsg::Lease {
+                holder: 2,
+                ttl_micros: 500_000,
+            },
+            SupervisionMsg::Claim {
+                target: 1,
+                claimant: 2,
+            },
+            SupervisionMsg::Adopt {
+                target: 1,
+                adopter: 2,
+            },
+            SupervisionMsg::Reconcile {
+                target: 1,
+                requester: 2,
+            },
+        ] {
+            assert!(
+                s.on_event(&msg.to_event(100)).is_empty(),
+                "{} must not fire the repair obligation",
+                msg.kind()
+            );
+        }
     }
 
     #[test]

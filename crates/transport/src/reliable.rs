@@ -190,6 +190,11 @@ pub struct ChannelStats {
     pub unreliable_sent: u64,
     /// Unreliable payloads received.
     pub unreliable_received: u64,
+    /// Messages that entered a retransmission round — an ack deadline
+    /// passed with fragments still outstanding. Mirrored onto the
+    /// interrupt line installed via
+    /// [`ReliableChannel::set_missed_ack_interrupt`].
+    pub missed_ack_interrupts: u64,
 }
 
 /// A message handed up by [`ReliableChannel::recv`].
@@ -332,6 +337,12 @@ struct Shared {
     /// A copy-on-write snapshot so the send and receive paths read it
     /// with one atomic load instead of a lock acquisition.
     tracer: SnapshotCell<Tracer>,
+    /// Missed-ack interrupt line: bumped once per message per
+    /// retransmission round so a health monitor can wake on the first
+    /// sign of peer silence instead of waiting out its sampling window.
+    /// Same copy-on-write pattern as the tracer — absent (free) unless
+    /// installed.
+    missed_ack_line: SnapshotCell<Option<Arc<AtomicU64>>>,
 }
 
 /// Reliable messaging endpoint over any [`Transport`].
@@ -483,6 +494,7 @@ impl ReliableChannel {
             clock,
             journal,
             tracer: SnapshotCell::new(Arc::new(Tracer::disabled())),
+            missed_ack_line: SnapshotCell::new(Arc::new(None)),
         });
         let (inbox_tx, inbox_rx) = unbounded();
         let worker = RxWorker {
@@ -565,6 +577,17 @@ impl ReliableChannel {
     /// [`ReliableChannel::set_tracer`] was called).
     pub fn tracer(&self) -> Tracer {
         (*self.shared.tracer.load()).clone()
+    }
+
+    /// Installs the missed-ack interrupt line: `line` is incremented
+    /// once per message per retransmission round, the moment an ack
+    /// deadline lapses with fragments still unacknowledged. A failure
+    /// detector polling (or parked on) the line learns of peer silence
+    /// at RTO granularity instead of its own sampling cadence. The same
+    /// `Arc` may be shared across many channels to fan interrupts into
+    /// one monitor.
+    pub fn set_missed_ack_interrupt(&self, line: Arc<AtomicU64>) {
+        self.shared.missed_ack_line.store(Arc::new(Some(line)));
     }
 
     /// Queues `payload` for exactly-once, in-order delivery to `to`.
@@ -1361,6 +1384,7 @@ impl RxWorker {
         let now = self.shared.clock.now_micros();
         let config = self.shared.config.clone();
         let tracer = self.shared.tracer.load();
+        let missed_ack_line = self.shared.missed_ack_line.load();
         let mut out = self.shared.out.lock();
         // Sorted peer order: every (re)transmission consumes draws from
         // the simulated network's seeded rng, so iteration order must not
@@ -1387,6 +1411,13 @@ impl RxWorker {
                 msg.rto = (msg.rto * config.backoff).min(config.max_rto);
                 // One hop per retransmission round, not per fragment.
                 tracer.record(msg.trace, Hop::TxRetransmit);
+                // A missed ack is the first observable symptom of a dead
+                // peer: pulse the interrupt line so a supervising monitor
+                // can sample immediately rather than on its next window.
+                self.shared.stats.lock().missed_ack_interrupts += 1;
+                if let Some(line) = missed_ack_line.as_ref() {
+                    line.fetch_add(1, Ordering::Relaxed);
+                }
                 let n = msg.frags.len() as u16;
                 for (i, &(start, end)) in msg.frags.iter().enumerate() {
                     if msg.acked[i] {

@@ -43,6 +43,7 @@ pub mod id;
 pub mod member;
 pub mod packet;
 pub mod snap;
+pub mod supervision;
 pub mod trace;
 pub mod value;
 pub mod wal;
@@ -59,6 +60,7 @@ pub use member::{
 };
 pub use packet::{encode_deliver, Packet};
 pub use snap::SnapshotCell;
+pub use supervision::SupervisionMsg;
 pub use trace::TraceId;
 pub use value::AttributeValue;
 pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, PendingRx, RetainedOutbound, WalRecord};

@@ -54,6 +54,24 @@ pub mod wellknown {
     /// the component maps to one (int) — the hook obligation policies use
     /// to aim a quench at the offending publisher.
     pub const HEALTH_MEMBER: &str = "health.member";
+    /// Event type for peer-supervision protocol traffic between cells:
+    /// heartbeat-leases, watcher claims, adoptions, releases, and the
+    /// remote repair/reconcile commands an adopter issues.
+    pub const SUPERVISION: &str = "smc.supervision";
+    /// Attribute: the supervision message kind (string: `lease`, `claim`,
+    /// `adopt`, `release`, `repair`, `reconcile`).
+    pub const SUP_KIND: &str = "supervision.kind";
+    /// Attribute: member id of the cell the message is about (int).
+    pub const SUP_TARGET: &str = "supervision.target";
+    /// Attribute: member id of the cell speaking — the lease holder,
+    /// claimant, or adopter (int).
+    pub const SUP_SENDER: &str = "supervision.sender";
+    /// Attribute: heartbeat-lease time-to-live in microseconds (int).
+    pub const SUP_TTL: &str = "supervision.ttl";
+    /// Attribute: the component a remote repair command targets (string).
+    pub const SUP_COMPONENT: &str = "supervision.component";
+    /// Attribute: the repair attempt number (int).
+    pub const SUP_ATTEMPT: &str = "supervision.attempt";
 }
 
 /// Why a member was purged from the cell.

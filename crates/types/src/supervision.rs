@@ -1,0 +1,247 @@
+//! The peer-supervision wire protocol.
+//!
+//! Cells watch each other over the event fabric itself, not a side
+//! channel: every protocol step is a typed `smc.supervision` event
+//! carried on the same journaled reliable channel as application
+//! traffic, so exactly-once and per-sender FIFO hold for supervision
+//! messages too. The vocabulary is small and soft-state:
+//!
+//! - **Lease** — a periodic heartbeat each cell's supervisor publishes,
+//!   advertising "my supervisor is alive for another `ttl` µs".
+//! - **Claim** — a watcher announcing it intends to adopt a sibling
+//!   whose lease lapsed; rivals arbitrate by lowest member id.
+//! - **Adopt** — the claim winner taking the watcher role.
+//! - **Release** — the adopter standing down once the target's lease
+//!   resumes (its own supervisor came back).
+//! - **Repair** — a restart/escalation decision the adopter drives
+//!   remotely; the target's actuator plane executes it through the
+//!   policy `ActionSpec` path.
+//! - **Reconcile** — an adopter-ordered anti-entropy pass diffing the
+//!   target's durable WAL truth against its live views, required
+//!   before the unsupervised cell may compact a checkpoint.
+//!
+//! Messages encode as plain [`Event`]s so they reuse the event codec
+//! and can be filtered, journaled, and replayed like any other event.
+
+use crate::event::Event;
+use crate::member::wellknown;
+
+/// One step of the peer-supervision protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SupervisionMsg {
+    /// Heartbeat: `holder`'s supervisor is alive; the lease lapses
+    /// `ttl_micros` (plus the watcher's grace) after the last one seen.
+    Lease {
+        /// Member id of the cell whose supervisor is heartbeating.
+        holder: u64,
+        /// Advertised time-to-live of this lease, in microseconds.
+        ttl_micros: u64,
+    },
+    /// `claimant` observed `target`'s lease lapse and bids for the
+    /// watcher role. Concurrent claimants resolve by lowest member id.
+    Claim {
+        /// Member id of the lapsed cell.
+        target: u64,
+        /// Member id of the bidding watcher.
+        claimant: u64,
+    },
+    /// `adopter` won the claim and now supervises `target` remotely.
+    Adopt {
+        /// Member id of the adopted cell.
+        target: u64,
+        /// Member id of the winning watcher.
+        adopter: u64,
+    },
+    /// `adopter` stands down: `target`'s own supervisor is back.
+    Release {
+        /// Member id of the formerly adopted cell.
+        target: u64,
+        /// Member id of the watcher standing down.
+        adopter: u64,
+    },
+    /// Remote repair command: restart `component` inside `target`.
+    /// Component `"core"` means a full reboot from the WAL and
+    /// `"supervisor"` revives the in-process supervisor itself.
+    Repair {
+        /// Member id of the cell being repaired.
+        target: u64,
+        /// The component to restart.
+        component: String,
+        /// Attempt number within the current failure episode.
+        attempt: u32,
+    },
+    /// Remote anti-entropy command: `target` must diff its live views
+    /// against durable WAL truth (and repair divergence) now.
+    Reconcile {
+        /// Member id of the cell being reconciled.
+        target: u64,
+        /// Member id of the adopter ordering the pass.
+        requester: u64,
+    },
+}
+
+impl SupervisionMsg {
+    /// The protocol kind tag carried in [`wellknown::SUP_KIND`].
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SupervisionMsg::Lease { .. } => "lease",
+            SupervisionMsg::Claim { .. } => "claim",
+            SupervisionMsg::Adopt { .. } => "adopt",
+            SupervisionMsg::Release { .. } => "release",
+            SupervisionMsg::Repair { .. } => "repair",
+            SupervisionMsg::Reconcile { .. } => "reconcile",
+        }
+    }
+
+    /// Render the message as a typed `smc.supervision` event, ready for
+    /// the event codec and the reliable channel.
+    pub fn to_event(&self, timestamp_micros: u64) -> Event {
+        let builder = Event::builder(wellknown::SUPERVISION)
+            .attr(wellknown::SUP_KIND, self.kind())
+            .timestamp_micros(timestamp_micros);
+        match self {
+            SupervisionMsg::Lease { holder, ttl_micros } => builder
+                .attr(wellknown::SUP_SENDER, *holder as i64)
+                .attr(wellknown::SUP_TTL, *ttl_micros as i64),
+            SupervisionMsg::Claim { target, claimant } => builder
+                .attr(wellknown::SUP_TARGET, *target as i64)
+                .attr(wellknown::SUP_SENDER, *claimant as i64),
+            SupervisionMsg::Adopt { target, adopter }
+            | SupervisionMsg::Release { target, adopter } => builder
+                .attr(wellknown::SUP_TARGET, *target as i64)
+                .attr(wellknown::SUP_SENDER, *adopter as i64),
+            SupervisionMsg::Repair {
+                target,
+                component,
+                attempt,
+            } => builder
+                .attr(wellknown::SUP_TARGET, *target as i64)
+                .attr(wellknown::SUP_COMPONENT, component.as_str())
+                .attr(wellknown::SUP_ATTEMPT, *attempt as i64),
+            SupervisionMsg::Reconcile { target, requester } => builder
+                .attr(wellknown::SUP_TARGET, *target as i64)
+                .attr(wellknown::SUP_SENDER, *requester as i64),
+        }
+        .build()
+    }
+
+    /// Parse a supervision message back out of an event. Returns `None`
+    /// for non-supervision events or malformed attribute sets, so a
+    /// receiver can drop garbage without failing the channel.
+    pub fn from_event(event: &Event) -> Option<Self> {
+        if event.event_type() != wellknown::SUPERVISION {
+            return None;
+        }
+        let int = |name: &str| event.attr(name)?.as_int().map(|v| v as u64);
+        let kind = event.attr(wellknown::SUP_KIND)?.as_str()?;
+        let msg = match kind {
+            "lease" => SupervisionMsg::Lease {
+                holder: int(wellknown::SUP_SENDER)?,
+                ttl_micros: int(wellknown::SUP_TTL)?,
+            },
+            "claim" => SupervisionMsg::Claim {
+                target: int(wellknown::SUP_TARGET)?,
+                claimant: int(wellknown::SUP_SENDER)?,
+            },
+            "adopt" => SupervisionMsg::Adopt {
+                target: int(wellknown::SUP_TARGET)?,
+                adopter: int(wellknown::SUP_SENDER)?,
+            },
+            "release" => SupervisionMsg::Release {
+                target: int(wellknown::SUP_TARGET)?,
+                adopter: int(wellknown::SUP_SENDER)?,
+            },
+            "repair" => SupervisionMsg::Repair {
+                target: int(wellknown::SUP_TARGET)?,
+                component: event.attr(wellknown::SUP_COMPONENT)?.as_str()?.to_string(),
+                attempt: int(wellknown::SUP_ATTEMPT)? as u32,
+            },
+            "reconcile" => SupervisionMsg::Reconcile {
+                target: int(wellknown::SUP_TARGET)?,
+                requester: int(wellknown::SUP_SENDER)?,
+            },
+            _ => return None,
+        };
+        Some(msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{from_bytes, to_bytes};
+
+    fn all_messages() -> Vec<SupervisionMsg> {
+        vec![
+            SupervisionMsg::Lease {
+                holder: 1,
+                ttl_micros: 500_000,
+            },
+            SupervisionMsg::Claim {
+                target: 1,
+                claimant: 2,
+            },
+            SupervisionMsg::Adopt {
+                target: 1,
+                adopter: 2,
+            },
+            SupervisionMsg::Release {
+                target: 1,
+                adopter: 2,
+            },
+            SupervisionMsg::Repair {
+                target: 1,
+                component: "sink".into(),
+                attempt: 3,
+            },
+            SupervisionMsg::Reconcile {
+                target: 1,
+                requester: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips_through_the_event_codec() {
+        for msg in all_messages() {
+            let event = msg.to_event(42);
+            let bytes = to_bytes(&event);
+            let back: Event = from_bytes(&bytes).expect("event decodes");
+            assert_eq!(back.event_type(), wellknown::SUPERVISION);
+            assert_eq!(back.timestamp_micros(), 42);
+            let parsed = SupervisionMsg::from_event(&back).expect("message parses");
+            assert_eq!(parsed, msg, "round trip for kind {}", msg.kind());
+        }
+    }
+
+    #[test]
+    fn foreign_and_malformed_events_parse_to_none() {
+        let foreign = Event::builder("smc.alarm").build();
+        assert!(SupervisionMsg::from_event(&foreign).is_none());
+
+        let unknown_kind = Event::builder(wellknown::SUPERVISION)
+            .attr(wellknown::SUP_KIND, "gossip")
+            .build();
+        assert!(SupervisionMsg::from_event(&unknown_kind).is_none());
+
+        let missing_attr = Event::builder(wellknown::SUPERVISION)
+            .attr(wellknown::SUP_KIND, "claim")
+            .attr(wellknown::SUP_TARGET, 1i64)
+            .build();
+        assert!(
+            SupervisionMsg::from_event(&missing_attr).is_none(),
+            "a claim without a claimant is malformed"
+        );
+    }
+
+    #[test]
+    fn kind_tags_are_distinct() {
+        let msgs = all_messages();
+        for (i, a) in msgs.iter().enumerate() {
+            for b in msgs.iter().skip(i + 1) {
+                assert_ne!(a.kind(), b.kind());
+            }
+        }
+    }
+}

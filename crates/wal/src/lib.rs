@@ -64,6 +64,10 @@ use smc_types::{CoreSnapshot, Error, Result, ServiceId, WalRecord};
 pub const CHAN_BUS: u8 = 0;
 /// Channel discriminator for the discovery channel's journal records.
 pub const CHAN_DISCOVERY: u8 = 1;
+/// Channel discriminator for the peer-supervision channel's journal
+/// records — heartbeat-leases, claims and remote repair commands get
+/// the same durable exactly-once treatment as application traffic.
+pub const CHAN_SUPERVISION: u8 = 2;
 
 /// Upper bound on one framed record's payload — far above any event the
 /// bus carries, low enough that a torn length prefix is recognised
