@@ -101,6 +101,8 @@ fn main() {
         sink: Some(Arc::clone(&sink)),
         health: Arc::default(),
         supervision: Some(Arc::clone(&supervision)),
+        ward: None,
+        clock: None,
     };
     let shared_report = Arc::clone(&sources.health);
     let server = StatusServer::start("127.0.0.1:0", sources).expect("bind status server");

@@ -37,7 +37,10 @@ mod scenario;
 mod world;
 
 pub use oracle::{DeliveryOracle, OracleViolation, TraceEvent, ViolationKind};
-pub use peer_world::{run_peer, run_peer_with_options, CellReport, PeerOptions, PeerRunReport};
+pub use peer_world::{
+    run_peer, run_peer_with_options, CellReport, PeerOptions, PeerRunReport, TelemetryPlaneOptions,
+    TelemetryPlaneReport,
+};
 pub use scenario::{
     shrink_scenario, ChaosOp, CoreComponent, CorruptTarget, LinkProfileKind, Scenario, ScriptedOp,
 };

@@ -31,24 +31,30 @@
 //! Everything steps one `ManualClock`; the same seed produces the same
 //! trace, byte for byte.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
 use smc_discovery::{AgentConfig, DiscoveryConfig, MemberAgent, MembershipEvent};
 use smc_health::{
-    health_event, ComponentDown, HealthMonitor, HealthState, PeerConfig, PeerReport,
-    PeerSupervisor, RepairAction, ServiceRegistry, ServiceSpec, SupervisionReport, Supervisor,
+    health_event, ComponentDown, HealthConfig, HealthMonitor, HealthState, PeerConfig, PeerReport,
+    PeerSupervisor, RepairAction, ServiceRegistry, ServiceSpec, SloBurn, SupervisionReport,
+    Supervisor,
 };
 use smc_policy::{peer_repair_policies, ActionSpec, PolicyService};
-use smc_telemetry::{Hop, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
+use smc_telemetry::{
+    Counter, DeltaExporter, Gauge, Hop, Registry, SloConfig, SloTracker, TraceSink, Tracer,
+    WardRegistry, DEFAULT_SINK_CAPACITY,
+};
 use smc_transport::{Incoming, LinkConfig, ReliableChannel, ReliableConfig, SimNetwork};
 use smc_types::{
-    codec, CellId, Event, ManualClock, ServiceId, ServiceInfo, SharedClock, SupervisionMsg,
-    TraceId, WalRecord,
+    codec, episode_trace, member::wellknown, CellId, Event, HopExport, ManualClock, ServiceId,
+    ServiceInfo, SharedClock, SupervisionMsg, TelemetryMsg, TraceId, WalRecord,
 };
-use smc_wal::{MemBackend, Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_SUPERVISION};
+use smc_wal::{
+    MemBackend, Wal, WalBackend, WalChannelJournal, WalConfig, CHAN_SUPERVISION, CHAN_TELEMETRY,
+};
 
 use crate::oracle::DeliveryOracle;
 use crate::scenario::{ChaosOp, CoreComponent, CorruptTarget, Scenario};
@@ -72,6 +78,40 @@ pub struct PeerOptions {
     pub peer: PeerConfig,
     /// Whether hops are recorded into a trace sink.
     pub trace: bool,
+    /// The ward-scale telemetry plane: when set, every cell exports
+    /// delta-encoded metrics, trace hops and SLO reports as journaled
+    /// `smc.telemetry` events to an observer that folds them into a
+    /// [`WardRegistry`]. `None` (the default) runs the world exactly as
+    /// before — no extra events, byte-identical traces.
+    pub telemetry: Option<TelemetryPlaneOptions>,
+}
+
+/// The telemetry plane's step cadence: far coarser than the 2ms world
+/// tick (telemetry tolerates latency; the data plane does not), fine
+/// enough that the export cadence never waits long on it. This is what
+/// keeps observing the world an order of magnitude cheaper than
+/// running it.
+const TEL_STEP_MICROS: u64 = 50 * TICK_MICROS;
+
+/// Configuration of the in-network telemetry plane.
+#[derive(Debug, Clone)]
+pub struct TelemetryPlaneOptions {
+    /// Virtual interval between a cell's exports (µs).
+    pub export_interval_micros: u64,
+    /// Delivery-latency SLO objective (µs).
+    pub delivery_objective_micros: u64,
+    /// Supervision time-to-repair SLO objective (µs).
+    pub ttr_objective_micros: u64,
+}
+
+impl Default for TelemetryPlaneOptions {
+    fn default() -> Self {
+        TelemetryPlaneOptions {
+            export_interval_micros: 400_000,
+            delivery_objective_micros: 400_000,
+            ttr_objective_micros: 3_000_000,
+        }
+    }
 }
 
 impl Default for PeerOptions {
@@ -82,6 +122,7 @@ impl Default for PeerOptions {
             supervision: SupervisionOptions::default(),
             peer: PeerConfig::default(),
             trace: true,
+            telemetry: None,
         }
     }
 }
@@ -129,6 +170,49 @@ impl CellReport {
     }
 }
 
+/// What the telemetry plane ended the run with (present only when
+/// [`PeerOptions::telemetry`] was set).
+#[derive(Debug)]
+pub struct TelemetryPlaneReport {
+    /// The observer's ward view: folded per-cell + rolled-up series,
+    /// stitched journeys, per-cell freshness.
+    pub ward: Arc<WardRegistry>,
+    /// Every supervision episode the watchers traced:
+    /// `(target member, episode trace)`.
+    pub episodes: Vec<(u64, TraceId)>,
+    /// Exports the observer folded (duplicates excluded).
+    pub exports_applied: u64,
+    /// Journal-replay duplicates the observer dropped.
+    pub duplicates: u64,
+    /// Times any ward-rolled counter moved backwards (the invariant the
+    /// delta encoding exists to hold; must be 0).
+    pub backwards: u64,
+    /// Aggregation lag quantiles: virtual time between a cell stamping
+    /// an export and the observer folding it.
+    pub lag_p50_micros: u64,
+    /// The p95 of the same lag distribution.
+    pub lag_p95_micros: u64,
+    /// `slo-burn` detector transitions out of healthy on the observer.
+    pub slo_alerts: u64,
+    /// Telemetry events cells sent (exports across all three kinds).
+    pub exports_sent: u64,
+}
+
+impl TelemetryPlaneReport {
+    /// `true` when the stitched journey for `trace` carries every one
+    /// of `labels` in virtual-time order and was never truncated.
+    pub fn journey_complete(&self, trace: TraceId, labels: &[&str]) -> bool {
+        let Some(journey) = self.ward.stitched(trace) else {
+            return false;
+        };
+        if journey.truncated {
+            return false;
+        }
+        let mut legs = journey.legs.iter();
+        labels.iter().all(|want| legs.any(|leg| leg.label == *want))
+    }
+}
+
 /// The outcome of one two-cell peer-supervision run.
 #[derive(Debug)]
 pub struct PeerRunReport {
@@ -142,6 +226,8 @@ pub struct PeerRunReport {
     pub ticks: u64,
     /// Virtual micros covered (scripted duration plus drain).
     pub virtual_micros: u64,
+    /// The telemetry plane's outcome, when it ran.
+    pub telemetry: Option<TelemetryPlaneReport>,
 }
 
 impl PeerRunReport {
@@ -233,6 +319,133 @@ fn new_remote(opts: &SupervisionOptions) -> RemoteSupervision {
     }
 }
 
+/// One watched supervision episode, traced from lease lapse to remote
+/// restart under a single synthetic [`TraceId`].
+struct EpisodeState {
+    target: u64,
+    trace: TraceId,
+    started_at: u64,
+    adopt_recorded: bool,
+    wire_repair_recorded: bool,
+}
+
+/// A cell's half of the telemetry plane: harness-plane state (like the
+/// supervision channel, it survives the core crashing) that accumulates
+/// metrics, hops and SLO observations between exports.
+struct CellTelemetry {
+    /// The telemetry channel journals into its own WAL, mirroring the
+    /// supervision plane: exports survive whatever they report on.
+    #[allow(dead_code)]
+    wal: Arc<Wal>,
+    channel: Arc<ReliableChannel>,
+    registry: Registry,
+    /// Cached handles into `registry` for the hot publish/deliver
+    /// paths, so counting an event is one atomic add, not a lookup.
+    published: Counter,
+    delivered: Counter,
+    members_gauge: Gauge,
+    sup_up_gauge: Gauge,
+    exporter: DeltaExporter,
+    pending_hops: Vec<HopExport>,
+    export_seq: u64,
+    next_export: u64,
+    interval: u64,
+    /// Publish stamp per `(device, seq)`, consumed at delivery to feed
+    /// the delivery-latency SLO.
+    publish_at: HashMap<(ServiceId, u64), u64>,
+    slo_delivery: SloTracker,
+    slo_ttr: SloTracker,
+    episode_ordinal: u64,
+    episode: Option<EpisodeState>,
+    episodes: Vec<(u64, TraceId)>,
+    exports_sent: u64,
+    /// The SLO reports last shipped: burn rates change rarely, so an
+    /// unchanged set is not re-sent (the observer's gauges keep their
+    /// last reading — re-setting them would be a no-op anyway).
+    last_slo: Vec<TelemetryMsg>,
+}
+
+impl CellTelemetry {
+    fn new(
+        net: &SimNetwork,
+        reliable: &ReliableConfig,
+        shared: &SharedClock,
+        tracer: &Tracer,
+        opts: &TelemetryPlaneOptions,
+    ) -> CellTelemetry {
+        let (wal, recovered) = Wal::open(Arc::new(MemBackend::new()), WalConfig::default())
+            .expect("telemetry wal opens");
+        let wal = Arc::new(wal);
+        let channel = ReliableChannel::with_clock_journaled(
+            Arc::new(net.endpoint()),
+            reliable.clone(),
+            Arc::clone(shared),
+            Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_TELEMETRY)),
+            recovered.snapshot.cursors_for(CHAN_TELEMETRY),
+            Vec::new(),
+        );
+        channel.set_tracer(tracer.clone());
+        let registry = Registry::new();
+        let published = registry.counter("smc_cell_published_total", "Events devices published.");
+        let delivered = registry.counter("smc_cell_delivered_total", "Events the sink delivered.");
+        let members_gauge =
+            registry.gauge("smc_cell_members", "Members in the sink's delivery view.");
+        let sup_up_gauge = registry.gauge(
+            "smc_cell_supervisor_up",
+            "Whether the supervisor plane is alive.",
+        );
+        CellTelemetry {
+            wal,
+            channel,
+            registry,
+            published,
+            delivered,
+            members_gauge,
+            sup_up_gauge,
+            exporter: DeltaExporter::new(),
+            pending_hops: Vec::new(),
+            export_seq: 0,
+            next_export: 0,
+            interval: opts.export_interval_micros.max(TICK_MICROS),
+            publish_at: HashMap::new(),
+            slo_delivery: SloTracker::new(SloConfig::new(
+                "delivery-latency",
+                opts.delivery_objective_micros,
+            )),
+            slo_ttr: SloTracker::new(SloConfig::new("supervision-ttr", opts.ttr_objective_micros)),
+            episode_ordinal: 0,
+            episode: None,
+            episodes: Vec::new(),
+            exports_sent: 0,
+            last_slo: Vec::new(),
+        }
+    }
+
+    fn record_hop(&mut self, trace: TraceId, label: &str, now: u64) {
+        self.pending_hops.push(HopExport {
+            trace: trace.raw(),
+            label: label.to_string(),
+            at_micros: now,
+        });
+    }
+}
+
+/// The observer: the endpoint telemetry exports converge on, folding
+/// them into the ward view and watching SLO burn.
+struct Observer {
+    #[allow(dead_code)]
+    wal: Arc<Wal>,
+    channel: Arc<ReliableChannel>,
+    id: ServiceId,
+    ward: Arc<WardRegistry>,
+    monitor: HealthMonitor,
+    /// Last seen value per monotone ward series, for the
+    /// backwards-counter invariant check.
+    prev_counters: HashMap<String, u64>,
+    backwards: u64,
+    slo_alerts: u64,
+}
+
 /// One sibling cell: a full single-cell world's worth of state plus the
 /// supervision plane.
 struct Cell {
@@ -271,6 +484,8 @@ struct Cell {
     reconcile_fixes: Vec<(u64, String)>,
     checkpoints_deferred: u64,
     missed_ack_total: u64,
+    /// The cell's half of the telemetry plane, when it runs.
+    telemetry: Option<CellTelemetry>,
 }
 
 /// The read-only snapshot of a ward the adopter's monitor samples.
@@ -328,6 +543,7 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
         supervision,
         peer: peer_config,
         trace,
+        telemetry: telemetry_opts,
     } = options;
     let clock = Arc::new(ManualClock::new());
     let shared: SharedClock = clock.clone();
@@ -454,10 +670,53 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
                 reconcile_fixes: Vec::new(),
                 checkpoints_deferred: 0,
                 missed_ack_total: 0,
+                telemetry: telemetry_opts
+                    .as_ref()
+                    .map(|t| CellTelemetry::new(&net, &reliable, &shared, &tracer, t)),
             }
         })
         .collect();
     let sup_ids = [cells[0].sup_id, cells[1].sup_id];
+    let tel_ids: [Option<ServiceId>; 2] = [
+        cells[0].telemetry.as_ref().map(|t| t.channel.local_id()),
+        cells[1].telemetry.as_ref().map(|t| t.channel.local_id()),
+    ];
+
+    // The observer: its channel journals like every other plane, so a
+    // partitioned cell's backlog lands after heal rather than never.
+    let mut observer = telemetry_opts.as_ref().map(|_| {
+        let (wal, recovered) = Wal::open(Arc::new(MemBackend::new()), WalConfig::default())
+            .expect("observer wal opens");
+        let wal = Arc::new(wal);
+        let channel = ReliableChannel::with_clock_journaled(
+            Arc::new(net.endpoint()),
+            reliable.clone(),
+            Arc::clone(&shared),
+            Arc::new(WalChannelJournal::new(Arc::clone(&wal), CHAN_TELEMETRY)),
+            recovered.snapshot.cursors_for(CHAN_TELEMETRY),
+            Vec::new(),
+        );
+        channel.set_tracer(tracer.clone());
+        let id = channel.local_id();
+        Observer {
+            wal,
+            channel,
+            id,
+            ward: Arc::new(WardRegistry::new()),
+            // Burn rates move on the scale of the SLO windows (5s/30s);
+            // sampling them faster than once a second buys nothing.
+            monitor: HealthMonitor::with_detectors(
+                HealthConfig {
+                    interval_micros: supervision.health.interval_micros.max(1_000_000),
+                    ..supervision.health
+                },
+                vec![Box::new(SloBurn::default())],
+            ),
+            prev_counters: HashMap::new(),
+            backwards: 0,
+            slo_alerts: 0,
+        }
+    });
 
     // Expand the scripted ops into the fault timeline (same shape as
     // the single-cell world; device and component ops hit cell 0).
@@ -556,6 +815,12 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
                 Act::CellPartition(c, on) => {
                     let c = c.min(1);
                     net.set_partitioned(sup_ids[c], sup_ids[1 - c], on);
+                    // The telemetry plane shares the cell's fate: a
+                    // partitioned cell's exports queue in its journal
+                    // and drain to the observer after heal.
+                    if let (Some(tel), Some(obs)) = (tel_ids[c], observer.as_ref()) {
+                        net.set_partitioned(tel, obs.id, on);
+                    }
                     oracle.record_fault(
                         now,
                         format!(
@@ -698,10 +963,24 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
                 }
             }
             cell.sup_channel.step();
+            // Telemetry is a background plane: its channels step on a
+            // coarser (still deterministic) cadence, an order of
+            // magnitude below the export interval, so observing the
+            // world stays cheap relative to running it.
+            if now.is_multiple_of(TEL_STEP_MICROS) {
+                if let Some(tel) = &cell.telemetry {
+                    tel.channel.step();
+                }
+            }
             for dev in &cell.devices {
                 if !dev.crashed {
                     dev.channel.step();
                 }
+            }
+        }
+        if now.is_multiple_of(TEL_STEP_MICROS) {
+            if let Some(obs) = &observer {
+                obs.channel.step();
             }
         }
         // 4. Protocol logic on top of the channels.
@@ -802,6 +1081,8 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
         // 6. Devices publish to their own cell's sink.
         if now < end {
             for cell in &mut cells {
+                let sink_id = cell.sink_id;
+                let telemetry = &mut cell.telemetry;
                 for dev in &mut cell.devices {
                     if dev.crashed
                         || dev.quenched
@@ -816,7 +1097,11 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
                     let t = TraceId::for_event(dev.id, seq);
                     tracer.record(t, Hop::Published);
                     oracle.record_publish(now, dev.id, seq);
-                    let _ = dev.channel.send_traced(cell.sink_id, encode(seq), t);
+                    if let Some(tel) = telemetry.as_mut() {
+                        tel.published.inc();
+                        tel.publish_at.insert((dev.id, seq), now);
+                    }
+                    let _ = dev.channel.send_traced(sink_id, encode(seq), t);
                 }
             }
         }
@@ -829,6 +1114,12 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
                         if cell.members.contains(&from) {
                             tracer.record(t, Hop::Delivered);
                             oracle.record_delivery(now, from, published);
+                            if let Some(tel) = cell.telemetry.as_mut() {
+                                tel.delivered.inc();
+                                if let Some(stamp) = tel.publish_at.remove(&(from, published)) {
+                                    tel.slo_delivery.record(now, now - stamp);
+                                }
+                            }
                         } else {
                             tracer.record(
                                 t,
@@ -840,6 +1131,131 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
                         }
                     }
                     cell.core.sink_channel.consumed(from, seq);
+                }
+            }
+        }
+        // 8. The telemetry plane: cells export on cadence, then the
+        // observer folds whatever has arrived and watches SLO burn.
+        // Cell-runtime plane, like the supervision channel — it keeps
+        // exporting with the supervisor dead, which is exactly what
+        // lets the ward view narrate the outage. Runs on the coarse
+        // telemetry cadence: exports only move when the channels step.
+        let tel_due = now.is_multiple_of(TEL_STEP_MICROS);
+        if let Some(obs) = observer.as_mut().filter(|_| tel_due) {
+            for cell in &mut cells {
+                let Cell {
+                    telemetry,
+                    members,
+                    rt,
+                    member_id,
+                    ..
+                } = cell;
+                let Some(tel) = telemetry.as_mut() else {
+                    continue;
+                };
+                // The last export fires a full interval before the run
+                // ends, so its messages can land inside the drain
+                // window instead of dying in flight.
+                if now < tel.next_export || now + tel.interval > total {
+                    continue;
+                }
+                tel.next_export = now + tel.interval;
+                tel.members_gauge.set(members.len() as u64);
+                tel.sup_up_gauge.set(u64::from(rt.alive));
+                tel.export_seq += 1;
+                let series = tel.exporter.export(&tel.registry.gather());
+                // An empty delta still ships: freshness and lag need
+                // the heartbeat even when nothing moved.
+                let delta = TelemetryMsg::MetricDelta {
+                    cell: *member_id,
+                    export_seq: tel.export_seq,
+                    series,
+                };
+                let _ = tel
+                    .channel
+                    .send(obs.id, codec::to_bytes(&delta.to_event(now)));
+                tel.exports_sent += 1;
+                if !tel.pending_hops.is_empty() {
+                    let hops = std::mem::take(&mut tel.pending_hops);
+                    let export = TelemetryMsg::TraceExport {
+                        cell: *member_id,
+                        export_seq: tel.export_seq,
+                        hops,
+                        truncated: Vec::new(),
+                    };
+                    let _ = tel
+                        .channel
+                        .send(obs.id, codec::to_bytes(&export.to_event(now)));
+                    tel.exports_sent += 1;
+                }
+                let slo_reports: Vec<TelemetryMsg> = tel
+                    .slo_delivery
+                    .reports(now, *member_id)
+                    .into_iter()
+                    .chain(tel.slo_ttr.reports(now, *member_id))
+                    .collect();
+                if slo_reports != tel.last_slo {
+                    for report in &slo_reports {
+                        let _ = tel
+                            .channel
+                            .send(obs.id, codec::to_bytes(&report.to_event(now)));
+                        tel.exports_sent += 1;
+                    }
+                    tel.last_slo = slo_reports;
+                }
+            }
+            while let Ok(incoming) = obs.channel.recv(Some(Duration::ZERO)) {
+                if let Incoming::Reliable { payload, .. } = incoming {
+                    if let Ok(event) = codec::from_bytes::<Event>(&payload) {
+                        if let Some(msg) = TelemetryMsg::from_event(&event) {
+                            obs.ward.apply(&msg, event.timestamp_micros(), now);
+                        }
+                    }
+                }
+            }
+            if obs.monitor.due(now) {
+                let samples = obs.ward.registry().gather();
+                // The invariant the delta encoding exists to hold:
+                // ward-rolled counters never move backwards, crashes
+                // and journal replays included. Checked on the monitor
+                // cadence, over the same gather the detectors read.
+                for sample in &samples {
+                    if !sample.monotonic {
+                        continue;
+                    }
+                    let mut key = String::with_capacity(sample.name.len() + 16);
+                    key.push_str(&sample.name);
+                    for (k, v) in &sample.labels {
+                        key.push('\u{1}');
+                        key.push_str(k);
+                        key.push('\u{2}');
+                        key.push_str(v);
+                    }
+                    let prev = obs.prev_counters.insert(key, sample.value).unwrap_or(0);
+                    if sample.value < prev {
+                        obs.backwards += 1;
+                        oracle.record_fault(
+                            now,
+                            format!(
+                                "telemetry: ward counter {} went backwards ({prev} -> {})",
+                                sample.name, sample.value
+                            ),
+                        );
+                    }
+                }
+                for t in obs.monitor.observe(now, &samples, &[]) {
+                    if t.to != HealthState::Healthy {
+                        obs.slo_alerts += 1;
+                        oracle.record_fault(
+                            now,
+                            format!(
+                                "telemetry: slo burn alert {} {}->{}",
+                                t.component,
+                                t.from.as_str(),
+                                t.to.as_str()
+                            ),
+                        );
+                    }
                 }
             }
         }
@@ -855,6 +1271,40 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
         .iter()
         .flat_map(|c| c.device_ids.iter().copied())
         .collect();
+    let mut episodes: Vec<(u64, TraceId)> = Vec::new();
+    let mut exports_sent = 0u64;
+    for cell in &mut cells {
+        if let Some(tel) = cell.telemetry.as_mut() {
+            episodes.append(&mut tel.episodes);
+            exports_sent += tel.exports_sent;
+        }
+    }
+    episodes.sort_by_key(|&(target, trace)| (target, trace.raw()));
+    let telemetry = observer.map(|obs| {
+        let lag = obs.ward.registry().histogram(
+            "smc_ward_aggregation_lag_micros",
+            "Virtual-time lag between a cell stamping an export and the observer folding it.",
+        );
+        let exports_applied = obs
+            .ward
+            .registry()
+            .counter(
+                "smc_ward_exports_applied_total",
+                "Telemetry exports folded into the ward view.",
+            )
+            .get();
+        TelemetryPlaneReport {
+            episodes,
+            exports_applied,
+            duplicates: obs.ward.duplicates(),
+            backwards: obs.backwards,
+            lag_p50_micros: lag.quantile(0.5),
+            lag_p95_micros: lag.quantile(0.95),
+            slo_alerts: obs.slo_alerts,
+            exports_sent,
+            ward: obs.ward,
+        }
+    });
     let cells = cells
         .into_iter()
         .map(|cell| CellReport {
@@ -881,6 +1331,7 @@ pub fn run_peer_with_options(scenario: &Scenario, options: PeerOptions) -> PeerR
         cells,
         ticks,
         virtual_micros: total,
+        telemetry,
     }
 }
 
@@ -906,22 +1357,30 @@ fn supervision_step(
     // a. Drain the supervision channel. Repair/Reconcile are actuator
     // commands the cell runtime executes even with its supervisor dead;
     // everything else is watcher-plane protocol.
-    let mut msgs: Vec<SupervisionMsg> = Vec::new();
+    let mut msgs: Vec<(SupervisionMsg, Option<u64>)> = Vec::new();
     while let Ok(incoming) = cell.sup_channel.recv(Some(Duration::ZERO)) {
         if let Incoming::Reliable { payload, .. } = incoming {
             if let Ok(event) = codec::from_bytes::<Event>(&payload) {
                 if let Some(msg) = SupervisionMsg::from_event(&event) {
-                    msgs.push(msg);
+                    // A repair command may carry the adopter's episode
+                    // trace; the target's half of the stitched journey
+                    // hangs off it.
+                    let episode = event
+                        .attr(wellknown::TEL_EPISODE)
+                        .and_then(|v| v.as_int())
+                        .map(|v| v as u64);
+                    msgs.push((msg, episode));
                 }
             }
         }
     }
     let mut peer_actions = Vec::new();
-    for msg in msgs {
+    for (msg, episode_attr) in msgs {
         match &msg {
             SupervisionMsg::Repair {
                 target, component, ..
             } if *target == cell.member_id => {
+                let revivals_before = cell.supervisor_revivals;
                 // Policy-mediated execution: the wire command becomes a
                 // typed event, the built-in obligation fires Restart.
                 let fired_list = cell.actuator.on_event(&msg.to_event(now));
@@ -949,6 +1408,15 @@ fn supervision_step(
                             sup_opts,
                             peer_config,
                         );
+                    }
+                }
+                // The cross-cell leg: the repair revived this cell's
+                // supervisor, so the hop is recorded *here*, under the
+                // adopter's episode trace, and exported on this cell's
+                // next telemetry cadence.
+                if cell.supervisor_revivals > revivals_before {
+                    if let (Some(raw), Some(tel)) = (episode_attr, cell.telemetry.as_mut()) {
+                        tel.record_hop(TraceId::from_raw(raw), "remote-restart", now);
                     }
                 }
             }
@@ -988,6 +1456,25 @@ fn supervision_step(
                         now,
                         format!("peer {claimant} claims supervision of cell member {target}"),
                     );
+                    // A claim opens a supervision episode: mint the
+                    // synthetic trace and record its first two hops
+                    // (the lapse the claim answers, then the claim).
+                    if let Some(tel) = cell.telemetry.as_mut() {
+                        if tel.episode.as_ref().is_none_or(|e| e.target != *target) {
+                            tel.episode_ordinal += 1;
+                            let trace = episode_trace(*target, tel.episode_ordinal);
+                            tel.record_hop(trace, "lease-lapse", now);
+                            tel.record_hop(trace, "claim", now);
+                            tel.episodes.push((*target, trace));
+                            tel.episode = Some(EpisodeState {
+                                target: *target,
+                                trace,
+                                started_at: now,
+                                adopt_recorded: false,
+                                wire_repair_recorded: false,
+                            });
+                        }
+                    }
                 }
                 send_sup(cell, sibling_sup, &msg, now);
             }
@@ -999,6 +1486,17 @@ fn supervision_step(
                         cell.member_id
                     ),
                 );
+                if let Some(tel) = cell.telemetry.as_mut() {
+                    let hop = tel.episode.as_mut().and_then(|ep| {
+                        (ep.target == target && !ep.adopt_recorded).then(|| {
+                            ep.adopt_recorded = true;
+                            ep.trace
+                        })
+                    });
+                    if let Some(trace) = hop {
+                        tel.record_hop(trace, "adopt", now);
+                    }
+                }
                 let mut remote = new_remote(sup_opts);
                 // Reconcile-before-checkpoint starts *now*: order an
                 // anti-entropy pass before the ward's next compaction
@@ -1023,6 +1521,13 @@ fn supervision_step(
                         cell.member_id
                     ),
                 );
+                // Release closes the episode: its duration is exactly
+                // the supervision time-to-repair the SLO watches.
+                if let Some(tel) = cell.telemetry.as_mut() {
+                    if let Some(ep) = tel.episode.take_if(|e| e.target == target) {
+                        tel.slo_ttr.record(now, now - ep.started_at);
+                    }
+                }
                 cell.remote = None;
             }
         }
@@ -1085,16 +1590,36 @@ fn supervision_step(
                 format!("remote repair order: {component} on cell member {ward_member} ({desc})"),
             );
             cell.remote_commands.push((now, desc));
-            send_sup(
-                cell,
-                sibling_sup,
-                &SupervisionMsg::Repair {
-                    target: ward_member,
-                    component,
-                    attempt,
-                },
-                now,
-            );
+            let supervisor_repair = component == "supervisor";
+            let msg = SupervisionMsg::Repair {
+                target: ward_member,
+                component,
+                attempt,
+            };
+            let mut event = msg.to_event(now);
+            // Supervisor revivals carry the episode trace across the
+            // wire, so the target can record its restart hop under the
+            // same journey the adopter opened.
+            if supervisor_repair {
+                if let Some(tel) = cell.telemetry.as_mut() {
+                    let hop = tel.episode.as_mut().and_then(|ep| {
+                        (ep.target == ward_member).then(|| {
+                            let first = !ep.wire_repair_recorded;
+                            ep.wire_repair_recorded = true;
+                            (ep.trace, first)
+                        })
+                    });
+                    if let Some((trace, first)) = hop {
+                        event
+                            .attributes_mut()
+                            .insert(wellknown::TEL_EPISODE, trace.raw() as i64);
+                        if first {
+                            tel.record_hop(trace, "wire-repair", now);
+                        }
+                    }
+                }
+            }
+            let _ = cell.sup_channel.send(sibling_sup, codec::to_bytes(&event));
         }
     }
     // e. Local anti-entropy on cadence (alive only — a dead supervisor

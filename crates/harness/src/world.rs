@@ -33,7 +33,10 @@ use smc_health::{
     QueueGrowth, RepairAction, RetransmitStorm, ServiceRegistry, ServiceSpec, SuperviseConfig,
     SupervisionReport, Supervisor, WalStall,
 };
-use smc_policy::{health_quench_policies, supervision_policies, ActionSpec, PolicyService};
+use smc_policy::{
+    health_quench_policies, supervision_policies, telemetry_quench_exemptions, ActionClass,
+    ActionSpec, Decision, PolicyService,
+};
 use smc_telemetry::{
     Hop, HopRecord, Journey, Registry, Sample, TraceSink, Tracer, DEFAULT_SINK_CAPACITY,
 };
@@ -148,6 +151,11 @@ pub struct HealthOptions {
     /// whose channel goes `Degraded` is quenched (stops publishing)
     /// until it recovers. Off = observe-only.
     pub quench: bool,
+    /// Members the quench obligation may never silence (raw service
+    /// ids): telemetry observers and anything else that must stay
+    /// audible while degraded. Registered as authorisation denies on
+    /// `quench:<raw>`, checked at the actuator.
+    pub quench_exempt: Vec<u64>,
     /// When set, the flight recorder dumps here if the run ends with an
     /// oracle violation or saw a core crash.
     pub dump_path: Option<PathBuf>,
@@ -158,6 +166,7 @@ impl Default for HealthOptions {
         HealthOptions {
             config: HealthConfig::default(),
             quench: true,
+            quench_exempt: Vec::new(),
             dump_path: None,
         }
     }
@@ -525,6 +534,11 @@ impl HealthRuntime {
         let policy = PolicyService::new();
         for p in health_quench_policies() {
             policy.add(p).expect("built-in health policies are valid");
+        }
+        for p in telemetry_quench_exemptions(opts.quench_exempt.iter().copied()) {
+            policy
+                .add(p)
+                .expect("built-in exemption policies are valid");
         }
         HealthRuntime {
             monitor: HealthMonitor::with_detectors(opts.config, detectors),
@@ -1458,6 +1472,19 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
                             continue;
                         };
                         let target = ServiceId::from_raw(raw as u64);
+                        // The actuator consults authorisation before
+                        // silencing anyone: telemetry observers carry a
+                        // deny on `quench:<raw>` and stay audible.
+                        if enable
+                            && rt.policy.check(
+                                "*",
+                                ActionClass::Command,
+                                &format!("quench:{}", target.raw()),
+                            ) == Decision::Deny
+                        {
+                            oracle.record_fault(now, format!("quench-exempt {target}"));
+                            continue;
+                        }
                         if let Some(dev) = devices.iter_mut().find(|d| d.id == target) {
                             dev.quenched = enable;
                             rt.quenches.push((now, target, enable));

@@ -4,6 +4,7 @@
 //! the workspace already exports — because the hysteresis in
 //! [`ComponentHealth`](crate::ComponentHealth) supplies the damping.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -427,6 +428,81 @@ impl Detector for ComponentDown {
     }
 }
 
+/// SLO burn: an error budget is being spent faster than provisioned
+/// across **every** configured window at once. Watches the
+/// `smc_slo_burn_rate_milli` gauges a telemetry observer folds from
+/// [`SloReport`](smc_types::TelemetryMsg) events; the multi-window AND
+/// is the point — a fast-window spike alone is a blip, a slow-window
+/// residue alone is history, but both together mean the budget is
+/// actually draining now.
+#[derive(Debug)]
+pub struct SloBurn {
+    metric: String,
+    threshold_milli: u64,
+}
+
+impl SloBurn {
+    /// Flags any `(slo, cell)` whose burn exceeds `threshold_milli`
+    /// (×1000; 1000 = spending exactly on budget) in every window.
+    pub fn new(metric: impl Into<String>, threshold_milli: u64) -> SloBurn {
+        SloBurn {
+            metric: metric.into(),
+            threshold_milli,
+        }
+    }
+}
+
+impl Default for SloBurn {
+    fn default() -> Self {
+        SloBurn::new("smc_slo_burn_rate_milli", 1000)
+    }
+}
+
+impl Detector for SloBurn {
+    fn name(&self) -> &'static str {
+        "slo-burn"
+    }
+
+    fn observe(&mut self, ctx: &SampleCtx<'_>) -> Vec<Observation> {
+        // (slo, cell) → per-window burns. BTreeMap for a deterministic
+        // observation order under the virtual-time harness.
+        let mut groups: BTreeMap<(String, String), Vec<(String, u64)>> = BTreeMap::new();
+        for s in ctx.samples.iter().filter(|s| s.name == self.metric) {
+            let get = |key: &str| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.clone())
+                    .unwrap_or_default()
+            };
+            groups
+                .entry((get("slo"), get("cell")))
+                .or_default()
+                .push((get("window"), s.value));
+        }
+        groups
+            .into_iter()
+            .map(|((slo, cell), windows)| {
+                let burning = windows.iter().all(|(_, burn)| *burn > self.threshold_milli);
+                let detail = windows
+                    .iter()
+                    .map(|(w, burn)| format!("{w}µs={burn}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                Observation {
+                    component: if cell.is_empty() {
+                        format!("slo:{slo}")
+                    } else {
+                        format!("slo:{slo}@cell{cell}")
+                    },
+                    healthy: !burning,
+                    detail: format!("burn_milli {detail} (limit {})", self.threshold_milli),
+                }
+            })
+            .collect()
+    }
+}
+
 /// The default detector suite, tuned for the chaos harness's metric
 /// names. Embedders watching different series build their own set with
 /// the `new` constructors.
@@ -590,6 +666,52 @@ mod tests {
         assert!(disco.healthy);
         assert!(!sink.healthy);
         assert!(d.observe(&ctx(1, 1, &[], &[])).is_empty());
+    }
+
+    #[test]
+    fn slo_burn_needs_every_window_over_threshold() {
+        let mut d = SloBurn::new("burn", 1000);
+        let burn = |slo: &str, window: &str, cell: &str, v: u64| Sample {
+            monotonic: false,
+            ..sample(
+                "burn",
+                &[("slo", slo), ("window", window), ("cell", cell)],
+                v,
+            )
+        };
+        // Fast window spikes but the slow window is clean: a blip.
+        let blip = vec![
+            burn("delivery-latency", "5000000", "1", 4_000),
+            burn("delivery-latency", "30000000", "1", 200),
+        ];
+        let obs = d.observe(&ctx(0, 0, &blip, &[]));
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].component, "slo:delivery-latency@cell1");
+        assert!(obs[0].healthy, "{}", obs[0].detail);
+
+        // Both windows over budget: the budget is actually draining.
+        let drain = vec![
+            burn("delivery-latency", "5000000", "1", 4_000),
+            burn("delivery-latency", "30000000", "1", 1_500),
+            // A second SLO on another cell stays healthy.
+            burn("supervision-ttr", "5000000", "2", 0),
+            burn("supervision-ttr", "30000000", "2", 0),
+        ];
+        let obs = d.observe(&ctx(1, 1, &drain, &[]));
+        assert_eq!(obs.len(), 2);
+        let latency = obs
+            .iter()
+            .find(|o| o.component == "slo:delivery-latency@cell1")
+            .unwrap();
+        let ttr = obs
+            .iter()
+            .find(|o| o.component == "slo:supervision-ttr@cell2")
+            .unwrap();
+        assert!(!latency.healthy);
+        assert!(ttr.healthy);
+
+        // No burn gauges at all → nothing to say.
+        assert!(d.observe(&ctx(2, 1, &[], &[])).is_empty());
     }
 
     #[test]

@@ -3,8 +3,13 @@
 //!
 //! * `GET /metrics` — the registry's Prometheus text exposition,
 //! * `GET /health` — per-component health state as JSON,
-//! * `GET /journey?sender=<raw-id>&seq=<n>` — one event's hop-by-hop
-//!   journey replayed from the trace sink,
+//! * `GET /journey?sender=<raw-id>&seq=<n>` (or `?trace=<16-hex>`) —
+//!   one event's hop-by-hop journey. On a telemetry observer the
+//!   cross-cell stitched journey is preferred; otherwise the local
+//!   trace sink replays it. Histogram exemplars matching the trace are
+//!   appended either way,
+//! * `GET /cells` — per-cell export freshness (last export sequence,
+//!   virtual timestamp, lag) as JSON, when ward aggregation is enabled,
 //! * `GET /supervision` — the supervisor's report plus the
 //!   peer-supervision lease table as JSON.
 //!
@@ -18,8 +23,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use smc_telemetry::{Registry, TraceSink};
-use smc_types::{ServiceId, TraceId};
+use smc_telemetry::{Registry, TraceSink, WardRegistry};
+use smc_types::{ServiceId, SharedClock, TraceId};
 
 use crate::monitor::HealthReport;
 use crate::peer::{peer_lease_json, PeerLease};
@@ -49,6 +54,12 @@ pub struct StatusSources {
     pub health: Arc<parking_lot::Mutex<HealthReport>>,
     /// Supervision state behind `/supervision` (404s when absent).
     pub supervision: Option<Arc<parking_lot::Mutex<SupervisionStatus>>>,
+    /// Ward-scale telemetry aggregation behind `/cells` and stitched
+    /// `/journey` responses (404s when absent).
+    pub ward: Option<Arc<WardRegistry>>,
+    /// Clock `/cells` computes lag against; falls back to the newest
+    /// export timestamp the ward has seen when absent.
+    pub clock: Option<SharedClock>,
 }
 
 /// The running server: a background accept loop that can be stopped.
@@ -157,26 +168,35 @@ fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, 
             let report = sources.health.lock().clone();
             ("200 OK", "application/json", report.to_json())
         }
-        "/journey" => match &sources.sink {
-            None => json_error("404 Not Found", "tracing is not enabled"),
-            Some(sink) => match parse_journey_query(query) {
-                Err(e) => json_error("400 Bad Request", &e),
-                Ok((sender, seq)) => {
-                    let trace = TraceId::for_event(ServiceId::from_raw(sender), seq);
-                    let journey = sink.journey(trace);
-                    if journey.is_empty() {
-                        json_error(
-                            "404 Not Found",
-                            &format!(
-                                "no hops recorded for sender={sender} seq={seq} \
-                                 (never traced, or the ring overwrote them)"
-                            ),
+        "/journey" => journey_route(query, sources),
+        "/cells" => match &sources.ward {
+            None => json_error("404 Not Found", "telemetry aggregation is not enabled"),
+            Some(ward) => {
+                let now = sources
+                    .clock
+                    .as_ref()
+                    .map(|c| c.now_micros())
+                    .unwrap_or_else(|| ward.latest_export_micros());
+                let cells: Vec<String> = ward
+                    .freshness(now)
+                    .into_iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"cell\": {}, \"last_export_seq\": {}, \
+                             \"last_delta_at_micros\": {}, \"lag_micros\": {}}}",
+                            f.cell, f.last_export_seq, f.last_delta_at_micros, f.lag_micros
                         )
-                    } else {
-                        ("200 OK", "text/plain", journey.to_string())
-                    }
-                }
-            },
+                    })
+                    .collect();
+                (
+                    "200 OK",
+                    "application/json",
+                    format!(
+                        "{{\"at_micros\": {now}, \"cells\": [{}]}}\n",
+                        cells.join(", ")
+                    ),
+                )
+            }
         },
         "/supervision" => match &sources.supervision {
             None => json_error("404 Not Found", "supervision is not enabled"),
@@ -196,11 +216,57 @@ fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, 
         "/" => (
             "200 OK",
             "text/plain",
-            "smc status server: /metrics /health /supervision /journey?sender=..&seq=..\n"
+            "smc status server: /metrics /health /supervision /cells \
+             /journey?sender=..&seq=..\n"
                 .to_owned(),
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
     }
+}
+
+/// `/journey`: stitched cross-cell journey when a ward view has one,
+/// the local trace sink's replay otherwise, with matching histogram
+/// exemplars appended.
+fn journey_route(query: &str, sources: &StatusSources) -> (&'static str, &'static str, String) {
+    if sources.sink.is_none() && sources.ward.is_none() {
+        return json_error("404 Not Found", "tracing is not enabled");
+    }
+    let (trace, described) = match parse_trace_query(query) {
+        Err(e) => return json_error("400 Bad Request", &e),
+        Ok(t) => t,
+    };
+    let mut body = String::new();
+    if let Some(ward) = &sources.ward {
+        if let Some(stitched) = ward.stitched(trace) {
+            body = stitched.to_string();
+        }
+    }
+    if body.is_empty() {
+        if let Some(sink) = &sources.sink {
+            let journey = sink.journey(trace);
+            if !journey.is_empty() {
+                body = journey.to_string();
+            }
+        }
+    }
+    if body.is_empty() {
+        return json_error(
+            "404 Not Found",
+            &format!(
+                "no hops recorded for {described} \
+                 (never traced, or the ring overwrote them)"
+            ),
+        );
+    }
+    for e in sources.registry.exemplars() {
+        if e.trace == trace {
+            body.push_str(&format!(
+                "  exemplar {}{{le=\"{}\"}} = {}\n",
+                e.metric, e.le, e.value
+            ));
+        }
+    }
+    ("200 OK", "text/plain", body)
 }
 
 /// A JSON error body: `{"error":"..."}` with the given status line.
@@ -210,6 +276,26 @@ fn json_error(status: &'static str, message: &str) -> (&'static str, &'static st
         "application/json",
         format!("{{\"error\":{}}}\n", crate::monitor::json_string(message)),
     )
+}
+
+/// Parses a `/journey` query: `trace=<16-hex>` directly names a trace;
+/// otherwise `sender=<u64>&seq=<u64>` derives one. Returns the trace
+/// plus a human description for error bodies.
+fn parse_trace_query(query: &str) -> Result<(TraceId, String), String> {
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == "trace" {
+            let raw = u64::from_str_radix(v, 16).map_err(|_| {
+                format!("query parameter 'trace' must be a hex trace id, got '{v}'")
+            })?;
+            return Ok((TraceId::from_raw(raw), format!("trace={v}")));
+        }
+    }
+    let (sender, seq) = parse_journey_query(query)?;
+    Ok((
+        TraceId::for_event(ServiceId::from_raw(sender), seq),
+        format!("sender={sender} seq={seq}"),
+    ))
 }
 
 /// Parses `sender=<u64>&seq=<u64>`, reporting exactly which parameter
@@ -275,6 +361,8 @@ mod tests {
                 }],
             })),
             supervision: None,
+            ward: None,
+            clock: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let addr = server.local_addr();
@@ -311,6 +399,8 @@ mod tests {
             sink: Some(sink),
             health: Arc::default(),
             supervision: None,
+            ward: None,
+            clock: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let addr = server.local_addr();
@@ -399,6 +489,8 @@ mod tests {
             sink: None,
             health: Arc::default(),
             supervision: Some(Arc::new(parking_lot::Mutex::new(status))),
+            ward: None,
+            clock: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let r = get(server.local_addr(), "/supervision");
@@ -407,6 +499,137 @@ mod tests {
         assert!(r.contains("\"restarts\": 1"));
         assert!(r.contains("\"ttr_micros\": [1500]"));
         assert!(r.contains("\"peers\": [{\"peer\": 2, \"state\": \"watching\""));
+        server.stop();
+    }
+
+    #[test]
+    fn metrics_content_type_is_the_prometheus_text_version() {
+        let server = StatusServer::start("127.0.0.1:0", StatusSources::default()).expect("start");
+        let r = get(server.local_addr(), "/metrics");
+        assert!(
+            r.contains("Content-Type: text/plain; version=0.0.4"),
+            "got: {r}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn cells_serves_per_cell_freshness_as_json() {
+        use smc_telemetry::WardRegistry;
+        use smc_types::TelemetryMsg;
+
+        let ward = Arc::new(WardRegistry::new());
+        ward.apply(
+            &TelemetryMsg::MetricDelta {
+                cell: 1,
+                export_seq: 3,
+                series: vec![],
+            },
+            1_000,
+            1_050,
+        );
+        ward.apply(
+            &TelemetryMsg::MetricDelta {
+                cell: 2,
+                export_seq: 5,
+                series: vec![],
+            },
+            2_000,
+            2_010,
+        );
+        let sources = StatusSources {
+            ward: Some(ward),
+            ..Default::default()
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let r = get(server.local_addr(), "/cells");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("application/json"));
+        // No clock configured: "now" is the newest export seen (2000).
+        assert!(r.contains("\"at_micros\": 2000"), "got: {r}");
+        assert!(r.contains(
+            "{\"cell\": 1, \"last_export_seq\": 3, \
+             \"last_delta_at_micros\": 1000, \"lag_micros\": 1000}"
+        ));
+        assert!(r.contains(
+            "{\"cell\": 2, \"last_export_seq\": 5, \
+             \"last_delta_at_micros\": 2000, \"lag_micros\": 0}"
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn cells_without_ward_aggregation_is_a_json_404() {
+        let server = StatusServer::start("127.0.0.1:0", StatusSources::default()).expect("start");
+        let r = get(server.local_addr(), "/cells");
+        assert!(r.starts_with("HTTP/1.1 404"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("{\"error\":\"telemetry aggregation is not enabled\"}"));
+        server.stop();
+    }
+
+    #[test]
+    fn journey_prefers_the_stitched_ward_view_and_appends_exemplars() {
+        use smc_telemetry::WardRegistry;
+        use smc_types::{HopExport, TelemetryMsg};
+
+        let trace = TraceId::for_event(ServiceId::from_raw(9), 4);
+        let ward = Arc::new(WardRegistry::new());
+        ward.apply(
+            &TelemetryMsg::TraceExport {
+                cell: 1,
+                export_seq: 1,
+                hops: vec![
+                    HopExport {
+                        trace: trace.raw(),
+                        label: "claim".into(),
+                        at_micros: 100,
+                    },
+                    HopExport {
+                        trace: trace.raw(),
+                        label: "adopt".into(),
+                        at_micros: 300,
+                    },
+                ],
+                truncated: vec![],
+            },
+            400,
+            400,
+        );
+        let registry = Registry::new();
+        registry
+            .histogram("smc_repair_micros", "Repair latency.")
+            .observe_traced(900, trace);
+        let sources = StatusSources {
+            registry,
+            ward: Some(ward),
+            ..Default::default()
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let addr = server.local_addr();
+
+        // The same journey resolves via sender/seq or the trace's hex.
+        for target in [
+            "/journey?sender=9&seq=4".to_owned(),
+            format!("/journey?trace={trace}"),
+        ] {
+            let r = get(addr, &target);
+            assert!(r.starts_with("HTTP/1.1 200 OK"), "{target} got: {r}");
+            assert!(r.contains("cell 1  claim"), "got: {r}");
+            assert!(r.contains("cell 1  adopt"));
+            assert!(
+                r.contains("exemplar smc_repair_micros{le=\"1024\"} = 900"),
+                "got: {r}"
+            );
+        }
+
+        let bad = get(addr, "/journey?trace=zzzz");
+        assert!(bad.starts_with("HTTP/1.1 400"), "got: {bad}");
+        assert!(bad.contains("'trace' must be a hex trace id"));
+
+        let missing = get(addr, "/journey?trace=1234");
+        assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
+        assert!(missing.contains("no hops recorded for trace=1234"));
         server.stop();
     }
 

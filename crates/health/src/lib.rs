@@ -47,7 +47,7 @@ pub mod supervise;
 
 pub use detect::{
     default_detectors, ComponentDown, DeliveryLatency, Detector, MembershipFlap, Observation,
-    QueueGrowth, RetransmitStorm, SampleCtx, WalStall,
+    QueueGrowth, RetransmitStorm, SampleCtx, SloBurn, WalStall,
 };
 pub use http::{StatusServer, StatusSources, SupervisionStatus};
 pub use monitor::{

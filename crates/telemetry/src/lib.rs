@@ -24,8 +24,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod export;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
+pub mod ward;
 
-pub use metrics::{parse_text, Counter, Gauge, Histogram, ParsedSample, Registry, Sample};
+pub use export::DeltaExporter;
+pub use metrics::{
+    parse_text, Counter, Exemplar, ExemplarEntry, Gauge, Histogram, ParsedSample, Registry, Sample,
+};
+pub use slo::{SloConfig, SloTracker, SloWindowBurn};
 pub use trace::{Hop, HopRecord, Journey, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
+pub use ward::{CellFreshness, StitchedHop, StitchedJourney, WardRegistry};

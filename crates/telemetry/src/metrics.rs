@@ -13,6 +13,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use smc_types::TraceId;
+
 /// A monotonically increasing counter.
 #[derive(Debug, Clone, Default)]
 pub struct Counter(Arc<AtomicU64>);
@@ -66,11 +68,26 @@ const BUCKETS: usize = 33;
 #[derive(Debug, Clone)]
 pub struct Histogram(Arc<HistogramInner>);
 
+/// An OpenMetrics-style exemplar: the trace of the observation that
+/// currently holds a bucket's maximum, so a p99 number links back to a
+/// replayable journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The traced observation's id.
+    pub trace: TraceId,
+    /// The observed value.
+    pub value: u64,
+}
+
 #[derive(Debug)]
 struct HistogramInner {
     buckets: [AtomicU64; BUCKETS],
     sum: AtomicU64,
     count: AtomicU64,
+    /// Per-bucket exemplar slots; only written by
+    /// [`Histogram::observe_traced`], so the plain `observe` hot path
+    /// never takes this lock.
+    exemplars: Mutex<[Option<Exemplar>; BUCKETS]>,
 }
 
 impl Default for Histogram {
@@ -79,6 +96,7 @@ impl Default for Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             sum: AtomicU64::new(0),
             count: AtomicU64::new(0),
+            exemplars: Mutex::new([None; BUCKETS]),
         }))
     }
 }
@@ -106,6 +124,31 @@ impl Histogram {
         self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.0.sum.fetch_add(v, Ordering::Relaxed);
         self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one observation and, when `trace` identifies it, keeps
+    /// it as the bucket's exemplar if it is the largest observation the
+    /// bucket has seen — rendered OpenMetrics-style by
+    /// [`Registry::render_text`] and resolvable back to a journey.
+    pub fn observe_traced(&self, v: u64, trace: TraceId) {
+        self.observe(v);
+        if trace.is_some() {
+            let slot = &mut self.0.exemplars.lock()[bucket_index(v)];
+            if slot.is_none_or(|e| v >= e.value) {
+                *slot = Some(Exemplar { trace, value: v });
+            }
+        }
+    }
+
+    /// The exemplars currently held, as `(bucket index, exemplar)`.
+    pub fn exemplars(&self) -> Vec<(usize, Exemplar)> {
+        self.0
+            .exemplars
+            .lock()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .collect()
     }
 
     /// Number of observations.
@@ -389,10 +432,14 @@ impl Registry {
                 ),
                 Instrument::Histogram(h) => {
                     let cumulative = h.cumulative();
+                    let exemplars = h.0.exemplars.lock();
                     let mut lines = Vec::with_capacity(BUCKETS + 2);
                     for (i, c) in cumulative.iter().enumerate() {
+                        let exemplar = exemplars[i]
+                            .map(|ex| format!(" # {{trace_id=\"{}\"}} {}", ex.trace, ex.value))
+                            .unwrap_or_default();
                         lines.push(format!(
-                            "{}_bucket{} {}",
+                            "{}_bucket{} {}{exemplar}",
                             e.name,
                             render_labels(&e.labels, Some(&bucket_bound(i))),
                             c
@@ -447,6 +494,42 @@ impl Registry {
         }
         out
     }
+
+    /// Every exemplar currently held by this registry's histograms —
+    /// the lookup `/journey` uses to say which latency buckets cite a
+    /// given trace as their worst case.
+    pub fn exemplars(&self) -> Vec<ExemplarEntry> {
+        let mut out = Vec::new();
+        for e in self.0.entries.lock().iter() {
+            if let Instrument::Histogram(h) = &e.inst {
+                for (bucket, ex) in h.exemplars() {
+                    out.push(ExemplarEntry {
+                        metric: e.name.clone(),
+                        labels: e.labels.clone(),
+                        le: bucket_bound(bucket),
+                        trace: ex.trace,
+                        value: ex.value,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One histogram exemplar, located by metric and bucket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExemplarEntry {
+    /// Histogram name.
+    pub metric: String,
+    /// The histogram's label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The bucket's `le` bound, as rendered.
+    pub le: String,
+    /// The exemplar observation's trace.
+    pub trace: TraceId,
+    /// The exemplar observation's value.
+    pub value: u64,
 }
 
 fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
@@ -494,6 +577,9 @@ pub fn parse_text(text: &str) -> Option<Vec<ParsedSample>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Strip an OpenMetrics exemplar suffix (` # {...} <value>`);
+        // the series value precedes it.
+        let line = line.split_once(" # {").map_or(line, |(kept, _)| kept);
         let (series, value) = line.rsplit_once(' ')?;
         let value: f64 = value.parse().ok()?;
         let (name, labels) = match series.split_once('{') {
@@ -630,6 +716,71 @@ mod tests {
             .find(|s| s.name == "smc_hop_micros_sum")
             .unwrap();
         assert_eq!(sum.value, 1_000_000_000_106.0);
+    }
+
+    #[test]
+    fn exemplars_keep_the_bucket_max_and_render_openmetrics_style() {
+        use smc_types::ServiceId;
+        let r = Registry::new();
+        let h = r.histogram("smc_hop_micros", "Per-hop latency.");
+        let fast = TraceId::for_event(ServiceId::from_raw(1), 1);
+        let slow = TraceId::for_event(ServiceId::from_raw(1), 2);
+        h.observe_traced(900, fast); // bucket le=1024
+        h.observe_traced(1000, slow); // same bucket, larger → wins
+        h.observe_traced(800, fast); // smaller → does not displace
+        h.observe(1020); // untraced → never an exemplar
+        let exemplars = h.exemplars();
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].0, bucket_index(1000));
+        assert_eq!(
+            exemplars[0].1,
+            Exemplar {
+                trace: slow,
+                value: 1000
+            }
+        );
+
+        let text = r.render_text();
+        let line = text
+            .lines()
+            .find(|l| l.contains("le=\"1024\""))
+            .expect("bucket line");
+        assert!(
+            line.ends_with(&format!(" # {{trace_id=\"{slow}\"}} 1000")),
+            "got: {line}"
+        );
+        // Untraced observations keep their lines exemplar-free.
+        let inf = text
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("+Inf line");
+        assert!(!inf.contains('#'), "got: {inf}");
+
+        // The exposition still parses, exemplars stripped.
+        let parsed = parse_text(&text).expect("parse with exemplars");
+        let bucket = parsed
+            .iter()
+            .find(|s| {
+                s.name == "smc_hop_micros_bucket"
+                    && s.labels.contains(&("le".to_owned(), "1024".to_owned()))
+            })
+            .unwrap();
+        assert_eq!(bucket.value, 4.0, "all four observations are <= 1024");
+
+        // And the registry-level lookup locates the journey.
+        let entries = r.exemplars();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].metric, "smc_hop_micros");
+        assert_eq!(entries[0].le, "1024");
+        assert_eq!(entries[0].trace, slow);
+    }
+
+    #[test]
+    fn observe_traced_with_none_trace_records_no_exemplar() {
+        let h = Histogram::default();
+        h.observe_traced(5, TraceId::NONE);
+        assert_eq!(h.count(), 1);
+        assert!(h.exemplars().is_empty());
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Error-budget burn rates over multi-window virtual-time horizons.
+//!
+//! Raw detectors (PR 4) react to spikes; an SLO layer reacts to *budget
+//! exhaustion* — "at this violation rate, the period's error budget is
+//! gone before the period ends" — which is the signal an autonomic
+//! manager should page on. A [`SloTracker`] records bounded
+//! observations (delivery latencies, supervision times-to-repair),
+//! classifies each against an objective, and computes the burn rate
+//! over several windows at once: the classic fast-window/slow-window
+//! pair, where only a burn sustained across *both* means real budget
+//! loss rather than a blip.
+//!
+//! Everything is virtual-time: windows are microsecond horizons on the
+//! injected clock, so the chaos harness computes identical burn rates
+//! run after run.
+
+use std::collections::VecDeque;
+
+use smc_types::TelemetryMsg;
+
+/// One SLO: an objective over an observed value plus an error budget.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// SLO name, e.g. `"delivery-latency"` or `"supervision-ttr"`.
+    pub name: String,
+    /// An observation at or below this is within objective (µs).
+    pub objective_micros: u64,
+    /// Allowed fraction of violating observations, ×1000 (10 = 1%).
+    pub budget_milli: u64,
+    /// The virtual-time horizons burn is computed over, in µs,
+    /// shortest first (e.g. fast 5 s, slow 30 s).
+    pub windows_micros: Vec<u64>,
+}
+
+impl SloConfig {
+    /// A named SLO with the given objective and a 1% budget over
+    /// 5 s / 30 s virtual windows.
+    pub fn new(name: impl Into<String>, objective_micros: u64) -> SloConfig {
+        SloConfig {
+            name: name.into(),
+            objective_micros,
+            budget_milli: 10,
+            windows_micros: vec![5_000_000, 30_000_000],
+        }
+    }
+}
+
+/// The burn rate of one window at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloWindowBurn {
+    /// The window the rate was computed over (µs).
+    pub window_micros: u64,
+    /// Burn ×1000: violating fraction ÷ budget fraction. 1000 means
+    /// violations arrive exactly at the budgeted rate; 2000 means the
+    /// budget disappears twice as fast as provisioned.
+    pub burn_milli: u64,
+    /// Remaining budget ×1000 within this window (0 = exhausted).
+    pub budget_left_milli: u64,
+}
+
+/// Tracks one SLO's observations and computes windowed burn rates.
+#[derive(Debug)]
+pub struct SloTracker {
+    config: SloConfig,
+    /// `(at_micros, violated)` per observation, pruned to the longest
+    /// window.
+    observations: VecDeque<(u64, bool)>,
+}
+
+impl SloTracker {
+    /// A tracker for `config`.
+    pub fn new(config: SloConfig) -> SloTracker {
+        SloTracker {
+            config,
+            observations: VecDeque::new(),
+        }
+    }
+
+    /// The tracked SLO's name.
+    pub fn name(&self) -> &str {
+        &self.config.name
+    }
+
+    /// Records one observation at virtual time `at_micros`.
+    pub fn record(&mut self, at_micros: u64, value_micros: u64) {
+        let violated = value_micros > self.config.objective_micros;
+        self.observations.push_back((at_micros, violated));
+        let horizon = self
+            .config
+            .windows_micros
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0);
+        while let Some(&(at, _)) = self.observations.front() {
+            if at + horizon < at_micros {
+                self.observations.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Burn rates for every configured window as of `now`. Windows with
+    /// no observations burn at 0 (no traffic spends no budget).
+    pub fn burn(&self, now: u64) -> Vec<SloWindowBurn> {
+        self.config
+            .windows_micros
+            .iter()
+            .map(|&window| {
+                let since = now.saturating_sub(window);
+                let (mut total, mut bad) = (0u64, 0u64);
+                for &(at, violated) in &self.observations {
+                    if at >= since && at <= now {
+                        total += 1;
+                        bad += u64::from(violated);
+                    }
+                }
+                let (burn_milli, budget_left_milli) = match (bad * 1000).checked_div(total) {
+                    None => (0, 1000),
+                    Some(bad_milli) => {
+                        // violating fraction ÷ budget fraction, ×1000.
+                        match (bad_milli * 1000).checked_div(self.config.budget_milli) {
+                            Some(burn) => (burn, 1000u64.saturating_sub(burn)),
+                            // A zero budget: any violation is an
+                            // immediate total burn.
+                            None if bad > 0 => (u64::MAX, 0),
+                            None => (0, 1000),
+                        }
+                    }
+                };
+                SloWindowBurn {
+                    window_micros: window,
+                    burn_milli,
+                    budget_left_milli,
+                }
+            })
+            .collect()
+    }
+
+    /// The wire form: one [`TelemetryMsg::SloReport`] per window,
+    /// stamped from `cell`.
+    pub fn reports(&self, now: u64, cell: u64) -> Vec<TelemetryMsg> {
+        self.burn(now)
+            .into_iter()
+            .map(|b| TelemetryMsg::SloReport {
+                cell,
+                slo: self.config.name.clone(),
+                window_micros: b.window_micros,
+                burn_milli: b.burn_milli,
+                budget_left_milli: b.budget_left_milli,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker() -> SloTracker {
+        SloTracker::new(SloConfig {
+            name: "delivery-latency".into(),
+            objective_micros: 1_000,
+            budget_milli: 100, // 10% of observations may violate
+            windows_micros: vec![10_000, 100_000],
+        })
+    }
+
+    #[test]
+    fn no_traffic_burns_nothing() {
+        let t = tracker();
+        for b in t.burn(50_000) {
+            assert_eq!(b.burn_milli, 0);
+            assert_eq!(b.budget_left_milli, 1000);
+        }
+    }
+
+    #[test]
+    fn burn_is_violating_fraction_over_budget() {
+        let mut t = tracker();
+        // 10 observations in the fast window, 1 violating = exactly
+        // the 10% budget → burn 1000.
+        for i in 0..9 {
+            t.record(90_000 + i * 1_000, 500);
+        }
+        t.record(99_000, 5_000);
+        let burns = t.burn(100_000);
+        assert_eq!(burns[0].window_micros, 10_000);
+        assert_eq!(burns[0].burn_milli, 1000);
+        assert_eq!(burns[0].budget_left_milli, 0);
+    }
+
+    #[test]
+    fn fast_window_recovers_while_slow_window_remembers() {
+        let mut t = tracker();
+        // A burst of violations early…
+        for i in 0..10 {
+            t.record(i * 1_000, 9_000);
+        }
+        // …then clean traffic.
+        for i in 0..10 {
+            t.record(50_000 + i * 1_000, 100);
+        }
+        let burns = t.burn(60_000);
+        let fast = burns[0];
+        let slow = burns[1];
+        assert_eq!(fast.burn_milli, 0, "the burst left the fast window");
+        assert!(
+            slow.burn_milli >= 1000,
+            "the slow window still sees the burst: {slow:?}"
+        );
+    }
+
+    #[test]
+    fn observations_prune_to_the_longest_window() {
+        let mut t = tracker();
+        for i in 0..1_000u64 {
+            t.record(i * 1_000, 100);
+        }
+        assert!(
+            t.observations.len() <= 102,
+            "pruned: {}",
+            t.observations.len()
+        );
+    }
+
+    #[test]
+    fn reports_carry_one_message_per_window() {
+        let mut t = tracker();
+        t.record(95_000, 9_000);
+        let reports = t.reports(100_000, 2);
+        assert_eq!(reports.len(), 2);
+        for (r, w) in reports.iter().zip([10_000u64, 100_000]) {
+            match r {
+                TelemetryMsg::SloReport {
+                    cell,
+                    slo,
+                    window_micros,
+                    ..
+                } => {
+                    assert_eq!(*cell, 2);
+                    assert_eq!(slo, "delivery-latency");
+                    assert_eq!(*window_micros, w);
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+    }
+}

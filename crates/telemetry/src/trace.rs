@@ -7,7 +7,8 @@
 //! or grow without bound) and can reassemble any event's journey on
 //! demand.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -103,7 +104,20 @@ pub struct TraceSink {
     capacity: usize,
     cursor: AtomicU64,
     dropped: AtomicU64,
+    /// Raw trace ids that lost at least one record to ring wrap-around,
+    /// so [`TraceSink::journey`] can report truncation explicitly
+    /// instead of returning a silently shortened leg list.
+    evicted: Mutex<HashSet<u64>>,
+    truncated_journeys: AtomicU64,
+    /// Set when `evicted` hit [`EVICTED_TRACES_CAP`] and was cleared;
+    /// from then on every journey in a wrapped sink is conservatively
+    /// reported truncated.
+    evicted_saturated: AtomicBool,
 }
+
+/// Bound on the evicted-trace set — above this the accounting degrades
+/// to "assume truncated" rather than growing without limit.
+const EVICTED_TRACES_CAP: usize = 1 << 20;
 
 /// Default ring capacity (records, not events — a traced event typically
 /// contributes 4–8 hops).
@@ -125,6 +139,9 @@ impl TraceSink {
             capacity,
             cursor: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            evicted: Mutex::new(HashSet::new()),
+            truncated_journeys: AtomicU64::new(0),
+            evicted_saturated: AtomicBool::new(false),
         }
     }
 
@@ -150,12 +167,25 @@ impl TraceSink {
             self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         let index = (order % self.capacity as u64) as usize;
-        *self.slot(index).lock() = Some(HopRecord {
+        let evicted = self.slot(index).lock().replace(HopRecord {
             trace,
             hop,
             at_micros,
             order,
         });
+        if let Some(prev) = evicted {
+            // The overwritten record's journey is now incomplete; mark
+            // its trace so journey() can say so instead of silently
+            // returning a shortened leg list.
+            let mut set = self.evicted.lock();
+            if set.insert(prev.trace.raw()) {
+                self.truncated_journeys.fetch_add(1, Ordering::Relaxed);
+            }
+            if set.len() > EVICTED_TRACES_CAP {
+                set.clear();
+                self.evicted_saturated.store(true, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Ring capacity in records.
@@ -177,6 +207,21 @@ impl TraceSink {
     /// Records lost to ring wrap-around.
     pub fn overwritten(&self) -> u64 {
         self.appended().saturating_sub(self.capacity as u64)
+    }
+
+    /// Distinct traces that have lost at least one record to ring
+    /// wrap-around — journeys that would read incomplete.
+    pub fn truncated_journeys(&self) -> u64 {
+        self.truncated_journeys.load(Ordering::Relaxed)
+    }
+
+    /// Whether `trace`'s journey is known (or, past the accounting
+    /// bound, assumed) to have lost records to wrap-around.
+    pub fn is_truncated(&self, trace: TraceId) -> bool {
+        if self.evicted_saturated.load(Ordering::Relaxed) && self.overwritten() > 0 {
+            return true;
+        }
+        self.evicted.lock().contains(&trace.raw())
     }
 
     /// Exports the sink's own counters through `registry` as a
@@ -201,6 +246,13 @@ impl TraceSink {
                 labels: vec![],
                 value: sink.dropped(),
             });
+            out.push(crate::Sample {
+                name: "smc_trace_truncated_journeys_total".into(),
+                help: "Distinct traces whose journeys lost records to ring wrap-around.".into(),
+                monotonic: true,
+                labels: vec![],
+                value: sink.truncated_journeys(),
+            });
         });
     }
 
@@ -224,7 +276,11 @@ impl TraceSink {
     /// Reassembles one event's hop-by-hop journey.
     pub fn journey(&self, trace: TraceId) -> Journey {
         let hops = self.collect_matching(|r| r.trace == trace);
-        Journey { trace, hops }
+        Journey {
+            trace,
+            hops,
+            truncated: self.is_truncated(trace),
+        }
     }
 }
 
@@ -236,6 +292,9 @@ pub struct Journey {
     pub trace: TraceId,
     /// The hops recorded for it, in insertion order.
     pub hops: Vec<HopRecord>,
+    /// `true` when the ring overwrote at least one of this trace's
+    /// records — the leg list below is missing its oldest steps.
+    pub truncated: bool,
 }
 
 impl Journey {
@@ -264,6 +323,9 @@ impl std::fmt::Display for Journey {
         writeln!(f, "journey {}:", self.trace)?;
         if self.hops.is_empty() {
             return writeln!(f, "  (no hops captured — ring overwrote or never traced)");
+        }
+        if self.truncated {
+            writeln!(f, "  (truncated — the ring overwrote earlier hops)")?;
         }
         for (hop, at, delta) in self.legs() {
             writeln!(f, "  {at:>12} µs  {hop:<20} (+{delta} µs)")?;
@@ -374,6 +436,56 @@ mod tests {
             records.iter().map(|r| r.at_micros).collect::<Vec<_>>(),
             vec![6, 7, 8, 9]
         );
+    }
+
+    #[test]
+    fn journey_at_exactly_capacity_is_not_truncated() {
+        let sink = TraceSink::with_capacity(8);
+        for i in 0..8u64 {
+            sink.record(tid(1), Hop::TxSent, i);
+        }
+        let j = sink.journey(tid(1));
+        assert_eq!(j.hops.len(), 8);
+        assert!(!j.truncated, "a full-but-unwrapped ring lost nothing");
+        assert_eq!(sink.truncated_journeys(), 0);
+        assert!(!j.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn journey_at_capacity_plus_one_is_marked_truncated() {
+        let sink = TraceSink::with_capacity(8);
+        for i in 0..9u64 {
+            sink.record(tid(1), Hop::TxSent, i);
+        }
+        let j = sink.journey(tid(1));
+        assert_eq!(j.hops.len(), 8, "only the most recent survive");
+        assert!(j.truncated, "the 9th record evicted the 1st");
+        assert_eq!(sink.truncated_journeys(), 1);
+        assert!(j.to_string().contains("truncated"));
+
+        // An unaffected trace stays clean even though the ring wrapped.
+        sink.record(tid(2), Hop::Published, 100);
+        assert!(sink.journey(tid(1)).truncated);
+        // tid(2) only evicted a tid(1) record, never one of its own.
+        assert!(!sink.journey(tid(2)).truncated);
+        assert_eq!(sink.truncated_journeys(), 1, "distinct traces, not records");
+    }
+
+    #[test]
+    fn truncated_journeys_export_through_the_registry() {
+        let sink = Arc::new(TraceSink::with_capacity(4));
+        let registry = crate::Registry::new();
+        sink.register_with(&registry);
+        for i in 0..4u64 {
+            sink.record(tid(1), Hop::TxSent, i);
+        }
+        assert!(registry
+            .render_text()
+            .contains("smc_trace_truncated_journeys_total 0"));
+        sink.record(tid(1), Hop::TxSent, 4);
+        assert!(registry
+            .render_text()
+            .contains("smc_trace_truncated_journeys_total 1"));
     }
 
     #[test]

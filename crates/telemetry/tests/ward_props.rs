@@ -1,0 +1,122 @@
+//! Property: ward-rolled counters never go backwards, no matter where a
+//! cell crashes between exports.
+//!
+//! A `CoreCrash` rebuilds the cell's registry (counters restart from
+//! zero) and may or may not take the cell-side [`DeltaExporter`] with
+//! it. Either way the exporter ships only non-negative deltas — a
+//! surviving exporter saturates the reset, a rebuilt one re-counts from
+//! the observed value — and the observer's [`WardRegistry`] only ever
+//! adds them, so the rolled-up series is monotone by construction. This
+//! proptest drives that argument over arbitrary increment schedules and
+//! crash points.
+
+use proptest::prelude::*;
+
+use smc_telemetry::{DeltaExporter, Registry, WardRegistry};
+use smc_types::TelemetryMsg;
+
+/// The ward-rolled reading of `smc_cell_published_total`.
+fn ward_value(ward: &WardRegistry) -> u64 {
+    ward.registry()
+        .gather()
+        .into_iter()
+        .find(|s| {
+            s.name == "smc_cell_published_total"
+                && s.labels.iter().any(|(k, v)| k == "cell" && v == "ward")
+        })
+        .map(|s| s.value)
+        .unwrap_or(0)
+}
+
+proptest! {
+    #[test]
+    fn ward_counters_never_go_backwards_across_core_crashes(
+        increments in proptest::collection::vec(0u64..50, 1..40),
+        crash_points in proptest::collection::vec(any::<bool>(), 1..40),
+        exporter_dies_too in any::<bool>(),
+        steady_increment in 0u64..10,
+    ) {
+        let ward = WardRegistry::new();
+
+        // Cell 1 crashes at the chosen points; cell 2 publishes
+        // steadily so the ward roll-up always sums two cells.
+        let mut registry1 = Registry::new();
+        let mut exporter1 = DeltaExporter::new();
+        let registry2 = Registry::new();
+        let mut exporter2 = DeltaExporter::new();
+        // Export sequence numbers live with the harness (like the WAL
+        // journal), so they survive a core crash.
+        let (mut seq1, mut seq2) = (0u64, 0u64);
+
+        let mut last_ward = 0u64;
+        for (step, &inc) in increments.iter().enumerate() {
+            if crash_points.get(step).copied().unwrap_or(false) {
+                // CoreCrash: instruments rebuild from zero…
+                registry1 = Registry::new();
+                if exporter_dies_too {
+                    // …and so may the exporter's baseline.
+                    exporter1 = DeltaExporter::new();
+                }
+            }
+            registry1
+                .counter("smc_cell_published_total", "published events")
+                .add(inc);
+            registry2
+                .counter("smc_cell_published_total", "published events")
+                .add(steady_increment);
+
+            let now = (step as u64 + 1) * 1_000;
+            for (cell, registry, exporter, seq) in [
+                (1u64, &registry1, &mut exporter1, &mut seq1),
+                (2u64, &registry2, &mut exporter2, &mut seq2),
+            ] {
+                let series = exporter.export(&registry.gather());
+                *seq += 1;
+                ward.apply(
+                    &TelemetryMsg::MetricDelta { cell, export_seq: *seq, series },
+                    now,
+                    now,
+                );
+                let value = ward_value(&ward);
+                prop_assert!(
+                    value >= last_ward,
+                    "ward counter went backwards at step {step}: {value} < {last_ward}"
+                );
+                last_ward = value;
+            }
+        }
+    }
+
+    /// The wire round-trip preserves the guarantee: deltas that travel
+    /// through `to_event`/`from_event` fold identically.
+    #[test]
+    fn ward_folding_survives_the_wire_encoding(
+        increments in proptest::collection::vec(1u64..100, 1..20),
+        crash_at in 0usize..20,
+    ) {
+        let direct = WardRegistry::new();
+        let wired = WardRegistry::new();
+        let mut registry = Registry::new();
+        let mut exporter = DeltaExporter::new();
+
+        for (step, &inc) in increments.iter().enumerate() {
+            if step == crash_at {
+                registry = Registry::new();
+                exporter = DeltaExporter::new();
+            }
+            registry
+                .counter("smc_cell_published_total", "published events")
+                .add(inc);
+            let msg = TelemetryMsg::MetricDelta {
+                cell: 1,
+                export_seq: step as u64 + 1,
+                series: exporter.export(&registry.gather()),
+            };
+            let now = (step as u64 + 1) * 1_000;
+            let decoded = TelemetryMsg::from_event(&msg.to_event(now)).expect("round-trip");
+            direct.apply(&msg, now, now);
+            wired.apply(&decoded, now, now);
+        }
+        prop_assert_eq!(ward_value(&direct), ward_value(&wired));
+    }
+}

@@ -44,6 +44,7 @@ pub mod member;
 pub mod packet;
 pub mod snap;
 pub mod supervision;
+pub mod telemetry;
 pub mod trace;
 pub mod value;
 pub mod wal;
@@ -61,6 +62,7 @@ pub use member::{
 pub use packet::{encode_deliver, Packet};
 pub use snap::SnapshotCell;
 pub use supervision::SupervisionMsg;
+pub use telemetry::{episode_trace, HopExport, SeriesDelta, TelemetryMsg};
 pub use trace::TraceId;
 pub use value::AttributeValue;
 pub use wal::{CoreSnapshot, CursorEntry, OutboundEntry, PendingRx, RetainedOutbound, WalRecord};

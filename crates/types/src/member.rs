@@ -72,6 +72,29 @@ pub mod wellknown {
     pub const SUP_COMPONENT: &str = "supervision.component";
     /// Attribute: the repair attempt number (int).
     pub const SUP_ATTEMPT: &str = "supervision.attempt";
+    /// Event type for telemetry-plane traffic: delta-encoded metric
+    /// snapshots, exported trace hops and SLO burn reports flowing from
+    /// every cell to the ward observer over the bus itself.
+    pub const TELEMETRY: &str = "smc.telemetry";
+    /// Attribute: the telemetry message kind (string: `metric-delta`,
+    /// `trace-export`, `slo-report`).
+    pub const TEL_KIND: &str = "telemetry.kind";
+    /// Attribute: member id of the exporting cell (int).
+    pub const TEL_CELL: &str = "telemetry.cell";
+    /// Attribute: the cell's export sequence number (int).
+    pub const TEL_SEQ: &str = "telemetry.seq";
+    /// Attribute: SLO name an `slo-report` speaks about (string).
+    pub const TEL_SLO: &str = "telemetry.slo";
+    /// Attribute: burn-rate window in microseconds (int).
+    pub const TEL_WINDOW: &str = "telemetry.window";
+    /// Attribute: burn rate ×1000 (int; 1000 = exactly on budget).
+    pub const TEL_BURN: &str = "telemetry.burn";
+    /// Attribute: remaining error budget ×1000 (int).
+    pub const TEL_BUDGET: &str = "telemetry.budget";
+    /// Attribute: raw episode trace id, attached to supervision
+    /// `repair` events so the repaired cell can record its hops under
+    /// the same journey the adopter is narrating (int).
+    pub const TEL_EPISODE: &str = "telemetry.episode";
 }
 
 /// Why a member was purged from the cell.

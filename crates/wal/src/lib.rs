@@ -68,6 +68,11 @@ pub const CHAN_DISCOVERY: u8 = 1;
 /// records — heartbeat-leases, claims and remote repair commands get
 /// the same durable exactly-once treatment as application traffic.
 pub const CHAN_SUPERVISION: u8 = 2;
+/// Channel discriminator for the telemetry-plane channel's journal
+/// records — metric deltas, trace exports and SLO reports survive
+/// partitions as a durable backlog that drains after heal, so the
+/// observer's ward view converges instead of losing history.
+pub const CHAN_TELEMETRY: u8 = 3;
 
 /// Upper bound on one framed record's payload — far above any event the
 /// bus carries, low enough that a torn length prefix is recognised
