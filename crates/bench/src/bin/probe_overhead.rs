@@ -1,0 +1,160 @@
+//! Contention-probe overhead bench: the wall-clock cost of the PR 9
+//! occupancy probes (control-mutex hold times, proxy queue depths, WAL
+//! append wait/service splits, snapshot writer-wait spins) on top of an
+//! already-traced run.
+//!
+//! ```text
+//! cargo run --release -p smc-bench --bin probe_overhead -- \
+//!     [--seeds 6] [--nodes 3] [--secs 8] [--reps 5] [--smoke]
+//! ```
+//!
+//! Two arms run the *same* scenarios, both with the trace sink attached:
+//! one with probes off (the PR 8 status quo), one with probes on.
+//! Virtual-time determinism means both arms do identical protocol work,
+//! so the wall-clock ratio isolates what the probes cost. The probed
+//! arm's registry is then sampled for the `smc_probe_*` series so the
+//! report shows what the money bought.
+//!
+//! Writes `results/BENCH_probe_overhead.json` and exits non-zero if the
+//! probed/unprobed wall-clock ratio exceeds 1.10×.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use smc_bench::HarnessArgs;
+use smc_harness::{run_with_options, ChaosOp, LinkProfileKind, RunOptions, Scenario, ScriptedOp};
+
+/// The gate: probes must cost less than 10% wall-clock overhead on an
+/// already-traced run.
+const MAX_RATIO: f64 = 1.10;
+
+/// A USB/IP-profiled quiet scenario, identical to the trace-overhead
+/// bench's shape so the two reports compose.
+fn scenario(seed: u64, nodes: usize, secs: u64) -> Scenario {
+    let mut s = Scenario::quiet(seed, nodes, Duration::from_secs(secs));
+    for node in 0..nodes {
+        s.ops.push(ScriptedOp {
+            at: Duration::ZERO,
+            op: ChaosOp::LinkProfile {
+                node,
+                profile: LinkProfileKind::UsbIp,
+            },
+        });
+    }
+    s.sorted()
+}
+
+/// Wall-clock micros for one full arm (all seeds, one repetition).
+fn arm_wall(seeds: &[Scenario], probes: bool) -> u64 {
+    let started = Instant::now();
+    for s in seeds {
+        let report = run_with_options(
+            s,
+            RunOptions {
+                trace: true,
+                probes,
+                ..RunOptions::default()
+            },
+        );
+        report.assert_clean();
+    }
+    started.elapsed().as_micros() as u64
+}
+
+fn main() {
+    let args = HarnessArgs::from_env();
+    let smoke = args.has("smoke");
+    let seeds: u64 = args.get("seeds", if smoke { 2 } else { 6 });
+    let nodes: usize = args.get("nodes", 3);
+    let secs: u64 = args.get("secs", if smoke { 4 } else { 8 });
+    let reps: usize = args.get("reps", if smoke { 3 } else { 5 });
+
+    let scenarios: Vec<Scenario> = (0..seeds)
+        .map(|i| scenario(0x0B5E + i, nodes, secs))
+        .collect();
+
+    // Warm-up both paths once so neither arm pays first-touch costs.
+    arm_wall(&scenarios[..1], false);
+    arm_wall(&scenarios[..1], true);
+
+    // Interleave the arms and keep each arm's *minimum* wall time: the
+    // least-disturbed repetition is the best estimate of intrinsic cost.
+    let mut unprobed_walls = Vec::with_capacity(reps);
+    let mut probed_walls = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        unprobed_walls.push(arm_wall(&scenarios, false));
+        probed_walls.push(arm_wall(&scenarios, true));
+    }
+    let unprobed = *unprobed_walls.iter().min().expect("reps > 0");
+    let probed = *probed_walls.iter().min().expect("reps > 0");
+    let ratio = probed as f64 / unprobed.max(1) as f64;
+
+    // Sample one probed run's registry for what the probes observed:
+    // every `smc_probe_*` and writer-wait series, so the report shows
+    // the occupancy data the overhead pays for.
+    let mut series: Vec<(String, u64)> = Vec::new();
+    {
+        let report = run_with_options(
+            &scenarios[0],
+            RunOptions {
+                trace: true,
+                probes: true,
+                ..RunOptions::default()
+            },
+        );
+        report.assert_clean();
+        for sample in report.registry.gather() {
+            if sample.name.starts_with("smc_probe_")
+                || sample.name.contains("writer_wait")
+                || sample.name.starts_with("smc_trace_tail_")
+            {
+                series.push((sample.name.clone(), sample.value));
+            }
+        }
+    }
+
+    eprintln!(
+        "# probe overhead on a traced run under usb-ip \
+         ({seeds} seeds × {secs}s × {nodes} nodes, {reps} reps)"
+    );
+    eprintln!("unprobed: {unprobed} µs   probed: {probed} µs   ratio: {ratio:.3}");
+    for (name, value) in &series {
+        eprintln!("{name:>44} {value}");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"probe_overhead\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"seeds\": {seeds}, \"nodes\": {nodes}, \"virtual_secs\": {secs}, \
+         \"reps\": {reps}, \"link\": \"usb-ip\", \"smoke\": {smoke}}},"
+    );
+    let _ = writeln!(json, "  \"unprobed_wall_micros\": {unprobed},");
+    let _ = writeln!(json, "  \"probed_wall_micros\": {probed},");
+    let _ = writeln!(json, "  \"overhead_ratio\": {ratio:.4},");
+    let _ = writeln!(json, "  \"max_ratio\": {MAX_RATIO},");
+    json.push_str("  \"probe_series\": [\n");
+    for (i, (name, value)) in series.iter().enumerate() {
+        let comma = if i + 1 < series.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"value\": {value}}}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = std::path::Path::new("results");
+    let target = if path.is_dir() {
+        path.join("BENCH_probe_overhead.json")
+    } else {
+        std::path::PathBuf::from("BENCH_probe_overhead.json")
+    };
+    std::fs::write(&target, &json).expect("write BENCH_probe_overhead.json");
+    eprintln!("wrote {}", target.display());
+
+    if ratio > MAX_RATIO {
+        eprintln!("FAIL: probe overhead {ratio:.3}× exceeds the {MAX_RATIO}× budget");
+        std::process::exit(1);
+    }
+}

@@ -38,9 +38,11 @@ use parking_lot::Mutex;
 use smc_bench::HarnessArgs;
 use smc_core::{DeliveryFrame, EventBus, EventSink};
 use smc_match::{EngineKind, Matcher};
-use smc_telemetry::{Hop, Tracer};
+use smc_telemetry::{CriticalPath, Hop, StageRow, TraceSink, Tracer};
 use smc_types::codec::to_bytes;
-use smc_types::{Event, Filter, Packet, Result, ServiceId, Subscription, SubscriptionId, TraceId};
+use smc_types::{
+    system_clock, Event, Filter, Packet, Result, ServiceId, Subscription, SubscriptionId, TraceId,
+};
 
 /// The regression gate: a fresh run must reach at least this fraction of
 /// the committed overall speedup.
@@ -129,6 +131,29 @@ impl LockedBus {
     }
 }
 
+/// Records a [`Hop::Delivered`] per frame so the attribution pass can
+/// split publish → match → deliver in wall-clock time; pays the shared
+/// encode exactly as a proxy enqueue does.
+struct AttributingSink {
+    tracer: Tracer,
+}
+
+impl EventSink for AttributingSink {
+    fn deliver(&self, event: &Event) -> Result<()> {
+        self.tracer.record(
+            TraceId::for_event(event.publisher(), event.seq()),
+            Hop::Delivered,
+        );
+        Ok(())
+    }
+
+    fn deliver_frame(&self, frame: &DeliveryFrame<'_>) -> Result<()> {
+        let _ = frame.encoded();
+        self.tracer.record(frame.trace(), Hop::Delivered);
+        Ok(())
+    }
+}
+
 const EVENT_TYPE: &str = "bench.reading";
 
 fn bench_event(publisher: u64) -> Event {
@@ -185,16 +210,30 @@ fn main() {
         "publishers", "fanout", "locked_ev/s", "snapshot_ev/s", "speedup"
     );
 
+    // The attribution pass runs far fewer events than the timed arms:
+    // it only needs stable stage *shares*, not throughput.
+    let attr_events: usize = args.get("attr-events", if smoke { 200 } else { 1_000 });
+
     let mut rows: Vec<(usize, usize, f64, f64, f64)> = Vec::new();
+    let mut stage_tables: Vec<Vec<StageRow>> = Vec::new();
     for &publishers in publisher_sweep {
         for &fanout in fanout_sweep {
             let locked = measure_locked(publishers, fanout, events_each);
             let snapshot = measure_snapshot(publishers, fanout, events_each);
             let speedup = snapshot / locked.max(1.0);
+            let stages = attribute_snapshot(publishers, fanout, attr_events);
+            let deliver_share = stages
+                .iter()
+                .find(|s| s.stage == "deliver")
+                .map(|s| s.share_milli)
+                .unwrap_or(0);
             eprintln!(
-                "{publishers:>10} {fanout:>7} {locked:>16.0} {snapshot:>16.0} {speedup:>8.2}x"
+                "{publishers:>10} {fanout:>7} {locked:>16.0} {snapshot:>16.0} {speedup:>8.2}x \
+                 deliver={}m",
+                deliver_share
             );
             rows.push((publishers, fanout, locked, snapshot, speedup));
+            stage_tables.push(stages);
         }
     }
 
@@ -227,11 +266,31 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, (publishers, fanout, locked, snapshot, speedup)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
+        let stages: Vec<String> = stage_tables[i]
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"stage\": \"{}\", \"kind\": \"{}\", \"count\": {}, \
+                     \"total_micros\": {}, \"share_milli\": {}, \"p50_micros\": {}, \
+                     \"p95_micros\": {}, \"p99_micros\": {}}}",
+                    s.stage,
+                    s.kind.name(),
+                    s.count,
+                    s.total_micros,
+                    s.share_milli,
+                    s.p50_micros,
+                    s.p95_micros,
+                    s.p99_micros
+                )
+            })
+            .collect();
         let _ = writeln!(
             json,
             "    {{\"publishers\": {publishers}, \"fanout\": {fanout}, \
              \"locked_events_per_sec\": {locked:.0}, \
-             \"snapshot_events_per_sec\": {snapshot:.0}, \"speedup\": {speedup:.3}}}{comma}"
+             \"snapshot_events_per_sec\": {snapshot:.0}, \"speedup\": {speedup:.3}, \
+             \"stages\": [{}]}}{comma}",
+            stages.join(", ")
         );
     }
     json.push_str("  ],\n");
@@ -362,6 +421,56 @@ fn measure_snapshot(publishers: usize, fanout: usize, events_each: usize) -> f64
         "snapshot arm dropped deliveries"
     );
     (publishers * events_each) as f64 / secs
+}
+
+/// One sweep cell's wall-clock stage attribution on the snapshot arm:
+/// a separate, traced pass over `events_each` events per publisher
+/// (distinct seqs, so every publish is its own journey), folded through
+/// [`CriticalPath`]. Published→Matched lands in "match" (snapshot load
+/// plus match), Matched→Delivered in "deliver" (the shared encode plus
+/// per-subscriber delivery) — at fan-out 1 the unamortised encode shows
+/// up here, which is exactly the 0.70–0.94× gap's home.
+fn attribute_snapshot(publishers: usize, fanout: usize, events_each: usize) -> Vec<StageRow> {
+    let capacity = publishers * events_each * (fanout + 2) + 64;
+    let ring = Arc::new(TraceSink::with_capacity(capacity));
+    let tracer = Tracer::new(Arc::clone(&ring), system_clock());
+    let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+    bus.set_tracer(tracer.clone());
+    for i in 0..fanout {
+        bus.subscribe(
+            ServiceId::from_raw(0x100 + i as u64),
+            Filter::for_type(EVENT_TYPE),
+            Arc::new(AttributingSink {
+                tracer: tracer.clone(),
+            }) as Arc<dyn EventSink>,
+        )
+        .expect("subscribe");
+    }
+    let barrier = Arc::new(Barrier::new(publishers + 1));
+    {
+        let bus = &bus;
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            for p in 0..publishers {
+                scope.spawn(move || {
+                    barrier.wait();
+                    for seq in 1..=events_each {
+                        let event = Event::builder(EVENT_TYPE)
+                            .publisher(ServiceId::from_raw(0x9000 + p as u64))
+                            .seq(seq as u64)
+                            .attr("bpm", 120i64)
+                            .payload(vec![0xEE; 64])
+                            .build();
+                        bus.publish(event).expect("publish");
+                    }
+                });
+            }
+            barrier.wait();
+        });
+    }
+    let mut cp = CriticalPath::new();
+    cp.fold_window(&ring.records());
+    cp.table()
 }
 
 /// Retains every delivered event (as a proxy queue would) and proves the

@@ -1,7 +1,8 @@
 //! Operator surface demo: a live cell under wall-clock time with a
 //! sensor publishing through it, a [`HealthMonitor`] polling the
 //! registry on a background cadence, and the [`StatusServer`] exposing
-//! `/metrics`, `/health` and `/journey` over plain HTTP.
+//! `/metrics`, `/health`, `/journey`, `/tails` and `/slo` over plain
+//! HTTP.
 //!
 //! ```text
 //! cargo run --release -p smc-bench --bin status_server -- [--secs 10] [--smoke]
@@ -22,9 +23,9 @@ use smc_health::{
     health_event, HealthConfig, HealthMonitor, StatusServer, StatusSources, SupervisionStatus,
 };
 use smc_policy::health_quench_policies;
-use smc_telemetry::{Registry, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
+use smc_telemetry::{Registry, SloConfig, SloTracker, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
 use smc_transport::{LinkConfig, ReliableChannel, SimNetwork};
-use smc_types::{system_clock, Event, Filter, ServiceId, ServiceInfo};
+use smc_types::{system_clock, Event, Filter, ServiceId, ServiceInfo, TraceId};
 
 const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
@@ -96,19 +97,29 @@ fn main() {
 
     let mut monitor = HealthMonitor::new(HealthConfig::default());
     let supervision: Arc<parking_lot::Mutex<SupervisionStatus>> = Arc::default();
+    let slo: Arc<parking_lot::Mutex<Vec<SloTracker>>> =
+        Arc::new(parking_lot::Mutex::new(vec![SloTracker::new(
+            SloConfig::new("delivery-latency", 50_000),
+        )]));
     let sources = StatusSources {
         registry: registry.clone(),
         sink: Some(Arc::clone(&sink)),
         health: Arc::default(),
         supervision: Some(Arc::clone(&supervision)),
         ward: None,
-        clock: None,
+        clock: Some(Arc::clone(&clock)),
+        // `/tails` folds the live sink's window on demand.
+        tails: None,
+        slo: Some(Arc::clone(&slo)),
     };
     let shared_report = Arc::clone(&sources.health);
     let server = StatusServer::start("127.0.0.1:0", sources).expect("bind status server");
     let addr = server.local_addr();
     eprintln!("status server listening on http://{addr}/");
-    eprintln!("  GET /metrics   GET /health   GET /journey?sender=<raw>&seq=<n>");
+    eprintln!(
+        "  GET /metrics   GET /health   GET /journey?sender=<raw>&seq=<n>   \
+         GET /tails   GET /slo"
+    );
 
     let started = Instant::now();
     let mut seq = 0u64;
@@ -138,6 +149,12 @@ fn main() {
                 let _ = cell.publish_local(health_event(t, None));
             }
             *shared_report.lock() = monitor.report();
+            // Feed the SLO tracker the freshest complete journey's
+            // end-to-end latency.
+            let journey = sink.journey(TraceId::for_event(sensor_id, seq));
+            if !journey.is_empty() {
+                slo.lock()[0].record(now, journey.total_micros());
+            }
         }
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -171,11 +188,32 @@ fn main() {
             eprintln!("SMOKE FAIL: /supervision not a report:\n{supervision}");
             failures += 1;
         }
+        let tails = http_get(addr, "/tails");
+        if !(tails.starts_with("HTTP/1.1 200")
+            && tails.contains("\"stages\":")
+            && tails.contains("\"tail\":"))
+        {
+            eprintln!("SMOKE FAIL: /tails not an attribution report:\n{tails}");
+            failures += 1;
+        }
+        let tails_text = http_get(addr, "/tails?format=text");
+        if !(tails_text.starts_with("HTTP/1.1 200") && tails_text.contains("critical path")) {
+            eprintln!("SMOKE FAIL: /tails?format=text not a flame view:\n{tails_text}");
+            failures += 1;
+        }
+        let slo_page = http_get(addr, "/slo?json");
+        if !(slo_page.starts_with("HTTP/1.1 200") && slo_page.contains("\"delivery-latency\"")) {
+            eprintln!("SMOKE FAIL: /slo?json missing the tracker:\n{slo_page}");
+            failures += 1;
+        }
         eprintln!(
-            "smoke: /metrics {} bytes, /health {} bytes, /journey {} bytes, {failures} failures",
+            "smoke: /metrics {} bytes, /health {} bytes, /journey {} bytes, \
+             /tails {} bytes, /slo {} bytes, {failures} failures",
             metrics.len(),
             health.len(),
-            journey.len()
+            journey.len(),
+            tails.len(),
+            slo_page.len()
         );
     }
 

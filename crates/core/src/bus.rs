@@ -242,7 +242,9 @@ impl EventBus {
     pub fn set_tracer(&self, tracer: Tracer) {
         let mut control = self.control.lock();
         control.tracer = tracer;
+        let hold = control.tracer.probe_start();
         self.republish(&control);
+        control.tracer.probe_control_hold(hold);
     }
 
     /// Exports this bus's counters into `registry` (sampled at render
@@ -275,12 +277,14 @@ impl EventBus {
     ) -> Result<SubscriptionId> {
         let id = SubscriptionId(self.next_sub.fetch_add(1, Ordering::Relaxed));
         let mut control = self.control.lock();
+        let hold = control.tracer.probe_start();
         control
             .engine
             .subscribe(Subscription::new(id, subscriber, filter.clone()))?;
         control.subs.insert(id, (subscriber, filter));
         control.sinks.insert(subscriber, sink);
         self.republish(&control);
+        control.tracer.probe_control_hold(hold);
         BusMetrics::bump(&self.metrics.subscriptions);
         Ok(id)
     }
@@ -296,10 +300,12 @@ impl EventBus {
     pub fn restore_subscription(&self, sub: Subscription, sink: Arc<dyn EventSink>) -> Result<()> {
         self.next_sub.fetch_max(sub.id.0 + 1, Ordering::Relaxed);
         let mut control = self.control.lock();
+        let hold = control.tracer.probe_start();
         control.engine.subscribe(sub.clone())?;
         control.subs.insert(sub.id, (sub.subscriber, sub.filter));
         control.sinks.insert(sub.subscriber, sink);
         self.republish(&control);
+        control.tracer.probe_control_hold(hold);
         Ok(())
     }
 
@@ -321,6 +327,7 @@ impl EventBus {
         // sink between our two looks at the registry nor observe the
         // engine and registry disagreeing.
         let mut control = self.control.lock();
+        let hold = control.tracer.probe_start();
         control.engine.unsubscribe(id)?;
         if let Some((subscriber, _)) = control.subs.remove(&id) {
             // Drop the sink only when no subscription references it.
@@ -330,6 +337,7 @@ impl EventBus {
             }
         }
         self.republish(&control);
+        control.tracer.probe_control_hold(hold);
         BusMetrics::bump(&self.metrics.unsubscriptions);
         Ok(())
     }
@@ -342,6 +350,7 @@ impl EventBus {
     /// sees the member fully present or fully gone, never half-purged.
     pub fn remove_subscriber(&self, subscriber: ServiceId) -> usize {
         let mut control = self.control.lock();
+        let hold = control.tracer.probe_start();
         let ids: Vec<SubscriptionId> = control
             .subs
             .iter()
@@ -354,6 +363,7 @@ impl EventBus {
         }
         control.sinks.remove(&subscriber);
         self.republish(&control);
+        control.tracer.probe_control_hold(hold);
         drop(control);
         BusMetrics::add(&self.metrics.unsubscriptions, ids.len() as u64);
         ids.len()
@@ -503,9 +513,15 @@ impl EventBus {
         self.control.lock().subs.len()
     }
 
-    /// Bus activity counters.
+    /// Bus activity counters, including route-snapshot writer-wait
+    /// contention sampled straight off the [`SnapshotCell`].
+    ///
+    /// [`SnapshotCell`]: smc_types::SnapshotCell
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.route_writer_wait_spins = self.routes.writer_wait_spins();
+        snap.route_writer_waits = self.routes.writer_waits();
+        snap
     }
 
     /// Internal access for the cell wiring.
@@ -523,12 +539,14 @@ impl EventBus {
     /// the old engine.
     pub fn swap_engine(&self, kind: EngineKind) -> Result<()> {
         let mut control = self.control.lock();
+        let hold = control.tracer.probe_start();
         let mut new_engine = kind.build();
         for (&id, (subscriber, filter)) in control.subs.iter() {
             new_engine.subscribe(Subscription::new(id, *subscriber, filter.clone()))?;
         }
         control.engine = new_engine;
         self.republish(&control);
+        control.tracer.probe_control_hold(hold);
         Ok(())
     }
 }

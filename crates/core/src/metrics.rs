@@ -42,6 +42,12 @@ pub struct BusMetrics {
     pub wal_snapshots: AtomicU64,
     /// Wall-clock duration of the last WAL recovery, in microseconds.
     pub wal_recovery_micros: AtomicU64,
+    /// Spin iterations route-snapshot writers spent draining readers
+    /// (mirrored from the routes [`SnapshotCell`](smc_types::SnapshotCell)
+    /// by [`EventBus::metrics`](crate::EventBus::metrics)).
+    pub route_writer_wait_spins: AtomicU64,
+    /// Route-snapshot publications that had to wait for a reader.
+    pub route_writer_waits: AtomicU64,
 }
 
 impl BusMetrics {
@@ -89,6 +95,8 @@ impl BusMetrics {
             wal_fsyncs: self.wal_fsyncs.load(Ordering::Relaxed),
             wal_snapshots: self.wal_snapshots.load(Ordering::Relaxed),
             wal_recovery_micros: self.wal_recovery_micros.load(Ordering::Relaxed),
+            route_writer_wait_spins: self.route_writer_wait_spins.load(Ordering::Relaxed),
+            route_writer_waits: self.route_writer_waits.load(Ordering::Relaxed),
         }
     }
 }
@@ -113,6 +121,8 @@ pub struct MetricsSnapshot {
     pub wal_fsyncs: u64,
     pub wal_snapshots: u64,
     pub wal_recovery_micros: u64,
+    pub route_writer_wait_spins: u64,
+    pub route_writer_waits: u64,
 }
 
 /// A bounded reservoir of latency samples in microseconds.
@@ -325,6 +335,16 @@ pub fn register_bus_metrics(
             "smc_wal_snapshots_total",
             "Snapshots written by the write-ahead log.",
             s.wal_snapshots,
+        );
+        counter(
+            "smc_bus_route_writer_wait_spins_total",
+            "Spin iterations route-snapshot writers spent draining readers.",
+            s.route_writer_wait_spins,
+        );
+        counter(
+            "smc_bus_route_writer_waits_total",
+            "Route-snapshot publications that waited for a reader.",
+            s.route_writer_waits,
         );
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push(Sample {

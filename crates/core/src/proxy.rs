@@ -289,6 +289,7 @@ impl Proxy {
         self.counters
             .queue_depth_hwm
             .fetch_max(depth, Ordering::Relaxed);
+        tracer.probe_queue_depth(depth);
         Ok(())
     }
 
@@ -327,7 +328,8 @@ impl EventSink for Proxy {
                 return Err(e);
             }
         };
-        self.channel.tracer().record(trace, Hop::ProxyEnqueued);
+        let tracer = self.channel.tracer();
+        tracer.record(trace, Hop::ProxyEnqueued);
         self.channel
             .send_traced(self.info.id, to_bytes(&packet), trace)?;
         AtomicU64::fetch_add(&self.counters.events_downlinked, 1, Ordering::Relaxed);
@@ -335,6 +337,7 @@ impl EventSink for Proxy {
         self.counters
             .queue_depth_hwm
             .fetch_max(depth, Ordering::Relaxed);
+        tracer.probe_queue_depth(depth);
         Ok(())
     }
 
@@ -353,7 +356,8 @@ impl EventSink for Proxy {
             Ok(Some(_)) => self.deliver(event),
             Ok(None) => {
                 let trace = frame.trace();
-                self.channel.tracer().record(trace, Hop::ProxyEnqueued);
+                let tracer = self.channel.tracer();
+                tracer.record(trace, Hop::ProxyEnqueued);
                 self.channel
                     .send_traced(self.info.id, frame.encoded(), trace)?;
                 AtomicU64::fetch_add(&self.counters.events_downlinked, 1, Ordering::Relaxed);
@@ -361,6 +365,7 @@ impl EventSink for Proxy {
                 self.counters
                     .queue_depth_hwm
                     .fetch_max(depth, Ordering::Relaxed);
+                tracer.probe_queue_depth(depth);
                 Ok(())
             }
             Err(e) => {

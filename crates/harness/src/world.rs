@@ -97,6 +97,11 @@ pub struct RunOptions {
     pub trace: bool,
     /// Ring capacity of the trace sink, in hop records.
     pub trace_capacity: usize,
+    /// Contention/occupancy probes (control-mutex hold times, proxy
+    /// queue depth at enqueue, WAL append wait/service split) feeding a
+    /// [`ProbeSink`](smc_telemetry::ProbeSink) exported through the
+    /// run's registry. Off by default; requires `trace`.
+    pub probes: bool,
     /// Autonomic self-observation: `Some` runs a [`HealthMonitor`] (plus
     /// flight recorder and the built-in quench obligations) inside the
     /// virtual timeline. `None` (the default) leaves the run untouched —
@@ -180,6 +185,7 @@ impl Default for RunOptions {
             backend: Arc::new(MemBackend::new()),
             trace: true,
             trace_capacity: DEFAULT_SINK_CAPACITY,
+            probes: false,
             health: None,
             supervision: None,
         }
@@ -674,6 +680,9 @@ pub(crate) fn boot_core(
     let (wal, recovered) =
         Wal::open(Arc::clone(backend), WalConfig::default()).expect("wal backend opens");
     let wal = Arc::new(wal);
+    if let Some(probes) = tracer.probes() {
+        wal.set_probes(Arc::clone(probes), Arc::clone(clock));
+    }
     let (disco_transport, sink_transport) = match ids {
         Some((disco_id, sink_id)) => (
             net.endpoint_with_id(disco_id),
@@ -991,6 +1000,7 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
         backend,
         trace,
         trace_capacity,
+        probes,
         health,
         supervision,
     } = options;
@@ -1001,10 +1011,16 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
 
     let (tracer, trace_sink) = if trace {
         let sink = Arc::new(TraceSink::with_capacity(trace_capacity));
-        (
-            Tracer::new(Arc::clone(&sink), Arc::clone(&shared)),
-            Some(sink),
-        )
+        let tracer = if probes {
+            Tracer::with_probes(
+                Arc::clone(&sink),
+                Arc::clone(&shared),
+                Arc::new(smc_telemetry::ProbeSink::new()),
+            )
+        } else {
+            Tracer::new(Arc::clone(&sink), Arc::clone(&shared))
+        };
+        (tracer, Some(sink))
     } else {
         (Tracer::disabled(), None)
     };
@@ -1773,6 +1789,9 @@ pub fn run_with_options(scenario: &Scenario, options: RunOptions) -> RunReport {
     }
     if let Some(sink) = &trace_sink {
         sink.register_with(&registry);
+    }
+    if let Some(probe_sink) = tracer.probes() {
+        probe_sink.register_with(&registry);
     }
     let published_total: u64 = device_ids.iter().map(|&id| oracle.published(id)).sum();
     let delivered_total: u64 = device_ids.iter().map(|&id| oracle.delivered(id)).sum();

@@ -11,7 +11,13 @@
 //! * `GET /cells` — per-cell export freshness (last export sequence,
 //!   virtual timestamp, lag) as JSON, when ward aggregation is enabled,
 //! * `GET /supervision` — the supervisor's report plus the
-//!   peer-supervision lease table as JSON.
+//!   peer-supervision lease table as JSON,
+//! * `GET /tails` (`?format=text` for the flame view) — the critical-path
+//!   attribution table plus the tail-exemplar reservoir: a live profiler
+//!   when one is wired in, otherwise a fold of the trace sink's current
+//!   window,
+//! * `GET /slo` (`?json` for machine form, `?at=<µs>` to pin the
+//!   evaluation instant) — per-SLO windowed burn rates.
 //!
 //! One request per connection, `Connection: close` — deliberately
 //! minimal, since the workspace is offline and vendors no HTTP stack.
@@ -23,7 +29,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use smc_telemetry::{Registry, TraceSink, WardRegistry};
+use smc_telemetry::{CriticalPath, Registry, SloTracker, TraceSink, WardRegistry};
 use smc_types::{ServiceId, SharedClock, TraceId};
 
 use crate::monitor::HealthReport;
@@ -60,6 +66,12 @@ pub struct StatusSources {
     /// Clock `/cells` computes lag against; falls back to the newest
     /// export timestamp the ward has seen when absent.
     pub clock: Option<SharedClock>,
+    /// A live critical-path profiler behind `/tails`. When absent the
+    /// endpoint folds the trace sink's current window on demand; 404s
+    /// when the sink is absent too.
+    pub tails: Option<Arc<parking_lot::Mutex<CriticalPath>>>,
+    /// SLO trackers behind `/slo` (404s when absent).
+    pub slo: Option<Arc<parking_lot::Mutex<Vec<SloTracker>>>>,
 }
 
 /// The running server: a background accept loop that can be stopped.
@@ -213,11 +225,13 @@ fn route(target: &str, sources: &StatusSources) -> (&'static str, &'static str, 
                 )
             }
         },
+        "/tails" => tails_route(query, sources),
+        "/slo" => slo_route(query, sources),
         "/" => (
             "200 OK",
             "text/plain",
             "smc status server: /metrics /health /supervision /cells \
-             /journey?sender=..&seq=..\n"
+             /tails /slo /journey?sender=..&seq=..\n"
                 .to_owned(),
         ),
         _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
@@ -267,6 +281,126 @@ fn journey_route(query: &str, sources: &StatusSources) -> (&'static str, &'stati
         }
     }
     ("200 OK", "text/plain", body)
+}
+
+/// `/tails`: the critical-path attribution table and tail-exemplar
+/// reservoir. A live profiler source is preferred; otherwise the trace
+/// sink's current window is folded on demand. JSON by default,
+/// `?format=text` for the flame view.
+fn tails_route(query: &str, sources: &StatusSources) -> (&'static str, &'static str, String) {
+    let mut text = false;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        if k == "format" {
+            match v {
+                "json" => text = false,
+                "text" => text = true,
+                other => {
+                    return json_error(
+                        "400 Bad Request",
+                        &format!(
+                            "query parameter 'format' must be 'json' or 'text', got '{other}'"
+                        ),
+                    )
+                }
+            }
+        }
+    }
+    let render = |cp: &CriticalPath| {
+        if text {
+            ("200 OK", "text/plain", cp.render_text())
+        } else {
+            ("200 OK", "application/json", cp.render_json())
+        }
+    };
+    if let Some(tails) = &sources.tails {
+        return render(&tails.lock());
+    }
+    match &sources.sink {
+        None => json_error("404 Not Found", "tail profiling is not enabled"),
+        Some(sink) => {
+            let mut cp = CriticalPath::new();
+            cp.fold_window(&sink.records());
+            render(&cp)
+        }
+    }
+}
+
+/// `/slo`: per-SLO windowed burn rates, text by default, `?json` for
+/// the machine form. Burn is evaluated at `?at=<µs>` when given, else
+/// at the configured clock's now, else at 0.
+fn slo_route(query: &str, sources: &StatusSources) -> (&'static str, &'static str, String) {
+    let trackers = match &sources.slo {
+        None => return json_error("404 Not Found", "slo tracking is not enabled"),
+        Some(t) => t,
+    };
+    let mut json = false;
+    let mut at: Option<u64> = None;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        match k {
+            "json" => json = true,
+            "at" => match v.parse() {
+                Ok(micros) => at = Some(micros),
+                Err(_) => {
+                    return json_error(
+                        "400 Bad Request",
+                        &format!("query parameter 'at' must be a non-negative integer, got '{v}'"),
+                    )
+                }
+            },
+            _ => {}
+        }
+    }
+    let now = at
+        .or_else(|| sources.clock.as_ref().map(|c| c.now_micros()))
+        .unwrap_or(0);
+    let trackers = trackers.lock();
+    if json {
+        let slos: Vec<String> = trackers
+            .iter()
+            .map(|t| {
+                let windows: Vec<String> = t
+                    .burn(now)
+                    .into_iter()
+                    .map(|b| {
+                        format!(
+                            "{{\"window_micros\": {}, \"burn_milli\": {}, \
+                             \"budget_left_milli\": {}}}",
+                            b.window_micros, b.burn_milli, b.budget_left_milli
+                        )
+                    })
+                    .collect();
+                format!(
+                    "{{\"slo\": {}, \"windows\": [{}]}}",
+                    crate::monitor::json_string(t.name()),
+                    windows.join(", ")
+                )
+            })
+            .collect();
+        (
+            "200 OK",
+            "application/json",
+            format!(
+                "{{\"at_micros\": {now}, \"slos\": [{}]}}\n",
+                slos.join(", ")
+            ),
+        )
+    } else {
+        let mut body = format!("slo burn at t={now}us\n");
+        for t in trackers.iter() {
+            for b in t.burn(now) {
+                body.push_str(&format!(
+                    "  {:<24} window={:>10}us  burn={:>6}m  budget_left={:>4}m\n",
+                    t.name(),
+                    b.window_micros,
+                    b.burn_milli,
+                    b.budget_left_milli
+                ));
+            }
+        }
+        ("200 OK", "text/plain", body)
+    }
 }
 
 /// A JSON error body: `{"error":"..."}` with the given status line.
@@ -363,6 +497,8 @@ mod tests {
             supervision: None,
             ward: None,
             clock: None,
+            tails: None,
+            slo: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let addr = server.local_addr();
@@ -401,6 +537,8 @@ mod tests {
             supervision: None,
             ward: None,
             clock: None,
+            tails: None,
+            slo: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let addr = server.local_addr();
@@ -491,6 +629,8 @@ mod tests {
             supervision: Some(Arc::new(parking_lot::Mutex::new(status))),
             ward: None,
             clock: None,
+            tails: None,
+            slo: None,
         };
         let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
         let r = get(server.local_addr(), "/supervision");
@@ -630,6 +770,143 @@ mod tests {
         let missing = get(addr, "/journey?trace=1234");
         assert!(missing.starts_with("HTTP/1.1 404"), "got: {missing}");
         assert!(missing.contains("no hops recorded for trace=1234"));
+        server.stop();
+    }
+
+    #[test]
+    fn tails_folds_the_sink_window_and_serves_both_formats() {
+        let sink = Arc::new(TraceSink::with_capacity(64));
+        let trace = TraceId::for_event(ServiceId::from_raw(3), 7);
+        sink.record(trace, Hop::Published, 100);
+        sink.record(trace, Hop::OutQueued, 120);
+        sink.record(trace, Hop::TxSent, 320);
+        sink.record(trace, Hop::Delivered, 350);
+        let sources = StatusSources {
+            sink: Some(sink),
+            ..Default::default()
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let addr = server.local_addr();
+
+        // Default is JSON with the attribution table and reservoir.
+        let r = get(addr, "/tails");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("\"stage\":\"outbound-queue\""), "got: {r}");
+        assert!(r.contains("\"kind\":\"wait\""));
+        assert!(r.contains("\"tail\":"));
+
+        // The flame view names stages with wait/service bars.
+        let r = get(addr, "/tails?format=text");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("text/plain"));
+        assert!(r.contains("outbound-queue"), "got: {r}");
+
+        // A bogus format is a JSON 400 echoing the bad value.
+        let r = get(addr, "/tails?format=xml");
+        assert!(r.starts_with("HTTP/1.1 400"), "got: {r}");
+        assert!(r.contains("'format' must be 'json' or 'text', got 'xml'"));
+        server.stop();
+    }
+
+    #[test]
+    fn tails_prefers_a_live_profiler_over_the_sink() {
+        use smc_telemetry::{HopRecord, Journey};
+
+        let trace = TraceId::for_event(ServiceId::from_raw(4), 1);
+        let mut cp = CriticalPath::new();
+        cp.fold(&Journey {
+            trace,
+            hops: vec![
+                HopRecord {
+                    trace,
+                    hop: Hop::Published,
+                    at_micros: 0,
+                    order: 0,
+                },
+                HopRecord {
+                    trace,
+                    hop: Hop::Delivered,
+                    at_micros: 90,
+                    order: 1,
+                },
+            ],
+            truncated: false,
+        });
+        let sources = StatusSources {
+            // A sink exists but is empty; the profiler must win.
+            sink: Some(Arc::new(TraceSink::with_capacity(8))),
+            tails: Some(Arc::new(parking_lot::Mutex::new(cp))),
+            ..Default::default()
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let r = get(server.local_addr(), "/tails");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("\"journeys\":1"), "got: {r}");
+        assert!(r.contains("\"stage\":\"deliver\""));
+        server.stop();
+    }
+
+    #[test]
+    fn tails_without_tracing_is_a_json_404() {
+        let server = StatusServer::start("127.0.0.1:0", StatusSources::default()).expect("start");
+        let r = get(server.local_addr(), "/tails");
+        assert!(r.starts_with("HTTP/1.1 404"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("{\"error\":\"tail profiling is not enabled\"}"));
+        server.stop();
+    }
+
+    #[test]
+    fn slo_serves_burn_rates_in_text_and_json() {
+        use smc_telemetry::{SloConfig, SloTracker};
+
+        let mut tracker = SloTracker::new(SloConfig {
+            name: "delivery-latency".into(),
+            objective_micros: 1_000,
+            budget_milli: 100,
+            windows_micros: vec![10_000],
+        });
+        // All ten observations in-window violate: burn 10000m.
+        for i in 0..10u64 {
+            tracker.record(90_000 + i * 1_000, 5_000);
+        }
+        let sources = StatusSources {
+            slo: Some(Arc::new(parking_lot::Mutex::new(vec![tracker]))),
+            ..Default::default()
+        };
+        let server = StatusServer::start("127.0.0.1:0", sources).expect("start");
+        let addr = server.local_addr();
+
+        // No clock: `?at` pins the evaluation instant.
+        let r = get(addr, "/slo?at=100000");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("text/plain"));
+        assert!(r.contains("delivery-latency"), "got: {r}");
+        assert!(r.contains("burn= 10000m"), "got: {r}");
+
+        let r = get(addr, "/slo?json&at=100000");
+        assert!(r.starts_with("HTTP/1.1 200 OK"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("\"slo\": \"delivery-latency\""));
+        assert!(
+            r.contains("\"window_micros\": 10000, \"burn_milli\": 10000"),
+            "got: {r}"
+        );
+
+        let r = get(addr, "/slo?at=nope");
+        assert!(r.starts_with("HTTP/1.1 400"), "got: {r}");
+        assert!(r.contains("'at' must be a non-negative integer, got 'nope'"));
+        server.stop();
+    }
+
+    #[test]
+    fn slo_without_trackers_is_a_json_404() {
+        let server = StatusServer::start("127.0.0.1:0", StatusSources::default()).expect("start");
+        let r = get(server.local_addr(), "/slo");
+        assert!(r.starts_with("HTTP/1.1 404"), "got: {r}");
+        assert!(r.contains("application/json"));
+        assert!(r.contains("{\"error\":\"slo tracking is not enabled\"}"));
         server.stop();
     }
 

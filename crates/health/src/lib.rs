@@ -47,7 +47,7 @@ pub mod supervise;
 
 pub use detect::{
     default_detectors, ComponentDown, DeliveryLatency, Detector, MembershipFlap, Observation,
-    QueueGrowth, RetransmitStorm, SampleCtx, SloBurn, WalStall,
+    QueueGrowth, RetransmitStorm, SampleCtx, SloBurn, TailRegression, WalStall,
 };
 pub use http::{StatusServer, StatusSources, SupervisionStatus};
 pub use monitor::{

@@ -24,16 +24,22 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod critical;
 pub mod export;
 pub mod metrics;
+pub mod probe;
 pub mod slo;
 pub mod trace;
 pub mod ward;
 
+pub use critical::{CriticalPath, StageRow, TailExemplar, TailReservoir};
 pub use export::DeltaExporter;
 pub use metrics::{
     parse_text, Counter, Exemplar, ExemplarEntry, Gauge, Histogram, ParsedSample, Registry, Sample,
 };
+pub use probe::ProbeSink;
 pub use slo::{SloConfig, SloTracker, SloWindowBurn};
-pub use trace::{Hop, HopRecord, Journey, TraceSink, Tracer, DEFAULT_SINK_CAPACITY};
+pub use trace::{
+    Hop, HopRecord, Journey, LegAttribution, StageKind, TraceSink, Tracer, DEFAULT_SINK_CAPACITY,
+};
 pub use ward::{CellFreshness, StitchedHop, StitchedJourney, WardRegistry};

@@ -24,6 +24,10 @@ pub enum Hop {
     Matched,
     /// A cell-side proxy queued the event for downlink to its device.
     ProxyEnqueued,
+    /// The reliable channel accepted the message into its outbound
+    /// queue (the enqueue half of the outbound wait/service pair — the
+    /// leg from here to [`Hop::TxSent`] is pure queue wait).
+    OutQueued,
     /// The reliable channel put the message's fragments on the wire.
     TxSent,
     /// The reliable channel re-sent unacked fragments (one hop per
@@ -31,6 +35,10 @@ pub enum Hop {
     TxRetransmit,
     /// The far side acknowledged every fragment of the message.
     RxAcked,
+    /// The message entered the durability path (the enqueue half of the
+    /// WAL wait/service pair — the leg from here to
+    /// [`Hop::WalAppended`] is append work).
+    WalQueued,
     /// The message was made durable in the write-ahead log.
     WalAppended,
     /// The event reached its subscriber.
@@ -49,14 +57,78 @@ impl Hop {
             Hop::Published => "published",
             Hop::Matched => "matched",
             Hop::ProxyEnqueued => "proxy-enqueued",
+            Hop::OutQueued => "out-queued",
             Hop::TxSent => "tx-sent",
             Hop::TxRetransmit => "tx-retransmit",
             Hop::RxAcked => "rx-acked",
+            Hop::WalQueued => "wal-queued",
             Hop::WalAppended => "wal-appended",
             Hop::Delivered => "delivered",
             Hop::Dropped { .. } => "dropped",
         }
     }
+
+    /// The pipeline stage a leg *arriving* at this hop belongs to, and
+    /// whether that leg is queue wait or service work.
+    ///
+    /// The classification is static per hop kind: the time between two
+    /// consecutive hops is attributed to whatever the event was doing
+    /// *until* the later hop fired. Enqueue hops ([`Hop::OutQueued`],
+    /// [`Hop::WalQueued`], [`Hop::ProxyEnqueued`]) close a service leg;
+    /// the dequeue hops that pair with them ([`Hop::TxSent`],
+    /// [`Hop::TxRetransmit`]) close a wait leg. Every hop maps to
+    /// exactly one stage, so a journey's wait + service time always sums
+    /// to its end-to-end latency.
+    pub fn stage(&self) -> (&'static str, StageKind) {
+        match self {
+            Hop::Published => ("publish", StageKind::Service),
+            Hop::Matched => ("match", StageKind::Service),
+            Hop::ProxyEnqueued => ("fan-out", StageKind::Service),
+            Hop::OutQueued => ("enqueue", StageKind::Service),
+            Hop::TxSent => ("outbound-queue", StageKind::Wait),
+            Hop::TxRetransmit => ("retransmit-wait", StageKind::Wait),
+            Hop::RxAcked => ("ack", StageKind::Service),
+            Hop::WalQueued => ("enqueue", StageKind::Service),
+            Hop::WalAppended => ("wal-append", StageKind::Service),
+            Hop::Delivered => ("deliver", StageKind::Service),
+            Hop::Dropped { .. } => ("drop", StageKind::Service),
+        }
+    }
+}
+
+/// Whether a journey leg was queue wait or service work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StageKind {
+    /// The event sat in a queue (outbound queue, retransmit timer).
+    Wait,
+    /// A component actively worked on the event.
+    Service,
+}
+
+impl StageKind {
+    /// Stable short name (`"wait"` / `"service"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::Wait => "wait",
+            StageKind::Service => "service",
+        }
+    }
+}
+
+/// One journey leg with its stage attribution: the time spent *reaching*
+/// `hop` from the previous hop, classified as queue wait or service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegAttribution {
+    /// The hop that closed this leg.
+    pub hop: Hop,
+    /// Stage name from [`Hop::stage`].
+    pub stage: &'static str,
+    /// Wait or service.
+    pub kind: StageKind,
+    /// When the hop fired (µs on the tracer's clock).
+    pub at_micros: u64,
+    /// Time since the previous hop (0 for the first hop).
+    pub delta_micros: u64,
 }
 
 impl std::fmt::Display for Hop {
@@ -316,6 +388,53 @@ impl Journey {
             })
             .collect()
     }
+
+    /// Every leg with its queue-wait / service classification.
+    ///
+    /// Each leg's delta is attributed to exactly one stage (see
+    /// [`Hop::stage`]), so summing the wait legs and the service legs
+    /// reconstructs the journey's end-to-end latency exactly.
+    pub fn attribution(&self) -> Vec<LegAttribution> {
+        self.legs()
+            .into_iter()
+            .map(|(hop, at_micros, delta_micros)| {
+                let (stage, kind) = hop.stage();
+                LegAttribution {
+                    hop,
+                    stage,
+                    kind,
+                    at_micros,
+                    delta_micros,
+                }
+            })
+            .collect()
+    }
+
+    /// Total time spent in queue-wait legs.
+    pub fn wait_micros(&self) -> u64 {
+        self.attribution()
+            .iter()
+            .filter(|l| l.kind == StageKind::Wait)
+            .map(|l| l.delta_micros)
+            .sum()
+    }
+
+    /// Total time spent in service legs.
+    pub fn service_micros(&self) -> u64 {
+        self.attribution()
+            .iter()
+            .filter(|l| l.kind == StageKind::Service)
+            .map(|l| l.delta_micros)
+            .sum()
+    }
+
+    /// End-to-end latency: last hop minus first hop.
+    pub fn total_micros(&self) -> u64 {
+        match (self.hops.first(), self.hops.last()) {
+            (Some(first), Some(last)) => last.at_micros.saturating_sub(first.at_micros),
+            _ => 0,
+        }
+    }
 }
 
 impl std::fmt::Display for Journey {
@@ -345,6 +464,9 @@ pub struct Tracer(Option<Arc<TracerInner>>);
 struct TracerInner {
     sink: Arc<TraceSink>,
     clock: SharedClock,
+    /// Contention/occupancy probes; `None` keeps probe calls at the
+    /// same one-branch cost as hop recording on a disabled tracer.
+    probes: Option<Arc<crate::ProbeSink>>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -363,7 +485,25 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A tracer recording into `sink`, timestamping from `clock`.
     pub fn new(sink: Arc<TraceSink>, clock: SharedClock) -> Tracer {
-        Tracer(Some(Arc::new(TracerInner { sink, clock })))
+        Tracer(Some(Arc::new(TracerInner {
+            sink,
+            clock,
+            probes: None,
+        })))
+    }
+
+    /// A tracer that additionally feeds contention/occupancy probes
+    /// into `probes` (see [`ProbeSink`](crate::ProbeSink)).
+    pub fn with_probes(
+        sink: Arc<TraceSink>,
+        clock: SharedClock,
+        probes: Arc<crate::ProbeSink>,
+    ) -> Tracer {
+        Tracer(Some(Arc::new(TracerInner {
+            sink,
+            clock,
+            probes: Some(probes),
+        })))
     }
 
     /// The no-op tracer (also `Tracer::default()`).
@@ -389,6 +529,45 @@ impl Tracer {
     /// The sink this tracer writes to, if enabled.
     pub fn sink(&self) -> Option<&Arc<TraceSink>> {
         self.0.as_ref().map(|i| &i.sink)
+    }
+
+    /// The probe sink this tracer feeds, if probes are enabled.
+    pub fn probes(&self) -> Option<&Arc<crate::ProbeSink>> {
+        self.0.as_ref().and_then(|i| i.probes.as_ref())
+    }
+
+    /// Whether contention/occupancy probes are being recorded.
+    pub fn probes_enabled(&self) -> bool {
+        self.probes().is_some()
+    }
+
+    /// A probe timestamp, or `None` when probes are off — one branch on
+    /// the disabled path, no clock read.
+    pub fn probe_start(&self) -> Option<u64> {
+        match &self.0 {
+            Some(inner) if inner.probes.is_some() => Some(inner.clock.now_micros()),
+            _ => None,
+        }
+    }
+
+    /// Closes a control-mutex hold-time measurement opened by
+    /// [`Tracer::probe_start`]. No-op when probes are off.
+    pub fn probe_control_hold(&self, started: Option<u64>) {
+        if let (Some(inner), Some(t0)) = (&self.0, started) {
+            if let Some(probes) = &inner.probes {
+                probes.control_hold(inner.clock.now_micros().saturating_sub(t0));
+            }
+        }
+    }
+
+    /// Records a proxy queue depth observed at enqueue. No-op when
+    /// probes are off.
+    pub fn probe_queue_depth(&self, depth: u64) {
+        if let Some(inner) = &self.0 {
+            if let Some(probes) = &inner.probes {
+                probes.queue_depth(depth);
+            }
+        }
     }
 }
 
@@ -518,6 +697,85 @@ mod tests {
             .unwrap();
         assert_eq!(dropped.value, 3);
         assert!(dropped.monotonic);
+    }
+
+    #[test]
+    fn attribution_splits_wait_from_service_and_sums_to_total() {
+        let sink = TraceSink::with_capacity(16);
+        sink.record(tid(3), Hop::Published, 100);
+        sink.record(tid(3), Hop::Matched, 110); // +10 service
+        sink.record(tid(3), Hop::ProxyEnqueued, 125); // +15 service
+        sink.record(tid(3), Hop::OutQueued, 130); // +5 service
+        sink.record(tid(3), Hop::TxSent, 180); // +50 WAIT
+        sink.record(tid(3), Hop::TxRetransmit, 300); // +120 WAIT
+        sink.record(tid(3), Hop::Delivered, 320); // +20 service
+        let j = sink.journey(tid(3));
+        assert_eq!(j.total_micros(), 220);
+        assert_eq!(j.wait_micros(), 170, "outbound-queue 50 + retransmit 120");
+        assert_eq!(j.service_micros(), 50);
+        assert_eq!(j.wait_micros() + j.service_micros(), j.total_micros());
+        let legs = j.attribution();
+        assert_eq!(legs.len(), 7);
+        assert_eq!(legs[0].stage, "publish");
+        assert_eq!(legs[0].delta_micros, 0, "the first leg opens the journey");
+        assert_eq!(legs[4].stage, "outbound-queue");
+        assert_eq!(legs[4].kind, StageKind::Wait);
+        assert_eq!(legs[5].stage, "retransmit-wait");
+        assert_eq!(legs[5].kind, StageKind::Wait);
+    }
+
+    #[test]
+    fn every_hop_has_a_stage_and_new_hops_have_names() {
+        assert_eq!(Hop::OutQueued.name(), "out-queued");
+        assert_eq!(Hop::WalQueued.name(), "wal-queued");
+        assert_eq!(Hop::WalQueued.stage().0, "enqueue");
+        assert_eq!(Hop::WalAppended.stage(), ("wal-append", StageKind::Service));
+        assert_eq!(StageKind::Wait.name(), "wait");
+        assert_eq!(StageKind::Service.name(), "service");
+    }
+
+    #[test]
+    fn empty_journey_attributes_nothing() {
+        let sink = TraceSink::with_capacity(4);
+        let j = sink.journey(tid(99));
+        assert_eq!(j.total_micros(), 0);
+        assert_eq!(j.wait_micros(), 0);
+        assert_eq!(j.service_micros(), 0);
+        assert!(j.attribution().is_empty());
+    }
+
+    #[test]
+    fn probe_helpers_are_inert_without_a_probe_sink() {
+        let sink = Arc::new(TraceSink::with_capacity(8));
+        let clock: SharedClock = Arc::new(ManualClock::new());
+        let t = Tracer::new(Arc::clone(&sink), clock);
+        assert!(!t.probes_enabled());
+        assert_eq!(t.probe_start(), None);
+        t.probe_control_hold(None);
+        t.probe_queue_depth(5);
+        let off = Tracer::disabled();
+        assert_eq!(off.probe_start(), None);
+        off.probe_queue_depth(5);
+    }
+
+    #[test]
+    fn probe_helpers_feed_the_probe_sink() {
+        let sink = Arc::new(TraceSink::with_capacity(8));
+        let manual = Arc::new(ManualClock::new());
+        let probes = Arc::new(crate::ProbeSink::new());
+        let t = Tracer::with_probes(
+            Arc::clone(&sink),
+            manual.clone() as SharedClock,
+            Arc::clone(&probes),
+        );
+        assert!(t.probes_enabled());
+        let hold = t.probe_start();
+        assert_eq!(hold, Some(0));
+        manual.advance_micros(40);
+        t.probe_control_hold(hold);
+        t.probe_queue_depth(12);
+        assert_eq!(probes.control_hold_snapshot(), (40, 1, 40));
+        assert_eq!(probes.queue_depth_snapshot(), (12, 1, 12));
     }
 
     #[test]

@@ -652,11 +652,13 @@ impl ReliableChannel {
         for (payload, trace) in batch {
             if let Some(journal) = &self.shared.journal {
                 let seq = peer.next_seq + peer.queued.len() as u64 + 1;
+                tracer.record(trace, Hop::WalQueued);
                 journal.on_enqueue(to, seq, &payload)?;
                 tracer.record(trace, Hop::WalAppended);
             }
             let (tx, rx) = bounded(1);
             peer.queued.push_back((payload, Some(tx), trace));
+            tracer.record(trace, Hop::OutQueued);
             receipts.push(Receipt { rx });
         }
         self.shared.stats.lock().msgs_sent += count;
@@ -706,6 +708,7 @@ impl ReliableChannel {
         {
             let mut out = self.shared.out.lock();
             let peer = out.entry(to).or_default();
+            let tracer = self.shared.tracer.load();
             if let Some(journal) = &self.shared.journal {
                 // Sequence numbers are assigned when `pump` promotes the
                 // message into the window, strictly in queue order under
@@ -713,16 +716,17 @@ impl ReliableChannel {
                 // and the journal entry can carry it before any bytes hit
                 // the wire.
                 let seq = peer.next_seq + peer.queued.len() as u64 + 1;
+                tracer.record(trace, Hop::WalQueued);
                 match requeued_from {
                     Some(prior_seq) => journal.on_requeue(to, prior_seq, seq)?,
                     None => journal.on_enqueue(to, seq, &payload)?,
                 }
-                self.shared.tracer.load().record(trace, Hop::WalAppended);
+                tracer.record(trace, Hop::WalAppended);
             }
             peer.queued.push_back((payload, Some(tx), trace));
+            tracer.record(trace, Hop::OutQueued);
             self.shared.stats.lock().msgs_sent += 1;
             let now = self.shared.clock.now_micros();
-            let tracer = self.shared.tracer.load();
             pump(
                 &self.transport,
                 self.shared.epoch,

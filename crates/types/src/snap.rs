@@ -22,7 +22,7 @@
 //! reader holding the *old* pointer ordered its counter increment
 //! before the swap — and the writer's drain therefore waits for it.
 
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 
 /// A cell whose current value is an immutable snapshot behind an `Arc`,
@@ -46,6 +46,11 @@ pub struct SnapshotCell<T> {
     readers: AtomicUsize,
     /// Serialises writers; readers never touch it.
     writer: std::sync::Mutex<()>,
+    /// Spin iterations writers spent draining readers (contention
+    /// probe; only touched when a drain actually spun).
+    writer_wait_spins: AtomicU64,
+    /// Drains that spun at least once.
+    writer_waits: AtomicU64,
 }
 
 impl<T> SnapshotCell<T> {
@@ -55,7 +60,40 @@ impl<T> SnapshotCell<T> {
             current: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
             readers: AtomicUsize::new(0),
             writer: std::sync::Mutex::new(()),
+            writer_wait_spins: AtomicU64::new(0),
+            writer_waits: AtomicU64::new(0),
         }
+    }
+
+    /// Drains the reader count after a swap, accounting any contention.
+    fn drain_readers(&self) {
+        let mut spins = 0u64;
+        while self.readers.load(SeqCst) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // Uncontended drains (the overwhelming majority) cost nothing
+        // extra; only a drain that actually spun touches the counters.
+        if spins > 0 {
+            self.writer_wait_spins.fetch_add(spins, SeqCst);
+            self.writer_waits.fetch_add(1, SeqCst);
+        }
+    }
+
+    /// Total spin iterations writers spent waiting for readers to drain
+    /// — a direct contention signal on this cell.
+    pub fn writer_wait_spins(&self) -> u64 {
+        self.writer_wait_spins.load(SeqCst)
+    }
+
+    /// Number of writer drains that observed at least one mid-`load`
+    /// reader.
+    pub fn writer_waits(&self) -> u64 {
+        self.writer_waits.load(SeqCst)
     }
 
     /// Returns the current snapshot. Lock-free: a few atomic operations,
@@ -82,15 +120,7 @@ impl<T> SnapshotCell<T> {
         // taking its reference. Readers arriving after the swap load the
         // new pointer, so this drains quickly (their critical section is
         // a few instructions).
-        let mut spins = 0u32;
-        while self.readers.load(SeqCst) != 0 {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
+        self.drain_readers();
         // SAFETY: `old` came from `Arc::into_raw`, the cell's reference
         // to it is no longer reachable, and no reader is mid-take.
         drop(unsafe { Arc::from_raw(old) });
@@ -107,15 +137,7 @@ impl<T> SnapshotCell<T> {
         // pointer is installed, and we block all swaps.
         let next = Arc::new(update(unsafe { &*ptr }));
         let old = self.current.swap(Arc::into_raw(next).cast_mut(), SeqCst);
-        let mut spins = 0u32;
-        while self.readers.load(SeqCst) != 0 {
-            spins += 1;
-            if spins < 64 {
-                std::hint::spin_loop();
-            } else {
-                std::thread::yield_now();
-            }
-        }
+        self.drain_readers();
         // SAFETY: as in `store`.
         drop(unsafe { Arc::from_raw(old) });
     }
@@ -201,6 +223,17 @@ mod tests {
             assert_eq!(LIVE.load(SeqCst), 1, "only the current snapshot lives");
         }
         assert_eq!(LIVE.load(SeqCst), 0, "dropping the cell frees the last");
+    }
+
+    /// Uncontended writes leave the contention counters untouched.
+    #[test]
+    fn uncontended_writes_record_no_waits() {
+        let cell = SnapshotCell::new(Arc::new(0u64));
+        for i in 0..100 {
+            cell.store(Arc::new(i));
+        }
+        assert_eq!(cell.writer_wait_spins(), 0);
+        assert_eq!(cell.writer_waits(), 0);
     }
 
     /// Concurrent readers and a writer never observe a torn or freed

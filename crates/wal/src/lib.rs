@@ -609,6 +609,16 @@ pub struct Wal {
     bytes_appended: AtomicU64,
     fsyncs: AtomicU64,
     snapshots: AtomicU64,
+    /// Append wait/service probe (clock + sink), swapped in via
+    /// [`Wal::set_probes`]; `None` keeps appends untimed.
+    probes: smc_types::SnapshotCell<Option<WalProbes>>,
+}
+
+/// The clock and sink a probed WAL times its appends with.
+#[derive(Debug, Clone)]
+struct WalProbes {
+    clock: smc_types::SharedClock,
+    sink: Arc<smc_telemetry::ProbeSink>,
 }
 
 impl Wal {
@@ -642,6 +652,7 @@ impl Wal {
             bytes_appended: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            probes: smc_types::SnapshotCell::default(),
         };
         let recovered = Recovered {
             snapshot: fold.snapshot,
@@ -689,7 +700,14 @@ impl Wal {
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
 
+        // Queue-wait vs service split: time-to-lock is how long this
+        // append sat behind concurrent appenders, time-under-lock is the
+        // append's own work (framing above is untimed — it is identical
+        // for every caller and lock-free).
+        let probes = self.probes.load();
+        let queued_at = probes.as_ref().as_ref().map(|p| p.clock.now_micros());
         let mut inner = self.inner.lock();
+        let locked_at = probes.as_ref().as_ref().map(|p| p.clock.now_micros());
         if inner.active_bytes > 0
             && inner.active_bytes + framed.len() > self.config.segment_max_bytes
         {
@@ -707,7 +725,19 @@ impl Wal {
             self.backend.sync(inner.active)?;
             self.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
+        if let (Some(p), Some(t0), Some(t1)) = (probes.as_ref(), queued_at, locked_at) {
+            let done = p.clock.now_micros();
+            p.sink
+                .wal_append(t1.saturating_sub(t0), done.saturating_sub(t1));
+        }
         Ok(())
+    }
+
+    /// Times every append's lock wait and service duration on `clock`,
+    /// feeding `sink` (`smc_probe_wal_append_*`). Probes default off;
+    /// installing them costs one snapshot load per append.
+    pub fn set_probes(&self, sink: Arc<smc_telemetry::ProbeSink>, clock: smc_types::SharedClock) {
+        self.probes.store(Arc::new(Some(WalProbes { clock, sink })));
     }
 
     /// Writes the snapshot produced by `capture` and compacts the log,
