@@ -1,0 +1,90 @@
+//! Criterion microbench for the SPSC ring connecting shard publishers
+//! to their workers: single-thread push/pop round trips, the batched
+//! `pop_into` drain, and a cross-thread ping through a full pipeline.
+//!
+//! The ring is the only structure on the sharded hot path that every
+//! event crosses exactly once, so its per-item cost bounds the sharding
+//! overhead: anything the ring costs here is what a shard pays over
+//! calling `publish_batch` directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use smc_types::spsc;
+
+/// Push/pop one item at a time through a warm ring — the uncontended
+/// per-event cost a shard publisher pays.
+fn push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_push_pop");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("u64", |b| {
+        let (mut tx, mut rx) = spsc::ring::<u64>(1024);
+        b.iter(|| {
+            tx.push(std::hint::black_box(7)).expect("ring has room");
+            std::hint::black_box(rx.pop().expect("just pushed"));
+        });
+    });
+    group.finish();
+}
+
+/// Fill a burst then drain it with one `pop_into` — the worker-side
+/// batched dequeue that amortises the tail load across the burst.
+fn batched_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spsc_pop_into");
+    for burst in [8usize, 64, 256] {
+        group.throughput(Throughput::Elements(burst as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(burst), &burst, |b, &burst| {
+            let (mut tx, mut rx) = spsc::ring::<u64>(1024);
+            let mut out = Vec::with_capacity(burst);
+            b.iter(|| {
+                for i in 0..burst as u64 {
+                    tx.push(i).expect("ring has room");
+                }
+                out.clear();
+                let n = rx.pop_into(&mut out, burst);
+                assert_eq!(n, burst);
+                std::hint::black_box(&out);
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Stream items across a real thread boundary — producer and consumer
+/// running concurrently, the shard deployment shape.
+fn cross_thread(c: &mut Criterion) {
+    const ITEMS: u64 = 16_384;
+    let mut group = c.benchmark_group("spsc_cross_thread");
+    group.throughput(Throughput::Elements(ITEMS));
+    group.bench_function("stream_16k", |b| {
+        b.iter(|| {
+            let (mut tx, mut rx) = spsc::ring::<u64>(1024);
+            std::thread::scope(|scope| {
+                scope.spawn(move || {
+                    for i in 0..ITEMS {
+                        let mut item = i;
+                        while let Err(back) = tx.push(item) {
+                            item = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                });
+                let mut seen = 0u64;
+                let mut buf = Vec::with_capacity(256);
+                while seen < ITEMS {
+                    buf.clear();
+                    let n = rx.pop_into(&mut buf, 256);
+                    if n == 0 {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    seen += n as u64;
+                }
+                assert_eq!(seen, ITEMS);
+            });
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, push_pop, batched_drain, cross_thread);
+criterion_main!(benches);

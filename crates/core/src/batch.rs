@@ -1,0 +1,208 @@
+//! Publisher-side batching: coalesce a burst of events and publish them
+//! through [`EventBus::publish_batch`]'s amortized hot path.
+//!
+//! A [`BatchPublisher`] buffers pushed events until the batch fills or
+//! the oldest buffered event has lingered past the configured bound,
+//! then flushes the whole run as one coalesced publish — one route-
+//! snapshot load, one matcher pass, one encode arena and one metrics
+//! flush for the burst. Each event's `Published` hop is recorded at push
+//! time and its `BatchQueued` hop at flush time, so the linger shows up
+//! in journey attribution as *wait*, never as inflated service time.
+
+use std::sync::Arc;
+
+use smc_telemetry::{Hop, Tracer};
+use smc_types::{Event, Result, SharedClock, TraceId};
+
+use crate::bus::EventBus;
+
+/// A coalescing publish buffer with a bounded linger.
+///
+/// Not `Sync` by design: one publisher owns one buffer (matching the
+/// one-producer model of the sharded bus). The linger bound is enforced
+/// at push time — a quiescent publisher must call
+/// [`BatchPublisher::flush`] to drain its tail.
+///
+/// ```
+/// use std::sync::Arc;
+/// use smc_core::{BatchPublisher, EventBus};
+/// use smc_match::EngineKind;
+/// use smc_types::{system_clock, Event, Filter, ServiceId};
+///
+/// let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+/// let (sink, rx) = smc_core::ChannelSink::new();
+/// bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))?;
+/// let mut publisher = BatchPublisher::new(Arc::clone(&bus), system_clock(), 4, 1_000);
+/// for seq in 1..=10u64 {
+///     publisher.push(
+///         Event::builder("smc.sensor.reading")
+///             .publisher(ServiceId::from_raw(9))
+///             .seq(seq)
+///             .build(),
+///     )?;
+/// }
+/// publisher.flush()?;
+/// assert_eq!(rx.try_iter().count(), 10);
+/// # Ok::<(), smc_types::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct BatchPublisher {
+    bus: Arc<EventBus>,
+    tracer: Tracer,
+    clock: SharedClock,
+    max_batch: usize,
+    linger_micros: u64,
+    buf: Vec<Event>,
+    /// Clock micros when the oldest buffered event was pushed.
+    oldest_micros: u64,
+}
+
+impl BatchPublisher {
+    /// Creates a buffer flushing at `max_batch` events or once the
+    /// oldest buffered event is `linger_micros` old, whichever first.
+    ///
+    /// Snapshots the bus tracer — construct after
+    /// [`EventBus::set_tracer`] if hop records matter.
+    pub fn new(
+        bus: Arc<EventBus>,
+        clock: SharedClock,
+        max_batch: usize,
+        linger_micros: u64,
+    ) -> Self {
+        let tracer = bus.tracer();
+        BatchPublisher {
+            bus,
+            tracer,
+            clock,
+            max_batch: max_batch.max(1),
+            linger_micros,
+            buf: Vec::new(),
+            oldest_micros: 0,
+        }
+    }
+
+    /// Buffers one event, flushing if the batch is full or the linger
+    /// bound has lapsed. Returns deliveries made by a flush this push
+    /// triggered (0 when the event was merely buffered).
+    ///
+    /// # Errors
+    ///
+    /// As for [`EventBus::publish_batch`].
+    pub fn push(&mut self, event: Event) -> Result<usize> {
+        let now = self.clock.now_micros();
+        let trace = TraceId::for_event(event.publisher(), event.seq());
+        self.tracer.record(trace, Hop::Published);
+        if self.buf.is_empty() {
+            self.oldest_micros = now;
+        }
+        self.buf.push(event);
+        if self.buf.len() >= self.max_batch
+            || now.saturating_sub(self.oldest_micros) >= self.linger_micros
+        {
+            self.flush()
+        } else {
+            Ok(0)
+        }
+    }
+
+    /// Publishes everything buffered as one coalesced batch. Returns
+    /// deliveries made.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EventBus::publish_batch`].
+    pub fn flush(&mut self) -> Result<usize> {
+        if self.buf.is_empty() {
+            return Ok(0);
+        }
+        let delivered = self.bus.publish_coalesced(&self.buf)?;
+        self.buf.clear();
+        Ok(delivered)
+    }
+
+    /// Events currently buffered, awaiting a flush.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+impl Drop for BatchPublisher {
+    fn drop(&mut self) {
+        // Best effort: don't silently lose a buffered tail.
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_match::EngineKind;
+    use smc_types::{Filter, ManualClock, ServiceId};
+
+    use crate::bus::ChannelSink;
+
+    fn ev(seq: u64) -> Event {
+        Event::builder("r")
+            .attr("seq", seq as i64)
+            .publisher(ServiceId::from_raw(0xF))
+            .seq(seq)
+            .build()
+    }
+
+    #[test]
+    fn full_batch_flushes_itself() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let (sink, rx) = ChannelSink::new();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
+        let clock: SharedClock = Arc::new(ManualClock::new());
+        let mut p = BatchPublisher::new(Arc::clone(&bus), clock, 3, u64::MAX);
+        assert_eq!(p.push(ev(1)).unwrap(), 0);
+        assert_eq!(p.push(ev(2)).unwrap(), 0);
+        assert_eq!(p.pending(), 2);
+        assert_eq!(p.push(ev(3)).unwrap(), 3, "third push fills the batch");
+        assert_eq!(p.pending(), 0);
+        let got: Vec<u64> = rx.try_iter().map(|e| e.seq()).collect();
+        assert_eq!(got, vec![1, 2, 3], "FIFO survives coalescing");
+    }
+
+    #[test]
+    fn linger_bound_forces_a_flush() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let (sink, rx) = ChannelSink::new();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
+        let manual = Arc::new(ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let mut p = BatchPublisher::new(Arc::clone(&bus), clock, 1_000, 50);
+        p.push(ev(1)).unwrap();
+        manual.advance_micros(49);
+        assert_eq!(p.push(ev(2)).unwrap(), 0, "still within the linger");
+        manual.advance_micros(1);
+        assert_eq!(p.push(ev(3)).unwrap(), 3, "linger lapsed: flush all");
+        assert_eq!(rx.try_iter().count(), 3);
+    }
+
+    #[test]
+    fn drop_flushes_the_tail() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let (sink, rx) = ChannelSink::new();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
+        let clock: SharedClock = Arc::new(ManualClock::new());
+        let mut p = BatchPublisher::new(Arc::clone(&bus), clock, 100, u64::MAX);
+        p.push(ev(1)).unwrap();
+        p.push(ev(2)).unwrap();
+        drop(p);
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn explicit_flush_on_empty_buffer_is_a_noop() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let clock: SharedClock = Arc::new(ManualClock::new());
+        let mut p = BatchPublisher::new(bus, clock, 4, 10);
+        assert_eq!(p.flush().unwrap(), 0);
+        assert_eq!(p.pending(), 0);
+    }
+}

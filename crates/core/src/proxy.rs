@@ -17,7 +17,8 @@ use smc_telemetry::Hop;
 use smc_transport::ReliableChannel;
 use smc_types::codec::to_bytes;
 use smc_types::{
-    Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SubscriptionId, TraceId,
+    Error, Event, Filter, Packet, Result, ServiceId, ServiceInfo, SharedBytes, SubscriptionId,
+    TraceId,
 };
 
 use crate::bus::{DeliveryFrame, EventSink};
@@ -274,7 +275,7 @@ impl Proxy {
     /// [`Error::Closed`] if the proxy is destroyed or the channel is
     /// shut; journal errors propagate from the channel (already-queued
     /// entries of the batch stay queued).
-    pub fn deliver_encoded_batch(&self, batch: Vec<(Arc<[u8]>, TraceId)>) -> Result<()> {
+    pub fn deliver_encoded_batch(&self, batch: Vec<(SharedBytes, TraceId)>) -> Result<()> {
         if self.is_destroyed() {
             return Err(Error::Closed);
         }
@@ -373,6 +374,52 @@ impl EventSink for Proxy {
                 Err(e)
             }
         }
+    }
+
+    /// Batched downlink: frames whose codec path is passthrough are
+    /// enqueued as one reliable-channel batch (one out-lock, one pump);
+    /// frames needing device-specific translation fall back to the
+    /// singular path, in order.
+    fn deliver_batch(&self, frames: &[&DeliveryFrame<'_>]) -> Result<usize> {
+        if self.is_destroyed() {
+            return Err(Error::Closed);
+        }
+        let mut delivered = 0;
+        let mut batch: Vec<(SharedBytes, TraceId)> = Vec::with_capacity(frames.len());
+        for frame in frames {
+            match self.codec.encode_downlink(frame.event()) {
+                Ok(None) => {
+                    batch.push((frame.encoded(), frame.trace()));
+                }
+                Ok(Some(_)) => {
+                    // Flush what we have so the device still sees event
+                    // order, then take the owned translation path.
+                    if !batch.is_empty() {
+                        let n = batch.len();
+                        self.deliver_encoded_batch(std::mem::take(&mut batch))?;
+                        delivered += n;
+                    }
+                    if self.deliver(frame.event()).is_ok() {
+                        delivered += 1;
+                    }
+                }
+                Err(_) => {
+                    AtomicU64::fetch_add(&self.counters.encode_errors, 1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !batch.is_empty() {
+            let n = batch.len();
+            self.deliver_encoded_batch(batch)?;
+            delivered += n;
+        }
+        Ok(delivered)
+    }
+
+    /// Proxies relay wire bytes, so batched publishes should arena-
+    /// encode frames bound for them.
+    fn prefers_encoded(&self) -> bool {
+        true
     }
 }
 

@@ -1,0 +1,500 @@
+//! Sharded multi-core execution of the event bus.
+//!
+//! A [`ShardedBus`] partitions publishers across N worker threads by
+//! publisher id (`id % shards`). Each publisher hands its events to a
+//! bounded SPSC ring ([`smc_types::spsc`]); the shard worker that owns
+//! the ring drains it in batches and runs the whole publish pipeline —
+//! match → fan-out → encode → proxy enqueue — to completion on its own
+//! core, through [`EventBus::publish_coalesced`]. There is no cross-
+//! shard locking on the hot path:
+//!
+//! * routing state is the bus's copy-on-write [`SnapshotCell`] route
+//!   table, which every shard reads lock-free; control operations
+//!   (subscribe/unsubscribe/engine swap) go through the ordinary
+//!   [`EventBus`] API and republish a fresh snapshot that all shards
+//!   observe on their next batch;
+//! * per-publisher FIFO survives because a publisher maps to exactly one
+//!   ring drained by exactly one worker, and batches preserve ring
+//!   order end to end;
+//! * exactly-once survives because sharding only moves *where* a publish
+//!   runs — each event still flows through the one delivery path.
+//!
+//! [`SnapshotCell`]: smc_types::SnapshotCell
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use smc_telemetry::{Hop, Tracer};
+use smc_types::spsc::{self, SpscReceiver, SpscSender};
+use smc_types::{Error, Event, Result, ServiceId, TraceId};
+
+use crate::bus::EventBus;
+
+/// Tuning for a [`ShardedBus`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Worker threads; publishers map to `publisher_id % shards`.
+    pub shards: usize,
+    /// Capacity of each publisher's SPSC ring (backpressure bound).
+    pub ring_capacity: usize,
+    /// Most events a worker drains from one ring per coalesced publish.
+    pub max_batch: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            ring_capacity: 1024,
+            max_batch: 64,
+        }
+    }
+}
+
+/// Live counters for one shard, shared with the status surface.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Events accepted into this shard's rings.
+    enqueued: AtomicU64,
+    /// Events the worker has pulled out and published.
+    processed: AtomicU64,
+    /// Deliveries those publishes made.
+    delivered: AtomicU64,
+    /// Coalesced publish calls (each covers a drained run).
+    batches: AtomicU64,
+    /// Publisher handles created on this shard.
+    publishers: AtomicU64,
+}
+
+/// Plain-value snapshot of one shard's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStatSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Events enqueued but not yet processed (ring depth).
+    pub depth: u64,
+    /// Events accepted into this shard's rings.
+    pub enqueued: u64,
+    /// Events published by the worker.
+    pub processed: u64,
+    /// Deliveries made.
+    pub delivered: u64,
+    /// Coalesced publish calls.
+    pub batches: u64,
+    /// Publisher handles created.
+    pub publishers: u64,
+}
+
+struct Shard {
+    /// Rings created since the worker's last adoption pass.
+    inbox: Arc<Mutex<Vec<SpscReceiver<Event>>>>,
+    /// Set when `inbox` is non-empty so the worker skips the lock
+    /// entirely in steady state.
+    inbox_dirty: Arc<AtomicBool>,
+    stats: Arc<ShardStats>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// The sharded front of an [`EventBus`]. See the module docs.
+///
+/// Control-plane operations are not mirrored here on purpose: call them
+/// on [`ShardedBus::bus`] — route-table republication through the
+/// snapshot cell is already how every shard (and the singular publish
+/// path) observes them.
+pub struct ShardedBus {
+    bus: Arc<EventBus>,
+    shards: Vec<Shard>,
+    stop: Arc<AtomicBool>,
+    config: ShardConfig,
+}
+
+impl std::fmt::Debug for ShardedBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedBus")
+            .field("shards", &self.shards.len())
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardedBus {
+    /// Starts `shards` workers over `bus` with default ring/batch sizes.
+    pub fn new(bus: Arc<EventBus>, shards: usize) -> Self {
+        ShardedBus::with_config(
+            bus,
+            ShardConfig {
+                shards,
+                ..ShardConfig::default()
+            },
+        )
+    }
+
+    /// Starts workers with explicit tuning.
+    pub fn with_config(bus: Arc<EventBus>, config: ShardConfig) -> Self {
+        let config = ShardConfig {
+            shards: config.shards.max(1),
+            ring_capacity: config.ring_capacity.max(2),
+            max_batch: config.max_batch.max(1),
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let shards = (0..config.shards)
+            .map(|i| {
+                let inbox: Arc<Mutex<Vec<SpscReceiver<Event>>>> = Arc::new(Mutex::new(Vec::new()));
+                let inbox_dirty = Arc::new(AtomicBool::new(false));
+                let stats = Arc::new(ShardStats::default());
+                let worker = WorkerState {
+                    bus: Arc::clone(&bus),
+                    inbox: Arc::clone(&inbox),
+                    inbox_dirty: Arc::clone(&inbox_dirty),
+                    stats: Arc::clone(&stats),
+                    stop: Arc::clone(&stop),
+                    max_batch: config.max_batch,
+                };
+                let handle = std::thread::Builder::new()
+                    .name(format!("smc-shard-{i}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker");
+                Shard {
+                    inbox,
+                    inbox_dirty,
+                    stats,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardedBus {
+            bus,
+            shards,
+            stop,
+            config,
+        }
+    }
+
+    /// The bus the shards publish through (control-plane entry point).
+    pub fn bus(&self) -> &Arc<EventBus> {
+        &self.bus
+    }
+
+    /// Number of shard workers.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `publisher` maps to. Stable for the bus's lifetime —
+    /// this is what preserves per-publisher FIFO.
+    pub fn shard_of(&self, publisher: ServiceId) -> usize {
+        (publisher.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Creates a publisher handle for `publisher`, pinned to its shard.
+    ///
+    /// Snapshots the bus tracer — create handles *after*
+    /// [`EventBus::set_tracer`] if hop records matter.
+    pub fn publisher(&self, publisher: ServiceId) -> ShardPublisher {
+        let shard_idx = self.shard_of(publisher);
+        let shard = &self.shards[shard_idx];
+        let (tx, rx) = spsc::ring(self.config.ring_capacity);
+        shard.inbox.lock().push(rx);
+        shard.inbox_dirty.store(true, Ordering::Release);
+        shard.stats.publishers.fetch_add(1, Ordering::Relaxed);
+        ShardPublisher {
+            sender: tx,
+            tracer: self.bus.tracer(),
+            stats: Arc::clone(&shard.stats),
+            shard: shard_idx,
+        }
+    }
+
+    /// Blocks until every event enqueued so far has been published.
+    pub fn flush(&self) {
+        loop {
+            let drained = self.shards.iter().all(|s| {
+                s.stats.enqueued.load(Ordering::Acquire)
+                    == s.stats.processed.load(Ordering::Acquire)
+            });
+            if drained {
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+
+    /// Per-shard counter snapshots, shard order.
+    pub fn stats(&self) -> Vec<ShardStatSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let enqueued = s.stats.enqueued.load(Ordering::Relaxed);
+                let processed = s.stats.processed.load(Ordering::Relaxed);
+                ShardStatSnapshot {
+                    shard: i,
+                    depth: enqueued.saturating_sub(processed),
+                    enqueued,
+                    processed,
+                    delivered: s.stats.delivered.load(Ordering::Relaxed),
+                    batches: s.stats.batches.load(Ordering::Relaxed),
+                    publishers: s.stats.publishers.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    }
+
+    /// Drains every ring, stops the workers and joins them. Idempotent;
+    /// also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for shard in &mut self.shards {
+            if let Some(handle) = shard.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ShardedBus {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A publisher's handle into its shard: push-only, single-owner.
+///
+/// Publishing through the handle records the event's `Published` hop
+/// immediately (the event has entered the system) and enqueues it on
+/// the shard's ring; the worker records `BatchQueued` when it drains
+/// the event, so ring time is attributed as wait.
+#[derive(Debug)]
+pub struct ShardPublisher {
+    sender: SpscSender<Event>,
+    tracer: Tracer,
+    stats: Arc<ShardStats>,
+    shard: usize,
+}
+
+impl ShardPublisher {
+    /// Enqueues one event on the owning shard. Blocks (spin/yield) while
+    /// the ring is full — the bounded ring is the backpressure contract.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Closed`] if the sharded bus has shut down.
+    pub fn publish(&mut self, event: Event) -> Result<()> {
+        let trace = TraceId::for_event(event.publisher(), event.seq());
+        self.tracer.record(trace, Hop::Published);
+        let mut event = event;
+        loop {
+            match self.sender.push(event) {
+                Ok(()) => {
+                    self.stats.enqueued.fetch_add(1, Ordering::Release);
+                    return Ok(());
+                }
+                Err(back) => {
+                    if self.sender.is_disconnected() {
+                        return Err(Error::Closed);
+                    }
+                    event = back;
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// The shard this publisher is pinned to.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// Events sitting in this publisher's ring.
+    pub fn depth(&self) -> usize {
+        self.sender.len()
+    }
+}
+
+struct WorkerState {
+    bus: Arc<EventBus>,
+    inbox: Arc<Mutex<Vec<SpscReceiver<Event>>>>,
+    inbox_dirty: Arc<AtomicBool>,
+    stats: Arc<ShardStats>,
+    stop: Arc<AtomicBool>,
+    max_batch: usize,
+}
+
+impl WorkerState {
+    /// Run-to-completion shard loop: adopt new rings, drain each ring
+    /// into one coalesced publish, back off when idle.
+    fn run(self) {
+        let mut rings: Vec<SpscReceiver<Event>> = Vec::new();
+        let mut batch: Vec<Event> = Vec::with_capacity(self.max_batch);
+        let mut idle_rounds = 0u32;
+        loop {
+            if self.inbox_dirty.swap(false, Ordering::Acquire) {
+                rings.append(&mut self.inbox.lock());
+            }
+            let mut drained_any = false;
+            for ring in &mut rings {
+                batch.clear();
+                let n = ring.pop_into(&mut batch, self.max_batch);
+                if n == 0 {
+                    continue;
+                }
+                drained_any = true;
+                let delivered = self.bus.publish_coalesced(&batch).unwrap_or(0);
+                self.stats.processed.fetch_add(n as u64, Ordering::Release);
+                self.stats
+                    .delivered
+                    .fetch_add(delivered as u64, Ordering::Relaxed);
+                self.stats.batches.fetch_add(1, Ordering::Relaxed);
+            }
+            // Reclaim rings whose publisher hung up, once empty.
+            rings.retain(|r| !(r.is_disconnected() && r.is_empty()));
+            if drained_any {
+                idle_rounds = 0;
+                continue;
+            }
+            // An empty pass after `stop` means every ring is drained
+            // (publishers stop pushing before shutdown joins us).
+            if self.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            idle_rounds += 1;
+            if idle_rounds < 64 {
+                std::hint::spin_loop();
+            } else {
+                // Cap the sleep so shutdown and late publishers are
+                // noticed promptly.
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smc_match::EngineKind;
+    use smc_types::{Filter, Op};
+
+    use crate::bus::ChannelSink;
+
+    fn ev(publisher: u64, seq: u64) -> Event {
+        Event::builder("r")
+            .attr("bpm", seq as i64)
+            .publisher(ServiceId::from_raw(publisher))
+            .seq(seq)
+            .build()
+    }
+
+    #[test]
+    fn sharded_publish_delivers_and_preserves_publisher_fifo() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let (sink, rx) = ChannelSink::new();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
+        let sharded = ShardedBus::new(Arc::clone(&bus), 2);
+        let mut p9 = sharded.publisher(ServiceId::from_raw(9));
+        let mut p10 = sharded.publisher(ServiceId::from_raw(10));
+        assert_ne!(p9.shard(), p10.shard(), "9 and 10 land on different shards");
+        for seq in 1..=50u64 {
+            p9.publish(ev(9, seq)).unwrap();
+            p10.publish(ev(10, seq)).unwrap();
+        }
+        sharded.flush();
+        let mut last9 = 0;
+        let mut last10 = 0;
+        let mut count = 0;
+        for e in rx.try_iter() {
+            count += 1;
+            let last = if e.publisher() == ServiceId::from_raw(9) {
+                &mut last9
+            } else {
+                &mut last10
+            };
+            assert!(e.seq() > *last, "per-publisher FIFO held");
+            *last = e.seq();
+        }
+        assert_eq!(count, 100, "exactly-once: every publish delivered once");
+        assert_eq!(last9, 50);
+        assert_eq!(last10, 50);
+    }
+
+    #[test]
+    fn control_ops_reach_running_shards_through_the_snapshot() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let sharded = ShardedBus::new(Arc::clone(&bus), 2);
+        let mut p = sharded.publisher(ServiceId::from_raw(7));
+        // No subscribers yet: events are published but unmatched.
+        p.publish(ev(7, 1)).unwrap();
+        sharded.flush();
+        let (sink, rx) = ChannelSink::new();
+        bus.subscribe(
+            ServiceId::from_raw(1),
+            Filter::for_type("r").with(("bpm", Op::Gt, 1i64)),
+            Arc::new(sink),
+        )
+        .unwrap();
+        p.publish(ev(7, 2)).unwrap();
+        sharded.flush();
+        assert_eq!(rx.try_iter().count(), 1, "new route visible to the shard");
+        assert_eq!(bus.metrics().unmatched, 1);
+    }
+
+    #[test]
+    fn stats_track_depth_and_throughput() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let (sink, _rx) = ChannelSink::new();
+        bus.subscribe(ServiceId::from_raw(1), Filter::any(), Arc::new(sink))
+            .unwrap();
+        let sharded = ShardedBus::new(Arc::clone(&bus), 3);
+        let mut p = sharded.publisher(ServiceId::from_raw(5));
+        for seq in 1..=20u64 {
+            p.publish(ev(5, seq)).unwrap();
+        }
+        sharded.flush();
+        let stats = sharded.stats();
+        assert_eq!(stats.len(), 3);
+        let own = &stats[sharded.shard_of(ServiceId::from_raw(5))];
+        assert_eq!(own.enqueued, 20);
+        assert_eq!(own.processed, 20);
+        assert_eq!(own.delivered, 20);
+        assert_eq!(own.depth, 0);
+        assert!(own.batches >= 1);
+        assert_eq!(own.publishers, 1);
+        let others: u64 = stats
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != own.shard)
+            .map(|(_, s)| s.enqueued)
+            .sum();
+        assert_eq!(others, 0, "a publisher maps to exactly one shard");
+    }
+
+    #[test]
+    fn publish_after_shutdown_is_closed() {
+        let bus = Arc::new(EventBus::new(EngineKind::FastForward));
+        let mut sharded = ShardedBus::new(bus, 1);
+        let mut p = sharded.publisher(ServiceId::from_raw(3));
+        p.publish(ev(3, 1)).unwrap();
+        sharded.shutdown();
+        sharded.shutdown(); // idempotent
+        match p.publish(ev(3, 2)) {
+            // The ring may still have room (push succeeds into a dead
+            // ring) or be full with the worker gone (Closed). Either
+            // way a full ring with no worker must not hang forever —
+            // fill it to force the disconnected check.
+            Ok(()) | Err(Error::Closed) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+        for seq in 3..2000u64 {
+            if p.publish(ev(3, seq)).is_err() {
+                return; // observed Closed once the ring filled
+            }
+        }
+        panic!("a full ring with a stopped worker must error, not hang");
+    }
+}

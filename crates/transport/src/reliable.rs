@@ -27,7 +27,9 @@ use parking_lot::Mutex;
 
 use smc_telemetry::{Hop, Tracer};
 use smc_types::codec::{from_bytes, to_bytes, MAX_COLLECTION_LEN};
-use smc_types::{system_clock, Error, Result, ServiceId, SharedClock, SnapshotCell, TraceId};
+use smc_types::{
+    system_clock, Error, Result, ServiceId, SharedBytes, SharedClock, SnapshotCell, TraceId,
+};
 
 use crate::frame::{encode_data_frame, fragment_ranges, Frame, FRAME_HEADER_LEN};
 use crate::transport::Transport;
@@ -268,9 +270,10 @@ impl Receipt {
 #[derive(Debug)]
 struct OutMessage {
     /// The whole message, shared with whoever produced it (the bus
-    /// fan-out keeps one encoded buffer per publish; enqueueing here
-    /// costs a reference count, not a copy).
-    payload: Arc<[u8]>,
+    /// fan-out keeps one encoded buffer per publish — or one arena per
+    /// publish *batch*, of which this is a range; enqueueing here costs
+    /// a reference count, not a copy).
+    payload: SharedBytes,
     /// `start..end` byte ranges of each fragment within `payload`;
     /// fragments are sliced out at (re)transmit time.
     frags: Vec<(usize, usize)>,
@@ -287,7 +290,7 @@ struct OutMessage {
 
 /// A queued message, the optional receipt to resolve on ack, and the
 /// payload's causal trace.
-type QueuedMessage = (Arc<[u8]>, Option<Sender<Result<()>>>, TraceId);
+type QueuedMessage = (SharedBytes, Option<Sender<Result<()>>>, TraceId);
 
 #[derive(Debug, Default)]
 struct PeerOut {
@@ -592,9 +595,10 @@ impl ReliableChannel {
 
     /// Queues `payload` for exactly-once, in-order delivery to `to`.
     ///
-    /// The payload may be anything convertible into a shared `Arc<[u8]>`
-    /// buffer — a `Vec<u8>` works as before, and an already-shared buffer
-    /// (e.g. the bus's one-per-publish encoded frame) is enqueued without
+    /// The payload may be anything convertible into a [`SharedBytes`]
+    /// view — a `Vec<u8>` or `Arc<[u8]>` works as before, and an
+    /// already-shared buffer (e.g. the bus's one-per-publish encoded
+    /// frame, or a range of a batch's encode arena) is enqueued without
     /// copying.
     ///
     /// Returns a [`Receipt`] resolving when the peer acknowledged every
@@ -603,7 +607,7 @@ impl ReliableChannel {
     /// # Errors
     ///
     /// [`Error::Closed`] if the channel is shut down.
-    pub fn send(&self, to: ServiceId, payload: impl Into<Arc<[u8]>>) -> Result<Receipt> {
+    pub fn send(&self, to: ServiceId, payload: impl Into<SharedBytes>) -> Result<Receipt> {
         self.send_inner(to, payload.into(), None, TraceId::NONE)
     }
 
@@ -617,7 +621,7 @@ impl ReliableChannel {
     pub fn send_traced(
         &self,
         to: ServiceId,
-        payload: impl Into<Arc<[u8]>>,
+        payload: impl Into<SharedBytes>,
         trace: TraceId,
     ) -> Result<Receipt> {
         self.send_inner(to, payload.into(), None, trace)
@@ -639,7 +643,7 @@ impl ReliableChannel {
     pub fn send_shared_batch(
         &self,
         to: ServiceId,
-        batch: Vec<(Arc<[u8]>, TraceId)>,
+        batch: Vec<(SharedBytes, TraceId)>,
     ) -> Result<Vec<Receipt>> {
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(Error::Closed);
@@ -697,7 +701,7 @@ impl ReliableChannel {
     fn send_inner(
         &self,
         to: ServiceId,
-        payload: Arc<[u8]>,
+        payload: SharedBytes,
         requeued_from: Option<u64>,
         trace: TraceId,
     ) -> Result<Receipt> {
@@ -749,7 +753,7 @@ impl ReliableChannel {
     pub fn send_blocking(
         &self,
         to: ServiceId,
-        payload: impl Into<Arc<[u8]>>,
+        payload: impl Into<SharedBytes>,
         timeout: Duration,
     ) -> Result<()> {
         self.send(to, payload)?.wait(timeout)

@@ -9,7 +9,7 @@ use smc_transport::{
     ReliableConfig, SimNetwork, Transport,
 };
 use smc_types::codec::from_bytes;
-use smc_types::{Result, ServiceId, TraceId};
+use smc_types::{Result, ServiceId, SharedBytes, TraceId};
 
 const TICK: Duration = Duration::from_secs(5);
 
@@ -59,8 +59,8 @@ fn batch_enqueue_preserves_order_and_receipts() {
     let net = SimNetwork::new(LinkConfig::ideal());
     let a = ReliableChannel::new(Arc::new(net.endpoint()), fast_config());
     let b = ReliableChannel::new(Arc::new(net.endpoint()), fast_config());
-    let batch: Vec<(Arc<[u8]>, TraceId)> = (0..20u32)
-        .map(|i| (Arc::from(i.to_le_bytes().to_vec()), TraceId::NONE))
+    let batch: Vec<(SharedBytes, TraceId)> = (0..20u32)
+        .map(|i| (SharedBytes::from(i.to_le_bytes().to_vec()), TraceId::NONE))
         .collect();
     let receipts = a.send_shared_batch(b.local_id(), batch).unwrap();
     assert_eq!(receipts.len(), 20);
@@ -109,8 +109,8 @@ fn coalesced_acks_complete_journaled_deliveries() {
     // Payloads big enough to fragment, sent as one burst so the
     // receiver's in-order drain acks a run of messages at once.
     let big = a.transport().max_datagram() * 3;
-    let batch: Vec<(Arc<[u8]>, TraceId)> = (0..10u8)
-        .map(|i| (Arc::from(vec![i; big]), TraceId::NONE))
+    let batch: Vec<(SharedBytes, TraceId)> = (0..10u8)
+        .map(|i| (SharedBytes::from(vec![i; big]), TraceId::NONE))
         .collect();
     let receipts = a.send_shared_batch(b.local_id(), batch).unwrap();
     let got = collect_reliable(&b, 10);

@@ -1,0 +1,349 @@
+//! A bounded single-producer / single-consumer ring buffer.
+//!
+//! This is the stage-coupling primitive of the sharded bus: each
+//! publisher handle owns the producer side of one ring, the shard worker
+//! that drains it owns the consumer side. One producer plus one consumer
+//! means every slot is touched by exactly two threads, so the whole
+//! queue needs two atomic counters and no locks — a push is one store,
+//! a pop is one load-compare-store, and per-publisher FIFO order falls
+//! out of the ring being a ring.
+//!
+//! The producer/consumer split is enforced at compile time: [`ring`]
+//! returns a non-cloneable [`SpscSender`] / [`SpscReceiver`] pair whose
+//! mutating methods take `&mut self`, so a second producer (or consumer)
+//! cannot exist without `unsafe`.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The shared ring storage. Not directly constructible — use [`ring`].
+pub struct SpscRing<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// `capacity - 1`; capacity is always a power of two.
+    mask: usize,
+    /// Next slot the consumer will pop. Monotonic; wraps via `mask`.
+    head: AtomicUsize,
+    /// Next slot the producer will push. Monotonic; wraps via `mask`.
+    tail: AtomicUsize,
+}
+
+// SAFETY: the sender/receiver handles guarantee at most one producer and
+// one consumer; slots are published producer→consumer via the
+// release-store on `tail` (and reclaimed consumer→producer via `head`).
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Number of items currently queued.
+    fn len(&self) -> usize {
+        self.tail
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.head.load(Ordering::Acquire))
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            let slot = &self.slots[i & self.mask];
+            // SAFETY: slots in `head..tail` hold initialised values that
+            // no handle can touch any more (both are gone: we are in Drop
+            // of the last Arc).
+            unsafe { (*slot.get()).assume_init_drop() };
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for SpscRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscRing")
+            .field("capacity", &(self.mask + 1))
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Creates a bounded SPSC ring holding at most `capacity` items
+/// (rounded up to the next power of two, minimum 2).
+pub fn ring<T>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let inner = Arc::new(SpscRing {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        SpscSender {
+            ring: Arc::clone(&inner),
+        },
+        SpscReceiver { ring: inner },
+    )
+}
+
+/// The producer side of a ring. Exactly one exists per ring.
+#[derive(Debug)]
+pub struct SpscSender<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+impl<T> SpscSender<T> {
+    /// Enqueues `value`, or returns it when the ring is full.
+    ///
+    /// # Errors
+    ///
+    /// `Err(value)` if the ring is at capacity — the caller decides
+    /// whether to spin, yield or drop (bounded rings are the
+    /// backpressure mechanism, not an error condition).
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > ring.mask {
+            return Err(value);
+        }
+        let slot = &ring.slots[tail & ring.mask];
+        // SAFETY: `tail - head <= mask` means the consumer has fully
+        // vacated this slot; we are the only producer.
+        unsafe { (*slot.get()).write(value) };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns `true` if a push would currently fail.
+    pub fn is_full(&self) -> bool {
+        self.len() > self.ring.mask
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Returns `true` if the consumer side has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+/// The consumer side of a ring. Exactly one exists per ring.
+#[derive(Debug)]
+pub struct SpscReceiver<T> {
+    ring: Arc<SpscRing<T>>,
+}
+
+impl<T> SpscReceiver<T> {
+    /// Dequeues the oldest item, or `None` when the ring is empty.
+    pub fn pop(&mut self) -> Option<T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let slot = &ring.slots[head & ring.mask];
+        // SAFETY: `head < tail` means the producer release-published this
+        // slot; we are the only consumer.
+        let value = unsafe { (*slot.get()).assume_init_read() };
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Drains up to `max` items into `out`, returning how many were
+    /// moved. One acquire-load of `tail` covers the whole drain — this
+    /// is the shard worker's natural batching point.
+    pub fn pop_into(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        let take = tail.wrapping_sub(head).min(max);
+        for i in 0..take {
+            let slot = &ring.slots[(head.wrapping_add(i)) & ring.mask];
+            // SAFETY: as in `pop` — all of `head..tail` is published.
+            out.push(unsafe { (*slot.get()).assume_init_read() });
+        }
+        if take > 0 {
+            ring.head.store(head.wrapping_add(take), Ordering::Release);
+        }
+        take
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum number of items the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.ring.mask + 1
+    }
+
+    /// Returns `true` if the producer side has been dropped.
+    pub fn is_disconnected(&self) -> bool {
+        Arc::strong_count(&self.ring) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_ring_pops_none() {
+        let (tx, mut rx) = ring::<u64>(4);
+        assert!(rx.pop().is_none());
+        assert!(tx.is_empty());
+        assert!(rx.is_empty());
+        assert_eq!(tx.capacity(), 4);
+        assert_eq!(rx.capacity(), 4);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (mut tx, mut rx) = ring(8);
+        for i in 0..5 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.len(), 5);
+        for i in 0..5 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert!(rx.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects_push_and_returns_the_value() {
+        let (mut tx, mut rx) = ring(2);
+        tx.push('a').unwrap();
+        tx.push('b').unwrap();
+        assert!(tx.is_full());
+        assert_eq!(tx.push('c'), Err('c'));
+        // Draining one slot re-admits exactly one push.
+        assert_eq!(rx.pop(), Some('a'));
+        tx.push('c').unwrap();
+        assert_eq!(tx.push('d'), Err('d'));
+    }
+
+    /// The monotonic head/tail counters index via the mask: pushing and
+    /// popping many multiples of the capacity must keep order and never
+    /// clobber a live slot.
+    #[test]
+    fn wraparound_many_times() {
+        let (mut tx, mut rx) = ring(4);
+        for round in 0u64..100 {
+            for i in 0..3 {
+                tx.push(round * 10 + i).unwrap();
+            }
+            for i in 0..3 {
+                assert_eq!(rx.pop(), Some(round * 10 + i), "round {round}");
+            }
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn pop_into_drains_in_order_up_to_max() {
+        let (mut tx, mut rx) = ring(8);
+        for i in 0..6 {
+            tx.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(rx.pop_into(&mut out, 4), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(rx.pop_into(&mut out, 100), 2);
+        assert_eq!(out, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(rx.pop_into(&mut out, 100), 0);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let (tx, _rx) = ring::<u8>(5);
+        assert_eq!(tx.capacity(), 8);
+        let (tx, _rx) = ring::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+    }
+
+    #[test]
+    fn disconnect_is_observable_from_both_sides() {
+        let (tx, rx) = ring::<u8>(2);
+        assert!(!tx.is_disconnected());
+        drop(rx);
+        assert!(tx.is_disconnected());
+        let (tx, rx) = ring::<u8>(2);
+        drop(tx);
+        assert!(rx.is_disconnected());
+    }
+
+    /// Queued items are dropped exactly once when both handles go away.
+    #[test]
+    fn dropping_the_ring_drops_queued_items() {
+        let item = Arc::new(());
+        let (mut tx, rx) = ring(4);
+        tx.push(Arc::clone(&item)).unwrap();
+        tx.push(Arc::clone(&item)).unwrap();
+        assert_eq!(Arc::strong_count(&item), 3);
+        drop(tx);
+        drop(rx);
+        assert_eq!(Arc::strong_count(&item), 1);
+    }
+
+    /// Cross-thread stress: every pushed value arrives exactly once, in
+    /// order, across constant wraparound.
+    #[test]
+    fn cross_thread_order_and_exactly_once() {
+        const N: u64 = 50_000;
+        let (mut tx, mut rx) = ring(16);
+        let producer = std::thread::spawn(move || {
+            for i in 0..N {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0;
+        let mut buf = Vec::with_capacity(16);
+        while expect < N {
+            buf.clear();
+            if rx.pop_into(&mut buf, 16) == 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            for &v in &buf {
+                assert_eq!(v, expect);
+                expect += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert!(rx.is_empty());
+    }
+}
